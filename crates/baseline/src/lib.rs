@@ -1,0 +1,44 @@
+//! Baseline collectors for the contaminated-GC reproduction.
+//!
+//! The paper compares the contaminated collector against Sun's JDK 1.1.8
+//! system, whose traditional collector is a non-generational mark-sweep
+//! ("MSA" in the thesis).  This crate provides:
+//!
+//! * [`MarkSweep`] — the MSA baseline: mark from the roots, sweep everything
+//!   unmarked back to the object-space free list, no compaction (the paper's
+//!   timing runs avoid heap compaction, §4.5).
+//! * [`trace_live`] — the reusable marking pass, also used by the hybrid
+//!   contaminated collector when it resets its structures during a
+//!   traditional collection (§3.6) and by tests that check the contaminated
+//!   collector never frees a reachable object.
+//! * [`NoopCollector`] (re-exported from `cg-vm`) — the "GC disabled, plenty
+//!   of storage" configuration used to isolate CG's bookkeeping overhead in
+//!   §4.5.
+//!
+//! # Example
+//!
+//! ```
+//! use cg_vm::{Program, ClassDef, MethodDef, Insn, Vm, VmConfig};
+//! use cg_baseline::MarkSweep;
+//!
+//! let mut program = Program::new();
+//! let class = program.add_class(ClassDef::new("Node", 1));
+//! let main = program.add_method(MethodDef::new("main", 0, 2, vec![
+//!     Insn::New { class, dst: 0 },
+//!     Insn::New { class, dst: 1 },
+//!     Insn::Return { value: None },
+//! ]));
+//! program.set_entry(main);
+//!
+//! let mut vm = Vm::new(program, VmConfig::default(), MarkSweep::new());
+//! vm.run()?;
+//! # Ok::<(), cg_vm::VmError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod marksweep;
+
+pub use cg_vm::NoopCollector;
+pub use marksweep::{trace_live, MarkSweep, MarkSweepStats};

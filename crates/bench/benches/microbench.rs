@@ -1,0 +1,163 @@
+//! Micro-benchmarks of the contaminated collector's building blocks.
+//!
+//! The paper's performance argument rests on three cost claims: maintaining
+//! the equilive sets is a nearly constant amount of work per reference store
+//! (union/find with path compression), collecting at a frame pop is cheap
+//! (no marking), and the traditional collector's marking pass is the
+//! expensive part being avoided.  These benches measure each of those costs
+//! in isolation.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+use cg_baseline::MarkSweep;
+use cg_core::ContaminatedGc;
+use cg_heap::{ClassId, Heap, HeapConfig, Value};
+use cg_unionfind::DisjointSets;
+use cg_vm::{Collector, FrameId, FrameInfo, MethodId, RootSet, ThreadId};
+
+fn frame(id: u64, depth: usize) -> FrameInfo {
+    FrameInfo {
+        id: FrameId::new(id),
+        depth,
+        thread: ThreadId::MAIN,
+        method: MethodId::new(0),
+    }
+}
+
+fn bench_unionfind(c: &mut Criterion) {
+    let mut group = c.benchmark_group("unionfind");
+    group.bench_function("union_find_1024_elements", |b| {
+        b.iter_batched(
+            || {
+                let mut sets = DisjointSets::with_capacity(1024);
+                for _ in 0..1024 {
+                    sets.make_set();
+                }
+                sets
+            },
+            |mut sets| {
+                for i in 0..1023u32 {
+                    sets.union(i, i + 1);
+                }
+                black_box(sets.find(0))
+            },
+            BatchSize::SmallInput,
+        );
+    });
+    group.bench_function("find_after_compression", |b| {
+        let mut sets = DisjointSets::with_capacity(4096);
+        for _ in 0..4096 {
+            sets.make_set();
+        }
+        for i in 0..4095u32 {
+            sets.union(i, i + 1);
+        }
+        b.iter(|| black_box(sets.find(black_box(4095))));
+    });
+    group.finish();
+}
+
+fn bench_heap(c: &mut Criterion) {
+    let mut group = c.benchmark_group("heap");
+    group.bench_function("allocate_free_256_objects", |b| {
+        b.iter_batched(
+            || Heap::new(HeapConfig::small()),
+            |mut heap| {
+                let mut handles = Vec::with_capacity(256);
+                for _ in 0..256 {
+                    handles.push(heap.allocate(ClassId::new(0), 2).expect("fits"));
+                }
+                for handle in handles {
+                    heap.free(handle).expect("live");
+                }
+                black_box(heap.live_count())
+            },
+            BatchSize::SmallInput,
+        );
+    });
+    group.finish();
+}
+
+/// The per-store cost the paper calls "extra work at every store operation".
+fn bench_store_barrier(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cg_barrier");
+    group.bench_function("reference_store_same_block", |b| {
+        let mut heap = Heap::new(HeapConfig::spacious());
+        let mut cg = ContaminatedGc::new();
+        let f = frame(1, 1);
+        let a = heap.allocate(ClassId::new(0), 2).unwrap();
+        let b_obj = heap.allocate(ClassId::new(0), 2).unwrap();
+        cg.on_allocate(a, &f, &heap);
+        cg.on_allocate(b_obj, &f, &heap);
+        heap.set_field(a, 0, Value::from(b_obj)).unwrap();
+        b.iter(|| {
+            cg.on_reference_store(black_box(a), black_box(b_obj), &f, &heap);
+        });
+    });
+    group.bench_function("frame_pop_with_64_singletons", |b| {
+        b.iter_batched(
+            || {
+                let mut heap = Heap::new(HeapConfig::spacious());
+                let mut cg = ContaminatedGc::new();
+                let f = frame(2, 2);
+                for _ in 0..64 {
+                    let h = heap.allocate(ClassId::new(0), 2).unwrap();
+                    cg.on_allocate(h, &f, &heap);
+                }
+                (heap, cg, f)
+            },
+            |(mut heap, mut cg, f)| {
+                let outcome = cg.on_frame_pop(&f, &mut heap);
+                black_box(outcome.freed_objects)
+            },
+            BatchSize::SmallInput,
+        );
+    });
+    group.finish();
+}
+
+/// The mark cost the contaminated collector avoids.
+fn bench_marksweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("msa");
+    group.bench_function("mark_sweep_4096_live_4096_dead", |b| {
+        b.iter_batched(
+            || {
+                let mut heap = Heap::new(HeapConfig::spacious());
+                let mut roots = Vec::new();
+                let mut previous = None;
+                for i in 0..8192u32 {
+                    let h = heap.allocate(ClassId::new(0), 2).unwrap();
+                    if i % 2 == 0 {
+                        // Half the objects form a list reachable from a root.
+                        if let Some(prev) = previous {
+                            heap.set_field(h, 0, Value::from(prev)).unwrap();
+                        }
+                        previous = Some(h);
+                    }
+                }
+                roots.push(previous.unwrap());
+                let root_set = RootSet {
+                    statics: roots,
+                    ..RootSet::default()
+                };
+                (heap, root_set)
+            },
+            |(mut heap, roots)| {
+                let mut msa = MarkSweep::new();
+                black_box(msa.collect(&roots, &mut heap))
+            },
+            BatchSize::SmallInput,
+        );
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_unionfind,
+    bench_heap,
+    bench_store_barrier,
+    bench_marksweep
+);
+criterion_main!(benches);

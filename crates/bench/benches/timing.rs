@@ -1,0 +1,44 @@
+//! End-to-end timing benches behind Figures 4.7, 4.8 and 4.12.
+//!
+//! Criterion measures three representative size-1 workloads under the
+//! traditional collector, contaminated GC, and contaminated GC with
+//! recycling.  The full per-benchmark timing tables (all eight workloads,
+//! all three problem sizes, five repetitions) are produced by the
+//! `repro_fig4_7`, `repro_fig4_8`, `repro_fig4_10` and `repro_fig4_12`
+//! binaries, which print the paper-style tables; these benches exist so the
+//! relative collector costs are tracked with Criterion's statistics.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use cg_bench::{run_once, CollectorChoice};
+use cg_workloads::{Size, Workload};
+
+/// Representative subset: one record-heavy benchmark (db), one
+/// rule-engine-style allocator (jess) and one compute-bound benchmark
+/// (compress).
+const SUBSET: [&str; 3] = ["db", "jess", "compress"];
+
+fn bench_collectors(c: &mut Criterion) {
+    for name in SUBSET {
+        let workload = Workload::by_name(name).expect("known benchmark");
+        let mut group = c.benchmark_group(format!("timing_size1/{name}"));
+        group.sample_size(10);
+        for choice in [
+            CollectorChoice::Baseline,
+            CollectorChoice::Cg,
+            CollectorChoice::CgRecycle,
+        ] {
+            group.bench_function(choice.label(), |b| {
+                b.iter(|| {
+                    let result = run_once(workload, Size::S1, choice).expect("run succeeds");
+                    black_box(result.objects_created())
+                });
+            });
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(timing, bench_collectors);
+criterion_main!(timing);

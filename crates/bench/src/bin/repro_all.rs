@@ -1,0 +1,52 @@
+//! Reproduces every table and figure of the paper's evaluation in one run.
+//!
+//! Usage:
+//!
+//! ```text
+//! repro_all [--quick] [--reps N] [--no-medium] [--no-large] [ids...]
+//! ```
+//!
+//! With no ids, every experiment is run in paper order.  The rendered
+//! reports are printed to stdout and also written to
+//! `experiments_output.md` in the current directory so `EXPERIMENTS.md` can
+//! be cross-checked against a fresh run.
+
+use std::fs;
+use std::io::Write as _;
+
+fn main() {
+    let (options, ids) = cg_bench::parse_options(std::env::args().skip(1));
+    let ids: Vec<String> = if ids.is_empty() {
+        cg_bench::REPORT_IDS.iter().map(|s| s.to_string()).collect()
+    } else {
+        ids
+    };
+
+    let mut rendered = String::new();
+    rendered.push_str("# Contaminated GC — reproduced experiments\n\n");
+    rendered.push_str(&format!(
+        "Options: repetitions={}, medium={}, large={}\n\n",
+        options.repetitions, options.include_medium, options.include_large
+    ));
+
+    for id in &ids {
+        eprintln!("running {id} ...");
+        let report = cg_bench::report_by_id(id, options);
+        let text = report.render_text();
+        println!("{text}");
+        rendered.push_str(&text);
+        rendered.push('\n');
+    }
+
+    let path = "experiments_output.md";
+    match fs::File::create(path) {
+        Ok(mut file) => {
+            if let Err(e) = file.write_all(rendered.as_bytes()) {
+                eprintln!("could not write {path}: {e}");
+            } else {
+                eprintln!("wrote {path}");
+            }
+        }
+        Err(e) => eprintln!("could not create {path}: {e}"),
+    }
+}

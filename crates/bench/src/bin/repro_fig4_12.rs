@@ -1,0 +1,9 @@
+//! Reproduces Figure 4.12: timing of CG with object recycling vs plain CG (size 1).
+//!
+//! Flags: `--quick`, `--reps N`, `--no-medium`, `--no-large` (see `cg_bench::cli`).
+
+fn main() {
+    let (options, _) = cg_bench::parse_options(std::env::args().skip(1));
+    let report = cg_bench::report_by_id("fig4_12", options);
+    println!("{}", report.render_text());
+}

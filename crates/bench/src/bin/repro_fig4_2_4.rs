@@ -1,0 +1,9 @@
+//! Reproduces Figures 4.2-4.4: collectable vs static vs thread-shared object shares at sizes 1, 10 and 100.
+//!
+//! Flags: `--quick`, `--reps N`, `--no-medium`, `--no-large` (see `cg_bench::cli`).
+
+fn main() {
+    let (options, _) = cg_bench::parse_options(std::env::args().skip(1));
+    let report = cg_bench::report_by_id("fig4_2_4", options);
+    println!("{}", report.render_text());
+}

@@ -1,0 +1,9 @@
+//! Reproduces Appendix A.1: share of static objects that are static because of thread sharing (size 1).
+//!
+//! Flags: `--quick`, `--reps N`, `--no-medium`, `--no-large` (see `cg_bench::cli`).
+
+fn main() {
+    let (options, _) = cg_bench::parse_options(std::env::args().skip(1));
+    let report = cg_bench::report_by_id("figA_1", options);
+    println!("{}", report.render_text());
+}

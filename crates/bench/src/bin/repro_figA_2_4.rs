@@ -1,0 +1,9 @@
+//! Reproduces Appendix A.2-A.4: popped / static / thread-shared object breakdown at sizes 1, 10 and 100.
+//!
+//! Flags: `--quick`, `--reps N`, `--no-medium`, `--no-large` (see `cg_bench::cli`).
+
+fn main() {
+    let (options, _) = cg_bench::parse_options(std::env::args().skip(1));
+    let report = cg_bench::report_by_id("figA_2_4", options);
+    println!("{}", report.render_text());
+}

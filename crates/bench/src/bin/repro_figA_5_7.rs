@@ -1,0 +1,9 @@
+//! Reproduces Appendix A.5-A.7: raw per-repetition timings behind the timing figures.
+//!
+//! Flags: `--quick`, `--reps N`, `--no-medium`, `--no-large` (see `cg_bench::cli`).
+
+fn main() {
+    let (options, _) = cg_bench::parse_options(std::env::args().skip(1));
+    let report = cg_bench::report_by_id("figA_5_7", options);
+    println!("{}", report.render_text());
+}

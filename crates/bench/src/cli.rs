@@ -1,0 +1,71 @@
+//! Tiny command-line parsing shared by the `repro_*` binaries.
+
+use crate::experiments::ExperimentOptions;
+
+/// Parses the flags the reproduction binaries accept:
+///
+/// * `--quick` — size 1 only, one repetition (smoke-test mode).
+/// * `--reps N` — timing repetitions (default 3; the paper uses 5).
+/// * `--no-medium` — skip the size-10 runs.
+/// * `--no-large` — skip the size-100 runs (the slowest part).
+///
+/// Unrecognised arguments are returned so callers (such as `repro_all`) can
+/// interpret them as experiment ids.
+pub fn parse_options<I: IntoIterator<Item = String>>(args: I) -> (ExperimentOptions, Vec<String>) {
+    let mut options = ExperimentOptions::default();
+    let mut rest = Vec::new();
+    let mut args = args.into_iter();
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => options = ExperimentOptions::quick(),
+            "--no-large" => options.include_large = false,
+            "--no-medium" => options.include_medium = false,
+            "--reps" => {
+                let value = args
+                    .next()
+                    .and_then(|v| v.parse::<usize>().ok())
+                    .expect("--reps requires a positive integer");
+                options.repetitions = value.max(1);
+            }
+            other => rest.push(other.to_string()),
+        }
+    }
+    (options, rest)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> (ExperimentOptions, Vec<String>) {
+        parse_options(args.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn defaults_include_everything() {
+        let (options, rest) = parse(&[]);
+        assert_eq!(options, ExperimentOptions::default());
+        assert!(rest.is_empty());
+    }
+
+    #[test]
+    fn quick_flag_switches_to_smoke_mode() {
+        let (options, _) = parse(&["--quick"]);
+        assert_eq!(options, ExperimentOptions::quick());
+    }
+
+    #[test]
+    fn reps_and_size_flags() {
+        let (options, rest) = parse(&["--reps", "5", "--no-large", "fig4_1"]);
+        assert_eq!(options.repetitions, 5);
+        assert!(!options.include_large);
+        assert!(options.include_medium);
+        assert_eq!(rest, vec!["fig4_1".to_string()]);
+    }
+
+    #[test]
+    #[should_panic(expected = "--reps requires")]
+    fn reps_without_value_panics() {
+        let _ = parse(&["--reps"]);
+    }
+}

@@ -1,0 +1,30 @@
+//! Experiment harness reproducing every table and figure of the
+//! contaminated-GC paper's evaluation (thesis Chapter 4 and Appendix A).
+//!
+//! The crate has three layers:
+//!
+//! * [`runner`] — runs one synthetic SPEC workload under one collector
+//!   configuration and returns a uniform [`runner::RunResult`].
+//! * [`paper`] — the values the paper reports, transcribed from the thesis,
+//!   used to produce paper-vs-measured records in every report.
+//! * [`experiments`] — one function per table/figure that runs the required
+//!   configurations and renders the paper-style table plus comparison
+//!   records.
+//!
+//! The `repro_*` binaries in `src/bin/` are thin wrappers around
+//! [`experiments`]; `repro_all` runs everything and writes
+//! `experiments_output.md`.  The Criterion benches in `benches/` cover the
+//! micro-costs (union/find, store barrier, frame pop, allocation) and the
+//! end-to-end timing comparisons behind Figures 4.7, 4.8 and 4.12.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cli;
+pub mod experiments;
+pub mod paper;
+pub mod runner;
+
+pub use cli::parse_options;
+pub use experiments::{all_reports, report_by_id, ExperimentOptions, REPORT_IDS};
+pub use runner::{run_once, CollectorChoice, RunResult};

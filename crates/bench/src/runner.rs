@@ -1,0 +1,285 @@
+//! Running one workload under one collector configuration.
+
+use cg_baseline::{MarkSweep, MarkSweepStats, NoopCollector};
+use cg_core::{CgConfig, CgStats, HybridCollector, HybridConfig, ObjectBreakdown};
+use cg_heap::{HandleRepr, HeapConfig, HeapStats};
+use cg_vm::{Vm, VmConfig, VmError, VmStats};
+use cg_workloads::{Size, Workload};
+
+/// Which collector configuration to run a workload under.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CollectorChoice {
+    /// No collection at all (overhead-isolation runs of §4.5).
+    Noop,
+    /// The traditional mark-sweep collector alone (the "JDK" baseline).
+    Baseline,
+    /// Contaminated GC with the §3.4 static optimisation (the preferred
+    /// configuration), backed by mark-sweep for allocation failures.
+    Cg,
+    /// Contaminated GC without the §3.4 optimisation (the "no opt" column of
+    /// Figure 4.1).
+    CgNoOpt,
+    /// Contaminated GC with §3.7 recycling enabled.
+    CgRecycle,
+    /// Contaminated GC + mark-sweep with structure resetting (§3.6), run
+    /// with a periodic forced collection as in §4.7.
+    CgReset,
+}
+
+impl CollectorChoice {
+    /// Short label used in tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            CollectorChoice::Noop => "noop",
+            CollectorChoice::Baseline => "jdk-msa",
+            CollectorChoice::Cg => "cg",
+            CollectorChoice::CgNoOpt => "cg-noopt",
+            CollectorChoice::CgRecycle => "cg-recycle",
+            CollectorChoice::CgReset => "cg-reset",
+        }
+    }
+}
+
+/// Contaminated-GC measurements extracted from a run, when the run used CG.
+#[derive(Debug, Clone)]
+pub struct CgSummary {
+    /// The collector's raw statistics.
+    pub stats: CgStats,
+    /// Final object disposition (popped / static / thread-shared).
+    pub breakdown: ObjectBreakdown,
+}
+
+/// The uniform result of one workload run.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// Benchmark name.
+    pub workload: &'static str,
+    /// Problem size.
+    pub size: Size,
+    /// Collector configuration.
+    pub collector: CollectorChoice,
+    /// Wall-clock seconds inside `Vm::run`.
+    pub elapsed_seconds: f64,
+    /// Interpreter statistics.
+    pub vm: VmStats,
+    /// Heap statistics.
+    pub heap: HeapStats,
+    /// Objects still live when the program ended.
+    pub live_at_exit: usize,
+    /// CG measurements (None for the baseline and no-op runs).
+    pub cg: Option<CgSummary>,
+    /// Mark-sweep statistics (the baseline's own, or the hybrid's backstop).
+    pub msa: Option<MarkSweepStats>,
+}
+
+impl RunResult {
+    /// Objects the program allocated (instances + arrays).
+    pub fn objects_created(&self) -> u64 {
+        self.vm.objects_allocated + self.vm.arrays_allocated
+    }
+
+    /// Percentage of created objects CG collected (0 for non-CG runs).
+    pub fn collectable_percent(&self) -> f64 {
+        self.cg.as_ref().map(|c| c.stats.collectable_percent()).unwrap_or(0.0)
+    }
+}
+
+/// The heap sizing used by every experiment run: a 12 MiB object space, so
+/// that the small problem sizes fit comfortably (the baseline hardly ever
+/// collects, as in the paper's small runs) while the large problem sizes
+/// overflow it many times over and retain sizable live structures (so the
+/// baseline's repeated marking cost shows up, as in the paper's large runs).
+pub fn experiment_heap() -> HeapConfig {
+    let mut config = HeapConfig::with_object_space(12 * 1024 * 1024, HandleRepr::CgWide);
+    // The large javac/jack runs keep roughly half a million objects live at
+    // once; give the handle table room for them so the experiments measure
+    // object-space behaviour rather than handle-table exhaustion.
+    config.handle_space_bytes = 64 * 1024 * 1024;
+    config
+}
+
+/// The VM configuration used by experiment runs.
+pub fn experiment_vm_config(choice: CollectorChoice) -> VmConfig {
+    let mut config = VmConfig::default().with_heap(experiment_heap());
+    if choice == CollectorChoice::CgReset {
+        // §4.7 forces a traditional collection every 100 000 JVM
+        // instructions.  Our synthetic workloads are scaled down roughly 4×
+        // relative to the real SPEC runs, so the interval is scaled down the
+        // same way to produce a comparable number of collection cycles.
+        config = config.with_gc_every(25_000);
+    }
+    config
+}
+
+/// Runs `workload` at `size` under the chosen collector and returns the
+/// uniform result.
+///
+/// # Errors
+///
+/// Returns the underlying [`VmError`] if the run fails (out of memory with a
+/// non-collecting configuration, for example).
+pub fn run_once(workload: Workload, size: Size, choice: CollectorChoice) -> Result<RunResult, VmError> {
+    let program = workload.program(size);
+    let config = experiment_vm_config(choice);
+
+    let base = RunResult {
+        workload: workload.name(),
+        size,
+        collector: choice,
+        elapsed_seconds: 0.0,
+        vm: VmStats::default(),
+        heap: HeapStats::default(),
+        live_at_exit: 0,
+        cg: None,
+        msa: None,
+    };
+
+    match choice {
+        CollectorChoice::Noop => {
+            let mut vm = Vm::new(program, config, NoopCollector::new());
+            let outcome = vm.run()?;
+            Ok(RunResult {
+                elapsed_seconds: outcome.elapsed_seconds,
+                vm: outcome.stats,
+                heap: outcome.heap,
+                live_at_exit: outcome.live_at_exit,
+                ..base
+            })
+        }
+        CollectorChoice::Baseline => {
+            let mut vm = Vm::new(program, config, MarkSweep::new());
+            let outcome = vm.run()?;
+            let msa = *vm.collector().stats();
+            Ok(RunResult {
+                elapsed_seconds: outcome.elapsed_seconds,
+                vm: outcome.stats,
+                heap: outcome.heap,
+                live_at_exit: outcome.live_at_exit,
+                msa: Some(msa),
+                ..base
+            })
+        }
+        CollectorChoice::Cg | CollectorChoice::CgNoOpt | CollectorChoice::CgRecycle | CollectorChoice::CgReset => {
+            let cg_config = match choice {
+                CollectorChoice::CgNoOpt => CgConfig::without_static_opt(),
+                CollectorChoice::CgRecycle => CgConfig::with_recycling(),
+                _ => CgConfig::preferred(),
+            };
+            let hybrid_config = HybridConfig {
+                cg: CgConfig {
+                    // The verification pass is for tests; experiment runs
+                    // measure time, so it stays off.
+                    verify_tainted: false,
+                    ..cg_config
+                },
+                reset_on_collect: choice == CollectorChoice::CgReset,
+            };
+            let mut vm = Vm::new(program, config, HybridCollector::new(hybrid_config));
+            let outcome = vm.run()?;
+            let breakdown = vm.collector_mut().cg_mut().breakdown();
+            let stats = vm.collector().cg().stats().clone();
+            let msa = *vm.collector().msa_stats();
+            Ok(RunResult {
+                elapsed_seconds: outcome.elapsed_seconds,
+                vm: outcome.stats,
+                heap: outcome.heap,
+                live_at_exit: outcome.live_at_exit,
+                cg: Some(CgSummary { stats, breakdown }),
+                msa: Some(msa),
+                ..base
+            })
+        }
+    }
+}
+
+/// Runs a workload `repetitions` times under the chosen collector and
+/// returns every result (the timing figures average them, as the paper's
+/// Appendix A does over five runs).
+///
+/// # Errors
+///
+/// Returns the first [`VmError`] encountered.
+pub fn run_repeated(
+    workload: Workload,
+    size: Size,
+    choice: CollectorChoice,
+    repetitions: usize,
+) -> Result<Vec<RunResult>, VmError> {
+    (0..repetitions.max(1)).map(|_| run_once(workload, size, choice)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn db() -> Workload {
+        Workload::by_name("db").expect("db exists")
+    }
+
+    #[test]
+    fn baseline_and_cg_allocate_the_same_objects() {
+        let baseline = run_once(db(), Size::S1, CollectorChoice::Baseline).unwrap();
+        let cg = run_once(db(), Size::S1, CollectorChoice::Cg).unwrap();
+        assert_eq!(baseline.objects_created(), cg.objects_created());
+        assert!(baseline.cg.is_none());
+        assert!(cg.cg.is_some());
+        assert!(cg.collectable_percent() > 0.0);
+        assert_eq!(baseline.collectable_percent(), 0.0);
+    }
+
+    #[test]
+    fn no_opt_collects_fewer_objects_than_preferred() {
+        let with_opt = run_once(db(), Size::S1, CollectorChoice::Cg).unwrap();
+        let no_opt = run_once(db(), Size::S1, CollectorChoice::CgNoOpt).unwrap();
+        assert!(
+            with_opt.collectable_percent() > no_opt.collectable_percent() + 5.0,
+            "with {:.1}% vs without {:.1}%",
+            with_opt.collectable_percent(),
+            no_opt.collectable_percent()
+        );
+    }
+
+    #[test]
+    fn recycling_run_recycles_objects() {
+        let result = run_once(db(), Size::S1, CollectorChoice::CgRecycle).unwrap();
+        let cg = result.cg.as_ref().unwrap();
+        assert!(cg.stats.objects_recycled > 0);
+        assert_eq!(result.vm.recycled_allocations, cg.stats.objects_recycled);
+    }
+
+    #[test]
+    fn reset_run_performs_resets() {
+        // jess executes well over 25k instructions at size 1, so the
+        // periodic traditional collections (and resets) must fire.
+        let jess = Workload::by_name("jess").expect("jess exists");
+        let result = run_once(jess, Size::S1, CollectorChoice::CgReset).unwrap();
+        let cg = result.cg.as_ref().unwrap();
+        assert!(cg.stats.resets > 0);
+        assert!(result.msa.unwrap().cycles > 0);
+        assert_eq!(cg.stats.resets, result.msa.unwrap().cycles);
+    }
+
+    #[test]
+    fn repeated_runs_are_deterministic_in_object_counts() {
+        let runs = run_repeated(db(), Size::S1, CollectorChoice::Cg, 2).unwrap();
+        assert_eq!(runs.len(), 2);
+        assert_eq!(runs[0].objects_created(), runs[1].objects_created());
+    }
+
+    #[test]
+    fn labels_are_distinct() {
+        use std::collections::HashSet;
+        let labels: HashSet<&str> = [
+            CollectorChoice::Noop,
+            CollectorChoice::Baseline,
+            CollectorChoice::Cg,
+            CollectorChoice::CgNoOpt,
+            CollectorChoice::CgRecycle,
+            CollectorChoice::CgReset,
+        ]
+        .into_iter()
+        .map(CollectorChoice::label)
+        .collect();
+        assert_eq!(labels.len(), 6);
+    }
+}

@@ -1,0 +1,1076 @@
+//! The contaminated garbage collector.
+
+use std::collections::{HashMap, HashSet};
+
+use cg_unionfind::ElementId;
+use cg_vm::{
+    ClassId, CollectOutcome, Collector, FrameId, FrameInfo, Handle, Heap, RootSet, ThreadId,
+};
+
+use crate::equilive::{EquiliveSets, FrameKey, StaticReason};
+use crate::stats::{CgStats, ObjectBreakdown};
+
+/// Configuration of the contaminated collector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CgConfig {
+    /// Enable the §3.4 static optimisation: storing a reference *to* an
+    /// already-static object does not contaminate the storing object.
+    pub static_opt: bool,
+    /// Enable §3.7 object recycling: dead equilive blocks are kept on a
+    /// recycle list and reused to satisfy later allocations instead of being
+    /// freed immediately.
+    pub recycling: bool,
+    /// Verify that the program never touches an object the collector
+    /// considers dead (the "tainted" list of §3.1.4).  Violations indicate a
+    /// soundness bug and panic.
+    pub verify_tainted: bool,
+}
+
+impl Default for CgConfig {
+    fn default() -> Self {
+        Self {
+            static_opt: true,
+            recycling: false,
+            verify_tainted: cfg!(debug_assertions),
+        }
+    }
+}
+
+impl CgConfig {
+    /// The paper's preferred configuration (static optimisation on, no
+    /// recycling).
+    pub fn preferred() -> Self {
+        Self::default()
+    }
+
+    /// The unoptimised configuration used for the "no opt" column of
+    /// Figure 4.1.
+    pub fn without_static_opt() -> Self {
+        Self {
+            static_opt: false,
+            ..Self::default()
+        }
+    }
+
+    /// The recycling configuration of §3.7 / Figures 4.12–4.13.
+    pub fn with_recycling() -> Self {
+        Self {
+            recycling: true,
+            ..Self::default()
+        }
+    }
+}
+
+/// Per-object bookkeeping (one entry per live object incarnation).
+#[derive(Debug, Clone, Copy)]
+struct ObjData {
+    /// The object's element in the equilive forest.
+    elem: ElementId,
+    /// Stack depth of the frame the object was allocated in (Figure 4.6).
+    birth_depth: usize,
+    /// The thread that allocated the object (§3.3).
+    alloc_thread: ThreadId,
+    /// Whether the collector has declared the object dead.
+    dead: bool,
+}
+
+/// The contaminated garbage collector (the paper's contribution).
+///
+/// Objects are grouped into equilive blocks; each block depends on a stack
+/// frame; popping the frame collects the block.  See the crate documentation
+/// for the full set of rules and the
+/// [`Collector`] implementation below for how each VM event maps onto them.
+///
+/// # Example
+///
+/// ```
+/// use cg_vm::{Program, ClassDef, MethodDef, Insn, Vm, VmConfig};
+/// use cg_core::ContaminatedGc;
+///
+/// let mut program = Program::new();
+/// let class = program.add_class(ClassDef::new("Temp", 1));
+/// // A helper method that allocates an object which never escapes.
+/// let helper = program.add_method(MethodDef::new("helper", 0, 1, vec![
+///     Insn::New { class, dst: 0 },
+///     Insn::Return { value: None },
+/// ]));
+/// let main = program.add_method(MethodDef::new("main", 0, 1, vec![
+///     Insn::Call { method: helper, args: vec![], dst: None },
+///     Insn::Return { value: None },
+/// ]));
+/// program.set_entry(main);
+///
+/// let mut vm = Vm::new(program, VmConfig::default(), ContaminatedGc::new());
+/// vm.run()?;
+/// // The helper's object was collected the moment the helper returned.
+/// assert_eq!(vm.collector().stats().objects_collected, 1);
+/// # Ok::<(), cg_vm::VmError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct ContaminatedGc {
+    config: CgConfig,
+    sets: EquiliveSets,
+    /// Indexed by handle index.
+    objects: Vec<Option<ObjData>>,
+    /// Blocks (by root element) dependent on each live frame.
+    frame_blocks: HashMap<FrameId, HashSet<ElementId>>,
+    /// Blocks dependent on the static pseudo-frame.
+    static_blocks: HashSet<ElementId>,
+    /// Dead objects kept for reuse (§3.7), in collection order.
+    recycle_list: Vec<Handle>,
+    /// Objects known to be dead (§3.1.4).
+    tainted: HashSet<Handle>,
+    /// Final object disposition, computed when the program ends.
+    breakdown: Option<ObjectBreakdown>,
+    stats: CgStats,
+}
+
+impl Default for ContaminatedGc {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ContaminatedGc {
+    /// Creates a collector with the paper's preferred configuration.
+    pub fn new() -> Self {
+        Self::with_config(CgConfig::default())
+    }
+
+    /// Creates a collector with an explicit configuration.
+    pub fn with_config(config: CgConfig) -> Self {
+        Self {
+            config,
+            sets: EquiliveSets::new(),
+            objects: Vec::new(),
+            frame_blocks: HashMap::new(),
+            static_blocks: HashSet::new(),
+            recycle_list: Vec::new(),
+            tainted: HashSet::new(),
+            breakdown: None,
+            stats: CgStats::new(),
+        }
+    }
+
+    /// The collector's configuration.
+    pub fn config(&self) -> &CgConfig {
+        &self.config
+    }
+
+    /// The statistics accumulated so far.
+    pub fn stats(&self) -> &CgStats {
+        &self.stats
+    }
+
+    /// The equilive relation (for inspection in tests and experiments).
+    pub fn sets(&self) -> &EquiliveSets {
+        &self.sets
+    }
+
+    /// Number of dead objects currently awaiting reuse on the recycle list.
+    pub fn recycle_list_len(&self) -> usize {
+        self.recycle_list.len()
+    }
+
+    /// Whether the collector believes `handle` is dead.
+    pub fn is_tainted(&self, handle: Handle) -> bool {
+        self.tainted.contains(&handle)
+    }
+
+    /// Final disposition of every created object (popped / static /
+    /// thread-shared).  Available after the program ends; computed on demand
+    /// otherwise.
+    pub fn breakdown(&mut self) -> ObjectBreakdown {
+        match self.breakdown {
+            Some(b) => b,
+            None => self.compute_breakdown(),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // internal helpers
+    // ------------------------------------------------------------------
+
+    fn ensure_slot(&mut self, handle: Handle) {
+        if self.objects.len() <= handle.index_usize() {
+            self.objects.resize(handle.index_usize() + 1, None);
+        }
+    }
+
+    /// Registers a (possibly recycled) object as a fresh singleton block
+    /// dependent on the allocating frame.
+    fn register(&mut self, handle: Handle, frame: &FrameInfo) -> ElementId {
+        self.ensure_slot(handle);
+        let key = FrameKey::frame(frame);
+        let elem = self.sets.insert(handle, key);
+        self.attach(elem, key);
+        self.objects[handle.index_usize()] = Some(ObjData {
+            elem,
+            birth_depth: frame.depth,
+            alloc_thread: frame.thread,
+            dead: false,
+        });
+        self.stats.objects_created += 1;
+        elem
+    }
+
+    fn data(&self, handle: Handle) -> Option<&ObjData> {
+        self.objects.get(handle.index_usize()).and_then(Option::as_ref)
+    }
+
+    /// The element of a live object, registering it conservatively against
+    /// the given frame if the collector has somehow never seen it.
+    fn elem_of(&mut self, handle: Handle, frame: &FrameInfo) -> ElementId {
+        match self.data(handle) {
+            Some(data) if !data.dead => data.elem,
+            Some(_) => {
+                // A dead object is being used again: this can only happen if
+                // the collector's deadness conclusion was wrong.
+                if self.config.verify_tainted {
+                    panic!("contaminated GC soundness violation: {handle} was declared dead but is still in use");
+                }
+                self.register(handle, frame)
+            }
+            None => self.register(handle, frame),
+        }
+    }
+
+    fn attach(&mut self, root: ElementId, key: FrameKey) {
+        match key {
+            FrameKey::Static => {
+                self.static_blocks.insert(root);
+            }
+            FrameKey::Frame { id, .. } => {
+                self.frame_blocks.entry(id).or_default().insert(root);
+            }
+        }
+    }
+
+    fn detach(&mut self, root: ElementId, key: FrameKey) {
+        match key {
+            FrameKey::Static => {
+                self.static_blocks.remove(&root);
+            }
+            FrameKey::Frame { id, .. } => {
+                if let Some(bucket) = self.frame_blocks.get_mut(&id) {
+                    bucket.remove(&root);
+                    if bucket.is_empty() {
+                        self.frame_blocks.remove(&id);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Unions the blocks of two elements (the contamination step), keeping
+    /// the per-frame indexes consistent.
+    fn contaminate(&mut self, a: ElementId, b: ElementId) {
+        let ra = self.sets.find(a);
+        let rb = self.sets.find(b);
+        if ra == rb {
+            return;
+        }
+        let ka = self.sets.block(ra).key;
+        let kb = self.sets.block(rb).key;
+        self.detach(ra, ka);
+        self.detach(rb, kb);
+        let root = self.sets.union(a, b);
+        let merged_key = self.sets.block(root).key;
+        self.attach(root, merged_key);
+        self.stats.unions += 1;
+    }
+
+    /// Moves the block of `elem` to depend on `new_key`.
+    fn retarget(&mut self, elem: ElementId, new_key: FrameKey, reason: StaticReason) {
+        let root = self.sets.find(elem);
+        let old_key = self.sets.block(root).key;
+        if old_key == new_key {
+            if new_key.is_static() && reason == StaticReason::ThreadShared {
+                // Upgrade the recorded reason: thread sharing is the more
+                // specific diagnosis for the experiment breakdown.
+                let block = self.sets.block_mut(root);
+                if block.static_reason == StaticReason::NotStatic {
+                    block.static_reason = reason;
+                }
+            }
+            return;
+        }
+        self.detach(root, old_key);
+        {
+            let block = self.sets.block_mut(root);
+            block.key = new_key;
+            if new_key.is_static() {
+                block.static_reason = reason;
+            }
+        }
+        self.attach(root, new_key);
+    }
+
+    /// Demotes the block of `elem` to the static pseudo-frame.
+    fn make_static(&mut self, elem: ElementId, reason: StaticReason) {
+        self.retarget(elem, FrameKey::Static, reason);
+    }
+
+    fn compute_breakdown(&mut self) -> ObjectBreakdown {
+        let mut static_objects = 0u64;
+        let mut thread_shared = 0u64;
+        let entries: Vec<(usize, ElementId)> = self
+            .objects
+            .iter()
+            .enumerate()
+            .filter_map(|(i, d)| d.as_ref().filter(|d| !d.dead).map(|d| (i, d.elem)))
+            .collect();
+        for (_, elem) in entries {
+            let block = self.sets.block(elem);
+            match block.static_reason {
+                StaticReason::ThreadShared => thread_shared += 1,
+                _ => static_objects += 1,
+            }
+        }
+        ObjectBreakdown {
+            popped: self.stats.objects_collected,
+            static_objects,
+            thread_shared,
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // resetting (§3.6) and cooperation with a traditional collector
+    // ------------------------------------------------------------------
+
+    /// Drops every object that a traditional collection found unreachable
+    /// (`live[handle] == false`) from the collector's structures, counting
+    /// them as "collected by MSA" (Figure 4.11).  Also purges them from the
+    /// recycle list.
+    pub fn purge_unreachable(&mut self, live: &[bool]) {
+        for (index, slot) in self.objects.iter_mut().enumerate() {
+            if let Some(data) = slot {
+                if !data.dead && !live.get(index).copied().unwrap_or(false) {
+                    data.dead = true;
+                    self.tainted.insert(Handle::from_index(index as u32));
+                    self.stats.reset_collected_by_msa += 1;
+                }
+            }
+        }
+        self.recycle_list
+            .retain(|h| live.get(h.index_usize()).copied().unwrap_or(false));
+    }
+
+    /// Rebuilds the equilive relation from the live object graph during a
+    /// traditional collection (§3.6).
+    ///
+    /// The traversal mirrors the paper's description: static (and
+    /// interpreter) roots are considered first, then each stack frame oldest
+    /// first; every object is re-associated with the frame that first reaches
+    /// it and unioned with the objects it points to.  Objects whose dependent
+    /// frame becomes *younger* than before are counted as "less live"
+    /// (Figure 4.11).
+    pub fn reset_from_roots(&mut self, roots: &RootSet, heap: &Heap, live: &[bool]) {
+        self.stats.resets += 1;
+
+        // Remember each live object's old dependent frame for the
+        // less-live accounting.
+        let live_entries: Vec<(Handle, ElementId)> = self
+            .objects
+            .iter()
+            .enumerate()
+            .filter_map(|(index, slot)| {
+                slot.as_ref()
+                    .filter(|d| !d.dead)
+                    .map(|d| (Handle::from_index(index as u32), d.elem))
+            })
+            .collect();
+        let mut old_keys: HashMap<Handle, FrameKey> = HashMap::new();
+        for (handle, elem) in live_entries {
+            let key = self.sets.block(elem).key;
+            old_keys.insert(handle, key);
+        }
+
+        // Objects the mark phase could not reach drop out of our structures.
+        self.purge_unreachable(live);
+
+        // Dissolve all per-frame lists; every live object gets a fresh
+        // element below.
+        self.frame_blocks.clear();
+        self.static_blocks.clear();
+
+        // Breadth of reassignment: handle -> new element.
+        let mut new_elem: HashMap<Handle, ElementId> = HashMap::new();
+
+        let assign = |cg: &mut Self,
+                          new_elem: &mut HashMap<Handle, ElementId>,
+                          handle: Handle,
+                          key: FrameKey|
+         -> ElementId {
+            if let Some(&elem) = new_elem.get(&handle) {
+                return elem;
+            }
+            let elem = cg.sets.insert(handle, key);
+            cg.attach(elem, key);
+            new_elem.insert(handle, elem);
+            if let Some(slot) = cg.objects.get_mut(handle.index_usize()) {
+                if let Some(data) = slot {
+                    data.elem = elem;
+                }
+            }
+            elem
+        };
+
+        // Worklist traversal from a set of roots, assigning `key` to newly
+        // reached objects and unioning along every edge.
+        let traverse = |cg: &mut Self,
+                            new_elem: &mut HashMap<Handle, ElementId>,
+                            root: Handle,
+                            key: FrameKey| {
+            if !heap.is_live(root) {
+                return;
+            }
+            let root_elem = assign(cg, new_elem, root, key);
+            let mut worklist = vec![(root, root_elem)];
+            while let Some((handle, elem)) = worklist.pop() {
+                for target in heap.references_of(handle) {
+                    if !heap.is_live(target) {
+                        continue;
+                    }
+                    let seen = new_elem.contains_key(&target);
+                    let target_elem = assign(cg, new_elem, target, key);
+                    cg.contaminate(elem, target_elem);
+                    if !seen {
+                        worklist.push((target, target_elem));
+                    }
+                }
+            }
+        };
+
+        // Statics and interpreter-internal references first: they pin their
+        // whole reachable subgraph to the static pseudo-frame.
+        for &root in roots.statics.iter().chain(roots.interpreter.iter()) {
+            traverse(self, &mut new_elem, root, FrameKey::Static);
+        }
+
+        // Then each stack frame, oldest first within each thread (the order
+        // `RootSet::frames` is built in).
+        for frame_roots in &roots.frames {
+            let key = FrameKey::frame(&frame_roots.frame);
+            for &root in &frame_roots.refs {
+                traverse(self, &mut new_elem, root, key);
+            }
+        }
+
+        // Count objects whose liveness estimate improved (moved to a younger
+        // frame than before).
+        for (handle, &elem) in &new_elem {
+            if let Some(old_key) = old_keys.get(handle) {
+                let new_key = self.sets.block(elem).key;
+                if old_key.strictly_older_than(new_key) {
+                    self.stats.reset_less_live += 1;
+                }
+            }
+        }
+    }
+}
+
+impl Collector for ContaminatedGc {
+    fn name(&self) -> &str {
+        if self.config.recycling {
+            "cg+recycle"
+        } else {
+            "cg"
+        }
+    }
+
+    fn on_allocate(&mut self, handle: Handle, frame: &FrameInfo, _heap: &Heap) {
+        self.register(handle, frame);
+    }
+
+    fn on_reference_store(&mut self, source: Handle, target: Handle, frame: &FrameInfo, _heap: &Heap) {
+        self.stats.contaminations += 1;
+        let source_elem = self.elem_of(source, frame);
+        let target_elem = self.elem_of(target, frame);
+        if self.config.static_opt {
+            let target_static = {
+                let root = self.sets.find(target_elem);
+                self.sets.block(root).is_static()
+            };
+            let source_static = {
+                let root = self.sets.find(source_elem);
+                self.sets.block(root).is_static()
+            };
+            // §3.4: referencing an object that is already static cannot make
+            // that object any more live, so there is no need to drag the
+            // referencing object into the static set.
+            if target_static && !source_static {
+                self.stats.static_opt_skips += 1;
+                return;
+            }
+        }
+        self.contaminate(source_elem, target_elem);
+    }
+
+    fn on_static_store(&mut self, target: Handle, _heap: &Heap) {
+        let elem = self.elem_of(target, &FrameInfo::static_frame());
+        self.make_static(elem, StaticReason::StaticReference);
+    }
+
+    fn on_return_value(&mut self, value: Handle, caller: &FrameInfo, _callee: &FrameInfo) {
+        let elem = self.elem_of(value, caller);
+        let root = self.sets.find(elem);
+        let current = self.sets.block(root).key;
+        let caller_key = FrameKey::frame(caller);
+        // Adjust only if the caller's frame outlives the current dependent
+        // frame (§3.1.3, areturn).
+        if caller_key.strictly_older_than(current) {
+            self.retarget(elem, caller_key, StaticReason::NotStatic);
+            self.stats.returns_retargeted += 1;
+        }
+    }
+
+    fn on_frame_pop(&mut self, frame: &FrameInfo, heap: &mut Heap) -> CollectOutcome {
+        let Some(roots) = self.frame_blocks.remove(&frame.id) else {
+            return CollectOutcome::default();
+        };
+        let mut freed_objects = 0u64;
+        let mut freed_bytes = 0u64;
+        for root in roots {
+            let block = self.sets.block(root);
+            debug_assert_eq!(block.key.frame_id(), Some(frame.id));
+            let members = block.members.clone();
+            let block_size = members.len();
+            self.stats.block_sizes.record(block_size as u64);
+            for handle in members {
+                let data = self.objects[handle.index_usize()]
+                    .as_mut()
+                    .expect("block members are registered objects");
+                if data.dead {
+                    continue;
+                }
+                data.dead = true;
+                self.tainted.insert(handle);
+                self.stats.objects_collected += 1;
+                if block_size == 1 {
+                    self.stats.objects_collected_exactly += 1;
+                }
+                let age = data.birth_depth.saturating_sub(frame.depth);
+                self.stats.age_at_death.record(age as u64);
+
+                let recyclable = self.config.recycling
+                    && heap.get(handle).map(|o| !o.is_array()).unwrap_or(false);
+                if recyclable {
+                    // Defer the free: the object waits on the recycle list
+                    // and is handed back to the allocator later (§3.7).
+                    self.recycle_list.push(handle);
+                } else {
+                    let bytes = heap.free(handle).expect("collected object must still be live");
+                    freed_bytes += bytes as u64;
+                    freed_objects += 1;
+                }
+            }
+        }
+        CollectOutcome {
+            freed_objects,
+            freed_bytes,
+            marked_objects: 0,
+        }
+    }
+
+    fn on_object_access(&mut self, handle: Handle, thread: ThreadId, _heap: &Heap) {
+        let Some(data) = self.data(handle).copied() else {
+            return;
+        };
+        if data.dead {
+            if self.config.verify_tainted {
+                panic!("contaminated GC soundness violation: dead object {handle} accessed by {thread}");
+            }
+            return;
+        }
+        if data.alloc_thread != thread {
+            // The object is shared between threads; its whole block must be
+            // treated as live for the program's duration (§3.3).
+            self.make_static(data.elem, StaticReason::ThreadShared);
+        }
+    }
+
+    fn try_recycled_alloc(
+        &mut self,
+        class: ClassId,
+        field_count: usize,
+        _frame: &FrameInfo,
+        heap: &mut Heap,
+    ) -> Option<Handle> {
+        if !self.config.recycling {
+            return None;
+        }
+        // First-fit search of the recycle list (§3.7).
+        for i in 0..self.recycle_list.len() {
+            self.stats.recycle_probes += 1;
+            let handle = self.recycle_list[i];
+            let fits = heap
+                .get(handle)
+                .map(|o| !o.is_array() && o.slot_count() >= field_count)
+                .unwrap_or(false);
+            if fits && heap.reinitialize(handle, class, field_count).is_ok() {
+                self.recycle_list.remove(i);
+                self.tainted.remove(&handle);
+                self.stats.objects_recycled += 1;
+                // `on_allocate` follows and re-registers the handle as a new
+                // object incarnation.
+                return Some(handle);
+            }
+        }
+        None
+    }
+
+    fn on_program_end(&mut self, _roots: &RootSet, _heap: &mut Heap) {
+        let breakdown = self.compute_breakdown();
+        self.stats.objects_thread_shared = breakdown.thread_shared;
+        self.breakdown = Some(breakdown);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cg_vm::{ClassDef, Cond, Insn, MethodDef, Operand, Program, Vm, VmConfig};
+
+    /// Runs `program` under a contaminated collector with `config` and
+    /// returns the VM for inspection.
+    fn run_with(program: Program, config: CgConfig) -> Vm<ContaminatedGc> {
+        let mut vm = Vm::new(program, VmConfig::small(), ContaminatedGc::with_config(config));
+        vm.run().expect("program runs");
+        vm
+    }
+
+    fn run(program: Program) -> Vm<ContaminatedGc> {
+        run_with(program, CgConfig::default())
+    }
+
+    /// main calls helper(); helper allocates `n` objects that never escape.
+    fn non_escaping_program(n: i64) -> Program {
+        let mut p = Program::new();
+        let c = p.add_class(ClassDef::new("Temp", 1));
+        let helper = p.add_method(MethodDef::new(
+            "helper",
+            0,
+            3,
+            vec![
+                Insn::Const { dst: 1, value: 0 },
+                Insn::Branch { cond: Cond::Ge, a: Operand::Local(1), b: Operand::Imm(n), target: 5 },
+                Insn::New { class: c, dst: 0 },
+                Insn::Arith { op: cg_vm::ArithOp::Add, dst: 1, a: Operand::Local(1), b: Operand::Imm(1) },
+                Insn::Jump { target: 1 },
+                Insn::Return { value: None },
+            ],
+        ));
+        let main = p.add_method(MethodDef::new(
+            "main",
+            0,
+            1,
+            vec![
+                Insn::Call { method: helper, args: vec![], dst: None },
+                Insn::Return { value: None },
+            ],
+        ));
+        p.set_entry(main);
+        p
+    }
+
+    #[test]
+    fn non_escaping_objects_are_collected_at_frame_pop() {
+        let vm = run(non_escaping_program(50));
+        let stats = vm.collector().stats();
+        assert_eq!(stats.objects_created, 50);
+        assert_eq!(stats.objects_collected, 50);
+        assert_eq!(stats.objects_collected_exactly, 50);
+        assert_eq!(vm.heap().live_count(), 0);
+        // All blocks were singletons and died in their birth frame.
+        assert_eq!(stats.block_sizes.bucket_count(0), 50);
+        assert_eq!(stats.age_at_death.bucket_count(0), 50);
+    }
+
+    #[test]
+    fn returned_objects_survive_their_birth_frame() {
+        // helper() returns a fresh object; main keeps it in a local.
+        let mut p = Program::new();
+        let c = p.add_class(ClassDef::new("Box", 1));
+        let helper = p.add_method(MethodDef::new(
+            "helper",
+            0,
+            1,
+            vec![Insn::New { class: c, dst: 0 }, Insn::Return { value: Some(0) }],
+        ));
+        let main = p.add_method(MethodDef::new(
+            "main",
+            0,
+            2,
+            vec![
+                Insn::Call { method: helper, args: vec![], dst: Some(0) },
+                // Touch the object to prove it is still alive.
+                Insn::GetField { object: 0, field: 0, dst: 1 },
+                Insn::Return { value: None },
+            ],
+        ));
+        p.set_entry(main);
+        let mut vm = run(p);
+        let stats = vm.collector().stats().clone();
+        assert_eq!(stats.objects_created, 1);
+        // Collected when main itself pops (frame distance 1), not before.
+        assert_eq!(stats.objects_collected, 1);
+        assert_eq!(stats.returns_retargeted, 1);
+        assert_eq!(stats.age_at_death.bucket_count(1), 1);
+        assert_eq!(vm.heap().live_count(), 0);
+        assert_eq!(vm.collector_mut().breakdown().popped, 1);
+    }
+
+    #[test]
+    fn contamination_extends_lifetime_to_older_frame() {
+        // main allocates a container; helper(container) allocates an object
+        // and stores it into the container: the object must survive helper.
+        let mut p = Program::new();
+        let c = p.add_class(ClassDef::new("Node", 1));
+        let helper = p.add_method(MethodDef::new(
+            "helper",
+            1,
+            2,
+            vec![
+                Insn::New { class: c, dst: 1 },
+                Insn::PutField { object: 0, field: 0, value: 1 },
+                Insn::Return { value: None },
+            ],
+        ));
+        let main = p.add_method(MethodDef::new(
+            "main",
+            0,
+            2,
+            vec![
+                Insn::New { class: c, dst: 0 },
+                Insn::Call { method: helper, args: vec![0], dst: None },
+                Insn::GetField { object: 0, field: 0, dst: 1 },
+                Insn::GetField { object: 1, field: 0, dst: 1 },
+                Insn::Return { value: None },
+            ],
+        ));
+        p.set_entry(main);
+        let vm = run(p);
+        let stats = vm.collector().stats();
+        assert_eq!(stats.objects_created, 2);
+        assert_eq!(stats.objects_collected, 2);
+        assert_eq!(stats.unions, 1);
+        // Both objects die together when main pops: one block of size 2.
+        assert_eq!(stats.block_sizes.bucket_count(1), 1);
+        assert_eq!(vm.heap().live_count(), 0);
+    }
+
+    #[test]
+    fn static_objects_are_never_collected() {
+        let mut p = Program::new();
+        let c = p.add_class(ClassDef::new("Global", 1));
+        let s = p.add_static();
+        let main = p.add_method(MethodDef::new(
+            "main",
+            0,
+            2,
+            vec![
+                Insn::New { class: c, dst: 0 },
+                Insn::PutStatic { static_id: s, value: 0 },
+                Insn::New { class: c, dst: 1 },
+                Insn::Return { value: None },
+            ],
+        ));
+        p.set_entry(main);
+        let mut vm = run(p);
+        let breakdown = vm.collector_mut().breakdown();
+        assert_eq!(breakdown.popped, 1);
+        assert_eq!(breakdown.static_objects, 1);
+        assert_eq!(vm.heap().live_count(), 1);
+    }
+
+    #[test]
+    fn static_optimization_avoids_contaminating_the_referencer() {
+        // A static object is stored INTO a local object: with the §3.4
+        // optimisation the local object must still be collectable.
+        let build = || {
+            let mut p = Program::new();
+            let c = p.add_class(ClassDef::new("Node", 1));
+            let s = p.add_static();
+            let helper = p.add_method(MethodDef::new(
+                "helper",
+                0,
+                3,
+                vec![
+                    // local object
+                    Insn::New { class: c, dst: 0 },
+                    // read the static and store it into the local object
+                    Insn::GetStatic { static_id: s, dst: 1 },
+                    Insn::PutField { object: 0, field: 0, value: 1 },
+                    Insn::Return { value: None },
+                ],
+            ));
+            let main = p.add_method(MethodDef::new(
+                "main",
+                0,
+                1,
+                vec![
+                    Insn::New { class: c, dst: 0 },
+                    Insn::PutStatic { static_id: s, value: 0 },
+                    Insn::Call { method: helper, args: vec![], dst: None },
+                    Insn::Return { value: None },
+                ],
+            ));
+            p.set_entry(main);
+            p
+        };
+
+        let vm_opt = run_with(build(), CgConfig::default());
+        let vm_noopt = run_with(build(), CgConfig::without_static_opt());
+
+        // With the optimisation: the helper's object dies when helper pops.
+        assert_eq!(vm_opt.collector().stats().objects_collected, 1);
+        assert_eq!(vm_opt.collector().stats().static_opt_skips, 1);
+        // Without it: the helper's object is dragged into the static set.
+        assert_eq!(vm_noopt.collector().stats().objects_collected, 0);
+        assert!(vm_noopt.collector().stats().static_opt_skips == 0);
+    }
+
+    #[test]
+    fn contamination_cannot_be_undone() {
+        // E (static) contaminates D, then points away (step 5 of Figure 2.2):
+        // D stays static even though nothing references it any more.
+        let mut p = Program::new();
+        let c = p.add_class(ClassDef::new("Node", 1));
+        let s = p.add_static();
+        let helper = p.add_method(MethodDef::new(
+            "helper",
+            0,
+            3,
+            vec![
+                Insn::New { class: c, dst: 0 },       // D
+                Insn::GetStatic { static_id: s, dst: 1 }, // E
+                Insn::PutField { object: 1, field: 0, value: 0 }, // E.f = D  (contaminates D)
+                Insn::LoadNull { dst: 2 },
+                Insn::PutField { object: 1, field: 0, value: 2 }, // E.f = null (points away)
+                Insn::Return { value: None },
+            ],
+        ));
+        let main = p.add_method(MethodDef::new(
+            "main",
+            0,
+            1,
+            vec![
+                Insn::New { class: c, dst: 0 },
+                Insn::PutStatic { static_id: s, value: 0 },
+                Insn::Call { method: helper, args: vec![], dst: None },
+                Insn::Return { value: None },
+            ],
+        ));
+        p.set_entry(main);
+        let mut vm = run(p);
+        // D was contaminated by a static object: it is never collected,
+        // even though it is actually garbage after step 5.
+        assert_eq!(vm.collector().stats().objects_collected, 0);
+        let breakdown = vm.collector_mut().breakdown();
+        assert_eq!(breakdown.static_objects, 2);
+        assert_eq!(vm.heap().live_count(), 2);
+    }
+
+    #[test]
+    fn thread_shared_objects_become_static() {
+        let mut p = Program::new();
+        let c = p.add_class(ClassDef::new("Shared", 1));
+        let worker = p.add_method(MethodDef::new(
+            "worker",
+            1,
+            2,
+            vec![
+                Insn::New { class: c, dst: 1 },
+                Insn::PutField { object: 0, field: 0, value: 1 },
+                Insn::Return { value: None },
+            ],
+        ));
+        let main = p.add_method(MethodDef::new(
+            "main",
+            0,
+            1,
+            vec![
+                Insn::New { class: c, dst: 0 },
+                Insn::SpawnThread { method: worker, args: vec![0] },
+                Insn::Return { value: None },
+            ],
+        ));
+        p.set_entry(main);
+        let mut vm = run(p);
+        let breakdown = vm.collector_mut().breakdown();
+        // The shared object is pinned as thread-shared; the worker's own
+        // object contaminated it (stored into it) and is dragged along
+        // unless the static optimisation applies — it does, since the shared
+        // object is already static when the worker stores into it... the
+        // worker stores its object INTO the shared one (shared.f = mine), so
+        // the source is the shared (static) object and the optimisation does
+        // not apply: both end up static.
+        assert_eq!(breakdown.thread_shared, 2);
+        assert_eq!(breakdown.popped, 0);
+        assert!(vm.collector().stats().objects_thread_shared >= 1);
+    }
+
+    #[test]
+    fn interned_objects_are_static() {
+        let mut p = Program::new();
+        let c = p.add_class(ClassDef::new("Str", 1));
+        let main = p.add_method(MethodDef::new(
+            "main",
+            0,
+            2,
+            vec![
+                Insn::New { class: c, dst: 0 },
+                Insn::Intern { key: 42, src: 0, dst: 1 },
+                Insn::New { class: c, dst: 0 },
+                Insn::Intern { key: 42, src: 0, dst: 1 },
+                Insn::Return { value: None },
+            ],
+        ));
+        p.set_entry(main);
+        let mut vm = run(p);
+        let breakdown = vm.collector_mut().breakdown();
+        // The first object is interned (static); the second maps to the
+        // first and itself dies with main.
+        assert_eq!(breakdown.static_objects, 1);
+        assert_eq!(breakdown.popped, 1);
+    }
+
+    #[test]
+    fn recycling_reuses_dead_objects() {
+        // helper() allocates an object that dies on return; called many
+        // times, later allocations must be served from the recycle list.
+        let mut p = Program::new();
+        let c = p.add_class(ClassDef::new("Temp", 2));
+        let helper = p.add_method(MethodDef::new(
+            "helper",
+            0,
+            1,
+            vec![Insn::New { class: c, dst: 0 }, Insn::Return { value: None }],
+        ));
+        let main = p.add_method(MethodDef::new(
+            "main",
+            0,
+            1,
+            vec![
+                Insn::Call { method: helper, args: vec![], dst: None },
+                Insn::Call { method: helper, args: vec![], dst: None },
+                Insn::Call { method: helper, args: vec![], dst: None },
+                Insn::Call { method: helper, args: vec![], dst: None },
+                Insn::Return { value: None },
+            ],
+        ));
+        p.set_entry(main);
+        let vm = run_with(p, CgConfig::with_recycling());
+        let stats = vm.collector().stats();
+        assert_eq!(stats.objects_created, 4);
+        // The first call allocates fresh; the remaining three reuse it.
+        assert_eq!(stats.objects_recycled, 3);
+        assert_eq!(vm.stats().recycled_allocations, 3);
+        // Only one object was ever taken from the heap.
+        assert_eq!(vm.heap().stats().objects_allocated, 1);
+    }
+
+    #[test]
+    fn collector_name_reflects_configuration() {
+        assert_eq!(ContaminatedGc::new().name(), "cg");
+        assert_eq!(ContaminatedGc::with_config(CgConfig::with_recycling()).name(), "cg+recycle");
+        assert!(CgConfig::preferred().static_opt);
+        assert!(!CgConfig::without_static_opt().static_opt);
+    }
+
+    #[test]
+    fn deep_call_chains_record_age_at_death() {
+        // A chain of calls each returning an object allocated at the bottom:
+        // the object climbs several frames before dying.
+        let mut p = Program::new();
+        let c = p.add_class(ClassDef::new("Deep", 1));
+        // depth3() -> new object
+        let depth3 = p.add_method(MethodDef::new(
+            "depth3",
+            0,
+            1,
+            vec![Insn::New { class: c, dst: 0 }, Insn::Return { value: Some(0) }],
+        ));
+        let depth2 = p.add_method(MethodDef::new(
+            "depth2",
+            0,
+            1,
+            vec![
+                Insn::Call { method: depth3, args: vec![], dst: Some(0) },
+                Insn::Return { value: Some(0) },
+            ],
+        ));
+        let depth1 = p.add_method(MethodDef::new(
+            "depth1",
+            0,
+            1,
+            vec![
+                Insn::Call { method: depth2, args: vec![], dst: Some(0) },
+                Insn::Return { value: Some(0) },
+            ],
+        ));
+        let main = p.add_method(MethodDef::new(
+            "main",
+            0,
+            1,
+            vec![
+                Insn::Call { method: depth1, args: vec![], dst: Some(0) },
+                Insn::Return { value: None },
+            ],
+        ));
+        p.set_entry(main);
+        let vm = run(p);
+        let stats = vm.collector().stats();
+        assert_eq!(stats.objects_created, 1);
+        assert_eq!(stats.objects_collected, 1);
+        // Born at depth 4 (main=1, depth1=2, depth2=3, depth3=4), dies when
+        // main (depth 1) pops: frame distance 3.
+        assert_eq!(stats.age_at_death.bucket_count(3), 1);
+        assert_eq!(stats.returns_retargeted, 3);
+    }
+
+    #[test]
+    fn purge_unreachable_counts_msa_collected() {
+        let vm = run(non_escaping_program(1));
+        let mut cg = vm.collector().clone();
+        // Simulate a traditional collection that finds nothing live.
+        let live = vec![false; 1];
+        let before = cg.stats().reset_collected_by_msa;
+        cg.purge_unreachable(&live);
+        // The single object was already collected by CG, so nothing new.
+        assert_eq!(cg.stats().reset_collected_by_msa, before);
+    }
+
+    #[test]
+    fn breakdown_accounts_for_every_object() {
+        let mut p = Program::new();
+        let c = p.add_class(ClassDef::new("Mix", 1));
+        let s = p.add_static();
+        let helper = p.add_method(MethodDef::new(
+            "helper",
+            0,
+            1,
+            vec![Insn::New { class: c, dst: 0 }, Insn::Return { value: None }],
+        ));
+        let main = p.add_method(MethodDef::new(
+            "main",
+            0,
+            1,
+            vec![
+                Insn::New { class: c, dst: 0 },
+                Insn::PutStatic { static_id: s, value: 0 },
+                Insn::Call { method: helper, args: vec![], dst: None },
+                Insn::Call { method: helper, args: vec![], dst: None },
+                Insn::Return { value: None },
+            ],
+        ));
+        p.set_entry(main);
+        let mut vm = run(p);
+        let created = vm.collector().stats().objects_created;
+        let breakdown = vm.collector_mut().breakdown();
+        assert_eq!(breakdown.total(), created);
+        assert_eq!(breakdown.popped, 2);
+        assert_eq!(breakdown.static_objects, 1);
+    }
+}

@@ -1,0 +1,133 @@
+//! Heap error types.
+
+use crate::value::{ClassId, Handle};
+
+/// Errors reported by heap operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HeapError {
+    /// The object space has no free block large enough for the request.
+    ///
+    /// The VM responds by invoking the installed collector and retrying; if
+    /// the retry also fails the program terminates with this error.
+    OutOfObjectSpace {
+        /// Bytes requested.
+        requested: usize,
+        /// Bytes currently free (possibly fragmented).
+        free: usize,
+    },
+    /// The handle space cannot hold another live handle.
+    OutOfHandleSpace {
+        /// The configured maximum number of live handles.
+        capacity: usize,
+    },
+    /// The handle does not name a live object (never allocated or already
+    /// freed).
+    DeadHandle(Handle),
+    /// A field index was out of range for the object.
+    BadField {
+        /// The object accessed.
+        handle: Handle,
+        /// The requested field or element index.
+        index: usize,
+        /// The number of fields or elements the object actually has.
+        len: usize,
+    },
+    /// An array operation was attempted on a non-array object or vice versa.
+    KindMismatch {
+        /// The object accessed.
+        handle: Handle,
+        /// What the operation expected ("array" or "instance").
+        expected: &'static str,
+    },
+    /// Reinitialisation (object recycling) requested a different size than
+    /// the dead object provides.
+    RecycleSizeMismatch {
+        /// The recycled handle.
+        handle: Handle,
+        /// The class requested for the new object.
+        class: ClassId,
+        /// Bytes the dead object occupies.
+        available: usize,
+        /// Bytes the new object needs.
+        requested: usize,
+    },
+}
+
+impl std::fmt::Display for HeapError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HeapError::OutOfObjectSpace { requested, free } => {
+                write!(f, "object space exhausted: requested {requested} bytes, {free} free")
+            }
+            HeapError::OutOfHandleSpace { capacity } => {
+                write!(f, "handle space exhausted: capacity {capacity} handles")
+            }
+            HeapError::DeadHandle(h) => write!(f, "handle {h} does not name a live object"),
+            HeapError::BadField { handle, index, len } => {
+                write!(f, "field index {index} out of range for {handle} (len {len})")
+            }
+            HeapError::KindMismatch { handle, expected } => {
+                write!(f, "object {handle} is not an {expected}")
+            }
+            HeapError::RecycleSizeMismatch {
+                handle,
+                class,
+                available,
+                requested,
+            } => write!(
+                f,
+                "cannot recycle {handle} into class {class}: has {available} bytes, needs {requested}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for HeapError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = HeapError::OutOfObjectSpace {
+            requested: 64,
+            free: 16,
+        };
+        assert!(e.to_string().contains("64"));
+        assert!(e.to_string().contains("16"));
+
+        let e = HeapError::DeadHandle(Handle::from_index(3));
+        assert!(e.to_string().contains("h3"));
+
+        let e = HeapError::BadField {
+            handle: Handle::from_index(1),
+            index: 9,
+            len: 2,
+        };
+        assert!(e.to_string().contains("9"));
+
+        let e = HeapError::KindMismatch {
+            handle: Handle::from_index(1),
+            expected: "array",
+        };
+        assert!(e.to_string().contains("array"));
+
+        let e = HeapError::OutOfHandleSpace { capacity: 100 };
+        assert!(e.to_string().contains("100"));
+
+        let e = HeapError::RecycleSizeMismatch {
+            handle: Handle::from_index(2),
+            class: ClassId::new(1),
+            available: 16,
+            requested: 32,
+        };
+        assert!(e.to_string().contains("32"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn assert_error<E: std::error::Error + Send + Sync + 'static>() {}
+        assert_error::<HeapError>();
+    }
+}

@@ -1,0 +1,485 @@
+//! The object-space allocator: a first-fit free list over a simulated
+//! address range, modelled on the JDK 1.1.8 allocator the paper describes.
+//!
+//! The original allocator "does a linear search through the object pool to
+//! find the first object that is at least as big as requested (and also tries
+//! to coalesce two contiguous objects to make a block big enough)" and "keeps
+//! track of the last location where it allocated an object from" (§3.7).
+//! [`ObjectSpace`] reproduces exactly that: a rover cursor, first-fit search
+//! with wrap-around, block splitting, and coalescing of adjacent free blocks
+//! when objects are freed.
+
+use std::collections::BTreeMap;
+
+/// Address of a block within the object space (byte offset from the start of
+/// the space).
+pub type BlockAddr = usize;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Block {
+    size: usize,
+    free: bool,
+}
+
+/// Statistics describing the current state of the object space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SpaceStats {
+    /// Total capacity in bytes.
+    pub capacity: usize,
+    /// Bytes currently allocated.
+    pub used: usize,
+    /// Bytes currently free (possibly fragmented).
+    pub free: usize,
+    /// Size of the largest single free block.
+    pub largest_free_block: usize,
+    /// Number of free blocks (a measure of fragmentation).
+    pub free_blocks: usize,
+    /// Number of allocated blocks.
+    pub allocated_blocks: usize,
+}
+
+/// A first-fit, coalescing free-list allocator over `capacity` bytes.
+///
+/// # Example
+///
+/// ```
+/// use cg_heap::ObjectSpace;
+///
+/// let mut space = ObjectSpace::new(64);
+/// let a = space.alloc(16).unwrap();
+/// let b = space.alloc(16).unwrap();
+/// assert_ne!(a, b);
+/// space.free(a);
+/// // First-fit continues from the rover (past `b`), so the next allocation
+/// // lands after `b` rather than reusing `a` immediately.
+/// let c = space.alloc(16).unwrap();
+/// assert!(c > b);
+/// assert_eq!(space.stats().used, 32);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ObjectSpace {
+    capacity: usize,
+    /// Every block (free or allocated), keyed by starting address.  Adjacent
+    /// free blocks are always coalesced, so two free blocks are never
+    /// neighbours.
+    blocks: BTreeMap<BlockAddr, Block>,
+    /// The rover: the address just past the most recent allocation, where the
+    /// next first-fit search begins.
+    rover: BlockAddr,
+    used: usize,
+    /// Cumulative number of blocks examined by first-fit searches; the
+    /// recycling experiment (§4.8) contrasts this cost against the recycle
+    /// list's.
+    search_steps: u64,
+    allocations: u64,
+    frees: u64,
+}
+
+impl ObjectSpace {
+    /// Creates an empty object space of `capacity` bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "object space capacity must be positive");
+        let mut blocks = BTreeMap::new();
+        blocks.insert(0, Block { size: capacity, free: true });
+        Self {
+            capacity,
+            blocks,
+            rover: 0,
+            used: 0,
+            search_steps: 0,
+            allocations: 0,
+            frees: 0,
+        }
+    }
+
+    /// Total capacity in bytes.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Bytes currently allocated.
+    pub fn used(&self) -> usize {
+        self.used
+    }
+
+    /// Bytes currently free.
+    pub fn free_bytes(&self) -> usize {
+        self.capacity - self.used
+    }
+
+    /// Number of completed allocations.
+    pub fn allocations(&self) -> u64 {
+        self.allocations
+    }
+
+    /// Number of completed frees.
+    pub fn frees(&self) -> u64 {
+        self.frees
+    }
+
+    /// Cumulative number of blocks examined during first-fit searches.
+    pub fn search_steps(&self) -> u64 {
+        self.search_steps
+    }
+
+    /// Allocates `size` bytes, returning the block address, or `None` if no
+    /// free block is large enough.
+    ///
+    /// The search is first-fit starting at the rover (the point of the last
+    /// allocation) and wraps around to the beginning of the space, exactly
+    /// like the JDK 1.1.8 allocator the paper builds on.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size` is zero.
+    pub fn alloc(&mut self, size: usize) -> Option<BlockAddr> {
+        assert!(size > 0, "cannot allocate zero bytes");
+        let found = self
+            .find_first_fit(self.rover, size)
+            .or_else(|| self.find_first_fit(0, size))?;
+        self.carve(found, size);
+        self.rover = found + size;
+        if self.rover >= self.capacity {
+            self.rover = 0;
+        }
+        self.used += size;
+        self.allocations += 1;
+        Some(found)
+    }
+
+    /// Frees the block starting at `addr`, coalescing it with any free
+    /// neighbours.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is not the start of an allocated block (double frees
+    /// and wild frees are programming errors in the VM, not recoverable
+    /// conditions).
+    pub fn free(&mut self, addr: BlockAddr) {
+        let block = self
+            .blocks
+            .get_mut(&addr)
+            .unwrap_or_else(|| panic!("free of unknown block address {addr}"));
+        assert!(!block.free, "double free of block at address {addr}");
+        block.free = true;
+        let size = block.size;
+        self.used -= size;
+        self.frees += 1;
+        self.coalesce_around(addr);
+    }
+
+    /// The size of the allocated block starting at `addr`, if there is one.
+    pub fn block_size(&self, addr: BlockAddr) -> Option<usize> {
+        self.blocks.get(&addr).filter(|b| !b.free).map(|b| b.size)
+    }
+
+    /// Current space statistics.
+    pub fn stats(&self) -> SpaceStats {
+        let mut largest = 0;
+        let mut free_blocks = 0;
+        let mut allocated_blocks = 0;
+        for block in self.blocks.values() {
+            if block.free {
+                free_blocks += 1;
+                largest = largest.max(block.size);
+            } else {
+                allocated_blocks += 1;
+            }
+        }
+        SpaceStats {
+            capacity: self.capacity,
+            used: self.used,
+            free: self.free_bytes(),
+            largest_free_block: largest,
+            free_blocks,
+            allocated_blocks,
+        }
+    }
+
+    /// Verifies internal invariants (contiguity, no adjacent free blocks,
+    /// accounting).  Used by tests and debug assertions.
+    pub fn check_invariants(&self) {
+        let mut cursor = 0usize;
+        let mut used = 0usize;
+        let mut prev_free = false;
+        for (&addr, block) in &self.blocks {
+            assert_eq!(addr, cursor, "blocks must tile the space contiguously");
+            assert!(block.size > 0, "zero-sized block at {addr}");
+            if block.free {
+                assert!(!prev_free, "adjacent free blocks were not coalesced at {addr}");
+            } else {
+                used += block.size;
+            }
+            prev_free = block.free;
+            cursor += block.size;
+        }
+        assert_eq!(cursor, self.capacity, "blocks must cover the whole space");
+        assert_eq!(used, self.used, "used-byte accounting drifted");
+    }
+
+    /// Finds the first free block at or after `start` that can hold `size`
+    /// bytes.
+    fn find_first_fit(&mut self, start: BlockAddr, size: usize) -> Option<BlockAddr> {
+        let mut steps = 0u64;
+        let found = self
+            .blocks
+            .range(start..)
+            .filter(|(_, block)| block.free)
+            .find(|(_, block)| {
+                steps += 1;
+                block.size >= size
+            })
+            .map(|(&addr, _)| addr);
+        self.search_steps += steps;
+        found
+    }
+
+    /// Marks `size` bytes at the start of the free block at `addr` as
+    /// allocated, splitting off the remainder as a new free block.
+    fn carve(&mut self, addr: BlockAddr, size: usize) {
+        let block = self.blocks[&addr];
+        debug_assert!(block.free && block.size >= size);
+        let remainder = block.size - size;
+        self.blocks.insert(addr, Block { size, free: false });
+        if remainder > 0 {
+            self.blocks.insert(addr + size, Block { size: remainder, free: true });
+        }
+    }
+
+    /// Coalesces the free block at `addr` with free neighbours on both sides.
+    fn coalesce_around(&mut self, addr: BlockAddr) {
+        let mut start = addr;
+        let mut size = self.blocks[&addr].size;
+
+        // Merge with the following block if it is free.
+        let next_addr = addr + size;
+        if let Some(next) = self.blocks.get(&next_addr) {
+            if next.free {
+                size += next.size;
+                self.blocks.remove(&next_addr);
+            }
+        }
+
+        // Merge with the preceding block if it is free.
+        if let Some((&prev_addr, prev)) = self.blocks.range(..addr).next_back() {
+            if prev.free && prev_addr + prev.size == addr {
+                start = prev_addr;
+                size += prev.size;
+                self.blocks.remove(&addr);
+            }
+        }
+
+        self.blocks.insert(start, Block { size, free: true });
+        // Keep the rover pointing at a valid address.
+        if self.rover >= self.capacity {
+            self.rover = 0;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn zero_capacity_panics() {
+        let _ = ObjectSpace::new(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero bytes")]
+    fn zero_alloc_panics() {
+        let mut s = ObjectSpace::new(16);
+        s.alloc(0);
+    }
+
+    #[test]
+    fn alloc_until_full_then_fail() {
+        let mut s = ObjectSpace::new(64);
+        let mut addrs = Vec::new();
+        for _ in 0..4 {
+            addrs.push(s.alloc(16).unwrap());
+        }
+        assert_eq!(s.used(), 64);
+        assert_eq!(s.free_bytes(), 0);
+        assert!(s.alloc(1).is_none());
+        // Addresses are distinct and within bounds.
+        addrs.sort_unstable();
+        addrs.dedup();
+        assert_eq!(addrs.len(), 4);
+        assert!(addrs.iter().all(|&a| a < 64));
+        s.check_invariants();
+    }
+
+    #[test]
+    fn free_makes_space_reusable() {
+        let mut s = ObjectSpace::new(64);
+        let a = s.alloc(32).unwrap();
+        let _b = s.alloc(32).unwrap();
+        assert!(s.alloc(8).is_none());
+        s.free(a);
+        let c = s.alloc(32).unwrap();
+        assert_eq!(c, a);
+        s.check_invariants();
+    }
+
+    #[test]
+    fn coalescing_merges_neighbours() {
+        let mut s = ObjectSpace::new(96);
+        let a = s.alloc(32).unwrap();
+        let b = s.alloc(32).unwrap();
+        let c = s.alloc(32).unwrap();
+        // Free middle then left: they must coalesce so a 64-byte block fits.
+        s.free(b);
+        s.free(a);
+        s.check_invariants();
+        assert_eq!(s.stats().largest_free_block, 64);
+        let d = s.alloc(64).unwrap();
+        assert_eq!(d, a);
+        s.free(c);
+        s.free(d);
+        s.check_invariants();
+        assert_eq!(s.stats().free_blocks, 1);
+        assert_eq!(s.stats().largest_free_block, 96);
+    }
+
+    #[test]
+    fn rover_advances_past_last_allocation() {
+        let mut s = ObjectSpace::new(64);
+        let a = s.alloc(16).unwrap();
+        let b = s.alloc(16).unwrap();
+        s.free(a);
+        // First-fit from the rover prefers the block after b even though a is
+        // free, matching the JDK allocator's behaviour of continuing from the
+        // last allocation point.
+        let c = s.alloc(16).unwrap();
+        assert!(c > b);
+        // Wrap-around finds a once the tail is exhausted.
+        let d = s.alloc(16).unwrap();
+        let e = s.alloc(16).unwrap();
+        assert_eq!([d, e].iter().filter(|&&x| x == a).count(), 1);
+        s.check_invariants();
+    }
+
+    #[test]
+    #[should_panic(expected = "double free")]
+    fn double_free_panics() {
+        let mut s = ObjectSpace::new(32);
+        let a = s.alloc(16).unwrap();
+        s.free(a);
+        s.free(a);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown block")]
+    fn wild_free_panics() {
+        let mut s = ObjectSpace::new(32);
+        let _a = s.alloc(16).unwrap();
+        s.free(3);
+    }
+
+    #[test]
+    fn block_size_reports_allocated_blocks_only() {
+        let mut s = ObjectSpace::new(64);
+        let a = s.alloc(24).unwrap();
+        assert_eq!(s.block_size(a), Some(24));
+        s.free(a);
+        assert_eq!(s.block_size(a), None);
+        assert_eq!(s.block_size(999), None);
+    }
+
+    #[test]
+    fn stats_track_counts() {
+        let mut s = ObjectSpace::new(128);
+        let a = s.alloc(16).unwrap();
+        let _b = s.alloc(16).unwrap();
+        s.free(a);
+        let st = s.stats();
+        assert_eq!(st.capacity, 128);
+        assert_eq!(st.used, 16);
+        assert_eq!(st.free, 112);
+        assert_eq!(st.allocated_blocks, 1);
+        assert!(st.free_blocks >= 1);
+        assert_eq!(s.allocations(), 2);
+        assert_eq!(s.frees(), 1);
+        assert!(s.search_steps() >= 2);
+    }
+
+    #[test]
+    fn fragmentation_can_cause_failure_despite_total_space() {
+        let mut s = ObjectSpace::new(64);
+        let a = s.alloc(16).unwrap();
+        let _b = s.alloc(16).unwrap();
+        let c = s.alloc(16).unwrap();
+        let _d = s.alloc(16).unwrap();
+        s.free(a);
+        s.free(c);
+        // 32 bytes free, but split into two 16-byte holes.
+        assert_eq!(s.free_bytes(), 32);
+        assert!(s.alloc(32).is_none());
+        s.check_invariants();
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+        use rand::{rngs::StdRng, seq::SliceRandom, Rng, SeedableRng};
+
+        proptest! {
+            /// Random alloc/free interleavings preserve all invariants and
+            /// never hand out overlapping blocks.
+            #[test]
+            fn random_workload_preserves_invariants(seed in 0u64..1000, ops in 10usize..200) {
+                let mut rng = StdRng::seed_from_u64(seed);
+                let mut space = ObjectSpace::new(4096);
+                let mut live: Vec<(BlockAddr, usize)> = Vec::new();
+                for _ in 0..ops {
+                    if live.is_empty() || rng.gen_bool(0.6) {
+                        let size = rng.gen_range(1usize..=128);
+                        if let Some(addr) = space.alloc(size) {
+                            // No overlap with any live block.
+                            for &(other, osize) in &live {
+                                prop_assert!(addr + size <= other || other + osize <= addr,
+                                    "overlap: [{},{}) vs [{},{})", addr, addr+size, other, other+osize);
+                            }
+                            live.push((addr, size));
+                        }
+                    } else {
+                        let idx = rng.gen_range(0..live.len());
+                        let (addr, _) = live.swap_remove(idx);
+                        space.free(addr);
+                    }
+                    space.check_invariants();
+                }
+                let live_total: usize = live.iter().map(|&(_, s)| s).sum();
+                prop_assert_eq!(space.used(), live_total);
+            }
+
+            /// Freeing everything always restores a single maximal free block.
+            #[test]
+            fn full_free_restores_whole_space(seed in 0u64..1000) {
+                let mut rng = StdRng::seed_from_u64(seed);
+                let mut space = ObjectSpace::new(2048);
+                let mut live = Vec::new();
+                while let Some(addr) = space.alloc(rng.gen_range(1usize..=64)) {
+                    live.push(addr);
+                    if live.len() > 200 { break; }
+                }
+                live.shuffle(&mut rng);
+                for addr in live {
+                    space.free(addr);
+                }
+                space.check_invariants();
+                let st = space.stats();
+                prop_assert_eq!(st.used, 0);
+                prop_assert_eq!(st.free_blocks, 1);
+                prop_assert_eq!(st.largest_free_block, 2048);
+            }
+        }
+    }
+}

@@ -1,0 +1,553 @@
+//! The heap: handle table plus object space.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::HeapError;
+use crate::freelist::{BlockAddr, ObjectSpace};
+use crate::layout::HeapConfig;
+use crate::object::Object;
+use crate::value::{ClassId, Handle, Value};
+
+/// Cumulative heap activity counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HeapStats {
+    /// Objects ever allocated (instances + arrays), excluding recycled
+    /// reinitialisations.
+    pub objects_allocated: u64,
+    /// Objects freed back to the object space.
+    pub objects_freed: u64,
+    /// Total bytes ever requested from the object space.
+    pub bytes_allocated: u64,
+    /// Allocation attempts that failed for lack of object space (before any
+    /// collector intervention).
+    pub allocation_failures: u64,
+    /// Objects handed back to the program by reinitialising a dead object in
+    /// place (the §3.7 recycling path).
+    pub objects_recycled: u64,
+    /// The largest number of simultaneously live objects observed.
+    pub peak_live_objects: u64,
+}
+
+#[derive(Debug, Clone)]
+struct Slot {
+    object: Object,
+    addr: BlockAddr,
+}
+
+/// The handle-indirected heap: a handle table in front of a first-fit object
+/// space, mirroring the JDK 1.1.8 storage manager the paper modifies.
+///
+/// # Example
+///
+/// ```
+/// use cg_heap::{Heap, HeapConfig, ClassId, Value};
+///
+/// let mut heap = Heap::new(HeapConfig::small());
+/// let list_class = ClassId::new(0);
+/// let node = heap.allocate(list_class, 2)?;
+/// let payload = heap.allocate(list_class, 0)?;
+/// heap.set_field(node, 0, Value::from(payload))?;
+/// assert_eq!(heap.references_of(node), vec![payload]);
+/// assert_eq!(heap.live_count(), 2);
+/// heap.free(payload)?;
+/// assert_eq!(heap.live_count(), 1);
+/// # Ok::<(), cg_heap::HeapError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Heap {
+    config: HeapConfig,
+    space: ObjectSpace,
+    slots: Vec<Option<Slot>>,
+    live: usize,
+    stats: HeapStats,
+}
+
+impl Heap {
+    /// Creates an empty heap with the given configuration.
+    pub fn new(config: HeapConfig) -> Self {
+        Self {
+            config,
+            space: ObjectSpace::new(config.object_space_bytes),
+            slots: Vec::new(),
+            live: 0,
+            stats: HeapStats::default(),
+        }
+    }
+
+    /// The heap's configuration.
+    pub fn config(&self) -> &HeapConfig {
+        &self.config
+    }
+
+    /// Cumulative activity counters.
+    pub fn stats(&self) -> &HeapStats {
+        &self.stats
+    }
+
+    /// The underlying object space (for allocator statistics).
+    pub fn object_space(&self) -> &ObjectSpace {
+        &self.space
+    }
+
+    /// Number of currently live objects.
+    pub fn live_count(&self) -> usize {
+        self.live
+    }
+
+    /// Number of handles ever minted (live + retired).
+    pub fn handles_minted(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Bytes currently occupied in the object space.
+    pub fn bytes_in_use(&self) -> usize {
+        self.space.used()
+    }
+
+    /// Bytes currently free in the object space.
+    pub fn free_bytes(&self) -> usize {
+        self.space.free_bytes()
+    }
+
+    /// Whether `handle` names a live object.
+    pub fn is_live(&self, handle: Handle) -> bool {
+        self.slots
+            .get(handle.index_usize())
+            .map(|s| s.is_some())
+            .unwrap_or(false)
+    }
+
+    /// Allocates an instance of `class` with `field_count` reference/primitive
+    /// fields.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HeapError::OutOfObjectSpace`] when no free block fits and
+    /// [`HeapError::OutOfHandleSpace`] when the handle table is full; the VM
+    /// reacts by running the installed collector and retrying.
+    pub fn allocate(&mut self, class: ClassId, field_count: usize) -> Result<Handle, HeapError> {
+        let size = self.config.instance_bytes(field_count);
+        self.allocate_object(Object::instance(class, field_count, size))
+    }
+
+    /// Allocates an array of `class` with `length` elements.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Heap::allocate`].
+    pub fn allocate_array(&mut self, class: ClassId, length: usize) -> Result<Handle, HeapError> {
+        let size = self.config.array_bytes(length);
+        self.allocate_object(Object::array(class, length, size))
+    }
+
+    fn allocate_object(&mut self, object: Object) -> Result<Handle, HeapError> {
+        if self.live >= self.config.handle_capacity() {
+            self.stats.allocation_failures += 1;
+            return Err(HeapError::OutOfHandleSpace {
+                capacity: self.config.handle_capacity(),
+            });
+        }
+        let size = object.size_bytes();
+        let addr = match self.space.alloc(size) {
+            Some(addr) => addr,
+            None => {
+                self.stats.allocation_failures += 1;
+                return Err(HeapError::OutOfObjectSpace {
+                    requested: size,
+                    free: self.space.free_bytes(),
+                });
+            }
+        };
+        let handle = Handle::from_index(self.slots.len() as u32);
+        self.slots.push(Some(Slot { object, addr }));
+        self.live += 1;
+        self.stats.objects_allocated += 1;
+        self.stats.bytes_allocated += size as u64;
+        self.stats.peak_live_objects = self.stats.peak_live_objects.max(self.live as u64);
+        Ok(handle)
+    }
+
+    /// Frees the object named by `handle`, returning its size in bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HeapError::DeadHandle`] if the handle is not live.
+    pub fn free(&mut self, handle: Handle) -> Result<usize, HeapError> {
+        let slot = self
+            .slots
+            .get_mut(handle.index_usize())
+            .and_then(Option::take)
+            .ok_or(HeapError::DeadHandle(handle))?;
+        self.space.free(slot.addr);
+        self.live -= 1;
+        self.stats.objects_freed += 1;
+        Ok(slot.object.size_bytes())
+    }
+
+    /// Reinitialises a live (but logically dead) object in place so it can be
+    /// handed out as a fresh instance of `class` with `field_count` fields.
+    ///
+    /// This is the §3.7 recycling path: the object's storage and handle are
+    /// reused without a round-trip through the free list.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HeapError::DeadHandle`] if the handle is not live and
+    /// [`HeapError::RecycleSizeMismatch`] if the dead object cannot hold the
+    /// requested instance.
+    pub fn reinitialize(
+        &mut self,
+        handle: Handle,
+        class: ClassId,
+        field_count: usize,
+    ) -> Result<(), HeapError> {
+        let requested = self.config.instance_bytes(field_count);
+        let slot = self
+            .slots
+            .get_mut(handle.index_usize())
+            .and_then(Option::as_mut)
+            .ok_or(HeapError::DeadHandle(handle))?;
+        if slot.object.is_array() || slot.object.slot_count() < field_count {
+            return Err(HeapError::RecycleSizeMismatch {
+                handle,
+                class,
+                available: slot.object.size_bytes(),
+                requested,
+            });
+        }
+        slot.object.reinitialize(class);
+        self.stats.objects_recycled += 1;
+        Ok(())
+    }
+
+    /// Shared access to the object named by `handle`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HeapError::DeadHandle`] if the handle is not live.
+    pub fn get(&self, handle: Handle) -> Result<&Object, HeapError> {
+        self.slots
+            .get(handle.index_usize())
+            .and_then(Option::as_ref)
+            .map(|s| &s.object)
+            .ok_or(HeapError::DeadHandle(handle))
+    }
+
+    /// Mutable access to the object named by `handle`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HeapError::DeadHandle`] if the handle is not live.
+    pub fn get_mut(&mut self, handle: Handle) -> Result<&mut Object, HeapError> {
+        self.slots
+            .get_mut(handle.index_usize())
+            .and_then(Option::as_mut)
+            .map(|s| &mut s.object)
+            .ok_or(HeapError::DeadHandle(handle))
+    }
+
+    /// Reads slot `index` (field or array element) of the object.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HeapError::DeadHandle`] or [`HeapError::BadField`].
+    pub fn slot(&self, handle: Handle, index: usize) -> Result<Value, HeapError> {
+        let object = self.get(handle)?;
+        object.slots().get(index).copied().ok_or(HeapError::BadField {
+            handle,
+            index,
+            len: object.slot_count(),
+        })
+    }
+
+    /// Writes slot `index` (field or array element) of the object, returning
+    /// the previous value.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HeapError::DeadHandle`] or [`HeapError::BadField`].
+    pub fn set_slot(&mut self, handle: Handle, index: usize, value: Value) -> Result<Value, HeapError> {
+        let object = self.get_mut(handle)?;
+        let len = object.slot_count();
+        let slot = object
+            .slots_mut()
+            .get_mut(index)
+            .ok_or(HeapError::BadField { handle, index, len })?;
+        Ok(std::mem::replace(slot, value))
+    }
+
+    /// Reads a field of an instance object.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HeapError::KindMismatch`] for arrays, otherwise as
+    /// [`Heap::slot`].
+    pub fn field(&self, handle: Handle, index: usize) -> Result<Value, HeapError> {
+        if self.get(handle)?.is_array() {
+            return Err(HeapError::KindMismatch { handle, expected: "instance" });
+        }
+        self.slot(handle, index)
+    }
+
+    /// Writes a field of an instance object, returning the previous value.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HeapError::KindMismatch`] for arrays, otherwise as
+    /// [`Heap::set_slot`].
+    pub fn set_field(&mut self, handle: Handle, index: usize, value: Value) -> Result<Value, HeapError> {
+        if self.get(handle)?.is_array() {
+            return Err(HeapError::KindMismatch { handle, expected: "instance" });
+        }
+        self.set_slot(handle, index, value)
+    }
+
+    /// Reads an array element.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HeapError::KindMismatch`] for non-arrays, otherwise as
+    /// [`Heap::slot`].
+    pub fn element(&self, handle: Handle, index: usize) -> Result<Value, HeapError> {
+        if !self.get(handle)?.is_array() {
+            return Err(HeapError::KindMismatch { handle, expected: "array" });
+        }
+        self.slot(handle, index)
+    }
+
+    /// Writes an array element, returning the previous value.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HeapError::KindMismatch`] for non-arrays, otherwise as
+    /// [`Heap::set_slot`].
+    pub fn set_element(&mut self, handle: Handle, index: usize, value: Value) -> Result<Value, HeapError> {
+        if !self.get(handle)?.is_array() {
+            return Err(HeapError::KindMismatch { handle, expected: "array" });
+        }
+        self.set_slot(handle, index, value)
+    }
+
+    /// The handles referenced by the object named by `handle` (empty if the
+    /// handle is dead).
+    pub fn references_of(&self, handle: Handle) -> Vec<Handle> {
+        self.get(handle).map(|o| o.references()).unwrap_or_default()
+    }
+
+    /// Iterates over all currently live handles.
+    pub fn live_handles(&self) -> impl Iterator<Item = Handle> + '_ {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| s.as_ref().map(|_| Handle::from_index(i as u32)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layout::HandleRepr;
+
+    fn heap() -> Heap {
+        Heap::new(HeapConfig::small())
+    }
+
+    fn class() -> ClassId {
+        ClassId::new(0)
+    }
+
+    #[test]
+    fn allocate_and_read_back() {
+        let mut h = heap();
+        let a = h.allocate(class(), 2).unwrap();
+        assert!(h.is_live(a));
+        assert_eq!(h.live_count(), 1);
+        assert_eq!(h.get(a).unwrap().slot_count(), 2);
+        assert_eq!(h.stats().objects_allocated, 1);
+        assert!(h.bytes_in_use() > 0);
+    }
+
+    #[test]
+    fn allocate_array_and_elements() {
+        let mut h = heap();
+        let arr = h.allocate_array(class(), 3).unwrap();
+        let obj = h.allocate(class(), 0).unwrap();
+        h.set_element(arr, 1, Value::from(obj)).unwrap();
+        assert_eq!(h.element(arr, 1).unwrap().as_handle(), Some(obj));
+        assert_eq!(h.references_of(arr), vec![obj]);
+        // Field accessors reject arrays and vice versa.
+        assert!(matches!(h.field(arr, 0), Err(HeapError::KindMismatch { .. })));
+        assert!(matches!(h.set_element(obj, 0, Value::NULL), Err(HeapError::KindMismatch { .. })));
+    }
+
+    #[test]
+    fn set_field_returns_previous_value() {
+        let mut h = heap();
+        let a = h.allocate(class(), 1).unwrap();
+        let b = h.allocate(class(), 0).unwrap();
+        let prev = h.set_field(a, 0, Value::from(b)).unwrap();
+        assert!(prev.is_null());
+        let prev = h.set_field(a, 0, Value::Int(5)).unwrap();
+        assert_eq!(prev.as_handle(), Some(b));
+    }
+
+    #[test]
+    fn bad_field_index_is_reported() {
+        let mut h = heap();
+        let a = h.allocate(class(), 1).unwrap();
+        assert!(matches!(h.field(a, 7), Err(HeapError::BadField { index: 7, len: 1, .. })));
+        assert!(matches!(h.set_field(a, 7, Value::NULL), Err(HeapError::BadField { .. })));
+    }
+
+    #[test]
+    fn free_releases_space_and_retires_handle() {
+        let mut h = heap();
+        let a = h.allocate(class(), 2).unwrap();
+        let used = h.bytes_in_use();
+        let freed = h.free(a).unwrap();
+        assert_eq!(freed, 16);
+        assert_eq!(h.bytes_in_use(), used - 16);
+        assert!(!h.is_live(a));
+        assert!(matches!(h.get(a), Err(HeapError::DeadHandle(_))));
+        assert!(matches!(h.free(a), Err(HeapError::DeadHandle(_))));
+        // Handle indices are not reused.
+        let b = h.allocate(class(), 0).unwrap();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn out_of_object_space_is_reported() {
+        // Tiny object space but a roomy handle table, so the object space is
+        // what runs out first.
+        let mut config = HeapConfig::tight(64);
+        config.handle_space_bytes = 1 << 16;
+        let mut h = Heap::new(config);
+        // Each 2-field object is 16 bytes; 4 fit.
+        for _ in 0..4 {
+            h.allocate(class(), 2).unwrap();
+        }
+        let err = h.allocate(class(), 2).unwrap_err();
+        assert!(matches!(err, HeapError::OutOfObjectSpace { requested: 16, .. }));
+        assert_eq!(h.stats().allocation_failures, 1);
+    }
+
+    #[test]
+    fn out_of_handle_space_is_reported() {
+        // 1 KiB object space with stock JDK handles: 256 / 8 = 32 handles.
+        let config = HeapConfig::with_object_space(1024, HandleRepr::Jdk);
+        let mut h = Heap::new(config);
+        let capacity = config.handle_capacity();
+        for _ in 0..capacity {
+            h.allocate(class(), 0).unwrap();
+        }
+        let err = h.allocate(class(), 0).unwrap_err();
+        assert!(matches!(err, HeapError::OutOfHandleSpace { .. }));
+    }
+
+    #[test]
+    fn freeing_allows_more_handles() {
+        let config = HeapConfig::with_object_space(1024, HandleRepr::Jdk);
+        let mut h = Heap::new(config);
+        let first = h.allocate(class(), 0).unwrap();
+        for _ in 1..config.handle_capacity() {
+            h.allocate(class(), 0).unwrap();
+        }
+        h.free(first).unwrap();
+        assert!(h.allocate(class(), 0).is_ok());
+    }
+
+    #[test]
+    fn reinitialize_recycles_in_place() {
+        let mut h = heap();
+        let a = h.allocate(class(), 3).unwrap();
+        let b = h.allocate(class(), 0).unwrap();
+        h.set_field(a, 0, Value::from(b)).unwrap();
+        let new_class = ClassId::new(9);
+        h.reinitialize(a, new_class, 2).unwrap();
+        assert_eq!(h.get(a).unwrap().class(), new_class);
+        assert!(h.references_of(a).is_empty());
+        assert_eq!(h.stats().objects_recycled, 1);
+        // Too-large requests are rejected.
+        assert!(matches!(
+            h.reinitialize(a, new_class, 8),
+            Err(HeapError::RecycleSizeMismatch { .. })
+        ));
+        // Arrays cannot be recycled into instances.
+        let arr = h.allocate_array(class(), 4).unwrap();
+        assert!(matches!(
+            h.reinitialize(arr, new_class, 1),
+            Err(HeapError::RecycleSizeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn live_handles_iterates_only_live() {
+        let mut h = heap();
+        let a = h.allocate(class(), 0).unwrap();
+        let b = h.allocate(class(), 0).unwrap();
+        let c = h.allocate(class(), 0).unwrap();
+        h.free(b).unwrap();
+        let live: Vec<Handle> = h.live_handles().collect();
+        assert_eq!(live, vec![a, c]);
+        assert_eq!(h.handles_minted(), 3);
+        assert_eq!(h.live_count(), 2);
+    }
+
+    #[test]
+    fn peak_live_tracks_high_water_mark() {
+        let mut h = heap();
+        let a = h.allocate(class(), 0).unwrap();
+        let _b = h.allocate(class(), 0).unwrap();
+        h.free(a).unwrap();
+        let _c = h.allocate(class(), 0).unwrap();
+        assert_eq!(h.stats().peak_live_objects, 2);
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+
+        proptest! {
+            /// Heap accounting (live count, bytes in use) always matches the
+            /// set of objects the test believes are live, across random
+            /// allocate/free/write workloads.
+            #[test]
+            fn accounting_matches_model(seed in 0u64..500, steps in 10usize..150) {
+                let mut rng = StdRng::seed_from_u64(seed);
+                let mut h = Heap::new(HeapConfig::with_object_space(1 << 16, HandleRepr::CgWide));
+                let mut live: Vec<(Handle, usize)> = Vec::new();
+                for _ in 0..steps {
+                    let roll: f64 = rng.gen();
+                    if live.is_empty() || roll < 0.55 {
+                        let fields = rng.gen_range(0usize..6);
+                        if let Ok(handle) = h.allocate(ClassId::new(0), fields) {
+                            live.push((handle, h.get(handle).unwrap().size_bytes()));
+                        }
+                    } else if roll < 0.8 {
+                        let idx = rng.gen_range(0..live.len());
+                        let (handle, _) = live.swap_remove(idx);
+                        h.free(handle).unwrap();
+                    } else {
+                        // Random reference store between live objects.
+                        let src = live[rng.gen_range(0..live.len())].0;
+                        let dst = live[rng.gen_range(0..live.len())].0;
+                        let slots = h.get(src).unwrap().slot_count();
+                        if slots > 0 {
+                            h.set_field(src, rng.gen_range(0..slots), Value::from(dst)).unwrap();
+                        }
+                    }
+                    h.object_space().check_invariants();
+                }
+                prop_assert_eq!(h.live_count(), live.len());
+                let expected_bytes: usize = live.iter().map(|&(_, s)| s).sum();
+                prop_assert_eq!(h.bytes_in_use(), expected_bytes);
+                // Every live handle resolves; references point at live objects only
+                // if the referent was not freed (the heap does not chase pointers).
+                for &(handle, _) in &live {
+                    prop_assert!(h.get(handle).is_ok());
+                }
+            }
+        }
+    }
+}

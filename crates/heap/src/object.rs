@@ -1,0 +1,173 @@
+//! Heap objects: instances and arrays.
+
+use serde::{Deserialize, Serialize};
+
+use crate::value::{ClassId, Handle, Value};
+
+/// The shape of a heap object.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ObjectKind {
+    /// A class instance with a fixed number of fields.
+    Instance {
+        /// The instance's field values, indexed by field slot.
+        fields: Vec<Value>,
+    },
+    /// An array.  The paper treats an array as just another object — storing
+    /// into any element contaminates the whole array (§3.1.1, "Arrays").
+    Array {
+        /// The array elements.
+        elements: Vec<Value>,
+    },
+}
+
+/// A live heap object: its class, its storage, and its accounted size.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Object {
+    class: ClassId,
+    kind: ObjectKind,
+    /// Bytes charged to the object space for this object.
+    size_bytes: usize,
+}
+
+impl Object {
+    /// Creates an instance with `field_count` null/zero-initialised fields.
+    pub fn instance(class: ClassId, field_count: usize, size_bytes: usize) -> Self {
+        Self {
+            class,
+            kind: ObjectKind::Instance {
+                fields: vec![Value::NULL; field_count],
+            },
+            size_bytes,
+        }
+    }
+
+    /// Creates an array with `length` null-initialised elements.
+    pub fn array(class: ClassId, length: usize, size_bytes: usize) -> Self {
+        Self {
+            class,
+            kind: ObjectKind::Array {
+                elements: vec![Value::NULL; length],
+            },
+            size_bytes,
+        }
+    }
+
+    /// The object's class.
+    pub fn class(&self) -> ClassId {
+        self.class
+    }
+
+    /// The object's kind (instance or array).
+    pub fn kind(&self) -> &ObjectKind {
+        &self.kind
+    }
+
+    /// Whether the object is an array.
+    pub fn is_array(&self) -> bool {
+        matches!(self.kind, ObjectKind::Array { .. })
+    }
+
+    /// Bytes charged to the object space for this object.
+    pub fn size_bytes(&self) -> usize {
+        self.size_bytes
+    }
+
+    /// Number of fields (instance) or elements (array).
+    pub fn slot_count(&self) -> usize {
+        match &self.kind {
+            ObjectKind::Instance { fields } => fields.len(),
+            ObjectKind::Array { elements } => elements.len(),
+        }
+    }
+
+    /// Shared access to the object's slots (fields or elements).
+    pub fn slots(&self) -> &[Value] {
+        match &self.kind {
+            ObjectKind::Instance { fields } => fields,
+            ObjectKind::Array { elements } => elements,
+        }
+    }
+
+    /// Mutable access to the object's slots (fields or elements).
+    pub fn slots_mut(&mut self) -> &mut [Value] {
+        match &mut self.kind {
+            ObjectKind::Instance { fields } => fields,
+            ObjectKind::Array { elements } => elements,
+        }
+    }
+
+    /// The handles this object references, in slot order, skipping nulls and
+    /// primitives.
+    pub fn references(&self) -> Vec<Handle> {
+        self.slots().iter().filter_map(Value::as_handle).collect()
+    }
+
+    /// Resets every slot to null and retargets the object to a new class,
+    /// keeping the storage.  Used by object recycling (§3.7): a dead object
+    /// of the right size is handed back to the allocator as a fresh object.
+    pub fn reinitialize(&mut self, class: ClassId) {
+        self.class = class;
+        for slot in self.slots_mut() {
+            *slot = Value::NULL;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn class() -> ClassId {
+        ClassId::new(1)
+    }
+
+    #[test]
+    fn instance_starts_null_initialised() {
+        let o = Object::instance(class(), 3, 20);
+        assert_eq!(o.slot_count(), 3);
+        assert!(o.slots().iter().all(Value::is_null));
+        assert!(!o.is_array());
+        assert_eq!(o.class(), class());
+        assert_eq!(o.size_bytes(), 20);
+    }
+
+    #[test]
+    fn array_starts_null_initialised() {
+        let a = Object::array(class(), 4, 28);
+        assert_eq!(a.slot_count(), 4);
+        assert!(a.is_array());
+        assert!(matches!(a.kind(), ObjectKind::Array { .. }));
+    }
+
+    #[test]
+    fn references_skip_nulls_and_primitives() {
+        let mut o = Object::instance(class(), 4, 24);
+        let h1 = Handle::from_index(10);
+        let h2 = Handle::from_index(20);
+        o.slots_mut()[0] = Value::from(h1);
+        o.slots_mut()[1] = Value::Int(7);
+        o.slots_mut()[3] = Value::from(h2);
+        assert_eq!(o.references(), vec![h1, h2]);
+    }
+
+    #[test]
+    fn reinitialize_clears_slots_and_changes_class() {
+        let mut o = Object::instance(class(), 2, 16);
+        o.slots_mut()[0] = Value::from(Handle::from_index(5));
+        o.slots_mut()[1] = Value::Int(9);
+        let new_class = ClassId::new(2);
+        o.reinitialize(new_class);
+        assert_eq!(o.class(), new_class);
+        assert!(o.slots().iter().all(Value::is_null));
+        // Storage (size and slot count) is preserved for recycling.
+        assert_eq!(o.slot_count(), 2);
+        assert_eq!(o.size_bytes(), 16);
+    }
+
+    #[test]
+    fn zero_slot_objects_are_legal() {
+        let o = Object::instance(class(), 0, 8);
+        assert_eq!(o.slot_count(), 0);
+        assert!(o.references().is_empty());
+    }
+}

@@ -1,0 +1,244 @@
+//! Experiment reports: named collections of tables plus paper-vs-measured
+//! records, serializable for `EXPERIMENTS.md` generation.
+
+use serde::{Deserialize, Serialize};
+
+use crate::table::Table;
+
+/// A single paper-vs-measured comparison point.
+///
+/// The reproduction harness emits one record per headline quantity (e.g.
+/// "raytrace collectable %" or "javac size-1 speedup") so the agreement with
+/// the paper can be audited mechanically.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExperimentRecord {
+    /// Which figure/table of the paper this belongs to, e.g. `"Fig 4.1"`.
+    pub experiment: String,
+    /// The quantity being compared, e.g. `"raytrace collectable %"`.
+    pub quantity: String,
+    /// The value the paper reports, if it reports one.
+    pub paper: Option<f64>,
+    /// The value measured by this reproduction.
+    pub measured: f64,
+    /// Free-form note on how to interpret the comparison.
+    pub note: String,
+}
+
+impl ExperimentRecord {
+    /// Creates a record with a paper-reported reference value.
+    pub fn with_paper(
+        experiment: impl Into<String>,
+        quantity: impl Into<String>,
+        paper: f64,
+        measured: f64,
+    ) -> Self {
+        Self {
+            experiment: experiment.into(),
+            quantity: quantity.into(),
+            paper: Some(paper),
+            measured,
+            note: String::new(),
+        }
+    }
+
+    /// Creates a record for a quantity the paper does not report numerically.
+    pub fn measured_only(
+        experiment: impl Into<String>,
+        quantity: impl Into<String>,
+        measured: f64,
+    ) -> Self {
+        Self {
+            experiment: experiment.into(),
+            quantity: quantity.into(),
+            paper: None,
+            measured,
+            note: String::new(),
+        }
+    }
+
+    /// Attaches an interpretation note, returning `self` for chaining.
+    pub fn note(mut self, note: impl Into<String>) -> Self {
+        self.note = note.into();
+        self
+    }
+
+    /// Absolute difference between measured and paper value, if the paper
+    /// reports one.
+    pub fn abs_error(&self) -> Option<f64> {
+        self.paper.map(|p| (self.measured - p).abs())
+    }
+
+    /// Whether measured and paper agree in *direction* relative to a
+    /// threshold: both above it or both below it.
+    ///
+    /// This is the paper-shape criterion used for speedups (threshold 1.0)
+    /// and "majority collectable" style statements (threshold 50.0).
+    pub fn same_side_of(&self, threshold: f64) -> Option<bool> {
+        self.paper
+            .map(|p| (p >= threshold) == (self.measured >= threshold))
+    }
+}
+
+/// A named experiment report: the rendered tables plus comparison records.
+///
+/// # Example
+///
+/// ```
+/// use cg_stats::{ExperimentReport, ExperimentRecord, Table, Cell};
+///
+/// let mut report = ExperimentReport::new("Fig 4.1", "Collectable objects");
+/// let mut t = Table::new("Figure 4.1", &["benchmark", "collectable"]);
+/// t.push_row(vec![Cell::text("raytrace"), Cell::percent(98.0)]);
+/// report.add_table(t);
+/// report.add_record(ExperimentRecord::with_paper("Fig 4.1", "raytrace collectable %", 98.0, 97.5));
+/// assert_eq!(report.tables().len(), 1);
+/// assert!(report.records()[0].abs_error().unwrap() < 1.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExperimentReport {
+    id: String,
+    description: String,
+    tables: Vec<Table>,
+    records: Vec<ExperimentRecord>,
+}
+
+impl ExperimentReport {
+    /// Creates an empty report for the identified experiment.
+    pub fn new(id: impl Into<String>, description: impl Into<String>) -> Self {
+        Self {
+            id: id.into(),
+            description: description.into(),
+            tables: Vec::new(),
+            records: Vec::new(),
+        }
+    }
+
+    /// The experiment identifier (e.g. `"Fig 4.5"`).
+    pub fn id(&self) -> &str {
+        &self.id
+    }
+
+    /// The human-readable description.
+    pub fn description(&self) -> &str {
+        &self.description
+    }
+
+    /// Adds a rendered table.
+    pub fn add_table(&mut self, table: Table) {
+        self.tables.push(table);
+    }
+
+    /// Adds a paper-vs-measured record.
+    pub fn add_record(&mut self, record: ExperimentRecord) {
+        self.records.push(record);
+    }
+
+    /// The tables in this report.
+    pub fn tables(&self) -> &[Table] {
+        &self.tables
+    }
+
+    /// The comparison records in this report.
+    pub fn records(&self) -> &[ExperimentRecord] {
+        &self.records
+    }
+
+    /// Renders the report (title, tables, then records) as plain text.
+    pub fn render_text(&self) -> String {
+        let mut out = format!("## {} — {}\n\n", self.id, self.description);
+        for table in &self.tables {
+            out.push_str(&table.render_text());
+            out.push('\n');
+        }
+        if !self.records.is_empty() {
+            out.push_str("paper vs measured:\n");
+            for r in &self.records {
+                match r.paper {
+                    Some(p) => out.push_str(&format!(
+                        "  {:<45} paper {:>10.2}  measured {:>10.2}  {}\n",
+                        r.quantity, p, r.measured, r.note
+                    )),
+                    None => out.push_str(&format!(
+                        "  {:<45} paper          -  measured {:>10.2}  {}\n",
+                        r.quantity, r.measured, r.note
+                    )),
+                }
+            }
+        }
+        out
+    }
+
+    /// Serializes the report to pretty-printed JSON.
+    ///
+    /// # Panics
+    ///
+    /// Panics if serialization fails, which cannot happen for this type.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("report serialization cannot fail")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::table::Cell;
+
+    #[test]
+    fn record_abs_error() {
+        let r = ExperimentRecord::with_paper("Fig 4.1", "x", 98.0, 95.0);
+        assert_eq!(r.abs_error(), Some(3.0));
+        let r2 = ExperimentRecord::measured_only("Fig 4.1", "y", 12.0);
+        assert_eq!(r2.abs_error(), None);
+    }
+
+    #[test]
+    fn record_same_side() {
+        let faster = ExperimentRecord::with_paper("Fig 4.10", "javac speedup", 1.14, 1.3);
+        assert_eq!(faster.same_side_of(1.0), Some(true));
+        let disagree = ExperimentRecord::with_paper("Fig 4.10", "jess speedup", 0.93, 1.2);
+        assert_eq!(disagree.same_side_of(1.0), Some(false));
+        let unknown = ExperimentRecord::measured_only("x", "y", 2.0);
+        assert_eq!(unknown.same_side_of(1.0), None);
+    }
+
+    #[test]
+    fn record_note_chaining() {
+        let r = ExperimentRecord::measured_only("a", "b", 1.0).note("synthetic workload");
+        assert_eq!(r.note, "synthetic workload");
+    }
+
+    #[test]
+    fn report_renders_tables_and_records() {
+        let mut report = ExperimentReport::new("Fig 4.5", "Block sizes");
+        let mut t = Table::new("Figure 4.5", &["benchmark", "size 1"]);
+        t.push_row(vec![Cell::text("jack"), Cell::count(119_252)]);
+        report.add_table(t);
+        report.add_record(
+            ExperimentRecord::with_paper("Fig 4.5", "jack % exact", 30.0, 28.0).note("close"),
+        );
+        report.add_record(ExperimentRecord::measured_only("Fig 4.5", "extra", 1.0));
+        let text = report.render_text();
+        assert!(text.contains("Fig 4.5"));
+        assert!(text.contains("jack"));
+        assert!(text.contains("paper vs measured"));
+        assert!(text.contains("close"));
+    }
+
+    #[test]
+    fn report_json_round_trip() {
+        let mut report = ExperimentReport::new("Fig 4.13", "Recycled objects");
+        report.add_record(ExperimentRecord::with_paper("Fig 4.13", "jack % recycled", 56.47, 50.0));
+        let json = report.to_json();
+        let back: ExperimentReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, report);
+    }
+
+    #[test]
+    fn report_accessors() {
+        let report = ExperimentReport::new("id", "desc");
+        assert_eq!(report.id(), "id");
+        assert_eq!(report.description(), "desc");
+        assert!(report.tables().is_empty());
+        assert!(report.records().is_empty());
+    }
+}

@@ -1,0 +1,149 @@
+//! Small numeric summary helpers: percentages, means, deviations, speedups.
+
+/// Percentage of `part` within `whole`, as a value in `0.0..=100.0`.
+///
+/// Returns `0.0` when `whole` is zero (matching how the paper reports
+/// benchmarks that allocate no objects of a category).
+///
+/// # Example
+///
+/// ```
+/// assert_eq!(cg_stats::percent(53, 100), 53.0);
+/// assert_eq!(cg_stats::percent(1, 0), 0.0);
+/// ```
+pub fn percent(part: u64, whole: u64) -> f64 {
+    if whole == 0 {
+        0.0
+    } else {
+        part as f64 * 100.0 / whole as f64
+    }
+}
+
+/// Arithmetic mean of the samples, or `None` if empty.
+///
+/// # Example
+///
+/// ```
+/// assert_eq!(cg_stats::mean(&[1.0, 2.0, 3.0]), Some(2.0));
+/// assert_eq!(cg_stats::mean(&[]), None);
+/// ```
+pub fn mean(samples: &[f64]) -> Option<f64> {
+    if samples.is_empty() {
+        None
+    } else {
+        Some(samples.iter().sum::<f64>() / samples.len() as f64)
+    }
+}
+
+/// Sample standard deviation, or `None` for fewer than two samples.
+///
+/// # Example
+///
+/// ```
+/// let sd = cg_stats::std_dev(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]).unwrap();
+/// assert!((sd - 2.138).abs() < 0.01);
+/// ```
+pub fn std_dev(samples: &[f64]) -> Option<f64> {
+    if samples.len() < 2 {
+        return None;
+    }
+    let m = mean(samples)?;
+    let var = samples.iter().map(|s| (s - m).powi(2)).sum::<f64>() / (samples.len() - 1) as f64;
+    Some(var.sqrt())
+}
+
+/// Geometric mean of strictly positive samples, or `None` if empty or any
+/// sample is non-positive.
+///
+/// The paper summarises per-benchmark speedups; the geometric mean is the
+/// conventional way to aggregate them.
+///
+/// # Example
+///
+/// ```
+/// let g = cg_stats::geometric_mean(&[1.0, 4.0]).unwrap();
+/// assert!((g - 2.0).abs() < 1e-12);
+/// assert_eq!(cg_stats::geometric_mean(&[1.0, 0.0]), None);
+/// ```
+pub fn geometric_mean(samples: &[f64]) -> Option<f64> {
+    if samples.is_empty() || samples.iter().any(|&s| s <= 0.0) {
+        return None;
+    }
+    let log_sum: f64 = samples.iter().map(|s| s.ln()).sum();
+    Some((log_sum / samples.len() as f64).exp())
+}
+
+/// Speedup of `ours` relative to `baseline`, following the paper's
+/// convention: `baseline / ours`, so values above 1.0 mean we are faster.
+///
+/// Returns `0.0` if `ours` is zero or negative (degenerate timing).
+///
+/// # Example
+///
+/// ```
+/// // The paper's javac size-1 row: CG 3.335s vs JDK 3.7172s => 1.11.
+/// let s = cg_stats::speedup(3.7172, 3.335);
+/// assert!((s - 1.114).abs() < 0.01);
+/// ```
+pub fn speedup(baseline: f64, ours: f64) -> f64 {
+    if ours <= 0.0 {
+        0.0
+    } else {
+        baseline / ours
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percent_handles_zero_whole() {
+        assert_eq!(percent(10, 0), 0.0);
+    }
+
+    #[test]
+    fn percent_full() {
+        assert_eq!(percent(7608, 7608), 100.0);
+    }
+
+    #[test]
+    fn percent_partial() {
+        assert!((percent(53, 100) - 53.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mean_empty_is_none() {
+        assert_eq!(mean(&[]), None);
+    }
+
+    #[test]
+    fn mean_single() {
+        assert_eq!(mean(&[4.5]), Some(4.5));
+    }
+
+    #[test]
+    fn std_dev_requires_two_samples() {
+        assert_eq!(std_dev(&[1.0]), None);
+        assert!(std_dev(&[1.0, 1.0]).unwrap().abs() < 1e-12);
+    }
+
+    #[test]
+    fn geometric_mean_rejects_nonpositive() {
+        assert_eq!(geometric_mean(&[]), None);
+        assert_eq!(geometric_mean(&[-1.0, 2.0]), None);
+    }
+
+    #[test]
+    fn geometric_mean_of_identity() {
+        let g = geometric_mean(&[3.0, 3.0, 3.0]).unwrap();
+        assert!((g - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn speedup_above_one_means_faster() {
+        assert!(speedup(10.0, 5.0) > 1.0);
+        assert!(speedup(5.0, 10.0) < 1.0);
+        assert_eq!(speedup(5.0, 0.0), 0.0);
+    }
+}

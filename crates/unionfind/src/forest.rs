@@ -1,0 +1,595 @@
+//! The plain disjoint-set forest: union by rank, iterative path compression.
+
+/// Identifier of an element in a [`DisjointSets`] forest.
+///
+/// Elements are allocated densely starting at zero by
+/// [`DisjointSets::make_set`]; the contaminated collector uses the heap
+/// handle index as the element id so no extra mapping is needed.
+pub type ElementId = u32;
+
+/// Result of a [`DisjointSets::union`] operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct UnionOutcome {
+    /// The representative (root) of the combined set after the union.
+    pub root: ElementId,
+    /// The previous root that was absorbed, if the two elements were in
+    /// different sets; `None` if they were already in the same set.
+    pub absorbed: Option<ElementId>,
+}
+
+impl UnionOutcome {
+    /// Whether the union actually merged two distinct sets.
+    pub fn merged(&self) -> bool {
+        self.absorbed.is_some()
+    }
+}
+
+/// A disjoint-set forest with union by rank and path compression.
+///
+/// This is the structure the paper embeds in each object handle: one parent
+/// pointer plus a small integer rank (§3.1.1).  The paper notes the rank
+/// never exceeded ten on SPECjvm98, which lets the production implementation
+/// squeeze the rank into the low bits of the parent pointer (§3.5); here rank
+/// is stored separately but [`DisjointSets::max_rank`] exposes the bound so
+/// the packed-handle accounting in `cg-heap` can rely on it.
+///
+/// # Example
+///
+/// ```
+/// use cg_unionfind::DisjointSets;
+///
+/// let mut sets = DisjointSets::with_capacity(8);
+/// let ids: Vec<_> = (0..8).map(|_| sets.make_set()).collect();
+/// for pair in ids.chunks(2) {
+///     sets.union(pair[0], pair[1]);
+/// }
+/// assert_eq!(sets.set_count(), 4);
+/// assert!(sets.max_rank() <= 1);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DisjointSets {
+    parent: Vec<ElementId>,
+    rank: Vec<u8>,
+    set_count: usize,
+}
+
+impl DisjointSets {
+    /// Creates an empty forest.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an empty forest with room for `capacity` elements.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self {
+            parent: Vec::with_capacity(capacity),
+            rank: Vec::with_capacity(capacity),
+            set_count: 0,
+        }
+    }
+
+    /// Number of elements ever created.
+    pub fn len(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// Whether no elements have been created.
+    pub fn is_empty(&self) -> bool {
+        self.parent.is_empty()
+    }
+
+    /// Number of distinct sets currently in the forest.
+    pub fn set_count(&self) -> usize {
+        self.set_count
+    }
+
+    /// Whether `id` names an element of this forest.
+    pub fn contains(&self, id: ElementId) -> bool {
+        (id as usize) < self.parent.len()
+    }
+
+    /// Creates a new singleton set and returns its element id.
+    ///
+    /// Ids are assigned densely: the first call returns 0, the next 1, and
+    /// so on.
+    pub fn make_set(&mut self) -> ElementId {
+        let id = self.parent.len() as ElementId;
+        self.parent.push(id);
+        self.rank.push(0);
+        self.set_count += 1;
+        id
+    }
+
+    /// Ensures elements `0..=id` all exist, creating singletons as needed.
+    ///
+    /// The contaminated collector indexes elements by heap handle, and
+    /// handles may be minted by the heap without the collector seeing an
+    /// allocation event (e.g. VM-internal objects), so it must be able to
+    /// materialise an element lazily.
+    pub fn ensure(&mut self, id: ElementId) {
+        while self.parent.len() <= id as usize {
+            self.make_set();
+        }
+    }
+
+    /// Finds the representative of the set containing `id`, compressing the
+    /// path along the way.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was never created.
+    pub fn find(&mut self, id: ElementId) -> ElementId {
+        assert!(self.contains(id), "element {id} does not exist");
+        // First pass: locate the root.
+        let mut root = id;
+        while self.parent[root as usize] != root {
+            root = self.parent[root as usize];
+        }
+        // Second pass: point every node on the path directly at the root.
+        let mut cur = id;
+        while self.parent[cur as usize] != root {
+            let next = self.parent[cur as usize];
+            self.parent[cur as usize] = root;
+            cur = next;
+        }
+        root
+    }
+
+    /// Finds the representative without compressing paths (read-only).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was never created.
+    pub fn find_immutable(&self, id: ElementId) -> ElementId {
+        assert!(self.contains(id), "element {id} does not exist");
+        let mut root = id;
+        while self.parent[root as usize] != root {
+            root = self.parent[root as usize];
+        }
+        root
+    }
+
+    /// Whether two elements are currently in the same set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either element was never created.
+    pub fn same_set(&mut self, a: ElementId, b: ElementId) -> bool {
+        self.find(a) == self.find(b)
+    }
+
+    /// Unions the sets containing `a` and `b` using union by rank.
+    ///
+    /// Returns the surviving root and, when a merge happened, the root that
+    /// was absorbed — callers carrying per-set payloads use the absorbed root
+    /// to move its payload onto the winner.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either element was never created.
+    pub fn union(&mut self, a: ElementId, b: ElementId) -> UnionOutcome {
+        let ra = self.find(a);
+        let rb = self.find(b);
+        if ra == rb {
+            return UnionOutcome {
+                root: ra,
+                absorbed: None,
+            };
+        }
+        let (winner, loser) = match self.rank[ra as usize].cmp(&self.rank[rb as usize]) {
+            std::cmp::Ordering::Greater => (ra, rb),
+            std::cmp::Ordering::Less => (rb, ra),
+            std::cmp::Ordering::Equal => {
+                self.rank[ra as usize] += 1;
+                (ra, rb)
+            }
+        };
+        self.parent[loser as usize] = winner;
+        self.set_count -= 1;
+        UnionOutcome {
+            root: winner,
+            absorbed: Some(loser),
+        }
+    }
+
+    /// The current rank of the set rooted at `id`'s representative.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was never created.
+    pub fn rank_of(&mut self, id: ElementId) -> u8 {
+        let root = self.find(id);
+        self.rank[root as usize]
+    }
+
+    /// The largest rank of any root in the forest.
+    ///
+    /// The paper observes this stays small (≤ 10 on SPECjvm98), justifying
+    /// the packed-handle representation of §3.5.
+    pub fn max_rank(&self) -> u8 {
+        self.parent
+            .iter()
+            .enumerate()
+            .filter(|(i, &p)| p as usize == *i)
+            .map(|(i, _)| self.rank[i])
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Iterates over the current set representatives.
+    pub fn roots(&self) -> impl Iterator<Item = ElementId> + '_ {
+        self.parent
+            .iter()
+            .enumerate()
+            .filter(|(i, &p)| p as usize == *i)
+            .map(|(i, _)| i as ElementId)
+    }
+
+    /// Detaches `id` into a fresh singleton set of rank zero.
+    ///
+    /// Used by the resetting pass (§3.6): during a traditional collection the
+    /// contaminated collector dissolves its equilive sets and rebuilds them
+    /// from the live object graph.  Note that resetting an interior element
+    /// leaves the rest of its former set intact (they keep their old root).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was never created, or if other elements still point at
+    /// `id` as their parent (i.e. `id` is a non-singleton root); callers must
+    /// reset whole partitions via [`DisjointSets::reset_all`] or only detach
+    /// leaves they know are safe.
+    pub fn detach_into_singleton(&mut self, id: ElementId) {
+        assert!(self.contains(id), "element {id} does not exist");
+        let has_children = self
+            .parent
+            .iter()
+            .enumerate()
+            .any(|(i, &p)| p == id && i as ElementId != id);
+        assert!(
+            !has_children,
+            "cannot detach element {id}: other elements still point at it"
+        );
+        let was_root = self.parent[id as usize] == id;
+        self.parent[id as usize] = id;
+        self.rank[id as usize] = 0;
+        if !was_root {
+            self.set_count += 1;
+        }
+    }
+
+    /// Resets every element into its own singleton set.
+    pub fn reset_all(&mut self) {
+        for i in 0..self.parent.len() {
+            self.parent[i] = i as ElementId;
+            self.rank[i] = 0;
+        }
+        self.set_count = self.parent.len();
+    }
+
+    /// Groups all elements by their representative, returning
+    /// `(root, members)` pairs.  Intended for tests and statistics, not the
+    /// hot path.
+    pub fn partitions(&mut self) -> Vec<(ElementId, Vec<ElementId>)> {
+        use std::collections::BTreeMap;
+        let mut map: BTreeMap<ElementId, Vec<ElementId>> = BTreeMap::new();
+        for id in 0..self.parent.len() as ElementId {
+            let root = self.find(id);
+            map.entry(root).or_default().push(id);
+        }
+        map.into_iter().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_forest_is_empty() {
+        let sets = DisjointSets::new();
+        assert!(sets.is_empty());
+        assert_eq!(sets.len(), 0);
+        assert_eq!(sets.set_count(), 0);
+        assert_eq!(sets.max_rank(), 0);
+    }
+
+    #[test]
+    fn make_set_assigns_dense_ids() {
+        let mut sets = DisjointSets::new();
+        assert_eq!(sets.make_set(), 0);
+        assert_eq!(sets.make_set(), 1);
+        assert_eq!(sets.make_set(), 2);
+        assert_eq!(sets.len(), 3);
+        assert_eq!(sets.set_count(), 3);
+    }
+
+    #[test]
+    fn find_of_singleton_is_itself() {
+        let mut sets = DisjointSets::new();
+        let a = sets.make_set();
+        assert_eq!(sets.find(a), a);
+        assert_eq!(sets.find_immutable(a), a);
+    }
+
+    #[test]
+    fn union_merges_and_reports_absorbed_root() {
+        let mut sets = DisjointSets::new();
+        let a = sets.make_set();
+        let b = sets.make_set();
+        let out = sets.union(a, b);
+        assert!(out.merged());
+        assert!(out.root == a || out.root == b);
+        assert_eq!(out.absorbed, Some(if out.root == a { b } else { a }));
+        assert!(sets.same_set(a, b));
+        assert_eq!(sets.set_count(), 1);
+    }
+
+    #[test]
+    fn union_of_same_set_is_noop() {
+        let mut sets = DisjointSets::new();
+        let a = sets.make_set();
+        let b = sets.make_set();
+        sets.union(a, b);
+        let out = sets.union(a, b);
+        assert!(!out.merged());
+        assert_eq!(out.absorbed, None);
+        assert_eq!(sets.set_count(), 1);
+    }
+
+    #[test]
+    fn union_by_rank_prefers_higher_rank_root() {
+        let mut sets = DisjointSets::new();
+        let a = sets.make_set();
+        let b = sets.make_set();
+        let c = sets.make_set();
+        // a-b gives the winner rank 1.
+        let first = sets.union(a, b);
+        // Unioning with singleton c keeps the rank-1 root as winner.
+        let second = sets.union(c, first.root);
+        assert_eq!(second.root, first.root);
+        assert_eq!(second.absorbed, Some(c));
+    }
+
+    #[test]
+    fn ensure_materialises_elements() {
+        let mut sets = DisjointSets::new();
+        sets.ensure(4);
+        assert_eq!(sets.len(), 5);
+        assert_eq!(sets.set_count(), 5);
+        assert!(sets.contains(4));
+        assert!(!sets.contains(5));
+    }
+
+    #[test]
+    #[should_panic(expected = "does not exist")]
+    fn find_of_unknown_element_panics() {
+        let mut sets = DisjointSets::new();
+        sets.find(0);
+    }
+
+    #[test]
+    fn path_compression_flattens() {
+        let mut sets = DisjointSets::new();
+        let ids: Vec<_> = (0..16).map(|_| sets.make_set()).collect();
+        // Build a chain via repeated unions.
+        for w in ids.windows(2) {
+            sets.union(w[0], w[1]);
+        }
+        let root = sets.find(ids[0]);
+        // After find, every element should point directly at the root.
+        for &id in &ids {
+            assert_eq!(sets.find(id), root);
+            assert_eq!(sets.parent[id as usize], root);
+        }
+    }
+
+    #[test]
+    fn rank_bound_is_logarithmic() {
+        let mut sets = DisjointSets::new();
+        let n = 1024;
+        let ids: Vec<_> = (0..n).map(|_| sets.make_set()).collect();
+        // Pairwise tournament union maximises rank growth.
+        let mut layer = ids;
+        while layer.len() > 1 {
+            let mut next = Vec::new();
+            for pair in layer.chunks(2) {
+                if pair.len() == 2 {
+                    next.push(sets.union(pair[0], pair[1]).root);
+                } else {
+                    next.push(pair[0]);
+                }
+            }
+            layer = next;
+        }
+        assert_eq!(sets.set_count(), 1);
+        assert!(sets.max_rank() as u32 <= 10, "rank {} too high", sets.max_rank());
+    }
+
+    #[test]
+    fn roots_enumerates_representatives() {
+        let mut sets = DisjointSets::new();
+        let a = sets.make_set();
+        let b = sets.make_set();
+        let c = sets.make_set();
+        sets.union(a, b);
+        let roots: Vec<_> = sets.roots().collect();
+        assert_eq!(roots.len(), 2);
+        assert!(roots.contains(&c));
+    }
+
+    #[test]
+    fn detach_leaf_into_singleton() {
+        let mut sets = DisjointSets::new();
+        let a = sets.make_set();
+        let b = sets.make_set();
+        let out = sets.union(a, b);
+        let leaf = out.absorbed.unwrap();
+        sets.detach_into_singleton(leaf);
+        assert!(!sets.same_set(a, b));
+        assert_eq!(sets.set_count(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "still point at it")]
+    fn detach_root_with_children_panics() {
+        let mut sets = DisjointSets::new();
+        let a = sets.make_set();
+        let b = sets.make_set();
+        let out = sets.union(a, b);
+        sets.detach_into_singleton(out.root);
+    }
+
+    #[test]
+    fn reset_all_restores_singletons() {
+        let mut sets = DisjointSets::new();
+        for _ in 0..8 {
+            sets.make_set();
+        }
+        sets.union(0, 1);
+        sets.union(2, 3);
+        sets.union(0, 2);
+        sets.reset_all();
+        assert_eq!(sets.set_count(), 8);
+        for i in 0..8 {
+            assert_eq!(sets.find(i), i);
+        }
+        assert_eq!(sets.max_rank(), 0);
+    }
+
+    #[test]
+    fn partitions_reflect_unions() {
+        let mut sets = DisjointSets::new();
+        for _ in 0..6 {
+            sets.make_set();
+        }
+        sets.union(0, 1);
+        sets.union(1, 2);
+        sets.union(4, 5);
+        let parts = sets.partitions();
+        assert_eq!(parts.len(), 3);
+        let sizes: Vec<usize> = parts.iter().map(|(_, m)| m.len()).collect();
+        assert!(sizes.contains(&3));
+        assert!(sizes.contains(&2));
+        assert!(sizes.contains(&1));
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+        use std::collections::HashMap;
+
+        /// A naive partition model to compare the forest against.
+        #[derive(Default)]
+        struct Model {
+            set_of: Vec<usize>,
+            next_set: usize,
+        }
+
+        impl Model {
+            fn make(&mut self) -> usize {
+                let id = self.set_of.len();
+                self.set_of.push(self.next_set);
+                self.next_set += 1;
+                id
+            }
+            fn union(&mut self, a: usize, b: usize) {
+                let (sa, sb) = (self.set_of[a], self.set_of[b]);
+                if sa != sb {
+                    for s in self.set_of.iter_mut() {
+                        if *s == sb {
+                            *s = sa;
+                        }
+                    }
+                }
+            }
+            fn same(&self, a: usize, b: usize) -> bool {
+                self.set_of[a] == self.set_of[b]
+            }
+            fn set_count(&self) -> usize {
+                let mut seen: HashMap<usize, ()> = HashMap::new();
+                for &s in &self.set_of {
+                    seen.insert(s, ());
+                }
+                seen.len()
+            }
+        }
+
+        proptest! {
+            /// The forest's partition always matches a naive model under any
+            /// sequence of unions.
+            #[test]
+            fn matches_naive_model(n in 1usize..64, ops in prop::collection::vec((0usize..64, 0usize..64), 0..200)) {
+                let mut sets = DisjointSets::new();
+                let mut model = Model::default();
+                for _ in 0..n {
+                    sets.make_set();
+                    model.make();
+                }
+                for (a, b) in ops {
+                    let (a, b) = (a % n, b % n);
+                    sets.union(a as ElementId, b as ElementId);
+                    model.union(a, b);
+                }
+                prop_assert_eq!(sets.set_count(), model.set_count());
+                for a in 0..n {
+                    for b in 0..n {
+                        prop_assert_eq!(
+                            sets.same_set(a as ElementId, b as ElementId),
+                            model.same(a, b)
+                        );
+                    }
+                }
+            }
+
+            /// Rank of any root never exceeds log2 of the number of elements.
+            #[test]
+            fn rank_is_bounded(n in 1usize..128, ops in prop::collection::vec((0usize..128, 0usize..128), 0..400)) {
+                let mut sets = DisjointSets::new();
+                for _ in 0..n {
+                    sets.make_set();
+                }
+                for (a, b) in ops {
+                    sets.union((a % n) as ElementId, (b % n) as ElementId);
+                }
+                let bound = (usize::BITS - n.leading_zeros()) as u8;
+                prop_assert!(sets.max_rank() <= bound);
+            }
+
+            /// find is idempotent and stable across repeated calls.
+            #[test]
+            fn find_is_idempotent(n in 1usize..64, ops in prop::collection::vec((0usize..64, 0usize..64), 0..100)) {
+                let mut sets = DisjointSets::new();
+                for _ in 0..n {
+                    sets.make_set();
+                }
+                for (a, b) in ops {
+                    sets.union((a % n) as ElementId, (b % n) as ElementId);
+                }
+                for id in 0..n as ElementId {
+                    let r1 = sets.find(id);
+                    let r2 = sets.find(id);
+                    prop_assert_eq!(r1, r2);
+                    prop_assert_eq!(sets.find(r1), r1);
+                    prop_assert_eq!(sets.find_immutable(id), r1);
+                }
+            }
+
+            /// set_count plus the number of successful merges equals the
+            /// number of elements.
+            #[test]
+            fn set_count_accounting(n in 1usize..64, ops in prop::collection::vec((0usize..64, 0usize..64), 0..200)) {
+                let mut sets = DisjointSets::new();
+                for _ in 0..n {
+                    sets.make_set();
+                }
+                let mut merges = 0usize;
+                for (a, b) in ops {
+                    if sets.union((a % n) as ElementId, (b % n) as ElementId).merged() {
+                        merges += 1;
+                    }
+                }
+                prop_assert_eq!(sets.set_count() + merges, n);
+            }
+        }
+    }
+}

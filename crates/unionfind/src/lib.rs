@@ -1,0 +1,37 @@
+//! Disjoint-set forests (union/find) for the contaminated-GC reproduction.
+//!
+//! The paper maintains its *equilive* equivalence relation over heap objects
+//! with Tarjan's disjoint-set forest using union by rank and path compression
+//! (thesis §2.2 and §3.1.1), so that the overhead per reference store is a
+//! nearly constant amount of work.  This crate provides that data structure
+//! in two flavours:
+//!
+//! * [`DisjointSets`] — the plain forest over dense `u32` element ids.
+//! * [`TaggedSets`] — the same forest where every set root carries a payload
+//!   that is merged (via [`MergePayload`]) whenever two sets are unioned.
+//!   The collector uses the payload to store each equilive set's dependent
+//!   frame, its member list and its size.
+//!
+//! # Example
+//!
+//! ```
+//! use cg_unionfind::DisjointSets;
+//!
+//! let mut sets = DisjointSets::new();
+//! let a = sets.make_set();
+//! let b = sets.make_set();
+//! let c = sets.make_set();
+//! sets.union(a, b);
+//! assert!(sets.same_set(a, b));
+//! assert!(!sets.same_set(a, c));
+//! assert_eq!(sets.set_count(), 2);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod forest;
+pub mod tagged;
+
+pub use forest::{DisjointSets, ElementId, UnionOutcome};
+pub use tagged::{MergePayload, TaggedSets};

@@ -1,0 +1,373 @@
+//! Disjoint sets whose roots carry a mergeable payload.
+
+use crate::forest::{DisjointSets, ElementId, UnionOutcome};
+
+/// A per-set payload that knows how to merge with another payload when two
+/// sets are unioned.
+///
+/// For the contaminated collector the payload is the equilive-set record:
+/// dependent frame, member-list head/tail, element count and staticness.
+/// When block `P` and block `Q` merge, the paper specifies the merged block
+/// depends on the *older* of the two dependent frames — that policy lives in
+/// the payload's `merge`.
+pub trait MergePayload: Sized {
+    /// Merges `absorbed` into `self`.
+    ///
+    /// `self` is the payload of the surviving root; after the call the
+    /// absorbed root's payload is dropped.
+    fn merge(&mut self, absorbed: Self);
+}
+
+/// A disjoint-set forest whose roots each carry a payload of type `T`.
+///
+/// # Example
+///
+/// ```
+/// use cg_unionfind::{MergePayload, TaggedSets};
+///
+/// /// Equilive-style payload: smallest frame number wins, sizes add.
+/// #[derive(Debug, PartialEq)]
+/// struct Block { dependent_frame: u64, size: u64 }
+///
+/// impl MergePayload for Block {
+///     fn merge(&mut self, other: Self) {
+///         self.dependent_frame = self.dependent_frame.min(other.dependent_frame);
+///         self.size += other.size;
+///     }
+/// }
+///
+/// let mut sets = TaggedSets::new();
+/// let a = sets.insert(Block { dependent_frame: 3, size: 1 });
+/// let b = sets.insert(Block { dependent_frame: 5, size: 1 });
+/// sets.union(a, b);
+/// let merged = sets.payload(a).unwrap();
+/// assert_eq!(merged.dependent_frame, 3);
+/// assert_eq!(merged.size, 2);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct TaggedSets<T> {
+    forest: DisjointSets,
+    /// Indexed by element id; `Some` only at set roots.
+    payloads: Vec<Option<T>>,
+}
+
+impl<T: MergePayload> TaggedSets<T> {
+    /// Creates an empty tagged forest.
+    pub fn new() -> Self {
+        Self {
+            forest: DisjointSets::new(),
+            payloads: Vec::new(),
+        }
+    }
+
+    /// Creates an empty tagged forest with room for `capacity` elements.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self {
+            forest: DisjointSets::with_capacity(capacity),
+            payloads: Vec::with_capacity(capacity),
+        }
+    }
+
+    /// Number of elements ever inserted.
+    pub fn len(&self) -> usize {
+        self.forest.len()
+    }
+
+    /// Whether no elements have been inserted.
+    pub fn is_empty(&self) -> bool {
+        self.forest.is_empty()
+    }
+
+    /// Number of distinct sets.
+    pub fn set_count(&self) -> usize {
+        self.forest.set_count()
+    }
+
+    /// Whether `id` names an element.
+    pub fn contains(&self, id: ElementId) -> bool {
+        self.forest.contains(id)
+    }
+
+    /// Inserts a new singleton set carrying `payload`, returning its id.
+    pub fn insert(&mut self, payload: T) -> ElementId {
+        let id = self.forest.make_set();
+        debug_assert_eq!(id as usize, self.payloads.len());
+        self.payloads.push(Some(payload));
+        id
+    }
+
+    /// Finds the representative of `id`'s set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was never inserted.
+    pub fn find(&mut self, id: ElementId) -> ElementId {
+        self.forest.find(id)
+    }
+
+    /// Whether two elements are in the same set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either element was never inserted.
+    pub fn same_set(&mut self, a: ElementId, b: ElementId) -> bool {
+        self.forest.same_set(a, b)
+    }
+
+    /// Unions the sets of `a` and `b`, merging the absorbed root's payload
+    /// into the surviving root's payload.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either element was never inserted.
+    pub fn union(&mut self, a: ElementId, b: ElementId) -> UnionOutcome {
+        let outcome = self.forest.union(a, b);
+        if let Some(absorbed) = outcome.absorbed {
+            let taken = self.payloads[absorbed as usize]
+                .take()
+                .expect("absorbed root must carry a payload");
+            let winner = self.payloads[outcome.root as usize]
+                .as_mut()
+                .expect("surviving root must carry a payload");
+            winner.merge(taken);
+        }
+        outcome
+    }
+
+    /// Shared access to the payload of `id`'s set.
+    ///
+    /// Returns `None` only if `id` was never inserted.
+    pub fn payload(&mut self, id: ElementId) -> Option<&T> {
+        if !self.forest.contains(id) {
+            return None;
+        }
+        let root = self.forest.find(id);
+        self.payloads[root as usize].as_ref()
+    }
+
+    /// Mutable access to the payload of `id`'s set.
+    ///
+    /// Returns `None` only if `id` was never inserted.
+    pub fn payload_mut(&mut self, id: ElementId) -> Option<&mut T> {
+        if !self.forest.contains(id) {
+            return None;
+        }
+        let root = self.forest.find(id);
+        self.payloads[root as usize].as_mut()
+    }
+
+    /// Read-only payload access without path compression; `id` must be a
+    /// current root for this to return `Some`.
+    pub fn payload_of_root(&self, root: ElementId) -> Option<&T> {
+        self.payloads.get(root as usize).and_then(|p| p.as_ref())
+    }
+
+    /// Replaces the payload of the set containing `id`, returning the old
+    /// payload.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was never inserted.
+    pub fn replace_payload(&mut self, id: ElementId, payload: T) -> T {
+        let root = self.forest.find(id);
+        self.payloads[root as usize]
+            .replace(payload)
+            .expect("root must carry a payload")
+    }
+
+    /// Iterates over `(root, payload)` pairs for every current set.
+    pub fn iter_sets(&self) -> impl Iterator<Item = (ElementId, &T)> + '_ {
+        self.payloads
+            .iter()
+            .enumerate()
+            .filter_map(|(i, p)| p.as_ref().map(|p| (i as ElementId, p)))
+    }
+
+    /// Access to the underlying forest (e.g. for rank statistics).
+    pub fn forest(&self) -> &DisjointSets {
+        &self.forest
+    }
+
+    /// Dissolves every set: each element becomes a singleton again, with a
+    /// payload produced by `fresh` from its element id.
+    ///
+    /// This is the wholesale-reset entry point used by §3.6: the traditional
+    /// collector's mark phase rebuilds the equilive relation from scratch.
+    pub fn reset_all_with(&mut self, mut fresh: impl FnMut(ElementId) -> T) {
+        self.forest.reset_all();
+        for (i, slot) in self.payloads.iter_mut().enumerate() {
+            *slot = Some(fresh(i as ElementId));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    struct Block {
+        frame: u64,
+        size: u64,
+    }
+
+    impl MergePayload for Block {
+        fn merge(&mut self, other: Self) {
+            self.frame = self.frame.min(other.frame);
+            self.size += other.size;
+        }
+    }
+
+    fn block(frame: u64) -> Block {
+        Block { frame, size: 1 }
+    }
+
+    #[test]
+    fn insert_creates_singletons_with_payload() {
+        let mut sets: TaggedSets<Block> = TaggedSets::new();
+        let a = sets.insert(block(7));
+        assert_eq!(sets.len(), 1);
+        assert_eq!(sets.set_count(), 1);
+        assert_eq!(sets.payload(a), Some(&block(7)));
+    }
+
+    #[test]
+    fn union_merges_payload_towards_older_frame() {
+        let mut sets: TaggedSets<Block> = TaggedSets::new();
+        let a = sets.insert(block(3));
+        let b = sets.insert(block(5));
+        let c = sets.insert(block(1));
+        sets.union(a, b);
+        assert_eq!(sets.payload(b).unwrap().frame, 3);
+        assert_eq!(sets.payload(b).unwrap().size, 2);
+        sets.union(b, c);
+        assert_eq!(sets.payload(a).unwrap().frame, 1);
+        assert_eq!(sets.payload(a).unwrap().size, 3);
+        assert_eq!(sets.set_count(), 1);
+    }
+
+    #[test]
+    fn union_same_set_does_not_touch_payload() {
+        let mut sets: TaggedSets<Block> = TaggedSets::new();
+        let a = sets.insert(block(2));
+        let b = sets.insert(block(4));
+        sets.union(a, b);
+        let before = sets.payload(a).cloned();
+        let out = sets.union(a, b);
+        assert!(!out.merged());
+        assert_eq!(sets.payload(a).cloned(), before);
+    }
+
+    #[test]
+    fn payload_mut_updates_through_any_member() {
+        let mut sets: TaggedSets<Block> = TaggedSets::new();
+        let a = sets.insert(block(9));
+        let b = sets.insert(block(8));
+        sets.union(a, b);
+        sets.payload_mut(a).unwrap().frame = 0;
+        assert_eq!(sets.payload(b).unwrap().frame, 0);
+    }
+
+    #[test]
+    fn payload_of_unknown_element_is_none() {
+        let mut sets: TaggedSets<Block> = TaggedSets::new();
+        assert!(sets.payload(0).is_none());
+        assert!(sets.payload_mut(3).is_none());
+    }
+
+    #[test]
+    fn replace_payload_returns_old() {
+        let mut sets: TaggedSets<Block> = TaggedSets::new();
+        let a = sets.insert(block(5));
+        let old = sets.replace_payload(a, block(1));
+        assert_eq!(old, block(5));
+        assert_eq!(sets.payload(a).unwrap().frame, 1);
+    }
+
+    #[test]
+    fn iter_sets_yields_only_roots() {
+        let mut sets: TaggedSets<Block> = TaggedSets::new();
+        let a = sets.insert(block(1));
+        let b = sets.insert(block(2));
+        let _c = sets.insert(block(3));
+        sets.union(a, b);
+        let roots: Vec<_> = sets.iter_sets().collect();
+        assert_eq!(roots.len(), 2);
+        let total: u64 = roots.iter().map(|(_, p)| p.size).sum();
+        assert_eq!(total, 3);
+    }
+
+    #[test]
+    fn reset_all_with_restores_singletons() {
+        let mut sets: TaggedSets<Block> = TaggedSets::new();
+        for i in 0..4 {
+            sets.insert(block(i));
+        }
+        sets.union(0, 1);
+        sets.union(2, 3);
+        sets.reset_all_with(|id| Block {
+            frame: 100 + id as u64,
+            size: 1,
+        });
+        assert_eq!(sets.set_count(), 4);
+        for i in 0..4u32 {
+            assert_eq!(sets.payload(i).unwrap().frame, 100 + i as u64);
+            assert_eq!(sets.payload(i).unwrap().size, 1);
+        }
+    }
+
+    #[test]
+    fn payload_of_root_is_read_only_view() {
+        let mut sets: TaggedSets<Block> = TaggedSets::new();
+        let a = sets.insert(block(1));
+        let b = sets.insert(block(2));
+        let out = sets.union(a, b);
+        assert!(sets.payload_of_root(out.root).is_some());
+        assert!(sets.payload_of_root(out.absorbed.unwrap()).is_none());
+        assert!(sets.payload_of_root(99).is_none());
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            /// The sum of set sizes always equals the number of elements, and
+            /// each set's frame is the minimum frame of its members.
+            #[test]
+            fn sizes_and_min_frames_are_preserved(
+                frames in prop::collection::vec(0u64..32, 1..48),
+                ops in prop::collection::vec((0usize..48, 0usize..48), 0..128),
+            ) {
+                let n = frames.len();
+                let mut sets: TaggedSets<Block> = TaggedSets::new();
+                for &f in &frames {
+                    sets.insert(Block { frame: f, size: 1 });
+                }
+                for (a, b) in ops {
+                    sets.union((a % n) as ElementId, (b % n) as ElementId);
+                }
+                let total: u64 = sets.iter_sets().map(|(_, p)| p.size).sum();
+                prop_assert_eq!(total, n as u64);
+                // Recompute expected min frame per partition and compare.
+                let mut forest = sets.clone_forest_for_test();
+                for id in 0..n as ElementId {
+                    let root = forest.find(id);
+                    let expected_min = (0..n as ElementId)
+                        .filter(|&j| forest.find(j) == root)
+                        .map(|j| frames[j as usize])
+                        .min()
+                        .unwrap();
+                    prop_assert_eq!(sets.payload(id).unwrap().frame, expected_min);
+                }
+            }
+        }
+    }
+
+    impl<T: MergePayload + Clone> TaggedSets<T> {
+        /// Test helper: clone of the underlying forest for independent finds.
+        fn clone_forest_for_test(&self) -> DisjointSets {
+            self.forest.clone()
+        }
+    }
+}

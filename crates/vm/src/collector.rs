@@ -1,0 +1,253 @@
+//! The collector interface: the hook points the interpreter exposes.
+//!
+//! The paper lists exactly which JVM activity its collector instruments
+//! (§3.1.3): object creation, `putfield`, `putstatic`, `areturn`, frame pop,
+//! interpreter-generated static references, cross-thread access and the
+//! traditional collector invocation.  [`Collector`] mirrors that list, plus
+//! the allocation-side hook ([`Collector::try_recycled_alloc`]) used by the
+//! §3.7 recycling optimisation.
+
+use crate::frame::{FrameInfo, ThreadId};
+use cg_heap::{ClassId, Handle, Heap};
+
+/// Root references held by one frame, used both by the mark-sweep baseline
+/// and by the contaminated collector's resetting pass (§3.6), which walks the
+/// stacks frame by frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FrameRoots {
+    /// The frame holding the references.
+    pub frame: FrameInfo,
+    /// The handles referenced by the frame's locals (deduplicated, in slot
+    /// order).
+    pub refs: Vec<Handle>,
+}
+
+/// The complete root set of the virtual machine at a point in time.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RootSet {
+    /// Per-frame roots for every frame of every thread, ordered oldest frame
+    /// first within each thread.
+    pub frames: Vec<FrameRoots>,
+    /// References held by static variables.
+    pub statics: Vec<Handle>,
+    /// References pinned by the interpreter itself: the intern table and
+    /// native/class-loader references (§3.2).
+    pub interpreter: Vec<Handle>,
+}
+
+impl RootSet {
+    /// Every root handle, across frames, statics and interpreter-internal
+    /// references (may contain duplicates).
+    pub fn all_roots(&self) -> impl Iterator<Item = Handle> + '_ {
+        self.frames
+            .iter()
+            .flat_map(|f| f.refs.iter().copied())
+            .chain(self.statics.iter().copied())
+            .chain(self.interpreter.iter().copied())
+    }
+
+    /// Total number of root references (with duplicates).
+    pub fn len(&self) -> usize {
+        self.frames.iter().map(|f| f.refs.len()).sum::<usize>()
+            + self.statics.len()
+            + self.interpreter.len()
+    }
+
+    /// Whether there are no roots at all.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// What a full collection accomplished.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CollectOutcome {
+    /// Objects freed by this collection.
+    pub freed_objects: u64,
+    /// Bytes returned to the object space.
+    pub freed_bytes: u64,
+    /// Objects visited during marking (0 for collectors that do not mark).
+    pub marked_objects: u64,
+}
+
+impl CollectOutcome {
+    /// Combines two outcomes (e.g. CG frame-pop work plus an MSA cycle).
+    pub fn merged(self, other: CollectOutcome) -> CollectOutcome {
+        CollectOutcome {
+            freed_objects: self.freed_objects + other.freed_objects,
+            freed_bytes: self.freed_bytes + other.freed_bytes,
+            marked_objects: self.marked_objects + other.marked_objects,
+        }
+    }
+}
+
+/// A garbage collector cooperating with the [`Vm`](crate::Vm).
+///
+/// All hooks have default empty implementations so simple collectors (or the
+/// do-nothing baseline) only implement what they need.  Hooks receive the
+/// heap by reference where they only need to inspect objects and by mutable
+/// reference where they are allowed to free or reinitialise them.
+pub trait Collector {
+    /// A short name used in reports ("cg", "msa", "cg+recycle", ...).
+    fn name(&self) -> &str;
+
+    /// A new object was allocated in `frame`.
+    fn on_allocate(&mut self, handle: Handle, frame: &FrameInfo, heap: &Heap) {
+        let _ = (handle, frame, heap);
+    }
+
+    /// `source` now references `target` (a `putfield` or array store executed
+    /// in `frame`).  This is the contamination event.
+    fn on_reference_store(&mut self, source: Handle, target: Handle, frame: &FrameInfo, heap: &Heap) {
+        let _ = (source, target, frame, heap);
+    }
+
+    /// A static variable (or an interpreter-internal static reference, §3.2)
+    /// now references `target`.
+    fn on_static_store(&mut self, target: Handle, heap: &Heap) {
+        let _ = (target, heap);
+    }
+
+    /// A method is returning `value` to `caller` (the `areturn` event).
+    fn on_return_value(&mut self, value: Handle, caller: &FrameInfo, callee: &FrameInfo) {
+        let _ = (value, caller, callee);
+    }
+
+    /// A new frame was pushed.
+    fn on_frame_push(&mut self, frame: &FrameInfo) {
+        let _ = frame;
+    }
+
+    /// `frame` is being popped.  Collectors may free dead objects here; the
+    /// returned outcome is accumulated into the VM's statistics.
+    fn on_frame_pop(&mut self, frame: &FrameInfo, heap: &mut Heap) -> CollectOutcome {
+        let _ = (frame, heap);
+        CollectOutcome::default()
+    }
+
+    /// `thread` accessed `handle` (any read or write touching the object).
+    /// The contaminated collector uses this to detect objects shared between
+    /// threads (§3.3).
+    fn on_object_access(&mut self, handle: Handle, thread: ThreadId, heap: &Heap) {
+        let _ = (handle, thread, heap);
+    }
+
+    /// Offer the collector a chance to satisfy an allocation from recycled
+    /// storage (§3.7) before the heap allocator runs.  On success the
+    /// returned handle must already be reinitialised for `class` /
+    /// `field_count`.
+    fn try_recycled_alloc(
+        &mut self,
+        class: ClassId,
+        field_count: usize,
+        frame: &FrameInfo,
+        heap: &mut Heap,
+    ) -> Option<Handle> {
+        let _ = (class, field_count, frame, heap);
+        None
+    }
+
+    /// Run a full collection (the traditional collector): invoked when an
+    /// allocation fails and, if the VM is configured with a periodic GC
+    /// interval, every N instructions (§4.7).
+    fn collect(&mut self, roots: &RootSet, heap: &mut Heap) -> CollectOutcome {
+        let _ = (roots, heap);
+        CollectOutcome::default()
+    }
+
+    /// The program finished; `roots` describes the final VM state.  Gives
+    /// collectors a chance to account for objects still live at exit.
+    fn on_program_end(&mut self, roots: &RootSet, heap: &mut Heap) {
+        let _ = (roots, heap);
+    }
+}
+
+/// A collector that never frees anything.
+///
+/// This models the paper's overhead-isolation runs ("the base system with
+/// the asynchronous GC disabled as well as giving it plenty of storage",
+/// §4.5) and is handy in interpreter tests.
+#[derive(Debug, Clone, Default)]
+pub struct NoopCollector {
+    allocations: u64,
+}
+
+impl NoopCollector {
+    /// Creates a no-op collector.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of allocation events observed.
+    pub fn allocations(&self) -> u64 {
+        self.allocations
+    }
+}
+
+impl Collector for NoopCollector {
+    fn name(&self) -> &str {
+        "noop"
+    }
+
+    fn on_allocate(&mut self, _handle: Handle, _frame: &FrameInfo, _heap: &Heap) {
+        self.allocations += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frame::FrameId;
+    use crate::program::MethodId;
+
+    fn frame(id: u64, depth: usize) -> FrameInfo {
+        FrameInfo {
+            id: FrameId::new(id),
+            depth,
+            thread: ThreadId::MAIN,
+            method: MethodId::new(0),
+        }
+    }
+
+    #[test]
+    fn root_set_flattens_all_sources() {
+        let roots = RootSet {
+            frames: vec![
+                FrameRoots { frame: frame(1, 1), refs: vec![Handle::from_index(0)] },
+                FrameRoots { frame: frame(2, 2), refs: vec![Handle::from_index(1), Handle::from_index(2)] },
+            ],
+            statics: vec![Handle::from_index(3)],
+            interpreter: vec![Handle::from_index(4)],
+        };
+        let all: Vec<Handle> = roots.all_roots().collect();
+        assert_eq!(all.len(), 5);
+        assert_eq!(roots.len(), 5);
+        assert!(!roots.is_empty());
+        assert!(RootSet::default().is_empty());
+    }
+
+    #[test]
+    fn collect_outcome_merge_adds_fields() {
+        let a = CollectOutcome { freed_objects: 2, freed_bytes: 32, marked_objects: 10 };
+        let b = CollectOutcome { freed_objects: 1, freed_bytes: 16, marked_objects: 0 };
+        let m = a.merged(b);
+        assert_eq!(m.freed_objects, 3);
+        assert_eq!(m.freed_bytes, 48);
+        assert_eq!(m.marked_objects, 10);
+    }
+
+    #[test]
+    fn noop_collector_counts_allocations_and_frees_nothing() {
+        let mut c = NoopCollector::new();
+        assert_eq!(c.name(), "noop");
+        let mut heap = Heap::new(cg_heap::HeapConfig::small());
+        let h = heap.allocate(ClassId::new(0), 1).unwrap();
+        c.on_allocate(h, &frame(1, 1), &heap);
+        assert_eq!(c.allocations(), 1);
+        let out = c.on_frame_pop(&frame(1, 1), &mut heap);
+        assert_eq!(out, CollectOutcome::default());
+        assert!(heap.is_live(h));
+        let out = c.collect(&RootSet::default(), &mut heap);
+        assert_eq!(out.freed_objects, 0);
+    }
+}

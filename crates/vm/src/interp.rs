@@ -1,0 +1,1066 @@
+//! The bytecode interpreter.
+
+use std::collections::HashMap;
+
+use crate::collector::{CollectOutcome, Collector, FrameRoots, RootSet};
+use crate::frame::{Frame, FrameId, FrameInfo, ThreadId, ThreadState, ThreadStatus};
+use crate::insn::{ArithOp, Insn, LocalIdx, Operand};
+use crate::program::{MethodId, Program, ProgramError, StaticId};
+use cg_heap::{ClassId, Handle, Heap, HeapConfig, HeapError, HeapStats, Value};
+
+/// Interpreter configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct VmConfig {
+    /// Heap sizing.
+    pub heap: HeapConfig,
+    /// Instructions executed per thread before the scheduler rotates to the
+    /// next runnable thread.
+    pub thread_quantum: usize,
+    /// If set, force a full collection every `n` executed instructions.  The
+    /// resetting experiment (§4.7) runs the traditional collector every
+    /// 100 000 instructions this way.
+    pub gc_every_instructions: Option<u64>,
+    /// Safety limit on total executed instructions.
+    pub max_instructions: u64,
+    /// Safety limit on per-thread stack depth.
+    pub max_stack_depth: usize,
+}
+
+impl Default for VmConfig {
+    fn default() -> Self {
+        Self {
+            heap: HeapConfig::default(),
+            thread_quantum: 64,
+            gc_every_instructions: None,
+            max_instructions: 2_000_000_000,
+            max_stack_depth: 4096,
+        }
+    }
+}
+
+impl VmConfig {
+    /// A configuration with a small heap, suitable for tests.
+    pub fn small() -> Self {
+        Self {
+            heap: HeapConfig::small(),
+            ..Self::default()
+        }
+    }
+
+    /// Replaces the heap configuration, builder style.
+    pub fn with_heap(mut self, heap: HeapConfig) -> Self {
+        self.heap = heap;
+        self
+    }
+
+    /// Sets a periodic forced collection interval, builder style.
+    pub fn with_gc_every(mut self, instructions: u64) -> Self {
+        self.gc_every_instructions = Some(instructions);
+        self
+    }
+}
+
+/// Execution statistics accumulated by a run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct VmStats {
+    /// Total instructions executed.
+    pub instructions: u64,
+    /// Method invocations (including thread entry methods).
+    pub method_calls: u64,
+    /// Instances allocated by the program.
+    pub objects_allocated: u64,
+    /// Arrays allocated by the program.
+    pub arrays_allocated: u64,
+    /// Allocations satisfied from the collector's recycle list (§3.7).
+    pub recycled_allocations: u64,
+    /// Frames popped.
+    pub frames_popped: u64,
+    /// Threads spawned beyond the main thread.
+    pub threads_spawned: u64,
+    /// Deepest stack observed on any thread.
+    pub max_stack_depth: usize,
+    /// Full collections run (allocation failure or periodic trigger).
+    pub gc_cycles: u64,
+    /// Allocations that failed once and were retried after a collection.
+    pub allocation_retries: u64,
+    /// Objects freed by the collector (frame pops plus full collections).
+    pub collector_freed_objects: u64,
+    /// Bytes freed by the collector.
+    pub collector_freed_bytes: u64,
+    /// Objects marked by the collector's full collections.
+    pub collector_marked_objects: u64,
+}
+
+/// The result of running a program to completion.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RunOutcome {
+    /// Interpreter statistics.
+    pub stats: VmStats,
+    /// Final heap statistics.
+    pub heap: HeapStats,
+    /// Objects still live when the program ended.
+    pub live_at_exit: usize,
+    /// Wall-clock seconds spent inside [`Vm::run`].
+    pub elapsed_seconds: f64,
+}
+
+/// Errors raised during execution.
+#[derive(Debug, Clone, PartialEq)]
+pub enum VmError {
+    /// The program failed validation.
+    Program(ProgramError),
+    /// A heap operation failed unexpectedly (e.g. accessing a freed object —
+    /// which would indicate a collector incorrectly freed a live object).
+    Heap(HeapError),
+    /// Allocation failed even after running the collector.
+    OutOfMemory {
+        /// Class being allocated when memory ran out.
+        class: ClassId,
+        /// Bytes requested.
+        requested: usize,
+    },
+    /// A reference-typed operand was null.
+    NullReference {
+        /// Method executing.
+        method: MethodId,
+        /// Instruction index.
+        pc: usize,
+    },
+    /// An operand had the wrong type for the instruction.
+    TypeError {
+        /// Method executing.
+        method: MethodId,
+        /// Instruction index.
+        pc: usize,
+        /// What was expected ("int", "reference", ...).
+        expected: &'static str,
+    },
+    /// Integer division or remainder by zero.
+    DivideByZero {
+        /// Method executing.
+        method: MethodId,
+        /// Instruction index.
+        pc: usize,
+    },
+    /// The configured instruction limit was exceeded.
+    InstructionLimit(u64),
+    /// The configured stack-depth limit was exceeded.
+    StackOverflow(usize),
+}
+
+impl std::fmt::Display for VmError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            VmError::Program(e) => write!(f, "invalid program: {e}"),
+            VmError::Heap(e) => write!(f, "heap error: {e}"),
+            VmError::OutOfMemory { class, requested } => {
+                write!(f, "out of memory allocating {requested} bytes for class {class}")
+            }
+            VmError::NullReference { method, pc } => {
+                write!(f, "null reference at {method}:{pc}")
+            }
+            VmError::TypeError { method, pc, expected } => {
+                write!(f, "type error at {method}:{pc}: expected {expected}")
+            }
+            VmError::DivideByZero { method, pc } => write!(f, "division by zero at {method}:{pc}"),
+            VmError::InstructionLimit(n) => write!(f, "instruction limit of {n} exceeded"),
+            VmError::StackOverflow(n) => write!(f, "stack depth limit of {n} exceeded"),
+        }
+    }
+}
+
+impl std::error::Error for VmError {}
+
+impl From<HeapError> for VmError {
+    fn from(e: HeapError) -> Self {
+        VmError::Heap(e)
+    }
+}
+
+impl From<ProgramError> for VmError {
+    fn from(e: ProgramError) -> Self {
+        VmError::Program(e)
+    }
+}
+
+/// The virtual machine: a program, a heap, threads and a collector.
+///
+/// See the [crate-level documentation](crate) for an end-to-end example.
+#[derive(Debug)]
+pub struct Vm<C: Collector> {
+    program: Program,
+    config: VmConfig,
+    heap: Heap,
+    collector: C,
+    statics: Vec<Value>,
+    intern_table: HashMap<u32, Handle>,
+    native_refs: Vec<Handle>,
+    threads: Vec<ThreadState>,
+    next_frame_id: u64,
+    stats: VmStats,
+}
+
+impl<C: Collector> Vm<C> {
+    /// Creates a virtual machine for `program` using the given collector.
+    pub fn new(program: Program, config: VmConfig, collector: C) -> Self {
+        let statics = vec![Value::NULL; program.static_count()];
+        Self {
+            program,
+            config,
+            heap: Heap::new(config.heap),
+            collector,
+            statics,
+            intern_table: HashMap::new(),
+            native_refs: Vec::new(),
+            threads: Vec::new(),
+            // Frame id 0 is reserved for the static pseudo-frame.
+            next_frame_id: 1,
+            stats: VmStats::default(),
+        }
+    }
+
+    /// The collector installed in this VM.
+    pub fn collector(&self) -> &C {
+        &self.collector
+    }
+
+    /// Mutable access to the collector (for post-run statistics extraction).
+    pub fn collector_mut(&mut self) -> &mut C {
+        &mut self.collector
+    }
+
+    /// The heap.
+    pub fn heap(&self) -> &Heap {
+        &self.heap
+    }
+
+    /// The program being executed.
+    pub fn program(&self) -> &Program {
+        &self.program
+    }
+
+    /// Execution statistics so far.
+    pub fn stats(&self) -> &VmStats {
+        &self.stats
+    }
+
+    /// Runs the program's entry method to completion on the main thread,
+    /// interleaving any spawned threads round-robin.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`VmError`] if the program is malformed, memory is exhausted
+    /// even after collection, an instruction misbehaves (null dereference,
+    /// type error, division by zero) or a configured execution limit is hit.
+    pub fn run(&mut self) -> Result<RunOutcome, VmError> {
+        self.program.validate()?;
+        let entry = self.program.entry().expect("validate checked the entry");
+        let start = std::time::Instant::now();
+
+        self.threads.push(ThreadState::new(ThreadId::MAIN));
+        self.push_frame(0, entry, &[], None)?;
+
+        let mut current = 0usize;
+        loop {
+            if self.threads.iter().all(|t| t.status == ThreadStatus::Finished) {
+                break;
+            }
+            if self.threads[current].status != ThreadStatus::Runnable {
+                current = (current + 1) % self.threads.len();
+                continue;
+            }
+            for _ in 0..self.config.thread_quantum {
+                if self.threads[current].status != ThreadStatus::Runnable {
+                    break;
+                }
+                self.step(current)?;
+                if self.stats.instructions > self.config.max_instructions {
+                    return Err(VmError::InstructionLimit(self.config.max_instructions));
+                }
+                if let Some(every) = self.config.gc_every_instructions {
+                    if self.stats.instructions % every == 0 {
+                        self.run_collection();
+                    }
+                }
+            }
+            current = (current + 1) % self.threads.len();
+        }
+
+        let roots = self.build_roots();
+        self.collector.on_program_end(&roots, &mut self.heap);
+
+        Ok(RunOutcome {
+            stats: self.stats,
+            heap: *self.heap.stats(),
+            live_at_exit: self.heap.live_count(),
+            elapsed_seconds: start.elapsed().as_secs_f64(),
+        })
+    }
+
+    /// Builds the current root set: every thread frame's reference locals,
+    /// statics, the intern table and native static references.
+    pub fn build_roots(&self) -> RootSet {
+        let mut frames = Vec::new();
+        for thread in &self.threads {
+            for frame in &thread.stack {
+                frames.push(FrameRoots {
+                    frame: frame.info,
+                    refs: frame.local_references(),
+                });
+            }
+        }
+        let statics = self.statics.iter().filter_map(Value::as_handle).collect();
+        let mut interpreter: Vec<Handle> = self.intern_table.values().copied().collect();
+        interpreter.extend(self.native_refs.iter().copied());
+        RootSet {
+            frames,
+            statics,
+            interpreter,
+        }
+    }
+
+    fn current_info(&self, thread_idx: usize) -> FrameInfo {
+        self.threads[thread_idx]
+            .current_frame()
+            .expect("thread has a frame")
+            .info
+    }
+
+    fn local(&self, thread_idx: usize, idx: LocalIdx) -> Value {
+        self.threads[thread_idx]
+            .current_frame()
+            .expect("thread has a frame")
+            .locals[idx as usize]
+    }
+
+    fn set_local(&mut self, thread_idx: usize, idx: LocalIdx, value: Value) {
+        self.threads[thread_idx]
+            .current_frame_mut()
+            .expect("thread has a frame")
+            .locals[idx as usize] = value;
+    }
+
+    fn operand_int(&self, thread_idx: usize, op: Operand, info: FrameInfo, pc: usize) -> Result<i64, VmError> {
+        match op {
+            Operand::Imm(i) => Ok(i),
+            Operand::Local(l) => self.local(thread_idx, l).as_int().ok_or(VmError::TypeError {
+                method: info.method,
+                pc,
+                expected: "int",
+            }),
+        }
+    }
+
+    fn local_handle(&self, thread_idx: usize, idx: LocalIdx, info: FrameInfo, pc: usize) -> Result<Handle, VmError> {
+        match self.local(thread_idx, idx) {
+            Value::Ref(Some(h)) => Ok(h),
+            Value::Ref(None) => Err(VmError::NullReference { method: info.method, pc }),
+            _ => Err(VmError::TypeError { method: info.method, pc, expected: "reference" }),
+        }
+    }
+
+    fn push_frame(
+        &mut self,
+        thread_idx: usize,
+        method: MethodId,
+        args: &[Value],
+        return_dst: Option<LocalIdx>,
+    ) -> Result<(), VmError> {
+        let def = self
+            .program
+            .method(method)
+            .expect("method ids are validated before execution");
+        let depth = self.threads[thread_idx].depth() + 1;
+        if depth > self.config.max_stack_depth {
+            return Err(VmError::StackOverflow(self.config.max_stack_depth));
+        }
+        let info = FrameInfo {
+            id: FrameId::new(self.next_frame_id),
+            depth,
+            thread: self.threads[thread_idx].id,
+            method,
+        };
+        self.next_frame_id += 1;
+        let frame = Frame::new(info, def.max_locals(), args, return_dst);
+        self.threads[thread_idx].stack.push(frame);
+        self.collector.on_frame_push(&info);
+        self.stats.method_calls += 1;
+        self.stats.max_stack_depth = self.stats.max_stack_depth.max(depth);
+        Ok(())
+    }
+
+    fn run_collection(&mut self) {
+        let roots = self.build_roots();
+        let outcome = self.collector.collect(&roots, &mut self.heap);
+        self.stats.gc_cycles += 1;
+        self.accumulate(outcome);
+    }
+
+    fn accumulate(&mut self, outcome: CollectOutcome) {
+        self.stats.collector_freed_objects += outcome.freed_objects;
+        self.stats.collector_freed_bytes += outcome.freed_bytes;
+        self.stats.collector_marked_objects += outcome.marked_objects;
+    }
+
+    /// Allocates an instance, first offering the collector's recycle list,
+    /// then the heap, then retrying once after a full collection.
+    fn allocate_instance(&mut self, class: ClassId, info: FrameInfo) -> Result<Handle, VmError> {
+        let field_count = self
+            .program
+            .class(class)
+            .expect("class ids are validated before execution")
+            .field_count();
+        if let Some(handle) = self
+            .collector
+            .try_recycled_alloc(class, field_count, &info, &mut self.heap)
+        {
+            self.stats.recycled_allocations += 1;
+            self.stats.objects_allocated += 1;
+            self.collector.on_allocate(handle, &info, &self.heap);
+            return Ok(handle);
+        }
+        match self.heap.allocate(class, field_count) {
+            Ok(handle) => {
+                self.stats.objects_allocated += 1;
+                self.collector.on_allocate(handle, &info, &self.heap);
+                Ok(handle)
+            }
+            Err(HeapError::OutOfObjectSpace { requested, .. })
+            | Err(HeapError::OutOfHandleSpace { capacity: requested }) => {
+                self.stats.allocation_retries += 1;
+                self.run_collection();
+                match self.heap.allocate(class, field_count) {
+                    Ok(handle) => {
+                        self.stats.objects_allocated += 1;
+                        self.collector.on_allocate(handle, &info, &self.heap);
+                        Ok(handle)
+                    }
+                    Err(_) => Err(VmError::OutOfMemory { class, requested }),
+                }
+            }
+            Err(e) => Err(e.into()),
+        }
+    }
+
+    /// Allocates an array, retrying once after a full collection.
+    fn allocate_array(&mut self, class: ClassId, length: usize, info: FrameInfo) -> Result<Handle, VmError> {
+        match self.heap.allocate_array(class, length) {
+            Ok(handle) => {
+                self.stats.arrays_allocated += 1;
+                self.collector.on_allocate(handle, &info, &self.heap);
+                Ok(handle)
+            }
+            Err(HeapError::OutOfObjectSpace { requested, .. })
+            | Err(HeapError::OutOfHandleSpace { capacity: requested }) => {
+                self.stats.allocation_retries += 1;
+                self.run_collection();
+                match self.heap.allocate_array(class, length) {
+                    Ok(handle) => {
+                        self.stats.arrays_allocated += 1;
+                        self.collector.on_allocate(handle, &info, &self.heap);
+                        Ok(handle)
+                    }
+                    Err(_) => Err(VmError::OutOfMemory { class, requested }),
+                }
+            }
+            Err(e) => Err(e.into()),
+        }
+    }
+
+    /// Executes one instruction on the given thread.
+    fn step(&mut self, thread_idx: usize) -> Result<(), VmError> {
+        let info = self.current_info(thread_idx);
+        let pc = self.threads[thread_idx].current_frame().expect("frame").pc;
+        let insn = {
+            let method = self.program.method(info.method).expect("validated method");
+            match method.code().get(pc) {
+                Some(insn) => insn.clone(),
+                // Falling off the end of a method behaves like a bare return.
+                None => Insn::Return { value: None },
+            }
+        };
+        self.stats.instructions += 1;
+        let thread_id = self.threads[thread_idx].id;
+        let mut next_pc = pc + 1;
+
+        match insn {
+            Insn::Nop => {}
+            Insn::Const { dst, value } => self.set_local(thread_idx, dst, Value::Int(value)),
+            Insn::LoadNull { dst } => self.set_local(thread_idx, dst, Value::NULL),
+            Insn::Move { dst, src } => {
+                let v = self.local(thread_idx, src);
+                self.set_local(thread_idx, dst, v);
+            }
+            Insn::Arith { op, dst, a, b } => {
+                let a = self.operand_int(thread_idx, a, info, pc)?;
+                let b = self.operand_int(thread_idx, b, info, pc)?;
+                let result = match op {
+                    ArithOp::Add => a.wrapping_add(b),
+                    ArithOp::Sub => a.wrapping_sub(b),
+                    ArithOp::Mul => a.wrapping_mul(b),
+                    ArithOp::Div => {
+                        if b == 0 {
+                            return Err(VmError::DivideByZero { method: info.method, pc });
+                        }
+                        a.wrapping_div(b)
+                    }
+                    ArithOp::Rem => {
+                        if b == 0 {
+                            return Err(VmError::DivideByZero { method: info.method, pc });
+                        }
+                        a.wrapping_rem(b)
+                    }
+                    ArithOp::Xor => a ^ b,
+                };
+                self.set_local(thread_idx, dst, Value::Int(result));
+            }
+            Insn::Jump { target } => next_pc = target,
+            Insn::Branch { cond, a, b, target } => {
+                let a = self.operand_int(thread_idx, a, info, pc)?;
+                let b = self.operand_int(thread_idx, b, info, pc)?;
+                if cond.eval(a, b) {
+                    next_pc = target;
+                }
+            }
+            Insn::New { class, dst } => {
+                let handle = self.allocate_instance(class, info)?;
+                self.set_local(thread_idx, dst, Value::from(handle));
+            }
+            Insn::NewArray { class, length, dst } => {
+                let length = self.operand_int(thread_idx, length, info, pc)?;
+                let length = usize::try_from(length).map_err(|_| VmError::TypeError {
+                    method: info.method,
+                    pc,
+                    expected: "non-negative array length",
+                })?;
+                let handle = self.allocate_array(class, length, info)?;
+                self.set_local(thread_idx, dst, Value::from(handle));
+            }
+            Insn::PutField { object, field, value } => {
+                let object = self.local_handle(thread_idx, object, info, pc)?;
+                let value = self.local(thread_idx, value);
+                self.heap.set_field(object, field, value)?;
+                self.collector.on_object_access(object, thread_id, &self.heap);
+                if let Some(target) = value.as_handle() {
+                    self.collector.on_object_access(target, thread_id, &self.heap);
+                    self.collector.on_reference_store(object, target, &info, &self.heap);
+                }
+            }
+            Insn::GetField { object, field, dst } => {
+                let object = self.local_handle(thread_idx, object, info, pc)?;
+                let value = self.heap.field(object, field)?;
+                self.collector.on_object_access(object, thread_id, &self.heap);
+                if let Some(target) = value.as_handle() {
+                    self.collector.on_object_access(target, thread_id, &self.heap);
+                }
+                self.set_local(thread_idx, dst, value);
+            }
+            Insn::ArrayStore { array, index, value } => {
+                let array = self.local_handle(thread_idx, array, info, pc)?;
+                let index = self.operand_int(thread_idx, index, info, pc)?;
+                let index = usize::try_from(index).map_err(|_| VmError::TypeError {
+                    method: info.method,
+                    pc,
+                    expected: "non-negative array index",
+                })?;
+                let value = self.local(thread_idx, value);
+                self.heap.set_element(array, index, value)?;
+                self.collector.on_object_access(array, thread_id, &self.heap);
+                if let Some(target) = value.as_handle() {
+                    self.collector.on_object_access(target, thread_id, &self.heap);
+                    self.collector.on_reference_store(array, target, &info, &self.heap);
+                }
+            }
+            Insn::ArrayLoad { array, index, dst } => {
+                let array = self.local_handle(thread_idx, array, info, pc)?;
+                let index = self.operand_int(thread_idx, index, info, pc)?;
+                let index = usize::try_from(index).map_err(|_| VmError::TypeError {
+                    method: info.method,
+                    pc,
+                    expected: "non-negative array index",
+                })?;
+                let value = self.heap.element(array, index)?;
+                self.collector.on_object_access(array, thread_id, &self.heap);
+                if let Some(target) = value.as_handle() {
+                    self.collector.on_object_access(target, thread_id, &self.heap);
+                }
+                self.set_local(thread_idx, dst, value);
+            }
+            Insn::PutStatic { static_id, value } => {
+                let value = self.local(thread_idx, value);
+                self.write_static(static_id, value, thread_id);
+            }
+            Insn::GetStatic { static_id, dst } => {
+                let value = self.statics[static_id.index()];
+                if let Some(target) = value.as_handle() {
+                    self.collector.on_object_access(target, thread_id, &self.heap);
+                }
+                self.set_local(thread_idx, dst, value);
+            }
+            Insn::Intern { key, src, dst } => {
+                if let Some(&existing) = self.intern_table.get(&key) {
+                    self.collector.on_object_access(existing, thread_id, &self.heap);
+                    self.set_local(thread_idx, dst, Value::from(existing));
+                } else {
+                    let handle = self.local_handle(thread_idx, src, info, pc)?;
+                    self.intern_table.insert(key, handle);
+                    // Interned objects are reachable from the interpreter's
+                    // hash table for the rest of the program (§3.2).
+                    self.collector.on_static_store(handle, &self.heap);
+                    self.set_local(thread_idx, dst, Value::from(handle));
+                }
+            }
+            Insn::NativeStaticRef { src } => {
+                let handle = self.local_handle(thread_idx, src, info, pc)?;
+                self.native_refs.push(handle);
+                self.collector.on_static_store(handle, &self.heap);
+            }
+            Insn::Call { method, args, dst } => {
+                let arg_values: Vec<Value> = args.iter().map(|&a| self.local(thread_idx, a)).collect();
+                // Resume after the call when the callee returns.
+                self.threads[thread_idx].current_frame_mut().expect("frame").pc = next_pc;
+                self.push_frame(thread_idx, method, &arg_values, dst)?;
+                return Ok(());
+            }
+            Insn::Return { value } => {
+                self.return_from_frame(thread_idx, value)?;
+                return Ok(());
+            }
+            Insn::SpawnThread { method, args } => {
+                let arg_values: Vec<Value> = args.iter().map(|&a| self.local(thread_idx, a)).collect();
+                let new_id = ThreadId::new(self.threads.len() as u32);
+                self.threads.push(ThreadState::new(new_id));
+                let new_idx = self.threads.len() - 1;
+                self.stats.threads_spawned += 1;
+                // Handing an object to another thread makes it thread-shared
+                // from the collector's point of view (§3.3).
+                for value in &arg_values {
+                    if let Some(handle) = value.as_handle() {
+                        self.collector.on_object_access(handle, new_id, &self.heap);
+                    }
+                }
+                // Set the spawner's resume point before pushing the new
+                // thread's entry frame.
+                self.threads[thread_idx].current_frame_mut().expect("frame").pc = next_pc;
+                self.push_frame(new_idx, method, &arg_values, None)?;
+                return Ok(());
+            }
+        }
+
+        self.threads[thread_idx].current_frame_mut().expect("frame").pc = next_pc;
+        Ok(())
+    }
+
+    fn write_static(&mut self, static_id: StaticId, value: Value, thread_id: ThreadId) {
+        self.statics[static_id.index()] = value;
+        if let Some(target) = value.as_handle() {
+            self.collector.on_object_access(target, thread_id, &self.heap);
+            self.collector.on_static_store(target, &self.heap);
+        }
+    }
+
+    fn return_from_frame(&mut self, thread_idx: usize, value: Option<LocalIdx>) -> Result<(), VmError> {
+        let callee = self.threads[thread_idx]
+            .stack
+            .pop()
+            .expect("returning thread has a frame");
+        self.stats.frames_popped += 1;
+
+        let return_value = value.map(|l| callee.locals[l as usize]).unwrap_or(Value::NULL);
+        let caller_info = self.threads[thread_idx].current_frame().map(|f| f.info);
+
+        // The areturn event: tell the collector the value now belongs to the
+        // caller *before* the callee's dependent objects are collected.
+        if let (Some(handle), Some(caller)) = (return_value.as_handle(), caller_info.as_ref()) {
+            self.collector.on_return_value(handle, caller, &callee.info);
+        }
+
+        // Deliver the return value.
+        if let (Some(dst), Some(frame)) = (callee.return_dst, self.threads[thread_idx].current_frame_mut()) {
+            frame.locals[dst as usize] = return_value;
+        }
+
+        // Now the frame is gone: let the collector reclaim its dependents.
+        let outcome = self.collector.on_frame_pop(&callee.info, &mut self.heap);
+        self.accumulate(outcome);
+
+        if self.threads[thread_idx].stack.is_empty() {
+            self.threads[thread_idx].status = ThreadStatus::Finished;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::collector::NoopCollector;
+    use crate::insn::Cond;
+    use crate::program::{ClassDef, MethodDef};
+
+    /// Builds a program with one class (`field_count` fields) and the given
+    /// main code.
+    fn program_with_main(field_count: usize, code: Vec<Insn>) -> (Program, ClassId) {
+        let mut p = Program::named("test");
+        let c = p.add_class(ClassDef::new("Obj", field_count));
+        let m = p.add_method(MethodDef::new("main", 0, 8, code));
+        p.set_entry(m);
+        (p, c)
+    }
+
+    fn run_program(p: Program) -> (RunOutcome, Vm<NoopCollector>) {
+        let mut vm = Vm::new(p, VmConfig::small(), NoopCollector::new());
+        let outcome = vm.run().expect("program runs");
+        (outcome, vm)
+    }
+
+    #[test]
+    fn allocation_and_field_store() {
+        let (p, c) = program_with_main(
+            2,
+            vec![
+                Insn::New { class: c_placeholder(), dst: 0 },
+                Insn::New { class: c_placeholder(), dst: 1 },
+                Insn::PutField { object: 0, field: 0, value: 1 },
+                Insn::GetField { object: 0, field: 0, dst: 2 },
+                Insn::Return { value: None },
+            ],
+        );
+        // Fix up the class id placeholders.
+        let (p, _c) = fixup(p, c);
+        let (outcome, vm) = run_program(p);
+        assert_eq!(outcome.stats.objects_allocated, 2);
+        assert_eq!(outcome.stats.instructions, 5);
+        assert_eq!(outcome.live_at_exit, 2);
+        assert_eq!(vm.collector().allocations(), 2);
+    }
+
+    /// The class id of the first class added by `program_with_main`.
+    fn c_placeholder() -> ClassId {
+        ClassId::new(0)
+    }
+
+    /// No-op: class ids in these tests are always `ClassId::new(0)` already.
+    fn fixup(p: Program, c: ClassId) -> (Program, ClassId) {
+        (p, c)
+    }
+
+    #[test]
+    fn arithmetic_loop_computes() {
+        // Sum 1..=10 into local 1.
+        let code = vec![
+            Insn::Const { dst: 0, value: 1 },                              // i = 1
+            Insn::Const { dst: 1, value: 0 },                              // sum = 0
+            Insn::Branch { cond: Cond::Gt, a: Operand::Local(0), b: Operand::Imm(10), target: 6 },
+            Insn::Arith { op: ArithOp::Add, dst: 1, a: Operand::Local(1), b: Operand::Local(0) },
+            Insn::Arith { op: ArithOp::Add, dst: 0, a: Operand::Local(0), b: Operand::Imm(1) },
+            Insn::Jump { target: 2 },
+            Insn::Return { value: Some(1) },
+        ];
+        let mut p = Program::new();
+        let m = p.add_method(MethodDef::new("main", 0, 2, code));
+        p.set_entry(m);
+        let (outcome, _) = run_program(p);
+        assert!(outcome.stats.instructions > 30);
+    }
+
+    #[test]
+    fn call_and_return_value_flow() {
+        // callee(a) allocates an object, stores a into its field, returns it.
+        let mut p = Program::new();
+        let c = p.add_class(ClassDef::new("Box", 1));
+        let callee = p.add_method(MethodDef::new(
+            "box",
+            1,
+            2,
+            vec![
+                Insn::New { class: c, dst: 1 },
+                Insn::PutField { object: 1, field: 0, value: 0 },
+                Insn::Return { value: Some(1) },
+            ],
+        ));
+        let main = p.add_method(MethodDef::new(
+            "main",
+            0,
+            3,
+            vec![
+                Insn::New { class: c, dst: 0 },
+                Insn::Call { method: callee, args: vec![0], dst: Some(1) },
+                Insn::GetField { object: 1, field: 0, dst: 2 },
+                Insn::Return { value: None },
+            ],
+        ));
+        p.set_entry(main);
+        let (outcome, vm) = run_program(p);
+        assert_eq!(outcome.stats.method_calls, 2);
+        assert_eq!(outcome.stats.frames_popped, 2);
+        assert_eq!(outcome.stats.objects_allocated, 2);
+        assert_eq!(outcome.stats.max_stack_depth, 2);
+        assert_eq!(vm.heap().live_count(), 2);
+    }
+
+    #[test]
+    fn statics_and_intern() {
+        let mut p = Program::new();
+        let c = p.add_class(ClassDef::new("Str", 1));
+        let s = p.add_static();
+        let main = p.add_method(MethodDef::new(
+            "main",
+            0,
+            4,
+            vec![
+                Insn::New { class: c, dst: 0 },
+                Insn::PutStatic { static_id: s, value: 0 },
+                Insn::GetStatic { static_id: s, dst: 1 },
+                // Interning the same key twice returns the first object.
+                Insn::New { class: c, dst: 2 },
+                Insn::Intern { key: 7, src: 2, dst: 3 },
+                Insn::New { class: c, dst: 2 },
+                Insn::Intern { key: 7, src: 2, dst: 2 },
+                Insn::NativeStaticRef { src: 0 },
+                Insn::Return { value: None },
+            ],
+        ));
+        p.set_entry(main);
+        let (outcome, vm) = run_program(p);
+        assert_eq!(outcome.stats.objects_allocated, 3);
+        let roots = vm.build_roots();
+        // One static root plus intern-table and native-ref roots.
+        assert_eq!(roots.statics.len(), 1);
+        assert_eq!(roots.interpreter.len(), 2);
+    }
+
+    #[test]
+    fn arrays_store_and_load() {
+        let mut p = Program::new();
+        let c = p.add_class(ClassDef::new("Obj", 0));
+        let main = p.add_method(MethodDef::new(
+            "main",
+            0,
+            4,
+            vec![
+                Insn::NewArray { class: c, length: Operand::Imm(4), dst: 0 },
+                Insn::New { class: c, dst: 1 },
+                Insn::ArrayStore { array: 0, index: Operand::Imm(2), value: 1 },
+                Insn::ArrayLoad { array: 0, index: Operand::Imm(2), dst: 2 },
+                Insn::Return { value: None },
+            ],
+        ));
+        p.set_entry(main);
+        let (outcome, vm) = run_program(p);
+        assert_eq!(outcome.stats.arrays_allocated, 1);
+        assert_eq!(outcome.stats.objects_allocated, 1);
+        assert_eq!(vm.heap().live_count(), 2);
+    }
+
+    #[test]
+    fn spawned_threads_run_to_completion() {
+        let mut p = Program::new();
+        let c = p.add_class(ClassDef::new("Obj", 1));
+        // Worker: allocate a few objects, touch the shared argument.
+        let worker = p.add_method(MethodDef::new(
+            "worker",
+            1,
+            3,
+            vec![
+                Insn::New { class: c, dst: 1 },
+                Insn::PutField { object: 0, field: 0, value: 1 },
+                Insn::New { class: c, dst: 2 },
+                Insn::Return { value: None },
+            ],
+        ));
+        let main = p.add_method(MethodDef::new(
+            "main",
+            0,
+            2,
+            vec![
+                Insn::New { class: c, dst: 0 },
+                Insn::SpawnThread { method: worker, args: vec![0] },
+                Insn::SpawnThread { method: worker, args: vec![0] },
+                Insn::Return { value: None },
+            ],
+        ));
+        p.set_entry(main);
+        let (outcome, vm) = run_program(p);
+        assert_eq!(outcome.stats.threads_spawned, 2);
+        assert_eq!(outcome.stats.objects_allocated, 1 + 2 * 2);
+        // All threads finished.
+        assert!(vm.threads.iter().all(|t| t.status == ThreadStatus::Finished));
+    }
+
+    #[test]
+    fn null_dereference_is_an_error() {
+        let (p, _c) = program_with_main(
+            1,
+            vec![
+                Insn::LoadNull { dst: 0 },
+                Insn::PutField { object: 0, field: 0, value: 0 },
+                Insn::Return { value: None },
+            ],
+        );
+        let mut vm = Vm::new(p, VmConfig::small(), NoopCollector::new());
+        assert!(matches!(vm.run(), Err(VmError::NullReference { .. })));
+    }
+
+    #[test]
+    fn type_error_on_non_reference() {
+        let (p, _c) = program_with_main(
+            1,
+            vec![
+                Insn::Const { dst: 0, value: 3 },
+                Insn::GetField { object: 0, field: 0, dst: 1 },
+                Insn::Return { value: None },
+            ],
+        );
+        let mut vm = Vm::new(p, VmConfig::small(), NoopCollector::new());
+        assert!(matches!(vm.run(), Err(VmError::TypeError { .. })));
+    }
+
+    #[test]
+    fn divide_by_zero_is_an_error() {
+        let (p, _c) = program_with_main(
+            0,
+            vec![
+                Insn::Arith { op: ArithOp::Div, dst: 0, a: Operand::Imm(1), b: Operand::Imm(0) },
+                Insn::Return { value: None },
+            ],
+        );
+        let mut vm = Vm::new(p, VmConfig::small(), NoopCollector::new());
+        assert!(matches!(vm.run(), Err(VmError::DivideByZero { .. })));
+    }
+
+    #[test]
+    fn out_of_memory_without_collector_is_reported() {
+        // 1 KiB object space, 8-byte objects, no collector: about 128 fit.
+        let mut config = VmConfig::small();
+        config.heap = HeapConfig::tight(1024);
+        config.heap.handle_space_bytes = 1 << 20;
+        let mut p = Program::new();
+        let c = p.add_class(ClassDef::new("Obj", 0));
+        let s = p.add_static();
+        // Allocate 200 objects, each stored into the static so they stay
+        // reachable; without a working collector this must exhaust memory.
+        let code = vec![
+            Insn::Const { dst: 1, value: 0 },
+            Insn::Branch { cond: Cond::Ge, a: Operand::Local(1), b: Operand::Imm(200), target: 6 },
+            Insn::New { class: c, dst: 0 },
+            Insn::PutStatic { static_id: s, value: 0 },
+            Insn::Arith { op: ArithOp::Add, dst: 1, a: Operand::Local(1), b: Operand::Imm(1) },
+            Insn::Jump { target: 1 },
+            Insn::Return { value: None },
+        ];
+        let m = p.add_method(MethodDef::new("main", 0, 2, code));
+        p.set_entry(m);
+        let mut vm = Vm::new(p, config, NoopCollector::new());
+        let err = vm.run().unwrap_err();
+        assert!(matches!(err, VmError::OutOfMemory { .. }));
+        assert!(vm.stats().allocation_retries >= 1);
+        assert!(vm.stats().gc_cycles >= 1);
+    }
+
+    #[test]
+    fn instruction_limit_is_enforced() {
+        let (p, _c) = program_with_main(0, vec![Insn::Jump { target: 0 }]);
+        let mut config = VmConfig::small();
+        config.max_instructions = 1000;
+        let mut vm = Vm::new(p, config, NoopCollector::new());
+        assert_eq!(vm.run(), Err(VmError::InstructionLimit(1000)));
+    }
+
+    #[test]
+    fn stack_overflow_is_enforced() {
+        let mut p = Program::new();
+        // Infinite recursion.
+        let m = MethodId::new(0);
+        p.add_method(MethodDef::new(
+            "recurse",
+            0,
+            1,
+            vec![Insn::Call { method: m, args: vec![], dst: None }, Insn::Return { value: None }],
+        ));
+        p.set_entry(m);
+        let mut config = VmConfig::small();
+        config.max_stack_depth = 64;
+        let mut vm = Vm::new(p, config, NoopCollector::new());
+        assert_eq!(vm.run(), Err(VmError::StackOverflow(64)));
+    }
+
+    #[test]
+    fn periodic_gc_is_triggered() {
+        /// A collector that counts full collections.
+        #[derive(Default)]
+        struct CountingCollector {
+            collections: u64,
+        }
+        impl Collector for CountingCollector {
+            fn name(&self) -> &str {
+                "counting"
+            }
+            fn collect(&mut self, _roots: &RootSet, _heap: &mut Heap) -> CollectOutcome {
+                self.collections += 1;
+                CollectOutcome::default()
+            }
+        }
+
+        let (p, _c) = program_with_main(
+            0,
+            vec![
+                Insn::Const { dst: 0, value: 0 },
+                Insn::Branch { cond: Cond::Ge, a: Operand::Local(0), b: Operand::Imm(500), target: 4 },
+                Insn::Arith { op: ArithOp::Add, dst: 0, a: Operand::Local(0), b: Operand::Imm(1) },
+                Insn::Jump { target: 1 },
+                Insn::Return { value: None },
+            ],
+        );
+        let config = VmConfig::small().with_gc_every(100);
+        let mut vm = Vm::new(p, config, CountingCollector::default());
+        vm.run().unwrap();
+        assert!(vm.collector().collections >= 10);
+        assert_eq!(vm.stats().gc_cycles, vm.collector().collections);
+    }
+
+    #[test]
+    fn build_roots_reflects_stack_and_statics() {
+        let mut p = Program::new();
+        let c = p.add_class(ClassDef::new("Obj", 1));
+        let s = p.add_static();
+        let inner = p.add_method(MethodDef::new(
+            "inner",
+            1,
+            2,
+            vec![
+                Insn::New { class: c, dst: 1 },
+                // Loop forever so we can inspect the stack mid-run... not
+                // needed: instead return the object.
+                Insn::Return { value: Some(1) },
+            ],
+        ));
+        let main = p.add_method(MethodDef::new(
+            "main",
+            0,
+            3,
+            vec![
+                Insn::New { class: c, dst: 0 },
+                Insn::PutStatic { static_id: s, value: 0 },
+                Insn::Call { method: inner, args: vec![0], dst: Some(1) },
+                Insn::Return { value: None },
+            ],
+        ));
+        p.set_entry(main);
+        let mut vm = Vm::new(p, VmConfig::small(), NoopCollector::new());
+        vm.run().unwrap();
+        // After the program ends the stack is empty but the static root
+        // remains.
+        let roots = vm.build_roots();
+        assert!(roots.frames.is_empty());
+        assert_eq!(roots.statics.len(), 1);
+    }
+
+    #[test]
+    fn vm_error_display() {
+        let e = VmError::OutOfMemory { class: ClassId::new(1), requested: 64 };
+        assert!(e.to_string().contains("64"));
+        assert!(VmError::InstructionLimit(9).to_string().contains("9"));
+        assert!(VmError::StackOverflow(4).to_string().contains("4"));
+    }
+}

@@ -1,0 +1,60 @@
+//! A JVM-like execution substrate for evaluating garbage collectors.
+//!
+//! The contaminated-GC paper implements its collector inside Sun's JDK 1.1.8
+//! interpreter.  The collector only observes a handful of events — object
+//! creation, `putfield`/array stores, `putstatic`, `areturn`, frame push/pop,
+//! cross-thread access and interpreter-generated static references — so this
+//! crate provides a small virtual machine that produces exactly that event
+//! stream over the handle-based heap of [`cg_heap`]:
+//!
+//! * [`Program`] / [`MethodDef`] / [`ClassDef`] / [`Insn`] — a locals-based
+//!   bytecode with allocation, field/array/static traffic, arithmetic,
+//!   branches, calls, returns, thread spawning and the `intern`/native-static
+//!   instructions that model §3.2 of the paper.
+//! * [`Frame`] / [`ThreadState`] — per-thread frame stacks with unique frame
+//!   identities and depths, the quantities the contaminated collector keys
+//!   its equilive sets on.
+//! * [`Collector`] — the hook trait every collector implements; the
+//!   interpreter calls it at each event the paper instruments the JVM for.
+//! * [`Vm`] — the interpreter: cooperative round-robin thread scheduling,
+//!   allocation with collector-assisted retry, optional periodic forced
+//!   collections (used by the §4.7 resetting experiment), and execution
+//!   statistics.
+//!
+//! # Example
+//!
+//! ```
+//! use cg_vm::{Program, ClassDef, MethodDef, Insn, Vm, VmConfig, NoopCollector};
+//!
+//! // One class with one field; main allocates two objects and links them.
+//! let mut program = Program::new();
+//! let class = program.add_class(ClassDef::new("Node", 1));
+//! let main = program.add_method(MethodDef::new("main", 0, 2, vec![
+//!     Insn::New { class, dst: 0 },
+//!     Insn::New { class, dst: 1 },
+//!     Insn::PutField { object: 0, field: 0, value: 1 },
+//!     Insn::Return { value: None },
+//! ]));
+//! program.set_entry(main);
+//!
+//! let mut vm = Vm::new(program, VmConfig::default(), NoopCollector::default());
+//! let outcome = vm.run()?;
+//! assert_eq!(outcome.stats.objects_allocated, 2);
+//! # Ok::<(), cg_vm::VmError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod collector;
+pub mod frame;
+pub mod insn;
+pub mod interp;
+pub mod program;
+
+pub use cg_heap::{ClassId, Handle, Heap, HeapConfig, HeapError, Value};
+pub use collector::{CollectOutcome, Collector, FrameRoots, NoopCollector, RootSet};
+pub use frame::{Frame, FrameId, FrameInfo, ThreadId, ThreadState, ThreadStatus};
+pub use insn::{ArithOp, Cond, Insn, LocalIdx, Operand};
+pub use interp::{RunOutcome, Vm, VmConfig, VmError, VmStats};
+pub use program::{ClassDef, MethodDef, MethodId, Program, StaticId};

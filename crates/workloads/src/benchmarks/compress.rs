@@ -1,0 +1,60 @@
+//! `compress` — modified Lempel-Ziv compression (SPECjvm98 _201_compress).
+//!
+//! The paper's characterisation: very few objects (5 123 at size 1, still
+//! only 6 959 at size 100), almost all of them long-lived tables allocated at
+//! start-up, with the run time dominated by computation rather than
+//! allocation.  Only 9–11% of objects are collectable by CG (Figure 4.1) —
+//! but, as the paper notes, an exact collector would not do much better,
+//! because the objects genuinely live for the whole run.
+//!
+//! The model: a large static dictionary built during setup, a small number of
+//! per-iteration I/O buffer temporaries, and a heavy arithmetic kernel per
+//! iteration standing in for the compression inner loop.
+
+use crate::profile::Profile;
+use crate::Size;
+
+/// Demographic profile of `compress` at the given size.
+pub fn profile(size: Size) -> Profile {
+    // Problem size barely changes the object population (the input just gets
+    // longer); it mostly adds computation.
+    let (iterations, compute) = match size {
+        Size::S1 => (34, 20_000),
+        Size::S10 => (42, 120_000),
+        Size::S100 => (60, 300_000),
+    };
+    Profile {
+        name: "compress".to_string(),
+        description: "Modified Lempel-Ziv: static dictionary, few short-lived buffers, compute-bound".to_string(),
+        static_setup: 1_100,
+        interned: 8,
+        iterations,
+        leaf_temps: 2,
+        chained_temps: 0,
+        static_touching_temps: 1,
+        returned_temps: 1,
+        escape_depth: 1,
+        leaked_per_iteration: 0,
+        compute_per_iteration: compute,
+        shared_objects: 0,
+        worker_threads: 0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mostly_static_and_compute_bound() {
+        let p = profile(Size::S1);
+        // Around 10% of objects are dynamic, matching Figure 4.1's 11%.
+        let frac = p.expected_collectable_fraction();
+        assert!((0.05..0.20).contains(&frac), "collectable fraction {frac}");
+        assert!(p.compute_per_iteration >= 10_000);
+        // Size 100 adds computation, not objects.
+        let p100 = profile(Size::S100);
+        assert!(p100.compute_per_iteration > p.compute_per_iteration);
+        assert!(p100.expected_objects() < 2 * p.expected_objects());
+    }
+}

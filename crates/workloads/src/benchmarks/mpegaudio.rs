@@ -1,0 +1,52 @@
+//! `mpegaudio` — MPEG-3 audio decoding (SPECjvm98 _222_mpegaudio).
+//!
+//! Like `compress`, this benchmark is computation-bound: the paper reports
+//! only 7 550 objects at size 1 (7 582 at size 100) of which just 6–7% are
+//! collectable, with most of the heap taken up by long-lived filter-bank and
+//! decoding tables.
+//!
+//! The model: static decoding tables, a handful of per-frame buffer
+//! temporaries, and a heavy arithmetic kernel standing in for the subband
+//! synthesis filter.
+
+use crate::profile::Profile;
+use crate::Size;
+
+/// Demographic profile of `mpegaudio` at the given size.
+pub fn profile(size: Size) -> Profile {
+    let (iterations, compute) = match size {
+        Size::S1 => (33, 15_000),
+        Size::S10 => (40, 110_000),
+        Size::S100 => (55, 280_000),
+    };
+    Profile {
+        name: "mpegaudio".to_string(),
+        description: "MPEG-3 decoder: static filter tables, per-frame buffers, compute-bound".to_string(),
+        static_setup: 1_750,
+        interned: 4,
+        iterations,
+        leaf_temps: 2,
+        chained_temps: 0,
+        static_touching_temps: 1,
+        returned_temps: 1,
+        escape_depth: 1,
+        leaked_per_iteration: 0,
+        compute_per_iteration: compute,
+        shared_objects: 0,
+        worker_threads: 0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn very_low_collectable_fraction() {
+        let p = profile(Size::S1);
+        let frac = p.expected_collectable_fraction();
+        assert!((0.03..0.15).contains(&frac), "collectable fraction {frac}");
+        // Object population is essentially flat across sizes.
+        assert!(profile(Size::S100).expected_objects() < 2 * p.expected_objects());
+    }
+}

@@ -1,0 +1,38 @@
+//! `mtrt` — the multi-threaded ray tracer (SPECjvm98 _227_mtrt).
+//!
+//! The paper notes that `mtrt` is the same ray tracer as `raytrace` run with
+//! two rendering threads, and that its results are nearly identical: 98%
+//! collectable, with only a tiny fraction (about 1% of the static set) of
+//! objects forced static by thread sharing, because the threads share the
+//! scene but allocate their working temporaries privately.
+//!
+//! The model: the `raytrace` demographic plus two worker threads that split
+//! the per-pixel iterations and read the shared static scene table.
+
+use crate::profile::Profile;
+use crate::Size;
+
+/// Demographic profile of `mtrt` at the given size.
+pub fn profile(size: Size) -> Profile {
+    let mut p = super::raytrace::profile(size);
+    p.name = "mtrt".to_string();
+    p.description =
+        "Multi-threaded ray tracer: raytrace demographic split across two rendering threads".to_string();
+    p.worker_threads = 2;
+    p
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mirrors_raytrace_with_threads() {
+        let mtrt = profile(Size::S1);
+        let rt = super::super::raytrace::profile(Size::S1);
+        assert_eq!(mtrt.worker_threads, 2);
+        assert_eq!(mtrt.iterations, rt.iterations);
+        assert_eq!(mtrt.expected_objects(), rt.expected_objects());
+        assert!(mtrt.expected_collectable_fraction() > 0.95);
+    }
+}

@@ -1,0 +1,372 @@
+//! Program construction helpers: a code builder with structured loops and a
+//! program builder with forward method declarations.
+
+use cg_vm::{ClassDef, ClassId, Cond, Insn, LocalIdx, MethodDef, MethodId, Operand, Program, StaticId};
+
+/// Builds a method body, providing structured counted loops so workload
+/// generators never have to compute jump offsets by hand.
+///
+/// # Example
+///
+/// ```
+/// use cg_workloads::CodeBuilder;
+/// use cg_vm::{Insn, Operand, ClassId};
+///
+/// let mut code = CodeBuilder::new();
+/// code.counted_loop(1, Operand::Imm(10), |body| {
+///     body.push(Insn::New { class: ClassId::new(0), dst: 0 });
+/// });
+/// code.return_none();
+/// let insns = code.into_code();
+/// assert!(insns.len() > 4);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct CodeBuilder {
+    code: Vec<Insn>,
+}
+
+impl CodeBuilder {
+    /// Creates an empty body.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends one instruction.
+    pub fn push(&mut self, insn: Insn) -> &mut Self {
+        self.code.push(insn);
+        self
+    }
+
+    /// Appends several instructions.
+    pub fn extend(&mut self, insns: impl IntoIterator<Item = Insn>) -> &mut Self {
+        self.code.extend(insns);
+        self
+    }
+
+    /// The index the next instruction will occupy.
+    pub fn pc(&self) -> usize {
+        self.code.len()
+    }
+
+    /// Emits `counter = 0; while counter < count { body; counter += 1 }`.
+    ///
+    /// The `counter` local is clobbered.  Loops nest freely because the body
+    /// is emitted into the same builder.
+    pub fn counted_loop(
+        &mut self,
+        counter: LocalIdx,
+        count: Operand,
+        body: impl FnOnce(&mut Self),
+    ) -> &mut Self {
+        self.push(Insn::Const { dst: counter, value: 0 });
+        let check_pc = self.pc();
+        // Placeholder target; patched once the body length is known.
+        self.push(Insn::Branch {
+            cond: Cond::Ge,
+            a: Operand::Local(counter),
+            b: count,
+            target: usize::MAX,
+        });
+        body(self);
+        self.push(Insn::Arith {
+            op: cg_vm::ArithOp::Add,
+            dst: counter,
+            a: Operand::Local(counter),
+            b: Operand::Imm(1),
+        });
+        self.push(Insn::Jump { target: check_pc });
+        let end_pc = self.pc();
+        match &mut self.code[check_pc] {
+            Insn::Branch { target, .. } => *target = end_pc,
+            _ => unreachable!("check_pc indexes the loop branch"),
+        }
+        self
+    }
+
+    /// Emits a busy arithmetic loop of `iterations` iterations, using
+    /// `counter` and `scratch` as scratch locals.  Models the computational
+    /// kernels of compress/mpegaudio without allocating.
+    pub fn compute(&mut self, counter: LocalIdx, scratch: LocalIdx, iterations: u32) -> &mut Self {
+        if iterations == 0 {
+            return self;
+        }
+        self.push(Insn::Const { dst: scratch, value: 0x9E37 });
+        self.counted_loop(counter, Operand::Imm(iterations as i64), |body| {
+            body.push(Insn::Arith {
+                op: cg_vm::ArithOp::Mul,
+                dst: scratch,
+                a: Operand::Local(scratch),
+                b: Operand::Imm(31),
+            });
+            body.push(Insn::Arith {
+                op: cg_vm::ArithOp::Xor,
+                dst: scratch,
+                a: Operand::Local(scratch),
+                b: Operand::Imm(0x5DEECE),
+            });
+        });
+        self
+    }
+
+    /// Appends `return;`.
+    pub fn return_none(&mut self) -> &mut Self {
+        self.push(Insn::Return { value: None })
+    }
+
+    /// Appends `return local;`.
+    pub fn return_value(&mut self, local: LocalIdx) -> &mut Self {
+        self.push(Insn::Return { value: Some(local) })
+    }
+
+    /// Finishes the body.
+    pub fn into_code(self) -> Vec<Insn> {
+        self.code
+    }
+}
+
+/// Builds a [`Program`], allowing methods to be declared before they are
+/// defined so mutually recursive call graphs are easy to construct.
+///
+/// # Example
+///
+/// ```
+/// use cg_workloads::{ProgramBuilder, CodeBuilder};
+/// use cg_vm::Insn;
+///
+/// let mut pb = ProgramBuilder::new("example");
+/// let class = pb.class("Node", 2);
+/// let helper = pb.declare("helper", 0);
+/// pb.define(helper, 1, vec![Insn::New { class, dst: 0 }, Insn::Return { value: None }]);
+/// let main = pb.method("main", 0, 1, vec![
+///     Insn::Call { method: helper, args: vec![], dst: None },
+///     Insn::Return { value: None },
+/// ]);
+/// pb.set_entry(main);
+/// let program = pb.build();
+/// assert!(program.validate().is_ok());
+/// ```
+#[derive(Debug, Clone)]
+pub struct ProgramBuilder {
+    name: String,
+    classes: Vec<ClassDef>,
+    methods: Vec<Option<MethodDef>>,
+    method_names: Vec<String>,
+    method_args: Vec<usize>,
+    static_count: usize,
+    entry: Option<MethodId>,
+}
+
+impl ProgramBuilder {
+    /// Creates an empty builder for a named program.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            classes: Vec::new(),
+            methods: Vec::new(),
+            method_names: Vec::new(),
+            method_args: Vec::new(),
+            static_count: 0,
+            entry: None,
+        }
+    }
+
+    /// Adds a class.
+    pub fn class(&mut self, name: &str, field_count: usize) -> ClassId {
+        let id = ClassId::new(self.classes.len() as u32);
+        self.classes.push(ClassDef::new(name, field_count));
+        id
+    }
+
+    /// Reserves a static variable slot.
+    pub fn static_slot(&mut self) -> StaticId {
+        let id = StaticId::new(self.static_count as u32);
+        self.static_count += 1;
+        id
+    }
+
+    /// Declares a method (name and arity) without a body yet.
+    pub fn declare(&mut self, name: &str, arg_count: usize) -> MethodId {
+        let id = MethodId::new(self.methods.len() as u32);
+        self.methods.push(None);
+        self.method_names.push(name.to_string());
+        self.method_args.push(arg_count);
+        id
+    }
+
+    /// Defines the body of a previously declared method.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the method was already defined or never declared.
+    pub fn define(&mut self, id: MethodId, max_locals: usize, code: Vec<Insn>) {
+        let slot = self
+            .methods
+            .get_mut(id.index())
+            .unwrap_or_else(|| panic!("method {id} was never declared"));
+        assert!(slot.is_none(), "method {id} is already defined");
+        *slot = Some(MethodDef::new(
+            self.method_names[id.index()].clone(),
+            self.method_args[id.index()],
+            max_locals,
+            code,
+        ));
+    }
+
+    /// Declares and defines a method in one step.
+    pub fn method(&mut self, name: &str, arg_count: usize, max_locals: usize, code: Vec<Insn>) -> MethodId {
+        let id = self.declare(name, arg_count);
+        self.define(id, max_locals, code);
+        id
+    }
+
+    /// Sets the entry method.
+    pub fn set_entry(&mut self, id: MethodId) {
+        self.entry = Some(id);
+    }
+
+    /// Builds the program.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a declared method was never defined or no entry was set.
+    pub fn build(self) -> Program {
+        let mut program = Program::named(self.name);
+        for class in self.classes {
+            program.add_class(class);
+        }
+        for _ in 0..self.static_count {
+            program.add_static();
+        }
+        for (index, method) in self.methods.into_iter().enumerate() {
+            let name = &self.method_names[index];
+            program.add_method(method.unwrap_or_else(|| panic!("method '{name}' was declared but never defined")));
+        }
+        program.set_entry(self.entry.expect("an entry method must be set"));
+        program
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cg_vm::{NoopCollector, Vm, VmConfig};
+
+    #[test]
+    fn counted_loop_executes_body_n_times() {
+        let mut pb = ProgramBuilder::new("loop-test");
+        let class = pb.class("Obj", 0);
+        let mut code = CodeBuilder::new();
+        code.counted_loop(1, Operand::Imm(7), |body| {
+            body.push(Insn::New { class, dst: 0 });
+        });
+        code.return_none();
+        let main = pb.method("main", 0, 2, code.into_code());
+        pb.set_entry(main);
+        let program = pb.build();
+        assert!(program.validate().is_ok());
+        let mut vm = Vm::new(program, VmConfig::small(), NoopCollector::new());
+        let outcome = vm.run().unwrap();
+        assert_eq!(outcome.stats.objects_allocated, 7);
+    }
+
+    #[test]
+    fn nested_loops_multiply() {
+        let mut pb = ProgramBuilder::new("nested");
+        let class = pb.class("Obj", 0);
+        let mut code = CodeBuilder::new();
+        code.counted_loop(1, Operand::Imm(3), |outer| {
+            outer.counted_loop(2, Operand::Imm(4), |inner| {
+                inner.push(Insn::New { class, dst: 0 });
+            });
+        });
+        code.return_none();
+        let main = pb.method("main", 0, 3, code.into_code());
+        pb.set_entry(main);
+        let mut vm = Vm::new(pb.build(), VmConfig::small(), NoopCollector::new());
+        let outcome = vm.run().unwrap();
+        assert_eq!(outcome.stats.objects_allocated, 12);
+    }
+
+    #[test]
+    fn zero_iteration_loop_skips_body() {
+        let mut pb = ProgramBuilder::new("zero");
+        let class = pb.class("Obj", 0);
+        let mut code = CodeBuilder::new();
+        code.counted_loop(1, Operand::Imm(0), |body| {
+            body.push(Insn::New { class, dst: 0 });
+        });
+        code.return_none();
+        let main = pb.method("main", 0, 2, code.into_code());
+        pb.set_entry(main);
+        let mut vm = Vm::new(pb.build(), VmConfig::small(), NoopCollector::new());
+        assert_eq!(vm.run().unwrap().stats.objects_allocated, 0);
+    }
+
+    #[test]
+    fn compute_emits_arithmetic_without_allocation() {
+        let mut pb = ProgramBuilder::new("compute");
+        let mut code = CodeBuilder::new();
+        code.compute(0, 1, 50);
+        code.compute(0, 1, 0);
+        code.return_none();
+        let main = pb.method("main", 0, 2, code.into_code());
+        pb.set_entry(main);
+        let mut vm = Vm::new(pb.build(), VmConfig::small(), NoopCollector::new());
+        let outcome = vm.run().unwrap();
+        assert_eq!(outcome.stats.objects_allocated, 0);
+        assert!(outcome.stats.instructions > 100);
+    }
+
+    #[test]
+    fn forward_declared_methods_support_mutual_calls() {
+        let mut pb = ProgramBuilder::new("mutual");
+        let ping = pb.declare("ping", 1);
+        let pong = pb.declare("pong", 1);
+        // ping(n): if n <= 0 return; pong(n-1)
+        let mut code = CodeBuilder::new();
+        code.push(Insn::Branch { cond: Cond::Le, a: Operand::Local(0), b: Operand::Imm(0), target: 3 });
+        code.push(Insn::Arith { op: cg_vm::ArithOp::Sub, dst: 0, a: Operand::Local(0), b: Operand::Imm(1) });
+        code.push(Insn::Call { method: pong, args: vec![0], dst: None });
+        code.return_none();
+        pb.define(ping, 1, code.into_code());
+        let mut code = CodeBuilder::new();
+        code.push(Insn::Branch { cond: Cond::Le, a: Operand::Local(0), b: Operand::Imm(0), target: 3 });
+        code.push(Insn::Arith { op: cg_vm::ArithOp::Sub, dst: 0, a: Operand::Local(0), b: Operand::Imm(1) });
+        code.push(Insn::Call { method: ping, args: vec![0], dst: None });
+        code.return_none();
+        pb.define(pong, 1, code.into_code());
+        let main = pb.method("main", 0, 1, vec![
+            Insn::Const { dst: 0, value: 9 },
+            Insn::Call { method: ping, args: vec![0], dst: None },
+            Insn::Return { value: None },
+        ]);
+        pb.set_entry(main);
+        let program = pb.build();
+        assert!(program.validate().is_ok());
+        let mut vm = Vm::new(program, VmConfig::small(), NoopCollector::new());
+        let outcome = vm.run().unwrap();
+        assert_eq!(outcome.stats.method_calls, 11);
+    }
+
+    #[test]
+    #[should_panic(expected = "never defined")]
+    fn undefined_method_panics_at_build() {
+        let mut pb = ProgramBuilder::new("bad");
+        let m = pb.declare("ghost", 0);
+        let main = pb.method("main", 0, 1, vec![
+            Insn::Call { method: m, args: vec![], dst: None },
+            Insn::Return { value: None },
+        ]);
+        pb.set_entry(main);
+        let _ = pb.build();
+    }
+
+    #[test]
+    #[should_panic(expected = "already defined")]
+    fn double_definition_panics() {
+        let mut pb = ProgramBuilder::new("bad");
+        let m = pb.declare("m", 0);
+        pb.define(m, 1, vec![Insn::Return { value: None }]);
+        pb.define(m, 1, vec![Insn::Return { value: None }]);
+    }
+}

@@ -1,0 +1,163 @@
+//! Synthetic SPECjvm98-like workloads for the contaminated-GC reproduction.
+//!
+//! The paper evaluates its collector on the eight SPECjvm98 benchmarks at
+//! problem sizes 1, 10 and 100.  SPECjvm98 is proprietary Java code that
+//! needs a real JVM, so this crate replaces each benchmark with a synthetic
+//! program — built from a documented **demographic profile** — that
+//! reproduces the allocation behaviour the collector reacts to: how many
+//! objects are created, how long they live, whether they escape their frame,
+//! whether they reference static data, whether threads share them, and how
+//! much computation surrounds the allocation.  See
+//! [`benchmarks`] for the per-benchmark modelling notes and
+//! [`profile::synthesize`] for the generator.
+//!
+//! # Example
+//!
+//! ```
+//! use cg_workloads::{Size, Workload};
+//! use cg_core::ContaminatedGc;
+//! use cg_vm::{Vm, VmConfig};
+//!
+//! let workload = Workload::by_name("db").unwrap();
+//! let program = workload.program(Size::S1);
+//! let mut vm = Vm::new(program, VmConfig::default(), ContaminatedGc::new());
+//! vm.run()?;
+//! let stats = vm.collector().stats();
+//! assert!(stats.objects_created > 1_000);
+//! // At size 1 most of db's objects are the long-lived records.
+//! assert!(stats.collectable_percent() < 60.0);
+//! # Ok::<(), cg_vm::VmError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod benchmarks;
+pub mod builder;
+pub mod profile;
+
+pub use builder::{CodeBuilder, ProgramBuilder};
+pub use profile::{synthesize, Profile};
+
+use cg_vm::Program;
+
+/// SPEC problem size.
+///
+/// The paper runs every benchmark at sizes 1 ("small"), 10 ("medium") and
+/// 100 ("large"); the collectable percentages improve markedly with size
+/// because the dynamically allocated population grows while the static
+/// setup does not.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Size {
+    /// SPEC size 1 (small).
+    S1,
+    /// SPEC size 10 (medium).
+    S10,
+    /// SPEC size 100 (large).
+    S100,
+}
+
+impl Size {
+    /// All sizes, smallest first.
+    pub const ALL: [Size; 3] = [Size::S1, Size::S10, Size::S100];
+
+    /// The numeric SPEC size (1, 10 or 100).
+    pub fn spec_number(self) -> u32 {
+        match self {
+            Size::S1 => 1,
+            Size::S10 => 10,
+            Size::S100 => 100,
+        }
+    }
+
+    /// Parses `"1"`, `"10"` or `"100"`.
+    pub fn parse(s: &str) -> Option<Size> {
+        match s.trim() {
+            "1" => Some(Size::S1),
+            "10" => Some(Size::S10),
+            "100" => Some(Size::S100),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for Size {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.spec_number())
+    }
+}
+
+/// A named synthetic benchmark.
+///
+/// `Workload` is a thin handle: it resolves the benchmark's demographic
+/// profile for a problem size and synthesises the runnable program.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Workload {
+    name: &'static str,
+}
+
+impl Workload {
+    /// All eight workloads in the paper's order.
+    pub fn all() -> Vec<Workload> {
+        benchmarks::BENCHMARK_NAMES.iter().map(|name| Workload { name }).collect()
+    }
+
+    /// Looks a workload up by its SPEC benchmark name.
+    pub fn by_name(name: &str) -> Option<Workload> {
+        benchmarks::BENCHMARK_NAMES
+            .iter()
+            .find(|&&n| n == name)
+            .map(|name| Workload { name })
+    }
+
+    /// The benchmark name (`"compress"`, `"jess"`, ...).
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// The demographic profile at the given size.
+    pub fn profile(&self, size: Size) -> Profile {
+        benchmarks::profile_of(self.name, size)
+    }
+
+    /// Synthesises the runnable program at the given size.
+    pub fn program(&self, size: Size) -> Program {
+        synthesize(&self.profile(size))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn size_parsing_and_display() {
+        assert_eq!(Size::parse("1"), Some(Size::S1));
+        assert_eq!(Size::parse(" 10 "), Some(Size::S10));
+        assert_eq!(Size::parse("100"), Some(Size::S100));
+        assert_eq!(Size::parse("42"), None);
+        assert_eq!(Size::S10.to_string(), "10");
+        assert_eq!(Size::ALL.len(), 3);
+        assert!(Size::S1 < Size::S100);
+    }
+
+    #[test]
+    fn workload_registry_is_complete() {
+        let all = Workload::all();
+        assert_eq!(all.len(), 8);
+        assert!(Workload::by_name("raytrace").is_some());
+        assert!(Workload::by_name("doom").is_none());
+        for w in all {
+            let program = w.program(Size::S1);
+            assert!(program.validate().is_ok(), "{} must validate", w.name());
+            assert_eq!(program.name(), w.name());
+        }
+    }
+
+    #[test]
+    fn profiles_are_consistent_with_programs() {
+        let w = Workload::by_name("jess").unwrap();
+        assert_eq!(w.profile(Size::S1).name, "jess");
+        assert!(w.profile(Size::S10).iterations > w.profile(Size::S1).iterations);
+    }
+}

@@ -1,0 +1,449 @@
+//! Demographic profiles and the program synthesiser.
+//!
+//! The paper evaluates the contaminated collector on SPECjvm98.  Those
+//! benchmarks are proprietary Java programs, so this reproduction replaces
+//! each one with a *synthetic* program whose **object demographics** — how
+//! many objects are allocated, how long they live, whether they escape their
+//! allocating frame, whether they touch static data, whether several threads
+//! share them, and how much non-allocating computation surrounds them — are
+//! modelled on the behaviour the paper reports for that benchmark.  The
+//! contaminated collector only reacts to those demographic events, so a
+//! faithful demographic reproduces the collector's behaviour even though the
+//! program logic is different.
+//!
+//! A [`Profile`] captures the demographic knobs; [`synthesize`] turns a
+//! profile into a runnable [`Program`] for the `cg-vm` interpreter.
+
+use cg_vm::{Insn, MethodId, Operand, Program};
+
+use crate::builder::{CodeBuilder, ProgramBuilder};
+
+/// The demographic description of one synthetic workload.
+///
+/// Per *iteration* the generated program allocates
+/// `leaf_temps + chained_temps + static_touching_temps + returned_temps +
+/// leaked_per_iteration` objects; on top of that the program allocates
+/// `static_setup` long-lived objects at startup, `interned` interned objects,
+/// and `shared_objects` objects that are handed to a second thread.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Profile {
+    /// Benchmark name (matches the SPECjvm98 benchmark it models).
+    pub name: String,
+    /// One-line description of what is being modelled.
+    pub description: String,
+    /// Long-lived objects built at startup and reachable from static
+    /// variables for the whole run (dictionaries, scene graphs, rule bases).
+    pub static_setup: u32,
+    /// Objects registered with the interpreter's intern table (§3.2); capped
+    /// at 64 by the synthesiser.
+    pub interned: u32,
+    /// Outer work-loop iterations (this is what the SPEC problem sizes 1, 10
+    /// and 100 scale).
+    pub iterations: u64,
+    /// Per iteration: temporaries that never escape the leaf method — they
+    /// die in their birth frame as singleton (exactly collectable) blocks.
+    pub leaf_temps: u32,
+    /// Per iteration: temporaries linked into a chain before dying — they
+    /// die as one multi-object equilive block.
+    pub chained_temps: u32,
+    /// Per iteration: temporaries that store a reference to a static object.
+    /// With the §3.4 optimisation they stay collectable; without it they are
+    /// dragged into the static set (the "no opt" column of Figure 4.1).
+    pub static_touching_temps: u32,
+    /// Per iteration: temporaries returned up `escape_depth` frames before
+    /// being dropped (they age `escape_depth` frames before dying,
+    /// Figure 4.6).
+    pub returned_temps: u32,
+    /// How many frames the returned temporaries climb before dying.
+    pub escape_depth: u32,
+    /// Per iteration: objects linked into a static list — they live until
+    /// the program ends.
+    pub leaked_per_iteration: u32,
+    /// Per iteration: non-allocating arithmetic loop iterations (models
+    /// computation-bound benchmarks such as compress and mpegaudio).
+    pub compute_per_iteration: u32,
+    /// Objects allocated by the main thread and then traversed by a helper
+    /// thread; the contaminated collector must treat them as static (§3.3).
+    pub shared_objects: u32,
+    /// Worker threads that each run an equal share of the iterations (models
+    /// mtrt's rendering threads).
+    pub worker_threads: u32,
+}
+
+impl Profile {
+    /// A rough prediction of the number of objects the synthesised program
+    /// allocates (used by tests to sanity-check the generator, not by the
+    /// experiments, which count real allocations).
+    pub fn expected_objects(&self) -> u64 {
+        let per_iteration = (self.leaf_temps
+            + self.chained_temps
+            + self.static_touching_temps
+            + self.returned_temps
+            + self.leaked_per_iteration) as u64;
+        let mut total = self.static_setup as u64
+            + 1 // the static table array
+            + self.interned.min(64) as u64
+            + self.iterations * per_iteration;
+        if self.shared_objects > 0 {
+            total += self.shared_objects as u64 + 1; // the shared array
+        }
+        total
+    }
+
+    /// The fraction of allocated objects the contaminated collector should
+    /// be able to collect with the §3.4 optimisation enabled (a rough
+    /// prediction used in tests).
+    pub fn expected_collectable_fraction(&self) -> f64 {
+        let collectable = (self.leaf_temps
+            + self.chained_temps
+            + self.static_touching_temps
+            + self.returned_temps) as u64
+            * self.iterations;
+        collectable as f64 / self.expected_objects() as f64
+    }
+}
+
+/// Locals used by the generated methods (all methods fit in this many).
+const LOCALS: usize = 10;
+
+/// Generates a runnable program from a demographic profile.
+///
+/// The generated program has the following shape (methods elided when their
+/// knob is zero):
+///
+/// ```text
+/// main:
+///   setup()                      // static_setup chain + table + interned
+///   share_batch()                // shared_objects handed to a loader thread
+///   spawn worker(n/threads) ...  // worker_threads
+///   driver(remaining iterations)
+/// driver(n): n times iteration()
+/// iteration(): leaf_work(); escape_1(); leak
+/// leaf_work(): leaf/chained/static-touching temps + compute loop
+/// escape_k(): escape_{k+1}() … escape_depth allocates and returns a chain
+/// ```
+pub fn synthesize(profile: &Profile) -> Program {
+    let mut pb = ProgramBuilder::new(profile.name.clone());
+    let node = pb.class("Node", 2);
+    let table_class = pb.class("NodeTable", 0);
+    let s_head = pb.static_slot(); // head of the static setup chain
+    let s_table = pb.static_slot(); // array of setup nodes
+    let s_leak = pb.static_slot(); // head of the leak list
+
+    // ------------------------------------------------------------------
+    // setup()
+    // ------------------------------------------------------------------
+    let setup = pb.declare("setup", 0);
+    {
+        let table_len = (profile.static_setup / 4).clamp(1, 512) as i64;
+        let chain_len = profile.static_setup as i64;
+        let mut code = CodeBuilder::new();
+        // Static chain: locals 0=node, 1=prev, 2=counter.
+        code.push(Insn::LoadNull { dst: 1 });
+        code.counted_loop(2, Operand::Imm(chain_len), |body| {
+            body.push(Insn::New { class: node, dst: 0 });
+            body.push(Insn::PutField { object: 0, field: 0, value: 1 });
+            body.push(Insn::Move { dst: 1, src: 0 });
+        });
+        code.push(Insn::PutStatic { static_id: s_head, value: 1 });
+        // Static table: an array whose elements come from the chain head so
+        // worker threads have something indexed to read.
+        code.push(Insn::NewArray { class: table_class, length: Operand::Imm(table_len), dst: 3 });
+        code.counted_loop(2, Operand::Imm(table_len), |body| {
+            body.push(Insn::ArrayStore { array: 3, index: Operand::Local(2), value: 1 });
+        });
+        code.push(Insn::PutStatic { static_id: s_table, value: 3 });
+        // Interned objects (distinct keys, straight-line).
+        for key in 0..profile.interned.min(64) {
+            code.push(Insn::New { class: node, dst: 0 });
+            code.push(Insn::Intern { key, src: 0, dst: 0 });
+        }
+        code.return_none();
+        pb.define(setup, LOCALS, code.into_code());
+    }
+
+    // ------------------------------------------------------------------
+    // leaf_work()
+    // ------------------------------------------------------------------
+    let leaf_work = pb.declare("leaf_work", 0);
+    {
+        let mut code = CodeBuilder::new();
+        // Singleton temporaries: locals 0=node, 5=counter.
+        if profile.leaf_temps > 0 {
+            code.counted_loop(5, Operand::Imm(profile.leaf_temps as i64), |body| {
+                body.push(Insn::New { class: node, dst: 0 });
+            });
+        }
+        // Chained temporaries: locals 0=node, 1=prev.
+        if profile.chained_temps > 0 {
+            code.push(Insn::LoadNull { dst: 1 });
+            code.counted_loop(5, Operand::Imm(profile.chained_temps as i64), |body| {
+                body.push(Insn::New { class: node, dst: 0 });
+                body.push(Insn::PutField { object: 0, field: 0, value: 1 });
+                body.push(Insn::Move { dst: 1, src: 0 });
+            });
+        }
+        // Static-touching temporaries: a chain of temporaries each of which
+        // also stores a reference to the static chain head (the §3.4
+        // scenario: containers of references into long-lived data).  With
+        // the optimisation the chain stays collectable; without it the first
+        // static reference drags the whole chain into the static set.
+        if profile.static_touching_temps > 0 {
+            code.push(Insn::GetStatic { static_id: s_head, dst: 2 });
+            code.push(Insn::LoadNull { dst: 3 });
+            code.counted_loop(5, Operand::Imm(profile.static_touching_temps as i64), |body| {
+                body.push(Insn::New { class: node, dst: 0 });
+                body.push(Insn::PutField { object: 0, field: 1, value: 2 });
+                body.push(Insn::PutField { object: 0, field: 0, value: 3 });
+                body.push(Insn::Move { dst: 3, src: 0 });
+            });
+        }
+        code.compute(5, 6, profile.compute_per_iteration);
+        code.return_none();
+        pb.define(leaf_work, LOCALS, code.into_code());
+    }
+
+    // ------------------------------------------------------------------
+    // escape_1 .. escape_depth
+    // ------------------------------------------------------------------
+    let escape_entry: Option<MethodId> = if profile.returned_temps > 0 && profile.escape_depth > 0 {
+        let depth = profile.escape_depth.max(1) as usize;
+        let ids: Vec<MethodId> = (0..depth)
+            .map(|level| pb.declare(&format!("escape_{}", level + 1), 0))
+            .collect();
+        for level in 0..depth {
+            let mut code = CodeBuilder::new();
+            if level + 1 == depth {
+                // Deepest level: allocate the escaping chain and return it.
+                code.push(Insn::LoadNull { dst: 1 });
+                code.counted_loop(5, Operand::Imm(profile.returned_temps as i64), |body| {
+                    body.push(Insn::New { class: node, dst: 0 });
+                    body.push(Insn::PutField { object: 0, field: 0, value: 1 });
+                    body.push(Insn::Move { dst: 1, src: 0 });
+                });
+                code.return_value(1);
+            } else {
+                code.push(Insn::Call { method: ids[level + 1], args: vec![], dst: Some(0) });
+                code.return_value(0);
+            }
+            pb.define(ids[level], LOCALS, code.into_code());
+        }
+        Some(ids[0])
+    } else {
+        None
+    };
+
+    // ------------------------------------------------------------------
+    // iteration()
+    // ------------------------------------------------------------------
+    let iteration = pb.declare("iteration", 0);
+    {
+        let mut code = CodeBuilder::new();
+        code.push(Insn::Call { method: leaf_work, args: vec![], dst: None });
+        if let Some(escape) = escape_entry {
+            code.push(Insn::Call { method: escape, args: vec![], dst: Some(0) });
+            code.push(Insn::LoadNull { dst: 0 });
+        }
+        if profile.leaked_per_iteration > 0 {
+            code.counted_loop(5, Operand::Imm(profile.leaked_per_iteration as i64), |body| {
+                body.push(Insn::New { class: node, dst: 0 });
+                body.push(Insn::GetStatic { static_id: s_leak, dst: 1 });
+                body.push(Insn::PutField { object: 0, field: 0, value: 1 });
+                body.push(Insn::PutStatic { static_id: s_leak, value: 0 });
+            });
+        }
+        code.return_none();
+        pb.define(iteration, LOCALS, code.into_code());
+    }
+
+    // ------------------------------------------------------------------
+    // driver(n)
+    // ------------------------------------------------------------------
+    let driver = pb.declare("driver", 1);
+    {
+        let mut code = CodeBuilder::new();
+        code.counted_loop(5, Operand::Local(0), |body| {
+            body.push(Insn::Call { method: iteration, args: vec![], dst: None });
+        });
+        code.return_none();
+        pb.define(driver, LOCALS, code.into_code());
+    }
+
+    // ------------------------------------------------------------------
+    // shared batch + loader thread (thread-shared objects, §3.3)
+    // ------------------------------------------------------------------
+    let share_batch: Option<MethodId> = if profile.shared_objects > 0 {
+        let loader = pb.declare("loader", 1);
+        {
+            // loader(array): touch every element.
+            let mut code = CodeBuilder::new();
+            code.counted_loop(2, Operand::Imm(profile.shared_objects as i64), |body| {
+                body.push(Insn::ArrayLoad { array: 0, index: Operand::Local(2), dst: 1 });
+                body.push(Insn::GetField { object: 1, field: 0, dst: 3 });
+            });
+            code.return_none();
+            pb.define(loader, LOCALS, code.into_code());
+        }
+        let share = pb.declare("share_batch", 0);
+        {
+            let mut code = CodeBuilder::new();
+            code.push(Insn::NewArray {
+                class: table_class,
+                length: Operand::Imm(profile.shared_objects as i64),
+                dst: 0,
+            });
+            code.counted_loop(2, Operand::Imm(profile.shared_objects as i64), |body| {
+                body.push(Insn::New { class: node, dst: 1 });
+                body.push(Insn::ArrayStore { array: 0, index: Operand::Local(2), value: 1 });
+            });
+            code.push(Insn::SpawnThread { method: loader, args: vec![0] });
+            code.return_none();
+            pb.define(share, LOCALS, code.into_code());
+        }
+        Some(share)
+    } else {
+        None
+    };
+
+    // ------------------------------------------------------------------
+    // worker(n) threads
+    // ------------------------------------------------------------------
+    let worker: Option<MethodId> = if profile.worker_threads > 0 {
+        let worker = pb.declare("worker", 1);
+        let mut code = CodeBuilder::new();
+        // Read a few scene objects from the static table, then do our share
+        // of the work.
+        code.push(Insn::GetStatic { static_id: s_table, dst: 1 });
+        code.push(Insn::ArrayLoad { array: 1, index: Operand::Imm(0), dst: 2 });
+        code.push(Insn::Call { method: driver, args: vec![0], dst: None });
+        code.return_none();
+        pb.define(worker, LOCALS, code.into_code());
+        Some(worker)
+    } else {
+        None
+    };
+
+    // ------------------------------------------------------------------
+    // main()
+    // ------------------------------------------------------------------
+    {
+        let mut code = CodeBuilder::new();
+        code.push(Insn::Call { method: setup, args: vec![], dst: None });
+        if let Some(share) = share_batch {
+            code.push(Insn::Call { method: share, args: vec![], dst: None });
+        }
+        let mut main_iterations = profile.iterations;
+        if let Some(worker) = worker {
+            let threads = profile.worker_threads as u64;
+            let per_thread = profile.iterations / (threads + 1);
+            for _ in 0..threads {
+                code.push(Insn::Const { dst: 0, value: per_thread as i64 });
+                code.push(Insn::SpawnThread { method: worker, args: vec![0] });
+            }
+            main_iterations = profile.iterations - per_thread * threads;
+        }
+        code.push(Insn::Const { dst: 0, value: main_iterations as i64 });
+        code.push(Insn::Call { method: driver, args: vec![0], dst: None });
+        code.return_none();
+        let main = pb.method("main", 0, LOCALS, code.into_code());
+        pb.set_entry(main);
+    }
+
+    let program = pb.build();
+    debug_assert!(program.validate().is_ok(), "synthesised program must validate");
+    program
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cg_core::ContaminatedGc;
+    use cg_vm::{NoopCollector, Vm, VmConfig};
+
+    fn tiny_profile() -> Profile {
+        Profile {
+            name: "tiny".to_string(),
+            description: "test profile".to_string(),
+            static_setup: 20,
+            interned: 3,
+            iterations: 10,
+            leaf_temps: 2,
+            chained_temps: 3,
+            static_touching_temps: 1,
+            returned_temps: 2,
+            escape_depth: 2,
+            leaked_per_iteration: 1,
+            compute_per_iteration: 5,
+            shared_objects: 0,
+            worker_threads: 0,
+        }
+    }
+
+    #[test]
+    fn synthesized_program_validates_and_runs() {
+        let profile = tiny_profile();
+        let program = synthesize(&profile);
+        assert!(program.validate().is_ok());
+        let mut vm = Vm::new(program, VmConfig::small(), NoopCollector::new());
+        let outcome = vm.run().expect("program runs");
+        let allocated = outcome.stats.objects_allocated + outcome.stats.arrays_allocated;
+        assert_eq!(allocated, profile.expected_objects());
+    }
+
+    #[test]
+    fn collectable_fraction_matches_prediction_roughly() {
+        let profile = tiny_profile();
+        let program = synthesize(&profile);
+        let mut vm = Vm::new(program, VmConfig::small(), ContaminatedGc::new());
+        vm.run().expect("program runs");
+        let stats = vm.collector().stats();
+        let measured = stats.collectable_percent() / 100.0;
+        let predicted = profile.expected_collectable_fraction();
+        assert!(
+            (measured - predicted).abs() < 0.15,
+            "measured {measured:.2} vs predicted {predicted:.2}"
+        );
+        // Age histogram must show the escape depth.
+        assert!(stats.age_at_death.bucket_count(profile.escape_depth as usize) > 0);
+        // Chained temporaries produce multi-object blocks.
+        assert!(stats.block_sizes.bucket_count(2) + stats.block_sizes.bucket_count(3) > 0);
+    }
+
+    #[test]
+    fn shared_objects_become_thread_shared() {
+        let mut profile = tiny_profile();
+        profile.shared_objects = 15;
+        let program = synthesize(&profile);
+        let mut vm = Vm::new(program, VmConfig::small(), ContaminatedGc::new());
+        vm.run().expect("program runs");
+        let mut cg = vm.collector().clone();
+        let breakdown = cg.breakdown();
+        assert!(breakdown.thread_shared >= 15, "thread shared = {}", breakdown.thread_shared);
+    }
+
+    #[test]
+    fn worker_threads_split_the_iterations() {
+        let mut profile = tiny_profile();
+        profile.worker_threads = 2;
+        profile.iterations = 30;
+        let program = synthesize(&profile);
+        let mut vm = Vm::new(program, VmConfig::small(), ContaminatedGc::new());
+        let outcome = vm.run().expect("program runs");
+        assert_eq!(outcome.stats.threads_spawned, 2);
+        // All iterations still happen (10 per worker + 10 on main).
+        let allocated = outcome.stats.objects_allocated + outcome.stats.arrays_allocated;
+        assert_eq!(allocated, profile.expected_objects());
+    }
+
+    #[test]
+    fn leaked_objects_stay_live() {
+        let mut profile = tiny_profile();
+        profile.leaked_per_iteration = 2;
+        profile.iterations = 20;
+        let program = synthesize(&profile);
+        let mut vm = Vm::new(program, VmConfig::small(), ContaminatedGc::new());
+        vm.run().expect("program runs");
+        // static chain + table + interned + leaked objects are still live.
+        assert!(vm.heap().live_count() >= 20 + 1 + 3 + 40);
+    }
+}

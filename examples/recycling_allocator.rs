@@ -1,0 +1,59 @@
+//! Object recycling (thesis §3.7): dead equilive blocks are kept on a
+//! recycle list and handed back to the allocator instead of being freed.
+//!
+//! The example runs the same allocation-heavy workload twice — once with
+//! plain contaminated GC and once with recycling enabled — and compares how
+//! many objects ever had to be taken from the heap's first-fit allocator.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example recycling_allocator
+//! ```
+
+use contaminated_gc::collector::{CgConfig, ContaminatedGc};
+use contaminated_gc::stats::percent;
+use contaminated_gc::vm::{Vm, VmConfig};
+use contaminated_gc::workloads::{Size, Workload};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // jack allocates hundreds of thousands of short-lived token objects —
+    // the paper reports it recycles 56% of its allocations (Figure 4.13).
+    let workload = Workload::by_name("jack").expect("jack is a known workload");
+    println!("workload: {} (size 1)", workload.name());
+    println!();
+
+    for (label, config) in [
+        ("plain contaminated GC", CgConfig::preferred()),
+        ("contaminated GC + recycling", CgConfig::with_recycling()),
+    ] {
+        let mut vm = Vm::new(
+            workload.program(Size::S1),
+            VmConfig::default(),
+            ContaminatedGc::with_config(config),
+        );
+        let outcome = vm.run()?;
+        let stats = vm.collector().stats();
+        println!("{label}:");
+        println!("  objects created:            {}", stats.objects_created);
+        println!(
+            "  served from recycle list:   {} ({:.1}%)",
+            stats.objects_recycled,
+            stats.recycled_percent()
+        );
+        println!(
+            "  taken from the heap:        {} ({:.1}%)",
+            outcome.heap.objects_allocated,
+            percent(outcome.heap.objects_allocated, stats.objects_created)
+        );
+        println!("  recycle-list probes:        {}", stats.recycle_probes);
+        println!("  heap bytes ever allocated:  {}", outcome.heap.bytes_allocated);
+        println!("  elapsed:                    {:.3}s", outcome.elapsed_seconds);
+        println!();
+    }
+
+    println!("With recycling, most allocations are satisfied by reinitialising a dead");
+    println!("object of the right size in place, so the heap allocator — and eventually");
+    println!("the traditional collector — has far less work to do.");
+    Ok(())
+}

@@ -1,0 +1,159 @@
+//! Soundness of the contaminated collector: it must never reclaim an object
+//! the program can still reach.
+//!
+//! The collector itself checks this at runtime when `verify_tainted` is on
+//! (it panics if a "dead" object is touched again), and the interpreter
+//! would report a `DeadHandle` heap error if a freed object were accessed.
+//! These tests drive randomly generated demographic profiles — including
+//! multi-threaded and recycling configurations — through full runs and also
+//! cross-check the contaminated collector against an independent
+//! reachability trace at program end.
+
+use cg_baseline::trace_live;
+use cg_core::{CgConfig, ContaminatedGc, HybridCollector, HybridConfig};
+use cg_vm::{Vm, VmConfig};
+use cg_workloads::{synthesize, Profile};
+use proptest::prelude::*;
+
+/// Builds a small random profile.  Kept deliberately tiny so a proptest run
+/// stays fast while still exercising every demographic knob.
+fn arb_profile() -> impl Strategy<Value = Profile> {
+    (
+        0u32..40,        // static_setup
+        0u32..4,         // interned
+        1u64..40,        // iterations
+        0u32..4,         // leaf_temps
+        0u32..4,         // chained_temps
+        0u32..4,         // static_touching_temps
+        0u32..3,         // returned_temps
+        1u32..4,         // escape_depth
+        0u32..2,         // leaked_per_iteration
+        0u32..12,        // shared_objects
+        0u32..3,         // worker_threads
+    )
+        .prop_map(
+            |(
+                static_setup,
+                interned,
+                iterations,
+                leaf_temps,
+                chained_temps,
+                static_touching_temps,
+                returned_temps,
+                escape_depth,
+                leaked_per_iteration,
+                shared_objects,
+                worker_threads,
+            )| Profile {
+                name: "random".to_string(),
+                description: "randomly generated demographic".to_string(),
+                static_setup,
+                interned,
+                iterations,
+                leaf_temps,
+                chained_temps,
+                static_touching_temps,
+                returned_temps,
+                escape_depth,
+                leaked_per_iteration,
+                compute_per_iteration: 0,
+                shared_objects,
+                worker_threads,
+            },
+        )
+}
+
+fn verified_config() -> CgConfig {
+    CgConfig {
+        verify_tainted: true,
+        ..CgConfig::preferred()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Random demographics run to completion under the contaminated
+    /// collector with runtime soundness verification enabled, and every
+    /// object that is reachable at program end is still live in the heap.
+    #[test]
+    fn cg_never_frees_reachable_objects(profile in arb_profile()) {
+        let program = synthesize(&profile);
+        let mut vm = Vm::new(program, VmConfig::small(), ContaminatedGc::with_config(verified_config()));
+        let outcome = vm.run().expect("run must not fail");
+        prop_assert_eq!(
+            outcome.stats.objects_allocated + outcome.stats.arrays_allocated,
+            profile.expected_objects()
+        );
+        // Everything reachable from the final roots must still be live.
+        let roots = vm.build_roots();
+        let live = trace_live(&roots, vm.heap());
+        for (index, reachable) in live.iter().enumerate() {
+            if *reachable {
+                prop_assert!(vm.heap().is_live(cg_heap::Handle::from_index(index as u32)));
+            }
+        }
+        // And CG accounts for every created object exactly once.
+        let breakdown = vm.collector_mut().breakdown();
+        prop_assert_eq!(breakdown.total(), vm.collector().stats().objects_created);
+    }
+
+    /// The same property holds with the static optimisation disabled, with
+    /// recycling enabled, and under the hybrid collector with periodic
+    /// resets.
+    #[test]
+    fn all_configurations_are_sound(profile in arb_profile()) {
+        let configs = [
+            CgConfig { verify_tainted: true, ..CgConfig::without_static_opt() },
+            CgConfig { verify_tainted: true, ..CgConfig::with_recycling() },
+        ];
+        for config in configs {
+            let program = synthesize(&profile);
+            let mut vm = Vm::new(program, VmConfig::small(), ContaminatedGc::with_config(config));
+            vm.run().expect("run must not fail");
+        }
+        // Hybrid with forced periodic collections and resetting.
+        let program = synthesize(&profile);
+        let hybrid = HybridCollector::new(HybridConfig {
+            cg: verified_config(),
+            reset_on_collect: true,
+        });
+        let mut vm = Vm::new(program, VmConfig::small().with_gc_every(500), hybrid);
+        vm.run().expect("hybrid run must not fail");
+    }
+
+    /// The contaminated collector is conservative with respect to real
+    /// reachability: at program end, the set of objects it still considers
+    /// live (not collected) is a superset of the objects that are actually
+    /// reachable.
+    #[test]
+    fn cg_liveness_is_conservative(profile in arb_profile()) {
+        let program = synthesize(&profile);
+        let mut vm = Vm::new(program, VmConfig::small(), ContaminatedGc::with_config(verified_config()));
+        vm.run().expect("run must not fail");
+        let roots = vm.build_roots();
+        let reachable = trace_live(&roots, vm.heap());
+        let reachable_count = reachable.iter().filter(|&&m| m).count();
+        // Objects CG kept = created - collected; it must be at least the
+        // number of truly reachable objects.
+        let stats = vm.collector().stats();
+        let kept = stats.objects_created - stats.objects_collected;
+        prop_assert!(kept as usize >= reachable_count,
+            "kept {} < reachable {}", kept, reachable_count);
+    }
+}
+
+/// A deterministic regression for the same property on the real workloads
+/// (size 1 of the two cheapest benchmarks), with verification enabled.
+#[test]
+fn real_workloads_run_with_verification() {
+    for name in ["db", "compress"] {
+        let workload = cg_workloads::Workload::by_name(name).unwrap();
+        let mut vm = Vm::new(
+            workload.program(cg_workloads::Size::S1),
+            VmConfig::default(),
+            ContaminatedGc::with_config(verified_config()),
+        );
+        vm.run().unwrap_or_else(|e| panic!("{name}: {e}"));
+    }
+}
