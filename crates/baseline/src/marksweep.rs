@@ -124,7 +124,7 @@ impl Collector for MarkSweep {
 mod tests {
     use super::*;
     use cg_heap::{ClassId, HeapConfig, Value};
-    use cg_vm::{FrameRoots, FrameId, FrameInfo, MethodId, ThreadId};
+    use cg_vm::{FrameId, FrameInfo, FrameRoots, MethodId, ThreadId};
 
     fn heap() -> Heap {
         Heap::new(HeapConfig::small())
@@ -259,10 +259,24 @@ mod tests {
         // Allocate 2000 short-lived objects in a loop; the heap holds ~64.
         let code = vec![
             Insn::Const { dst: 1, value: 0 },
-            Insn::Branch { cond: Cond::Ge, a: Operand::Local(1), b: Operand::Imm(2000), target: 6 },
+            Insn::Branch {
+                cond: Cond::Ge,
+                a: Operand::Local(1),
+                b: Operand::Imm(2000),
+                target: 6,
+            },
             Insn::New { class: c, dst: 0 },
-            Insn::PutField { object: 0, field: 0, value: 0 },
-            Insn::Arith { op: cg_vm::ArithOp::Add, dst: 1, a: Operand::Local(1), b: Operand::Imm(1) },
+            Insn::PutField {
+                object: 0,
+                field: 0,
+                value: 0,
+            },
+            Insn::Arith {
+                op: cg_vm::ArithOp::Add,
+                dst: 1,
+                a: Operand::Local(1),
+                b: Operand::Imm(1),
+            },
             Insn::Jump { target: 1 },
             Insn::Return { value: None },
         ];

@@ -5,16 +5,30 @@
 //! (union/find with path compression), collecting at a frame pop is cheap
 //! (no marking), and the traditional collector's marking pass is the
 //! expensive part being avoided.  These benches measure each of those costs
-//! in isolation.
-
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
-use std::hint::black_box;
+//! in isolation, plus two interpreter-level comparisons introduced with the
+//! event-stream refactor:
+//!
+//! * `step/old_clone_dispatch` vs `step/new_borrowed_dispatch` — the seed
+//!   interpreter cloned every executed instruction out of the method's code
+//!   (`Call` argument vectors included); the refactored `step` borrows the
+//!   code.  The pair of benches dispatches the same `Call`-heavy code
+//!   sequence both ways.
+//! * `interp/jess_size1_noop_run` — end-to-end interpreter throughput on a
+//!   call-heavy workload, tracking the real `step` path over time.
+//!
+//! Results land in `BENCH_microbench.json` (see `cg_bench::microbench`).
 
 use cg_baseline::MarkSweep;
+use cg_bench::BenchHarness;
 use cg_core::ContaminatedGc;
 use cg_heap::{ClassId, Heap, HeapConfig, Value};
 use cg_unionfind::DisjointSets;
-use cg_vm::{Collector, FrameId, FrameInfo, MethodId, RootSet, ThreadId};
+use cg_vm::{
+    Collector, FrameId, FrameInfo, Insn, MethodId, NoopCollector, Operand, RootSet, ThreadId, Vm,
+    VmConfig,
+};
+use cg_workloads::{Size, Workload};
+use std::hint::black_box;
 
 fn frame(id: u64, depth: usize) -> FrameInfo {
     FrameInfo {
@@ -25,139 +39,180 @@ fn frame(id: u64, depth: usize) -> FrameInfo {
     }
 }
 
-fn bench_unionfind(c: &mut Criterion) {
-    let mut group = c.benchmark_group("unionfind");
-    group.bench_function("union_find_1024_elements", |b| {
-        b.iter_batched(
-            || {
-                let mut sets = DisjointSets::with_capacity(1024);
-                for _ in 0..1024 {
-                    sets.make_set();
-                }
-                sets
-            },
-            |mut sets| {
-                for i in 0..1023u32 {
-                    sets.union(i, i + 1);
-                }
-                black_box(sets.find(0))
-            },
-            BatchSize::SmallInput,
-        );
-    });
-    group.bench_function("find_after_compression", |b| {
-        let mut sets = DisjointSets::with_capacity(4096);
-        for _ in 0..4096 {
+fn bench_unionfind(h: &mut BenchHarness) {
+    h.bench("unionfind/union_find_1024_elements", 2_000, || {
+        let mut sets = DisjointSets::with_capacity(1024);
+        for _ in 0..1024 {
             sets.make_set();
         }
-        for i in 0..4095u32 {
+        for i in 0..1023u32 {
             sets.union(i, i + 1);
         }
-        b.iter(|| black_box(sets.find(black_box(4095))));
+        sets.find(0)
     });
-    group.finish();
+    let mut sets = DisjointSets::with_capacity(4096);
+    for _ in 0..4096 {
+        sets.make_set();
+    }
+    for i in 0..4095u32 {
+        sets.union(i, i + 1);
+    }
+    h.bench("unionfind/find_after_compression", 1_000_000, || {
+        sets.find(black_box(4095))
+    });
 }
 
-fn bench_heap(c: &mut Criterion) {
-    let mut group = c.benchmark_group("heap");
-    group.bench_function("allocate_free_256_objects", |b| {
-        b.iter_batched(
-            || Heap::new(HeapConfig::small()),
-            |mut heap| {
-                let mut handles = Vec::with_capacity(256);
-                for _ in 0..256 {
-                    handles.push(heap.allocate(ClassId::new(0), 2).expect("fits"));
-                }
-                for handle in handles {
-                    heap.free(handle).expect("live");
-                }
-                black_box(heap.live_count())
-            },
-            BatchSize::SmallInput,
-        );
+fn bench_heap(h: &mut BenchHarness) {
+    h.bench("heap/allocate_free_256_objects", 2_000, || {
+        let mut heap = Heap::new(HeapConfig::small());
+        let mut handles = Vec::with_capacity(256);
+        for _ in 0..256 {
+            handles.push(heap.allocate(ClassId::new(0), 2).expect("fits"));
+        }
+        for handle in handles {
+            heap.free(handle).expect("live");
+        }
+        heap.live_count()
     });
-    group.finish();
 }
 
 /// The per-store cost the paper calls "extra work at every store operation".
-fn bench_store_barrier(c: &mut Criterion) {
-    let mut group = c.benchmark_group("cg_barrier");
-    group.bench_function("reference_store_same_block", |b| {
+fn bench_store_barrier(h: &mut BenchHarness) {
+    let mut heap = Heap::new(HeapConfig::spacious());
+    let mut cg = ContaminatedGc::new();
+    let f = frame(1, 1);
+    let a = heap.allocate(ClassId::new(0), 2).unwrap();
+    let b = heap.allocate(ClassId::new(0), 2).unwrap();
+    cg.on_allocate(a, &f, &heap);
+    cg.on_allocate(b, &f, &heap);
+    heap.set_field(a, 0, Value::from(b)).unwrap();
+    h.bench("cg_barrier/reference_store_same_block", 1_000_000, || {
+        cg.on_reference_store(black_box(a), black_box(b), &f, &heap);
+    });
+
+    h.bench("cg_barrier/frame_pop_with_64_singletons", 5_000, || {
         let mut heap = Heap::new(HeapConfig::spacious());
         let mut cg = ContaminatedGc::new();
-        let f = frame(1, 1);
-        let a = heap.allocate(ClassId::new(0), 2).unwrap();
-        let b_obj = heap.allocate(ClassId::new(0), 2).unwrap();
-        cg.on_allocate(a, &f, &heap);
-        cg.on_allocate(b_obj, &f, &heap);
-        heap.set_field(a, 0, Value::from(b_obj)).unwrap();
-        b.iter(|| {
-            cg.on_reference_store(black_box(a), black_box(b_obj), &f, &heap);
-        });
+        let f = frame(2, 2);
+        for _ in 0..64 {
+            let handle = heap.allocate(ClassId::new(0), 2).unwrap();
+            cg.on_allocate(handle, &f, &heap);
+        }
+        cg.on_frame_pop(&f, &mut heap).freed_objects
     });
-    group.bench_function("frame_pop_with_64_singletons", |b| {
-        b.iter_batched(
-            || {
-                let mut heap = Heap::new(HeapConfig::spacious());
-                let mut cg = ContaminatedGc::new();
-                let f = frame(2, 2);
-                for _ in 0..64 {
-                    let h = heap.allocate(ClassId::new(0), 2).unwrap();
-                    cg.on_allocate(h, &f, &heap);
-                }
-                (heap, cg, f)
-            },
-            |(mut heap, mut cg, f)| {
-                let outcome = cg.on_frame_pop(&f, &mut heap);
-                black_box(outcome.freed_objects)
-            },
-            BatchSize::SmallInput,
-        );
-    });
-    group.finish();
 }
 
 /// The mark cost the contaminated collector avoids.
-fn bench_marksweep(c: &mut Criterion) {
-    let mut group = c.benchmark_group("msa");
-    group.bench_function("mark_sweep_4096_live_4096_dead", |b| {
-        b.iter_batched(
-            || {
-                let mut heap = Heap::new(HeapConfig::spacious());
-                let mut roots = Vec::new();
-                let mut previous = None;
-                for i in 0..8192u32 {
-                    let h = heap.allocate(ClassId::new(0), 2).unwrap();
-                    if i % 2 == 0 {
-                        // Half the objects form a list reachable from a root.
-                        if let Some(prev) = previous {
-                            heap.set_field(h, 0, Value::from(prev)).unwrap();
-                        }
-                        previous = Some(h);
-                    }
+fn bench_marksweep(h: &mut BenchHarness) {
+    h.bench("msa/mark_sweep_4096_live_4096_dead", 200, || {
+        let mut heap = Heap::new(HeapConfig::spacious());
+        let mut previous = None;
+        for i in 0..8192u32 {
+            let handle = heap.allocate(ClassId::new(0), 2).unwrap();
+            if i % 2 == 0 {
+                // Half the objects form a list reachable from a root.
+                if let Some(prev) = previous {
+                    heap.set_field(handle, 0, Value::from(prev)).unwrap();
                 }
-                roots.push(previous.unwrap());
-                let root_set = RootSet {
-                    statics: roots,
-                    ..RootSet::default()
-                };
-                (heap, root_set)
-            },
-            |(mut heap, roots)| {
-                let mut msa = MarkSweep::new();
-                black_box(msa.collect(&roots, &mut heap))
-            },
-            BatchSize::SmallInput,
-        );
+                previous = Some(handle);
+            }
+        }
+        let roots = RootSet {
+            statics: vec![previous.unwrap()],
+            ..RootSet::default()
+        };
+        let mut msa = MarkSweep::new();
+        msa.collect(&roots, &mut heap)
     });
-    group.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_unionfind,
-    bench_heap,
-    bench_store_barrier,
-    bench_marksweep
-);
-criterion_main!(benches);
+/// A `Call`-heavy code sequence of the shape the interpreter's hot loop
+/// sees: the old dispatch cloned each instruction (argument vectors and
+/// all), the new dispatch borrows it.
+fn call_heavy_code() -> Vec<Insn> {
+    (0..64)
+        .map(|i| match i % 4 {
+            0 => Insn::Call {
+                method: MethodId::new(0),
+                args: vec![0, 1, 2, 3],
+                dst: Some(4),
+            },
+            1 => Insn::Arith {
+                op: cg_vm::ArithOp::Add,
+                dst: 0,
+                a: Operand::Local(0),
+                b: Operand::Imm(1),
+            },
+            2 => Insn::Move { dst: 1, src: 0 },
+            _ => Insn::SpawnThread {
+                method: MethodId::new(0),
+                args: vec![0, 1],
+            },
+        })
+        .collect()
+}
+
+/// A tiny stand-in for instruction dispatch: enough of a `match` to make
+/// the clone-vs-borrow difference the only variable.
+fn dispatch_weight(insn: &Insn) -> u64 {
+    match insn {
+        Insn::Call { args, .. } | Insn::SpawnThread { args, .. } => args.len() as u64,
+        Insn::Arith { .. } => 2,
+        _ => 1,
+    }
+}
+
+fn bench_step_dispatch(h: &mut BenchHarness) {
+    let code = call_heavy_code();
+    let old = h.bench("step/old_clone_dispatch", 50_000, || {
+        let mut acc = 0u64;
+        for pc in 0..code.len() {
+            // The seed interpreter's fetch: clone the instruction out of the
+            // program so the borrow on the code ends before execution.
+            let insn = black_box(&code)[pc].clone();
+            acc += dispatch_weight(&insn);
+        }
+        acc
+    });
+    let new = h.bench("step/new_borrowed_dispatch", 50_000, || {
+        let mut acc = 0u64;
+        for pc in 0..code.len() {
+            // The refactored fetch: borrow the instruction in place.
+            let insn = &black_box(&code)[pc];
+            acc += dispatch_weight(insn);
+        }
+        acc
+    });
+    println!(
+        "step dispatch: borrowed fetch is {:.2}x the speed of the cloning fetch",
+        old / new.max(f64::MIN_POSITIVE)
+    );
+}
+
+fn bench_interpreter_throughput(h: &mut BenchHarness) {
+    let workload = Workload::by_name("jess").expect("known benchmark");
+    let program = workload.program(Size::S1);
+    let instructions = {
+        let mut vm = Vm::new(program.clone(), VmConfig::default(), NoopCollector::new());
+        vm.run().expect("jess runs").stats.instructions
+    };
+    let ns = h.bench("interp/jess_size1_noop_run", 5, || {
+        let mut vm = Vm::new(program.clone(), VmConfig::default(), NoopCollector::new());
+        vm.run().expect("jess runs").stats.instructions
+    });
+    println!(
+        "interp/jess_size1_noop_run: {:.1} ns per executed instruction ({instructions} instructions)",
+        ns / instructions as f64
+    );
+}
+
+fn main() {
+    let mut harness = BenchHarness::new("microbench");
+    bench_unionfind(&mut harness);
+    bench_heap(&mut harness);
+    bench_store_barrier(&mut harness);
+    bench_marksweep(&mut harness);
+    bench_step_dispatch(&mut harness);
+    bench_interpreter_throughput(&mut harness);
+    harness.write_json();
+}

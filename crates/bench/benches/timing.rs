@@ -1,17 +1,21 @@
-//! End-to-end timing benches behind Figures 4.7, 4.8 and 4.12.
+//! End-to-end timing benches behind Figures 4.7, 4.8 and 4.12, plus the
+//! live-vs-replay comparison of the trace runner.
 //!
-//! Criterion measures three representative size-1 workloads under the
-//! traditional collector, contaminated GC, and contaminated GC with
-//! recycling.  The full per-benchmark timing tables (all eight workloads,
-//! all three problem sizes, five repetitions) are produced by the
-//! `repro_fig4_7`, `repro_fig4_8`, `repro_fig4_10` and `repro_fig4_12`
-//! binaries, which print the paper-style tables; these benches exist so the
-//! relative collector costs are tracked with Criterion's statistics.
+//! Three representative size-1 workloads run under the traditional
+//! collector, contaminated GC, and contaminated GC with recycling.  The full
+//! per-benchmark timing tables (all eight workloads, all three problem
+//! sizes, five repetitions) are produced by the `repro_fig4_7`,
+//! `repro_fig4_8`, `repro_fig4_10` and `repro_fig4_12` binaries; these
+//! benches exist so the relative collector costs are tracked run over run
+//! in `BENCH_timing.json`.
+//!
+//! The `trace/` group times the two halves of the trace-driven runner on
+//! `db`: recording a workload (one interpretation) and replaying its stream
+//! against the contaminated collector.  Replay must beat live interpretation
+//! — that is the point of the event-stream layer: evaluating another
+//! collector costs a replay, not a re-interpretation.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use std::hint::black_box;
-
-use cg_bench::{run_once, CollectorChoice};
+use cg_bench::{record_workload_trace, replay_run, run_once, BenchHarness, CollectorChoice};
 use cg_workloads::{Size, Workload};
 
 /// Representative subset: one record-heavy benchmark (db), one
@@ -19,26 +23,53 @@ use cg_workloads::{Size, Workload};
 /// (compress).
 const SUBSET: [&str; 3] = ["db", "jess", "compress"];
 
-fn bench_collectors(c: &mut Criterion) {
+fn bench_collectors(h: &mut BenchHarness) {
     for name in SUBSET {
         let workload = Workload::by_name(name).expect("known benchmark");
-        let mut group = c.benchmark_group(format!("timing_size1/{name}"));
-        group.sample_size(10);
         for choice in [
             CollectorChoice::Baseline,
             CollectorChoice::Cg,
             CollectorChoice::CgRecycle,
         ] {
-            group.bench_function(choice.label(), |b| {
-                b.iter(|| {
-                    let result = run_once(workload, Size::S1, choice).expect("run succeeds");
-                    black_box(result.objects_created())
-                });
+            h.bench(format!("timing_size1/{name}/{}", choice.label()), 3, || {
+                let result = run_once(workload, Size::S1, choice).expect("run succeeds");
+                result.objects_created()
             });
         }
-        group.finish();
     }
 }
 
-criterion_group!(timing, bench_collectors);
-criterion_main!(timing);
+fn bench_trace_runner(h: &mut BenchHarness) {
+    let workload = Workload::by_name("db").expect("known benchmark");
+    let live = h.bench("trace/db_live_cg_run", 3, || {
+        run_once(workload, Size::S1, CollectorChoice::Cg)
+            .expect("live run succeeds")
+            .objects_created()
+    });
+    h.bench("trace/db_record_once", 3, || {
+        record_workload_trace(workload, Size::S1, None)
+            .expect("recording succeeds")
+            .trace
+            .len()
+    });
+    let recorded = record_workload_trace(workload, Size::S1, None).expect("recording succeeds");
+    let replay = h.bench("trace/db_replay_cg", 3, || {
+        replay_run(&recorded, CollectorChoice::Cg)
+            .expect("replay succeeds")
+            .objects_created()
+    });
+    println!(
+        "trace runner: replaying CG is {:.2}x the speed of live interpretation",
+        live / replay.max(f64::MIN_POSITIVE)
+    );
+    if replay >= live {
+        eprintln!("WARNING: replay was not faster than live interpretation on this machine");
+    }
+}
+
+fn main() {
+    let mut harness = BenchHarness::new("timing");
+    bench_collectors(&mut harness);
+    bench_trace_runner(&mut harness);
+    harness.write_json();
+}

@@ -9,10 +9,15 @@
 //! With no ids, every experiment is run in paper order.  The rendered
 //! reports are printed to stdout and also written to
 //! `experiments_output.md` in the current directory so `EXPERIMENTS.md` can
-//! be cross-checked against a fresh run.
+//! be cross-checked against a fresh run.  The same reports — every table
+//! cell and every paper-vs-measured record — are additionally written as
+//! machine-readable `BENCH_repro.json`, so the reproduction's perf and
+//! accuracy trajectory can be tracked mechanically from run to run.
 
 use std::fs;
 use std::io::Write as _;
+
+use cg_stats::Json;
 
 fn main() {
     let (options, ids) = cg_bench::parse_options(std::env::args().skip(1));
@@ -28,6 +33,7 @@ fn main() {
         "Options: repetitions={}, medium={}, large={}\n\n",
         options.repetitions, options.include_medium, options.include_large
     ));
+    let mut report_json = Vec::new();
 
     for id in &ids {
         eprintln!("running {id} ...");
@@ -36,6 +42,7 @@ fn main() {
         println!("{text}");
         rendered.push_str(&text);
         rendered.push('\n');
+        report_json.push(report.to_json_value());
     }
 
     let path = "experiments_output.md";
@@ -48,5 +55,22 @@ fn main() {
             }
         }
         Err(e) => eprintln!("could not create {path}: {e}"),
+    }
+
+    let json = Json::obj([
+        (
+            "options",
+            Json::obj([
+                ("repetitions", Json::Num(options.repetitions as f64)),
+                ("include_medium", Json::Bool(options.include_medium)),
+                ("include_large", Json::Bool(options.include_large)),
+            ]),
+        ),
+        ("reports", Json::Arr(report_json)),
+    ]);
+    let json_path = "BENCH_repro.json";
+    match fs::write(json_path, json.render_pretty()) {
+        Ok(()) => eprintln!("wrote {json_path}"),
+        Err(e) => eprintln!("could not write {json_path}: {e}"),
     }
 }

@@ -60,8 +60,13 @@ fn workloads() -> Vec<Workload> {
 }
 
 fn cg_run(workload: Workload, size: Size, choice: CollectorChoice) -> RunResult {
-    run_once(workload, size, choice)
-        .unwrap_or_else(|e| panic!("{} (size {size}, {:?}) failed: {e}", workload.name(), choice))
+    run_once(workload, size, choice).unwrap_or_else(|e| {
+        panic!(
+            "{} (size {size}, {:?}) failed: {e}",
+            workload.name(),
+            choice
+        )
+    })
 }
 
 // ----------------------------------------------------------------------
@@ -77,7 +82,12 @@ pub fn fig4_1() -> ExperimentReport {
     );
     let mut table = Table::new(
         "Figure 4.1 — collectable objects (size 1)",
-        &["benchmark", "objects created", "collectable (no opt)", "collectable (with opt)"],
+        &[
+            "benchmark",
+            "objects created",
+            "collectable (no opt)",
+            "collectable (with opt)",
+        ],
     );
     for workload in workloads() {
         let with_opt = cg_run(workload, Size::S1, CollectorChoice::Cg);
@@ -88,8 +98,10 @@ pub fn fig4_1() -> ExperimentReport {
             Cell::percent(no_opt.collectable_percent()),
             Cell::percent(with_opt.collectable_percent()),
         ]);
-        if let Some((_, _, paper_noopt, paper_opt)) =
-            paper::FIG4_1.iter().copied().find(|(n, ..)| *n == workload.name())
+        if let Some((_, _, paper_noopt, paper_opt)) = paper::FIG4_1
+            .iter()
+            .copied()
+            .find(|(n, ..)| *n == workload.name())
         {
             report.add_record(ExperimentRecord::with_paper(
                 "Fig 4.1",
@@ -122,12 +134,21 @@ pub fn fig4_2_4(options: ExperimentOptions) -> ExperimentReport {
     );
     for size in options.sizes() {
         let mut table = Table::new(
-            format!("Figure 4.{} — object disposition (size {size})", match size {
-                Size::S1 => 2,
-                Size::S10 => 3,
-                Size::S100 => 4,
-            }),
-            &["benchmark", "objects", "collectable %", "static %", "thread-shared %"],
+            format!(
+                "Figure 4.{} — object disposition (size {size})",
+                match size {
+                    Size::S1 => 2,
+                    Size::S10 => 3,
+                    Size::S100 => 4,
+                }
+            ),
+            &[
+                "benchmark",
+                "objects",
+                "collectable %",
+                "static %",
+                "thread-shared %",
+            ],
         );
         for workload in workloads() {
             let run = cg_run(workload, size, CollectorChoice::Cg);
@@ -164,16 +185,31 @@ pub fn fig4_2_4(options: ExperimentOptions) -> ExperimentReport {
 /// Figure 4.5: distribution of collected block sizes and the percentage of
 /// collectable objects in singleton (exact) blocks, at size 1.
 pub fn fig4_5() -> ExperimentReport {
-    let mut report = ExperimentReport::new("Fig 4.5", "Distribution of equilive block sizes (size 1)");
+    let mut report =
+        ExperimentReport::new("Fig 4.5", "Distribution of equilive block sizes (size 1)");
     let mut table = Table::new(
         "Figure 4.5 — block sizes at collection (size 1)",
-        &["benchmark", "collectable", "1", "2", "3", "4", "5", "6-10", ">10", "percent exact"],
+        &[
+            "benchmark",
+            "collectable",
+            "1",
+            "2",
+            "3",
+            "4",
+            "5",
+            "6-10",
+            ">10",
+            "percent exact",
+        ],
     );
     for workload in workloads() {
         let run = cg_run(workload, Size::S1, CollectorChoice::Cg);
         let cg = run.cg.as_ref().expect("cg run");
         let h = &cg.stats.block_sizes;
-        let exact_percent = percent(cg.stats.objects_collected_exactly, cg.stats.objects_collected);
+        let exact_percent = percent(
+            cg.stats.objects_collected_exactly,
+            cg.stats.objects_collected,
+        );
         table.push_row(vec![
             Cell::text(workload.name()),
             Cell::count(cg.stats.objects_collected),
@@ -206,7 +242,10 @@ pub fn fig4_5() -> ExperimentReport {
 /// Figure 4.6: frame distance between an object's birth and the frame whose
 /// pop collects it, at size 1.
 pub fn fig4_6() -> ExperimentReport {
-    let mut report = ExperimentReport::new("Fig 4.6", "Age at death of collected objects, in frames (size 1)");
+    let mut report = ExperimentReport::new(
+        "Fig 4.6",
+        "Age at death of collected objects, in frames (size 1)",
+    );
     let mut table = Table::new(
         "Figure 4.6 — distance from birth to death frame (size 1)",
         &["benchmark", "0", "1", "2", "3", "4", "5", ">5"],
@@ -319,7 +358,9 @@ fn timing_report(
                     paper_speedup,
                     speedup,
                 )
-                .note("ratios of wall-clock time; absolute times are not comparable to 1999 hardware"),
+                .note(
+                    "ratios of wall-clock time; absolute times are not comparable to 1999 hardware",
+                ),
             );
         }
     }
@@ -386,7 +427,9 @@ pub fn fig4_10(options: ExperimentOptions) -> ExperimentReport {
         }
         table.push_row(cells);
         if sizes.contains(&Size::S100) {
-            if let Some(paper_speedup) = paper::lookup(&paper::FIG4_10_LARGE_SPEEDUP, workload.name()) {
+            if let Some(paper_speedup) =
+                paper::lookup(&paper::FIG4_10_LARGE_SPEEDUP, workload.name())
+            {
                 let measured = per_size
                     .iter()
                     .find(|(s, _)| *s == Size::S100)
@@ -446,7 +489,12 @@ pub fn fig4_9() -> ExperimentReport {
     let mut report = ExperimentReport::new("Fig 4.9", "SPEC benchmarks, large runs (size 100)");
     let mut table = Table::new(
         "Figure 4.9 — large runs",
-        &["benchmark", "objects created", "collectable (with opt)", "exactly collectable"],
+        &[
+            "benchmark",
+            "objects created",
+            "collectable (with opt)",
+            "exactly collectable",
+        ],
     );
     for workload in workloads() {
         let run = cg_run(workload, Size::S100, CollectorChoice::Cg);
@@ -457,8 +505,10 @@ pub fn fig4_9() -> ExperimentReport {
             Cell::percent(cg.stats.collectable_percent()),
             Cell::percent(cg.stats.exactly_collectable_percent()),
         ]);
-        if let Some((_, _, paper_collectable, _)) =
-            paper::FIG4_9.iter().copied().find(|(n, ..)| *n == workload.name())
+        if let Some((_, _, paper_collectable, _)) = paper::FIG4_9
+            .iter()
+            .copied()
+            .find(|(n, ..)| *n == workload.name())
         {
             report.add_record(ExperimentRecord::with_paper(
                 "Fig 4.9",
@@ -520,12 +570,16 @@ pub fn fig4_12(options: ExperimentOptions) -> ExperimentReport {
     );
     for workload in workloads() {
         let plain: Vec<RunResult> =
-            run_repeated(workload, Size::S1, CollectorChoice::Cg, options.repetitions).expect("cg run");
-        let recycled: Vec<RunResult> =
-            run_repeated(workload, Size::S1, CollectorChoice::CgRecycle, options.repetitions)
-                .expect("recycle run");
-        let plain_mean =
-            plain.iter().map(|r| r.elapsed_seconds).sum::<f64>() / plain.len() as f64;
+            run_repeated(workload, Size::S1, CollectorChoice::Cg, options.repetitions)
+                .expect("cg run");
+        let recycled: Vec<RunResult> = run_repeated(
+            workload,
+            Size::S1,
+            CollectorChoice::CgRecycle,
+            options.repetitions,
+        )
+        .expect("recycle run");
+        let plain_mean = plain.iter().map(|r| r.elapsed_seconds).sum::<f64>() / plain.len() as f64;
         let recycled_mean =
             recycled.iter().map(|r| r.elapsed_seconds).sum::<f64>() / recycled.len() as f64;
         let speedup = cg_stats::speedup(plain_mean, recycled_mean);
@@ -535,7 +589,8 @@ pub fn fig4_12(options: ExperimentOptions) -> ExperimentReport {
             Cell::seconds(recycled_mean),
             Cell::ratio(speedup),
         ]);
-        if let Some(paper_speedup) = paper::lookup(&paper::FIG4_12_RECYCLE_SPEEDUP, workload.name()) {
+        if let Some(paper_speedup) = paper::lookup(&paper::FIG4_12_RECYCLE_SPEEDUP, workload.name())
+        {
             report.add_record(ExperimentRecord::with_paper(
                 "Fig 4.12",
                 format!("{} recycling speedup", workload.name()),
@@ -550,7 +605,10 @@ pub fn fig4_12(options: ExperimentOptions) -> ExperimentReport {
 
 /// Figure 4.13: how many objects the recycling allocator reused, at size 1.
 pub fn fig4_13() -> ExperimentReport {
-    let mut report = ExperimentReport::new("Fig 4.13", "Number of objects recycled, small runs (size 1)");
+    let mut report = ExperimentReport::new(
+        "Fig 4.13",
+        "Number of objects recycled, small runs (size 1)",
+    );
     let mut table = Table::new(
         "Figure 4.13 — objects recycled (size 1)",
         &["benchmark", "objects recycled", "percent of total"],
@@ -564,7 +622,9 @@ pub fn fig4_13() -> ExperimentReport {
             Cell::count(cg.stats.objects_recycled),
             Cell::percent(recycled_percent),
         ]);
-        if let Some(paper_percent) = paper::lookup(&paper::FIG4_13_PERCENT_RECYCLED, workload.name()) {
+        if let Some(paper_percent) =
+            paper::lookup(&paper::FIG4_13_PERCENT_RECYCLED, workload.name())
+        {
             report.add_record(ExperimentRecord::with_paper(
                 "Fig 4.13",
                 format!("{} % recycled", workload.name()),
@@ -692,7 +752,10 @@ pub fn report_by_id(id: &str, options: ExperimentOptions) -> ExperimentReport {
 
 /// Runs every experiment and returns the reports in paper order.
 pub fn all_reports(options: ExperimentOptions) -> Vec<ExperimentReport> {
-    REPORT_IDS.iter().map(|id| report_by_id(id, options)).collect()
+    REPORT_IDS
+        .iter()
+        .map(|id| report_by_id(id, options))
+        .collect()
 }
 
 #[cfg(test)]
@@ -713,7 +776,10 @@ mod tests {
                 Cell::Percent(p) => p,
                 _ => panic!("expected percent"),
             };
-            assert!(with_opt + 1e-9 >= no_opt, "optimisation must never collect less");
+            assert!(
+                with_opt + 1e-9 >= no_opt,
+                "optimisation must never collect less"
+            );
         }
         assert!(!report.records().is_empty());
     }

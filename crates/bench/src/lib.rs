@@ -12,19 +12,29 @@
 //!   records.
 //!
 //! The `repro_*` binaries in `src/bin/` are thin wrappers around
-//! [`experiments`]; `repro_all` runs everything and writes
-//! `experiments_output.md`.  The Criterion benches in `benches/` cover the
-//! micro-costs (union/find, store barrier, frame pop, allocation) and the
-//! end-to-end timing comparisons behind Figures 4.7, 4.8 and 4.12.
+//! [`experiments`]; `repro_all` runs everything, writes
+//! `experiments_output.md`, and emits machine-readable `BENCH_repro.json`.
+//! The `trace_eval` binary demonstrates the trace-driven runner mode:
+//! each workload is interpreted once (recording its event stream via
+//! `cg-trace`) and every collector is then evaluated by replay.  The benches
+//! in `benches/` (hand-rolled harness in [`microbench`]; the build
+//! environment has no crates.io access for criterion) cover the micro-costs
+//! (union/find, store barrier, frame pop, allocation, interpreter dispatch)
+//! and the end-to-end timing comparisons behind Figures 4.7, 4.8 and 4.12.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod cli;
 pub mod experiments;
+pub mod microbench;
 pub mod paper;
 pub mod runner;
 
-pub use cli::parse_options;
+pub use cli::{parse_options, parse_trace_eval, TraceEvalOptions};
 pub use experiments::{all_reports, report_by_id, ExperimentOptions, REPORT_IDS};
-pub use runner::{run_once, CollectorChoice, RunResult};
+pub use microbench::{BenchHarness, BenchResult};
+pub use runner::{
+    record_workload_trace, replay_run, run_once, run_with_mode, CollectorChoice, RunMode,
+    RunResult, RunnerError, TraceCache, WorkloadTrace,
+};

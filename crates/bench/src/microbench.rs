@@ -1,0 +1,155 @@
+//! A tiny benchmarking harness.
+//!
+//! The build environment has no crates.io access, so the `benches/` targets
+//! cannot use criterion; they use this harness instead (`harness = false` in
+//! the manifest gives each bench its own `main`).  The harness does the two
+//! things the workspace actually needs: a stable median-of-rounds
+//! nanoseconds-per-iteration figure printed to stdout, and a machine-readable
+//! `BENCH_<name>.json` file so the perf trajectory can be tracked run over
+//! run.
+
+use std::hint::black_box;
+use std::time::Instant;
+
+use cg_stats::Json;
+
+/// One measured benchmark.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchResult {
+    /// `group/name` label.
+    pub label: String,
+    /// Iterations per measurement round.
+    pub iters: u64,
+    /// Median nanoseconds per iteration across rounds.
+    pub ns_per_iter: f64,
+}
+
+/// Collects results for one bench binary and writes the summary file.
+#[derive(Debug, Default)]
+pub struct BenchHarness {
+    name: String,
+    results: Vec<BenchResult>,
+}
+
+/// Number of timed rounds per benchmark; the reported figure is the median.
+const ROUNDS: usize = 7;
+
+impl BenchHarness {
+    /// Creates a harness; `name` becomes the `BENCH_<name>.json` file stem.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            results: Vec::new(),
+        }
+    }
+
+    /// Measures `f`, which performs **one** iteration per call.
+    ///
+    /// Runs one warm-up round plus [`ROUNDS`] timed rounds of `iters`
+    /// iterations and records the median.  The closure's result is passed
+    /// through [`black_box`] so the optimizer cannot delete the work.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `iters` is zero (the per-iteration figure would be NaN).
+    pub fn bench<T>(
+        &mut self,
+        label: impl Into<String>,
+        iters: u64,
+        mut f: impl FnMut() -> T,
+    ) -> f64 {
+        assert!(iters > 0, "bench needs at least one iteration per round");
+        let label = label.into();
+        let mut round_ns = Vec::with_capacity(ROUNDS);
+        for round in 0..=ROUNDS {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            let elapsed = start.elapsed().as_nanos() as f64 / iters as f64;
+            // Round 0 is the warm-up.
+            if round > 0 {
+                round_ns.push(elapsed);
+            }
+        }
+        round_ns.sort_by(f64::total_cmp);
+        let median = round_ns[round_ns.len() / 2];
+        println!("{label:<55} {median:>12.1} ns/iter   ({iters} iters x {ROUNDS} rounds)");
+        self.results.push(BenchResult {
+            label,
+            iters,
+            ns_per_iter: median,
+        });
+        median
+    }
+
+    /// The results measured so far.
+    pub fn results(&self) -> &[BenchResult] {
+        &self.results
+    }
+
+    /// The median for a previously measured label.
+    pub fn ns_of(&self, label: &str) -> Option<f64> {
+        self.results
+            .iter()
+            .find(|r| r.label == label)
+            .map(|r| r.ns_per_iter)
+    }
+
+    /// The results as a JSON document.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("bench", Json::Str(self.name.clone())),
+            (
+                "results",
+                Json::Arr(
+                    self.results
+                        .iter()
+                        .map(|r| {
+                            Json::obj([
+                                ("label", Json::Str(r.label.clone())),
+                                ("iters", Json::Num(r.iters as f64)),
+                                ("ns_per_iter", Json::Num(r.ns_per_iter)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    /// Writes `BENCH_<name>.json` into the current directory and prints the
+    /// path; failures are reported but not fatal (benches still ran).
+    pub fn write_json(&self) {
+        let path = format!("BENCH_{}.json", self.name);
+        match std::fs::write(&path, self.to_json().render_pretty()) {
+            Ok(()) => eprintln!("wrote {path}"),
+            Err(e) => eprintln!("could not write {path}: {e}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_measures_and_records() {
+        let mut harness = BenchHarness::new("selftest");
+        let ns = harness.bench("group/busy_loop", 100, || {
+            (0..100u64).fold(0u64, |a, b| a.wrapping_add(b * b))
+        });
+        assert!(ns >= 0.0);
+        assert_eq!(harness.results().len(), 1);
+        assert_eq!(harness.ns_of("group/busy_loop"), Some(ns));
+        assert_eq!(harness.ns_of("missing"), None);
+        let json = harness.to_json();
+        assert_eq!(json.get("bench").and_then(Json::as_str), Some("selftest"));
+        assert_eq!(
+            json.get("results")
+                .and_then(Json::as_arr)
+                .map(<[Json]>::len),
+            Some(1)
+        );
+    }
+}

@@ -132,7 +132,10 @@ pub const FIGA_2_BREAKDOWN_SMALL: [(&str, u64, u64, u64); 8] = [
 
 /// Looks up a per-benchmark value in one of the constant tables.
 pub fn lookup<T: Copy>(table: &[(&str, T)], benchmark: &str) -> Option<T> {
-    table.iter().find(|(name, _)| *name == benchmark).map(|(_, v)| *v)
+    table
+        .iter()
+        .find(|(name, _)| *name == benchmark)
+        .map(|(_, v)| *v)
 }
 
 #[cfg(test)]

@@ -1,8 +1,14 @@
-//! Running one workload under one collector configuration.
+//! Running one workload under one collector configuration — either *live*
+//! (interpret the program) or by *replaying* a recorded event trace, which
+//! evaluates a collector without re-interpreting (see [`RunMode`]).
+
+use std::collections::HashMap;
+use std::rc::Rc;
 
 use cg_baseline::{MarkSweep, MarkSweepStats, NoopCollector};
 use cg_core::{CgConfig, CgStats, HybridCollector, HybridConfig, ObjectBreakdown};
 use cg_heap::{HandleRepr, HeapConfig, HeapStats};
+use cg_trace::{record, replay, ReplayError, ReplayOutcome, Trace};
 use cg_vm::{Vm, VmConfig, VmError, VmStats};
 use cg_workloads::{Size, Workload};
 
@@ -27,6 +33,16 @@ pub enum CollectorChoice {
 }
 
 impl CollectorChoice {
+    /// Every choice, in display order.
+    pub const ALL: [CollectorChoice; 6] = [
+        CollectorChoice::Noop,
+        CollectorChoice::Baseline,
+        CollectorChoice::Cg,
+        CollectorChoice::CgNoOpt,
+        CollectorChoice::CgRecycle,
+        CollectorChoice::CgReset,
+    ];
+
     /// Short label used in tables.
     pub fn label(self) -> &'static str {
         match self {
@@ -37,6 +53,74 @@ impl CollectorChoice {
             CollectorChoice::CgRecycle => "cg-recycle",
             CollectorChoice::CgReset => "cg-reset",
         }
+    }
+
+    /// Parses a [`CollectorChoice::label`] back into the choice.
+    pub fn parse(label: &str) -> Option<CollectorChoice> {
+        Self::ALL.into_iter().find(|c| c.label() == label)
+    }
+
+    /// Whether the choice can be evaluated by trace replay.
+    ///
+    /// Recycling reuses handles, which makes the allocation stream
+    /// collector-dependent; it must run live (see the `cg-trace` docs).
+    pub fn supports_replay(self) -> bool {
+        self != CollectorChoice::CgRecycle
+    }
+
+    /// The periodic forced-collection interval the experiment configuration
+    /// uses for this choice, if any.
+    fn gc_every(self) -> Option<u64> {
+        // §4.7 forces a traditional collection every 100 000 JVM
+        // instructions; our synthetic workloads are scaled down roughly 4×,
+        // so the interval is scaled the same way.
+        (self == CollectorChoice::CgReset).then_some(25_000)
+    }
+}
+
+/// Whether to interpret the workload or replay a recorded trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RunMode {
+    /// Interpret the program with the collector installed (the paper's own
+    /// methodology; used for all timing figures).
+    #[default]
+    Live,
+    /// Record the workload's event stream once (under a passive collector)
+    /// and drive the chosen collector from the recording.  Much faster when
+    /// evaluating several collectors over one workload, because the
+    /// interpretation cost is paid once.
+    Replay,
+}
+
+/// Errors from the runner: a live run's [`VmError`] or a replay divergence.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RunnerError {
+    /// The live (or recording) run failed.
+    Vm(VmError),
+    /// The replay diverged from the recorded heap history.
+    Replay(ReplayError),
+}
+
+impl std::fmt::Display for RunnerError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RunnerError::Vm(e) => write!(f, "{e}"),
+            RunnerError::Replay(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for RunnerError {}
+
+impl From<VmError> for RunnerError {
+    fn from(e: VmError) -> Self {
+        RunnerError::Vm(e)
+    }
+}
+
+impl From<ReplayError> for RunnerError {
+    fn from(e: ReplayError) -> Self {
+        RunnerError::Replay(e)
     }
 }
 
@@ -80,7 +164,10 @@ impl RunResult {
 
     /// Percentage of created objects CG collected (0 for non-CG runs).
     pub fn collectable_percent(&self) -> f64 {
-        self.cg.as_ref().map(|c| c.stats.collectable_percent()).unwrap_or(0.0)
+        self.cg
+            .as_ref()
+            .map(|c| c.stats.collectable_percent())
+            .unwrap_or(0.0)
     }
 }
 
@@ -101,12 +188,8 @@ pub fn experiment_heap() -> HeapConfig {
 /// The VM configuration used by experiment runs.
 pub fn experiment_vm_config(choice: CollectorChoice) -> VmConfig {
     let mut config = VmConfig::default().with_heap(experiment_heap());
-    if choice == CollectorChoice::CgReset {
-        // §4.7 forces a traditional collection every 100 000 JVM
-        // instructions.  Our synthetic workloads are scaled down roughly 4×
-        // relative to the real SPEC runs, so the interval is scaled down the
-        // same way to produce a comparable number of collection cycles.
-        config = config.with_gc_every(25_000);
+    if let Some(every) = choice.gc_every() {
+        config = config.with_gc_every(every);
     }
     config
 }
@@ -118,7 +201,11 @@ pub fn experiment_vm_config(choice: CollectorChoice) -> VmConfig {
 ///
 /// Returns the underlying [`VmError`] if the run fails (out of memory with a
 /// non-collecting configuration, for example).
-pub fn run_once(workload: Workload, size: Size, choice: CollectorChoice) -> Result<RunResult, VmError> {
+pub fn run_once(
+    workload: Workload,
+    size: Size,
+    choice: CollectorChoice,
+) -> Result<RunResult, VmError> {
     let program = workload.program(size);
     let config = experiment_vm_config(choice);
 
@@ -159,22 +246,11 @@ pub fn run_once(workload: Workload, size: Size, choice: CollectorChoice) -> Resu
                 ..base
             })
         }
-        CollectorChoice::Cg | CollectorChoice::CgNoOpt | CollectorChoice::CgRecycle | CollectorChoice::CgReset => {
-            let cg_config = match choice {
-                CollectorChoice::CgNoOpt => CgConfig::without_static_opt(),
-                CollectorChoice::CgRecycle => CgConfig::with_recycling(),
-                _ => CgConfig::preferred(),
-            };
-            let hybrid_config = HybridConfig {
-                cg: CgConfig {
-                    // The verification pass is for tests; experiment runs
-                    // measure time, so it stays off.
-                    verify_tainted: false,
-                    ..cg_config
-                },
-                reset_on_collect: choice == CollectorChoice::CgReset,
-            };
-            let mut vm = Vm::new(program, config, HybridCollector::new(hybrid_config));
+        CollectorChoice::Cg
+        | CollectorChoice::CgNoOpt
+        | CollectorChoice::CgRecycle
+        | CollectorChoice::CgReset => {
+            let mut vm = Vm::new(program, config, hybrid_for(choice));
             let outcome = vm.run()?;
             let breakdown = vm.collector_mut().cg_mut().breakdown();
             let stats = vm.collector().cg().stats().clone();
@@ -192,6 +268,246 @@ pub fn run_once(workload: Workload, size: Size, choice: CollectorChoice) -> Resu
     }
 }
 
+/// The hybrid collector configuration a [`CollectorChoice`] maps to.
+fn hybrid_for(choice: CollectorChoice) -> HybridCollector {
+    let cg_config = match choice {
+        CollectorChoice::CgNoOpt => CgConfig::without_static_opt(),
+        CollectorChoice::CgRecycle => CgConfig::with_recycling(),
+        _ => CgConfig::preferred(),
+    };
+    HybridCollector::new(HybridConfig {
+        cg: CgConfig {
+            // The verification pass is for tests; experiment runs measure
+            // time, so it stays off.
+            verify_tainted: false,
+            ..cg_config
+        },
+        reset_on_collect: choice == CollectorChoice::CgReset,
+    })
+}
+
+/// A workload's event stream recorded once, ready to be replayed against any
+/// collector (the trace-driven runner mode).
+#[derive(Debug, Clone)]
+pub struct WorkloadTrace {
+    /// Benchmark name.
+    pub workload: &'static str,
+    /// Problem size.
+    pub size: Size,
+    /// The recorded stream (captured under a passive collector).
+    pub trace: Trace,
+    /// The recording run's interpreter statistics (instruction counts and
+    /// allocation totals are properties of the workload, not the collector).
+    pub vm: VmStats,
+    /// The heap configuration the recording ran with; replays use the same.
+    pub heap: HeapConfig,
+    /// The periodic forced-collection interval the recording ran with.  A
+    /// trace is only valid for collector choices expecting the same interval
+    /// (the `Collect` events are baked into the stream).
+    pub gc_every: Option<u64>,
+}
+
+/// Records `workload` at `size` once, under a passive collector, with the
+/// experiment heap.  `gc_every` adds the periodic §4.7 collection events
+/// (required to replay [`CollectorChoice::CgReset`]).
+///
+/// # Errors
+///
+/// Returns the underlying [`VmError`] if the recording run fails.
+pub fn record_workload_trace(
+    workload: Workload,
+    size: Size,
+    gc_every: Option<u64>,
+) -> Result<WorkloadTrace, VmError> {
+    let mut config = VmConfig::default().with_heap(experiment_heap());
+    if let Some(every) = gc_every {
+        config = config.with_gc_every(every);
+    }
+    let name = format!("{}/{size}", workload.name());
+    let (trace, outcome, _) = record(name, workload.program(size), config, NoopCollector::new())?;
+    Ok(WorkloadTrace {
+        workload: workload.name(),
+        size,
+        trace,
+        vm: outcome.stats,
+        heap: config.heap,
+        gc_every,
+    })
+}
+
+/// Replays a recorded workload against the chosen collector and returns the
+/// same uniform [`RunResult`] a live run would (interpreter statistics come
+/// from the recording; collector statistics and timing from the replay).
+///
+/// # Errors
+///
+/// Returns [`RunnerError::Replay`] if the collector diverges from the
+/// recorded heap history.
+///
+/// # Panics
+///
+/// Panics on choices where [`CollectorChoice::supports_replay`] is false,
+/// and when the trace's recorded periodic-collection interval does not match
+/// the one the choice's experiment configuration uses.
+pub fn replay_run(
+    recorded: &WorkloadTrace,
+    choice: CollectorChoice,
+) -> Result<RunResult, RunnerError> {
+    assert!(
+        choice.supports_replay(),
+        "{} cannot be evaluated by replay; run it live",
+        choice.label()
+    );
+    // Replaying a trace whose periodic-collection interval differs from the
+    // choice's experiment configuration would silently produce statistics no
+    // live run could (e.g. a CgReset evaluation with zero resets).
+    assert_eq!(
+        recorded.gc_every,
+        choice.gc_every(),
+        "trace for {}/{} was recorded with gc_every={:?}, but {} expects {:?}; \
+         record with the matching interval (see record_workload_trace)",
+        recorded.workload,
+        recorded.size,
+        recorded.gc_every,
+        choice.label(),
+        choice.gc_every(),
+    );
+    // The recording ran under a passive collector, so its VmStats carry
+    // zeros in the collector-accounting fields; overwrite them with what
+    // the replayed collector actually did, the way a live run would report.
+    let vm_with = |outcome: &ReplayOutcome| {
+        let mut vm = recorded.vm;
+        vm.gc_cycles = outcome.gc_cycles;
+        vm.collector_freed_objects = outcome.collector_freed_objects;
+        vm.collector_freed_bytes = outcome.collector_freed_bytes;
+        vm.collector_marked_objects = outcome.collector_marked_objects;
+        vm
+    };
+    let base = RunResult {
+        workload: recorded.workload,
+        size: recorded.size,
+        collector: choice,
+        elapsed_seconds: 0.0,
+        vm: recorded.vm,
+        heap: HeapStats::default(),
+        live_at_exit: 0,
+        cg: None,
+        msa: None,
+    };
+    match choice {
+        CollectorChoice::Noop => {
+            let replayed = replay(&recorded.trace, recorded.heap, NoopCollector::new())?;
+            Ok(RunResult {
+                elapsed_seconds: replayed.outcome.elapsed_seconds,
+                vm: vm_with(&replayed.outcome),
+                heap: *replayed.heap.stats(),
+                live_at_exit: replayed.outcome.live_at_exit,
+                ..base
+            })
+        }
+        CollectorChoice::Baseline => {
+            let replayed = replay(&recorded.trace, recorded.heap, MarkSweep::new())?;
+            Ok(RunResult {
+                elapsed_seconds: replayed.outcome.elapsed_seconds,
+                vm: vm_with(&replayed.outcome),
+                heap: *replayed.heap.stats(),
+                live_at_exit: replayed.outcome.live_at_exit,
+                msa: Some(*replayed.collector.stats()),
+                ..base
+            })
+        }
+        _ => {
+            let replayed = replay(&recorded.trace, recorded.heap, hybrid_for(choice))?;
+            let mut collector = replayed.collector;
+            let breakdown = collector.cg_mut().breakdown();
+            Ok(RunResult {
+                elapsed_seconds: replayed.outcome.elapsed_seconds,
+                vm: vm_with(&replayed.outcome),
+                heap: *replayed.heap.stats(),
+                live_at_exit: replayed.outcome.live_at_exit,
+                cg: Some(CgSummary {
+                    stats: collector.cg().stats().clone(),
+                    breakdown,
+                }),
+                msa: Some(*collector.msa_stats()),
+                ..base
+            })
+        }
+    }
+}
+
+/// Runs one workload/collector configuration in the chosen [`RunMode`].
+///
+/// In [`RunMode::Replay`] the workload is recorded on the spot (recycling
+/// configurations fall back to a live run — their allocation decisions are
+/// collector-dependent).  Use a [`TraceCache`] to amortise the recording
+/// over several collectors.
+///
+/// # Errors
+///
+/// Returns a [`RunnerError`] if the run or replay fails.
+pub fn run_with_mode(
+    workload: Workload,
+    size: Size,
+    choice: CollectorChoice,
+    mode: RunMode,
+) -> Result<RunResult, RunnerError> {
+    match mode {
+        RunMode::Live => Ok(run_once(workload, size, choice)?),
+        RunMode::Replay if !choice.supports_replay() => Ok(run_once(workload, size, choice)?),
+        RunMode::Replay => {
+            let recorded = record_workload_trace(workload, size, choice.gc_every())?;
+            replay_run(&recorded, choice)
+        }
+    }
+}
+
+/// Caches recorded workload traces keyed by `(workload, size, gc_every)`, so
+/// a batch evaluation (many collectors × one workload) interprets each
+/// workload once.
+#[derive(Debug, Default)]
+pub struct TraceCache {
+    traces: HashMap<(&'static str, Size, Option<u64>), Rc<WorkloadTrace>>,
+}
+
+impl TraceCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The recorded trace for the workload the given choice needs, recording
+    /// it on first use.
+    ///
+    /// # Errors
+    ///
+    /// Returns the recording run's [`VmError`] on failure.
+    pub fn for_choice(
+        &mut self,
+        workload: Workload,
+        size: Size,
+        choice: CollectorChoice,
+    ) -> Result<Rc<WorkloadTrace>, VmError> {
+        let key = (workload.name(), size, choice.gc_every());
+        if let Some(trace) = self.traces.get(&key) {
+            return Ok(Rc::clone(trace));
+        }
+        let recorded = Rc::new(record_workload_trace(workload, size, choice.gc_every())?);
+        self.traces.insert(key, Rc::clone(&recorded));
+        Ok(recorded)
+    }
+
+    /// Number of distinct recordings held.
+    pub fn len(&self) -> usize {
+        self.traces.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.traces.is_empty()
+    }
+}
+
 /// Runs a workload `repetitions` times under the chosen collector and
 /// returns every result (the timing figures average them, as the paper's
 /// Appendix A does over five runs).
@@ -205,7 +521,9 @@ pub fn run_repeated(
     choice: CollectorChoice,
     repetitions: usize,
 ) -> Result<Vec<RunResult>, VmError> {
-    (0..repetitions.max(1)).map(|_| run_once(workload, size, choice)).collect()
+    (0..repetitions.max(1))
+        .map(|_| run_once(workload, size, choice))
+        .collect()
 }
 
 #[cfg(test)]
@@ -267,19 +585,80 @@ mod tests {
     }
 
     #[test]
-    fn labels_are_distinct() {
+    fn labels_are_distinct_and_parse_back() {
         use std::collections::HashSet;
-        let labels: HashSet<&str> = [
-            CollectorChoice::Noop,
-            CollectorChoice::Baseline,
-            CollectorChoice::Cg,
-            CollectorChoice::CgNoOpt,
-            CollectorChoice::CgRecycle,
-            CollectorChoice::CgReset,
-        ]
-        .into_iter()
-        .map(CollectorChoice::label)
-        .collect();
+        let labels: HashSet<&str> = CollectorChoice::ALL
+            .into_iter()
+            .map(CollectorChoice::label)
+            .collect();
         assert_eq!(labels.len(), 6);
+        for choice in CollectorChoice::ALL {
+            assert_eq!(CollectorChoice::parse(choice.label()), Some(choice));
+        }
+        assert_eq!(CollectorChoice::parse("shenandoah"), None);
+    }
+
+    #[test]
+    fn replay_mode_reproduces_live_cg_statistics_exactly() {
+        let live = run_once(db(), Size::S1, CollectorChoice::Cg).unwrap();
+        let replayed = run_with_mode(db(), Size::S1, CollectorChoice::Cg, RunMode::Replay).unwrap();
+        assert_eq!(
+            live.cg.as_ref().unwrap().stats,
+            replayed.cg.as_ref().unwrap().stats
+        );
+        assert_eq!(
+            live.cg.as_ref().unwrap().breakdown,
+            replayed.cg.as_ref().unwrap().breakdown
+        );
+        assert_eq!(live.objects_created(), replayed.objects_created());
+        assert_eq!(live.live_at_exit, replayed.live_at_exit);
+        // The whole VmStats must match — including the collector-accounting
+        // fields, which come from the replay rather than the recording.
+        assert_eq!(live.vm, replayed.vm);
+        assert!(replayed.vm.collector_freed_objects > 0);
+    }
+
+    #[test]
+    fn replay_mode_covers_the_baseline_collector() {
+        let live = run_once(db(), Size::S1, CollectorChoice::Baseline).unwrap();
+        let replayed =
+            run_with_mode(db(), Size::S1, CollectorChoice::Baseline, RunMode::Replay).unwrap();
+        // Without memory pressure neither run collects, so both see the full
+        // allocated population live.
+        assert_eq!(live.live_at_exit, replayed.live_at_exit);
+        assert_eq!(live.msa.unwrap().cycles, replayed.msa.unwrap().cycles);
+    }
+
+    #[test]
+    fn recycling_falls_back_to_live_execution() {
+        assert!(!CollectorChoice::CgRecycle.supports_replay());
+        let result =
+            run_with_mode(db(), Size::S1, CollectorChoice::CgRecycle, RunMode::Replay).unwrap();
+        assert!(result.cg.unwrap().stats.objects_recycled > 0);
+    }
+
+    #[test]
+    fn trace_cache_records_each_workload_once() {
+        let mut cache = TraceCache::new();
+        assert!(cache.is_empty());
+        let a = cache
+            .for_choice(db(), Size::S1, CollectorChoice::Cg)
+            .unwrap();
+        let b = cache
+            .for_choice(db(), Size::S1, CollectorChoice::Baseline)
+            .unwrap();
+        assert!(
+            Rc::ptr_eq(&a, &b),
+            "same (workload, size, gc_every) key must share"
+        );
+        assert_eq!(cache.len(), 1);
+        // CgReset needs periodic Collect events, so it records separately.
+        let c = cache
+            .for_choice(db(), Size::S1, CollectorChoice::CgReset)
+            .unwrap();
+        assert!(!Rc::ptr_eq(&a, &c));
+        assert_eq!(cache.len(), 2);
+        assert!(c.trace.stats().collects > 0);
+        assert_eq!(a.trace.stats().collects, 0);
     }
 }

@@ -215,7 +215,9 @@ impl ContaminatedGc {
     }
 
     fn data(&self, handle: Handle) -> Option<&ObjData> {
-        self.objects.get(handle.index_usize()).and_then(Option::as_ref)
+        self.objects
+            .get(handle.index_usize())
+            .and_then(Option::as_ref)
     }
 
     /// The element of a live object, registering it conservatively against
@@ -398,9 +400,9 @@ impl ContaminatedGc {
         let mut new_elem: HashMap<Handle, ElementId> = HashMap::new();
 
         let assign = |cg: &mut Self,
-                          new_elem: &mut HashMap<Handle, ElementId>,
-                          handle: Handle,
-                          key: FrameKey|
+                      new_elem: &mut HashMap<Handle, ElementId>,
+                      handle: Handle,
+                      key: FrameKey|
          -> ElementId {
             if let Some(&elem) = new_elem.get(&handle) {
                 return elem;
@@ -408,10 +410,8 @@ impl ContaminatedGc {
             let elem = cg.sets.insert(handle, key);
             cg.attach(elem, key);
             new_elem.insert(handle, elem);
-            if let Some(slot) = cg.objects.get_mut(handle.index_usize()) {
-                if let Some(data) = slot {
-                    data.elem = elem;
-                }
+            if let Some(Some(data)) = cg.objects.get_mut(handle.index_usize()) {
+                data.elem = elem;
             }
             elem
         };
@@ -419,9 +419,9 @@ impl ContaminatedGc {
         // Worklist traversal from a set of roots, assigning `key` to newly
         // reached objects and unioning along every edge.
         let traverse = |cg: &mut Self,
-                            new_elem: &mut HashMap<Handle, ElementId>,
-                            root: Handle,
-                            key: FrameKey| {
+                        new_elem: &mut HashMap<Handle, ElementId>,
+                        root: Handle,
+                        key: FrameKey| {
             if !heap.is_live(root) {
                 return;
             }
@@ -483,7 +483,13 @@ impl Collector for ContaminatedGc {
         self.register(handle, frame);
     }
 
-    fn on_reference_store(&mut self, source: Handle, target: Handle, frame: &FrameInfo, _heap: &Heap) {
+    fn on_reference_store(
+        &mut self,
+        source: Handle,
+        target: Handle,
+        frame: &FrameInfo,
+        _heap: &Heap,
+    ) {
         self.stats.contaminations += 1;
         let source_elem = self.elem_of(source, frame);
         let target_elem = self.elem_of(target, frame);
@@ -560,7 +566,9 @@ impl Collector for ContaminatedGc {
                     // and is handed back to the allocator later (§3.7).
                     self.recycle_list.push(handle);
                 } else {
-                    let bytes = heap.free(handle).expect("collected object must still be live");
+                    let bytes = heap
+                        .free(handle)
+                        .expect("collected object must still be live");
                     freed_bytes += bytes as u64;
                     freed_objects += 1;
                 }
@@ -635,7 +643,11 @@ mod tests {
     /// Runs `program` under a contaminated collector with `config` and
     /// returns the VM for inspection.
     fn run_with(program: Program, config: CgConfig) -> Vm<ContaminatedGc> {
-        let mut vm = Vm::new(program, VmConfig::small(), ContaminatedGc::with_config(config));
+        let mut vm = Vm::new(
+            program,
+            VmConfig::small(),
+            ContaminatedGc::with_config(config),
+        );
         vm.run().expect("program runs");
         vm
     }
@@ -654,9 +666,19 @@ mod tests {
             3,
             vec![
                 Insn::Const { dst: 1, value: 0 },
-                Insn::Branch { cond: Cond::Ge, a: Operand::Local(1), b: Operand::Imm(n), target: 5 },
+                Insn::Branch {
+                    cond: Cond::Ge,
+                    a: Operand::Local(1),
+                    b: Operand::Imm(n),
+                    target: 5,
+                },
                 Insn::New { class: c, dst: 0 },
-                Insn::Arith { op: cg_vm::ArithOp::Add, dst: 1, a: Operand::Local(1), b: Operand::Imm(1) },
+                Insn::Arith {
+                    op: cg_vm::ArithOp::Add,
+                    dst: 1,
+                    a: Operand::Local(1),
+                    b: Operand::Imm(1),
+                },
                 Insn::Jump { target: 1 },
                 Insn::Return { value: None },
             ],
@@ -666,7 +688,11 @@ mod tests {
             0,
             1,
             vec![
-                Insn::Call { method: helper, args: vec![], dst: None },
+                Insn::Call {
+                    method: helper,
+                    args: vec![],
+                    dst: None,
+                },
                 Insn::Return { value: None },
             ],
         ));
@@ -696,16 +722,27 @@ mod tests {
             "helper",
             0,
             1,
-            vec![Insn::New { class: c, dst: 0 }, Insn::Return { value: Some(0) }],
+            vec![
+                Insn::New { class: c, dst: 0 },
+                Insn::Return { value: Some(0) },
+            ],
         ));
         let main = p.add_method(MethodDef::new(
             "main",
             0,
             2,
             vec![
-                Insn::Call { method: helper, args: vec![], dst: Some(0) },
+                Insn::Call {
+                    method: helper,
+                    args: vec![],
+                    dst: Some(0),
+                },
                 // Touch the object to prove it is still alive.
-                Insn::GetField { object: 0, field: 0, dst: 1 },
+                Insn::GetField {
+                    object: 0,
+                    field: 0,
+                    dst: 1,
+                },
                 Insn::Return { value: None },
             ],
         ));
@@ -733,7 +770,11 @@ mod tests {
             2,
             vec![
                 Insn::New { class: c, dst: 1 },
-                Insn::PutField { object: 0, field: 0, value: 1 },
+                Insn::PutField {
+                    object: 0,
+                    field: 0,
+                    value: 1,
+                },
                 Insn::Return { value: None },
             ],
         ));
@@ -743,9 +784,21 @@ mod tests {
             2,
             vec![
                 Insn::New { class: c, dst: 0 },
-                Insn::Call { method: helper, args: vec![0], dst: None },
-                Insn::GetField { object: 0, field: 0, dst: 1 },
-                Insn::GetField { object: 1, field: 0, dst: 1 },
+                Insn::Call {
+                    method: helper,
+                    args: vec![0],
+                    dst: None,
+                },
+                Insn::GetField {
+                    object: 0,
+                    field: 0,
+                    dst: 1,
+                },
+                Insn::GetField {
+                    object: 1,
+                    field: 0,
+                    dst: 1,
+                },
                 Insn::Return { value: None },
             ],
         ));
@@ -771,7 +824,10 @@ mod tests {
             2,
             vec![
                 Insn::New { class: c, dst: 0 },
-                Insn::PutStatic { static_id: s, value: 0 },
+                Insn::PutStatic {
+                    static_id: s,
+                    value: 0,
+                },
                 Insn::New { class: c, dst: 1 },
                 Insn::Return { value: None },
             ],
@@ -800,8 +856,15 @@ mod tests {
                     // local object
                     Insn::New { class: c, dst: 0 },
                     // read the static and store it into the local object
-                    Insn::GetStatic { static_id: s, dst: 1 },
-                    Insn::PutField { object: 0, field: 0, value: 1 },
+                    Insn::GetStatic {
+                        static_id: s,
+                        dst: 1,
+                    },
+                    Insn::PutField {
+                        object: 0,
+                        field: 0,
+                        value: 1,
+                    },
                     Insn::Return { value: None },
                 ],
             ));
@@ -811,8 +874,15 @@ mod tests {
                 1,
                 vec![
                     Insn::New { class: c, dst: 0 },
-                    Insn::PutStatic { static_id: s, value: 0 },
-                    Insn::Call { method: helper, args: vec![], dst: None },
+                    Insn::PutStatic {
+                        static_id: s,
+                        value: 0,
+                    },
+                    Insn::Call {
+                        method: helper,
+                        args: vec![],
+                        dst: None,
+                    },
                     Insn::Return { value: None },
                 ],
             ));
@@ -843,11 +913,22 @@ mod tests {
             0,
             3,
             vec![
-                Insn::New { class: c, dst: 0 },       // D
-                Insn::GetStatic { static_id: s, dst: 1 }, // E
-                Insn::PutField { object: 1, field: 0, value: 0 }, // E.f = D  (contaminates D)
+                Insn::New { class: c, dst: 0 }, // D
+                Insn::GetStatic {
+                    static_id: s,
+                    dst: 1,
+                }, // E
+                Insn::PutField {
+                    object: 1,
+                    field: 0,
+                    value: 0,
+                }, // E.f = D  (contaminates D)
                 Insn::LoadNull { dst: 2 },
-                Insn::PutField { object: 1, field: 0, value: 2 }, // E.f = null (points away)
+                Insn::PutField {
+                    object: 1,
+                    field: 0,
+                    value: 2,
+                }, // E.f = null (points away)
                 Insn::Return { value: None },
             ],
         ));
@@ -857,8 +938,15 @@ mod tests {
             1,
             vec![
                 Insn::New { class: c, dst: 0 },
-                Insn::PutStatic { static_id: s, value: 0 },
-                Insn::Call { method: helper, args: vec![], dst: None },
+                Insn::PutStatic {
+                    static_id: s,
+                    value: 0,
+                },
+                Insn::Call {
+                    method: helper,
+                    args: vec![],
+                    dst: None,
+                },
                 Insn::Return { value: None },
             ],
         ));
@@ -882,7 +970,11 @@ mod tests {
             2,
             vec![
                 Insn::New { class: c, dst: 1 },
-                Insn::PutField { object: 0, field: 0, value: 1 },
+                Insn::PutField {
+                    object: 0,
+                    field: 0,
+                    value: 1,
+                },
                 Insn::Return { value: None },
             ],
         ));
@@ -892,7 +984,10 @@ mod tests {
             1,
             vec![
                 Insn::New { class: c, dst: 0 },
-                Insn::SpawnThread { method: worker, args: vec![0] },
+                Insn::SpawnThread {
+                    method: worker,
+                    args: vec![0],
+                },
                 Insn::Return { value: None },
             ],
         ));
@@ -921,9 +1016,17 @@ mod tests {
             2,
             vec![
                 Insn::New { class: c, dst: 0 },
-                Insn::Intern { key: 42, src: 0, dst: 1 },
+                Insn::Intern {
+                    key: 42,
+                    src: 0,
+                    dst: 1,
+                },
                 Insn::New { class: c, dst: 0 },
-                Insn::Intern { key: 42, src: 0, dst: 1 },
+                Insn::Intern {
+                    key: 42,
+                    src: 0,
+                    dst: 1,
+                },
                 Insn::Return { value: None },
             ],
         ));
@@ -953,10 +1056,26 @@ mod tests {
             0,
             1,
             vec![
-                Insn::Call { method: helper, args: vec![], dst: None },
-                Insn::Call { method: helper, args: vec![], dst: None },
-                Insn::Call { method: helper, args: vec![], dst: None },
-                Insn::Call { method: helper, args: vec![], dst: None },
+                Insn::Call {
+                    method: helper,
+                    args: vec![],
+                    dst: None,
+                },
+                Insn::Call {
+                    method: helper,
+                    args: vec![],
+                    dst: None,
+                },
+                Insn::Call {
+                    method: helper,
+                    args: vec![],
+                    dst: None,
+                },
+                Insn::Call {
+                    method: helper,
+                    args: vec![],
+                    dst: None,
+                },
                 Insn::Return { value: None },
             ],
         ));
@@ -974,7 +1093,10 @@ mod tests {
     #[test]
     fn collector_name_reflects_configuration() {
         assert_eq!(ContaminatedGc::new().name(), "cg");
-        assert_eq!(ContaminatedGc::with_config(CgConfig::with_recycling()).name(), "cg+recycle");
+        assert_eq!(
+            ContaminatedGc::with_config(CgConfig::with_recycling()).name(),
+            "cg+recycle"
+        );
         assert!(CgConfig::preferred().static_opt);
         assert!(!CgConfig::without_static_opt().static_opt);
     }
@@ -990,14 +1112,21 @@ mod tests {
             "depth3",
             0,
             1,
-            vec![Insn::New { class: c, dst: 0 }, Insn::Return { value: Some(0) }],
+            vec![
+                Insn::New { class: c, dst: 0 },
+                Insn::Return { value: Some(0) },
+            ],
         ));
         let depth2 = p.add_method(MethodDef::new(
             "depth2",
             0,
             1,
             vec![
-                Insn::Call { method: depth3, args: vec![], dst: Some(0) },
+                Insn::Call {
+                    method: depth3,
+                    args: vec![],
+                    dst: Some(0),
+                },
                 Insn::Return { value: Some(0) },
             ],
         ));
@@ -1006,7 +1135,11 @@ mod tests {
             0,
             1,
             vec![
-                Insn::Call { method: depth2, args: vec![], dst: Some(0) },
+                Insn::Call {
+                    method: depth2,
+                    args: vec![],
+                    dst: Some(0),
+                },
                 Insn::Return { value: Some(0) },
             ],
         ));
@@ -1015,7 +1148,11 @@ mod tests {
             0,
             1,
             vec![
-                Insn::Call { method: depth1, args: vec![], dst: Some(0) },
+                Insn::Call {
+                    method: depth1,
+                    args: vec![],
+                    dst: Some(0),
+                },
                 Insn::Return { value: None },
             ],
         ));
@@ -1059,9 +1196,20 @@ mod tests {
             1,
             vec![
                 Insn::New { class: c, dst: 0 },
-                Insn::PutStatic { static_id: s, value: 0 },
-                Insn::Call { method: helper, args: vec![], dst: None },
-                Insn::Call { method: helper, args: vec![], dst: None },
+                Insn::PutStatic {
+                    static_id: s,
+                    value: 0,
+                },
+                Insn::Call {
+                    method: helper,
+                    args: vec![],
+                    dst: None,
+                },
+                Insn::Call {
+                    method: helper,
+                    args: vec![],
+                    dst: None,
+                },
                 Insn::Return { value: None },
             ],
         ));

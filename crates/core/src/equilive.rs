@@ -75,15 +75,31 @@ impl FrameKey {
         match (self, other) {
             (FrameKey::Static, _) | (_, FrameKey::Static) => FrameKey::Static,
             (
-                FrameKey::Frame { id: ia, depth: da, thread: ta },
-                FrameKey::Frame { id: ib, depth: db, thread: tb },
+                FrameKey::Frame {
+                    id: ia,
+                    depth: da,
+                    thread: ta,
+                },
+                FrameKey::Frame {
+                    id: ib,
+                    depth: db,
+                    thread: tb,
+                },
             ) => {
                 if ta != tb {
                     FrameKey::Static
                 } else if da <= db {
-                    FrameKey::Frame { id: ia, depth: da, thread: ta }
+                    FrameKey::Frame {
+                        id: ia,
+                        depth: da,
+                        thread: ta,
+                    }
                 } else {
-                    FrameKey::Frame { id: ib, depth: db, thread: tb }
+                    FrameKey::Frame {
+                        id: ib,
+                        depth: db,
+                        thread: tb,
+                    }
                 }
             }
         }
@@ -99,8 +115,16 @@ impl FrameKey {
             (FrameKey::Static, _) => true,
             (_, FrameKey::Static) => false,
             (
-                FrameKey::Frame { depth: da, thread: ta, .. },
-                FrameKey::Frame { depth: db, thread: tb, .. },
+                FrameKey::Frame {
+                    depth: da,
+                    thread: ta,
+                    ..
+                },
+                FrameKey::Frame {
+                    depth: db,
+                    thread: tb,
+                    ..
+                },
             ) => ta == tb && da < db,
         }
     }
@@ -163,8 +187,12 @@ impl MergePayload for BlockInfo {
             (StaticReason::NotStatic, r) => r,
             (r, StaticReason::NotStatic) => r,
             // Thread sharing is the more specific diagnosis; keep it.
-            (StaticReason::ThreadShared, _) | (_, StaticReason::ThreadShared) => StaticReason::ThreadShared,
-            (StaticReason::StaticReference, StaticReason::StaticReference) => StaticReason::StaticReference,
+            (StaticReason::ThreadShared, _) | (_, StaticReason::ThreadShared) => {
+                StaticReason::ThreadShared
+            }
+            (StaticReason::StaticReference, StaticReason::StaticReference) => {
+                StaticReason::StaticReference
+            }
         };
         // If the merged key became static through thread incomparability the
         // reason may still be NotStatic; normalise.
@@ -284,7 +312,10 @@ mod tests {
             method: MethodId::new(0),
         };
         assert_eq!(FrameKey::frame(&info), frame_key(4, 2));
-        assert_eq!(FrameKey::frame(&FrameInfo::static_frame()), FrameKey::Static);
+        assert_eq!(
+            FrameKey::frame(&FrameInfo::static_frame()),
+            FrameKey::Static
+        );
         assert!(FrameKey::Static.is_static());
         assert_eq!(FrameKey::Static.frame_id(), None);
         assert_eq!(frame_key(4, 2).frame_id(), Some(FrameId::new(4)));
@@ -309,8 +340,16 @@ mod tests {
 
     #[test]
     fn older_across_threads_is_static() {
-        let a = FrameKey::Frame { id: FrameId::new(1), depth: 1, thread: ThreadId::new(0) };
-        let b = FrameKey::Frame { id: FrameId::new(2), depth: 2, thread: ThreadId::new(1) };
+        let a = FrameKey::Frame {
+            id: FrameId::new(1),
+            depth: 1,
+            thread: ThreadId::new(0),
+        };
+        let b = FrameKey::Frame {
+            id: FrameId::new(2),
+            depth: 2,
+            thread: ThreadId::new(1),
+        };
         assert_eq!(a.older(b), FrameKey::Static);
     }
 
@@ -321,7 +360,11 @@ mod tests {
         assert!(frame_key(1, 1).strictly_older_than(frame_key(2, 3)));
         assert!(!frame_key(2, 3).strictly_older_than(frame_key(1, 1)));
         assert!(!frame_key(1, 1).strictly_older_than(FrameKey::Static));
-        let other_thread = FrameKey::Frame { id: FrameId::new(5), depth: 9, thread: ThreadId::new(7) };
+        let other_thread = FrameKey::Frame {
+            id: FrameId::new(5),
+            depth: 9,
+            thread: ThreadId::new(7),
+        };
         assert!(!frame_key(1, 1).strictly_older_than(other_thread));
     }
 
@@ -352,11 +395,19 @@ mod tests {
     fn block_merge_across_threads_normalises_reason() {
         let mut a = BlockInfo::singleton(
             handle(0),
-            FrameKey::Frame { id: FrameId::new(1), depth: 1, thread: ThreadId::new(0) },
+            FrameKey::Frame {
+                id: FrameId::new(1),
+                depth: 1,
+                thread: ThreadId::new(0),
+            },
         );
         let b = BlockInfo::singleton(
             handle(1),
-            FrameKey::Frame { id: FrameId::new(2), depth: 1, thread: ThreadId::new(1) },
+            FrameKey::Frame {
+                id: FrameId::new(2),
+                depth: 1,
+                thread: ThreadId::new(1),
+            },
         );
         a.merge(b);
         assert!(a.is_static());

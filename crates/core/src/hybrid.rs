@@ -9,9 +9,7 @@
 //! instructions and counting how much the reset improves things.
 
 use cg_baseline::{trace_live, MarkSweepStats};
-use cg_vm::{
-    ClassId, CollectOutcome, Collector, FrameInfo, Handle, Heap, RootSet, ThreadId,
-};
+use cg_vm::{ClassId, CollectOutcome, Collector, FrameInfo, Handle, Heap, RootSet, ThreadId};
 
 use crate::collector::{CgConfig, ContaminatedGc};
 
@@ -120,7 +118,13 @@ impl Collector for HybridCollector {
         self.cg.on_allocate(handle, frame, heap);
     }
 
-    fn on_reference_store(&mut self, source: Handle, target: Handle, frame: &FrameInfo, heap: &Heap) {
+    fn on_reference_store(
+        &mut self,
+        source: Handle,
+        target: Handle,
+        frame: &FrameInfo,
+        heap: &Heap,
+    ) {
         self.cg.on_reference_store(source, target, frame, heap);
     }
 
@@ -213,9 +217,19 @@ mod tests {
             3,
             vec![
                 Insn::Const { dst: 1, value: 0 },
-                Insn::Branch { cond: Cond::Ge, a: Operand::Local(1), b: Operand::Imm(n), target: 5 },
+                Insn::Branch {
+                    cond: Cond::Ge,
+                    a: Operand::Local(1),
+                    b: Operand::Imm(n),
+                    target: 5,
+                },
                 Insn::New { class: c, dst: 0 },
-                Insn::Arith { op: cg_vm::ArithOp::Add, dst: 1, a: Operand::Local(1), b: Operand::Imm(1) },
+                Insn::Arith {
+                    op: cg_vm::ArithOp::Add,
+                    dst: 1,
+                    a: Operand::Local(1),
+                    b: Operand::Imm(1),
+                },
                 Insn::Jump { target: 1 },
                 Insn::Return { value: None },
             ],
@@ -226,8 +240,15 @@ mod tests {
             1,
             vec![
                 Insn::New { class: c, dst: 0 },
-                Insn::PutStatic { static_id: s, value: 0 },
-                Insn::Call { method: helper, args: vec![], dst: None },
+                Insn::PutStatic {
+                    static_id: s,
+                    value: 0,
+                },
+                Insn::Call {
+                    method: helper,
+                    args: vec![],
+                    dst: None,
+                },
                 Insn::Return { value: None },
             ],
         ));
@@ -237,8 +258,14 @@ mod tests {
 
     #[test]
     fn hybrid_names_reflect_reset_mode() {
-        assert_eq!(HybridCollector::new(HybridConfig::default()).name(), "cg+msa+reset");
-        let no_reset = HybridConfig { reset_on_collect: false, ..HybridConfig::default() };
+        assert_eq!(
+            HybridCollector::new(HybridConfig::default()).name(),
+            "cg+msa+reset"
+        );
+        let no_reset = HybridConfig {
+            reset_on_collect: false,
+            ..HybridConfig::default()
+        };
         assert_eq!(HybridCollector::new(no_reset).name(), "cg+msa");
     }
 
@@ -282,12 +309,29 @@ mod tests {
         // (it is in the static set as far as CG is concerned).
         let code = vec![
             Insn::Const { dst: 2, value: 0 },
-            Insn::Branch { cond: Cond::Ge, a: Operand::Local(2), b: Operand::Imm(300), target: 8 },
+            Insn::Branch {
+                cond: Cond::Ge,
+                a: Operand::Local(2),
+                b: Operand::Imm(300),
+                target: 8,
+            },
             Insn::New { class: c, dst: 0 },
             Insn::New { class: c, dst: 1 },
-            Insn::PutField { object: 0, field: 0, value: 1 },
-            Insn::PutStatic { static_id: s, value: 0 },
-            Insn::Arith { op: cg_vm::ArithOp::Add, dst: 2, a: Operand::Local(2), b: Operand::Imm(1) },
+            Insn::PutField {
+                object: 0,
+                field: 0,
+                value: 1,
+            },
+            Insn::PutStatic {
+                static_id: s,
+                value: 0,
+            },
+            Insn::Arith {
+                op: cg_vm::ArithOp::Add,
+                dst: 2,
+                a: Operand::Local(2),
+                b: Operand::Imm(1),
+            },
             Insn::Jump { target: 1 },
             Insn::Return { value: None },
         ];
@@ -306,7 +350,11 @@ mod tests {
         assert!(hybrid.cg().stats().reset_collected_by_msa > 0);
         // Only the pairs allocated since the last collection remain live —
         // far fewer than the 600 the program created.
-        assert!(vm.heap().live_count() < 200, "live = {}", vm.heap().live_count());
+        assert!(
+            vm.heap().live_count() < 200,
+            "live = {}",
+            vm.heap().live_count()
+        );
         // And of those, only the final pair is actually reachable.
         let live = cg_baseline::trace_live(&vm.build_roots(), vm.heap());
         assert_eq!(live.iter().filter(|&&m| m).count(), 2);
@@ -323,15 +371,39 @@ mod tests {
         let s = p.add_static();
         let code = vec![
             Insn::New { class: c, dst: 0 },
-            Insn::PutStatic { static_id: s, value: 0 },
+            Insn::PutStatic {
+                static_id: s,
+                value: 0,
+            },
             Insn::Const { dst: 2, value: 0 },
-            Insn::Branch { cond: Cond::Ge, a: Operand::Local(2), b: Operand::Imm(100), target: 11 },
+            Insn::Branch {
+                cond: Cond::Ge,
+                a: Operand::Local(2),
+                b: Operand::Imm(100),
+                target: 11,
+            },
             Insn::New { class: c, dst: 1 },
-            Insn::GetStatic { static_id: s, dst: 0 },
-            Insn::PutField { object: 0, field: 0, value: 1 },
+            Insn::GetStatic {
+                static_id: s,
+                dst: 0,
+            },
+            Insn::PutField {
+                object: 0,
+                field: 0,
+                value: 1,
+            },
             Insn::LoadNull { dst: 3 },
-            Insn::PutField { object: 0, field: 0, value: 3 },
-            Insn::Arith { op: cg_vm::ArithOp::Add, dst: 2, a: Operand::Local(2), b: Operand::Imm(1) },
+            Insn::PutField {
+                object: 0,
+                field: 0,
+                value: 3,
+            },
+            Insn::Arith {
+                op: cg_vm::ArithOp::Add,
+                dst: 2,
+                a: Operand::Local(2),
+                b: Operand::Imm(1),
+            },
             Insn::Jump { target: 3 },
             Insn::Return { value: None },
         ];
@@ -350,7 +422,11 @@ mod tests {
         // Everything allocated before the last traditional collection has
         // been reclaimed; only the static root plus the handful of nodes
         // allocated since then remain.
-        assert!(vm.heap().live_count() <= 20, "live = {}", vm.heap().live_count());
+        assert!(
+            vm.heap().live_count() <= 20,
+            "live = {}",
+            vm.heap().live_count()
+        );
         let live = cg_baseline::trace_live(&vm.build_roots(), vm.heap());
         assert_eq!(live.iter().filter(|&&m| m).count(), 1);
     }

@@ -29,7 +29,11 @@ impl ObjectBreakdown {
 }
 
 /// Counters and distributions maintained by [`ContaminatedGc`](crate::ContaminatedGc).
-#[derive(Debug, Clone)]
+///
+/// `CgStats` compares by value (all counters and both histograms), which is
+/// what the trace-equivalence tests rely on: a replayed run must reproduce a
+/// live run's statistics *exactly*, not approximately.
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CgStats {
     /// Objects (instances + arrays) the program created (Figures 4.1, 4.9).
     pub objects_created: u64,

@@ -84,7 +84,13 @@ impl ObjectSpace {
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "object space capacity must be positive");
         let mut blocks = BTreeMap::new();
-        blocks.insert(0, Block { size: capacity, free: true });
+        blocks.insert(
+            0,
+            Block {
+                size: capacity,
+                free: true,
+            },
+        );
         Self {
             capacity,
             blocks,
@@ -210,7 +216,10 @@ impl ObjectSpace {
             assert_eq!(addr, cursor, "blocks must tile the space contiguously");
             assert!(block.size > 0, "zero-sized block at {addr}");
             if block.free {
-                assert!(!prev_free, "adjacent free blocks were not coalesced at {addr}");
+                assert!(
+                    !prev_free,
+                    "adjacent free blocks were not coalesced at {addr}"
+                );
             } else {
                 used += block.size;
             }
@@ -246,7 +255,13 @@ impl ObjectSpace {
         let remainder = block.size - size;
         self.blocks.insert(addr, Block { size, free: false });
         if remainder > 0 {
-            self.blocks.insert(addr + size, Block { size: remainder, free: true });
+            self.blocks.insert(
+                addr + size,
+                Block {
+                    size: remainder,
+                    free: true,
+                },
+            );
         }
     }
 
@@ -427,58 +442,68 @@ mod tests {
 
     mod properties {
         use super::*;
-        use proptest::prelude::*;
-        use rand::{rngs::StdRng, seq::SliceRandom, Rng, SeedableRng};
+        use cg_testutil::TestRng;
 
-        proptest! {
-            /// Random alloc/free interleavings preserve all invariants and
-            /// never hand out overlapping blocks.
-            #[test]
-            fn random_workload_preserves_invariants(seed in 0u64..1000, ops in 10usize..200) {
-                let mut rng = StdRng::seed_from_u64(seed);
+        /// Random alloc/free interleavings preserve all invariants and
+        /// never hand out overlapping blocks.
+        #[test]
+        fn random_workload_preserves_invariants() {
+            for seed in 0..64u64 {
+                let mut rng = TestRng::new(seed);
+                let ops = rng.gen_range(10, 200);
                 let mut space = ObjectSpace::new(4096);
                 let mut live: Vec<(BlockAddr, usize)> = Vec::new();
                 for _ in 0..ops {
                     if live.is_empty() || rng.gen_bool(0.6) {
-                        let size = rng.gen_range(1usize..=128);
+                        let size = rng.gen_range(1, 129);
                         if let Some(addr) = space.alloc(size) {
                             // No overlap with any live block.
                             for &(other, osize) in &live {
-                                prop_assert!(addr + size <= other || other + osize <= addr,
-                                    "overlap: [{},{}) vs [{},{})", addr, addr+size, other, other+osize);
+                                assert!(
+                                    addr + size <= other || other + osize <= addr,
+                                    "seed {seed}: overlap: [{},{}) vs [{},{})",
+                                    addr,
+                                    addr + size,
+                                    other,
+                                    other + osize
+                                );
                             }
                             live.push((addr, size));
                         }
                     } else {
-                        let idx = rng.gen_range(0..live.len());
+                        let idx = rng.gen_range(0, live.len());
                         let (addr, _) = live.swap_remove(idx);
                         space.free(addr);
                     }
                     space.check_invariants();
                 }
                 let live_total: usize = live.iter().map(|&(_, s)| s).sum();
-                prop_assert_eq!(space.used(), live_total);
+                assert_eq!(space.used(), live_total, "seed {seed}");
             }
+        }
 
-            /// Freeing everything always restores a single maximal free block.
-            #[test]
-            fn full_free_restores_whole_space(seed in 0u64..1000) {
-                let mut rng = StdRng::seed_from_u64(seed);
+        /// Freeing everything always restores a single maximal free block.
+        #[test]
+        fn full_free_restores_whole_space() {
+            for seed in 0..64u64 {
+                let mut rng = TestRng::new(seed);
                 let mut space = ObjectSpace::new(2048);
                 let mut live = Vec::new();
-                while let Some(addr) = space.alloc(rng.gen_range(1usize..=64)) {
+                while let Some(addr) = space.alloc(rng.gen_range(1, 65)) {
                     live.push(addr);
-                    if live.len() > 200 { break; }
+                    if live.len() > 200 {
+                        break;
+                    }
                 }
-                live.shuffle(&mut rng);
+                rng.shuffle(&mut live);
                 for addr in live {
                     space.free(addr);
                 }
                 space.check_invariants();
                 let st = space.stats();
-                prop_assert_eq!(st.used, 0);
-                prop_assert_eq!(st.free_blocks, 1);
-                prop_assert_eq!(st.largest_free_block, 2048);
+                assert_eq!(st.used, 0, "seed {seed}");
+                assert_eq!(st.free_blocks, 1, "seed {seed}");
+                assert_eq!(st.largest_free_block, 2048, "seed {seed}");
             }
         }
     }

@@ -1,7 +1,5 @@
 //! The heap: handle table plus object space.
 
-use serde::{Deserialize, Serialize};
-
 use crate::error::HeapError;
 use crate::freelist::{BlockAddr, ObjectSpace};
 use crate::layout::HeapConfig;
@@ -9,7 +7,7 @@ use crate::object::Object;
 use crate::value::{ClassId, Handle, Value};
 
 /// Cumulative heap activity counters.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct HeapStats {
     /// Objects ever allocated (instances + arrays), excluding recycled
     /// reinitialisations.
@@ -253,11 +251,15 @@ impl Heap {
     /// Returns [`HeapError::DeadHandle`] or [`HeapError::BadField`].
     pub fn slot(&self, handle: Handle, index: usize) -> Result<Value, HeapError> {
         let object = self.get(handle)?;
-        object.slots().get(index).copied().ok_or(HeapError::BadField {
-            handle,
-            index,
-            len: object.slot_count(),
-        })
+        object
+            .slots()
+            .get(index)
+            .copied()
+            .ok_or(HeapError::BadField {
+                handle,
+                index,
+                len: object.slot_count(),
+            })
     }
 
     /// Writes slot `index` (field or array element) of the object, returning
@@ -266,7 +268,12 @@ impl Heap {
     /// # Errors
     ///
     /// Returns [`HeapError::DeadHandle`] or [`HeapError::BadField`].
-    pub fn set_slot(&mut self, handle: Handle, index: usize, value: Value) -> Result<Value, HeapError> {
+    pub fn set_slot(
+        &mut self,
+        handle: Handle,
+        index: usize,
+        value: Value,
+    ) -> Result<Value, HeapError> {
         let object = self.get_mut(handle)?;
         let len = object.slot_count();
         let slot = object
@@ -284,7 +291,10 @@ impl Heap {
     /// [`Heap::slot`].
     pub fn field(&self, handle: Handle, index: usize) -> Result<Value, HeapError> {
         if self.get(handle)?.is_array() {
-            return Err(HeapError::KindMismatch { handle, expected: "instance" });
+            return Err(HeapError::KindMismatch {
+                handle,
+                expected: "instance",
+            });
         }
         self.slot(handle, index)
     }
@@ -295,9 +305,17 @@ impl Heap {
     ///
     /// Returns [`HeapError::KindMismatch`] for arrays, otherwise as
     /// [`Heap::set_slot`].
-    pub fn set_field(&mut self, handle: Handle, index: usize, value: Value) -> Result<Value, HeapError> {
+    pub fn set_field(
+        &mut self,
+        handle: Handle,
+        index: usize,
+        value: Value,
+    ) -> Result<Value, HeapError> {
         if self.get(handle)?.is_array() {
-            return Err(HeapError::KindMismatch { handle, expected: "instance" });
+            return Err(HeapError::KindMismatch {
+                handle,
+                expected: "instance",
+            });
         }
         self.set_slot(handle, index, value)
     }
@@ -310,7 +328,10 @@ impl Heap {
     /// [`Heap::slot`].
     pub fn element(&self, handle: Handle, index: usize) -> Result<Value, HeapError> {
         if !self.get(handle)?.is_array() {
-            return Err(HeapError::KindMismatch { handle, expected: "array" });
+            return Err(HeapError::KindMismatch {
+                handle,
+                expected: "array",
+            });
         }
         self.slot(handle, index)
     }
@@ -321,9 +342,17 @@ impl Heap {
     ///
     /// Returns [`HeapError::KindMismatch`] for non-arrays, otherwise as
     /// [`Heap::set_slot`].
-    pub fn set_element(&mut self, handle: Handle, index: usize, value: Value) -> Result<Value, HeapError> {
+    pub fn set_element(
+        &mut self,
+        handle: Handle,
+        index: usize,
+        value: Value,
+    ) -> Result<Value, HeapError> {
         if !self.get(handle)?.is_array() {
-            return Err(HeapError::KindMismatch { handle, expected: "array" });
+            return Err(HeapError::KindMismatch {
+                handle,
+                expected: "array",
+            });
         }
         self.set_slot(handle, index, value)
     }
@@ -376,8 +405,14 @@ mod tests {
         assert_eq!(h.element(arr, 1).unwrap().as_handle(), Some(obj));
         assert_eq!(h.references_of(arr), vec![obj]);
         // Field accessors reject arrays and vice versa.
-        assert!(matches!(h.field(arr, 0), Err(HeapError::KindMismatch { .. })));
-        assert!(matches!(h.set_element(obj, 0, Value::NULL), Err(HeapError::KindMismatch { .. })));
+        assert!(matches!(
+            h.field(arr, 0),
+            Err(HeapError::KindMismatch { .. })
+        ));
+        assert!(matches!(
+            h.set_element(obj, 0, Value::NULL),
+            Err(HeapError::KindMismatch { .. })
+        ));
     }
 
     #[test]
@@ -395,8 +430,18 @@ mod tests {
     fn bad_field_index_is_reported() {
         let mut h = heap();
         let a = h.allocate(class(), 1).unwrap();
-        assert!(matches!(h.field(a, 7), Err(HeapError::BadField { index: 7, len: 1, .. })));
-        assert!(matches!(h.set_field(a, 7, Value::NULL), Err(HeapError::BadField { .. })));
+        assert!(matches!(
+            h.field(a, 7),
+            Err(HeapError::BadField {
+                index: 7,
+                len: 1,
+                ..
+            })
+        ));
+        assert!(matches!(
+            h.set_field(a, 7, Value::NULL),
+            Err(HeapError::BadField { .. })
+        ));
     }
 
     #[test]
@@ -427,7 +472,10 @@ mod tests {
             h.allocate(class(), 2).unwrap();
         }
         let err = h.allocate(class(), 2).unwrap_err();
-        assert!(matches!(err, HeapError::OutOfObjectSpace { requested: 16, .. }));
+        assert!(matches!(
+            err,
+            HeapError::OutOfObjectSpace { requested: 16, .. }
+        ));
         assert_eq!(h.stats().allocation_failures, 1);
     }
 
@@ -505,47 +553,48 @@ mod tests {
 
     mod properties {
         use super::*;
-        use proptest::prelude::*;
-        use rand::{rngs::StdRng, Rng, SeedableRng};
+        use cg_testutil::TestRng;
 
-        proptest! {
-            /// Heap accounting (live count, bytes in use) always matches the
-            /// set of objects the test believes are live, across random
-            /// allocate/free/write workloads.
-            #[test]
-            fn accounting_matches_model(seed in 0u64..500, steps in 10usize..150) {
-                let mut rng = StdRng::seed_from_u64(seed);
+        /// Heap accounting (live count, bytes in use) always matches the
+        /// set of objects the test believes are live, across random
+        /// allocate/free/write workloads.
+        #[test]
+        fn accounting_matches_model() {
+            for seed in 0..64u64 {
+                let mut rng = TestRng::new(seed);
+                let steps = rng.gen_range(10, 150);
                 let mut h = Heap::new(HeapConfig::with_object_space(1 << 16, HandleRepr::CgWide));
                 let mut live: Vec<(Handle, usize)> = Vec::new();
                 for _ in 0..steps {
-                    let roll: f64 = rng.gen();
+                    let roll: f64 = rng.gen_f64();
                     if live.is_empty() || roll < 0.55 {
-                        let fields = rng.gen_range(0usize..6);
+                        let fields = rng.gen_range(0, 6);
                         if let Ok(handle) = h.allocate(ClassId::new(0), fields) {
                             live.push((handle, h.get(handle).unwrap().size_bytes()));
                         }
                     } else if roll < 0.8 {
-                        let idx = rng.gen_range(0..live.len());
+                        let idx = rng.gen_range(0, live.len());
                         let (handle, _) = live.swap_remove(idx);
                         h.free(handle).unwrap();
                     } else {
                         // Random reference store between live objects.
-                        let src = live[rng.gen_range(0..live.len())].0;
-                        let dst = live[rng.gen_range(0..live.len())].0;
+                        let src = live[rng.gen_range(0, live.len())].0;
+                        let dst = live[rng.gen_range(0, live.len())].0;
                         let slots = h.get(src).unwrap().slot_count();
                         if slots > 0 {
-                            h.set_field(src, rng.gen_range(0..slots), Value::from(dst)).unwrap();
+                            h.set_field(src, rng.gen_range(0, slots), Value::from(dst))
+                                .unwrap();
                         }
                     }
                     h.object_space().check_invariants();
                 }
-                prop_assert_eq!(h.live_count(), live.len());
+                assert_eq!(h.live_count(), live.len(), "seed {seed}");
                 let expected_bytes: usize = live.iter().map(|&(_, s)| s).sum();
-                prop_assert_eq!(h.bytes_in_use(), expected_bytes);
+                assert_eq!(h.bytes_in_use(), expected_bytes, "seed {seed}");
                 // Every live handle resolves; references point at live objects only
                 // if the referent was not freed (the heap does not chase pointers).
                 for &(handle, _) in &live {
-                    prop_assert!(h.get(handle).is_ok());
+                    assert!(h.get(handle).is_ok(), "seed {seed}");
                 }
             }
         }

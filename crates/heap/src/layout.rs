@@ -9,8 +9,6 @@
 //! object space unchanged, the implementation widens the handle-space share
 //! of the heap proportionally.  [`HeapConfig`] reproduces that accounting.
 
-use serde::{Deserialize, Serialize};
-
 /// Bytes per machine word on the paper's UltraSPARC target (32-bit words in
 /// JDK 1.1.8's heap layout).
 pub const WORD_BYTES: usize = 4;
@@ -19,7 +17,7 @@ pub const WORD_BYTES: usize = 4;
 ///
 /// This only affects space accounting (when the handle space is considered
 /// full); the Rust-side representation is the same for all variants.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum HandleRepr {
     /// The stock JDK 1.1.8 handle: object pointer + method table pointer
     /// (2 words).
@@ -27,6 +25,7 @@ pub enum HandleRepr {
     /// The straightforward contaminated-GC handle described in §3.1.1:
     /// the original 2 words plus 8 CG words plus 6 words used by other
     /// collection schemes in the authors' build (16 words total).
+    #[default]
     CgWide,
     /// The packed representation of §3.5: rank stored in the low bits of the
     /// parent pointer, halving the CG handle to 8 words.
@@ -55,12 +54,6 @@ impl HandleRepr {
     }
 }
 
-impl Default for HandleRepr {
-    fn default() -> Self {
-        HandleRepr::CgWide
-    }
-}
-
 /// Sizing configuration for a [`Heap`](crate::Heap).
 ///
 /// The JDK 1.1.8 heap is split 20% handle space / 80% object space; when the
@@ -78,7 +71,7 @@ impl Default for HandleRepr {
 /// // 8x expansion for the wide CG handle.
 /// assert_eq!(config.handle_space_bytes, (1 << 20) / 4 * 8);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct HeapConfig {
     /// Bytes available to the object space (the 80% share).
     pub object_space_bytes: usize,

@@ -1,11 +1,9 @@
 //! Heap objects: instances and arrays.
 
-use serde::{Deserialize, Serialize};
-
 use crate::value::{ClassId, Handle, Value};
 
 /// The shape of a heap object.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum ObjectKind {
     /// A class instance with a fixed number of fields.
     Instance {
@@ -21,7 +19,7 @@ pub enum ObjectKind {
 }
 
 /// A live heap object: its class, its storage, and its accounted size.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Object {
     class: ClassId,
     kind: ObjectKind,

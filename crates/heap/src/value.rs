@@ -1,7 +1,5 @@
 //! Handles, class identifiers and the values stored in object fields.
 
-use serde::{Deserialize, Serialize};
-
 /// A handle naming a heap object.
 ///
 /// Handles are dense `u32` indices into the heap's handle table.  Following
@@ -15,7 +13,7 @@ use serde::{Deserialize, Serialize};
 /// the index stays retired.  This keeps collector-side tables keyed by handle
 /// index unambiguous.  Recycling (§3.7) reuses the *object* under the same
 /// handle via [`Heap::reinitialize`](crate::Heap::reinitialize) instead.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Handle(u32);
 
 impl Handle {
@@ -45,7 +43,7 @@ impl std::fmt::Display for Handle {
 ///
 /// The heap only needs the class id to size and describe objects; the class
 /// metadata itself (names, field counts, methods) lives in `cg-vm`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct ClassId(u32);
 
 impl ClassId {
@@ -78,7 +76,7 @@ impl std::fmt::Display for ClassId {
 /// collector only ever acts on reference stores, so the primitive variants
 /// exist to give the synthetic workloads realistic non-reference traffic
 /// (arithmetic-heavy benchmarks like `compress` and `mpegaudio`).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum Value {
     /// A reference: either `null` or a handle.
     Ref(Option<Handle>),

@@ -1,7 +1,5 @@
 //! Monotone counters and settable gauges.
 
-use serde::{Deserialize, Serialize};
-
 /// A monotonically increasing event counter.
 ///
 /// Counters are used throughout the collectors to track events such as
@@ -17,7 +15,7 @@ use serde::{Deserialize, Serialize};
 /// allocations.add(4);
 /// assert_eq!(allocations.value(), 5);
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct Counter {
     name: String,
     value: u64,
@@ -89,7 +87,7 @@ impl std::fmt::Display for Counter {
 /// live.set(0);
 /// assert_eq!(live.value(), 0);
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct Gauge {
     name: String,
     value: i64,
@@ -210,14 +208,5 @@ mod tests {
         g.set(7);
         assert_eq!(g.value(), 7);
         assert_eq!(g.peak(), 42);
-    }
-
-    #[test]
-    fn counter_serde_round_trip() {
-        let mut c = Counter::new("x");
-        c.add(9);
-        let json = serde_json::to_string(&c).unwrap();
-        let back: Counter = serde_json::from_str(&json).unwrap();
-        assert_eq!(back, c);
     }
 }

@@ -6,8 +6,6 @@
 //! supports arbitrary upper-bound buckets plus an overflow bucket so both can
 //! be expressed directly.
 
-use serde::{Deserialize, Serialize};
-
 /// A histogram over `u64` samples with caller-defined bucket upper bounds.
 ///
 /// A histogram constructed with bounds `[1, 2, 5]` has four buckets:
@@ -29,7 +27,7 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(sizes.overflow(), 1);      // >10
 /// assert_eq!(sizes.total(), 4);
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Histogram {
     name: String,
     /// Inclusive upper bounds, strictly increasing.
@@ -49,7 +47,10 @@ impl Histogram {
     ///
     /// Panics if `bounds` is empty or not strictly increasing.
     pub fn new(name: impl Into<String>, bounds: &[u64]) -> Self {
-        assert!(!bounds.is_empty(), "histogram needs at least one bucket bound");
+        assert!(
+            !bounds.is_empty(),
+            "histogram needs at least one bucket bound"
+        );
         assert!(
             bounds.windows(2).all(|w| w[0] < w[1]),
             "histogram bounds must be strictly increasing"
@@ -110,7 +111,10 @@ impl Histogram {
 
     /// Count of samples larger than the last bound.
     pub fn overflow(&self) -> u64 {
-        *self.counts.last().expect("histogram always has an overflow bucket")
+        *self
+            .counts
+            .last()
+            .expect("histogram always has an overflow bucket")
     }
 
     /// Total number of recorded samples.
@@ -163,7 +167,10 @@ impl Histogram {
     ///
     /// Panics if the bucket bounds differ.
     pub fn merge(&mut self, other: &Histogram) {
-        assert_eq!(self.bounds, other.bounds, "cannot merge histograms with different bounds");
+        assert_eq!(
+            self.bounds, other.bounds,
+            "cannot merge histograms with different bounds"
+        );
         for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
             *a += b;
         }
@@ -175,14 +182,34 @@ impl Histogram {
         }
     }
 
+    /// The histogram as a JSON object (name, bounds, per-bucket counts with
+    /// labels, total).
+    pub fn to_json(&self) -> crate::Json {
+        use crate::Json;
+        Json::obj([
+            ("name", Json::Str(self.name.clone())),
+            (
+                "bounds",
+                Json::Arr(self.bounds.iter().map(|&b| Json::Num(b as f64)).collect()),
+            ),
+            (
+                "labels",
+                Json::Arr(self.bucket_labels().into_iter().map(Json::Str).collect()),
+            ),
+            (
+                "counts",
+                Json::Arr(self.counts.iter().map(|&c| Json::Num(c as f64)).collect()),
+            ),
+            ("total", Json::Num(self.total as f64)),
+        ])
+    }
+
     /// Human-readable bucket labels, e.g. `["1", "2", "3-5", ">5"]`.
     pub fn bucket_labels(&self) -> Vec<String> {
         let mut labels = Vec::with_capacity(self.counts.len());
         let mut low = 0u64;
         for &b in &self.bounds {
-            if b == low + 1 || (low == 0 && b == self.bounds[0] && b <= 1) {
-                labels.push(format!("{b}"));
-            } else if b == low {
+            if b == low + 1 || b == low || (low == 0 && b == self.bounds[0] && b <= 1) {
                 labels.push(format!("{b}"));
             } else {
                 labels.push(format!("{}-{}", low + 1, b));
@@ -298,11 +325,23 @@ mod tests {
     }
 
     #[test]
-    fn serde_round_trip() {
+    fn to_json_reports_buckets() {
         let mut h = block_size_histogram();
         h.record(3);
-        let json = serde_json::to_string(&h).unwrap();
-        let back: Histogram = serde_json::from_str(&json).unwrap();
-        assert_eq!(back, h);
+        h.record(64);
+        let json = h.to_json();
+        assert_eq!(
+            json.get("name").and_then(crate::Json::as_str),
+            Some("blocks")
+        );
+        assert_eq!(json.get("total").and_then(crate::Json::as_u64), Some(2));
+        let counts: Vec<u64> = json
+            .get("counts")
+            .and_then(crate::Json::as_arr)
+            .unwrap()
+            .iter()
+            .map(|c| c.as_u64().unwrap())
+            .collect();
+        assert_eq!(counts, vec![0, 0, 1, 0, 0, 0, 1]);
     }
 }

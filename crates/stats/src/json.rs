@@ -1,0 +1,561 @@
+//! A minimal JSON value, renderer and parser.
+//!
+//! The build environment has no access to crates.io, so the workspace cannot
+//! depend on `serde`/`serde_json`.  The reproduction still needs
+//! machine-readable output (tables, experiment reports and the `BENCH_*.json`
+//! files the perf trajectory is tracked with), which this module provides:
+//! a [`Json`] tree, pretty rendering, and a strict parser good enough to
+//! round-trip everything the workspace emits.
+
+use std::fmt::Write as _;
+
+/// A JSON value.
+///
+/// Object member order is preserved (members are a `Vec`, not a map), so the
+/// rendered output is deterministic and diffs between benchmark runs stay
+/// readable.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any number.  Counts up to 2^53 round-trip exactly.
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object, in insertion order.
+    Obj(Vec<(String, Json)>),
+}
+
+/// Why a parse failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonError {
+    /// Byte offset of the error.
+    pub at: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl JsonError {
+    /// A structural (non-positional) error, used by the typed
+    /// deserializers in this crate where no byte offset is meaningful.
+    pub fn msg(message: impl Into<String>) -> Self {
+        Self {
+            at: 0,
+            message: message.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for JsonError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "JSON error at byte {}: {}", self.at, self.message)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+impl Json {
+    /// Builds an object from `(key, value)` pairs.
+    pub fn obj(members: impl IntoIterator<Item = (&'static str, Json)>) -> Json {
+        Json::Obj(
+            members
+                .into_iter()
+                .map(|(k, v)| (k.to_string(), v))
+                .collect(),
+        )
+    }
+
+    /// The member of an object, if this is an object containing the key.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The string member `key` of this object, as an owned `String`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`JsonError`] naming the missing/mistyped key — the shared
+    /// building block of the typed deserializers in this crate.
+    pub fn required_str(&self, key: &str) -> Result<String, JsonError> {
+        self.get(key)
+            .and_then(Json::as_str)
+            .map(str::to_string)
+            .ok_or_else(|| JsonError::msg(format!("missing string member '{key}'")))
+    }
+
+    /// The string payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload as an exact `u64`, if this is a non-negative
+    /// integer below 2^53.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::Num(n) if *n >= 0.0 && n.fract() == 0.0 && *n < 9_007_199_254_740_992.0 => {
+                Some(*n as u64)
+            }
+            _ => None,
+        }
+    }
+
+    /// The boolean payload, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The elements, if this is an array.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Renders compact single-line JSON.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, None, 0);
+        out
+    }
+
+    /// Renders pretty-printed JSON with two-space indentation.
+    pub fn render_pretty(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, Some(2), 0);
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: Option<usize>, level: usize) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Num(n) => write_number(out, *n),
+            Json::Str(s) => write_string(out, s),
+            Json::Arr(items) => {
+                write_seq(
+                    out,
+                    indent,
+                    level,
+                    '[',
+                    ']',
+                    items.iter(),
+                    |out, item, lvl| {
+                        item.write(out, indent, lvl);
+                    },
+                );
+            }
+            Json::Obj(members) => {
+                write_seq(
+                    out,
+                    indent,
+                    level,
+                    '{',
+                    '}',
+                    members.iter(),
+                    |out, (k, v), lvl| {
+                        write_string(out, k);
+                        out.push(':');
+                        if indent.is_some() {
+                            out.push(' ');
+                        }
+                        v.write(out, indent, lvl);
+                    },
+                );
+            }
+        }
+    }
+
+    /// Parses a JSON document (one value with only whitespace around it).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`JsonError`] describing the first offending byte.
+    pub fn parse(text: &str) -> Result<Json, JsonError> {
+        let mut p = Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        };
+        p.skip_ws();
+        let value = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(p.error("trailing characters after the document"));
+        }
+        Ok(value)
+    }
+}
+
+fn write_number(out: &mut String, n: f64) {
+    if !n.is_finite() {
+        // JSON has no NaN/Infinity literals; null is the conventional stand-in.
+        out.push_str("null");
+    } else if n.fract() == 0.0 && n.abs() < 9_007_199_254_740_992.0 {
+        let _ = write!(out, "{}", n as i64);
+    } else {
+        // `{:?}` prints the shortest representation that round-trips.
+        let _ = write!(out, "{n:?}");
+    }
+}
+
+fn write_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn write_seq<T>(
+    out: &mut String,
+    indent: Option<usize>,
+    level: usize,
+    open: char,
+    close: char,
+    items: impl ExactSizeIterator<Item = T>,
+    mut write_item: impl FnMut(&mut String, T, usize),
+) {
+    out.push(open);
+    let len = items.len();
+    if len == 0 {
+        out.push(close);
+        return;
+    }
+    for (i, item) in items.enumerate() {
+        if let Some(width) = indent {
+            out.push('\n');
+            out.push_str(&" ".repeat(width * (level + 1)));
+        }
+        write_item(out, item, level + 1);
+        if i + 1 < len {
+            out.push(',');
+        }
+    }
+    if let Some(width) = indent {
+        out.push('\n');
+        out.push_str(&" ".repeat(width * level));
+    }
+    out.push(close);
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn error(&self, message: impl Into<String>) -> JsonError {
+        JsonError {
+            at: self.pos,
+            message: message.into(),
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.bytes.get(self.pos), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn eat(&mut self, expected: u8) -> Result<(), JsonError> {
+        if self.peek() == Some(expected) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.error(format!("expected '{}'", expected as char)))
+        }
+    }
+
+    fn eat_keyword(&mut self, word: &str, value: Json) -> Result<Json, JsonError> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(self.error(format!("expected '{word}'")))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, JsonError> {
+        match self.peek() {
+            Some(b'n') => self.eat_keyword("null", Json::Null),
+            Some(b't') => self.eat_keyword("true", Json::Bool(true)),
+            Some(b'f') => self.eat_keyword("false", Json::Bool(false)),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            _ => Err(self.error("expected a JSON value")),
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, JsonError> {
+        self.eat(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(self.error("expected ',' or ']'")),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, JsonError> {
+        self.eat(b'{')?;
+        let mut members = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(members));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.eat(b':')?;
+            self.skip_ws();
+            let value = self.value()?;
+            members.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(members));
+                }
+                _ => return Err(self.error("expected ',' or '}'")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, JsonError> {
+        self.eat(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.error("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .and_then(|b| std::str::from_utf8(b).ok())
+                                .ok_or_else(|| self.error("truncated \\u escape"))?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| self.error("invalid \\u escape"))?;
+                            // Surrogate pairs are not emitted by the renderer;
+                            // reject them rather than mis-decode.
+                            let c = char::from_u32(code)
+                                .ok_or_else(|| self.error("\\u escape is not a scalar value"))?;
+                            out.push(c);
+                            self.pos += 4;
+                        }
+                        _ => return Err(self.error("invalid escape")),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 character.
+                    let rest = &self.bytes[self.pos..];
+                    let s = std::str::from_utf8(rest).map_err(|_| self.error("invalid UTF-8"))?;
+                    let c = s.chars().next().expect("non-empty");
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, JsonError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        if self.peek() == Some(b'.') {
+            self.pos += 1;
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii digits");
+        text.parse::<f64>()
+            .map(Json::Num)
+            .map_err(|_| self.error("invalid number"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_and_parses_scalars() {
+        for (value, text) in [
+            (Json::Null, "null"),
+            (Json::Bool(true), "true"),
+            (Json::Bool(false), "false"),
+            (Json::Num(42.0), "42"),
+            (Json::Num(-1.5), "-1.5"),
+            (Json::Str("hi".into()), "\"hi\""),
+        ] {
+            assert_eq!(value.render(), text);
+            assert_eq!(Json::parse(text).unwrap(), value);
+        }
+    }
+
+    #[test]
+    fn round_trips_nested_structures() {
+        let value = Json::obj([
+            ("title", Json::Str("Fig 4.1".into())),
+            ("counts", Json::Arr(vec![Json::Num(1.0), Json::Num(2.0)])),
+            (
+                "nested",
+                Json::obj([("ok", Json::Bool(true)), ("x", Json::Null)]),
+            ),
+            ("empty_arr", Json::Arr(vec![])),
+            ("empty_obj", Json::Obj(vec![])),
+        ]);
+        for text in [value.render(), value.render_pretty()] {
+            assert_eq!(Json::parse(&text).unwrap(), value);
+        }
+    }
+
+    #[test]
+    fn escapes_round_trip() {
+        let value = Json::Str("line\nquote\"back\\slash\ttab\u{1}".into());
+        let text = value.render();
+        assert_eq!(Json::parse(&text).unwrap(), value);
+    }
+
+    #[test]
+    fn unicode_round_trips() {
+        let value = Json::Str("héllo ✓".into());
+        assert_eq!(Json::parse(&value.render()).unwrap(), value);
+        assert_eq!(Json::parse("\"\\u2713\"").unwrap(), Json::Str("✓".into()));
+    }
+
+    #[test]
+    fn accessors_extract_payloads() {
+        let value = Json::obj([
+            ("n", Json::Num(7.0)),
+            ("s", Json::Str("x".into())),
+            ("b", Json::Bool(true)),
+            ("a", Json::Arr(vec![Json::Null])),
+        ]);
+        assert_eq!(value.get("n").and_then(Json::as_u64), Some(7));
+        assert_eq!(value.get("n").and_then(Json::as_f64), Some(7.0));
+        assert_eq!(value.get("s").and_then(Json::as_str), Some("x"));
+        assert_eq!(value.get("b").and_then(Json::as_bool), Some(true));
+        assert_eq!(
+            value.get("a").and_then(Json::as_arr).map(<[Json]>::len),
+            Some(1)
+        );
+        assert_eq!(value.get("missing"), None);
+        assert_eq!(Json::Num(1.5).as_u64(), None);
+        assert_eq!(Json::Num(-1.0).as_u64(), None);
+    }
+
+    #[test]
+    fn pretty_output_is_indented() {
+        let value = Json::obj([("a", Json::Arr(vec![Json::Num(1.0)]))]);
+        let pretty = value.render_pretty();
+        assert_eq!(pretty, "{\n  \"a\": [\n    1\n  ]\n}");
+    }
+
+    #[test]
+    fn non_finite_numbers_render_as_null() {
+        assert_eq!(Json::Num(f64::NAN).render(), "null");
+        assert_eq!(Json::Num(f64::INFINITY).render(), "null");
+        assert_eq!(Json::Num(f64::NEG_INFINITY).render(), "null");
+    }
+
+    #[test]
+    fn large_counts_round_trip_exactly() {
+        let n = 9_007_199_254_740_991u64; // 2^53 - 1
+        let value = Json::Num(n as f64);
+        assert_eq!(Json::parse(&value.render()).unwrap().as_u64(), Some(n));
+    }
+
+    #[test]
+    fn errors_carry_positions() {
+        assert!(Json::parse("").is_err());
+        assert!(Json::parse("{\"a\": }").is_err());
+        assert!(Json::parse("[1, 2").is_err());
+        assert!(Json::parse("42 junk").is_err());
+        assert!(Json::parse("\"unterminated").is_err());
+        let err = Json::parse("nul").unwrap_err();
+        assert!(err.to_string().contains("null"));
+    }
+}

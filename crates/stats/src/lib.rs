@@ -12,6 +12,9 @@
 //!   (Appendix A.5–A.7).
 //! * [`Table`] / [`Cell`] — paper-style fixed-width text tables with CSV and
 //!   JSON output.
+//! * [`Json`] — a dependency-free JSON tree with rendering and parsing, used
+//!   for all machine-readable output (the build environment has no crates.io
+//!   access, so `serde_json` is not available).
 //! * [`summary`] — means, standard deviations, percentages and speedups.
 //!
 //! The crate has no dependency on the rest of the workspace so that every
@@ -38,6 +41,7 @@
 
 pub mod counter;
 pub mod histogram;
+pub mod json;
 pub mod report;
 pub mod summary;
 pub mod table;
@@ -45,6 +49,7 @@ pub mod timer;
 
 pub use counter::{Counter, Gauge};
 pub use histogram::Histogram;
+pub use json::{Json, JsonError};
 pub use report::{ExperimentRecord, ExperimentReport};
 pub use summary::{geometric_mean, mean, percent, speedup, std_dev};
 pub use table::{Cell, Table};

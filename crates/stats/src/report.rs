@@ -1,8 +1,7 @@
 //! Experiment reports: named collections of tables plus paper-vs-measured
 //! records, serializable for `EXPERIMENTS.md` generation.
 
-use serde::{Deserialize, Serialize};
-
+use crate::json::{Json, JsonError};
 use crate::table::Table;
 
 /// A single paper-vs-measured comparison point.
@@ -10,7 +9,7 @@ use crate::table::Table;
 /// The reproduction harness emits one record per headline quantity (e.g.
 /// "raytrace collectable %" or "javac size-1 speedup") so the agreement with
 /// the paper can be audited mechanically.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ExperimentRecord {
     /// Which figure/table of the paper this belongs to, e.g. `"Fig 4.1"`.
     pub experiment: String,
@@ -77,6 +76,43 @@ impl ExperimentRecord {
         self.paper
             .map(|p| (p >= threshold) == (self.measured >= threshold))
     }
+
+    /// The record as a JSON object.
+    pub fn to_json_value(&self) -> Json {
+        Json::obj([
+            ("experiment", Json::Str(self.experiment.clone())),
+            ("quantity", Json::Str(self.quantity.clone())),
+            ("paper", self.paper.map(Json::Num).unwrap_or(Json::Null)),
+            ("measured", Json::Num(self.measured)),
+            ("note", Json::Str(self.note.clone())),
+        ])
+    }
+
+    /// Parses a record from the JSON produced by
+    /// [`ExperimentRecord::to_json_value`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`JsonError`] if the value is not a well-formed record.
+    pub fn from_json_value(json: &Json) -> Result<ExperimentRecord, JsonError> {
+        Ok(ExperimentRecord {
+            experiment: json.required_str("experiment")?,
+            quantity: json.required_str("quantity")?,
+            paper: match json.get("paper") {
+                Some(Json::Null) | None => None,
+                Some(value) => Some(
+                    value
+                        .as_f64()
+                        .ok_or_else(|| JsonError::msg("'paper' must be a number"))?,
+                ),
+            },
+            measured: json
+                .get("measured")
+                .and_then(Json::as_f64)
+                .ok_or_else(|| JsonError::msg("record is missing 'measured'"))?,
+            note: json.required_str("note")?,
+        })
+    }
 }
 
 /// A named experiment report: the rendered tables plus comparison records.
@@ -94,7 +130,7 @@ impl ExperimentRecord {
 /// assert_eq!(report.tables().len(), 1);
 /// assert!(report.records()[0].abs_error().unwrap() < 1.0);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ExperimentReport {
     id: String,
     description: String,
@@ -168,13 +204,56 @@ impl ExperimentReport {
         out
     }
 
+    /// The report as a JSON value.
+    pub fn to_json_value(&self) -> Json {
+        Json::obj([
+            ("id", Json::Str(self.id.clone())),
+            ("description", Json::Str(self.description.clone())),
+            (
+                "tables",
+                Json::Arr(self.tables.iter().map(Table::to_json_value).collect()),
+            ),
+            (
+                "records",
+                Json::Arr(
+                    self.records
+                        .iter()
+                        .map(ExperimentRecord::to_json_value)
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
     /// Serializes the report to pretty-printed JSON.
-    ///
-    /// # Panics
-    ///
-    /// Panics if serialization fails, which cannot happen for this type.
     pub fn to_json(&self) -> String {
-        serde_json::to_string_pretty(self).expect("report serialization cannot fail")
+        self.to_json_value().render_pretty()
+    }
+
+    /// Parses a report from the JSON produced by [`ExperimentReport::to_json`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`JsonError`] if the text is not a well-formed report.
+    pub fn from_json(text: &str) -> Result<ExperimentReport, JsonError> {
+        let json = Json::parse(text)?;
+        let mut report =
+            ExperimentReport::new(json.required_str("id")?, json.required_str("description")?);
+        for table in json
+            .get("tables")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| JsonError::msg("report is missing 'tables'"))?
+        {
+            report.add_table(Table::from_json_value(table)?);
+        }
+        for record in json
+            .get("records")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| JsonError::msg("report is missing 'records'"))?
+        {
+            report.add_record(ExperimentRecord::from_json_value(record)?);
+        }
+        Ok(report)
     }
 }
 
@@ -227,9 +306,18 @@ mod tests {
     #[test]
     fn report_json_round_trip() {
         let mut report = ExperimentReport::new("Fig 4.13", "Recycled objects");
-        report.add_record(ExperimentRecord::with_paper("Fig 4.13", "jack % recycled", 56.47, 50.0));
+        report.add_record(ExperimentRecord::with_paper(
+            "Fig 4.13",
+            "jack % recycled",
+            56.47,
+            50.0,
+        ));
+        report.add_record(ExperimentRecord::measured_only("Fig 4.13", "extra", 1.25).note("n"));
+        let mut t = Table::new("Figure 4.13", &["benchmark", "recycled"]);
+        t.push_row(vec![Cell::text("jack"), Cell::percent(50.0)]);
+        report.add_table(t);
         let json = report.to_json();
-        let back: ExperimentReport = serde_json::from_str(&json).unwrap();
+        let back = ExperimentReport::from_json(&json).unwrap();
         assert_eq!(back, report);
     }
 

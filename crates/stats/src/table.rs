@@ -1,14 +1,14 @@
 //! Paper-style tables: labelled rows of heterogeneous cells with fixed-width
 //! text, CSV and JSON rendering.
 
-use serde::{Deserialize, Serialize};
+use crate::json::{Json, JsonError};
 
 /// One value in a [`Table`] row.
 ///
 /// Cells remember their kind so the renderers can format counts, percentages
 /// and timings the way the paper's figures do (integral counts, one decimal
 /// for percentages, two for seconds and speedups).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum Cell {
     /// A free-form label (benchmark names, descriptions).
     Text(String),
@@ -60,6 +60,52 @@ impl Cell {
             Cell::Ratio(r) => format!("{r:.2}"),
             Cell::Missing => "-".to_string(),
         }
+    }
+
+    /// The cell as a tagged JSON object, e.g. `{"kind": "percent", "value": 61.0}`.
+    pub fn to_json(&self) -> Json {
+        let (kind, value) = match self {
+            Cell::Text(s) => ("text", Json::Str(s.clone())),
+            Cell::Count(n) => ("count", Json::Num(*n as f64)),
+            Cell::Percent(p) => ("percent", Json::Num(*p)),
+            Cell::Seconds(s) => ("seconds", Json::Num(*s)),
+            Cell::Ratio(r) => ("ratio", Json::Num(*r)),
+            Cell::Missing => ("missing", Json::Null),
+        };
+        Json::obj([("kind", Json::Str(kind.to_string())), ("value", value)])
+    }
+
+    /// Parses a cell from the JSON produced by [`Cell::to_json`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`JsonError`] if the value is not a well-formed cell.
+    pub fn from_json(json: &Json) -> Result<Cell, JsonError> {
+        let kind = json.required_str("kind")?;
+        let value = json
+            .get("value")
+            .ok_or_else(|| JsonError::msg("cell is missing its value"))?;
+        let number = |value: &Json| {
+            value
+                .as_f64()
+                .ok_or_else(|| JsonError::msg("cell value must be a number"))
+        };
+        Ok(match kind.as_str() {
+            "text" => Cell::Text(
+                value
+                    .as_str()
+                    .ok_or_else(|| JsonError::msg("text cell value must be a string"))?
+                    .to_string(),
+            ),
+            "count" => Cell::Count(value.as_u64().ok_or_else(|| {
+                JsonError::msg("count cell value must be a non-negative integer")
+            })?),
+            "percent" => Cell::Percent(number(value)?),
+            "seconds" => Cell::Seconds(number(value)?),
+            "ratio" => Cell::Ratio(number(value)?),
+            "missing" => Cell::Missing,
+            other => return Err(JsonError::msg(format!("unknown cell kind '{other}'"))),
+        })
     }
 
     /// Renders the cell for CSV output (no `%` suffix, full precision).
@@ -119,7 +165,7 @@ impl From<u64> for Cell {
 /// let csv = t.render_csv();
 /// assert!(csv.starts_with("benchmark,CG,JDK,speedup"));
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Table {
     title: String,
     columns: Vec<String>,
@@ -267,13 +313,83 @@ impl Table {
         out
     }
 
+    /// The table as a JSON value (title, columns, tagged cells).
+    pub fn to_json_value(&self) -> Json {
+        Json::obj([
+            ("title", Json::Str(self.title.clone())),
+            (
+                "columns",
+                Json::Arr(self.columns.iter().cloned().map(Json::Str).collect()),
+            ),
+            (
+                "rows",
+                Json::Arr(
+                    self.rows
+                        .iter()
+                        .map(|row| Json::Arr(row.iter().map(Cell::to_json).collect()))
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
     /// Serializes the table to pretty-printed JSON.
-    ///
-    /// # Panics
-    ///
-    /// Panics if serialization fails, which cannot happen for this type.
     pub fn to_json(&self) -> String {
-        serde_json::to_string_pretty(self).expect("table serialization cannot fail")
+        self.to_json_value().render_pretty()
+    }
+
+    /// Parses a table from the JSON produced by [`Table::to_json`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`JsonError`] if the text is not a well-formed table.
+    pub fn from_json(text: &str) -> Result<Table, JsonError> {
+        Self::from_json_value(&Json::parse(text)?)
+    }
+
+    /// Parses a table from an already-parsed JSON value.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`JsonError`] if the value is not a well-formed table.
+    pub fn from_json_value(json: &Json) -> Result<Table, JsonError> {
+        let title = json.required_str("title")?;
+        let columns: Vec<String> = json
+            .get("columns")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| JsonError::msg("table is missing its columns"))?
+            .iter()
+            .map(|c| {
+                c.as_str()
+                    .map(str::to_string)
+                    .ok_or_else(|| JsonError::msg("column names must be strings"))
+            })
+            .collect::<Result<_, _>>()?;
+        if columns.is_empty() {
+            return Err(JsonError::msg("a table needs at least one column"));
+        }
+        let mut table = Table {
+            title,
+            columns,
+            rows: Vec::new(),
+        };
+        for row in json
+            .get("rows")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| JsonError::msg("table is missing its rows"))?
+        {
+            let cells = row
+                .as_arr()
+                .ok_or_else(|| JsonError::msg("each row must be an array"))?
+                .iter()
+                .map(Cell::from_json)
+                .collect::<Result<Vec<_>, _>>()?;
+            if cells.len() != table.columns.len() {
+                return Err(JsonError::msg("row width does not match column count"));
+            }
+            table.rows.push(cells);
+        }
+        Ok(table)
     }
 }
 
@@ -282,7 +398,10 @@ mod tests {
     use super::*;
 
     fn sample_table() -> Table {
-        let mut t = Table::new("Figure X", &["benchmark", "objects", "collectable", "time", "speedup"]);
+        let mut t = Table::new(
+            "Figure X",
+            &["benchmark", "objects", "collectable", "time", "speedup"],
+        );
         t.push_row(vec![
             Cell::text("jess"),
             Cell::count(45867),
@@ -384,9 +503,29 @@ mod tests {
 
     #[test]
     fn json_round_trip() {
-        let t = sample_table();
+        let mut t = sample_table();
+        t.push_row(vec![
+            Cell::Missing,
+            Cell::count(0),
+            Cell::percent(0.0),
+            Cell::seconds(0.125),
+            Cell::ratio(1.0),
+        ]);
         let json = t.to_json();
-        let back: Table = serde_json::from_str(&json).unwrap();
+        let back = Table::from_json(&json).unwrap();
         assert_eq!(back, t);
+    }
+
+    #[test]
+    fn malformed_json_is_rejected() {
+        assert!(Table::from_json("{}").is_err());
+        assert!(Table::from_json("{\"title\": \"t\", \"columns\": [], \"rows\": []}").is_err());
+        assert!(Table::from_json(
+            "{\"title\": \"t\", \"columns\": [\"a\"], \"rows\": [[{\"kind\": \"warp\", \"value\": 1}]]}"
+        )
+        .is_err());
+        assert!(
+            Table::from_json("{\"title\": \"t\", \"columns\": [\"a\"], \"rows\": [[]]}").is_err()
+        );
     }
 }

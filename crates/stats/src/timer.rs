@@ -2,8 +2,6 @@
 
 use std::time::{Duration, Instant};
 
-use serde::{Deserialize, Serialize};
-
 use crate::summary::{mean, std_dev};
 
 /// A simple start/stop stopwatch accumulating total elapsed time.
@@ -110,7 +108,7 @@ impl Stopwatch {
 /// assert_eq!(t.repetitions(), 2);
 /// assert!((t.mean_seconds() - 0.315).abs() < 1e-9);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RunTimings {
     label: String,
     seconds: Vec<f64>,

@@ -1,0 +1,39 @@
+//! Record/replay for the VM↔collector event stream.
+//!
+//! The contaminated collector — like every collector in this reproduction —
+//! is driven entirely by the small event stream of [`cg_vm::GcEvent`]: it
+//! never looks at bytecode, locals or the scheduler.  That makes the stream
+//! itself a complete, collector-independent description of a workload.  This
+//! crate exploits that:
+//!
+//! * [`Trace`] — an owned event log plus bookkeeping counts.
+//! * [`TraceRecorder`] — a [`cg_vm::EventSink`] that captures a live run's
+//!   stream; [`record`] is the one-call convenience wrapper.
+//! * [`replay`] — drives any [`cg_vm::Collector`] with a recorded stream,
+//!   maintaining a shadow heap, *without re-interpreting the program*.  A
+//!   workload can be captured once and then evaluated under `ContaminatedGc`,
+//!   `HybridCollector`, `MarkSweep`, … at a fraction of the cost of a live
+//!   run — replay skips arithmetic, branching and scheduling entirely.
+//!
+//! Replay is exact: hooks fire with identical arguments in identical order,
+//! and the shadow heap's reference graph matches the live heap at every
+//! event, so a collector's statistics after a replay are byte-identical to
+//! the live run's (see the `trace_equivalence` integration test).
+//!
+//! One caveat: the *allocation decisions* of the recording run are part of
+//! the trace.  Record with a non-recycling configuration (the §3.7 recycle
+//! list reuses handles, which ties the stream to that collector's reuse
+//! choices); [`record`] with [`cg_vm::NoopCollector`] is the canonical way
+//! to capture a workload.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod recorder;
+pub mod replay;
+pub mod trace;
+
+pub use cg_vm::{AllocKind, EventSink, GcEvent};
+pub use recorder::{record, TraceRecorder};
+pub use replay::{replay, ReplayError, ReplayOutcome, Replayed};
+pub use trace::{Trace, TraceStats};

@@ -1,0 +1,163 @@
+//! Capturing a live run's event stream.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use cg_vm::{Collector, EventSink, GcEvent, Program, RunOutcome, Vm, VmConfig, VmError};
+
+use crate::trace::Trace;
+
+/// An [`EventSink`] that appends every event to a shared [`Trace`].
+///
+/// The recorder and the caller share the trace through an `Rc`, because the
+/// VM owns the sink for the duration of the run:
+///
+/// ```
+/// use cg_trace::TraceRecorder;
+/// use cg_vm::{ClassDef, Insn, MethodDef, NoopCollector, Program, Vm, VmConfig};
+///
+/// let mut program = Program::new();
+/// let class = program.add_class(ClassDef::new("Obj", 1));
+/// let main = program.add_method(MethodDef::new("main", 0, 1, vec![
+///     Insn::New { class, dst: 0 },
+///     Insn::Return { value: None },
+/// ]));
+/// program.set_entry(main);
+///
+/// let recorder = TraceRecorder::new("example");
+/// let handle = recorder.handle();
+/// let mut vm = Vm::new(program, VmConfig::small(), NoopCollector::new());
+/// vm.set_event_sink(Box::new(recorder));
+/// vm.run()?;
+/// let trace = handle.borrow().clone();
+/// assert_eq!(trace.stats().allocations, 1);
+/// assert!(trace.is_complete());
+/// # Ok::<(), cg_vm::VmError>(())
+/// ```
+///
+/// For the common record-a-whole-run case, use [`record`] instead.
+#[derive(Debug)]
+pub struct TraceRecorder {
+    trace: Rc<RefCell<Trace>>,
+}
+
+impl TraceRecorder {
+    /// Creates a recorder that fills a fresh, named trace.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self {
+            trace: Rc::new(RefCell::new(Trace::new(name))),
+        }
+    }
+
+    /// A shared handle to the trace being recorded; clone the inner value
+    /// (or unwrap the `Rc` once the VM dropped its sink) to obtain the final
+    /// [`Trace`].
+    pub fn handle(&self) -> Rc<RefCell<Trace>> {
+        Rc::clone(&self.trace)
+    }
+}
+
+impl EventSink for TraceRecorder {
+    fn record(&mut self, event: &GcEvent) {
+        self.trace.borrow_mut().push(event.clone());
+    }
+}
+
+/// Runs `program` under `collector` with a recorder attached and returns the
+/// captured trace together with the run outcome and the finished VM (for its
+/// collector statistics and final heap).
+///
+/// Record with a *non-recycling* collector configuration — the canonical
+/// choice is [`cg_vm::NoopCollector`] — so the trace's allocation decisions
+/// stay collector-independent (see the crate docs).
+///
+/// # Errors
+///
+/// Returns the underlying [`VmError`] if the run fails.
+pub fn record<C: Collector>(
+    name: impl Into<String>,
+    program: Program,
+    config: VmConfig,
+    collector: C,
+) -> Result<(Trace, RunOutcome, Vm<C>), VmError> {
+    let recorder = TraceRecorder::new(name);
+    let handle = recorder.handle();
+    let mut vm = Vm::new(program, config, collector);
+    vm.set_event_sink(Box::new(recorder));
+    let outcome = vm.run()?;
+    drop(vm.take_event_sink());
+    let trace = Rc::try_unwrap(handle)
+        .expect("the VM dropped its recorder, leaving one owner")
+        .into_inner();
+    Ok((trace, outcome, vm))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cg_vm::{ClassDef, Insn, MethodDef, NoopCollector};
+
+    fn two_object_program() -> Program {
+        let mut p = Program::new();
+        let c = p.add_class(ClassDef::new("Obj", 1));
+        let main = p.add_method(MethodDef::new(
+            "main",
+            0,
+            2,
+            vec![
+                Insn::New { class: c, dst: 0 },
+                Insn::New { class: c, dst: 1 },
+                Insn::PutField {
+                    object: 0,
+                    field: 0,
+                    value: 1,
+                },
+                Insn::Return { value: None },
+            ],
+        ));
+        p.set_entry(main);
+        p
+    }
+
+    #[test]
+    fn record_captures_the_whole_run() {
+        let (trace, outcome, vm) = record(
+            "two-objects",
+            two_object_program(),
+            VmConfig::small(),
+            NoopCollector::new(),
+        )
+        .expect("program runs");
+        assert_eq!(outcome.stats.objects_allocated, 2);
+        assert_eq!(vm.collector().allocations(), 2);
+        assert_eq!(trace.name(), "two-objects");
+        assert_eq!(trace.stats().allocations, 2);
+        assert_eq!(trace.stats().reference_stores, 1);
+        assert_eq!(trace.stats().slot_writes, 1);
+        assert_eq!(trace.stats().frame_pushes, 1);
+        assert_eq!(trace.stats().frame_pops, 1);
+        assert!(trace.is_complete());
+    }
+
+    #[test]
+    fn recording_does_not_change_the_run() {
+        let plain = {
+            let mut vm = Vm::new(
+                two_object_program(),
+                VmConfig::small(),
+                NoopCollector::new(),
+            );
+            vm.run().expect("program runs").stats
+        };
+        let (_, recorded, _) = record(
+            "t",
+            two_object_program(),
+            VmConfig::small(),
+            NoopCollector::new(),
+        )
+        .expect("program runs");
+        assert_eq!(plain.instructions, recorded.stats.instructions);
+        assert_eq!(plain.objects_allocated, recorded.stats.objects_allocated);
+        assert_eq!(plain.frames_popped, recorded.stats.frames_popped);
+    }
+}

@@ -1,0 +1,296 @@
+//! Replaying a recorded stream against any collector.
+
+use cg_heap::{Heap, HeapConfig, HeapError, Value};
+use cg_vm::{AllocKind, Collector, GcEvent, Handle};
+
+use crate::trace::Trace;
+
+/// What a replay accomplished, mirroring the collector-side fields of a live
+/// run's statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct ReplayOutcome {
+    /// Events replayed.
+    pub events_replayed: usize,
+    /// Full collections driven (one per recorded `Collect` event).
+    pub gc_cycles: u64,
+    /// Frames popped.
+    pub frames_popped: u64,
+    /// Objects freed by the collector during the replay.
+    pub collector_freed_objects: u64,
+    /// Bytes freed by the collector during the replay.
+    pub collector_freed_bytes: u64,
+    /// Objects marked by the collector's full collections.
+    pub collector_marked_objects: u64,
+    /// Objects live in the shadow heap after the replay.
+    pub live_at_exit: usize,
+    /// Wall-clock seconds spent replaying.
+    pub elapsed_seconds: f64,
+}
+
+/// Why a replay failed.
+///
+/// A failure means the collector under replay diverged from the recorded
+/// heap history — for an allegedly sound collector, that is a bug worth
+/// surfacing loudly rather than papering over.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ReplayError {
+    /// The shadow heap rejected an operation (e.g. a recorded write hit an
+    /// object the replayed collector had already freed — a soundness
+    /// violation).
+    Heap(HeapError),
+    /// A fresh allocation minted a different handle than the recording,
+    /// which means the allocation sequences diverged.
+    HandleMismatch {
+        /// The handle the recording expects.
+        expected: Handle,
+        /// The handle the shadow heap produced.
+        got: Handle,
+    },
+    /// A recorded recycled allocation could not reinitialise its handle
+    /// (the trace was recorded under a recycling configuration; see the
+    /// crate docs for why such traces are collector-dependent).
+    RecycleDiverged {
+        /// The handle that could not be reused.
+        handle: Handle,
+    },
+}
+
+impl std::fmt::Display for ReplayError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ReplayError::Heap(e) => write!(f, "shadow heap rejected a replayed event: {e}"),
+            ReplayError::HandleMismatch { expected, got } => {
+                write!(
+                    f,
+                    "allocation replay diverged: expected {expected}, heap minted {got}"
+                )
+            }
+            ReplayError::RecycleDiverged { handle } => {
+                write!(
+                    f,
+                    "recorded recycled allocation of {handle} could not be replayed"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for ReplayError {}
+
+impl From<HeapError> for ReplayError {
+    fn from(e: HeapError) -> Self {
+        ReplayError::Heap(e)
+    }
+}
+
+/// The result of [`replay`]: the driven collector, its outcome, and the
+/// shadow heap (for reachability checks).
+#[derive(Debug)]
+pub struct Replayed<C> {
+    /// The collector after consuming the whole stream.
+    pub collector: C,
+    /// Replay accounting.
+    pub outcome: ReplayOutcome,
+    /// The shadow heap at the end of the replay.
+    pub heap: Heap,
+}
+
+/// Replays `trace` against `collector`, maintaining a shadow heap so every
+/// hook observes the same heap the live run's collector did.
+///
+/// The shadow heap must be configured at least as large as the recording
+/// run's heap: replay re-executes the recorded allocations, and the trace
+/// contains no allocation-failure recovery of its own.
+///
+/// # Errors
+///
+/// Returns a [`ReplayError`] if the collector under replay diverges from the
+/// recorded history (see the error variants).
+pub fn replay<C: Collector>(
+    trace: &Trace,
+    heap_config: HeapConfig,
+    mut collector: C,
+) -> Result<Replayed<C>, ReplayError> {
+    let start = std::time::Instant::now();
+    let mut heap = Heap::new(heap_config);
+    let mut outcome = ReplayOutcome::default();
+
+    for event in trace.events() {
+        outcome.events_replayed += 1;
+        match event {
+            GcEvent::Allocate {
+                handle,
+                class,
+                kind,
+                frame,
+                recycled,
+            } => {
+                if *recycled {
+                    let field_count = match kind {
+                        AllocKind::Instance { field_count } => *field_count,
+                        // The collector never recycles arrays (§3.7).
+                        AllocKind::Array { .. } => {
+                            return Err(ReplayError::RecycleDiverged { handle: *handle })
+                        }
+                    };
+                    heap.reinitialize(*handle, *class, field_count)
+                        .map_err(|_| ReplayError::RecycleDiverged { handle: *handle })?;
+                } else {
+                    let minted = match kind {
+                        AllocKind::Instance { field_count } => {
+                            heap.allocate(*class, *field_count)?
+                        }
+                        AllocKind::Array { length } => heap.allocate_array(*class, *length)?,
+                    };
+                    if minted != *handle {
+                        return Err(ReplayError::HandleMismatch {
+                            expected: *handle,
+                            got: minted,
+                        });
+                    }
+                }
+                collector.on_allocate(*handle, frame, &heap);
+            }
+            GcEvent::SlotWrite {
+                object,
+                slot,
+                value,
+                element,
+            } => {
+                let value = Value::from(*value);
+                if *element {
+                    heap.set_element(*object, *slot, value)?;
+                } else {
+                    heap.set_field(*object, *slot, value)?;
+                }
+            }
+            GcEvent::ObjectAccess { handle, thread } => {
+                collector.on_object_access(*handle, *thread, &heap);
+            }
+            GcEvent::ReferenceStore {
+                source,
+                target,
+                frame,
+            } => {
+                collector.on_reference_store(*source, *target, frame, &heap);
+            }
+            GcEvent::StaticStore { target } => {
+                collector.on_static_store(*target, &heap);
+            }
+            GcEvent::ReturnValue {
+                value,
+                caller,
+                callee,
+            } => {
+                collector.on_return_value(*value, caller, callee);
+            }
+            GcEvent::FramePush { frame } => {
+                collector.on_frame_push(frame);
+            }
+            GcEvent::FramePop { frame } => {
+                outcome.frames_popped += 1;
+                let freed = collector.on_frame_pop(frame, &mut heap);
+                outcome.collector_freed_objects += freed.freed_objects;
+                outcome.collector_freed_bytes += freed.freed_bytes;
+                outcome.collector_marked_objects += freed.marked_objects;
+            }
+            GcEvent::Collect { roots } => {
+                outcome.gc_cycles += 1;
+                let collected = collector.collect(roots, &mut heap);
+                outcome.collector_freed_objects += collected.freed_objects;
+                outcome.collector_freed_bytes += collected.freed_bytes;
+                outcome.collector_marked_objects += collected.marked_objects;
+            }
+            GcEvent::ProgramEnd { roots } => {
+                collector.on_program_end(roots, &mut heap);
+            }
+        }
+    }
+
+    outcome.live_at_exit = heap.live_count();
+    outcome.elapsed_seconds = start.elapsed().as_secs_f64();
+    Ok(Replayed {
+        collector,
+        outcome,
+        heap,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recorder::record;
+    use cg_vm::{ClassDef, Insn, MethodDef, NoopCollector, Program, VmConfig};
+
+    /// main calls helper twice; helper allocates a pair that dies with it.
+    fn churn_program() -> Program {
+        let mut p = Program::new();
+        let c = p.add_class(ClassDef::new("Obj", 1));
+        let helper = p.add_method(MethodDef::new(
+            "helper",
+            0,
+            2,
+            vec![
+                Insn::New { class: c, dst: 0 },
+                Insn::New { class: c, dst: 1 },
+                Insn::PutField {
+                    object: 0,
+                    field: 0,
+                    value: 1,
+                },
+                Insn::Return { value: None },
+            ],
+        ));
+        let main = p.add_method(MethodDef::new(
+            "main",
+            0,
+            1,
+            vec![
+                Insn::Call {
+                    method: helper,
+                    args: vec![],
+                    dst: None,
+                },
+                Insn::Call {
+                    method: helper,
+                    args: vec![],
+                    dst: None,
+                },
+                Insn::Return { value: None },
+            ],
+        ));
+        p.set_entry(main);
+        p
+    }
+
+    #[test]
+    fn replay_rebuilds_the_heap_for_a_passive_collector() {
+        let config = VmConfig::small();
+        let (trace, outcome, vm) =
+            record("churn", churn_program(), config, NoopCollector::new()).expect("runs");
+        let replayed = replay(&trace, config.heap, NoopCollector::new()).expect("replay succeeds");
+        // A passive collector frees nothing, so the shadow heap must mirror
+        // the live heap exactly.
+        assert_eq!(replayed.outcome.live_at_exit, outcome.live_at_exit);
+        assert_eq!(replayed.heap.live_count(), vm.heap().live_count());
+        assert_eq!(
+            replayed.collector.allocations(),
+            vm.collector().allocations()
+        );
+        assert_eq!(replayed.outcome.frames_popped, outcome.stats.frames_popped);
+        assert_eq!(replayed.outcome.events_replayed, trace.len());
+        assert_eq!(replayed.outcome.gc_cycles, 0);
+    }
+
+    #[test]
+    fn replay_on_a_too_small_heap_reports_heap_error() {
+        let config = VmConfig::small();
+        let (trace, ..) =
+            record("churn", churn_program(), config, NoopCollector::new()).expect("runs");
+        let mut tiny = cg_heap::HeapConfig::tight(8);
+        tiny.handle_space_bytes = 1 << 10;
+        let err = replay(&trace, tiny, NoopCollector::new()).unwrap_err();
+        assert!(matches!(err, ReplayError::Heap(_)), "{err}");
+        assert!(err.to_string().contains("shadow heap"));
+    }
+}

@@ -1,0 +1,132 @@
+//! The owned event log.
+
+use cg_vm::GcEvent;
+
+/// Counts of each event kind in a [`Trace`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TraceStats {
+    /// `Allocate` events (instances + arrays, including recycled ones).
+    pub allocations: u64,
+    /// `SlotWrite` heap-mirroring events.
+    pub slot_writes: u64,
+    /// `ObjectAccess` events.
+    pub object_accesses: u64,
+    /// `ReferenceStore` (contamination) events.
+    pub reference_stores: u64,
+    /// `StaticStore` events.
+    pub static_stores: u64,
+    /// `ReturnValue` (areturn) events.
+    pub return_values: u64,
+    /// `FramePush` events.
+    pub frame_pushes: u64,
+    /// `FramePop` events.
+    pub frame_pops: u64,
+    /// `Collect` (full collection) events.
+    pub collects: u64,
+    /// `ProgramEnd` events (1 for a complete run).
+    pub program_ends: u64,
+}
+
+/// A recorded VM↔collector event stream.
+///
+/// Traces are append-only; the recorder pushes events in emission order and
+/// replay walks them front to back.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Trace {
+    name: String,
+    events: Vec<GcEvent>,
+    stats: TraceStats,
+}
+
+impl Trace {
+    /// Creates an empty, named trace.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            events: Vec::new(),
+            stats: TraceStats::default(),
+        }
+    }
+
+    /// The trace's name (typically `workload/size`).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Appends one event.
+    pub fn push(&mut self, event: GcEvent) {
+        let stats = &mut self.stats;
+        match &event {
+            GcEvent::Allocate { .. } => stats.allocations += 1,
+            GcEvent::SlotWrite { .. } => stats.slot_writes += 1,
+            GcEvent::ObjectAccess { .. } => stats.object_accesses += 1,
+            GcEvent::ReferenceStore { .. } => stats.reference_stores += 1,
+            GcEvent::StaticStore { .. } => stats.static_stores += 1,
+            GcEvent::ReturnValue { .. } => stats.return_values += 1,
+            GcEvent::FramePush { .. } => stats.frame_pushes += 1,
+            GcEvent::FramePop { .. } => stats.frame_pops += 1,
+            GcEvent::Collect { .. } => stats.collects += 1,
+            GcEvent::ProgramEnd { .. } => stats.program_ends += 1,
+        }
+        self.events.push(event);
+    }
+
+    /// The recorded events, in emission order.
+    pub fn events(&self) -> &[GcEvent] {
+        &self.events
+    }
+
+    /// Number of recorded events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Per-kind event counts.
+    pub fn stats(&self) -> &TraceStats {
+        &self.stats
+    }
+
+    /// Whether the trace covers a complete run (ends with `ProgramEnd`).
+    pub fn is_complete(&self) -> bool {
+        matches!(self.events.last(), Some(GcEvent::ProgramEnd { .. }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cg_vm::{FrameId, FrameInfo, MethodId, RootSet, ThreadId};
+
+    fn frame() -> FrameInfo {
+        FrameInfo {
+            id: FrameId::new(1),
+            depth: 1,
+            thread: ThreadId::MAIN,
+            method: MethodId::new(0),
+        }
+    }
+
+    #[test]
+    fn push_tracks_per_kind_counts() {
+        let mut trace = Trace::new("t");
+        assert!(trace.is_empty());
+        assert!(!trace.is_complete());
+        trace.push(GcEvent::FramePush { frame: frame() });
+        trace.push(GcEvent::FramePop { frame: frame() });
+        trace.push(GcEvent::ProgramEnd {
+            roots: Box::new(RootSet::default()),
+        });
+        assert_eq!(trace.len(), 3);
+        assert_eq!(trace.stats().frame_pushes, 1);
+        assert_eq!(trace.stats().frame_pops, 1);
+        assert_eq!(trace.stats().program_ends, 1);
+        assert!(trace.is_complete());
+        assert_eq!(trace.name(), "t");
+        assert_eq!(trace.events().len(), 3);
+    }
+}

@@ -402,7 +402,11 @@ mod tests {
             layer = next;
         }
         assert_eq!(sets.set_count(), 1);
-        assert!(sets.max_rank() as u32 <= 10, "rank {} too high", sets.max_rank());
+        assert!(
+            sets.max_rank() as u32 <= 10,
+            "rank {} too high",
+            sets.max_rank()
+        );
     }
 
     #[test]
@@ -475,7 +479,7 @@ mod tests {
 
     mod properties {
         use super::*;
-        use proptest::prelude::*;
+        use cg_testutil::TestRng;
         use std::collections::HashMap;
 
         /// A naive partition model to compare the forest against.
@@ -514,81 +518,103 @@ mod tests {
             }
         }
 
-        proptest! {
-            /// The forest's partition always matches a naive model under any
-            /// sequence of unions.
-            #[test]
-            fn matches_naive_model(n in 1usize..64, ops in prop::collection::vec((0usize..64, 0usize..64), 0..200)) {
+        /// Random `(a, b)` union pairs over `n` elements.
+        fn random_ops(rng: &mut TestRng, n: usize, max_ops: usize) -> Vec<(usize, usize)> {
+            let ops = rng.gen_range(0, max_ops);
+            (0..ops)
+                .map(|_| (rng.gen_range(0, n), rng.gen_range(0, n)))
+                .collect()
+        }
+
+        /// The forest's partition always matches a naive model under any
+        /// sequence of unions.
+        #[test]
+        fn matches_naive_model() {
+            for seed in 0..64u64 {
+                let mut rng = TestRng::new(seed);
+                let n = rng.gen_range(1, 64);
                 let mut sets = DisjointSets::new();
                 let mut model = Model::default();
                 for _ in 0..n {
                     sets.make_set();
                     model.make();
                 }
-                for (a, b) in ops {
-                    let (a, b) = (a % n, b % n);
+                for (a, b) in random_ops(&mut rng, n, 200) {
                     sets.union(a as ElementId, b as ElementId);
                     model.union(a, b);
                 }
-                prop_assert_eq!(sets.set_count(), model.set_count());
+                assert_eq!(sets.set_count(), model.set_count(), "seed {seed}");
                 for a in 0..n {
                     for b in 0..n {
-                        prop_assert_eq!(
+                        assert_eq!(
                             sets.same_set(a as ElementId, b as ElementId),
-                            model.same(a, b)
+                            model.same(a, b),
+                            "seed {seed}: elements {a}, {b}"
                         );
                     }
                 }
             }
+        }
 
-            /// Rank of any root never exceeds log2 of the number of elements.
-            #[test]
-            fn rank_is_bounded(n in 1usize..128, ops in prop::collection::vec((0usize..128, 0usize..128), 0..400)) {
+        /// Rank of any root never exceeds log2 of the number of elements.
+        #[test]
+        fn rank_is_bounded() {
+            for seed in 0..64u64 {
+                let mut rng = TestRng::new(seed);
+                let n = rng.gen_range(1, 128);
                 let mut sets = DisjointSets::new();
                 for _ in 0..n {
                     sets.make_set();
                 }
-                for (a, b) in ops {
-                    sets.union((a % n) as ElementId, (b % n) as ElementId);
+                for (a, b) in random_ops(&mut rng, n, 400) {
+                    sets.union(a as ElementId, b as ElementId);
                 }
                 let bound = (usize::BITS - n.leading_zeros()) as u8;
-                prop_assert!(sets.max_rank() <= bound);
+                assert!(sets.max_rank() <= bound, "seed {seed}");
             }
+        }
 
-            /// find is idempotent and stable across repeated calls.
-            #[test]
-            fn find_is_idempotent(n in 1usize..64, ops in prop::collection::vec((0usize..64, 0usize..64), 0..100)) {
+        /// find is idempotent and stable across repeated calls.
+        #[test]
+        fn find_is_idempotent() {
+            for seed in 0..64u64 {
+                let mut rng = TestRng::new(seed);
+                let n = rng.gen_range(1, 64);
                 let mut sets = DisjointSets::new();
                 for _ in 0..n {
                     sets.make_set();
                 }
-                for (a, b) in ops {
-                    sets.union((a % n) as ElementId, (b % n) as ElementId);
+                for (a, b) in random_ops(&mut rng, n, 100) {
+                    sets.union(a as ElementId, b as ElementId);
                 }
                 for id in 0..n as ElementId {
                     let r1 = sets.find(id);
                     let r2 = sets.find(id);
-                    prop_assert_eq!(r1, r2);
-                    prop_assert_eq!(sets.find(r1), r1);
-                    prop_assert_eq!(sets.find_immutable(id), r1);
+                    assert_eq!(r1, r2, "seed {seed}");
+                    assert_eq!(sets.find(r1), r1, "seed {seed}");
+                    assert_eq!(sets.find_immutable(id), r1, "seed {seed}");
                 }
             }
+        }
 
-            /// set_count plus the number of successful merges equals the
-            /// number of elements.
-            #[test]
-            fn set_count_accounting(n in 1usize..64, ops in prop::collection::vec((0usize..64, 0usize..64), 0..200)) {
+        /// set_count plus the number of successful merges equals the
+        /// number of elements.
+        #[test]
+        fn set_count_accounting() {
+            for seed in 0..64u64 {
+                let mut rng = TestRng::new(seed);
+                let n = rng.gen_range(1, 64);
                 let mut sets = DisjointSets::new();
                 for _ in 0..n {
                     sets.make_set();
                 }
                 let mut merges = 0usize;
-                for (a, b) in ops {
-                    if sets.union((a % n) as ElementId, (b % n) as ElementId).merged() {
+                for (a, b) in random_ops(&mut rng, n, 200) {
+                    if sets.union(a as ElementId, b as ElementId).merged() {
                         merges += 1;
                     }
                 }
-                prop_assert_eq!(sets.set_count() + merges, n);
+                assert_eq!(sets.set_count() + merges, n, "seed {seed}");
             }
         }
     }

@@ -54,8 +54,13 @@ impl RootSet {
     }
 
     /// Whether there are no roots at all.
+    ///
+    /// Short-circuits on the first frame holding any reference rather than
+    /// summing every frame's root count the way [`RootSet::len`] does.
     pub fn is_empty(&self) -> bool {
-        self.len() == 0
+        self.statics.is_empty()
+            && self.interpreter.is_empty()
+            && self.frames.iter().all(|f| f.refs.is_empty())
     }
 }
 
@@ -98,7 +103,13 @@ pub trait Collector {
 
     /// `source` now references `target` (a `putfield` or array store executed
     /// in `frame`).  This is the contamination event.
-    fn on_reference_store(&mut self, source: Handle, target: Handle, frame: &FrameInfo, heap: &Heap) {
+    fn on_reference_store(
+        &mut self,
+        source: Handle,
+        target: Handle,
+        frame: &FrameInfo,
+        heap: &Heap,
+    ) {
         let _ = (source, target, frame, heap);
     }
 
@@ -213,8 +224,14 @@ mod tests {
     fn root_set_flattens_all_sources() {
         let roots = RootSet {
             frames: vec![
-                FrameRoots { frame: frame(1, 1), refs: vec![Handle::from_index(0)] },
-                FrameRoots { frame: frame(2, 2), refs: vec![Handle::from_index(1), Handle::from_index(2)] },
+                FrameRoots {
+                    frame: frame(1, 1),
+                    refs: vec![Handle::from_index(0)],
+                },
+                FrameRoots {
+                    frame: frame(2, 2),
+                    refs: vec![Handle::from_index(1), Handle::from_index(2)],
+                },
             ],
             statics: vec![Handle::from_index(3)],
             interpreter: vec![Handle::from_index(4)],
@@ -228,8 +245,16 @@ mod tests {
 
     #[test]
     fn collect_outcome_merge_adds_fields() {
-        let a = CollectOutcome { freed_objects: 2, freed_bytes: 32, marked_objects: 10 };
-        let b = CollectOutcome { freed_objects: 1, freed_bytes: 16, marked_objects: 0 };
+        let a = CollectOutcome {
+            freed_objects: 2,
+            freed_bytes: 32,
+            marked_objects: 10,
+        };
+        let b = CollectOutcome {
+            freed_objects: 1,
+            freed_bytes: 16,
+            marked_objects: 0,
+        };
         let m = a.merged(b);
         assert_eq!(m.freed_objects, 3);
         assert_eq!(m.freed_bytes, 48);

@@ -1,0 +1,203 @@
+//! The VM→collector event stream, reified as data.
+//!
+//! The paper's collector is driven entirely by a small set of interpreter
+//! events (§3.1.3): object creation, `putfield`/array stores, `putstatic`,
+//! `areturn`, frame push/pop, cross-thread access and the traditional
+//! collector invocation.  The interpreter used to call the matching
+//! [`Collector`](crate::Collector) hook directly at each site; every event
+//! now flows through a single dispatch seam as a typed [`GcEvent`], which
+//! means the stream can be *recorded* (via an [`EventSink`]) and later
+//! *replayed* against any collector without re-interpreting the program —
+//! see the `cg-trace` crate.
+//!
+//! Two event kinds exist purely so a replay can reconstruct the heap the
+//! collector observes:
+//!
+//! * [`GcEvent::SlotWrite`] mirrors every field/element store (including
+//!   primitive stores, which can overwrite — and thereby sever — a
+//!   reference), keeping a replayed heap's reference graph identical to the
+//!   live one.  No collector hook fires for it.
+//! * [`GcEvent::Collect`] and [`GcEvent::ProgramEnd`] carry a snapshot of the
+//!   VM's root set, because a replay has no frames or statics of its own to
+//!   rebuild one from.
+
+use crate::collector::RootSet;
+use crate::frame::{FrameInfo, ThreadId};
+use cg_heap::{ClassId, Handle};
+
+/// The shape of an allocation: an instance with a field count, or an array
+/// with a length.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AllocKind {
+    /// A class instance.
+    Instance {
+        /// Number of fields.
+        field_count: usize,
+    },
+    /// An array.
+    Array {
+        /// Number of elements.
+        length: usize,
+    },
+}
+
+/// One event at the VM↔collector boundary.
+///
+/// Events are emitted in exactly the order the interpreter produces them, so
+/// a recorded stream replayed hook-for-hook is indistinguishable — to any
+/// [`Collector`](crate::Collector) — from the live run that produced it.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GcEvent {
+    /// An object or array was allocated in `frame`.
+    ///
+    /// `recycled` allocations were satisfied by the collector's recycle list
+    /// (§3.7): the handle was reinitialised in place rather than freshly
+    /// allocated.
+    Allocate {
+        /// The new (or recycled) object's handle.
+        handle: Handle,
+        /// The allocated class.
+        class: ClassId,
+        /// Instance or array, with its size.
+        kind: AllocKind,
+        /// The frame executing the allocation.
+        frame: FrameInfo,
+        /// Whether the §3.7 recycle list satisfied the allocation.
+        recycled: bool,
+    },
+    /// A field or array element of `object` was written (any value, not just
+    /// references).  Pure heap-mirroring event: no collector hook fires.
+    SlotWrite {
+        /// The object written to.
+        object: Handle,
+        /// Field index or element index.
+        slot: usize,
+        /// The reference stored, or `None` for null/primitive values.
+        value: Option<Handle>,
+        /// Whether the write targets an array element.
+        element: bool,
+    },
+    /// `thread` touched `handle` (§3.3 cross-thread detection).
+    ObjectAccess {
+        /// The object accessed.
+        handle: Handle,
+        /// The accessing thread.
+        thread: ThreadId,
+    },
+    /// `source` was made to reference `target` — the contamination event
+    /// (`putfield` / array store of a reference, executed in `frame`).
+    ReferenceStore {
+        /// The object written to.
+        source: Handle,
+        /// The object now referenced.
+        target: Handle,
+        /// The frame executing the store.
+        frame: FrameInfo,
+    },
+    /// A static variable (or an interpreter-internal static reference, §3.2)
+    /// now references `target`.
+    StaticStore {
+        /// The object that became statically referenced.
+        target: Handle,
+    },
+    /// A method is returning `value` to `caller` (the `areturn` event).
+    ReturnValue {
+        /// The returned object.
+        value: Handle,
+        /// The frame receiving the value.
+        caller: FrameInfo,
+        /// The frame returning it.
+        callee: FrameInfo,
+    },
+    /// A new frame was pushed.
+    FramePush {
+        /// The new frame.
+        frame: FrameInfo,
+    },
+    /// `frame` was popped; collectors may reclaim its dependents.
+    FramePop {
+        /// The popped frame.
+        frame: FrameInfo,
+    },
+    /// A full (traditional) collection was requested, either by an
+    /// allocation failure or by the periodic §4.7 trigger.
+    ///
+    /// The root-set snapshot is boxed so these two rare variants don't
+    /// inflate the size of every hot-path event (`ObjectAccess`, `SlotWrite`,
+    /// …) moved through the dispatch seam per executed instruction.
+    Collect {
+        /// Snapshot of the root set at the collection point.
+        roots: Box<RootSet>,
+    },
+    /// The program finished.
+    ProgramEnd {
+        /// Snapshot of the final root set.
+        roots: Box<RootSet>,
+    },
+}
+
+impl GcEvent {
+    /// Whether this event invokes a collector hook when dispatched
+    /// ([`GcEvent::SlotWrite`] is heap-mirroring only).
+    pub fn invokes_collector(&self) -> bool {
+        !matches!(self, GcEvent::SlotWrite { .. })
+    }
+}
+
+/// A consumer of the event stream, attached to a
+/// [`Vm`](crate::Vm) with [`Vm::set_event_sink`](crate::Vm::set_event_sink).
+///
+/// The sink observes every event *before* the corresponding collector hook
+/// runs, in interpreter order.  `cg-trace`'s `TraceRecorder` is the canonical
+/// implementation.
+pub trait EventSink: std::fmt::Debug {
+    /// Called once per event, in emission order.
+    fn record(&mut self, event: &GcEvent);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frame::FrameId;
+    use crate::program::MethodId;
+
+    fn frame() -> FrameInfo {
+        FrameInfo {
+            id: FrameId::new(1),
+            depth: 1,
+            thread: ThreadId::MAIN,
+            method: MethodId::new(0),
+        }
+    }
+
+    #[test]
+    fn slot_writes_do_not_invoke_the_collector() {
+        let write = GcEvent::SlotWrite {
+            object: Handle::from_index(0),
+            slot: 0,
+            value: None,
+            element: false,
+        };
+        assert!(!write.invokes_collector());
+        let alloc = GcEvent::Allocate {
+            handle: Handle::from_index(0),
+            class: ClassId::new(0),
+            kind: AllocKind::Instance { field_count: 2 },
+            frame: frame(),
+            recycled: false,
+        };
+        assert!(alloc.invokes_collector());
+        assert!(GcEvent::ProgramEnd {
+            roots: Box::new(RootSet::default())
+        }
+        .invokes_collector());
+    }
+
+    #[test]
+    fn events_compare_structurally() {
+        let a = GcEvent::FramePush { frame: frame() };
+        let b = GcEvent::FramePush { frame: frame() };
+        assert_eq!(a, b);
+        assert_ne!(a, GcEvent::FramePop { frame: frame() });
+    }
+}

@@ -6,8 +6,6 @@
 //! two frames is older when equilive blocks merge and to measure the
 //! birth-to-death frame distance of Figure 4.6).
 
-use serde::{Deserialize, Serialize};
-
 use crate::program::MethodId;
 use cg_heap::Value;
 
@@ -16,7 +14,7 @@ use cg_heap::Value;
 /// Frame ids are minted monotonically by the VM; they are never reused, so
 /// collector-side maps keyed by frame id cannot be confused by stack
 /// push/pop cycles.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct FrameId(u64);
 
 impl FrameId {
@@ -52,7 +50,7 @@ impl std::fmt::Display for FrameId {
 }
 
 /// Identifier of a VM thread.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct ThreadId(u32);
 
 impl ThreadId {
@@ -82,7 +80,7 @@ impl std::fmt::Display for ThreadId {
 /// to key per-frame structures (`id`), order frames by age within a thread
 /// (`depth`), attribute the frame to a thread (§3.3) and identify the running
 /// method for diagnostics.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct FrameInfo {
     /// The frame's unique identity.
     pub id: FrameId,
@@ -136,7 +134,12 @@ pub struct Frame {
 impl Frame {
     /// Creates a frame for `info` with `max_locals` null-initialised slots
     /// and the given arguments copied into the first slots.
-    pub fn new(info: FrameInfo, max_locals: usize, args: &[Value], return_dst: Option<u16>) -> Self {
+    pub fn new(
+        info: FrameInfo,
+        max_locals: usize,
+        args: &[Value],
+        return_dst: Option<u16>,
+    ) -> Self {
         let mut locals = vec![Value::NULL; max_locals];
         locals[..args.len()].copy_from_slice(args);
         Self {
@@ -154,7 +157,7 @@ impl Frame {
 }
 
 /// The run state of a thread.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ThreadStatus {
     /// The thread has frames to execute.
     Runnable,

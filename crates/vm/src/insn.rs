@@ -17,8 +17,6 @@
 //! | JNI / class-loader static references (§3.2) | [`Insn::NativeStaticRef`] |
 //! | thread start (§3.3) | [`Insn::SpawnThread`] |
 
-use serde::{Deserialize, Serialize};
-
 use crate::program::{MethodId, StaticId};
 use cg_heap::ClassId;
 
@@ -26,7 +24,7 @@ use cg_heap::ClassId;
 pub type LocalIdx = u16;
 
 /// An operand that is either a local variable or an immediate integer.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Operand {
     /// Read the operand from a local variable slot.
     Local(LocalIdx),
@@ -35,7 +33,7 @@ pub enum Operand {
 }
 
 /// Binary arithmetic operations over integer locals.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ArithOp {
     /// Addition.
     Add,
@@ -52,7 +50,7 @@ pub enum ArithOp {
 }
 
 /// Comparison conditions for [`Insn::Branch`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Cond {
     /// Equal.
     Eq,
@@ -83,7 +81,7 @@ impl Cond {
 }
 
 /// One virtual machine instruction.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum Insn {
     /// Allocate an instance of `class` and store its handle in `dst`.
     New {
@@ -262,7 +260,11 @@ impl Insn {
             Insn::GetField { object, dst, .. } => vec![Some(*object), Some(*dst)],
             Insn::PutStatic { value, .. } => vec![Some(*value)],
             Insn::GetStatic { dst, .. } => vec![Some(*dst)],
-            Insn::ArrayStore { array, index, value } => vec![Some(*array), op(index), Some(*value)],
+            Insn::ArrayStore {
+                array,
+                index,
+                value,
+            } => vec![Some(*array), op(index), Some(*value)],
             Insn::ArrayLoad { array, index, dst } => vec![Some(*array), op(index), Some(*dst)],
             Insn::Move { dst, src } => vec![Some(*dst), Some(*src)],
             Insn::LoadNull { dst } => vec![Some(*dst)],
@@ -310,9 +312,21 @@ mod tests {
 
     #[test]
     fn max_local_accounts_for_all_operands() {
-        assert_eq!(Insn::New { class: ClassId::new(0), dst: 3 }.max_local(), Some(3));
         assert_eq!(
-            Insn::PutField { object: 2, field: 0, value: 9 }.max_local(),
+            Insn::New {
+                class: ClassId::new(0),
+                dst: 3
+            }
+            .max_local(),
+            Some(3)
+        );
+        assert_eq!(
+            Insn::PutField {
+                object: 2,
+                field: 0,
+                value: 9
+            }
+            .max_local(),
             Some(9)
         );
         assert_eq!(
@@ -328,11 +342,21 @@ mod tests {
         assert_eq!(Insn::Jump { target: 0 }.max_local(), None);
         assert_eq!(Insn::Return { value: None }.max_local(), None);
         assert_eq!(
-            Insn::Call { method: MethodId::new(0), args: vec![1, 7], dst: Some(2) }.max_local(),
+            Insn::Call {
+                method: MethodId::new(0),
+                args: vec![1, 7],
+                dst: Some(2)
+            }
+            .max_local(),
             Some(7)
         );
         assert_eq!(
-            Insn::ArrayStore { array: 0, index: Operand::Local(4), value: 1 }.max_local(),
+            Insn::ArrayStore {
+                array: 0,
+                index: Operand::Local(4),
+                value: 1
+            }
+            .max_local(),
             Some(4)
         );
     }
@@ -341,8 +365,13 @@ mod tests {
     fn jump_targets_only_for_control_flow() {
         assert_eq!(Insn::Jump { target: 7 }.jump_target(), Some(7));
         assert_eq!(
-            Insn::Branch { cond: Cond::Eq, a: Operand::Imm(0), b: Operand::Imm(0), target: 2 }
-                .jump_target(),
+            Insn::Branch {
+                cond: Cond::Eq,
+                a: Operand::Imm(0),
+                b: Operand::Imm(0),
+                target: 2
+            }
+            .jump_target(),
             Some(2)
         );
         assert_eq!(Insn::Nop.jump_target(), None);

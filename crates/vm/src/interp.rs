@@ -1,8 +1,22 @@
 //! The bytecode interpreter.
+//!
+//! Execution state lives in [`Exec`], separate from the immutable
+//! [`Program`], so the dispatch loop can hold a borrow of the current
+//! method's code across instruction execution: instructions are *borrowed*,
+//! never cloned, which keeps `Call`-heavy workloads off the allocator (the
+//! seed interpreter cloned every executed instruction, `args` vectors
+//! included).
+//!
+//! Every collector-visible action is emitted through a single seam,
+//! [`Exec::dispatch`], as a typed [`GcEvent`]: the event is offered to an
+//! optional [`EventSink`] (the record side of `cg-trace`) and then routed to
+//! the matching [`Collector`] hook.  The interpreter never calls a collector
+//! hook directly.
 
 use std::collections::HashMap;
 
 use crate::collector::{CollectOutcome, Collector, FrameRoots, RootSet};
+use crate::event::{AllocKind, EventSink, GcEvent};
 use crate::frame::{Frame, FrameId, FrameInfo, ThreadId, ThreadState, ThreadStatus};
 use crate::insn::{ArithOp, Insn, LocalIdx, Operand};
 use crate::program::{MethodId, Program, ProgramError, StaticId};
@@ -154,12 +168,19 @@ impl std::fmt::Display for VmError {
             VmError::Program(e) => write!(f, "invalid program: {e}"),
             VmError::Heap(e) => write!(f, "heap error: {e}"),
             VmError::OutOfMemory { class, requested } => {
-                write!(f, "out of memory allocating {requested} bytes for class {class}")
+                write!(
+                    f,
+                    "out of memory allocating {requested} bytes for class {class}"
+                )
             }
             VmError::NullReference { method, pc } => {
                 write!(f, "null reference at {method}:{pc}")
             }
-            VmError::TypeError { method, pc, expected } => {
+            VmError::TypeError {
+                method,
+                pc,
+                expected,
+            } => {
                 write!(f, "type error at {method}:{pc}: expected {expected}")
             }
             VmError::DivideByZero { method, pc } => write!(f, "division by zero at {method}:{pc}"),
@@ -183,12 +204,37 @@ impl From<ProgramError> for VmError {
     }
 }
 
-/// The virtual machine: a program, a heap, threads and a collector.
+/// What [`Exec::allocate`] is being asked for.
+#[derive(Debug, Clone, Copy)]
+enum AllocRequest {
+    Instance { class: ClassId, field_count: usize },
+    Array { class: ClassId, length: usize },
+}
+
+impl AllocRequest {
+    fn class(self) -> ClassId {
+        match self {
+            AllocRequest::Instance { class, .. } | AllocRequest::Array { class, .. } => class,
+        }
+    }
+
+    fn kind(self) -> AllocKind {
+        match self {
+            AllocRequest::Instance { field_count, .. } => AllocKind::Instance { field_count },
+            AllocRequest::Array { length, .. } => AllocKind::Array { length },
+        }
+    }
+}
+
+/// All mutable execution state: heap, collector, threads, statics and
+/// statistics.
 ///
-/// See the [crate-level documentation](crate) for an end-to-end example.
+/// Keeping this separate from the [`Program`] is what lets [`Vm::step`]
+/// borrow the current method's code (a `&[Insn]` into the program) while
+/// freely mutating execution state — the borrow checker sees disjoint
+/// fields, so instructions never need to be cloned out of the program.
 #[derive(Debug)]
-pub struct Vm<C: Collector> {
-    program: Program,
+struct Exec<C: Collector> {
     config: VmConfig,
     heap: Heap,
     collector: C,
@@ -198,108 +244,68 @@ pub struct Vm<C: Collector> {
     threads: Vec<ThreadState>,
     next_frame_id: u64,
     stats: VmStats,
+    sink: Option<Box<dyn EventSink>>,
 }
 
-impl<C: Collector> Vm<C> {
-    /// Creates a virtual machine for `program` using the given collector.
-    pub fn new(program: Program, config: VmConfig, collector: C) -> Self {
-        let statics = vec![Value::NULL; program.static_count()];
-        Self {
-            program,
-            config,
-            heap: Heap::new(config.heap),
-            collector,
-            statics,
-            intern_table: HashMap::new(),
-            native_refs: Vec::new(),
-            threads: Vec::new(),
-            // Frame id 0 is reserved for the static pseudo-frame.
-            next_frame_id: 1,
-            stats: VmStats::default(),
+impl<C: Collector> Exec<C> {
+    /// The single VM→collector seam: offer the event to the attached sink
+    /// (if any), then route it to the matching collector hook.
+    fn dispatch(&mut self, event: GcEvent) {
+        if let Some(sink) = self.sink.as_mut() {
+            sink.record(&event);
+        }
+        match event {
+            GcEvent::Allocate { handle, frame, .. } => {
+                self.collector.on_allocate(handle, &frame, &self.heap);
+            }
+            // Heap-mirroring only; the store itself already happened.
+            GcEvent::SlotWrite { .. } => {}
+            GcEvent::ObjectAccess { handle, thread } => {
+                self.collector.on_object_access(handle, thread, &self.heap);
+            }
+            GcEvent::ReferenceStore {
+                source,
+                target,
+                frame,
+            } => {
+                self.collector
+                    .on_reference_store(source, target, &frame, &self.heap);
+            }
+            GcEvent::StaticStore { target } => {
+                self.collector.on_static_store(target, &self.heap);
+            }
+            GcEvent::ReturnValue {
+                value,
+                caller,
+                callee,
+            } => {
+                self.collector.on_return_value(value, &caller, &callee);
+            }
+            GcEvent::FramePush { frame } => {
+                self.collector.on_frame_push(&frame);
+            }
+            GcEvent::FramePop { frame } => {
+                let outcome = self.collector.on_frame_pop(&frame, &mut self.heap);
+                self.accumulate(outcome);
+            }
+            GcEvent::Collect { roots } => {
+                let outcome = self.collector.collect(&roots, &mut self.heap);
+                self.stats.gc_cycles += 1;
+                self.accumulate(outcome);
+            }
+            GcEvent::ProgramEnd { roots } => {
+                self.collector.on_program_end(&roots, &mut self.heap);
+            }
         }
     }
 
-    /// The collector installed in this VM.
-    pub fn collector(&self) -> &C {
-        &self.collector
+    fn accumulate(&mut self, outcome: CollectOutcome) {
+        self.stats.collector_freed_objects += outcome.freed_objects;
+        self.stats.collector_freed_bytes += outcome.freed_bytes;
+        self.stats.collector_marked_objects += outcome.marked_objects;
     }
 
-    /// Mutable access to the collector (for post-run statistics extraction).
-    pub fn collector_mut(&mut self) -> &mut C {
-        &mut self.collector
-    }
-
-    /// The heap.
-    pub fn heap(&self) -> &Heap {
-        &self.heap
-    }
-
-    /// The program being executed.
-    pub fn program(&self) -> &Program {
-        &self.program
-    }
-
-    /// Execution statistics so far.
-    pub fn stats(&self) -> &VmStats {
-        &self.stats
-    }
-
-    /// Runs the program's entry method to completion on the main thread,
-    /// interleaving any spawned threads round-robin.
-    ///
-    /// # Errors
-    ///
-    /// Returns a [`VmError`] if the program is malformed, memory is exhausted
-    /// even after collection, an instruction misbehaves (null dereference,
-    /// type error, division by zero) or a configured execution limit is hit.
-    pub fn run(&mut self) -> Result<RunOutcome, VmError> {
-        self.program.validate()?;
-        let entry = self.program.entry().expect("validate checked the entry");
-        let start = std::time::Instant::now();
-
-        self.threads.push(ThreadState::new(ThreadId::MAIN));
-        self.push_frame(0, entry, &[], None)?;
-
-        let mut current = 0usize;
-        loop {
-            if self.threads.iter().all(|t| t.status == ThreadStatus::Finished) {
-                break;
-            }
-            if self.threads[current].status != ThreadStatus::Runnable {
-                current = (current + 1) % self.threads.len();
-                continue;
-            }
-            for _ in 0..self.config.thread_quantum {
-                if self.threads[current].status != ThreadStatus::Runnable {
-                    break;
-                }
-                self.step(current)?;
-                if self.stats.instructions > self.config.max_instructions {
-                    return Err(VmError::InstructionLimit(self.config.max_instructions));
-                }
-                if let Some(every) = self.config.gc_every_instructions {
-                    if self.stats.instructions % every == 0 {
-                        self.run_collection();
-                    }
-                }
-            }
-            current = (current + 1) % self.threads.len();
-        }
-
-        let roots = self.build_roots();
-        self.collector.on_program_end(&roots, &mut self.heap);
-
-        Ok(RunOutcome {
-            stats: self.stats,
-            heap: *self.heap.stats(),
-            live_at_exit: self.heap.live_count(),
-            elapsed_seconds: start.elapsed().as_secs_f64(),
-        })
-    }
-
-    /// Builds the current root set: every thread frame's reference locals,
-    /// statics, the intern table and native static references.
-    pub fn build_roots(&self) -> RootSet {
+    fn build_roots(&self) -> RootSet {
         let mut frames = Vec::new();
         for thread in &self.threads {
             for frame in &thread.stack {
@@ -319,11 +325,9 @@ impl<C: Collector> Vm<C> {
         }
     }
 
-    fn current_info(&self, thread_idx: usize) -> FrameInfo {
-        self.threads[thread_idx]
-            .current_frame()
-            .expect("thread has a frame")
-            .info
+    fn run_collection(&mut self) {
+        let roots = Box::new(self.build_roots());
+        self.dispatch(GcEvent::Collect { roots });
     }
 
     fn local(&self, thread_idx: usize, idx: LocalIdx) -> Value {
@@ -340,34 +344,79 @@ impl<C: Collector> Vm<C> {
             .locals[idx as usize] = value;
     }
 
-    fn operand_int(&self, thread_idx: usize, op: Operand, info: FrameInfo, pc: usize) -> Result<i64, VmError> {
+    fn set_pc(&mut self, thread_idx: usize, pc: usize) {
+        self.threads[thread_idx]
+            .current_frame_mut()
+            .expect("thread has a frame")
+            .pc = pc;
+    }
+
+    fn operand_int(
+        &self,
+        thread_idx: usize,
+        op: Operand,
+        info: FrameInfo,
+        pc: usize,
+    ) -> Result<i64, VmError> {
         match op {
             Operand::Imm(i) => Ok(i),
-            Operand::Local(l) => self.local(thread_idx, l).as_int().ok_or(VmError::TypeError {
-                method: info.method,
-                pc,
-                expected: "int",
-            }),
+            Operand::Local(l) => self
+                .local(thread_idx, l)
+                .as_int()
+                .ok_or(VmError::TypeError {
+                    method: info.method,
+                    pc,
+                    expected: "int",
+                }),
         }
     }
 
-    fn local_handle(&self, thread_idx: usize, idx: LocalIdx, info: FrameInfo, pc: usize) -> Result<Handle, VmError> {
+    fn operand_index(
+        &self,
+        thread_idx: usize,
+        op: Operand,
+        info: FrameInfo,
+        pc: usize,
+        expected: &'static str,
+    ) -> Result<usize, VmError> {
+        let value = self.operand_int(thread_idx, op, info, pc)?;
+        usize::try_from(value).map_err(|_| VmError::TypeError {
+            method: info.method,
+            pc,
+            expected,
+        })
+    }
+
+    fn local_handle(
+        &self,
+        thread_idx: usize,
+        idx: LocalIdx,
+        info: FrameInfo,
+        pc: usize,
+    ) -> Result<Handle, VmError> {
         match self.local(thread_idx, idx) {
             Value::Ref(Some(h)) => Ok(h),
-            Value::Ref(None) => Err(VmError::NullReference { method: info.method, pc }),
-            _ => Err(VmError::TypeError { method: info.method, pc, expected: "reference" }),
+            Value::Ref(None) => Err(VmError::NullReference {
+                method: info.method,
+                pc,
+            }),
+            _ => Err(VmError::TypeError {
+                method: info.method,
+                pc,
+                expected: "reference",
+            }),
         }
     }
 
     fn push_frame(
         &mut self,
+        program: &Program,
         thread_idx: usize,
         method: MethodId,
         args: &[Value],
         return_dst: Option<LocalIdx>,
     ) -> Result<(), VmError> {
-        let def = self
-            .program
+        let def = program
             .method(method)
             .expect("method ids are validated before execution");
         let depth = self.threads[thread_idx].depth() + 1;
@@ -383,310 +432,543 @@ impl<C: Collector> Vm<C> {
         self.next_frame_id += 1;
         let frame = Frame::new(info, def.max_locals(), args, return_dst);
         self.threads[thread_idx].stack.push(frame);
-        self.collector.on_frame_push(&info);
+        self.dispatch(GcEvent::FramePush { frame: info });
         self.stats.method_calls += 1;
         self.stats.max_stack_depth = self.stats.max_stack_depth.max(depth);
         Ok(())
     }
 
-    fn run_collection(&mut self) {
-        let roots = self.build_roots();
-        let outcome = self.collector.collect(&roots, &mut self.heap);
-        self.stats.gc_cycles += 1;
-        self.accumulate(outcome);
-    }
-
-    fn accumulate(&mut self, outcome: CollectOutcome) {
-        self.stats.collector_freed_objects += outcome.freed_objects;
-        self.stats.collector_freed_bytes += outcome.freed_bytes;
-        self.stats.collector_marked_objects += outcome.marked_objects;
-    }
-
-    /// Allocates an instance, first offering the collector's recycle list,
-    /// then the heap, then retrying once after a full collection.
-    fn allocate_instance(&mut self, class: ClassId, info: FrameInfo) -> Result<Handle, VmError> {
-        let field_count = self
-            .program
-            .class(class)
-            .expect("class ids are validated before execution")
-            .field_count();
-        if let Some(handle) = self
-            .collector
-            .try_recycled_alloc(class, field_count, &info, &mut self.heap)
-        {
-            self.stats.recycled_allocations += 1;
-            self.stats.objects_allocated += 1;
-            self.collector.on_allocate(handle, &info, &self.heap);
-            return Ok(handle);
-        }
-        match self.heap.allocate(class, field_count) {
-            Ok(handle) => {
+    /// Allocates an instance or array: the collector's recycle list is
+    /// offered first (instances only, §3.7), then the heap, then — after a
+    /// full collection — the heap once more.  This is the single place the
+    /// collection-retry policy lives.
+    fn allocate(&mut self, request: AllocRequest, info: FrameInfo) -> Result<Handle, VmError> {
+        if let AllocRequest::Instance { class, field_count } = request {
+            if let Some(handle) =
+                self.collector
+                    .try_recycled_alloc(class, field_count, &info, &mut self.heap)
+            {
+                self.stats.recycled_allocations += 1;
                 self.stats.objects_allocated += 1;
-                self.collector.on_allocate(handle, &info, &self.heap);
-                Ok(handle)
+                self.dispatch(GcEvent::Allocate {
+                    handle,
+                    class: request.class(),
+                    kind: request.kind(),
+                    frame: info,
+                    recycled: true,
+                });
+                return Ok(handle);
             }
+        }
+        let handle = match self.heap_alloc(request) {
+            Ok(handle) => handle,
             Err(HeapError::OutOfObjectSpace { requested, .. })
-            | Err(HeapError::OutOfHandleSpace { capacity: requested }) => {
+            | Err(HeapError::OutOfHandleSpace {
+                capacity: requested,
+            }) => {
                 self.stats.allocation_retries += 1;
                 self.run_collection();
-                match self.heap.allocate(class, field_count) {
-                    Ok(handle) => {
-                        self.stats.objects_allocated += 1;
-                        self.collector.on_allocate(handle, &info, &self.heap);
-                        Ok(handle)
-                    }
-                    Err(_) => Err(VmError::OutOfMemory { class, requested }),
-                }
+                self.heap_alloc(request).map_err(|_| VmError::OutOfMemory {
+                    class: request.class(),
+                    requested,
+                })?
             }
-            Err(e) => Err(e.into()),
-        }
+            Err(e) => return Err(e.into()),
+        };
+        self.dispatch(GcEvent::Allocate {
+            handle,
+            class: request.class(),
+            kind: request.kind(),
+            frame: info,
+            recycled: false,
+        });
+        Ok(handle)
     }
 
-    /// Allocates an array, retrying once after a full collection.
-    fn allocate_array(&mut self, class: ClassId, length: usize, info: FrameInfo) -> Result<Handle, VmError> {
-        match self.heap.allocate_array(class, length) {
-            Ok(handle) => {
+    /// One attempt at a fresh heap allocation, with stats accounting.
+    /// Dispatching the `Allocate` event (and thereby `on_allocate`) is the
+    /// caller's responsibility — [`Exec::allocate`] is the only caller and
+    /// emits it once per successful allocation, retried or not.
+    fn heap_alloc(&mut self, request: AllocRequest) -> Result<Handle, HeapError> {
+        let handle = match request {
+            AllocRequest::Instance { class, field_count } => {
+                let handle = self.heap.allocate(class, field_count)?;
+                self.stats.objects_allocated += 1;
+                handle
+            }
+            AllocRequest::Array { class, length } => {
+                let handle = self.heap.allocate_array(class, length)?;
                 self.stats.arrays_allocated += 1;
-                self.collector.on_allocate(handle, &info, &self.heap);
-                Ok(handle)
-            }
-            Err(HeapError::OutOfObjectSpace { requested, .. })
-            | Err(HeapError::OutOfHandleSpace { capacity: requested }) => {
-                self.stats.allocation_retries += 1;
-                self.run_collection();
-                match self.heap.allocate_array(class, length) {
-                    Ok(handle) => {
-                        self.stats.arrays_allocated += 1;
-                        self.collector.on_allocate(handle, &info, &self.heap);
-                        Ok(handle)
-                    }
-                    Err(_) => Err(VmError::OutOfMemory { class, requested }),
-                }
-            }
-            Err(e) => Err(e.into()),
-        }
-    }
-
-    /// Executes one instruction on the given thread.
-    fn step(&mut self, thread_idx: usize) -> Result<(), VmError> {
-        let info = self.current_info(thread_idx);
-        let pc = self.threads[thread_idx].current_frame().expect("frame").pc;
-        let insn = {
-            let method = self.program.method(info.method).expect("validated method");
-            match method.code().get(pc) {
-                Some(insn) => insn.clone(),
-                // Falling off the end of a method behaves like a bare return.
-                None => Insn::Return { value: None },
+                handle
             }
         };
-        self.stats.instructions += 1;
-        let thread_id = self.threads[thread_idx].id;
-        let mut next_pc = pc + 1;
-
-        match insn {
-            Insn::Nop => {}
-            Insn::Const { dst, value } => self.set_local(thread_idx, dst, Value::Int(value)),
-            Insn::LoadNull { dst } => self.set_local(thread_idx, dst, Value::NULL),
-            Insn::Move { dst, src } => {
-                let v = self.local(thread_idx, src);
-                self.set_local(thread_idx, dst, v);
-            }
-            Insn::Arith { op, dst, a, b } => {
-                let a = self.operand_int(thread_idx, a, info, pc)?;
-                let b = self.operand_int(thread_idx, b, info, pc)?;
-                let result = match op {
-                    ArithOp::Add => a.wrapping_add(b),
-                    ArithOp::Sub => a.wrapping_sub(b),
-                    ArithOp::Mul => a.wrapping_mul(b),
-                    ArithOp::Div => {
-                        if b == 0 {
-                            return Err(VmError::DivideByZero { method: info.method, pc });
-                        }
-                        a.wrapping_div(b)
-                    }
-                    ArithOp::Rem => {
-                        if b == 0 {
-                            return Err(VmError::DivideByZero { method: info.method, pc });
-                        }
-                        a.wrapping_rem(b)
-                    }
-                    ArithOp::Xor => a ^ b,
-                };
-                self.set_local(thread_idx, dst, Value::Int(result));
-            }
-            Insn::Jump { target } => next_pc = target,
-            Insn::Branch { cond, a, b, target } => {
-                let a = self.operand_int(thread_idx, a, info, pc)?;
-                let b = self.operand_int(thread_idx, b, info, pc)?;
-                if cond.eval(a, b) {
-                    next_pc = target;
-                }
-            }
-            Insn::New { class, dst } => {
-                let handle = self.allocate_instance(class, info)?;
-                self.set_local(thread_idx, dst, Value::from(handle));
-            }
-            Insn::NewArray { class, length, dst } => {
-                let length = self.operand_int(thread_idx, length, info, pc)?;
-                let length = usize::try_from(length).map_err(|_| VmError::TypeError {
-                    method: info.method,
-                    pc,
-                    expected: "non-negative array length",
-                })?;
-                let handle = self.allocate_array(class, length, info)?;
-                self.set_local(thread_idx, dst, Value::from(handle));
-            }
-            Insn::PutField { object, field, value } => {
-                let object = self.local_handle(thread_idx, object, info, pc)?;
-                let value = self.local(thread_idx, value);
-                self.heap.set_field(object, field, value)?;
-                self.collector.on_object_access(object, thread_id, &self.heap);
-                if let Some(target) = value.as_handle() {
-                    self.collector.on_object_access(target, thread_id, &self.heap);
-                    self.collector.on_reference_store(object, target, &info, &self.heap);
-                }
-            }
-            Insn::GetField { object, field, dst } => {
-                let object = self.local_handle(thread_idx, object, info, pc)?;
-                let value = self.heap.field(object, field)?;
-                self.collector.on_object_access(object, thread_id, &self.heap);
-                if let Some(target) = value.as_handle() {
-                    self.collector.on_object_access(target, thread_id, &self.heap);
-                }
-                self.set_local(thread_idx, dst, value);
-            }
-            Insn::ArrayStore { array, index, value } => {
-                let array = self.local_handle(thread_idx, array, info, pc)?;
-                let index = self.operand_int(thread_idx, index, info, pc)?;
-                let index = usize::try_from(index).map_err(|_| VmError::TypeError {
-                    method: info.method,
-                    pc,
-                    expected: "non-negative array index",
-                })?;
-                let value = self.local(thread_idx, value);
-                self.heap.set_element(array, index, value)?;
-                self.collector.on_object_access(array, thread_id, &self.heap);
-                if let Some(target) = value.as_handle() {
-                    self.collector.on_object_access(target, thread_id, &self.heap);
-                    self.collector.on_reference_store(array, target, &info, &self.heap);
-                }
-            }
-            Insn::ArrayLoad { array, index, dst } => {
-                let array = self.local_handle(thread_idx, array, info, pc)?;
-                let index = self.operand_int(thread_idx, index, info, pc)?;
-                let index = usize::try_from(index).map_err(|_| VmError::TypeError {
-                    method: info.method,
-                    pc,
-                    expected: "non-negative array index",
-                })?;
-                let value = self.heap.element(array, index)?;
-                self.collector.on_object_access(array, thread_id, &self.heap);
-                if let Some(target) = value.as_handle() {
-                    self.collector.on_object_access(target, thread_id, &self.heap);
-                }
-                self.set_local(thread_idx, dst, value);
-            }
-            Insn::PutStatic { static_id, value } => {
-                let value = self.local(thread_idx, value);
-                self.write_static(static_id, value, thread_id);
-            }
-            Insn::GetStatic { static_id, dst } => {
-                let value = self.statics[static_id.index()];
-                if let Some(target) = value.as_handle() {
-                    self.collector.on_object_access(target, thread_id, &self.heap);
-                }
-                self.set_local(thread_idx, dst, value);
-            }
-            Insn::Intern { key, src, dst } => {
-                if let Some(&existing) = self.intern_table.get(&key) {
-                    self.collector.on_object_access(existing, thread_id, &self.heap);
-                    self.set_local(thread_idx, dst, Value::from(existing));
-                } else {
-                    let handle = self.local_handle(thread_idx, src, info, pc)?;
-                    self.intern_table.insert(key, handle);
-                    // Interned objects are reachable from the interpreter's
-                    // hash table for the rest of the program (§3.2).
-                    self.collector.on_static_store(handle, &self.heap);
-                    self.set_local(thread_idx, dst, Value::from(handle));
-                }
-            }
-            Insn::NativeStaticRef { src } => {
-                let handle = self.local_handle(thread_idx, src, info, pc)?;
-                self.native_refs.push(handle);
-                self.collector.on_static_store(handle, &self.heap);
-            }
-            Insn::Call { method, args, dst } => {
-                let arg_values: Vec<Value> = args.iter().map(|&a| self.local(thread_idx, a)).collect();
-                // Resume after the call when the callee returns.
-                self.threads[thread_idx].current_frame_mut().expect("frame").pc = next_pc;
-                self.push_frame(thread_idx, method, &arg_values, dst)?;
-                return Ok(());
-            }
-            Insn::Return { value } => {
-                self.return_from_frame(thread_idx, value)?;
-                return Ok(());
-            }
-            Insn::SpawnThread { method, args } => {
-                let arg_values: Vec<Value> = args.iter().map(|&a| self.local(thread_idx, a)).collect();
-                let new_id = ThreadId::new(self.threads.len() as u32);
-                self.threads.push(ThreadState::new(new_id));
-                let new_idx = self.threads.len() - 1;
-                self.stats.threads_spawned += 1;
-                // Handing an object to another thread makes it thread-shared
-                // from the collector's point of view (§3.3).
-                for value in &arg_values {
-                    if let Some(handle) = value.as_handle() {
-                        self.collector.on_object_access(handle, new_id, &self.heap);
-                    }
-                }
-                // Set the spawner's resume point before pushing the new
-                // thread's entry frame.
-                self.threads[thread_idx].current_frame_mut().expect("frame").pc = next_pc;
-                self.push_frame(new_idx, method, &arg_values, None)?;
-                return Ok(());
-            }
-        }
-
-        self.threads[thread_idx].current_frame_mut().expect("frame").pc = next_pc;
-        Ok(())
+        Ok(handle)
     }
 
     fn write_static(&mut self, static_id: StaticId, value: Value, thread_id: ThreadId) {
         self.statics[static_id.index()] = value;
         if let Some(target) = value.as_handle() {
-            self.collector.on_object_access(target, thread_id, &self.heap);
-            self.collector.on_static_store(target, &self.heap);
+            self.dispatch(GcEvent::ObjectAccess {
+                handle: target,
+                thread: thread_id,
+            });
+            self.dispatch(GcEvent::StaticStore { target });
         }
     }
 
-    fn return_from_frame(&mut self, thread_idx: usize, value: Option<LocalIdx>) -> Result<(), VmError> {
+    fn return_from_frame(
+        &mut self,
+        thread_idx: usize,
+        value: Option<LocalIdx>,
+    ) -> Result<(), VmError> {
         let callee = self.threads[thread_idx]
             .stack
             .pop()
             .expect("returning thread has a frame");
         self.stats.frames_popped += 1;
 
-        let return_value = value.map(|l| callee.locals[l as usize]).unwrap_or(Value::NULL);
+        let return_value = value
+            .map(|l| callee.locals[l as usize])
+            .unwrap_or(Value::NULL);
         let caller_info = self.threads[thread_idx].current_frame().map(|f| f.info);
 
         // The areturn event: tell the collector the value now belongs to the
         // caller *before* the callee's dependent objects are collected.
-        if let (Some(handle), Some(caller)) = (return_value.as_handle(), caller_info.as_ref()) {
-            self.collector.on_return_value(handle, caller, &callee.info);
+        if let (Some(handle), Some(caller)) = (return_value.as_handle(), caller_info) {
+            self.dispatch(GcEvent::ReturnValue {
+                value: handle,
+                caller,
+                callee: callee.info,
+            });
         }
 
         // Deliver the return value.
-        if let (Some(dst), Some(frame)) = (callee.return_dst, self.threads[thread_idx].current_frame_mut()) {
+        if let (Some(dst), Some(frame)) = (
+            callee.return_dst,
+            self.threads[thread_idx].current_frame_mut(),
+        ) {
             frame.locals[dst as usize] = return_value;
         }
 
         // Now the frame is gone: let the collector reclaim its dependents.
-        let outcome = self.collector.on_frame_pop(&callee.info, &mut self.heap);
-        self.accumulate(outcome);
+        self.dispatch(GcEvent::FramePop { frame: callee.info });
 
         if self.threads[thread_idx].stack.is_empty() {
             self.threads[thread_idx].status = ThreadStatus::Finished;
         }
+        Ok(())
+    }
+}
+
+/// The virtual machine: a program, a heap, threads and a collector.
+///
+/// See the [crate-level documentation](crate) for an end-to-end example.
+#[derive(Debug)]
+pub struct Vm<C: Collector> {
+    program: Program,
+    ex: Exec<C>,
+}
+
+impl<C: Collector> Vm<C> {
+    /// Creates a virtual machine for `program` using the given collector.
+    pub fn new(program: Program, config: VmConfig, collector: C) -> Self {
+        let statics = vec![Value::NULL; program.static_count()];
+        Self {
+            program,
+            ex: Exec {
+                config,
+                heap: Heap::new(config.heap),
+                collector,
+                statics,
+                intern_table: HashMap::new(),
+                native_refs: Vec::new(),
+                threads: Vec::new(),
+                // Frame id 0 is reserved for the static pseudo-frame.
+                next_frame_id: 1,
+                stats: VmStats::default(),
+                sink: None,
+            },
+        }
+    }
+
+    /// The collector installed in this VM.
+    pub fn collector(&self) -> &C {
+        &self.ex.collector
+    }
+
+    /// Mutable access to the collector (for post-run statistics extraction).
+    pub fn collector_mut(&mut self) -> &mut C {
+        &mut self.ex.collector
+    }
+
+    /// Consumes the VM, returning the collector.
+    pub fn into_collector(self) -> C {
+        self.ex.collector
+    }
+
+    /// The heap.
+    pub fn heap(&self) -> &Heap {
+        &self.ex.heap
+    }
+
+    /// The program being executed.
+    pub fn program(&self) -> &Program {
+        &self.program
+    }
+
+    /// Execution statistics so far.
+    pub fn stats(&self) -> &VmStats {
+        &self.ex.stats
+    }
+
+    /// Attaches an [`EventSink`] that observes every [`GcEvent`] before the
+    /// corresponding collector hook runs (used by `cg-trace` to record runs).
+    pub fn set_event_sink(&mut self, sink: Box<dyn EventSink>) {
+        self.ex.sink = Some(sink);
+    }
+
+    /// Detaches and returns the current event sink, if one was attached.
+    pub fn take_event_sink(&mut self) -> Option<Box<dyn EventSink>> {
+        self.ex.sink.take()
+    }
+
+    /// Runs the program's entry method to completion on the main thread,
+    /// interleaving any spawned threads round-robin.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`VmError`] if the program is malformed, memory is exhausted
+    /// even after collection, an instruction misbehaves (null dereference,
+    /// type error, division by zero) or a configured execution limit is hit.
+    pub fn run(&mut self) -> Result<RunOutcome, VmError> {
+        self.program.validate()?;
+        let entry = self.program.entry().expect("validate checked the entry");
+        let start = std::time::Instant::now();
+
+        self.ex.threads.push(ThreadState::new(ThreadId::MAIN));
+        self.ex.push_frame(&self.program, 0, entry, &[], None)?;
+
+        let mut current = 0usize;
+        loop {
+            if self
+                .ex
+                .threads
+                .iter()
+                .all(|t| t.status == ThreadStatus::Finished)
+            {
+                break;
+            }
+            if self.ex.threads[current].status != ThreadStatus::Runnable {
+                current = (current + 1) % self.ex.threads.len();
+                continue;
+            }
+            for _ in 0..self.ex.config.thread_quantum {
+                if self.ex.threads[current].status != ThreadStatus::Runnable {
+                    break;
+                }
+                self.step(current)?;
+                if self.ex.stats.instructions > self.ex.config.max_instructions {
+                    return Err(VmError::InstructionLimit(self.ex.config.max_instructions));
+                }
+                if let Some(every) = self.ex.config.gc_every_instructions {
+                    if self.ex.stats.instructions.is_multiple_of(every) {
+                        self.ex.run_collection();
+                    }
+                }
+            }
+            current = (current + 1) % self.ex.threads.len();
+        }
+
+        let roots = Box::new(self.ex.build_roots());
+        self.ex.dispatch(GcEvent::ProgramEnd { roots });
+
+        Ok(RunOutcome {
+            stats: self.ex.stats,
+            heap: *self.ex.heap.stats(),
+            live_at_exit: self.ex.heap.live_count(),
+            elapsed_seconds: start.elapsed().as_secs_f64(),
+        })
+    }
+
+    /// Builds the current root set: every thread frame's reference locals,
+    /// statics, the intern table and native static references.
+    pub fn build_roots(&self) -> RootSet {
+        self.ex.build_roots()
+    }
+
+    /// Executes one instruction on the given thread.
+    fn step(&mut self, thread_idx: usize) -> Result<(), VmError> {
+        // One frame lookup yields everything the dispatch needs; the frame's
+        // identity, depth and method are cached in the frame itself.
+        let (info, pc, thread_id) = {
+            let thread = &self.ex.threads[thread_idx];
+            let frame = thread.current_frame().expect("runnable thread has a frame");
+            (frame.info, frame.pc, thread.id)
+        };
+        // `insn` borrows the program's code; execution below mutates only
+        // `self.ex`, so nothing is cloned.
+        let insn = self
+            .program
+            .method(info.method)
+            .expect("validated method")
+            .code()
+            .get(pc);
+        self.ex.stats.instructions += 1;
+        let mut next_pc = pc + 1;
+
+        match insn {
+            // Falling off the end of a method behaves like a bare return.
+            None => return self.ex.return_from_frame(thread_idx, None),
+            Some(Insn::Return { value }) => return self.ex.return_from_frame(thread_idx, *value),
+            Some(Insn::Nop) => {}
+            Some(Insn::Const { dst, value }) => {
+                self.ex.set_local(thread_idx, *dst, Value::Int(*value))
+            }
+            Some(Insn::LoadNull { dst }) => self.ex.set_local(thread_idx, *dst, Value::NULL),
+            Some(Insn::Move { dst, src }) => {
+                let v = self.ex.local(thread_idx, *src);
+                self.ex.set_local(thread_idx, *dst, v);
+            }
+            Some(Insn::Arith { op, dst, a, b }) => {
+                let a = self.ex.operand_int(thread_idx, *a, info, pc)?;
+                let b = self.ex.operand_int(thread_idx, *b, info, pc)?;
+                let result = match op {
+                    ArithOp::Add => a.wrapping_add(b),
+                    ArithOp::Sub => a.wrapping_sub(b),
+                    ArithOp::Mul => a.wrapping_mul(b),
+                    ArithOp::Div => {
+                        if b == 0 {
+                            return Err(VmError::DivideByZero {
+                                method: info.method,
+                                pc,
+                            });
+                        }
+                        a.wrapping_div(b)
+                    }
+                    ArithOp::Rem => {
+                        if b == 0 {
+                            return Err(VmError::DivideByZero {
+                                method: info.method,
+                                pc,
+                            });
+                        }
+                        a.wrapping_rem(b)
+                    }
+                    ArithOp::Xor => a ^ b,
+                };
+                self.ex.set_local(thread_idx, *dst, Value::Int(result));
+            }
+            Some(Insn::Jump { target }) => next_pc = *target,
+            Some(Insn::Branch { cond, a, b, target }) => {
+                let a = self.ex.operand_int(thread_idx, *a, info, pc)?;
+                let b = self.ex.operand_int(thread_idx, *b, info, pc)?;
+                if cond.eval(a, b) {
+                    next_pc = *target;
+                }
+            }
+            Some(Insn::New { class, dst }) => {
+                let field_count = self
+                    .program
+                    .class(*class)
+                    .expect("class ids are validated before execution")
+                    .field_count();
+                let request = AllocRequest::Instance {
+                    class: *class,
+                    field_count,
+                };
+                let handle = self.ex.allocate(request, info)?;
+                self.ex.set_local(thread_idx, *dst, Value::from(handle));
+            }
+            Some(Insn::NewArray { class, length, dst }) => {
+                let length = self.ex.operand_index(
+                    thread_idx,
+                    *length,
+                    info,
+                    pc,
+                    "non-negative array length",
+                )?;
+                let request = AllocRequest::Array {
+                    class: *class,
+                    length,
+                };
+                let handle = self.ex.allocate(request, info)?;
+                self.ex.set_local(thread_idx, *dst, Value::from(handle));
+            }
+            Some(Insn::PutField {
+                object,
+                field,
+                value,
+            }) => {
+                let object = self.ex.local_handle(thread_idx, *object, info, pc)?;
+                let value = self.ex.local(thread_idx, *value);
+                self.ex.heap.set_field(object, *field, value)?;
+                self.ex.dispatch(GcEvent::SlotWrite {
+                    object,
+                    slot: *field,
+                    value: value.as_handle(),
+                    element: false,
+                });
+                self.ex.dispatch(GcEvent::ObjectAccess {
+                    handle: object,
+                    thread: thread_id,
+                });
+                if let Some(target) = value.as_handle() {
+                    self.ex.dispatch(GcEvent::ObjectAccess {
+                        handle: target,
+                        thread: thread_id,
+                    });
+                    self.ex.dispatch(GcEvent::ReferenceStore {
+                        source: object,
+                        target,
+                        frame: info,
+                    });
+                }
+            }
+            Some(Insn::GetField { object, field, dst }) => {
+                let object = self.ex.local_handle(thread_idx, *object, info, pc)?;
+                let value = self.ex.heap.field(object, *field)?;
+                self.ex.dispatch(GcEvent::ObjectAccess {
+                    handle: object,
+                    thread: thread_id,
+                });
+                if let Some(target) = value.as_handle() {
+                    self.ex.dispatch(GcEvent::ObjectAccess {
+                        handle: target,
+                        thread: thread_id,
+                    });
+                }
+                self.ex.set_local(thread_idx, *dst, value);
+            }
+            Some(Insn::ArrayStore {
+                array,
+                index,
+                value,
+            }) => {
+                let array = self.ex.local_handle(thread_idx, *array, info, pc)?;
+                let index = self.ex.operand_index(
+                    thread_idx,
+                    *index,
+                    info,
+                    pc,
+                    "non-negative array index",
+                )?;
+                let value = self.ex.local(thread_idx, *value);
+                self.ex.heap.set_element(array, index, value)?;
+                self.ex.dispatch(GcEvent::SlotWrite {
+                    object: array,
+                    slot: index,
+                    value: value.as_handle(),
+                    element: true,
+                });
+                self.ex.dispatch(GcEvent::ObjectAccess {
+                    handle: array,
+                    thread: thread_id,
+                });
+                if let Some(target) = value.as_handle() {
+                    self.ex.dispatch(GcEvent::ObjectAccess {
+                        handle: target,
+                        thread: thread_id,
+                    });
+                    self.ex.dispatch(GcEvent::ReferenceStore {
+                        source: array,
+                        target,
+                        frame: info,
+                    });
+                }
+            }
+            Some(Insn::ArrayLoad { array, index, dst }) => {
+                let array = self.ex.local_handle(thread_idx, *array, info, pc)?;
+                let index = self.ex.operand_index(
+                    thread_idx,
+                    *index,
+                    info,
+                    pc,
+                    "non-negative array index",
+                )?;
+                let value = self.ex.heap.element(array, index)?;
+                self.ex.dispatch(GcEvent::ObjectAccess {
+                    handle: array,
+                    thread: thread_id,
+                });
+                if let Some(target) = value.as_handle() {
+                    self.ex.dispatch(GcEvent::ObjectAccess {
+                        handle: target,
+                        thread: thread_id,
+                    });
+                }
+                self.ex.set_local(thread_idx, *dst, value);
+            }
+            Some(Insn::PutStatic { static_id, value }) => {
+                let value = self.ex.local(thread_idx, *value);
+                self.ex.write_static(*static_id, value, thread_id);
+            }
+            Some(Insn::GetStatic { static_id, dst }) => {
+                let value = self.ex.statics[static_id.index()];
+                if let Some(target) = value.as_handle() {
+                    self.ex.dispatch(GcEvent::ObjectAccess {
+                        handle: target,
+                        thread: thread_id,
+                    });
+                }
+                self.ex.set_local(thread_idx, *dst, value);
+            }
+            Some(Insn::Intern { key, src, dst }) => {
+                if let Some(&existing) = self.ex.intern_table.get(key) {
+                    self.ex.dispatch(GcEvent::ObjectAccess {
+                        handle: existing,
+                        thread: thread_id,
+                    });
+                    self.ex.set_local(thread_idx, *dst, Value::from(existing));
+                } else {
+                    let handle = self.ex.local_handle(thread_idx, *src, info, pc)?;
+                    self.ex.intern_table.insert(*key, handle);
+                    // Interned objects are reachable from the interpreter's
+                    // hash table for the rest of the program (§3.2).
+                    self.ex.dispatch(GcEvent::StaticStore { target: handle });
+                    self.ex.set_local(thread_idx, *dst, Value::from(handle));
+                }
+            }
+            Some(Insn::NativeStaticRef { src }) => {
+                let handle = self.ex.local_handle(thread_idx, *src, info, pc)?;
+                self.ex.native_refs.push(handle);
+                self.ex.dispatch(GcEvent::StaticStore { target: handle });
+            }
+            Some(Insn::Call { method, args, dst }) => {
+                let arg_values: Vec<Value> =
+                    args.iter().map(|&a| self.ex.local(thread_idx, a)).collect();
+                // Resume after the call when the callee returns.
+                self.ex.set_pc(thread_idx, next_pc);
+                self.ex
+                    .push_frame(&self.program, thread_idx, *method, &arg_values, *dst)?;
+                return Ok(());
+            }
+            Some(Insn::SpawnThread { method, args }) => {
+                let arg_values: Vec<Value> =
+                    args.iter().map(|&a| self.ex.local(thread_idx, a)).collect();
+                let new_id = ThreadId::new(self.ex.threads.len() as u32);
+                self.ex.threads.push(ThreadState::new(new_id));
+                let new_idx = self.ex.threads.len() - 1;
+                self.ex.stats.threads_spawned += 1;
+                // Handing an object to another thread makes it thread-shared
+                // from the collector's point of view (§3.3).
+                for value in &arg_values {
+                    if let Some(handle) = value.as_handle() {
+                        self.ex.dispatch(GcEvent::ObjectAccess {
+                            handle,
+                            thread: new_id,
+                        });
+                    }
+                }
+                // Set the spawner's resume point before pushing the new
+                // thread's entry frame.
+                self.ex.set_pc(thread_idx, next_pc);
+                self.ex
+                    .push_frame(&self.program, new_idx, *method, &arg_values, None)?;
+                return Ok(());
+            }
+        }
+
+        self.ex.set_pc(thread_idx, next_pc);
         Ok(())
     }
 }
@@ -719,10 +1001,24 @@ mod tests {
         let (p, c) = program_with_main(
             2,
             vec![
-                Insn::New { class: c_placeholder(), dst: 0 },
-                Insn::New { class: c_placeholder(), dst: 1 },
-                Insn::PutField { object: 0, field: 0, value: 1 },
-                Insn::GetField { object: 0, field: 0, dst: 2 },
+                Insn::New {
+                    class: c_placeholder(),
+                    dst: 0,
+                },
+                Insn::New {
+                    class: c_placeholder(),
+                    dst: 1,
+                },
+                Insn::PutField {
+                    object: 0,
+                    field: 0,
+                    value: 1,
+                },
+                Insn::GetField {
+                    object: 0,
+                    field: 0,
+                    dst: 2,
+                },
                 Insn::Return { value: None },
             ],
         );
@@ -749,11 +1045,26 @@ mod tests {
     fn arithmetic_loop_computes() {
         // Sum 1..=10 into local 1.
         let code = vec![
-            Insn::Const { dst: 0, value: 1 },                              // i = 1
-            Insn::Const { dst: 1, value: 0 },                              // sum = 0
-            Insn::Branch { cond: Cond::Gt, a: Operand::Local(0), b: Operand::Imm(10), target: 6 },
-            Insn::Arith { op: ArithOp::Add, dst: 1, a: Operand::Local(1), b: Operand::Local(0) },
-            Insn::Arith { op: ArithOp::Add, dst: 0, a: Operand::Local(0), b: Operand::Imm(1) },
+            Insn::Const { dst: 0, value: 1 }, // i = 1
+            Insn::Const { dst: 1, value: 0 }, // sum = 0
+            Insn::Branch {
+                cond: Cond::Gt,
+                a: Operand::Local(0),
+                b: Operand::Imm(10),
+                target: 6,
+            },
+            Insn::Arith {
+                op: ArithOp::Add,
+                dst: 1,
+                a: Operand::Local(1),
+                b: Operand::Local(0),
+            },
+            Insn::Arith {
+                op: ArithOp::Add,
+                dst: 0,
+                a: Operand::Local(0),
+                b: Operand::Imm(1),
+            },
             Insn::Jump { target: 2 },
             Insn::Return { value: Some(1) },
         ];
@@ -775,7 +1086,11 @@ mod tests {
             2,
             vec![
                 Insn::New { class: c, dst: 1 },
-                Insn::PutField { object: 1, field: 0, value: 0 },
+                Insn::PutField {
+                    object: 1,
+                    field: 0,
+                    value: 0,
+                },
                 Insn::Return { value: Some(1) },
             ],
         ));
@@ -785,8 +1100,16 @@ mod tests {
             3,
             vec![
                 Insn::New { class: c, dst: 0 },
-                Insn::Call { method: callee, args: vec![0], dst: Some(1) },
-                Insn::GetField { object: 1, field: 0, dst: 2 },
+                Insn::Call {
+                    method: callee,
+                    args: vec![0],
+                    dst: Some(1),
+                },
+                Insn::GetField {
+                    object: 1,
+                    field: 0,
+                    dst: 2,
+                },
                 Insn::Return { value: None },
             ],
         ));
@@ -810,13 +1133,27 @@ mod tests {
             4,
             vec![
                 Insn::New { class: c, dst: 0 },
-                Insn::PutStatic { static_id: s, value: 0 },
-                Insn::GetStatic { static_id: s, dst: 1 },
+                Insn::PutStatic {
+                    static_id: s,
+                    value: 0,
+                },
+                Insn::GetStatic {
+                    static_id: s,
+                    dst: 1,
+                },
                 // Interning the same key twice returns the first object.
                 Insn::New { class: c, dst: 2 },
-                Insn::Intern { key: 7, src: 2, dst: 3 },
+                Insn::Intern {
+                    key: 7,
+                    src: 2,
+                    dst: 3,
+                },
                 Insn::New { class: c, dst: 2 },
-                Insn::Intern { key: 7, src: 2, dst: 2 },
+                Insn::Intern {
+                    key: 7,
+                    src: 2,
+                    dst: 2,
+                },
                 Insn::NativeStaticRef { src: 0 },
                 Insn::Return { value: None },
             ],
@@ -839,10 +1176,22 @@ mod tests {
             0,
             4,
             vec![
-                Insn::NewArray { class: c, length: Operand::Imm(4), dst: 0 },
+                Insn::NewArray {
+                    class: c,
+                    length: Operand::Imm(4),
+                    dst: 0,
+                },
                 Insn::New { class: c, dst: 1 },
-                Insn::ArrayStore { array: 0, index: Operand::Imm(2), value: 1 },
-                Insn::ArrayLoad { array: 0, index: Operand::Imm(2), dst: 2 },
+                Insn::ArrayStore {
+                    array: 0,
+                    index: Operand::Imm(2),
+                    value: 1,
+                },
+                Insn::ArrayLoad {
+                    array: 0,
+                    index: Operand::Imm(2),
+                    dst: 2,
+                },
                 Insn::Return { value: None },
             ],
         ));
@@ -864,7 +1213,11 @@ mod tests {
             3,
             vec![
                 Insn::New { class: c, dst: 1 },
-                Insn::PutField { object: 0, field: 0, value: 1 },
+                Insn::PutField {
+                    object: 0,
+                    field: 0,
+                    value: 1,
+                },
                 Insn::New { class: c, dst: 2 },
                 Insn::Return { value: None },
             ],
@@ -875,8 +1228,14 @@ mod tests {
             2,
             vec![
                 Insn::New { class: c, dst: 0 },
-                Insn::SpawnThread { method: worker, args: vec![0] },
-                Insn::SpawnThread { method: worker, args: vec![0] },
+                Insn::SpawnThread {
+                    method: worker,
+                    args: vec![0],
+                },
+                Insn::SpawnThread {
+                    method: worker,
+                    args: vec![0],
+                },
                 Insn::Return { value: None },
             ],
         ));
@@ -885,7 +1244,11 @@ mod tests {
         assert_eq!(outcome.stats.threads_spawned, 2);
         assert_eq!(outcome.stats.objects_allocated, 1 + 2 * 2);
         // All threads finished.
-        assert!(vm.threads.iter().all(|t| t.status == ThreadStatus::Finished));
+        assert!(vm
+            .ex
+            .threads
+            .iter()
+            .all(|t| t.status == ThreadStatus::Finished));
     }
 
     #[test]
@@ -894,7 +1257,11 @@ mod tests {
             1,
             vec![
                 Insn::LoadNull { dst: 0 },
-                Insn::PutField { object: 0, field: 0, value: 0 },
+                Insn::PutField {
+                    object: 0,
+                    field: 0,
+                    value: 0,
+                },
                 Insn::Return { value: None },
             ],
         );
@@ -908,7 +1275,11 @@ mod tests {
             1,
             vec![
                 Insn::Const { dst: 0, value: 3 },
-                Insn::GetField { object: 0, field: 0, dst: 1 },
+                Insn::GetField {
+                    object: 0,
+                    field: 0,
+                    dst: 1,
+                },
                 Insn::Return { value: None },
             ],
         );
@@ -921,7 +1292,12 @@ mod tests {
         let (p, _c) = program_with_main(
             0,
             vec![
-                Insn::Arith { op: ArithOp::Div, dst: 0, a: Operand::Imm(1), b: Operand::Imm(0) },
+                Insn::Arith {
+                    op: ArithOp::Div,
+                    dst: 0,
+                    a: Operand::Imm(1),
+                    b: Operand::Imm(0),
+                },
                 Insn::Return { value: None },
             ],
         );
@@ -942,10 +1318,23 @@ mod tests {
         // reachable; without a working collector this must exhaust memory.
         let code = vec![
             Insn::Const { dst: 1, value: 0 },
-            Insn::Branch { cond: Cond::Ge, a: Operand::Local(1), b: Operand::Imm(200), target: 6 },
+            Insn::Branch {
+                cond: Cond::Ge,
+                a: Operand::Local(1),
+                b: Operand::Imm(200),
+                target: 6,
+            },
             Insn::New { class: c, dst: 0 },
-            Insn::PutStatic { static_id: s, value: 0 },
-            Insn::Arith { op: ArithOp::Add, dst: 1, a: Operand::Local(1), b: Operand::Imm(1) },
+            Insn::PutStatic {
+                static_id: s,
+                value: 0,
+            },
+            Insn::Arith {
+                op: ArithOp::Add,
+                dst: 1,
+                a: Operand::Local(1),
+                b: Operand::Imm(1),
+            },
             Insn::Jump { target: 1 },
             Insn::Return { value: None },
         ];
@@ -976,7 +1365,14 @@ mod tests {
             "recurse",
             0,
             1,
-            vec![Insn::Call { method: m, args: vec![], dst: None }, Insn::Return { value: None }],
+            vec![
+                Insn::Call {
+                    method: m,
+                    args: vec![],
+                    dst: None,
+                },
+                Insn::Return { value: None },
+            ],
         ));
         p.set_entry(m);
         let mut config = VmConfig::small();
@@ -1006,8 +1402,18 @@ mod tests {
             0,
             vec![
                 Insn::Const { dst: 0, value: 0 },
-                Insn::Branch { cond: Cond::Ge, a: Operand::Local(0), b: Operand::Imm(500), target: 4 },
-                Insn::Arith { op: ArithOp::Add, dst: 0, a: Operand::Local(0), b: Operand::Imm(1) },
+                Insn::Branch {
+                    cond: Cond::Ge,
+                    a: Operand::Local(0),
+                    b: Operand::Imm(500),
+                    target: 4,
+                },
+                Insn::Arith {
+                    op: ArithOp::Add,
+                    dst: 0,
+                    a: Operand::Local(0),
+                    b: Operand::Imm(1),
+                },
                 Insn::Jump { target: 1 },
                 Insn::Return { value: None },
             ],
@@ -1030,8 +1436,6 @@ mod tests {
             2,
             vec![
                 Insn::New { class: c, dst: 1 },
-                // Loop forever so we can inspect the stack mid-run... not
-                // needed: instead return the object.
                 Insn::Return { value: Some(1) },
             ],
         ));
@@ -1041,8 +1445,15 @@ mod tests {
             3,
             vec![
                 Insn::New { class: c, dst: 0 },
-                Insn::PutStatic { static_id: s, value: 0 },
-                Insn::Call { method: inner, args: vec![0], dst: Some(1) },
+                Insn::PutStatic {
+                    static_id: s,
+                    value: 0,
+                },
+                Insn::Call {
+                    method: inner,
+                    args: vec![0],
+                    dst: Some(1),
+                },
                 Insn::Return { value: None },
             ],
         ));
@@ -1057,8 +1468,73 @@ mod tests {
     }
 
     #[test]
+    fn event_sink_observes_the_stream_in_order() {
+        /// Records the shape of every event.
+        #[derive(Debug, Default)]
+        struct Tape {
+            tags: std::rc::Rc<std::cell::RefCell<Vec<&'static str>>>,
+        }
+        impl EventSink for Tape {
+            fn record(&mut self, event: &GcEvent) {
+                let tag = match event {
+                    GcEvent::Allocate { .. } => "alloc",
+                    GcEvent::SlotWrite { .. } => "write",
+                    GcEvent::ObjectAccess { .. } => "access",
+                    GcEvent::ReferenceStore { .. } => "refstore",
+                    GcEvent::StaticStore { .. } => "static",
+                    GcEvent::ReturnValue { .. } => "return",
+                    GcEvent::FramePush { .. } => "push",
+                    GcEvent::FramePop { .. } => "pop",
+                    GcEvent::Collect { .. } => "collect",
+                    GcEvent::ProgramEnd { .. } => "end",
+                };
+                self.tags.borrow_mut().push(tag);
+            }
+        }
+
+        let mut p = Program::new();
+        let c = p.add_class(ClassDef::new("Obj", 1));
+        let main = p.add_method(MethodDef::new(
+            "main",
+            0,
+            2,
+            vec![
+                Insn::New { class: c, dst: 0 },
+                Insn::New { class: c, dst: 1 },
+                Insn::PutField {
+                    object: 0,
+                    field: 0,
+                    value: 1,
+                },
+                Insn::Return { value: None },
+            ],
+        ));
+        p.set_entry(main);
+        let mut vm = Vm::new(p, VmConfig::small(), NoopCollector::new());
+        let tape = Tape::default();
+        let tags = std::rc::Rc::clone(&tape.tags);
+        vm.set_event_sink(Box::new(tape));
+        vm.run().unwrap();
+        assert!(vm.take_event_sink().is_some());
+        assert_eq!(
+            &*tags.borrow(),
+            &[
+                "push",  // main's frame
+                "alloc", // object 0
+                "alloc", // object 1
+                "write", "access", "access", "refstore", // the putfield
+                "pop",      // main returns
+                "end",
+            ]
+        );
+    }
+
+    #[test]
     fn vm_error_display() {
-        let e = VmError::OutOfMemory { class: ClassId::new(1), requested: 64 };
+        let e = VmError::OutOfMemory {
+            class: ClassId::new(1),
+            requested: 64,
+        };
         assert!(e.to_string().contains("64"));
         assert!(VmError::InstructionLimit(9).to_string().contains("9"));
         assert!(VmError::StackOverflow(4).to_string().contains("4"));

@@ -16,6 +16,10 @@
 //!   its equilive sets on.
 //! * [`Collector`] — the hook trait every collector implements; the
 //!   interpreter calls it at each event the paper instruments the JVM for.
+//! * [`GcEvent`] / [`EventSink`] — the same events reified as data: every
+//!   collector-visible action flows through one dispatch seam, where an
+//!   attached sink can record it for later replay (see the `cg-trace`
+//!   crate).
 //! * [`Vm`] — the interpreter: cooperative round-robin thread scheduling,
 //!   allocation with collector-assisted retry, optional periodic forced
 //!   collections (used by the §4.7 resetting experiment), and execution
@@ -47,6 +51,7 @@
 #![warn(missing_docs)]
 
 pub mod collector;
+pub mod event;
 pub mod frame;
 pub mod insn;
 pub mod interp;
@@ -54,6 +59,7 @@ pub mod program;
 
 pub use cg_heap::{ClassId, Handle, Heap, HeapConfig, HeapError, Value};
 pub use collector::{CollectOutcome, Collector, FrameRoots, NoopCollector, RootSet};
+pub use event::{AllocKind, EventSink, GcEvent};
 pub use frame::{Frame, FrameId, FrameInfo, ThreadId, ThreadState, ThreadStatus};
 pub use insn::{ArithOp, Cond, Insn, LocalIdx, Operand};
 pub use interp::{RunOutcome, Vm, VmConfig, VmError, VmStats};

@@ -1,12 +1,10 @@
 //! Programs: classes, methods and static variables.
 
-use serde::{Deserialize, Serialize};
-
 use crate::insn::Insn;
 use cg_heap::ClassId;
 
 /// Identifier of a method within a [`Program`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct MethodId(u32);
 
 impl MethodId {
@@ -28,7 +26,7 @@ impl std::fmt::Display for MethodId {
 }
 
 /// Identifier of a static variable within a [`Program`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct StaticId(u32);
 
 impl StaticId {
@@ -50,7 +48,7 @@ impl std::fmt::Display for StaticId {
 }
 
 /// A class definition: a name and a field count.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ClassDef {
     name: String,
     field_count: usize,
@@ -77,7 +75,7 @@ impl ClassDef {
 }
 
 /// A method definition: name, arity, local-slot count and bytecode.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct MethodDef {
     name: String,
     arg_count: usize,
@@ -91,7 +89,12 @@ impl MethodDef {
     /// Arguments are copied into locals `0..arg_count` when the method is
     /// called; `max_locals` must cover both the arguments and every local the
     /// bytecode touches.
-    pub fn new(name: impl Into<String>, arg_count: usize, max_locals: usize, code: Vec<Insn>) -> Self {
+    pub fn new(
+        name: impl Into<String>,
+        arg_count: usize,
+        max_locals: usize,
+        code: Vec<Insn>,
+    ) -> Self {
         Self {
             name: name.into(),
             arg_count,
@@ -195,7 +198,10 @@ impl std::fmt::Display for ProgramError {
                 write!(f, "jump target {target} out of range at {method}:{pc}")
             }
             ProgramError::BadArity { method, pc, callee } => {
-                write!(f, "wrong argument count for call to {callee} at {method}:{pc}")
+                write!(
+                    f,
+                    "wrong argument count for call to {callee} at {method}:{pc}"
+                )
             }
             ProgramError::ArgsExceedLocals { method } => {
                 write!(f, "method {method} declares more arguments than locals")
@@ -223,7 +229,7 @@ impl std::error::Error for ProgramError {}
 /// p.set_entry(main);
 /// assert!(p.validate().is_ok());
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Program {
     classes: Vec<ClassDef>,
     methods: Vec<MethodDef>,
@@ -336,29 +342,43 @@ impl Program {
                 }
                 if let Some(target) = insn.jump_target() {
                     if target >= method.code().len() {
-                        return Err(ProgramError::BadJumpTarget { method: mid, pc, target });
+                        return Err(ProgramError::BadJumpTarget {
+                            method: mid,
+                            pc,
+                            target,
+                        });
                     }
                 }
                 match insn {
-                    Insn::New { class, .. } | Insn::NewArray { class, .. } => {
-                        if self.class(*class).is_none() {
-                            return Err(ProgramError::BadClass { method: mid, pc });
-                        }
+                    Insn::New { class, .. } | Insn::NewArray { class, .. }
+                        if self.class(*class).is_none() =>
+                    {
+                        return Err(ProgramError::BadClass { method: mid, pc });
                     }
-                    Insn::PutStatic { static_id, .. } | Insn::GetStatic { static_id, .. } => {
-                        if static_id.index() >= self.static_count {
-                            return Err(ProgramError::BadStatic { method: mid, pc });
-                        }
+                    Insn::PutStatic { static_id, .. } | Insn::GetStatic { static_id, .. }
+                        if static_id.index() >= self.static_count =>
+                    {
+                        return Err(ProgramError::BadStatic { method: mid, pc });
                     }
-                    Insn::Call { method: callee, args, .. } | Insn::SpawnThread { method: callee, args } => {
-                        match self.method(*callee) {
-                            None => return Err(ProgramError::BadMethod { method: *callee }),
-                            Some(m) if m.arg_count() != args.len() => {
-                                return Err(ProgramError::BadArity { method: mid, pc, callee: *callee })
-                            }
-                            Some(_) => {}
-                        }
+                    Insn::Call {
+                        method: callee,
+                        args,
+                        ..
                     }
+                    | Insn::SpawnThread {
+                        method: callee,
+                        args,
+                    } => match self.method(*callee) {
+                        None => return Err(ProgramError::BadMethod { method: *callee }),
+                        Some(m) if m.arg_count() != args.len() => {
+                            return Err(ProgramError::BadArity {
+                                method: mid,
+                                pc,
+                                callee: *callee,
+                            })
+                        }
+                        Some(_) => {}
+                    },
                     _ => {}
                 }
             }
@@ -414,7 +434,12 @@ mod tests {
     #[test]
     fn missing_entry_is_rejected() {
         let mut p = Program::new();
-        p.add_method(MethodDef::new("m", 0, 0, vec![Insn::Return { value: None }]));
+        p.add_method(MethodDef::new(
+            "m",
+            0,
+            0,
+            vec![Insn::Return { value: None }],
+        ));
         assert_eq!(p.validate(), Err(ProgramError::NoEntry));
     }
 
@@ -429,7 +454,10 @@ mod tests {
             vec![Insn::New { class: c, dst: 5 }, Insn::Return { value: None }],
         ));
         p.set_entry(m);
-        assert!(matches!(p.validate(), Err(ProgramError::BadLocal { pc: 0, .. })));
+        assert!(matches!(
+            p.validate(),
+            Err(ProgramError::BadLocal { pc: 0, .. })
+        ));
     }
 
     #[test]
@@ -439,7 +467,13 @@ mod tests {
             "main",
             0,
             1,
-            vec![Insn::New { class: ClassId::new(7), dst: 0 }, Insn::Return { value: None }],
+            vec![
+                Insn::New {
+                    class: ClassId::new(7),
+                    dst: 0,
+                },
+                Insn::Return { value: None },
+            ],
         ));
         p.set_entry(m);
         assert!(matches!(p.validate(), Err(ProgramError::BadClass { .. })));
@@ -453,7 +487,10 @@ mod tests {
             0,
             1,
             vec![
-                Insn::GetStatic { static_id: StaticId::new(0), dst: 0 },
+                Insn::GetStatic {
+                    static_id: StaticId::new(0),
+                    dst: 0,
+                },
                 Insn::Return { value: None },
             ],
         ));
@@ -471,20 +508,32 @@ mod tests {
             vec![Insn::Jump { target: 10 }, Insn::Return { value: None }],
         ));
         p.set_entry(m);
-        assert!(matches!(p.validate(), Err(ProgramError::BadJumpTarget { target: 10, .. })));
+        assert!(matches!(
+            p.validate(),
+            Err(ProgramError::BadJumpTarget { target: 10, .. })
+        ));
     }
 
     #[test]
     fn bad_arity_is_rejected() {
         let mut p = Program::new();
-        let callee = p.add_method(MethodDef::new("callee", 2, 2, vec![Insn::Return { value: None }]));
+        let callee = p.add_method(MethodDef::new(
+            "callee",
+            2,
+            2,
+            vec![Insn::Return { value: None }],
+        ));
         let m = p.add_method(MethodDef::new(
             "main",
             0,
             1,
             vec![
                 Insn::Const { dst: 0, value: 1 },
-                Insn::Call { method: callee, args: vec![0], dst: None },
+                Insn::Call {
+                    method: callee,
+                    args: vec![0],
+                    dst: None,
+                },
                 Insn::Return { value: None },
             ],
         ));
@@ -500,7 +549,11 @@ mod tests {
             0,
             1,
             vec![
-                Insn::Call { method: MethodId::new(9), args: vec![], dst: None },
+                Insn::Call {
+                    method: MethodId::new(9),
+                    args: vec![],
+                    dst: None,
+                },
                 Insn::Return { value: None },
             ],
         ));
@@ -511,9 +564,17 @@ mod tests {
     #[test]
     fn args_exceeding_locals_rejected() {
         let mut p = Program::new();
-        let m = p.add_method(MethodDef::new("main", 3, 1, vec![Insn::Return { value: None }]));
+        let m = p.add_method(MethodDef::new(
+            "main",
+            3,
+            1,
+            vec![Insn::Return { value: None }],
+        ));
         p.set_entry(m);
-        assert!(matches!(p.validate(), Err(ProgramError::ArgsExceedLocals { .. })));
+        assert!(matches!(
+            p.validate(),
+            Err(ProgramError::ArgsExceedLocals { .. })
+        ));
     }
 
     #[test]
@@ -525,7 +586,11 @@ mod tests {
             0,
             2,
             vec![
-                Insn::NewArray { class: c, length: Operand::Local(9), dst: 0 },
+                Insn::NewArray {
+                    class: c,
+                    length: Operand::Local(9),
+                    dst: 0,
+                },
                 Insn::Return { value: None },
             ],
         ));
@@ -536,7 +601,11 @@ mod tests {
     #[test]
     fn program_error_display() {
         assert!(ProgramError::NoEntry.to_string().contains("entry"));
-        let e = ProgramError::BadJumpTarget { method: MethodId::new(1), pc: 2, target: 9 };
+        let e = ProgramError::BadJumpTarget {
+            method: MethodId::new(1),
+            pc: 2,
+            target: 9,
+        };
         assert!(e.to_string().contains("9"));
     }
 }

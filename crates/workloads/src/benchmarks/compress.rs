@@ -25,7 +25,9 @@ pub fn profile(size: Size) -> Profile {
     };
     Profile {
         name: "compress".to_string(),
-        description: "Modified Lempel-Ziv: static dictionary, few short-lived buffers, compute-bound".to_string(),
+        description:
+            "Modified Lempel-Ziv: static dictionary, few short-lived buffers, compute-bound"
+                .to_string(),
         static_setup: 1_100,
         interned: 8,
         iterations,

@@ -25,7 +25,9 @@ pub fn profile(size: Size) -> Profile {
     };
     Profile {
         name: "db".to_string(),
-        description: "Database manager: static record store, per-query result chains referencing records".to_string(),
+        description:
+            "Database manager: static record store, per-query result chains referencing records"
+                .to_string(),
         static_setup: 1_200,
         interned: 6,
         iterations,

@@ -31,7 +31,9 @@ pub fn profile(size: Size) -> Profile {
     };
     Profile {
         name: "jack".to_string(),
-        description: "Parser generator: static grammar, short-lived token and parse-node temporaries".to_string(),
+        description:
+            "Parser generator: static grammar, short-lived token and parse-node temporaries"
+                .to_string(),
         static_setup: 11_000,
         interned: 24,
         iterations,

@@ -26,7 +26,9 @@ pub fn profile(size: Size) -> Profile {
     };
     Profile {
         name: "javac".to_string(),
-        description: "Java compiler: AST shared with a class-loader thread, per-method compile temporaries".to_string(),
+        description:
+            "Java compiler: AST shared with a class-loader thread, per-method compile temporaries"
+                .to_string(),
         static_setup: 1_250,
         interned: 32,
         iterations,

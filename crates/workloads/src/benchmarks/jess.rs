@@ -29,7 +29,9 @@ pub fn profile(size: Size) -> Profile {
     };
     Profile {
         name: "jess".to_string(),
-        description: "Expert system: static rule network, chained working-memory facts referencing rules".to_string(),
+        description:
+            "Expert system: static rule network, chained working-memory facts referencing rules"
+                .to_string(),
         static_setup: 4_450,
         interned: 16,
         iterations,

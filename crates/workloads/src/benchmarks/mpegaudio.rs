@@ -21,7 +21,8 @@ pub fn profile(size: Size) -> Profile {
     };
     Profile {
         name: "mpegaudio".to_string(),
-        description: "MPEG-3 decoder: static filter tables, per-frame buffers, compute-bound".to_string(),
+        description: "MPEG-3 decoder: static filter tables, per-frame buffers, compute-bound"
+            .to_string(),
         static_setup: 1_750,
         interned: 4,
         iterations,

@@ -17,7 +17,8 @@ pub fn profile(size: Size) -> Profile {
     let mut p = super::raytrace::profile(size);
     p.name = "mtrt".to_string();
     p.description =
-        "Multi-threaded ray tracer: raytrace demographic split across two rendering threads".to_string();
+        "Multi-threaded ray tracer: raytrace demographic split across two rendering threads"
+            .to_string();
     p.worker_threads = 2;
     p
 }

@@ -24,7 +24,8 @@ pub fn profile(size: Size) -> Profile {
     };
     Profile {
         name: "raytrace".to_string(),
-        description: "Ray tracer: static scene, per-pixel temporaries returned up a deep recursion".to_string(),
+        description: "Ray tracer: static scene, per-pixel temporaries returned up a deep recursion"
+            .to_string(),
         static_setup: 1_100,
         interned: 2,
         iterations,

@@ -1,7 +1,9 @@
 //! Program construction helpers: a code builder with structured loops and a
 //! program builder with forward method declarations.
 
-use cg_vm::{ClassDef, ClassId, Cond, Insn, LocalIdx, MethodDef, MethodId, Operand, Program, StaticId};
+use cg_vm::{
+    ClassDef, ClassId, Cond, Insn, LocalIdx, MethodDef, MethodId, Operand, Program, StaticId,
+};
 
 /// Builds a method body, providing structured counted loops so workload
 /// generators never have to compute jump offsets by hand.
@@ -58,7 +60,10 @@ impl CodeBuilder {
         count: Operand,
         body: impl FnOnce(&mut Self),
     ) -> &mut Self {
-        self.push(Insn::Const { dst: counter, value: 0 });
+        self.push(Insn::Const {
+            dst: counter,
+            value: 0,
+        });
         let check_pc = self.pc();
         // Placeholder target; patched once the body length is known.
         self.push(Insn::Branch {
@@ -90,7 +95,10 @@ impl CodeBuilder {
         if iterations == 0 {
             return self;
         }
-        self.push(Insn::Const { dst: scratch, value: 0x9E37 });
+        self.push(Insn::Const {
+            dst: scratch,
+            value: 0x9E37,
+        });
         self.counted_loop(counter, Operand::Imm(iterations as i64), |body| {
             body.push(Insn::Arith {
                 op: cg_vm::ArithOp::Mul,
@@ -213,7 +221,13 @@ impl ProgramBuilder {
     }
 
     /// Declares and defines a method in one step.
-    pub fn method(&mut self, name: &str, arg_count: usize, max_locals: usize, code: Vec<Insn>) -> MethodId {
+    pub fn method(
+        &mut self,
+        name: &str,
+        arg_count: usize,
+        max_locals: usize,
+        code: Vec<Insn>,
+    ) -> MethodId {
         let id = self.declare(name, arg_count);
         self.define(id, max_locals, code);
         id
@@ -239,7 +253,9 @@ impl ProgramBuilder {
         }
         for (index, method) in self.methods.into_iter().enumerate() {
             let name = &self.method_names[index];
-            program.add_method(method.unwrap_or_else(|| panic!("method '{name}' was declared but never defined")));
+            program.add_method(
+                method.unwrap_or_else(|| panic!("method '{name}' was declared but never defined")),
+            );
         }
         program.set_entry(self.entry.expect("an entry method must be set"));
         program
@@ -324,22 +340,59 @@ mod tests {
         let pong = pb.declare("pong", 1);
         // ping(n): if n <= 0 return; pong(n-1)
         let mut code = CodeBuilder::new();
-        code.push(Insn::Branch { cond: Cond::Le, a: Operand::Local(0), b: Operand::Imm(0), target: 3 });
-        code.push(Insn::Arith { op: cg_vm::ArithOp::Sub, dst: 0, a: Operand::Local(0), b: Operand::Imm(1) });
-        code.push(Insn::Call { method: pong, args: vec![0], dst: None });
+        code.push(Insn::Branch {
+            cond: Cond::Le,
+            a: Operand::Local(0),
+            b: Operand::Imm(0),
+            target: 3,
+        });
+        code.push(Insn::Arith {
+            op: cg_vm::ArithOp::Sub,
+            dst: 0,
+            a: Operand::Local(0),
+            b: Operand::Imm(1),
+        });
+        code.push(Insn::Call {
+            method: pong,
+            args: vec![0],
+            dst: None,
+        });
         code.return_none();
         pb.define(ping, 1, code.into_code());
         let mut code = CodeBuilder::new();
-        code.push(Insn::Branch { cond: Cond::Le, a: Operand::Local(0), b: Operand::Imm(0), target: 3 });
-        code.push(Insn::Arith { op: cg_vm::ArithOp::Sub, dst: 0, a: Operand::Local(0), b: Operand::Imm(1) });
-        code.push(Insn::Call { method: ping, args: vec![0], dst: None });
+        code.push(Insn::Branch {
+            cond: Cond::Le,
+            a: Operand::Local(0),
+            b: Operand::Imm(0),
+            target: 3,
+        });
+        code.push(Insn::Arith {
+            op: cg_vm::ArithOp::Sub,
+            dst: 0,
+            a: Operand::Local(0),
+            b: Operand::Imm(1),
+        });
+        code.push(Insn::Call {
+            method: ping,
+            args: vec![0],
+            dst: None,
+        });
         code.return_none();
         pb.define(pong, 1, code.into_code());
-        let main = pb.method("main", 0, 1, vec![
-            Insn::Const { dst: 0, value: 9 },
-            Insn::Call { method: ping, args: vec![0], dst: None },
-            Insn::Return { value: None },
-        ]);
+        let main = pb.method(
+            "main",
+            0,
+            1,
+            vec![
+                Insn::Const { dst: 0, value: 9 },
+                Insn::Call {
+                    method: ping,
+                    args: vec![0],
+                    dst: None,
+                },
+                Insn::Return { value: None },
+            ],
+        );
         pb.set_entry(main);
         let program = pb.build();
         assert!(program.validate().is_ok());
@@ -353,10 +406,19 @@ mod tests {
     fn undefined_method_panics_at_build() {
         let mut pb = ProgramBuilder::new("bad");
         let m = pb.declare("ghost", 0);
-        let main = pb.method("main", 0, 1, vec![
-            Insn::Call { method: m, args: vec![], dst: None },
-            Insn::Return { value: None },
-        ]);
+        let main = pb.method(
+            "main",
+            0,
+            1,
+            vec![
+                Insn::Call {
+                    method: m,
+                    args: vec![],
+                    dst: None,
+                },
+                Insn::Return { value: None },
+            ],
+        );
         pb.set_entry(main);
         let _ = pb.build();
     }

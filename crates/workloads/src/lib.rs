@@ -99,7 +99,10 @@ pub struct Workload {
 impl Workload {
     /// All eight workloads in the paper's order.
     pub fn all() -> Vec<Workload> {
-        benchmarks::BENCHMARK_NAMES.iter().map(|name| Workload { name }).collect()
+        benchmarks::BENCHMARK_NAMES
+            .iter()
+            .map(|name| Workload { name })
+            .collect()
     }
 
     /// Looks a workload up by its SPEC benchmark name.

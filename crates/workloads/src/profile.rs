@@ -141,22 +141,50 @@ pub fn synthesize(profile: &Profile) -> Program {
         // Static chain: locals 0=node, 1=prev, 2=counter.
         code.push(Insn::LoadNull { dst: 1 });
         code.counted_loop(2, Operand::Imm(chain_len), |body| {
-            body.push(Insn::New { class: node, dst: 0 });
-            body.push(Insn::PutField { object: 0, field: 0, value: 1 });
+            body.push(Insn::New {
+                class: node,
+                dst: 0,
+            });
+            body.push(Insn::PutField {
+                object: 0,
+                field: 0,
+                value: 1,
+            });
             body.push(Insn::Move { dst: 1, src: 0 });
         });
-        code.push(Insn::PutStatic { static_id: s_head, value: 1 });
+        code.push(Insn::PutStatic {
+            static_id: s_head,
+            value: 1,
+        });
         // Static table: an array whose elements come from the chain head so
         // worker threads have something indexed to read.
-        code.push(Insn::NewArray { class: table_class, length: Operand::Imm(table_len), dst: 3 });
-        code.counted_loop(2, Operand::Imm(table_len), |body| {
-            body.push(Insn::ArrayStore { array: 3, index: Operand::Local(2), value: 1 });
+        code.push(Insn::NewArray {
+            class: table_class,
+            length: Operand::Imm(table_len),
+            dst: 3,
         });
-        code.push(Insn::PutStatic { static_id: s_table, value: 3 });
+        code.counted_loop(2, Operand::Imm(table_len), |body| {
+            body.push(Insn::ArrayStore {
+                array: 3,
+                index: Operand::Local(2),
+                value: 1,
+            });
+        });
+        code.push(Insn::PutStatic {
+            static_id: s_table,
+            value: 3,
+        });
         // Interned objects (distinct keys, straight-line).
         for key in 0..profile.interned.min(64) {
-            code.push(Insn::New { class: node, dst: 0 });
-            code.push(Insn::Intern { key, src: 0, dst: 0 });
+            code.push(Insn::New {
+                class: node,
+                dst: 0,
+            });
+            code.push(Insn::Intern {
+                key,
+                src: 0,
+                dst: 0,
+            });
         }
         code.return_none();
         pb.define(setup, LOCALS, code.into_code());
@@ -171,15 +199,25 @@ pub fn synthesize(profile: &Profile) -> Program {
         // Singleton temporaries: locals 0=node, 5=counter.
         if profile.leaf_temps > 0 {
             code.counted_loop(5, Operand::Imm(profile.leaf_temps as i64), |body| {
-                body.push(Insn::New { class: node, dst: 0 });
+                body.push(Insn::New {
+                    class: node,
+                    dst: 0,
+                });
             });
         }
         // Chained temporaries: locals 0=node, 1=prev.
         if profile.chained_temps > 0 {
             code.push(Insn::LoadNull { dst: 1 });
             code.counted_loop(5, Operand::Imm(profile.chained_temps as i64), |body| {
-                body.push(Insn::New { class: node, dst: 0 });
-                body.push(Insn::PutField { object: 0, field: 0, value: 1 });
+                body.push(Insn::New {
+                    class: node,
+                    dst: 0,
+                });
+                body.push(Insn::PutField {
+                    object: 0,
+                    field: 0,
+                    value: 1,
+                });
                 body.push(Insn::Move { dst: 1, src: 0 });
             });
         }
@@ -189,14 +227,32 @@ pub fn synthesize(profile: &Profile) -> Program {
         // the optimisation the chain stays collectable; without it the first
         // static reference drags the whole chain into the static set.
         if profile.static_touching_temps > 0 {
-            code.push(Insn::GetStatic { static_id: s_head, dst: 2 });
-            code.push(Insn::LoadNull { dst: 3 });
-            code.counted_loop(5, Operand::Imm(profile.static_touching_temps as i64), |body| {
-                body.push(Insn::New { class: node, dst: 0 });
-                body.push(Insn::PutField { object: 0, field: 1, value: 2 });
-                body.push(Insn::PutField { object: 0, field: 0, value: 3 });
-                body.push(Insn::Move { dst: 3, src: 0 });
+            code.push(Insn::GetStatic {
+                static_id: s_head,
+                dst: 2,
             });
+            code.push(Insn::LoadNull { dst: 3 });
+            code.counted_loop(
+                5,
+                Operand::Imm(profile.static_touching_temps as i64),
+                |body| {
+                    body.push(Insn::New {
+                        class: node,
+                        dst: 0,
+                    });
+                    body.push(Insn::PutField {
+                        object: 0,
+                        field: 1,
+                        value: 2,
+                    });
+                    body.push(Insn::PutField {
+                        object: 0,
+                        field: 0,
+                        value: 3,
+                    });
+                    body.push(Insn::Move { dst: 3, src: 0 });
+                },
+            );
         }
         code.compute(5, 6, profile.compute_per_iteration);
         code.return_none();
@@ -217,13 +273,24 @@ pub fn synthesize(profile: &Profile) -> Program {
                 // Deepest level: allocate the escaping chain and return it.
                 code.push(Insn::LoadNull { dst: 1 });
                 code.counted_loop(5, Operand::Imm(profile.returned_temps as i64), |body| {
-                    body.push(Insn::New { class: node, dst: 0 });
-                    body.push(Insn::PutField { object: 0, field: 0, value: 1 });
+                    body.push(Insn::New {
+                        class: node,
+                        dst: 0,
+                    });
+                    body.push(Insn::PutField {
+                        object: 0,
+                        field: 0,
+                        value: 1,
+                    });
                     body.push(Insn::Move { dst: 1, src: 0 });
                 });
                 code.return_value(1);
             } else {
-                code.push(Insn::Call { method: ids[level + 1], args: vec![], dst: Some(0) });
+                code.push(Insn::Call {
+                    method: ids[level + 1],
+                    args: vec![],
+                    dst: Some(0),
+                });
                 code.return_value(0);
             }
             pb.define(ids[level], LOCALS, code.into_code());
@@ -239,18 +306,43 @@ pub fn synthesize(profile: &Profile) -> Program {
     let iteration = pb.declare("iteration", 0);
     {
         let mut code = CodeBuilder::new();
-        code.push(Insn::Call { method: leaf_work, args: vec![], dst: None });
+        code.push(Insn::Call {
+            method: leaf_work,
+            args: vec![],
+            dst: None,
+        });
         if let Some(escape) = escape_entry {
-            code.push(Insn::Call { method: escape, args: vec![], dst: Some(0) });
+            code.push(Insn::Call {
+                method: escape,
+                args: vec![],
+                dst: Some(0),
+            });
             code.push(Insn::LoadNull { dst: 0 });
         }
         if profile.leaked_per_iteration > 0 {
-            code.counted_loop(5, Operand::Imm(profile.leaked_per_iteration as i64), |body| {
-                body.push(Insn::New { class: node, dst: 0 });
-                body.push(Insn::GetStatic { static_id: s_leak, dst: 1 });
-                body.push(Insn::PutField { object: 0, field: 0, value: 1 });
-                body.push(Insn::PutStatic { static_id: s_leak, value: 0 });
-            });
+            code.counted_loop(
+                5,
+                Operand::Imm(profile.leaked_per_iteration as i64),
+                |body| {
+                    body.push(Insn::New {
+                        class: node,
+                        dst: 0,
+                    });
+                    body.push(Insn::GetStatic {
+                        static_id: s_leak,
+                        dst: 1,
+                    });
+                    body.push(Insn::PutField {
+                        object: 0,
+                        field: 0,
+                        value: 1,
+                    });
+                    body.push(Insn::PutStatic {
+                        static_id: s_leak,
+                        value: 0,
+                    });
+                },
+            );
         }
         code.return_none();
         pb.define(iteration, LOCALS, code.into_code());
@@ -263,7 +355,11 @@ pub fn synthesize(profile: &Profile) -> Program {
     {
         let mut code = CodeBuilder::new();
         code.counted_loop(5, Operand::Local(0), |body| {
-            body.push(Insn::Call { method: iteration, args: vec![], dst: None });
+            body.push(Insn::Call {
+                method: iteration,
+                args: vec![],
+                dst: None,
+            });
         });
         code.return_none();
         pb.define(driver, LOCALS, code.into_code());
@@ -278,8 +374,16 @@ pub fn synthesize(profile: &Profile) -> Program {
             // loader(array): touch every element.
             let mut code = CodeBuilder::new();
             code.counted_loop(2, Operand::Imm(profile.shared_objects as i64), |body| {
-                body.push(Insn::ArrayLoad { array: 0, index: Operand::Local(2), dst: 1 });
-                body.push(Insn::GetField { object: 1, field: 0, dst: 3 });
+                body.push(Insn::ArrayLoad {
+                    array: 0,
+                    index: Operand::Local(2),
+                    dst: 1,
+                });
+                body.push(Insn::GetField {
+                    object: 1,
+                    field: 0,
+                    dst: 3,
+                });
             });
             code.return_none();
             pb.define(loader, LOCALS, code.into_code());
@@ -293,10 +397,20 @@ pub fn synthesize(profile: &Profile) -> Program {
                 dst: 0,
             });
             code.counted_loop(2, Operand::Imm(profile.shared_objects as i64), |body| {
-                body.push(Insn::New { class: node, dst: 1 });
-                body.push(Insn::ArrayStore { array: 0, index: Operand::Local(2), value: 1 });
+                body.push(Insn::New {
+                    class: node,
+                    dst: 1,
+                });
+                body.push(Insn::ArrayStore {
+                    array: 0,
+                    index: Operand::Local(2),
+                    value: 1,
+                });
             });
-            code.push(Insn::SpawnThread { method: loader, args: vec![0] });
+            code.push(Insn::SpawnThread {
+                method: loader,
+                args: vec![0],
+            });
             code.return_none();
             pb.define(share, LOCALS, code.into_code());
         }
@@ -313,9 +427,20 @@ pub fn synthesize(profile: &Profile) -> Program {
         let mut code = CodeBuilder::new();
         // Read a few scene objects from the static table, then do our share
         // of the work.
-        code.push(Insn::GetStatic { static_id: s_table, dst: 1 });
-        code.push(Insn::ArrayLoad { array: 1, index: Operand::Imm(0), dst: 2 });
-        code.push(Insn::Call { method: driver, args: vec![0], dst: None });
+        code.push(Insn::GetStatic {
+            static_id: s_table,
+            dst: 1,
+        });
+        code.push(Insn::ArrayLoad {
+            array: 1,
+            index: Operand::Imm(0),
+            dst: 2,
+        });
+        code.push(Insn::Call {
+            method: driver,
+            args: vec![0],
+            dst: None,
+        });
         code.return_none();
         pb.define(worker, LOCALS, code.into_code());
         Some(worker)
@@ -328,29 +453,53 @@ pub fn synthesize(profile: &Profile) -> Program {
     // ------------------------------------------------------------------
     {
         let mut code = CodeBuilder::new();
-        code.push(Insn::Call { method: setup, args: vec![], dst: None });
+        code.push(Insn::Call {
+            method: setup,
+            args: vec![],
+            dst: None,
+        });
         if let Some(share) = share_batch {
-            code.push(Insn::Call { method: share, args: vec![], dst: None });
+            code.push(Insn::Call {
+                method: share,
+                args: vec![],
+                dst: None,
+            });
         }
         let mut main_iterations = profile.iterations;
         if let Some(worker) = worker {
             let threads = profile.worker_threads as u64;
             let per_thread = profile.iterations / (threads + 1);
             for _ in 0..threads {
-                code.push(Insn::Const { dst: 0, value: per_thread as i64 });
-                code.push(Insn::SpawnThread { method: worker, args: vec![0] });
+                code.push(Insn::Const {
+                    dst: 0,
+                    value: per_thread as i64,
+                });
+                code.push(Insn::SpawnThread {
+                    method: worker,
+                    args: vec![0],
+                });
             }
             main_iterations = profile.iterations - per_thread * threads;
         }
-        code.push(Insn::Const { dst: 0, value: main_iterations as i64 });
-        code.push(Insn::Call { method: driver, args: vec![0], dst: None });
+        code.push(Insn::Const {
+            dst: 0,
+            value: main_iterations as i64,
+        });
+        code.push(Insn::Call {
+            method: driver,
+            args: vec![0],
+            dst: None,
+        });
         code.return_none();
         let main = pb.method("main", 0, LOCALS, code.into_code());
         pb.set_entry(main);
     }
 
     let program = pb.build();
-    debug_assert!(program.validate().is_ok(), "synthesised program must validate");
+    debug_assert!(
+        program.validate().is_ok(),
+        "synthesised program must validate"
+    );
     program
 }
 
@@ -404,7 +553,12 @@ mod tests {
             "measured {measured:.2} vs predicted {predicted:.2}"
         );
         // Age histogram must show the escape depth.
-        assert!(stats.age_at_death.bucket_count(profile.escape_depth as usize) > 0);
+        assert!(
+            stats
+                .age_at_death
+                .bucket_count(profile.escape_depth as usize)
+                > 0
+        );
         // Chained temporaries produce multi-object blocks.
         assert!(stats.block_sizes.bucket_count(2) + stats.block_sizes.bucket_count(3) > 0);
     }
@@ -418,7 +572,11 @@ mod tests {
         vm.run().expect("program runs");
         let mut cg = vm.collector().clone();
         let breakdown = cg.breakdown();
-        assert!(breakdown.thread_shared >= 15, "thread shared = {}", breakdown.thread_shared);
+        assert!(
+            breakdown.thread_shared >= 15,
+            "thread shared = {}",
+            breakdown.thread_shared
+        );
     }
 
     #[test]

@@ -33,13 +33,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     for workload in Workload::all() {
         // Contaminated GC run.
-        let mut cg_vm = Vm::new(workload.program(Size::S1), VmConfig::default(), ContaminatedGc::new());
+        let mut cg_vm = Vm::new(
+            workload.program(Size::S1),
+            VmConfig::default(),
+            ContaminatedGc::new(),
+        );
         cg_vm.run()?;
         let breakdown = cg_vm.collector_mut().breakdown();
         let cg_stats = cg_vm.collector().stats();
 
         // Baseline mark-sweep run (same program, same heap sizing).
-        let mut msa_vm = Vm::new(workload.program(Size::S1), VmConfig::default(), MarkSweep::new());
+        let mut msa_vm = Vm::new(
+            workload.program(Size::S1),
+            VmConfig::default(),
+            MarkSweep::new(),
+        );
         msa_vm.run()?;
         let msa = msa_vm.collector().stats();
 

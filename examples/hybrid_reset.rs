@@ -26,16 +26,36 @@ fn static_finger_program(iterations: i64) -> Program {
 
     let mut code = CodeBuilder::new();
     // The static root object.
-    code.push(Insn::New { class: node, dst: 0 });
-    code.push(Insn::PutStatic { static_id: root_static, value: 0 });
+    code.push(Insn::New {
+        class: node,
+        dst: 0,
+    });
+    code.push(Insn::PutStatic {
+        static_id: root_static,
+        value: 0,
+    });
     code.counted_loop(2, Operand::Imm(iterations), |body| {
-        body.push(Insn::New { class: node, dst: 1 });
-        body.push(Insn::GetStatic { static_id: root_static, dst: 0 });
+        body.push(Insn::New {
+            class: node,
+            dst: 1,
+        });
+        body.push(Insn::GetStatic {
+            static_id: root_static,
+            dst: 0,
+        });
         // The static finger touches the fresh object...
-        body.push(Insn::PutField { object: 0, field: 0, value: 1 });
+        body.push(Insn::PutField {
+            object: 0,
+            field: 0,
+            value: 1,
+        });
         // ...and immediately points away again.
         body.push(Insn::LoadNull { dst: 3 });
-        body.push(Insn::PutField { object: 0, field: 0, value: 3 });
+        body.push(Insn::PutField {
+            object: 0,
+            field: 0,
+            value: 3,
+        });
     });
     code.return_none();
     let main = pb.method("main", 0, 4, code.into_code());
@@ -73,7 +93,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("static finger pathology, {iterations} touched-then-abandoned objects");
     println!();
     println!("plain contaminated GC:");
-    println!("  collected by CG:     {}", plain.collector().stats().objects_collected);
+    println!(
+        "  collected by CG:     {}",
+        plain.collector().stats().objects_collected
+    );
     println!("  live at program end: {}", plain.heap().live_count());
     println!();
     println!("hybrid CG + mark-sweep with resetting (collect every 10k instructions):");
@@ -82,8 +105,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("  traditional collections:        {}", msa.cycles);
     println!("  objects reclaimed by mark-sweep: {}", msa.objects_swept);
     println!("  CG structure resets:             {}", cg.resets);
-    println!("  stale objects dropped from CG:   {}", cg.reset_collected_by_msa);
-    println!("  live at program end:             {}", hybrid.heap().live_count());
+    println!(
+        "  stale objects dropped from CG:   {}",
+        cg.reset_collected_by_msa
+    );
+    println!(
+        "  live at program end:             {}",
+        hybrid.heap().live_count()
+    );
 
     assert!(plain.heap().live_count() as i64 >= iterations);
     assert!(hybrid.heap().live_count() < plain.heap().live_count());

@@ -22,11 +22,28 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let parse = {
         let mut code = CodeBuilder::new();
         // Three tokens linked into a chain; the head is returned.
-        code.push(Insn::New { class: token, dst: 0 });
-        code.push(Insn::New { class: token, dst: 1 });
-        code.push(Insn::New { class: token, dst: 2 });
-        code.push(Insn::PutField { object: 1, field: 0, value: 0 });
-        code.push(Insn::PutField { object: 2, field: 0, value: 1 });
+        code.push(Insn::New {
+            class: token,
+            dst: 0,
+        });
+        code.push(Insn::New {
+            class: token,
+            dst: 1,
+        });
+        code.push(Insn::New {
+            class: token,
+            dst: 2,
+        });
+        code.push(Insn::PutField {
+            object: 1,
+            field: 0,
+            value: 0,
+        });
+        code.push(Insn::PutField {
+            object: 2,
+            field: 0,
+            value: 1,
+        });
         code.return_value(2);
         pb.method("parse", 0, 3, code.into_code())
     };
@@ -34,7 +51,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let main = {
         let mut code = CodeBuilder::new();
         for _ in 0..3 {
-            code.push(Insn::Call { method: parse, args: vec![], dst: Some(0) });
+            code.push(Insn::Call {
+                method: parse,
+                args: vec![],
+                dst: Some(0),
+            });
             code.push(Insn::LoadNull { dst: 0 });
         }
         code.return_none();
@@ -51,7 +72,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let stats = vm.collector().stats();
     println!("objects created:              {}", stats.objects_created);
     println!("collected at frame pops:      {}", stats.objects_collected);
-    println!("  of those, singleton blocks: {}", stats.objects_collected_exactly);
+    println!(
+        "  of those, singleton blocks: {}",
+        stats.objects_collected_exactly
+    );
     println!("union operations performed:   {}", stats.unions);
     println!("live objects at exit:         {}", vm.heap().live_count());
     println!();

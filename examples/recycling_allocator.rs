@@ -47,8 +47,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             percent(outcome.heap.objects_allocated, stats.objects_created)
         );
         println!("  recycle-list probes:        {}", stats.recycle_probes);
-        println!("  heap bytes ever allocated:  {}", outcome.heap.bytes_allocated);
-        println!("  elapsed:                    {:.3}s", outcome.elapsed_seconds);
+        println!(
+            "  heap bytes ever allocated:  {}",
+            outcome.heap.bytes_allocated
+        );
+        println!(
+            "  elapsed:                    {:.3}s",
+            outcome.elapsed_seconds
+        );
         println!();
     }
 

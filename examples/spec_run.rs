@@ -22,8 +22,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .ok_or("size must be 1, 10 or 100")?;
     let collector = args.next().unwrap_or_else(|| "cg".to_string());
 
-    let workload = Workload::by_name(&benchmark)
-        .ok_or_else(|| format!("unknown benchmark '{benchmark}'"))?;
+    let workload =
+        Workload::by_name(&benchmark).ok_or_else(|| format!("unknown benchmark '{benchmark}'"))?;
     let profile = workload.profile(size);
     println!("benchmark:  {} (size {size})", workload.name());
     println!("modelled as: {}", profile.description);
@@ -37,7 +37,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             let outcome = vm.run()?;
             let stats = vm.collector().stats();
             println!("instructions executed:   {}", outcome.stats.instructions);
-            println!("objects allocated:       {}", outcome.stats.objects_allocated + outcome.stats.arrays_allocated);
+            println!(
+                "objects allocated:       {}",
+                outcome.stats.objects_allocated + outcome.stats.arrays_allocated
+            );
             println!("mark-sweep cycles:       {}", stats.cycles);
             println!("objects marked (total):  {}", stats.objects_marked);
             println!("objects swept (total):   {}", stats.objects_swept);
@@ -50,7 +53,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             } else {
                 CgConfig::without_static_opt()
             };
-            let mut vm = Vm::new(program, VmConfig::default(), ContaminatedGc::with_config(config));
+            let mut vm = Vm::new(
+                program,
+                VmConfig::default(),
+                ContaminatedGc::with_config(config),
+            );
             let outcome = vm.run()?;
             let breakdown = vm.collector_mut().breakdown();
             let stats = vm.collector().stats();
@@ -81,7 +88,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             println!("live at exit:            {}", outcome.live_at_exit);
             println!("elapsed:                 {:.3}s", outcome.elapsed_seconds);
         }
-        other => return Err(format!("unknown collector '{other}' (use cg, cg-noopt or msa)").into()),
+        other => {
+            return Err(format!("unknown collector '{other}' (use cg, cg-noopt or msa)").into())
+        }
     }
     Ok(())
 }

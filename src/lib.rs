@@ -7,6 +7,7 @@
 //! * [`cg_core`] — the contaminated collector (the paper's contribution).
 //! * [`cg_vm`] — the JVM-like execution substrate.
 //! * [`cg_heap`] — the handle-based heap.
+//! * [`cg_trace`] — record/replay for the VM↔collector event stream.
 //! * [`cg_baseline`] — the mark-sweep baseline collector.
 //! * [`cg_workloads`] — synthetic SPECjvm98-like workloads.
 //! * [`cg_unionfind`] — disjoint-set forests.
@@ -18,6 +19,7 @@ pub use cg_baseline as baseline;
 pub use cg_core as collector;
 pub use cg_heap as heap;
 pub use cg_stats as stats;
+pub use cg_trace as trace;
 pub use cg_unionfind as unionfind;
 pub use cg_vm as vm;
 pub use cg_workloads as workloads;

@@ -16,16 +16,30 @@ fn churn_program(iterations: i64) -> contaminated_gc::vm::Program {
     // helper(): one pair, linked, dropped.
     let helper = {
         let mut code = CodeBuilder::new();
-        code.push(Insn::New { class: node, dst: 0 });
-        code.push(Insn::New { class: node, dst: 1 });
-        code.push(Insn::PutField { object: 0, field: 0, value: 1 });
+        code.push(Insn::New {
+            class: node,
+            dst: 0,
+        });
+        code.push(Insn::New {
+            class: node,
+            dst: 1,
+        });
+        code.push(Insn::PutField {
+            object: 0,
+            field: 0,
+            value: 1,
+        });
         code.return_none();
         pb.method("helper", 0, 2, code.into_code())
     };
 
     let mut code = CodeBuilder::new();
     code.counted_loop(0, Operand::Imm(iterations), |body| {
-        body.push(Insn::Call { method: helper, args: vec![], dst: None });
+        body.push(Insn::Call {
+            method: helper,
+            args: vec![],
+            dst: None,
+        });
     });
     code.return_none();
     let main = pb.method("main", 0, 1, code.into_code());
@@ -44,7 +58,11 @@ fn contaminated_gc_alone_survives_pressure_that_kills_the_noop_collector() {
     let config = VmConfig::small().with_heap(tight_heap());
 
     // Without any collection the churn overflows the 4 KiB heap.
-    let mut no_gc = Vm::new(churn_program(2_000), config, contaminated_gc::vm::NoopCollector::new());
+    let mut no_gc = Vm::new(
+        churn_program(2_000),
+        config,
+        contaminated_gc::vm::NoopCollector::new(),
+    );
     assert!(matches!(no_gc.run(), Err(VmError::OutOfMemory { .. })));
 
     // The contaminated collector reclaims each pair at the helper's return,
@@ -53,7 +71,10 @@ fn contaminated_gc_alone_survives_pressure_that_kills_the_noop_collector() {
     let outcome = cg.run().expect("CG keeps the heap bounded");
     assert_eq!(outcome.stats.objects_allocated, 4_000);
     assert_eq!(cg.collector().stats().objects_collected, 4_000);
-    assert_eq!(outcome.stats.gc_cycles, 0, "no full collection was ever needed");
+    assert_eq!(
+        outcome.stats.gc_cycles, 0,
+        "no full collection was ever needed"
+    );
     assert_eq!(outcome.live_at_exit, 0);
 }
 
@@ -64,7 +85,11 @@ fn mark_sweep_also_survives_but_pays_with_marking_passes() {
     let outcome = msa.run().expect("mark-sweep keeps the program alive");
     assert_eq!(outcome.stats.objects_allocated, 4_000);
     let stats = msa.collector().stats();
-    assert!(stats.cycles > 5, "expected many collection cycles, got {}", stats.cycles);
+    assert!(
+        stats.cycles > 5,
+        "expected many collection cycles, got {}",
+        stats.cycles
+    );
     assert!(stats.objects_swept > 3_000);
 }
 
@@ -73,7 +98,11 @@ fn recycling_reuses_storage_instead_of_freeing_it() {
     let plain_config = CgConfig::preferred();
     let recycle_config = CgConfig::with_recycling();
 
-    let mut plain = Vm::new(churn_program(500), VmConfig::small(), ContaminatedGc::with_config(plain_config));
+    let mut plain = Vm::new(
+        churn_program(500),
+        VmConfig::small(),
+        ContaminatedGc::with_config(plain_config),
+    );
     plain.run().expect("plain CG run");
     let mut recycled = Vm::new(
         churn_program(500),
@@ -101,7 +130,11 @@ fn hybrid_reset_and_baseline_agree_on_the_final_live_set() {
     // number of reachable objects.
     let workload = Workload::by_name("db").unwrap();
 
-    let mut baseline = Vm::new(workload.program(Size::S1), VmConfig::default(), MarkSweep::new());
+    let mut baseline = Vm::new(
+        workload.program(Size::S1),
+        VmConfig::default(),
+        MarkSweep::new(),
+    );
     baseline.run().expect("baseline run");
     let baseline_reachable = {
         let roots = baseline.build_roots();
@@ -157,7 +190,9 @@ fn facade_reexports_cover_the_whole_api_surface() {
     sets.union(a, b);
     assert!(sets.same_set(a, b));
     let mut heap = contaminated_gc::heap::Heap::new(contaminated_gc::heap::HeapConfig::small());
-    let h = heap.allocate(contaminated_gc::heap::ClassId::new(0), 1).unwrap();
+    let h = heap
+        .allocate(contaminated_gc::heap::ClassId::new(0), 1)
+        .unwrap();
     assert!(heap.is_live(h));
 }
 
@@ -171,7 +206,10 @@ fn deep_recursion_collects_everything_on_the_way_down() {
     let recurse = pb.declare("recurse", 1);
     {
         let mut code = CodeBuilder::new();
-        code.push(Insn::New { class: node, dst: 1 });
+        code.push(Insn::New {
+            class: node,
+            dst: 1,
+        });
         code.push(Insn::Branch {
             cond: contaminated_gc::vm::Cond::Le,
             a: Operand::Local(0),
@@ -184,7 +222,11 @@ fn deep_recursion_collects_everything_on_the_way_down() {
             a: Operand::Local(0),
             b: Operand::Imm(1),
         });
-        code.push(Insn::Call { method: recurse, args: vec![0], dst: None });
+        code.push(Insn::Call {
+            method: recurse,
+            args: vec![0],
+            dst: None,
+        });
         code.return_none();
         pb.define(recurse, 2, code.into_code());
     }
@@ -194,7 +236,11 @@ fn deep_recursion_collects_everything_on_the_way_down() {
         1,
         vec![
             Insn::Const { dst: 0, value: 300 },
-            Insn::Call { method: recurse, args: vec![0], dst: None },
+            Insn::Call {
+                method: recurse,
+                args: vec![0],
+                dst: None,
+            },
             Insn::Return { value: None },
         ],
     );

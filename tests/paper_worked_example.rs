@@ -50,17 +50,40 @@ fn figure_2_program(steps: usize) -> Program {
         let mut code = CodeBuilder::new();
         let stores: [Insn; 5] = [
             // 1: B.f = A
-            Insn::PutField { object: 1, field: 0, value: 2 },
+            Insn::PutField {
+                object: 1,
+                field: 0,
+                value: 2,
+            },
             // 2: C.f = B
-            Insn::PutField { object: 0, field: 0, value: 1 },
+            Insn::PutField {
+                object: 0,
+                field: 0,
+                value: 1,
+            },
             // 3: D.f = C
-            Insn::PutField { object: 3, field: 0, value: 0 },
+            Insn::PutField {
+                object: 3,
+                field: 0,
+                value: 0,
+            },
             // 4: E.f = D
-            Insn::PutField { object: 4, field: 0, value: 3 },
+            Insn::PutField {
+                object: 4,
+                field: 0,
+                value: 3,
+            },
             // 5: E.f = null
-            Insn::PutField { object: 4, field: 0, value: 5 },
+            Insn::PutField {
+                object: 4,
+                field: 0,
+                value: 5,
+            },
         ];
-        code.push(Insn::GetStatic { static_id: e_static, dst: 4 });
+        code.push(Insn::GetStatic {
+            static_id: e_static,
+            dst: 4,
+        });
         code.push(Insn::LoadNull { dst: 5 });
         for insn in stores.into_iter().take(steps) {
             code.push(insn);
@@ -70,31 +93,85 @@ fn figure_2_program(steps: usize) -> Program {
     }
 
     // m4 allocates D (earliest referencing frame 4) and calls m5.
-    let m4 = pb.method("m4", 3, 4, vec![
-        Insn::New { class: node, dst: 3 },
-        Insn::Call { method: m5, args: vec![0, 1, 2, 3], dst: None },
-        Insn::Return { value: None },
-    ]);
+    let m4 = pb.method(
+        "m4",
+        3,
+        4,
+        vec![
+            Insn::New {
+                class: node,
+                dst: 3,
+            },
+            Insn::Call {
+                method: m5,
+                args: vec![0, 1, 2, 3],
+                dst: None,
+            },
+            Insn::Return { value: None },
+        ],
+    );
     // m3 allocates A (earliest frame 3).
-    let m3 = pb.method("m3", 2, 3, vec![
-        Insn::New { class: node, dst: 2 },
-        Insn::Call { method: m4, args: vec![0, 1, 2], dst: None },
-        Insn::Return { value: None },
-    ]);
+    let m3 = pb.method(
+        "m3",
+        2,
+        3,
+        vec![
+            Insn::New {
+                class: node,
+                dst: 2,
+            },
+            Insn::Call {
+                method: m4,
+                args: vec![0, 1, 2],
+                dst: None,
+            },
+            Insn::Return { value: None },
+        ],
+    );
     // m2 allocates B (earliest frame 2).
-    let m2 = pb.method("m2", 1, 2, vec![
-        Insn::New { class: node, dst: 1 },
-        Insn::Call { method: m3, args: vec![0, 1], dst: None },
-        Insn::Return { value: None },
-    ]);
+    let m2 = pb.method(
+        "m2",
+        1,
+        2,
+        vec![
+            Insn::New {
+                class: node,
+                dst: 1,
+            },
+            Insn::Call {
+                method: m3,
+                args: vec![0, 1],
+                dst: None,
+            },
+            Insn::Return { value: None },
+        ],
+    );
     // main (frame 1) allocates E (made static) and C, then starts the chain.
-    let main = pb.method("main", 0, 2, vec![
-        Insn::New { class: node, dst: 0 },
-        Insn::PutStatic { static_id: e_static, value: 0 },
-        Insn::New { class: node, dst: 0 }, // C
-        Insn::Call { method: m2, args: vec![0], dst: None },
-        Insn::Return { value: None },
-    ]);
+    let main = pb.method(
+        "main",
+        0,
+        2,
+        vec![
+            Insn::New {
+                class: node,
+                dst: 0,
+            },
+            Insn::PutStatic {
+                static_id: e_static,
+                value: 0,
+            },
+            Insn::New {
+                class: node,
+                dst: 0,
+            }, // C
+            Insn::Call {
+                method: m2,
+                args: vec![0],
+                dst: None,
+            },
+            Insn::Return { value: None },
+        ],
+    );
     pb.set_entry(main);
     pb.build()
 }

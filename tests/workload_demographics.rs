@@ -37,7 +37,10 @@ fn measure(name: &str, size: Size) -> Shape {
         collectable_no_opt: no_opt.collector().stats().collectable_percent(),
         static_percent: percent(breakdown.static_objects, stats.objects_created),
         thread_percent: percent(breakdown.thread_shared, stats.objects_created),
-        exact_percent_of_collected: percent(stats.objects_collected_exactly, stats.objects_collected),
+        exact_percent_of_collected: percent(
+            stats.objects_collected_exactly,
+            stats.objects_collected,
+        ),
         objects: stats.objects_created,
     }
 }
@@ -46,8 +49,16 @@ fn measure(name: &str, size: Size) -> Shape {
 fn compress_and_mpegaudio_are_mostly_long_lived() {
     for name in ["compress", "mpegaudio"] {
         let shape = measure(name, Size::S1);
-        assert!(shape.collectable < 20.0, "{name}: collectable {:.1}%", shape.collectable);
-        assert!(shape.static_percent > 75.0, "{name}: static {:.1}%", shape.static_percent);
+        assert!(
+            shape.collectable < 20.0,
+            "{name}: collectable {:.1}%",
+            shape.collectable
+        );
+        assert!(
+            shape.static_percent > 75.0,
+            "{name}: static {:.1}%",
+            shape.static_percent
+        );
         assert!(shape.objects < 10_000, "{name}: {} objects", shape.objects);
     }
 }
@@ -56,10 +67,18 @@ fn compress_and_mpegaudio_are_mostly_long_lived() {
 fn raytrace_and_mtrt_are_almost_entirely_collectable() {
     for name in ["raytrace", "mtrt"] {
         let shape = measure(name, Size::S1);
-        assert!(shape.collectable > 90.0, "{name}: collectable {:.1}%", shape.collectable);
+        assert!(
+            shape.collectable > 90.0,
+            "{name}: collectable {:.1}%",
+            shape.collectable
+        );
         // Thread sharing stays negligible even for the threaded tracer
         // (paper: about 1% of the static set).
-        assert!(shape.thread_percent < 5.0, "{name}: thread {:.1}%", shape.thread_percent);
+        assert!(
+            shape.thread_percent < 5.0,
+            "{name}: thread {:.1}%",
+            shape.thread_percent
+        );
     }
 }
 
@@ -82,14 +101,26 @@ fn db_and_jess_depend_heavily_on_the_static_optimisation() {
 #[test]
 fn javac_is_dominated_by_thread_shared_objects_at_size_1() {
     let shape = measure("javac", Size::S1);
-    assert!(shape.thread_percent > 40.0, "thread {:.1}%", shape.thread_percent);
-    assert!(shape.collectable < 40.0, "collectable {:.1}%", shape.collectable);
+    assert!(
+        shape.thread_percent > 40.0,
+        "thread {:.1}%",
+        shape.thread_percent
+    );
+    assert!(
+        shape.collectable < 40.0,
+        "collectable {:.1}%",
+        shape.collectable
+    );
 }
 
 #[test]
 fn jack_is_highly_collectable_with_many_exact_blocks() {
     let shape = measure("jack", Size::S1);
-    assert!(shape.collectable > 80.0, "collectable {:.1}%", shape.collectable);
+    assert!(
+        shape.collectable > 80.0,
+        "collectable {:.1}%",
+        shape.collectable
+    );
     assert!(
         (15.0..45.0).contains(&shape.exact_percent_of_collected),
         "exact {:.1}%",
