@@ -53,7 +53,8 @@ pub fn trace_live(roots: &RootSet, heap: &Heap) -> Vec<bool> {
         }
     }
     while let Some(handle) = worklist.pop() {
-        for target in heap.references_of(handle) {
+        // The borrowing iterator avoids allocating a Vec per marked object.
+        for target in heap.references_iter(handle) {
             if heap.is_live(target) && !marked[target.index_usize()] {
                 marked[target.index_usize()] = true;
                 worklist.push(target);

@@ -1,0 +1,155 @@
+//! A dense bitset keyed by handle index.
+//!
+//! The collector's "tainted" list (§3.1.4) — objects declared dead — is
+//! consulted on the soundness-verification path and updated on every
+//! frame-pop collection and every recycled allocation.  The seed kept it in
+//! a `HashSet<Handle>`; handle indices are dense (the heap mints them
+//! sequentially), so one bit per handle is both smaller and branch-free to
+//! probe.
+
+use cg_vm::Handle;
+
+const BITS: usize = u64::BITS as usize;
+
+/// A growable bitset over dense handle indices.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct HandleBitSet {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl HandleBitSet {
+    /// Creates an empty set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of handles currently in the set.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Whether `handle` is in the set.
+    #[inline]
+    pub fn contains(&self, handle: Handle) -> bool {
+        let index = handle.index_usize();
+        self.words
+            .get(index / BITS)
+            .is_some_and(|w| w & (1 << (index % BITS)) != 0)
+    }
+
+    /// Inserts `handle`; returns whether it was newly inserted.
+    #[inline]
+    pub fn insert(&mut self, handle: Handle) -> bool {
+        let index = handle.index_usize();
+        let word = index / BITS;
+        if word >= self.words.len() {
+            self.words.resize(word + 1, 0);
+        }
+        let mask = 1 << (index % BITS);
+        let fresh = self.words[word] & mask == 0;
+        self.words[word] |= mask;
+        self.len += fresh as usize;
+        fresh
+    }
+
+    /// Removes `handle`; returns whether it was present.
+    #[inline]
+    pub fn remove(&mut self, handle: Handle) -> bool {
+        let index = handle.index_usize();
+        let Some(word) = self.words.get_mut(index / BITS) else {
+            return false;
+        };
+        let mask = 1 << (index % BITS);
+        let present = *word & mask != 0;
+        *word &= !mask;
+        self.len -= present as usize;
+        present
+    }
+
+    /// Removes every handle from the set.
+    pub fn clear(&mut self) {
+        self.words.clear();
+        self.len = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn h(i: u32) -> Handle {
+        Handle::from_index(i)
+    }
+
+    #[test]
+    fn insert_contains_remove_roundtrip() {
+        let mut set = HandleBitSet::new();
+        assert!(set.is_empty());
+        assert!(!set.contains(h(5)));
+        assert!(set.insert(h(5)));
+        assert!(!set.insert(h(5)));
+        assert!(set.contains(h(5)));
+        assert_eq!(set.len(), 1);
+        assert!(set.remove(h(5)));
+        assert!(!set.remove(h(5)));
+        assert!(!set.contains(h(5)));
+        assert!(set.is_empty());
+    }
+
+    #[test]
+    fn grows_across_word_boundaries() {
+        let mut set = HandleBitSet::new();
+        for i in [0u32, 63, 64, 65, 127, 128, 1000] {
+            assert!(set.insert(h(i)));
+        }
+        assert_eq!(set.len(), 7);
+        for i in [0u32, 63, 64, 65, 127, 128, 1000] {
+            assert!(set.contains(h(i)));
+        }
+        assert!(!set.contains(h(999)));
+        assert!(!set.contains(h(1001)));
+        assert!(!set.contains(h(100_000)));
+    }
+
+    #[test]
+    fn remove_beyond_capacity_is_noop() {
+        let mut set = HandleBitSet::new();
+        assert!(!set.remove(h(1 << 20)));
+        set.insert(h(3));
+        set.clear();
+        assert!(set.is_empty());
+        assert!(!set.contains(h(3)));
+    }
+
+    mod properties {
+        use super::*;
+        use cg_testutil::TestRng;
+        use std::collections::HashSet;
+
+        /// The bitset behaves exactly like a `HashSet<Handle>` under random
+        /// insert/remove/query sequences (the representation it replaced).
+        #[test]
+        fn matches_hash_set_model() {
+            for seed in 0..32u64 {
+                let mut rng = TestRng::new(seed);
+                let mut set = HandleBitSet::new();
+                let mut model: HashSet<u32> = HashSet::new();
+                for _ in 0..rng.gen_range(10, 400) {
+                    let index = rng.gen_range(0, 300) as u32;
+                    match rng.gen_range(0, 3) {
+                        0 => assert_eq!(set.insert(h(index)), model.insert(index)),
+                        1 => assert_eq!(set.remove(h(index)), model.remove(&index)),
+                        _ => assert_eq!(set.contains(h(index)), model.contains(&index)),
+                    }
+                    assert_eq!(set.len(), model.len(), "seed {seed}");
+                }
+            }
+        }
+    }
+}

@@ -1,13 +1,14 @@
 //! The contaminated garbage collector.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::HashMap;
 
 use cg_unionfind::ElementId;
-use cg_vm::{
-    ClassId, CollectOutcome, Collector, FrameId, FrameInfo, Handle, Heap, RootSet, ThreadId,
-};
+use cg_vm::{ClassId, CollectOutcome, Collector, FrameInfo, Handle, Heap, RootSet, ThreadId};
 
+use crate::bitset::HandleBitSet;
 use crate::equilive::{EquiliveSets, FrameKey, StaticReason};
+use crate::frame_index::FrameBlockIndex;
+use crate::recycle::{RecycleBins, RecyclePolicy};
 use crate::stats::{CgStats, ObjectBreakdown};
 
 /// Configuration of the contaminated collector.
@@ -20,6 +21,10 @@ pub struct CgConfig {
     /// recycle list and reused to satisfy later allocations instead of being
     /// freed immediately.
     pub recycling: bool,
+    /// How the recycle list is searched when `recycling` is on: the paper's
+    /// first-fit scan in collection order (the default, backing the §4.8
+    /// cost accounting) or size-segregated bins.
+    pub recycle_policy: RecyclePolicy,
     /// Verify that the program never touches an object the collector
     /// considers dead (the "tainted" list of §3.1.4).  Violations indicate a
     /// soundness bug and panic.
@@ -31,6 +36,7 @@ impl Default for CgConfig {
         Self {
             static_opt: true,
             recycling: false,
+            recycle_policy: RecyclePolicy::FirstFit,
             verify_tainted: cfg!(debug_assertions),
         }
     }
@@ -52,10 +58,21 @@ impl CgConfig {
         }
     }
 
-    /// The recycling configuration of §3.7 / Figures 4.12–4.13.
+    /// The recycling configuration of §3.7 / Figures 4.12–4.13 (first-fit
+    /// search of the recycle list, as in the paper).
     pub fn with_recycling() -> Self {
         Self {
             recycling: true,
+            ..Self::default()
+        }
+    }
+
+    /// Recycling with size-segregated bins instead of the paper's first-fit
+    /// list scan.
+    pub fn with_segregated_recycling() -> Self {
+        Self {
+            recycling: true,
+            recycle_policy: RecyclePolicy::SegregatedBins,
             ..Self::default()
         }
     }
@@ -112,14 +129,13 @@ pub struct ContaminatedGc {
     sets: EquiliveSets,
     /// Indexed by handle index.
     objects: Vec<Option<ObjData>>,
-    /// Blocks (by root element) dependent on each live frame.
-    frame_blocks: HashMap<FrameId, HashSet<ElementId>>,
-    /// Blocks dependent on the static pseudo-frame.
-    static_blocks: HashSet<ElementId>,
-    /// Dead objects kept for reuse (§3.7), in collection order.
-    recycle_list: Vec<Handle>,
-    /// Objects known to be dead (§3.1.4).
-    tainted: HashSet<Handle>,
+    /// Blocks (by root element) dependent on each live frame and on the
+    /// static pseudo-frame, as dense per-thread stacks.
+    frame_index: FrameBlockIndex,
+    /// Dead objects kept for reuse (§3.7).
+    recycle: RecycleBins,
+    /// Objects known to be dead (§3.1.4), one bit per handle index.
+    tainted: HandleBitSet,
     /// Final object disposition, computed when the program ends.
     breakdown: Option<ObjectBreakdown>,
     stats: CgStats,
@@ -143,10 +159,9 @@ impl ContaminatedGc {
             config,
             sets: EquiliveSets::new(),
             objects: Vec::new(),
-            frame_blocks: HashMap::new(),
-            static_blocks: HashSet::new(),
-            recycle_list: Vec::new(),
-            tainted: HashSet::new(),
+            frame_index: FrameBlockIndex::new(),
+            recycle: RecycleBins::new(config.recycle_policy),
+            tainted: HandleBitSet::new(),
             breakdown: None,
             stats: CgStats::new(),
         }
@@ -169,12 +184,12 @@ impl ContaminatedGc {
 
     /// Number of dead objects currently awaiting reuse on the recycle list.
     pub fn recycle_list_len(&self) -> usize {
-        self.recycle_list.len()
+        self.recycle.len()
     }
 
     /// Whether the collector believes `handle` is dead.
     pub fn is_tainted(&self, handle: Handle) -> bool {
-        self.tainted.contains(&handle)
+        self.tainted.contains(handle)
     }
 
     /// Final disposition of every created object (popped / static /
@@ -238,46 +253,28 @@ impl ContaminatedGc {
     }
 
     fn attach(&mut self, root: ElementId, key: FrameKey) {
-        match key {
-            FrameKey::Static => {
-                self.static_blocks.insert(root);
-            }
-            FrameKey::Frame { id, .. } => {
-                self.frame_blocks.entry(id).or_default().insert(root);
-            }
-        }
-    }
-
-    fn detach(&mut self, root: ElementId, key: FrameKey) {
-        match key {
-            FrameKey::Static => {
-                self.static_blocks.remove(&root);
-            }
-            FrameKey::Frame { id, .. } => {
-                if let Some(bucket) = self.frame_blocks.get_mut(&id) {
-                    bucket.remove(&root);
-                    if bucket.is_empty() {
-                        self.frame_blocks.remove(&id);
-                    }
-                }
-            }
-        }
+        self.frame_index.attach(root, key);
     }
 
     /// Unions the blocks of two elements (the contamination step), keeping
-    /// the per-frame indexes consistent.
+    /// the per-frame index consistent.
     fn contaminate(&mut self, a: ElementId, b: ElementId) {
         let ra = self.sets.find(a);
         let rb = self.sets.find(b);
         if ra == rb {
             return;
         }
-        let ka = self.sets.block(ra).key;
-        let kb = self.sets.block(rb).key;
-        self.detach(ra, ka);
-        self.detach(rb, kb);
-        let root = self.sets.union(a, b);
-        let merged_key = self.sets.block(root).key;
+        self.contaminate_roots(ra, rb);
+    }
+
+    /// The contamination step for two elements already resolved to distinct
+    /// roots — the store barrier resolves each operand's root exactly once
+    /// per event and comes through here.
+    fn contaminate_roots(&mut self, ra: ElementId, rb: ElementId) {
+        self.frame_index.detach(ra);
+        self.frame_index.detach(rb);
+        let root = self.sets.union_roots(ra, rb);
+        let merged_key = self.sets.block_of_root(root).key;
         self.attach(root, merged_key);
         self.stats.unions += 1;
     }
@@ -285,21 +282,27 @@ impl ContaminatedGc {
     /// Moves the block of `elem` to depend on `new_key`.
     fn retarget(&mut self, elem: ElementId, new_key: FrameKey, reason: StaticReason) {
         let root = self.sets.find(elem);
-        let old_key = self.sets.block(root).key;
+        self.retarget_root(root, new_key, reason);
+    }
+
+    /// [`ContaminatedGc::retarget`] for an element already resolved to its
+    /// root.
+    fn retarget_root(&mut self, root: ElementId, new_key: FrameKey, reason: StaticReason) {
+        let old_key = self.sets.block_of_root(root).key;
         if old_key == new_key {
             if new_key.is_static() && reason == StaticReason::ThreadShared {
                 // Upgrade the recorded reason: thread sharing is the more
                 // specific diagnosis for the experiment breakdown.
-                let block = self.sets.block_mut(root);
+                let block = self.sets.block_mut_of_root(root);
                 if block.static_reason == StaticReason::NotStatic {
                     block.static_reason = reason;
                 }
             }
             return;
         }
-        self.detach(root, old_key);
+        self.frame_index.detach(root);
         {
-            let block = self.sets.block_mut(root);
+            let block = self.sets.block_mut_of_root(root);
             block.key = new_key;
             if new_key.is_static() {
                 block.static_reason = reason;
@@ -354,7 +357,7 @@ impl ContaminatedGc {
                 }
             }
         }
-        self.recycle_list
+        self.recycle
             .retain(|h| live.get(h.index_usize()).copied().unwrap_or(false));
     }
 
@@ -393,8 +396,7 @@ impl ContaminatedGc {
 
         // Dissolve all per-frame lists; every live object gets a fresh
         // element below.
-        self.frame_blocks.clear();
-        self.static_blocks.clear();
+        self.frame_index.clear();
 
         // Breadth of reassignment: handle -> new element.
         let mut new_elem: HashMap<Handle, ElementId> = HashMap::new();
@@ -428,7 +430,9 @@ impl ContaminatedGc {
             let root_elem = assign(cg, new_elem, root, key);
             let mut worklist = vec![(root, root_elem)];
             while let Some((handle, elem)) = worklist.pop() {
-                for target in heap.references_of(handle) {
+                // The borrowing iterator keeps this traversal from
+                // allocating a Vec per visited object.
+                for target in heap.references_iter(handle) {
                     if !heap.is_live(target) {
                         continue;
                     }
@@ -472,10 +476,10 @@ impl ContaminatedGc {
 
 impl Collector for ContaminatedGc {
     fn name(&self) -> &str {
-        if self.config.recycling {
-            "cg+recycle"
-        } else {
-            "cg"
+        match (self.config.recycling, self.config.recycle_policy) {
+            (false, _) => "cg",
+            (true, RecyclePolicy::FirstFit) => "cg+recycle",
+            (true, RecyclePolicy::SegregatedBins) => "cg+recycle-seg",
         }
     }
 
@@ -493,24 +497,27 @@ impl Collector for ContaminatedGc {
         self.stats.contaminations += 1;
         let source_elem = self.elem_of(source, frame);
         let target_elem = self.elem_of(target, frame);
+        // Resolve each operand's root exactly once per event (the seed ran
+        // up to six finds here: two in the static-optimisation probes and
+        // two more inside the contamination step).
+        let source_root = self.sets.find(source_elem);
+        let target_root = self.sets.find(target_elem);
+        if source_root == target_root {
+            // Already equilive: nothing can change.
+            return;
+        }
         if self.config.static_opt {
-            let target_static = {
-                let root = self.sets.find(target_elem);
-                self.sets.block(root).is_static()
-            };
-            let source_static = {
-                let root = self.sets.find(source_elem);
-                self.sets.block(root).is_static()
-            };
             // §3.4: referencing an object that is already static cannot make
             // that object any more live, so there is no need to drag the
             // referencing object into the static set.
+            let target_static = self.sets.block_of_root(target_root).is_static();
+            let source_static = self.sets.block_of_root(source_root).is_static();
             if target_static && !source_static {
                 self.stats.static_opt_skips += 1;
                 return;
             }
         }
-        self.contaminate(source_elem, target_elem);
+        self.contaminate_roots(source_root, target_root);
     }
 
     fn on_static_store(&mut self, target: Handle, _heap: &Heap) {
@@ -532,15 +539,18 @@ impl Collector for ContaminatedGc {
     }
 
     fn on_frame_pop(&mut self, frame: &FrameInfo, heap: &mut Heap) -> CollectOutcome {
-        let Some(roots) = self.frame_blocks.remove(&frame.id) else {
-            return CollectOutcome::default();
-        };
         let mut freed_objects = 0u64;
         let mut freed_bytes = 0u64;
-        for root in roots {
-            let block = self.sets.block(root);
-            debug_assert_eq!(block.key.frame_id(), Some(frame.id));
-            let members = block.members.clone();
+        // Frames pop LIFO, so the bucket at this frame's depth holds exactly
+        // this frame's blocks; draining it is pop-after-pop, no hash lookup
+        // and no member-list clone.
+        while let Some(root) = self.frame_index.pop_frame_block(frame.thread, frame.depth) {
+            debug_assert_eq!(self.sets.block_of_root(root).key.frame_id(), Some(frame.id));
+            // The block is dying with its frame: move the member list out
+            // instead of cloning it.  A recycled member re-registers as a
+            // fresh incarnation with a fresh element, so the emptied list is
+            // never observed again.
+            let members = std::mem::take(&mut self.sets.block_mut_of_root(root).members);
             let block_size = members.len();
             self.stats.block_sizes.record(block_size as u64);
             for handle in members {
@@ -559,18 +569,24 @@ impl Collector for ContaminatedGc {
                 let age = data.birth_depth.saturating_sub(frame.depth);
                 self.stats.age_at_death.record(age as u64);
 
-                let recyclable = self.config.recycling
-                    && heap.get(handle).map(|o| !o.is_array()).unwrap_or(false);
-                if recyclable {
-                    // Defer the free: the object waits on the recycle list
-                    // and is handed back to the allocator later (§3.7).
-                    self.recycle_list.push(handle);
-                } else {
-                    let bytes = heap
-                        .free(handle)
-                        .expect("collected object must still be live");
-                    freed_bytes += bytes as u64;
-                    freed_objects += 1;
+                let slot_count = match heap.get(handle) {
+                    Ok(object) if !object.is_array() => Some(object.slot_count()),
+                    _ => None,
+                };
+                match slot_count {
+                    Some(slots) if self.config.recycling => {
+                        // Defer the free: the object waits on the recycle
+                        // list and is handed back to the allocator later
+                        // (§3.7).
+                        self.recycle.push(handle, slots);
+                    }
+                    _ => {
+                        let bytes = heap
+                            .free(handle)
+                            .expect("collected object must still be live");
+                        freed_bytes += bytes as u64;
+                        freed_objects += 1;
+                    }
                 }
             }
         }
@@ -608,22 +624,23 @@ impl Collector for ContaminatedGc {
         if !self.config.recycling {
             return None;
         }
-        // First-fit search of the recycle list (§3.7).
-        for i in 0..self.recycle_list.len() {
-            self.stats.recycle_probes += 1;
-            let handle = self.recycle_list[i];
-            let fits = heap
-                .get(handle)
-                .map(|o| !o.is_array() && o.slot_count() >= field_count)
-                .unwrap_or(false);
-            if fits && heap.reinitialize(handle, class, field_count).is_ok() {
-                self.recycle_list.remove(i);
-                self.tainted.remove(&handle);
-                self.stats.objects_recycled += 1;
-                // `on_allocate` follows and re-registers the handle as a new
-                // object incarnation.
-                return Some(handle);
-            }
+        // Search the recycle structure (§3.7) under the configured policy;
+        // every examined corpse is charged to `recycle_probes`.
+        let taken = self
+            .recycle
+            .take(field_count, &mut self.stats.recycle_probes, |handle| {
+                let fits = heap
+                    .get(handle)
+                    .map(|o| !o.is_array() && o.slot_count() >= field_count)
+                    .unwrap_or(false);
+                fits && heap.reinitialize(handle, class, field_count).is_ok()
+            });
+        if let Some(handle) = taken {
+            self.tainted.remove(handle);
+            self.stats.objects_recycled += 1;
+            // `on_allocate` follows and re-registers the handle as a new
+            // object incarnation.
+            return Some(handle);
         }
         None
     }
@@ -1097,8 +1114,86 @@ mod tests {
             ContaminatedGc::with_config(CgConfig::with_recycling()).name(),
             "cg+recycle"
         );
+        assert_eq!(
+            ContaminatedGc::with_config(CgConfig::with_segregated_recycling()).name(),
+            "cg+recycle-seg"
+        );
         assert!(CgConfig::preferred().static_opt);
         assert!(!CgConfig::without_static_opt().static_opt);
+        assert!(CgConfig::with_segregated_recycling().recycling);
+    }
+
+    /// A program whose helpers churn through mixed-size temporaries: many
+    /// small objects and a few large ones, each batch dying on return.
+    fn mixed_size_churn() -> Program {
+        let mut p = Program::new();
+        let small = p.add_class(ClassDef::new("Small", 1));
+        let big = p.add_class(ClassDef::new("Big", 6));
+        let small_helper = p.add_method(MethodDef::new(
+            "smalls",
+            0,
+            8,
+            (0..8u16)
+                .map(|i| Insn::New {
+                    class: small,
+                    dst: i,
+                })
+                .chain([Insn::Return { value: None }])
+                .collect(),
+        ));
+        let big_helper = p.add_method(MethodDef::new(
+            "big",
+            0,
+            1,
+            vec![
+                Insn::New { class: big, dst: 0 },
+                Insn::Return { value: None },
+            ],
+        ));
+        let mut code = Vec::new();
+        for _ in 0..4 {
+            code.push(Insn::Call {
+                method: small_helper,
+                args: vec![],
+                dst: None,
+            });
+            code.push(Insn::Call {
+                method: big_helper,
+                args: vec![],
+                dst: None,
+            });
+        }
+        code.push(Insn::Return { value: None });
+        let main = p.add_method(MethodDef::new("main", 0, 1, code));
+        p.set_entry(main);
+        p
+    }
+
+    #[test]
+    fn segregated_recycling_reuses_as_much_with_fewer_probes() {
+        let first_fit = run_with(mixed_size_churn(), CgConfig::with_recycling());
+        let segregated = run_with(mixed_size_churn(), CgConfig::with_segregated_recycling());
+        let ff = first_fit.collector().stats();
+        let seg = segregated.collector().stats();
+        // Both policies find a reusable corpse whenever one exists, so the
+        // recycle counts agree...
+        assert_eq!(ff.objects_created, seg.objects_created);
+        assert_eq!(ff.objects_recycled, seg.objects_recycled);
+        assert!(seg.objects_recycled > 0);
+        // ...but first fit pays a scan over the (mostly too-small) list for
+        // every big request, while the bins jump straight to the right
+        // class.
+        assert!(
+            seg.recycle_probes < ff.recycle_probes,
+            "segregated probes {} vs first-fit {}",
+            seg.recycle_probes,
+            ff.recycle_probes
+        );
+        // The recycled heap footprint is identical either way.
+        assert_eq!(
+            first_fit.heap().stats().objects_allocated,
+            segregated.heap().stats().objects_allocated
+        );
     }
 
     #[test]

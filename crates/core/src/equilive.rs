@@ -263,14 +263,44 @@ impl EquiliveSets {
         self.sets.union(a, b).root
     }
 
+    /// Unions the blocks of two elements already known to be distinct
+    /// current roots, skipping the finds (the store barrier resolves each
+    /// operand's root exactly once per event).
+    pub fn union_roots(&mut self, ra: ElementId, rb: ElementId) -> ElementId {
+        self.sets.union_roots(ra, rb).root
+    }
+
     /// The block containing `elem`.
     pub fn block(&mut self, elem: ElementId) -> &BlockInfo {
         self.sets.payload(elem).expect("element exists")
     }
 
+    /// The block whose representative is `root`, without a find.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `root` is not a current set representative.
+    pub fn block_of_root(&self, root: ElementId) -> &BlockInfo {
+        self.sets
+            .payload_of_root(root)
+            .expect("root carries a block")
+    }
+
     /// Mutable access to the block containing `elem`.
     pub fn block_mut(&mut self, elem: ElementId) -> &mut BlockInfo {
         self.sets.payload_mut(elem).expect("element exists")
+    }
+
+    /// Mutable access to the block whose representative is `root`, without
+    /// a find.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `root` is not a current set representative.
+    pub fn block_mut_of_root(&mut self, root: ElementId) -> &mut BlockInfo {
+        self.sets
+            .payload_mut_of_root(root)
+            .expect("root carries a block")
     }
 
     /// Iterates over `(root, block)` pairs for every current block, including

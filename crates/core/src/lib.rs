@@ -76,12 +76,18 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod bitset;
 pub mod collector;
 pub mod equilive;
+pub mod frame_index;
 pub mod hybrid;
+pub mod recycle;
 pub mod stats;
 
+pub use bitset::HandleBitSet;
 pub use collector::{CgConfig, ContaminatedGc};
 pub use equilive::{BlockInfo, EquiliveSets, FrameKey, StaticReason};
+pub use frame_index::FrameBlockIndex;
 pub use hybrid::{HybridCollector, HybridConfig};
+pub use recycle::{RecycleBins, RecyclePolicy};
 pub use stats::{CgStats, ObjectBreakdown};

@@ -1,19 +1,62 @@
-//! The object-space allocator: a first-fit free list over a simulated
-//! address range, modelled on the JDK 1.1.8 allocator the paper describes.
+//! The object-space allocator: a free list over a simulated address range,
+//! modelled on the JDK 1.1.8 allocator the paper describes, with a pluggable
+//! search policy.
 //!
 //! The original allocator "does a linear search through the object pool to
 //! find the first object that is at least as big as requested (and also tries
 //! to coalesce two contiguous objects to make a block big enough)" and "keeps
 //! track of the last location where it allocated an object from" (§3.7).
-//! [`ObjectSpace`] reproduces exactly that: a rover cursor, first-fit search
-//! with wrap-around, block splitting, and coalescing of adjacent free blocks
-//! when objects are freed.
+//! [`AllocPolicy::FirstFitRover`] reproduces exactly that: a rover cursor,
+//! first-fit search with wrap-around, block splitting, and coalescing of
+//! adjacent free blocks when objects are freed.  It stays the default — the
+//! §4.8 recycling experiment contrasts the recycle list's cost against
+//! precisely this search, so [`ObjectSpace::search_steps`] must keep meaning
+//! "blocks examined by the linear search".
+//!
+//! [`AllocPolicy::SegregatedFit`] is the modern alternative: free blocks are
+//! indexed by power-of-two size class, so an allocation probes only bins
+//! that could possibly fit instead of walking the address-ordered list.  The
+//! bins hold *candidate* addresses and are validated lazily against the
+//! block map (a block may have been carved or coalesced since it was
+//! binned); stale entries are dropped on discovery, so every free block is
+//! reachable through exactly its current size class.
 
 use std::collections::BTreeMap;
 
 /// Address of a block within the object space (byte offset from the start of
 /// the space).
 pub type BlockAddr = usize;
+
+/// How [`ObjectSpace::alloc`] searches for a free block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum AllocPolicy {
+    /// The paper-faithful JDK 1.1.8 search: first fit starting at the rover
+    /// (the point of the last allocation), wrapping around to the start of
+    /// the space.  O(free blocks) per allocation.
+    #[default]
+    FirstFitRover,
+    /// Segregated free lists: free blocks indexed by power-of-two size
+    /// class; an allocation probes the smallest class that can fit and
+    /// walks upward.  O(size classes) bin probes per allocation.
+    SegregatedFit,
+}
+
+impl AllocPolicy {
+    /// Short label used in benchmark names and reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            AllocPolicy::FirstFitRover => "first_fit",
+            AllocPolicy::SegregatedFit => "segregated",
+        }
+    }
+}
+
+/// Size class of a block: the bit length of its size, so class `c` holds
+/// sizes in `[2^(c-1), 2^c)`.  Blocks in classes above `class_of(size)` are
+/// always large enough for `size`.
+fn class_of(size: usize) -> usize {
+    (usize::BITS - size.leading_zeros()) as usize
+}
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 struct Block {
@@ -67,21 +110,38 @@ pub struct ObjectSpace {
     /// next first-fit search begins.
     rover: BlockAddr,
     used: usize,
-    /// Cumulative number of blocks examined by first-fit searches; the
-    /// recycling experiment (§4.8) contrasts this cost against the recycle
-    /// list's.
+    /// Cumulative number of blocks examined by searches (linear blocks for
+    /// first fit, bin entries for segregated fit); the recycling experiment
+    /// (§4.8) contrasts this cost against the recycle list's.
     search_steps: u64,
     allocations: u64,
     frees: u64,
+    policy: AllocPolicy,
+    /// Candidate free-block addresses per size class (SegregatedFit only;
+    /// empty under FirstFitRover).  Entries are validated lazily against
+    /// `blocks`: an entry is *stale* — and dropped on discovery — when its
+    /// address no longer starts a free block of that class.
+    bins: Vec<Vec<BlockAddr>>,
 }
 
 impl ObjectSpace {
-    /// Creates an empty object space of `capacity` bytes.
+    /// Creates an empty object space of `capacity` bytes with the default
+    /// (paper-faithful first-fit) policy.
     ///
     /// # Panics
     ///
     /// Panics if `capacity` is zero.
     pub fn new(capacity: usize) -> Self {
+        Self::with_policy(capacity, AllocPolicy::FirstFitRover)
+    }
+
+    /// Creates an empty object space of `capacity` bytes using `policy` for
+    /// free-block searches.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn with_policy(capacity: usize, policy: AllocPolicy) -> Self {
         assert!(capacity > 0, "object space capacity must be positive");
         let mut blocks = BTreeMap::new();
         blocks.insert(
@@ -91,7 +151,7 @@ impl ObjectSpace {
                 free: true,
             },
         );
-        Self {
+        let mut space = Self {
             capacity,
             blocks,
             rover: 0,
@@ -99,6 +159,26 @@ impl ObjectSpace {
             search_steps: 0,
             allocations: 0,
             frees: 0,
+            policy,
+            bins: match policy {
+                AllocPolicy::FirstFitRover => Vec::new(),
+                AllocPolicy::SegregatedFit => vec![Vec::new(); class_of(capacity) + 1],
+            },
+        };
+        space.bin_insert(0, capacity);
+        space
+    }
+
+    /// The policy this space searches with.
+    pub fn policy(&self) -> AllocPolicy {
+        self.policy
+    }
+
+    /// Records a newly created/resized free block in its size-class bin
+    /// (no-op under FirstFitRover).
+    fn bin_insert(&mut self, addr: BlockAddr, size: usize) {
+        if self.policy == AllocPolicy::SegregatedFit {
+            self.bins[class_of(size)].push(addr);
         }
     }
 
@@ -127,7 +207,8 @@ impl ObjectSpace {
         self.frees
     }
 
-    /// Cumulative number of blocks examined during first-fit searches.
+    /// Cumulative number of blocks (or bin entries) examined during
+    /// free-block searches.
     pub fn search_steps(&self) -> u64 {
         self.search_steps
     }
@@ -135,18 +216,23 @@ impl ObjectSpace {
     /// Allocates `size` bytes, returning the block address, or `None` if no
     /// free block is large enough.
     ///
-    /// The search is first-fit starting at the rover (the point of the last
-    /// allocation) and wraps around to the beginning of the space, exactly
-    /// like the JDK 1.1.8 allocator the paper builds on.
+    /// Under [`AllocPolicy::FirstFitRover`] the search is first-fit starting
+    /// at the rover (the point of the last allocation) and wraps around to
+    /// the beginning of the space, exactly like the JDK 1.1.8 allocator the
+    /// paper builds on.  Under [`AllocPolicy::SegregatedFit`] the search
+    /// probes the size-class bins instead.
     ///
     /// # Panics
     ///
     /// Panics if `size` is zero.
     pub fn alloc(&mut self, size: usize) -> Option<BlockAddr> {
         assert!(size > 0, "cannot allocate zero bytes");
-        let found = self
-            .find_first_fit(self.rover, size)
-            .or_else(|| self.find_first_fit(0, size))?;
+        let found = match self.policy {
+            AllocPolicy::FirstFitRover => self
+                .find_first_fit(self.rover, size)
+                .or_else(|| self.find_first_fit(0, size))?,
+            AllocPolicy::SegregatedFit => self.find_segregated(size)?,
+        };
         self.carve(found, size);
         self.rover = found + size;
         if self.rover >= self.capacity {
@@ -228,6 +314,17 @@ impl ObjectSpace {
         }
         assert_eq!(cursor, self.capacity, "blocks must cover the whole space");
         assert_eq!(used, self.used, "used-byte accounting drifted");
+        if self.policy == AllocPolicy::SegregatedFit {
+            // Every free block must be reachable through its current size
+            // class — lazy deletion may leave stale entries behind, but a
+            // live entry must exist or the block is lost to the allocator.
+            for (&addr, block) in self.blocks.iter().filter(|(_, b)| b.free) {
+                assert!(
+                    self.bins[class_of(block.size)].contains(&addr),
+                    "free block at {addr} missing from its size-class bin"
+                );
+            }
+        }
     }
 
     /// Finds the first free block at or after `start` that can hold `size`
@@ -247,6 +344,42 @@ impl ObjectSpace {
         found
     }
 
+    /// Finds a free block that can hold `size` bytes by probing the
+    /// size-class bins from the smallest possibly-fitting class upward,
+    /// dropping stale entries along the way.
+    fn find_segregated(&mut self, size: usize) -> Option<BlockAddr> {
+        let start = class_of(size);
+        let mut steps = 0u64;
+        let mut found = None;
+        'classes: for class in start..self.bins.len() {
+            let mut i = 0;
+            while i < self.bins[class].len() {
+                steps += 1;
+                let addr = self.bins[class][i];
+                match self.blocks.get(&addr) {
+                    // Live entry: the address still starts a free block of
+                    // this class.
+                    Some(block) if block.free && class_of(block.size) == class => {
+                        if block.size >= size {
+                            self.bins[class].swap_remove(i);
+                            found = Some(addr);
+                            break 'classes;
+                        }
+                        // Only the starting class can hold too-small
+                        // blocks; keep the entry for smaller requests.
+                        i += 1;
+                    }
+                    // Stale: carved, coalesced away, or re-classed.
+                    _ => {
+                        self.bins[class].swap_remove(i);
+                    }
+                }
+            }
+        }
+        self.search_steps += steps;
+        found
+    }
+
     /// Marks `size` bytes at the start of the free block at `addr` as
     /// allocated, splitting off the remainder as a new free block.
     fn carve(&mut self, addr: BlockAddr, size: usize) {
@@ -262,6 +395,7 @@ impl ObjectSpace {
                     free: true,
                 },
             );
+            self.bin_insert(addr + size, remainder);
         }
     }
 
@@ -289,6 +423,7 @@ impl ObjectSpace {
         }
 
         self.blocks.insert(start, Block { size, free: true });
+        self.bin_insert(start, size);
         // Keep the rover pointing at a valid address.
         if self.rover >= self.capacity {
             self.rover = 0;
@@ -440,18 +575,109 @@ mod tests {
         s.check_invariants();
     }
 
+    #[test]
+    fn size_classes_partition_sizes() {
+        assert_eq!(class_of(1), 1);
+        assert_eq!(class_of(2), 2);
+        assert_eq!(class_of(3), 2);
+        assert_eq!(class_of(4), 3);
+        assert_eq!(class_of(7), 3);
+        assert_eq!(class_of(8), 4);
+        // Every block in a class above class_of(size) fits size.
+        for size in 1..256usize {
+            for block in 1..512usize {
+                if class_of(block) > class_of(size) {
+                    assert!(block >= size, "block {block} vs size {size}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn segregated_alloc_reuses_freed_blocks() {
+        let mut s = ObjectSpace::with_policy(64, AllocPolicy::SegregatedFit);
+        assert_eq!(s.policy(), AllocPolicy::SegregatedFit);
+        assert_eq!(s.policy().label(), "segregated");
+        let a = s.alloc(32).unwrap();
+        let _b = s.alloc(32).unwrap();
+        assert!(s.alloc(8).is_none());
+        s.free(a);
+        let c = s.alloc(32).unwrap();
+        assert_eq!(c, a);
+        s.check_invariants();
+    }
+
+    #[test]
+    fn segregated_coalescing_merges_neighbours() {
+        let mut s = ObjectSpace::with_policy(96, AllocPolicy::SegregatedFit);
+        let a = s.alloc(32).unwrap();
+        let b = s.alloc(32).unwrap();
+        let c = s.alloc(32).unwrap();
+        s.free(b);
+        s.free(a);
+        s.check_invariants();
+        assert_eq!(s.stats().largest_free_block, 64);
+        let d = s.alloc(64).unwrap();
+        assert_eq!(d, a);
+        s.free(c);
+        s.free(d);
+        s.check_invariants();
+        assert_eq!(s.stats().free_blocks, 1);
+        assert_eq!(s.stats().largest_free_block, 96);
+    }
+
+    #[test]
+    fn segregated_probes_fewer_blocks_than_first_fit_on_mixed_sizes() {
+        // Many small free holes in front of one large block: first fit
+        // walks the holes on every large request, segregated fit jumps
+        // straight to the big block's class.
+        let build = |policy: AllocPolicy| {
+            let mut s = ObjectSpace::with_policy(1 << 16, policy);
+            let mut small = Vec::new();
+            for _ in 0..256 {
+                small.push(s.alloc(8).unwrap());
+                s.alloc(8).unwrap(); // spacers prevent coalescing
+            }
+            for addr in small {
+                s.free(addr);
+            }
+            s
+        };
+        let mut first_fit = build(AllocPolicy::FirstFitRover);
+        let mut segregated = build(AllocPolicy::SegregatedFit);
+        // Reset the rover to the start so first fit has to walk the holes.
+        first_fit.rover = 0;
+        let before_ff = first_fit.search_steps();
+        let before_seg = segregated.search_steps();
+        assert!(first_fit.alloc(1024).is_some());
+        assert!(segregated.alloc(1024).is_some());
+        let ff_steps = first_fit.search_steps() - before_ff;
+        let seg_steps = segregated.search_steps() - before_seg;
+        assert!(
+            seg_steps * 8 <= ff_steps,
+            "segregated fit should probe far fewer blocks ({seg_steps} vs {ff_steps})"
+        );
+        first_fit.check_invariants();
+        segregated.check_invariants();
+    }
+
     mod properties {
         use super::*;
         use cg_testutil::TestRng;
 
         /// Random alloc/free interleavings preserve all invariants and
-        /// never hand out overlapping blocks.
+        /// never hand out overlapping blocks, under either policy.
         #[test]
         fn random_workload_preserves_invariants() {
             for seed in 0..64u64 {
+                let policy = if seed % 2 == 0 {
+                    AllocPolicy::FirstFitRover
+                } else {
+                    AllocPolicy::SegregatedFit
+                };
                 let mut rng = TestRng::new(seed);
                 let ops = rng.gen_range(10, 200);
-                let mut space = ObjectSpace::new(4096);
+                let mut space = ObjectSpace::with_policy(4096, policy);
                 let mut live: Vec<(BlockAddr, usize)> = Vec::new();
                 for _ in 0..ops {
                     if live.is_empty() || rng.gen_bool(0.6) {
@@ -482,12 +708,64 @@ mod tests {
             }
         }
 
+        /// The two policies place blocks differently but must agree on all
+        /// byte accounting (used, free, live-block count) across random
+        /// alloc/free workloads that fit comfortably in the space.
+        #[test]
+        fn policies_agree_on_accounting() {
+            for seed in 0..64u64 {
+                let mut rng = TestRng::new(seed);
+                let mut first_fit = ObjectSpace::with_policy(1 << 20, AllocPolicy::FirstFitRover);
+                let mut segregated = ObjectSpace::with_policy(1 << 20, AllocPolicy::SegregatedFit);
+                // Live blocks as (first_fit_addr, segregated_addr, size).
+                let mut live: Vec<(BlockAddr, BlockAddr, usize)> = Vec::new();
+                for _ in 0..rng.gen_range(20, 300) {
+                    if live.is_empty() || rng.gen_bool(0.6) {
+                        let size = rng.gen_range(1, 257);
+                        // The space is far larger than the workload's
+                        // footprint, so both policies must succeed.
+                        let fa = first_fit.alloc(size).expect("first fit fits");
+                        let sa = segregated.alloc(size).expect("segregated fits");
+                        live.push((fa, sa, size));
+                    } else {
+                        let idx = rng.gen_range(0, live.len());
+                        let (fa, sa, _) = live.swap_remove(idx);
+                        first_fit.free(fa);
+                        segregated.free(sa);
+                    }
+                    assert_eq!(first_fit.used(), segregated.used(), "seed {seed}");
+                    assert_eq!(
+                        first_fit.free_bytes(),
+                        segregated.free_bytes(),
+                        "seed {seed}"
+                    );
+                    assert_eq!(
+                        first_fit.stats().allocated_blocks,
+                        segregated.stats().allocated_blocks,
+                        "seed {seed}"
+                    );
+                    first_fit.check_invariants();
+                    segregated.check_invariants();
+                }
+                let live_total: usize = live.iter().map(|&(_, _, s)| s).sum();
+                assert_eq!(first_fit.used(), live_total, "seed {seed}");
+                assert_eq!(segregated.used(), live_total, "seed {seed}");
+                assert_eq!(first_fit.allocations(), segregated.allocations());
+                assert_eq!(first_fit.frees(), segregated.frees());
+            }
+        }
+
         /// Freeing everything always restores a single maximal free block.
         #[test]
         fn full_free_restores_whole_space() {
             for seed in 0..64u64 {
+                let policy = if seed % 2 == 0 {
+                    AllocPolicy::FirstFitRover
+                } else {
+                    AllocPolicy::SegregatedFit
+                };
                 let mut rng = TestRng::new(seed);
-                let mut space = ObjectSpace::new(2048);
+                let mut space = ObjectSpace::with_policy(2048, policy);
                 let mut live = Vec::new();
                 while let Some(addr) = space.alloc(rng.gen_range(1, 65)) {
                     live.push(addr);

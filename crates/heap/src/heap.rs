@@ -65,7 +65,7 @@ impl Heap {
     pub fn new(config: HeapConfig) -> Self {
         Self {
             config,
-            space: ObjectSpace::new(config.object_space_bytes),
+            space: ObjectSpace::with_policy(config.object_space_bytes, config.alloc_policy),
             slots: Vec::new(),
             live: 0,
             stats: HeapStats::default(),
@@ -359,8 +359,21 @@ impl Heap {
 
     /// The handles referenced by the object named by `handle` (empty if the
     /// handle is dead).
+    ///
+    /// Allocates a fresh `Vec` per call; traversal loops should prefer the
+    /// borrowing [`Heap::references_iter`].
     pub fn references_of(&self, handle: Handle) -> Vec<Handle> {
         self.get(handle).map(|o| o.references()).unwrap_or_default()
+    }
+
+    /// Iterates over the handles referenced by the object named by `handle`
+    /// without allocating (empty if the handle is dead).
+    pub fn references_iter(&self, handle: Handle) -> impl Iterator<Item = Handle> + '_ {
+        self.get(handle)
+            .ok()
+            .map(Object::iter_references)
+            .into_iter()
+            .flatten()
     }
 
     /// Iterates over all currently live handles.

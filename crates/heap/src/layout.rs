@@ -9,6 +9,8 @@
 //! object space unchanged, the implementation widens the handle-space share
 //! of the heap proportionally.  [`HeapConfig`] reproduces that accounting.
 
+use crate::freelist::AllocPolicy;
+
 /// Bytes per machine word on the paper's UltraSPARC target (32-bit words in
 /// JDK 1.1.8's heap layout).
 pub const WORD_BYTES: usize = 4;
@@ -83,6 +85,10 @@ pub struct HeapConfig {
     /// Object header size in words (class pointer + flags), charged to every
     /// object in the object space.
     pub object_header_words: usize,
+    /// How the object space searches for free blocks.  Defaults to the
+    /// paper-faithful first-fit rover; [`AllocPolicy::SegregatedFit`] trades
+    /// paper fidelity for O(size classes) searches.
+    pub alloc_policy: AllocPolicy,
 }
 
 impl HeapConfig {
@@ -98,7 +104,14 @@ impl HeapConfig {
             handle_space_bytes: base_handle_space * handle_repr.expansion_factor(),
             handle_repr,
             object_header_words: Self::DEFAULT_HEADER_WORDS,
+            alloc_policy: AllocPolicy::FirstFitRover,
         }
+    }
+
+    /// The same configuration with a different object-space search policy.
+    pub fn with_alloc_policy(mut self, policy: AllocPolicy) -> Self {
+        self.alloc_policy = policy;
+        self
     }
 
     /// A small heap suitable for unit tests and doctests (64 KiB of object

@@ -20,7 +20,9 @@
 //! * [`Handle`] / [`ClassId`] — dense identifiers.
 //! * [`Value`] — field/array-element values (references and primitives).
 //! * [`Object`] — instances and arrays, with their field storage.
-//! * [`ObjectSpace`] — the byte-accounted first-fit allocator.
+//! * [`ObjectSpace`] — the byte-accounted free-list allocator with a
+//!   pluggable search policy ([`AllocPolicy`]): the paper-faithful
+//!   first-fit rover, or segregated size-class bins.
 //! * [`Heap`] — the handle table plus object space, allocation, freeing,
 //!   reinitialisation (for recycling) and reference traversal.
 //! * [`HeapConfig`] / [`HandleRepr`] — sizing knobs reproducing the paper's
@@ -51,7 +53,7 @@ pub mod object;
 pub mod value;
 
 pub use error::HeapError;
-pub use freelist::{BlockAddr, ObjectSpace};
+pub use freelist::{AllocPolicy, BlockAddr, ObjectSpace, SpaceStats};
 pub use heap::{Heap, HeapStats};
 pub use layout::{HandleRepr, HeapConfig, WORD_BYTES};
 pub use object::{Object, ObjectKind};

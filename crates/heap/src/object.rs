@@ -96,8 +96,17 @@ impl Object {
 
     /// The handles this object references, in slot order, skipping nulls and
     /// primitives.
+    ///
+    /// Allocates; traversal loops should prefer the borrowing
+    /// [`Object::iter_references`].
     pub fn references(&self) -> Vec<Handle> {
-        self.slots().iter().filter_map(Value::as_handle).collect()
+        self.iter_references().collect()
+    }
+
+    /// Iterates over the handles this object references, in slot order,
+    /// skipping nulls and primitives, without allocating.
+    pub fn iter_references(&self) -> impl Iterator<Item = Handle> + '_ {
+        self.slots().iter().filter_map(Value::as_handle)
     }
 
     /// Resets every slot to null and retargets the object to a new class,

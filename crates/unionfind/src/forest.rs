@@ -51,6 +51,9 @@ pub struct DisjointSets {
     parent: Vec<ElementId>,
     rank: Vec<u8>,
     set_count: usize,
+    /// High-water mark of any root's rank, maintained incrementally on
+    /// `union` (rank only ever grows there) instead of by an O(n) root scan.
+    max_rank: u8,
 }
 
 impl DisjointSets {
@@ -65,6 +68,7 @@ impl DisjointSets {
             parent: Vec::with_capacity(capacity),
             rank: Vec::with_capacity(capacity),
             set_count: 0,
+            max_rank: 0,
         }
     }
 
@@ -181,6 +185,7 @@ impl DisjointSets {
             std::cmp::Ordering::Less => (rb, ra),
             std::cmp::Ordering::Equal => {
                 self.rank[ra as usize] += 1;
+                self.max_rank = self.max_rank.max(self.rank[ra as usize]);
                 (ra, rb)
             }
         };
@@ -202,21 +207,21 @@ impl DisjointSets {
         self.rank[root as usize]
     }
 
-    /// The largest rank of any root in the forest.
+    /// The largest rank any root has ever reached (O(1)).
     ///
     /// The paper observes this stays small (≤ 10 on SPECjvm98), justifying
-    /// the packed-handle representation of §3.5.
+    /// the packed-handle representation of §3.5 (see
+    /// [`PackedForest`](crate::PackedForest)).  Maintained incrementally as
+    /// a high-water mark: unions can only grow it, `reset_all` clears it,
+    /// and [`DisjointSets::detach_into_singleton`] never lowers it.
     pub fn max_rank(&self) -> u8 {
-        self.parent
-            .iter()
-            .enumerate()
-            .filter(|(i, &p)| p as usize == *i)
-            .map(|(i, _)| self.rank[i])
-            .max()
-            .unwrap_or(0)
+        self.max_rank
     }
 
     /// Iterates over the current set representatives.
+    ///
+    /// Cold path only: this scans every element.  Nothing on the
+    /// per-event hot path enumerates roots.
     pub fn roots(&self) -> impl Iterator<Item = ElementId> + '_ {
         self.parent
             .iter()
@@ -264,11 +269,12 @@ impl DisjointSets {
             self.rank[i] = 0;
         }
         self.set_count = self.parent.len();
+        self.max_rank = 0;
     }
 
     /// Groups all elements by their representative, returning
-    /// `(root, members)` pairs.  Intended for tests and statistics, not the
-    /// hot path.
+    /// `(root, members)` pairs.  Cold path only (tests and statistics):
+    /// allocates and walks the whole forest; never call this per event.
     pub fn partitions(&mut self) -> Vec<(ElementId, Vec<ElementId>)> {
         use std::collections::BTreeMap;
         let mut map: BTreeMap<ElementId, Vec<ElementId>> = BTreeMap::new();

@@ -6,11 +6,17 @@
 //! nearly constant amount of work.  This crate provides that data structure
 //! in two flavours:
 //!
-//! * [`DisjointSets`] — the plain forest over dense `u32` element ids.
-//! * [`TaggedSets`] — the same forest where every set root carries a payload
-//!   that is merged (via [`MergePayload`]) whenever two sets are unioned.
-//!   The collector uses the payload to store each equilive set's dependent
-//!   frame, its member list and its size.
+//! * [`DisjointSets`] — the plain forest over dense `u32` element ids, with
+//!   parent and rank stored separately.  Kept as the readable reference
+//!   model the packed forest is property-tested against.
+//! * [`PackedForest`] — the production forest of §3.5: parent pointer and
+//!   rank packed into a single `u32` word per element, incremental
+//!   `set_count`/`max_rank`, and `debug_assert`-only existence checks on
+//!   the per-store hot path.
+//! * [`TaggedSets`] — the packed forest where every set root carries a
+//!   payload that is merged (via [`MergePayload`]) whenever two sets are
+//!   unioned.  The collector uses the payload to store each equilive set's
+//!   dependent frame, its member list and its size.
 //!
 //! # Example
 //!
@@ -31,7 +37,9 @@
 #![warn(missing_docs)]
 
 pub mod forest;
+pub mod packed;
 pub mod tagged;
 
 pub use forest::{DisjointSets, ElementId, UnionOutcome};
+pub use packed::PackedForest;
 pub use tagged::{MergePayload, TaggedSets};

@@ -1,0 +1,540 @@
+//! The packed disjoint-set forest of §3.5: parent pointer and rank share one
+//! machine word per element.
+//!
+//! The straightforward representation (see [`DisjointSets`](crate::DisjointSets))
+//! keeps a parent array and a separate rank array.  The paper observes that
+//! union by rank bounds the rank by `log2(n)` — it never exceeded ten on
+//! SPECjvm98 — so the production implementation stores the rank in the bits
+//! of the parent word itself, halving the per-handle space cost (§3.5,
+//! reflected in `HandleRepr::CgPacked`'s accounting) and touching one cache
+//! line instead of two on every find.
+//!
+//! The encoding here uses the top bit of the `u32` word as the root
+//! discriminator:
+//!
+//! * root:     `1 << 31 | rank` — the low bits hold the rank directly;
+//! * interior: `parent`         — the element id of the parent (ids are
+//!   therefore limited to `2^31 - 1`, far beyond any workload's object
+//!   count).
+//!
+//! This is the hot-path forest: [`find`](PackedForest::find) and
+//! [`union`](PackedForest::union) run on every reference store the VM
+//! executes, so existence checks are `debug_assert!`s (slice indexing still
+//! bounds-checks; the release build simply skips the redundant friendly
+//! message) and nothing on the store path allocates or scans.
+//! `max_rank` and `set_count` are maintained incrementally instead of by the
+//! O(n) root scans the plain forest originally used.
+
+use crate::forest::{ElementId, UnionOutcome};
+
+/// Top bit of a word: set for roots (low bits = rank), clear for interior
+/// nodes (low bits = parent id).
+const ROOT_BIT: u32 = 1 << 31;
+
+/// A disjoint-set forest storing parent and rank in a single `u32` word per
+/// element (§3.5), with union by rank and iterative path compression.
+///
+/// Drop-in behavioural equivalent of [`DisjointSets`](crate::DisjointSets)
+/// — the property tests in this module drive both against random operation
+/// sequences and require identical partitions, set counts and outcomes.
+///
+/// # Example
+///
+/// ```
+/// use cg_unionfind::PackedForest;
+///
+/// let mut sets = PackedForest::with_capacity(8);
+/// let ids: Vec<_> = (0..8).map(|_| sets.make_set()).collect();
+/// for pair in ids.chunks(2) {
+///     sets.union(pair[0], pair[1]);
+/// }
+/// assert_eq!(sets.set_count(), 4);
+/// assert!(sets.max_rank() <= 1);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PackedForest {
+    /// One packed word per element: `ROOT_BIT | rank` or a parent id.
+    words: Vec<u32>,
+    /// Maintained incrementally: one new set per `make_set`, one fewer per
+    /// merging `union`, one more per `detach_into_singleton` of a non-root.
+    set_count: usize,
+    /// High-water mark of any root's rank, maintained on `union` (rank only
+    /// ever grows there).  `reset_all` clears it; detaching an element never
+    /// lowers it, so this is the bound §3.5's packing argument relies on,
+    /// not an exact current maximum.
+    max_rank: u8,
+}
+
+impl PackedForest {
+    /// Creates an empty forest.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an empty forest with room for `capacity` elements.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self {
+            words: Vec::with_capacity(capacity),
+            set_count: 0,
+            max_rank: 0,
+        }
+    }
+
+    /// Number of elements ever created.
+    pub fn len(&self) -> usize {
+        self.words.len()
+    }
+
+    /// Whether no elements have been created.
+    pub fn is_empty(&self) -> bool {
+        self.words.is_empty()
+    }
+
+    /// Number of distinct sets currently in the forest (maintained
+    /// incrementally; O(1)).
+    pub fn set_count(&self) -> usize {
+        self.set_count
+    }
+
+    /// The largest rank any root has ever reached (O(1); see the field
+    /// documentation for the high-water-mark semantics).
+    pub fn max_rank(&self) -> u8 {
+        self.max_rank
+    }
+
+    /// Whether `id` names an element of this forest.
+    pub fn contains(&self, id: ElementId) -> bool {
+        (id as usize) < self.words.len()
+    }
+
+    #[inline]
+    fn is_root_word(word: u32) -> bool {
+        word & ROOT_BIT != 0
+    }
+
+    /// Creates a new singleton set and returns its element id.
+    ///
+    /// Ids are assigned densely starting at zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the forest already holds `2^31 - 1` elements (the packed
+    /// word reserves one bit for the root discriminator).
+    pub fn make_set(&mut self) -> ElementId {
+        let id = self.words.len() as u32;
+        assert!(id < ROOT_BIT, "packed forest is limited to 2^31-1 elements");
+        self.words.push(ROOT_BIT); // root, rank 0
+        self.set_count += 1;
+        id
+    }
+
+    /// Ensures elements `0..=id` all exist, creating singletons as needed.
+    pub fn ensure(&mut self, id: ElementId) {
+        while self.words.len() <= id as usize {
+            self.make_set();
+        }
+    }
+
+    /// Finds the representative of the set containing `id`, compressing the
+    /// path along the way.
+    #[inline]
+    pub fn find(&mut self, id: ElementId) -> ElementId {
+        debug_assert!(self.contains(id), "element {id} does not exist");
+        // First pass: locate the root.
+        let mut root = id;
+        let mut word = self.words[root as usize];
+        while !Self::is_root_word(word) {
+            root = word;
+            word = self.words[root as usize];
+        }
+        // Second pass: point every node on the path directly at the root.
+        let mut cur = id;
+        while cur != root {
+            let next = self.words[cur as usize];
+            debug_assert!(!Self::is_root_word(next));
+            self.words[cur as usize] = root;
+            cur = next;
+        }
+        root
+    }
+
+    /// Finds the representative without compressing paths (read-only).
+    pub fn find_immutable(&self, id: ElementId) -> ElementId {
+        debug_assert!(self.contains(id), "element {id} does not exist");
+        let mut root = id;
+        let mut word = self.words[root as usize];
+        while !Self::is_root_word(word) {
+            root = word;
+            word = self.words[root as usize];
+        }
+        root
+    }
+
+    /// Whether two elements are currently in the same set.
+    pub fn same_set(&mut self, a: ElementId, b: ElementId) -> bool {
+        self.find(a) == self.find(b)
+    }
+
+    /// Unions the sets containing `a` and `b` using union by rank,
+    /// returning the surviving root and the absorbed root (if a merge
+    /// happened) exactly like
+    /// [`DisjointSets::union`](crate::DisjointSets::union).
+    pub fn union(&mut self, a: ElementId, b: ElementId) -> UnionOutcome {
+        let ra = self.find(a);
+        let rb = self.find(b);
+        if ra == rb {
+            return UnionOutcome {
+                root: ra,
+                absorbed: None,
+            };
+        }
+        self.union_roots(ra, rb)
+    }
+
+    /// Unions two elements already known to be distinct roots, skipping the
+    /// finds.  The collector's store barrier uses this after it has already
+    /// resolved both operands' roots once.
+    ///
+    /// # Panics
+    ///
+    /// Debug-asserts that `ra` and `rb` are distinct current roots.
+    pub fn union_roots(&mut self, ra: ElementId, rb: ElementId) -> UnionOutcome {
+        debug_assert!(ra != rb, "union_roots of the same root");
+        let wa = self.words[ra as usize];
+        let wb = self.words[rb as usize];
+        debug_assert!(Self::is_root_word(wa), "{ra} is not a root");
+        debug_assert!(Self::is_root_word(wb), "{rb} is not a root");
+        let (winner, loser) = match (wa & !ROOT_BIT).cmp(&(wb & !ROOT_BIT)) {
+            std::cmp::Ordering::Greater => (ra, rb),
+            std::cmp::Ordering::Less => (rb, ra),
+            std::cmp::Ordering::Equal => {
+                let rank = (wa & !ROOT_BIT) + 1;
+                self.words[ra as usize] = ROOT_BIT | rank;
+                self.max_rank = self.max_rank.max(rank as u8);
+                (ra, rb)
+            }
+        };
+        self.words[loser as usize] = winner;
+        self.set_count -= 1;
+        UnionOutcome {
+            root: winner,
+            absorbed: Some(loser),
+        }
+    }
+
+    /// The current rank of the set rooted at `id`'s representative.
+    pub fn rank_of(&mut self, id: ElementId) -> u8 {
+        let root = self.find(id);
+        (self.words[root as usize] & !ROOT_BIT) as u8
+    }
+
+    /// Iterates over the current set representatives.
+    ///
+    /// Cold path only: this scans every element.  The hot path never
+    /// enumerates roots — the collector keeps its own per-frame root lists.
+    pub fn roots(&self) -> impl Iterator<Item = ElementId> + '_ {
+        self.words
+            .iter()
+            .enumerate()
+            .filter(|(_, &w)| Self::is_root_word(w))
+            .map(|(i, _)| i as ElementId)
+    }
+
+    /// Detaches `id` into a fresh singleton set of rank zero (the §3.6
+    /// resetting pass).
+    ///
+    /// The seed implementation verified on every call — with an O(n) scan —
+    /// that no other element still points at `id`; that scan is now a debug
+    /// assertion, so release builds pay nothing and debug builds (and the
+    /// test suite) still catch misuse.
+    pub fn detach_into_singleton(&mut self, id: ElementId) {
+        debug_assert!(self.contains(id), "element {id} does not exist");
+        debug_assert!(
+            !self
+                .words
+                .iter()
+                .enumerate()
+                .any(|(i, &w)| !Self::is_root_word(w) && w == id && i as ElementId != id),
+            "cannot detach element {id}: other elements still point at it"
+        );
+        let was_root = Self::is_root_word(self.words[id as usize]);
+        self.words[id as usize] = ROOT_BIT;
+        if !was_root {
+            self.set_count += 1;
+        }
+    }
+
+    /// Resets every element into its own singleton set.
+    pub fn reset_all(&mut self) {
+        for word in &mut self.words {
+            *word = ROOT_BIT;
+        }
+        self.set_count = self.words.len();
+        self.max_rank = 0;
+    }
+
+    /// Groups all elements by representative as `(root, members)` pairs.
+    ///
+    /// Cold path only (tests and statistics): allocates and walks the whole
+    /// forest.
+    pub fn partitions(&mut self) -> Vec<(ElementId, Vec<ElementId>)> {
+        use std::collections::BTreeMap;
+        let mut map: BTreeMap<ElementId, Vec<ElementId>> = BTreeMap::new();
+        for id in 0..self.words.len() as ElementId {
+            let root = self.find(id);
+            map.entry(root).or_default().push(id);
+        }
+        map.into_iter().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::forest::DisjointSets;
+
+    #[test]
+    fn new_forest_is_empty() {
+        let sets = PackedForest::new();
+        assert!(sets.is_empty());
+        assert_eq!(sets.len(), 0);
+        assert_eq!(sets.set_count(), 0);
+        assert_eq!(sets.max_rank(), 0);
+    }
+
+    #[test]
+    fn make_set_assigns_dense_ids() {
+        let mut sets = PackedForest::new();
+        assert_eq!(sets.make_set(), 0);
+        assert_eq!(sets.make_set(), 1);
+        assert_eq!(sets.make_set(), 2);
+        assert_eq!(sets.len(), 3);
+        assert_eq!(sets.set_count(), 3);
+        assert!(sets.contains(2));
+        assert!(!sets.contains(3));
+    }
+
+    #[test]
+    fn union_merges_and_reports_absorbed_root() {
+        let mut sets = PackedForest::new();
+        let a = sets.make_set();
+        let b = sets.make_set();
+        let out = sets.union(a, b);
+        assert!(out.merged());
+        assert_eq!(out.absorbed, Some(if out.root == a { b } else { a }));
+        assert!(sets.same_set(a, b));
+        assert_eq!(sets.set_count(), 1);
+        assert_eq!(sets.max_rank(), 1);
+        // Re-union is a no-op.
+        let out = sets.union(a, b);
+        assert!(!out.merged());
+        assert_eq!(sets.set_count(), 1);
+    }
+
+    #[test]
+    fn union_by_rank_prefers_higher_rank_root() {
+        let mut sets = PackedForest::new();
+        let a = sets.make_set();
+        let b = sets.make_set();
+        let c = sets.make_set();
+        let first = sets.union(a, b);
+        let second = sets.union(c, first.root);
+        assert_eq!(second.root, first.root);
+        assert_eq!(second.absorbed, Some(c));
+        assert_eq!(sets.rank_of(c), 1);
+    }
+
+    #[test]
+    fn ensure_materialises_elements() {
+        let mut sets = PackedForest::new();
+        sets.ensure(4);
+        assert_eq!(sets.len(), 5);
+        assert_eq!(sets.set_count(), 5);
+    }
+
+    #[test]
+    fn path_compression_flattens() {
+        let mut sets = PackedForest::new();
+        let ids: Vec<_> = (0..16).map(|_| sets.make_set()).collect();
+        for w in ids.windows(2) {
+            sets.union(w[0], w[1]);
+        }
+        let root = sets.find(ids[0]);
+        for &id in &ids {
+            assert_eq!(sets.find(id), root);
+            assert_eq!(sets.find_immutable(id), root);
+            if id != root {
+                assert_eq!(sets.words[id as usize], root);
+            }
+        }
+    }
+
+    #[test]
+    fn detach_leaf_into_singleton() {
+        let mut sets = PackedForest::new();
+        let a = sets.make_set();
+        let b = sets.make_set();
+        let out = sets.union(a, b);
+        let leaf = out.absorbed.unwrap();
+        sets.detach_into_singleton(leaf);
+        assert!(!sets.same_set(a, b));
+        assert_eq!(sets.set_count(), 2);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "still point at it")]
+    fn detach_root_with_children_panics_in_debug() {
+        let mut sets = PackedForest::new();
+        let a = sets.make_set();
+        let b = sets.make_set();
+        let out = sets.union(a, b);
+        sets.detach_into_singleton(out.root);
+    }
+
+    #[test]
+    fn reset_all_restores_singletons() {
+        let mut sets = PackedForest::new();
+        for _ in 0..8 {
+            sets.make_set();
+        }
+        sets.union(0, 1);
+        sets.union(2, 3);
+        sets.union(0, 2);
+        sets.reset_all();
+        assert_eq!(sets.set_count(), 8);
+        assert_eq!(sets.max_rank(), 0);
+        for i in 0..8 {
+            assert_eq!(sets.find(i), i);
+        }
+    }
+
+    #[test]
+    fn roots_and_partitions_enumerate_representatives() {
+        let mut sets = PackedForest::new();
+        let a = sets.make_set();
+        let b = sets.make_set();
+        let c = sets.make_set();
+        sets.union(a, b);
+        let roots: Vec<_> = sets.roots().collect();
+        assert_eq!(roots.len(), 2);
+        assert!(roots.contains(&c));
+        let parts = sets.partitions();
+        assert_eq!(parts.len(), 2);
+        let sizes: Vec<usize> = parts.iter().map(|(_, m)| m.len()).collect();
+        assert!(sizes.contains(&2) && sizes.contains(&1));
+    }
+
+    #[test]
+    fn rank_bound_is_logarithmic() {
+        let mut sets = PackedForest::new();
+        let ids: Vec<_> = (0..1024).map(|_| sets.make_set()).collect();
+        let mut layer = ids;
+        while layer.len() > 1 {
+            let mut next = Vec::new();
+            for pair in layer.chunks(2) {
+                if pair.len() == 2 {
+                    next.push(sets.union(pair[0], pair[1]).root);
+                } else {
+                    next.push(pair[0]);
+                }
+            }
+            layer = next;
+        }
+        assert_eq!(sets.set_count(), 1);
+        assert!(sets.max_rank() <= 10, "rank {} too high", sets.max_rank());
+    }
+
+    mod properties {
+        use super::*;
+        use cg_testutil::TestRng;
+
+        /// Random `(a, b)` pairs over `n` elements.
+        fn random_ops(rng: &mut TestRng, n: usize, max_ops: usize) -> Vec<(u32, u32)> {
+            let ops = rng.gen_range(0, max_ops);
+            (0..ops)
+                .map(|_| (rng.gen_range(0, n) as u32, rng.gen_range(0, n) as u32))
+                .collect()
+        }
+
+        /// The packed forest is operation-for-operation identical to the
+        /// plain `DisjointSets` under random union/find sequences: same
+        /// outcomes, same set counts, same partitions, same max rank.
+        #[test]
+        fn matches_plain_forest_model() {
+            for seed in 0..128u64 {
+                let mut rng = TestRng::new(seed);
+                let n = rng.gen_range(1, 96);
+                let mut packed = PackedForest::new();
+                let mut plain = DisjointSets::new();
+                for _ in 0..n {
+                    packed.make_set();
+                    plain.make_set();
+                }
+                for (a, b) in random_ops(&mut rng, n, 300) {
+                    // Interleave finds so path compression diverges if the
+                    // representations disagree on roots.
+                    assert_eq!(packed.find(a), plain.find(a), "seed {seed}");
+                    let po = packed.union(a, b);
+                    let fo = plain.union(a, b);
+                    assert_eq!(po, fo, "seed {seed}: union({a}, {b})");
+                    assert_eq!(packed.set_count(), plain.set_count(), "seed {seed}");
+                }
+                assert_eq!(packed.max_rank(), plain.max_rank(), "seed {seed}");
+                let mut plain_clone = plain.clone();
+                assert_eq!(packed.partitions(), plain_clone.partitions(), "seed {seed}");
+                for id in 0..n as u32 {
+                    assert_eq!(
+                        packed.find_immutable(id),
+                        plain.find_immutable(id),
+                        "seed {seed}"
+                    );
+                }
+            }
+        }
+
+        /// Detaching absorbed leaves keeps the two representations in
+        /// agreement (both grow their set count the same way).
+        #[test]
+        fn detach_agrees_with_plain_forest() {
+            for seed in 0..64u64 {
+                let mut rng = TestRng::new(seed);
+                let n = rng.gen_range(2, 48);
+                let mut packed = PackedForest::new();
+                let mut plain = DisjointSets::new();
+                // Set sizes, tracked so the test only detaches absorbed
+                // roots that were singletons (roots of larger sets still
+                // have children pointing at them and must not be detached).
+                let mut sizes = vec![1usize; n];
+                for _ in 0..n {
+                    packed.make_set();
+                    plain.make_set();
+                }
+                for (a, b) in random_ops(&mut rng, n, 100) {
+                    let out = packed.union(a, b);
+                    plain.union(a, b);
+                    if let Some(leaf) = out.absorbed {
+                        let leaf_size = sizes[leaf as usize];
+                        sizes[out.root as usize] += leaf_size;
+                        if leaf_size == 1 && rng.gen_bool(0.3) {
+                            packed.detach_into_singleton(leaf);
+                            plain.detach_into_singleton(leaf);
+                            sizes[out.root as usize] -= 1;
+                            sizes[leaf as usize] = 1;
+                        }
+                    }
+                    assert_eq!(packed.set_count(), plain.set_count(), "seed {seed}");
+                }
+                for a in 0..n as u32 {
+                    for b in 0..n as u32 {
+                        assert_eq!(
+                            packed.find_immutable(a) == packed.find_immutable(b),
+                            plain.find_immutable(a) == plain.find_immutable(b),
+                            "seed {seed}: {a} vs {b}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,6 +1,7 @@
 //! Disjoint sets whose roots carry a mergeable payload.
 
-use crate::forest::{DisjointSets, ElementId, UnionOutcome};
+use crate::forest::{ElementId, UnionOutcome};
+use crate::packed::PackedForest;
 
 /// A per-set payload that knows how to merge with another payload when two
 /// sets are unioned.
@@ -19,6 +20,10 @@ pub trait MergePayload: Sized {
 }
 
 /// A disjoint-set forest whose roots each carry a payload of type `T`.
+///
+/// The forest underneath is the packed single-word-per-element
+/// representation of §3.5 ([`PackedForest`]); the behavioural model it is
+/// verified against is the plain [`DisjointSets`](crate::DisjointSets).
 ///
 /// # Example
 ///
@@ -46,7 +51,7 @@ pub trait MergePayload: Sized {
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct TaggedSets<T> {
-    forest: DisjointSets,
+    forest: PackedForest,
     /// Indexed by element id; `Some` only at set roots.
     payloads: Vec<Option<T>>,
 }
@@ -55,7 +60,7 @@ impl<T: MergePayload> TaggedSets<T> {
     /// Creates an empty tagged forest.
     pub fn new() -> Self {
         Self {
-            forest: DisjointSets::new(),
+            forest: PackedForest::new(),
             payloads: Vec::new(),
         }
     }
@@ -63,7 +68,7 @@ impl<T: MergePayload> TaggedSets<T> {
     /// Creates an empty tagged forest with room for `capacity` elements.
     pub fn with_capacity(capacity: usize) -> Self {
         Self {
-            forest: DisjointSets::with_capacity(capacity),
+            forest: PackedForest::with_capacity(capacity),
             payloads: Vec::with_capacity(capacity),
         }
     }
@@ -122,6 +127,25 @@ impl<T: MergePayload> TaggedSets<T> {
     /// Panics if either element was never inserted.
     pub fn union(&mut self, a: ElementId, b: ElementId) -> UnionOutcome {
         let outcome = self.forest.union(a, b);
+        self.merge_payloads(outcome);
+        outcome
+    }
+
+    /// Unions two elements already known to be distinct current roots,
+    /// skipping the finds.  The collector's store barrier resolves both
+    /// operands' roots exactly once per event and then merges through this.
+    ///
+    /// # Panics
+    ///
+    /// Debug-asserts (via the forest) that `ra` and `rb` are distinct
+    /// roots; panics if either carries no payload.
+    pub fn union_roots(&mut self, ra: ElementId, rb: ElementId) -> UnionOutcome {
+        let outcome = self.forest.union_roots(ra, rb);
+        self.merge_payloads(outcome);
+        outcome
+    }
+
+    fn merge_payloads(&mut self, outcome: UnionOutcome) {
         if let Some(absorbed) = outcome.absorbed {
             let taken = self.payloads[absorbed as usize]
                 .take()
@@ -131,7 +155,6 @@ impl<T: MergePayload> TaggedSets<T> {
                 .expect("surviving root must carry a payload");
             winner.merge(taken);
         }
-        outcome
     }
 
     /// Shared access to the payload of `id`'s set.
@@ -162,6 +185,14 @@ impl<T: MergePayload> TaggedSets<T> {
         self.payloads.get(root as usize).and_then(|p| p.as_ref())
     }
 
+    /// Mutable payload access without a find; `root` must be a current root
+    /// for this to return `Some`.
+    pub fn payload_mut_of_root(&mut self, root: ElementId) -> Option<&mut T> {
+        self.payloads
+            .get_mut(root as usize)
+            .and_then(|p| p.as_mut())
+    }
+
     /// Replaces the payload of the set containing `id`, returning the old
     /// payload.
     ///
@@ -183,8 +214,8 @@ impl<T: MergePayload> TaggedSets<T> {
             .filter_map(|(i, p)| p.as_ref().map(|p| (i as ElementId, p)))
     }
 
-    /// Access to the underlying forest (e.g. for rank statistics).
-    pub fn forest(&self) -> &DisjointSets {
+    /// Access to the underlying packed forest (e.g. for rank statistics).
+    pub fn forest(&self) -> &PackedForest {
         &self.forest
     }
 
@@ -368,7 +399,7 @@ mod tests {
 
     impl<T: MergePayload + Clone> TaggedSets<T> {
         /// Test helper: clone of the underlying forest for independent finds.
-        fn clone_forest_for_test(&self) -> DisjointSets {
+        fn clone_forest_for_test(&self) -> PackedForest {
             self.forest.clone()
         }
     }

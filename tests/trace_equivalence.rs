@@ -126,6 +126,97 @@ fn replaying_a_trace_reproduces_live_hybrid_collector_stats_exactly() {
 }
 
 #[test]
+fn allocation_policy_never_affects_collector_statistics() {
+    // The collector is heap-address-agnostic: handles are minted densely in
+    // allocation order regardless of where the object space places blocks,
+    // so the same recorded stream replayed over shadow heaps with different
+    // allocation policies must drive the collector to byte-identical
+    // statistics — and both must equal the live run's.
+    use cg_heap::AllocPolicy;
+
+    for name in ["db", "jess"] {
+        let workload = Workload::by_name(name).unwrap();
+        let trace = record_workload(name, config());
+
+        let mut live_vm = Vm::new(workload.program(Size::S1), config(), ContaminatedGc::new());
+        live_vm
+            .run()
+            .unwrap_or_else(|e| panic!("{name}: live run failed: {e}"));
+
+        for cg_config in [CgConfig::preferred(), CgConfig::without_static_opt()] {
+            let first_fit = replay(
+                &trace,
+                config().heap.with_alloc_policy(AllocPolicy::FirstFitRover),
+                ContaminatedGc::with_config(cg_config),
+            )
+            .unwrap_or_else(|e| panic!("{name}: first-fit replay failed: {e}"));
+            let segregated = replay(
+                &trace,
+                config().heap.with_alloc_policy(AllocPolicy::SegregatedFit),
+                ContaminatedGc::with_config(cg_config),
+            )
+            .unwrap_or_else(|e| panic!("{name}: segregated replay failed: {e}"));
+
+            assert_eq!(
+                first_fit.collector.stats(),
+                segregated.collector.stats(),
+                "{name}: CgStats must not depend on the allocation policy"
+            );
+            assert_eq!(
+                first_fit.heap.live_count(),
+                segregated.heap.live_count(),
+                "{name}"
+            );
+            if cg_config == CgConfig::preferred() {
+                assert_eq!(
+                    live_vm.collector().stats(),
+                    segregated.collector.stats(),
+                    "{name}: replayed stats must equal the live run's"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn live_runs_agree_across_allocation_policies() {
+    // With ample space (no allocation-failure collections) the event stream
+    // the interpreter emits is identical under either object-space policy,
+    // so two *live* runs must also produce byte-identical CgStats.
+    use cg_heap::AllocPolicy;
+
+    let workload = Workload::by_name("raytrace").unwrap();
+    let mut seg_config = config();
+    seg_config.heap = seg_config
+        .heap
+        .with_alloc_policy(AllocPolicy::SegregatedFit);
+
+    let mut first_fit = Vm::new(workload.program(Size::S1), config(), ContaminatedGc::new());
+    first_fit.run().expect("first-fit live run");
+    let mut segregated = Vm::new(
+        workload.program(Size::S1),
+        seg_config,
+        ContaminatedGc::new(),
+    );
+    segregated.run().expect("segregated live run");
+
+    assert_eq!(
+        first_fit.collector().stats(),
+        segregated.collector().stats()
+    );
+    assert_eq!(
+        first_fit.heap().live_count(),
+        segregated.heap().live_count()
+    );
+    // The policies did place blocks differently (different search orders)…
+    // …but agree on every byte of accounting.
+    assert_eq!(
+        first_fit.heap().bytes_in_use(),
+        segregated.heap().bytes_in_use()
+    );
+}
+
+#[test]
 fn one_recording_serves_many_collectors() {
     // The architectural payoff: one interpretation, N collector evaluations.
     let trace = record_workload("db", config());
