@@ -261,16 +261,7 @@ fn bench_calibration(h: &mut BenchHarness) {
 }
 
 fn main() {
-    let check = {
-        let mut args = std::env::args().skip(1);
-        let mut path = None;
-        while let Some(arg) = args.next() {
-            if arg == "--check" {
-                path = args.next();
-            }
-        }
-        path
-    };
+    let check = cg_bench::parse_check_arg();
 
     let workload = Workload::by_name("db").expect("known workload");
     let program = workload.program(Size::S1);
@@ -322,86 +313,9 @@ fn main() {
     harness.write_json();
 
     if let Some(path) = check {
-        check_against_baseline(&harness, &path);
-    }
-}
-
-/// Fails (exit 1) if any label shared with the baseline is more than 2x
-/// slower than its committed figure.
-///
-/// Timings are normalised by the in-run calibration loop before comparing
-/// — each side contributes `label_ns / calibration_ns` — so a baseline
-/// committed from one machine gates a CI runner of a different speed
-/// without false alarms (and without masking real regressions on a faster
-/// one).  If either side lacks the calibration label, raw nanoseconds are
-/// compared as a fallback.
-fn check_against_baseline(harness: &BenchHarness, path: &str) {
-    let text = std::fs::read_to_string(path)
-        .unwrap_or_else(|e| panic!("cannot read baseline {path}: {e}"));
-    let json = cg_stats::Json::parse(&text)
-        .unwrap_or_else(|e| panic!("cannot parse baseline {path}: {e}"));
-    let results = json
-        .get("results")
-        .and_then(cg_stats::Json::as_arr)
-        .expect("baseline has a results array");
-    let baseline_ns_of = |label: &str| {
-        results
-            .iter()
-            .find(|e| e.get("label").and_then(cg_stats::Json::as_str) == Some(label))
-            .and_then(|e| e.get("ns_per_iter").and_then(cg_stats::Json::as_f64))
-    };
-    // Machine-speed normalisation: ratios to the calibration loop.
-    let (current_unit, baseline_unit, normalised) = match (
-        harness.ns_of(CALIBRATION_LABEL),
-        baseline_ns_of(CALIBRATION_LABEL),
-    ) {
-        (Some(current), Some(baseline)) if current > 0.0 && baseline > 0.0 => {
-            (current, baseline, true)
-        }
-        _ => (1.0, 1.0, false),
-    };
-    let mut failures = Vec::new();
-    let mut compared = 0;
-    for entry in results {
-        let label = entry
-            .get("label")
-            .and_then(cg_stats::Json::as_str)
-            .expect("baseline entry has a label");
-        if label == CALIBRATION_LABEL {
-            continue;
-        }
-        let baseline_ns = entry
-            .get("ns_per_iter")
-            .and_then(cg_stats::Json::as_f64)
-            .expect("baseline entry has ns_per_iter");
-        let Some(current_ns) = harness.ns_of(label) else {
-            continue; // Labels may come and go; only shared ones gate.
-        };
-        compared += 1;
-        let ratio = (current_ns / current_unit) / (baseline_ns / baseline_unit);
-        if ratio > 2.0 {
-            failures.push(format!(
-                "{label}: {current_ns:.1} ns/iter vs baseline {baseline_ns:.1} \
-                 ({ratio:.1}x speed-normalised)"
-            ));
-        }
-    }
-    if compared == 0 {
-        eprintln!("baseline check: no shared labels between run and {path}");
-        std::process::exit(1);
-    }
-    let mode = if normalised {
-        "speed-normalised"
-    } else {
-        "raw ns (no calibration label in baseline)"
-    };
-    if failures.is_empty() {
-        eprintln!("baseline check: {compared} labels within 2x of {path} ({mode})");
-    } else {
-        eprintln!("baseline check FAILED against {path} ({mode}):");
-        for failure in &failures {
-            eprintln!("  {failure}");
-        }
-        std::process::exit(1);
+        // Fails (exit 1) if any shared label regressed more than 2x against
+        // the committed baseline, speed-normalised through the calibration
+        // loop (see `cg_bench::gate`).
+        cg_bench::check_against_baseline(&harness, &path, CALIBRATION_LABEL);
     }
 }

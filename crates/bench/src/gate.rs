@@ -1,0 +1,101 @@
+//! The speed-normalised baseline regression gate shared by the bench
+//! binaries (`gc_hot_path`, `shard_scaling`).
+//!
+//! A bench suite commits a `baselines/<name>.json` snapshot; CI re-runs the
+//! suite with `--check <path>` and fails if any label shared with the
+//! baseline regressed more than 2x.  Timings are normalised by an in-run
+//! calibration loop (a fixed integer workload whose timing tracks the
+//! host's single-core speed) before comparing, so a baseline committed from
+//! one machine gates a CI runner of a different speed without false alarms.
+
+use crate::microbench::BenchHarness;
+
+/// Parses a `--check <path>` pair out of the bench binary's arguments.
+pub fn parse_check_arg() -> Option<String> {
+    let mut args = std::env::args().skip(1);
+    let mut path = None;
+    while let Some(arg) = args.next() {
+        if arg == "--check" {
+            path = args.next();
+        }
+    }
+    path
+}
+
+/// Compares `harness` against the committed baseline at `path`, exiting the
+/// process with status 1 if any shared label is more than 2x slower
+/// (speed-normalised through `calibration_label` when both sides have it).
+///
+/// # Panics
+///
+/// Panics if the baseline file cannot be read or parsed.
+pub fn check_against_baseline(harness: &BenchHarness, path: &str, calibration_label: &str) {
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("cannot read baseline {path}: {e}"));
+    let json = cg_stats::Json::parse(&text)
+        .unwrap_or_else(|e| panic!("cannot parse baseline {path}: {e}"));
+    let results = json
+        .get("results")
+        .and_then(cg_stats::Json::as_arr)
+        .expect("baseline has a results array");
+    let baseline_ns_of = |label: &str| {
+        results
+            .iter()
+            .find(|e| e.get("label").and_then(cg_stats::Json::as_str) == Some(label))
+            .and_then(|e| e.get("ns_per_iter").and_then(cg_stats::Json::as_f64))
+    };
+    // Machine-speed normalisation: ratios to the calibration loop.
+    let (current_unit, baseline_unit, normalised) = match (
+        harness.ns_of(calibration_label),
+        baseline_ns_of(calibration_label),
+    ) {
+        (Some(current), Some(baseline)) if current > 0.0 && baseline > 0.0 => {
+            (current, baseline, true)
+        }
+        _ => (1.0, 1.0, false),
+    };
+    let mut failures = Vec::new();
+    let mut compared = 0;
+    for entry in results {
+        let label = entry
+            .get("label")
+            .and_then(cg_stats::Json::as_str)
+            .expect("baseline entry has a label");
+        if label == calibration_label {
+            continue;
+        }
+        let baseline_ns = entry
+            .get("ns_per_iter")
+            .and_then(cg_stats::Json::as_f64)
+            .expect("baseline entry has ns_per_iter");
+        let Some(current_ns) = harness.ns_of(label) else {
+            continue; // Labels may come and go; only shared ones gate.
+        };
+        compared += 1;
+        let ratio = (current_ns / current_unit) / (baseline_ns / baseline_unit);
+        if ratio > 2.0 {
+            failures.push(format!(
+                "{label}: {current_ns:.1} ns/iter vs baseline {baseline_ns:.1} \
+                 ({ratio:.1}x speed-normalised)"
+            ));
+        }
+    }
+    if compared == 0 {
+        eprintln!("baseline check: no shared labels between run and {path}");
+        std::process::exit(1);
+    }
+    let mode = if normalised {
+        "speed-normalised"
+    } else {
+        "raw ns (no calibration label in baseline)"
+    };
+    if failures.is_empty() {
+        eprintln!("baseline check: {compared} labels within 2x of {path} ({mode})");
+    } else {
+        eprintln!("baseline check FAILED against {path} ({mode}):");
+        for failure in &failures {
+            eprintln!("  {failure}");
+        }
+        std::process::exit(1);
+    }
+}

@@ -27,13 +27,17 @@
 
 pub mod cli;
 pub mod experiments;
+pub mod gate;
 pub mod microbench;
 pub mod paper;
+pub mod parallel;
 pub mod runner;
 
 pub use cli::{parse_options, parse_trace_eval, TraceEvalOptions};
 pub use experiments::{all_reports, report_by_id, ExperimentOptions, REPORT_IDS};
+pub use gate::{check_against_baseline, parse_check_arg};
 pub use microbench::{BenchHarness, BenchResult};
+pub use parallel::{parallel_eval, ParallelOutcome};
 pub use runner::{
     record_workload_trace, replay_run, run_once, run_with_mode, CollectorChoice, RunMode,
     RunResult, RunnerError, TraceCache, WorkloadTrace,

@@ -45,7 +45,7 @@ impl BenchHarness {
 
     /// Measures `f`, which performs **one** iteration per call.
     ///
-    /// Runs one warm-up round plus [`ROUNDS`] timed rounds of `iters`
+    /// Runs one warm-up round plus `ROUNDS` (7) timed rounds of `iters`
     /// iterations and records the median.  The closure's result is passed
     /// through [`black_box`] so the optimizer cannot delete the work.
     ///

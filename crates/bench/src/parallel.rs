@@ -1,0 +1,386 @@
+//! Parallel trace evaluation: N collector shards on N OS threads.
+//!
+//! [`parallel_eval`] takes a trace partitioned by `cg-trace`
+//! ([`PartitionedTrace`]) and replays each sub-stream against its own
+//! [`CollectorShard`] — with its own shadow [`Heap`] region — on its own OS
+//! thread (`std::thread::scope`), sharing only the [`StaticDomain`] and a
+//! per-shard progress counter:
+//!
+//! * a shard's own objects, blocks, frame index and heap slice are touched
+//!   by exactly one thread (the partitioner routes every event to the shard
+//!   whose state it mutates), so the per-event hot path takes no locks;
+//! * a `ReferenceStore` with a foreign operand carries a wait edge: the
+//!   thread parks until the owning shard's progress counter passes the
+//!   point where the §3.3 escalation of that operand is guaranteed to have
+//!   happened, then resolves the operand through the static domain;
+//! * `Collect`/`ProgramEnd` are barriers (shard 0 waits for everyone,
+//!   everyone waits for shard 0).
+//!
+//! The invariant — checked by the `shard_equivalence` integration test and
+//! asserted by the `shard_scaling` bench before timing anything — is that
+//! the aggregated [`CgStats`] and [`ObjectBreakdown`] are **byte-identical**
+//! to a single-threaded [`cg_trace::replay()`] of the same trace, for every
+//! shard count.
+//!
+//! Scope: the engine evaluates the plain contaminated collector.  Recycling
+//! traces are collector-dependent (they cannot be replayed at all) and the
+//! hybrid's mark-sweep/reset needs a global heap view, so `Collect` events
+//! are barriers but collect nothing — exactly like `ContaminatedGc`'s no-op
+//! `collect` hook.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+use cg_core::{aggregate_shards, CgConfig, CgStats, CollectorShard, ObjectBreakdown, StaticDomain};
+use cg_heap::{Heap, HeapConfig, Value};
+use cg_trace::{GcEvent, PartitionedTrace, ReplayError, ShardStream};
+
+/// What a parallel sharded evaluation produced, aggregated across shards.
+#[derive(Debug, Clone)]
+pub struct ParallelOutcome {
+    /// Aggregated collector statistics (byte-identical to a single-threaded
+    /// replay of the same trace).
+    pub stats: CgStats,
+    /// Aggregated final object disposition.
+    pub breakdown: ObjectBreakdown,
+    /// Number of shards (and OS threads) used.
+    pub shard_count: usize,
+    /// Events replayed across all shards.
+    pub events_replayed: usize,
+    /// Objects freed by the collector during the replay.
+    pub collector_freed_objects: u64,
+    /// Bytes freed by the collector during the replay.
+    pub collector_freed_bytes: u64,
+    /// Objects live across all shard heaps after the replay.
+    pub live_at_exit: usize,
+    /// Recorded `Collect` events encountered (barriers; plain CG does not
+    /// mark, so they free nothing).
+    pub gc_cycles: u64,
+    /// Wall-clock seconds for the whole scoped run.
+    pub elapsed_seconds: f64,
+}
+
+/// Per-shard worker result.
+struct ShardRun {
+    shard: CollectorShard,
+    heap: Heap,
+    events: usize,
+    freed_objects: u64,
+    freed_bytes: u64,
+    gc_cycles: u64,
+}
+
+/// Why a shard stopped.
+enum ShardError {
+    /// The shard itself diverged from the recorded history.
+    Real(ReplayError),
+    /// Another shard failed first; this one bailed out of a wait.
+    Aborted,
+}
+
+/// Sets the abort flag unless defused: a shard that stops for any reason —
+/// a replay error, or a panic unwinding through `run_shard` (soundness
+/// violations, the §3.3 invariant check) — must release every sibling
+/// parked on its progress counter, or the evaluation hangs instead of
+/// failing.
+struct AbortOnDrop<'a> {
+    abort: &'a AtomicBool,
+    armed: bool,
+}
+
+impl Drop for AbortOnDrop<'_> {
+    fn drop(&mut self) {
+        if self.armed {
+            self.abort.store(true, Ordering::Relaxed);
+        }
+    }
+}
+
+/// Replays one shard's stream, publishing progress after every event.
+fn run_shard(
+    stream: &ShardStream,
+    config: CgConfig,
+    heap_config: HeapConfig,
+    domain: &StaticDomain,
+    progress: &[AtomicU64],
+    abort: &AtomicBool,
+) -> Result<ShardRun, ShardError> {
+    let me = stream.shard as usize;
+    let mut run = ShardRun {
+        shard: CollectorShard::for_shard(config),
+        heap: Heap::new(heap_config),
+        events: 0,
+        freed_objects: 0,
+        freed_bytes: 0,
+        gc_cycles: 0,
+    };
+    // Any exit other than a clean completion — error return *or* panic —
+    // must wake the siblings (the guard is defused just before `Ok`).
+    let mut guard = AbortOnDrop { abort, armed: true };
+    let fail = |abort: &AtomicBool, e: ReplayError| {
+        abort.store(true, Ordering::Relaxed);
+        ShardError::Real(e)
+    };
+    for ev in &stream.events {
+        // Honour the cross-shard ordering edges.  All edges point backwards
+        // in the global order, so this cannot deadlock; on one core the
+        // yield hands the timeslice to the awaited shard.
+        for wait in &ev.waits {
+            let target = &progress[wait.shard as usize];
+            let mut spins = 0u32;
+            while target.load(Ordering::Acquire) < wait.processed {
+                if abort.load(Ordering::Relaxed) {
+                    return Err(ShardError::Aborted);
+                }
+                spins += 1;
+                if spins < 64 {
+                    std::hint::spin_loop();
+                } else {
+                    std::thread::yield_now();
+                }
+            }
+        }
+        match &ev.event {
+            GcEvent::Allocate {
+                handle,
+                class,
+                kind,
+                frame,
+                recycled,
+            } => {
+                if *recycled {
+                    // Recycling traces are collector-dependent; they cannot
+                    // be replayed (sharded or not).
+                    return Err(fail(
+                        abort,
+                        ReplayError::RecycleDiverged { handle: *handle },
+                    ));
+                }
+                let placed = match kind {
+                    cg_trace::AllocKind::Instance { field_count } => {
+                        run.heap.allocate_at(*handle, *class, *field_count)
+                    }
+                    cg_trace::AllocKind::Array { length } => {
+                        run.heap.allocate_array_at(*handle, *class, *length)
+                    }
+                };
+                if let Err(e) = placed {
+                    return Err(fail(abort, ReplayError::Heap(e)));
+                }
+                run.shard.on_allocate(*handle, frame, domain);
+            }
+            GcEvent::SlotWrite {
+                object,
+                slot,
+                value,
+                element,
+            } => {
+                let value = Value::from(*value);
+                let written = if *element {
+                    run.heap.set_element(*object, *slot, value)
+                } else {
+                    run.heap.set_field(*object, *slot, value)
+                };
+                if let Err(e) = written {
+                    return Err(fail(abort, ReplayError::Heap(e)));
+                }
+            }
+            GcEvent::ObjectAccess { handle, thread } => {
+                run.shard.on_object_access(*handle, *thread, domain);
+            }
+            GcEvent::ReferenceStore {
+                source,
+                target,
+                frame,
+            } => {
+                run.shard
+                    .on_reference_store(*source, *target, frame, domain);
+            }
+            GcEvent::StaticStore { target } => {
+                run.shard.on_static_store(*target, domain);
+            }
+            GcEvent::ReturnValue {
+                value,
+                caller,
+                callee,
+            } => {
+                run.shard.on_return_value(*value, caller, callee, domain);
+            }
+            GcEvent::FramePush { .. } => {}
+            GcEvent::FramePop { frame } => {
+                let outcome = run.shard.on_frame_pop(frame, &mut run.heap);
+                run.freed_objects += outcome.freed_objects;
+                run.freed_bytes += outcome.freed_bytes;
+            }
+            // Barriers.  Plain CG's `collect` hook is a no-op (no marking);
+            // the breakdown is aggregated after the join.
+            GcEvent::Collect { .. } => run.gc_cycles += 1,
+            GcEvent::ProgramEnd { .. } => {}
+        }
+        run.events += 1;
+        progress[me].store(run.events as u64, Ordering::Release);
+    }
+    guard.armed = false;
+    Ok(run)
+}
+
+/// Replays a partitioned trace on `shard_count` OS threads and aggregates
+/// the results.
+///
+/// Every shard gets the full `heap_config` as its private region, so a
+/// sharded replay can never exhaust space a single-threaded replay had.
+///
+/// # Errors
+///
+/// Returns a [`ReplayError`] if any shard diverges from the recorded heap
+/// history (the remaining shards abort).
+///
+/// # Panics
+///
+/// Panics if the stream violates the §3.3 pre-escalation invariant (a store
+/// operand owned by a foreign shard that is not yet static) — possible only
+/// for hand-built traces, never for streams recorded from the VM.
+pub fn parallel_eval(
+    pt: &PartitionedTrace,
+    heap_config: HeapConfig,
+    config: CgConfig,
+) -> Result<ParallelOutcome, ReplayError> {
+    let start = std::time::Instant::now();
+    let shard_count = pt.shard_count();
+    let domain = StaticDomain::new();
+    let progress: Vec<AtomicU64> = (0..shard_count).map(|_| AtomicU64::new(0)).collect();
+    let abort = AtomicBool::new(false);
+
+    let results: Vec<Result<ShardRun, ShardError>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = pt
+            .streams
+            .iter()
+            .map(|stream| {
+                let domain = &domain;
+                let progress = &progress;
+                let abort = &abort;
+                scope.spawn(move || run_shard(stream, config, heap_config, domain, progress, abort))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| match h.join() {
+                Ok(result) => result,
+                // The shard's abort guard has already released the
+                // siblings; surface the original panic to the caller.
+                Err(payload) => std::panic::resume_unwind(payload),
+            })
+            .collect()
+    });
+
+    let mut runs = Vec::with_capacity(shard_count);
+    let mut first_error = None;
+    for result in results {
+        match result {
+            Ok(run) => runs.push(run),
+            Err(ShardError::Real(e)) => first_error = first_error.or(Some(e)),
+            Err(ShardError::Aborted) => {}
+        }
+    }
+    if let Some(e) = first_error {
+        return Err(e);
+    }
+    debug_assert_eq!(runs.len(), shard_count);
+
+    // Aggregate exactly the way the single-threaded collector reports at
+    // program end (one shared implementation with the sequential ShardedGc).
+    let (stats, breakdown) = aggregate_shards(runs.iter_mut().map(|r| &mut r.shard), &domain);
+
+    Ok(ParallelOutcome {
+        stats,
+        breakdown,
+        shard_count,
+        events_replayed: runs.iter().map(|r| r.events).sum(),
+        collector_freed_objects: runs.iter().map(|r| r.freed_objects).sum(),
+        collector_freed_bytes: runs.iter().map(|r| r.freed_bytes).sum(),
+        live_at_exit: runs.iter().map(|r| r.heap.live_count()).sum(),
+        gc_cycles: runs.iter().map(|r| r.gc_cycles).sum(),
+        elapsed_seconds: start.elapsed().as_secs_f64(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cg_core::ContaminatedGc;
+    use cg_trace::{partition, record, replay};
+    use cg_vm::{NoopCollector, VmConfig};
+    use cg_workloads::{Size, Workload};
+
+    /// A panic in one shard must propagate out of `parallel_eval` (the abort
+    /// guard releases the siblings) instead of deadlocking the evaluation.
+    #[test]
+    #[should_panic(expected = "pre-escalation invariant")]
+    fn shard_panic_propagates_instead_of_hanging() {
+        use cg_trace::Trace;
+        use cg_vm::{
+            AllocKind, ClassId, FrameId, FrameInfo, GcEvent, Handle, MethodId, RootSet, ThreadId,
+        };
+        let frame = |id: u64, thread: u32| FrameInfo {
+            id: FrameId::new(id),
+            depth: 1,
+            thread: ThreadId::new(thread),
+            method: MethodId::new(0),
+        };
+        let alloc = |handle: u32, thread: u32| GcEvent::Allocate {
+            handle: Handle::from_index(handle),
+            class: ClassId::new(0),
+            kind: AllocKind::Instance { field_count: 1 },
+            frame: frame(1 + thread as u64, thread),
+            recycled: false,
+        };
+        // An ill-formed stream: thread 1 stores thread 0's object without
+        // the preceding cross-thread ObjectAccess, so shard 1 panics on the
+        // §3.3 invariant — while shard 0's ProgramEnd barrier waits on it.
+        let mut trace = Trace::new("ill-formed");
+        trace.push(alloc(0, 0));
+        trace.push(alloc(1, 1));
+        trace.push(GcEvent::ReferenceStore {
+            source: Handle::from_index(1),
+            target: Handle::from_index(0),
+            frame: frame(2, 1),
+        });
+        trace.push(GcEvent::ProgramEnd {
+            roots: Box::new(RootSet::default()),
+        });
+        let pt = partition(&trace, 2);
+        let _ = parallel_eval(&pt, cg_heap::HeapConfig::small(), CgConfig::default());
+    }
+
+    #[test]
+    fn parallel_eval_matches_single_threaded_replay_on_mtrt() {
+        let workload = Workload::by_name("mtrt").expect("mtrt exists");
+        let config = VmConfig::default().with_heap(crate::runner::experiment_heap());
+        let (trace, ..) = record(
+            "mtrt/1",
+            workload.program(Size::S1),
+            config,
+            NoopCollector::new(),
+        )
+        .expect("recording succeeds");
+        let cg_config = CgConfig {
+            verify_tainted: false,
+            ..CgConfig::preferred()
+        };
+        let single = replay(&trace, config.heap, ContaminatedGc::with_config(cg_config))
+            .expect("single replay succeeds");
+        let mut single_collector = single.collector;
+        let single_breakdown = single_collector.breakdown();
+        for shards in [1, 2, 4] {
+            let pt = partition(&trace, shards);
+            let outcome = parallel_eval(&pt, config.heap, cg_config).expect("parallel succeeds");
+            assert_eq!(outcome.stats, *single_collector.stats(), "{shards} shards");
+            assert_eq!(outcome.breakdown, single_breakdown, "{shards} shards");
+            assert_eq!(outcome.events_replayed, trace.len());
+            assert_eq!(
+                outcome.collector_freed_objects,
+                single.outcome.collector_freed_objects
+            );
+            assert_eq!(outcome.live_at_exit, single.outcome.live_at_exit);
+        }
+    }
+}

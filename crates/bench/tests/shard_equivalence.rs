@@ -1,0 +1,115 @@
+//! The sharded-evaluation invariant, pinned down end to end:
+//!
+//! for **every** recorded workload trace and **every** shard count in
+//! {1, 2, 4, 8}, the parallel sharded evaluation's aggregated `CgStats` and
+//! `ObjectBreakdown` are byte-identical to a single-threaded replay of the
+//! same trace — and the partitioner's deterministic merge reproduces the
+//! original event order exactly.
+
+use cg_bench::parallel_eval;
+use cg_core::{CgConfig, ContaminatedGc};
+use cg_trace::{partition, record, replay};
+use cg_vm::{NoopCollector, VmConfig};
+use cg_workloads::{Size, Workload};
+
+const SHARD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+fn cg_config() -> CgConfig {
+    CgConfig {
+        // The soundness verifier is a debug aid; equivalence is about the
+        // statistics.
+        verify_tainted: false,
+        ..CgConfig::preferred()
+    }
+}
+
+#[test]
+fn sharded_evaluation_is_byte_identical_for_every_workload_and_shard_count() {
+    let vm_config = VmConfig::default().with_heap(cg_bench::runner::experiment_heap());
+    for workload in Workload::all() {
+        let (trace, ..) = record(
+            format!("{}/1", workload.name()),
+            workload.program(Size::S1),
+            vm_config,
+            NoopCollector::new(),
+        )
+        .unwrap_or_else(|e| panic!("{} records: {e}", workload.name()));
+
+        let single = replay(
+            &trace,
+            vm_config.heap,
+            ContaminatedGc::with_config(cg_config()),
+        )
+        .unwrap_or_else(|e| panic!("{} replays: {e}", workload.name()));
+        let mut single_collector = single.collector;
+        let single_breakdown = single_collector.breakdown();
+
+        for shards in SHARD_COUNTS {
+            let pt = partition(&trace, shards);
+
+            // Partition -> deterministic merge is the identity.
+            assert_eq!(
+                pt.merge(),
+                trace,
+                "{}: merge must reproduce the original order ({shards} shards)",
+                workload.name()
+            );
+
+            // Parallel aggregated statistics are byte-identical.
+            let outcome = parallel_eval(&pt, vm_config.heap, cg_config())
+                .unwrap_or_else(|e| panic!("{} parallel ({shards} shards): {e}", workload.name()));
+            assert_eq!(
+                outcome.stats,
+                *single_collector.stats(),
+                "{}: CgStats diverged at {shards} shards",
+                workload.name()
+            );
+            assert_eq!(
+                outcome.breakdown,
+                single_breakdown,
+                "{}: ObjectBreakdown diverged at {shards} shards",
+                workload.name()
+            );
+            assert_eq!(outcome.events_replayed, trace.len());
+            assert_eq!(
+                outcome.collector_freed_objects,
+                single.outcome.collector_freed_objects
+            );
+            assert_eq!(
+                outcome.collector_freed_bytes,
+                single.outcome.collector_freed_bytes
+            );
+            assert_eq!(outcome.live_at_exit, single.outcome.live_at_exit);
+        }
+    }
+}
+
+#[test]
+fn sharded_evaluation_matches_without_the_static_optimisation() {
+    // The §3.4-off configuration exercises the drag-into-static union paths
+    // the optimisation normally skips.
+    let vm_config = VmConfig::default().with_heap(cg_bench::runner::experiment_heap());
+    let config = CgConfig {
+        verify_tainted: false,
+        ..CgConfig::without_static_opt()
+    };
+    let workload = Workload::by_name("javac").expect("javac exists");
+    let (trace, ..) = record(
+        "javac/1",
+        workload.program(Size::S1),
+        vm_config,
+        NoopCollector::new(),
+    )
+    .expect("recording succeeds");
+    let single = replay(&trace, vm_config.heap, ContaminatedGc::with_config(config))
+        .expect("single replay succeeds");
+    for shards in SHARD_COUNTS {
+        let pt = partition(&trace, shards);
+        let outcome = parallel_eval(&pt, vm_config.heap, config).expect("parallel succeeds");
+        assert_eq!(
+            outcome.stats,
+            *single.collector.stats(),
+            "no-opt CgStats diverged at {shards} shards"
+        );
+    }
+}

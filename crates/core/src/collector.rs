@@ -1,14 +1,11 @@
 //! The contaminated garbage collector.
 
-use std::collections::HashMap;
-
-use cg_unionfind::ElementId;
 use cg_vm::{ClassId, CollectOutcome, Collector, FrameInfo, Handle, Heap, RootSet, ThreadId};
 
-use crate::bitset::HandleBitSet;
-use crate::equilive::{EquiliveSets, FrameKey, StaticReason};
-use crate::frame_index::FrameBlockIndex;
-use crate::recycle::{RecycleBins, RecyclePolicy};
+use crate::equilive::EquiliveSets;
+use crate::recycle::RecyclePolicy;
+use crate::shard::CollectorShard;
+use crate::static_domain::StaticDomain;
 use crate::stats::{CgStats, ObjectBreakdown};
 
 /// Configuration of the contaminated collector.
@@ -78,25 +75,20 @@ impl CgConfig {
     }
 }
 
-/// Per-object bookkeeping (one entry per live object incarnation).
-#[derive(Debug, Clone, Copy)]
-struct ObjData {
-    /// The object's element in the equilive forest.
-    elem: ElementId,
-    /// Stack depth of the frame the object was allocated in (Figure 4.6).
-    birth_depth: usize,
-    /// The thread that allocated the object (§3.3).
-    alloc_thread: ThreadId,
-    /// Whether the collector has declared the object dead.
-    dead: bool,
-}
-
 /// The contaminated garbage collector (the paper's contribution).
 ///
 /// Objects are grouped into equilive blocks; each block depends on a stack
 /// frame; popping the frame collects the block.  See the crate documentation
 /// for the full set of rules and the
 /// [`Collector`] implementation below for how each VM event maps onto them.
+///
+/// Internally this is the **1-shard instantiation** of the sharded collector
+/// code path: one [`CollectorShard`] holding all per-thread state (equilive
+/// forest, frame index, tainted set, recycle bins) plus a private
+/// [`StaticDomain`] holding the §3.3 static set.  A multi-shard evaluation
+/// (see [`ShardedGc`](crate::ShardedGc) and the parallel trace evaluation in
+/// `cg-bench`) runs exactly the same per-event code over N shards sharing
+/// one domain.
 ///
 /// # Example
 ///
@@ -126,19 +118,13 @@ struct ObjData {
 #[derive(Debug, Clone)]
 pub struct ContaminatedGc {
     config: CgConfig,
-    sets: EquiliveSets,
-    /// Indexed by handle index.
-    objects: Vec<Option<ObjData>>,
-    /// Blocks (by root element) dependent on each live frame and on the
-    /// static pseudo-frame, as dense per-thread stacks.
-    frame_index: FrameBlockIndex,
-    /// Dead objects kept for reuse (§3.7).
-    recycle: RecycleBins,
-    /// Objects known to be dead (§3.1.4), one bit per handle index.
-    tainted: HandleBitSet,
+    /// The one shard: all per-thread collector state.
+    shard: CollectorShard,
+    /// The private static set (§3.3); shared by reference in multi-shard
+    /// evaluations, owned here.
+    domain: StaticDomain,
     /// Final object disposition, computed when the program ends.
     breakdown: Option<ObjectBreakdown>,
-    stats: CgStats,
 }
 
 impl Default for ContaminatedGc {
@@ -157,13 +143,9 @@ impl ContaminatedGc {
     pub fn with_config(config: CgConfig) -> Self {
         Self {
             config,
-            sets: EquiliveSets::new(),
-            objects: Vec::new(),
-            frame_index: FrameBlockIndex::new(),
-            recycle: RecycleBins::new(config.recycle_policy),
-            tainted: HandleBitSet::new(),
+            shard: CollectorShard::new(config),
+            domain: StaticDomain::new(),
             breakdown: None,
-            stats: CgStats::new(),
         }
     }
 
@@ -174,22 +156,27 @@ impl ContaminatedGc {
 
     /// The statistics accumulated so far.
     pub fn stats(&self) -> &CgStats {
-        &self.stats
+        self.shard.stats()
     }
 
     /// The equilive relation (for inspection in tests and experiments).
     pub fn sets(&self) -> &EquiliveSets {
-        &self.sets
+        self.shard.sets()
+    }
+
+    /// The static domain (for inspection in tests and experiments).
+    pub fn domain(&self) -> &StaticDomain {
+        &self.domain
     }
 
     /// Number of dead objects currently awaiting reuse on the recycle list.
     pub fn recycle_list_len(&self) -> usize {
-        self.recycle.len()
+        self.shard.recycle_list_len()
     }
 
     /// Whether the collector believes `handle` is dead.
     pub fn is_tainted(&self, handle: Handle) -> bool {
-        self.tainted.contains(handle)
+        self.shard.is_tainted(handle)
     }
 
     /// Final disposition of every created object (popped / static /
@@ -202,141 +189,14 @@ impl ContaminatedGc {
         }
     }
 
-    // ------------------------------------------------------------------
-    // internal helpers
-    // ------------------------------------------------------------------
-
-    fn ensure_slot(&mut self, handle: Handle) {
-        if self.objects.len() <= handle.index_usize() {
-            self.objects.resize(handle.index_usize() + 1, None);
-        }
-    }
-
-    /// Registers a (possibly recycled) object as a fresh singleton block
-    /// dependent on the allocating frame.
-    fn register(&mut self, handle: Handle, frame: &FrameInfo) -> ElementId {
-        self.ensure_slot(handle);
-        let key = FrameKey::frame(frame);
-        let elem = self.sets.insert(handle, key);
-        self.attach(elem, key);
-        self.objects[handle.index_usize()] = Some(ObjData {
-            elem,
-            birth_depth: frame.depth,
-            alloc_thread: frame.thread,
-            dead: false,
-        });
-        self.stats.objects_created += 1;
-        elem
-    }
-
-    fn data(&self, handle: Handle) -> Option<&ObjData> {
-        self.objects
-            .get(handle.index_usize())
-            .and_then(Option::as_ref)
-    }
-
-    /// The element of a live object, registering it conservatively against
-    /// the given frame if the collector has somehow never seen it.
-    fn elem_of(&mut self, handle: Handle, frame: &FrameInfo) -> ElementId {
-        match self.data(handle) {
-            Some(data) if !data.dead => data.elem,
-            Some(_) => {
-                // A dead object is being used again: this can only happen if
-                // the collector's deadness conclusion was wrong.
-                if self.config.verify_tainted {
-                    panic!("contaminated GC soundness violation: {handle} was declared dead but is still in use");
-                }
-                self.register(handle, frame)
-            }
-            None => self.register(handle, frame),
-        }
-    }
-
-    fn attach(&mut self, root: ElementId, key: FrameKey) {
-        self.frame_index.attach(root, key);
-    }
-
-    /// Unions the blocks of two elements (the contamination step), keeping
-    /// the per-frame index consistent.
-    fn contaminate(&mut self, a: ElementId, b: ElementId) {
-        let ra = self.sets.find(a);
-        let rb = self.sets.find(b);
-        if ra == rb {
-            return;
-        }
-        self.contaminate_roots(ra, rb);
-    }
-
-    /// The contamination step for two elements already resolved to distinct
-    /// roots — the store barrier resolves each operand's root exactly once
-    /// per event and comes through here.
-    fn contaminate_roots(&mut self, ra: ElementId, rb: ElementId) {
-        self.frame_index.detach(ra);
-        self.frame_index.detach(rb);
-        let root = self.sets.union_roots(ra, rb);
-        let merged_key = self.sets.block_of_root(root).key;
-        self.attach(root, merged_key);
-        self.stats.unions += 1;
-    }
-
-    /// Moves the block of `elem` to depend on `new_key`.
-    fn retarget(&mut self, elem: ElementId, new_key: FrameKey, reason: StaticReason) {
-        let root = self.sets.find(elem);
-        self.retarget_root(root, new_key, reason);
-    }
-
-    /// [`ContaminatedGc::retarget`] for an element already resolved to its
-    /// root.
-    fn retarget_root(&mut self, root: ElementId, new_key: FrameKey, reason: StaticReason) {
-        let old_key = self.sets.block_of_root(root).key;
-        if old_key == new_key {
-            if new_key.is_static() && reason == StaticReason::ThreadShared {
-                // Upgrade the recorded reason: thread sharing is the more
-                // specific diagnosis for the experiment breakdown.
-                let block = self.sets.block_mut_of_root(root);
-                if block.static_reason == StaticReason::NotStatic {
-                    block.static_reason = reason;
-                }
-            }
-            return;
-        }
-        self.frame_index.detach(root);
-        {
-            let block = self.sets.block_mut_of_root(root);
-            block.key = new_key;
-            if new_key.is_static() {
-                block.static_reason = reason;
-            }
-        }
-        self.attach(root, new_key);
-    }
-
-    /// Demotes the block of `elem` to the static pseudo-frame.
-    fn make_static(&mut self, elem: ElementId, reason: StaticReason) {
-        self.retarget(elem, FrameKey::Static, reason);
-    }
-
     fn compute_breakdown(&mut self) -> ObjectBreakdown {
-        let mut static_objects = 0u64;
-        let mut thread_shared = 0u64;
-        let entries: Vec<(usize, ElementId)> = self
-            .objects
-            .iter()
-            .enumerate()
-            .filter_map(|(i, d)| d.as_ref().filter(|d| !d.dead).map(|d| (i, d.elem)))
-            .collect();
-        for (_, elem) in entries {
-            let block = self.sets.block(elem);
-            match block.static_reason {
-                StaticReason::ThreadShared => thread_shared += 1,
-                _ => static_objects += 1,
-            }
-        }
-        ObjectBreakdown {
-            popped: self.stats.objects_collected,
-            static_objects,
-            thread_shared,
-        }
+        let mut breakdown = ObjectBreakdown {
+            popped: self.shard.stats().objects_collected,
+            ..ObjectBreakdown::default()
+        };
+        self.shard
+            .accumulate_breakdown(&self.domain, &mut breakdown);
+        breakdown
     }
 
     // ------------------------------------------------------------------
@@ -348,129 +208,14 @@ impl ContaminatedGc {
     /// them as "collected by MSA" (Figure 4.11).  Also purges them from the
     /// recycle list.
     pub fn purge_unreachable(&mut self, live: &[bool]) {
-        for (index, slot) in self.objects.iter_mut().enumerate() {
-            if let Some(data) = slot {
-                if !data.dead && !live.get(index).copied().unwrap_or(false) {
-                    data.dead = true;
-                    self.tainted.insert(Handle::from_index(index as u32));
-                    self.stats.reset_collected_by_msa += 1;
-                }
-            }
-        }
-        self.recycle
-            .retain(|h| live.get(h.index_usize()).copied().unwrap_or(false));
+        self.shard.purge_unreachable(live);
     }
 
     /// Rebuilds the equilive relation from the live object graph during a
-    /// traditional collection (§3.6).
-    ///
-    /// The traversal mirrors the paper's description: static (and
-    /// interpreter) roots are considered first, then each stack frame oldest
-    /// first; every object is re-associated with the frame that first reaches
-    /// it and unioned with the objects it points to.  Objects whose dependent
-    /// frame becomes *younger* than before are counted as "less live"
-    /// (Figure 4.11).
+    /// traditional collection (§3.6).  See
+    /// [`CollectorShard::reset_from_roots`].
     pub fn reset_from_roots(&mut self, roots: &RootSet, heap: &Heap, live: &[bool]) {
-        self.stats.resets += 1;
-
-        // Remember each live object's old dependent frame for the
-        // less-live accounting.
-        let live_entries: Vec<(Handle, ElementId)> = self
-            .objects
-            .iter()
-            .enumerate()
-            .filter_map(|(index, slot)| {
-                slot.as_ref()
-                    .filter(|d| !d.dead)
-                    .map(|d| (Handle::from_index(index as u32), d.elem))
-            })
-            .collect();
-        let mut old_keys: HashMap<Handle, FrameKey> = HashMap::new();
-        for (handle, elem) in live_entries {
-            let key = self.sets.block(elem).key;
-            old_keys.insert(handle, key);
-        }
-
-        // Objects the mark phase could not reach drop out of our structures.
-        self.purge_unreachable(live);
-
-        // Dissolve all per-frame lists; every live object gets a fresh
-        // element below.
-        self.frame_index.clear();
-
-        // Breadth of reassignment: handle -> new element.
-        let mut new_elem: HashMap<Handle, ElementId> = HashMap::new();
-
-        let assign = |cg: &mut Self,
-                      new_elem: &mut HashMap<Handle, ElementId>,
-                      handle: Handle,
-                      key: FrameKey|
-         -> ElementId {
-            if let Some(&elem) = new_elem.get(&handle) {
-                return elem;
-            }
-            let elem = cg.sets.insert(handle, key);
-            cg.attach(elem, key);
-            new_elem.insert(handle, elem);
-            if let Some(Some(data)) = cg.objects.get_mut(handle.index_usize()) {
-                data.elem = elem;
-            }
-            elem
-        };
-
-        // Worklist traversal from a set of roots, assigning `key` to newly
-        // reached objects and unioning along every edge.
-        let traverse = |cg: &mut Self,
-                        new_elem: &mut HashMap<Handle, ElementId>,
-                        root: Handle,
-                        key: FrameKey| {
-            if !heap.is_live(root) {
-                return;
-            }
-            let root_elem = assign(cg, new_elem, root, key);
-            let mut worklist = vec![(root, root_elem)];
-            while let Some((handle, elem)) = worklist.pop() {
-                // The borrowing iterator keeps this traversal from
-                // allocating a Vec per visited object.
-                for target in heap.references_iter(handle) {
-                    if !heap.is_live(target) {
-                        continue;
-                    }
-                    let seen = new_elem.contains_key(&target);
-                    let target_elem = assign(cg, new_elem, target, key);
-                    cg.contaminate(elem, target_elem);
-                    if !seen {
-                        worklist.push((target, target_elem));
-                    }
-                }
-            }
-        };
-
-        // Statics and interpreter-internal references first: they pin their
-        // whole reachable subgraph to the static pseudo-frame.
-        for &root in roots.statics.iter().chain(roots.interpreter.iter()) {
-            traverse(self, &mut new_elem, root, FrameKey::Static);
-        }
-
-        // Then each stack frame, oldest first within each thread (the order
-        // `RootSet::frames` is built in).
-        for frame_roots in &roots.frames {
-            let key = FrameKey::frame(&frame_roots.frame);
-            for &root in &frame_roots.refs {
-                traverse(self, &mut new_elem, root, key);
-            }
-        }
-
-        // Count objects whose liveness estimate improved (moved to a younger
-        // frame than before).
-        for (handle, &elem) in &new_elem {
-            if let Some(old_key) = old_keys.get(handle) {
-                let new_key = self.sets.block(elem).key;
-                if old_key.strictly_older_than(new_key) {
-                    self.stats.reset_less_live += 1;
-                }
-            }
-        }
+        self.shard.reset_from_roots(roots, heap, live, &self.domain);
     }
 }
 
@@ -484,7 +229,7 @@ impl Collector for ContaminatedGc {
     }
 
     fn on_allocate(&mut self, handle: Handle, frame: &FrameInfo, _heap: &Heap) {
-        self.register(handle, frame);
+        self.shard.on_allocate(handle, frame, &self.domain);
     }
 
     fn on_reference_store(
@@ -494,124 +239,25 @@ impl Collector for ContaminatedGc {
         frame: &FrameInfo,
         _heap: &Heap,
     ) {
-        self.stats.contaminations += 1;
-        let source_elem = self.elem_of(source, frame);
-        let target_elem = self.elem_of(target, frame);
-        // Resolve each operand's root exactly once per event (the seed ran
-        // up to six finds here: two in the static-optimisation probes and
-        // two more inside the contamination step).
-        let source_root = self.sets.find(source_elem);
-        let target_root = self.sets.find(target_elem);
-        if source_root == target_root {
-            // Already equilive: nothing can change.
-            return;
-        }
-        if self.config.static_opt {
-            // §3.4: referencing an object that is already static cannot make
-            // that object any more live, so there is no need to drag the
-            // referencing object into the static set.
-            let target_static = self.sets.block_of_root(target_root).is_static();
-            let source_static = self.sets.block_of_root(source_root).is_static();
-            if target_static && !source_static {
-                self.stats.static_opt_skips += 1;
-                return;
-            }
-        }
-        self.contaminate_roots(source_root, target_root);
+        self.shard
+            .on_reference_store(source, target, frame, &self.domain);
     }
 
     fn on_static_store(&mut self, target: Handle, _heap: &Heap) {
-        let elem = self.elem_of(target, &FrameInfo::static_frame());
-        self.make_static(elem, StaticReason::StaticReference);
+        self.shard.on_static_store(target, &self.domain);
     }
 
-    fn on_return_value(&mut self, value: Handle, caller: &FrameInfo, _callee: &FrameInfo) {
-        let elem = self.elem_of(value, caller);
-        let root = self.sets.find(elem);
-        let current = self.sets.block(root).key;
-        let caller_key = FrameKey::frame(caller);
-        // Adjust only if the caller's frame outlives the current dependent
-        // frame (§3.1.3, areturn).
-        if caller_key.strictly_older_than(current) {
-            self.retarget(elem, caller_key, StaticReason::NotStatic);
-            self.stats.returns_retargeted += 1;
-        }
+    fn on_return_value(&mut self, value: Handle, caller: &FrameInfo, callee: &FrameInfo) {
+        self.shard
+            .on_return_value(value, caller, callee, &self.domain);
     }
 
     fn on_frame_pop(&mut self, frame: &FrameInfo, heap: &mut Heap) -> CollectOutcome {
-        let mut freed_objects = 0u64;
-        let mut freed_bytes = 0u64;
-        // Frames pop LIFO, so the bucket at this frame's depth holds exactly
-        // this frame's blocks; draining it is pop-after-pop, no hash lookup
-        // and no member-list clone.
-        while let Some(root) = self.frame_index.pop_frame_block(frame.thread, frame.depth) {
-            debug_assert_eq!(self.sets.block_of_root(root).key.frame_id(), Some(frame.id));
-            // The block is dying with its frame: move the member list out
-            // instead of cloning it.  A recycled member re-registers as a
-            // fresh incarnation with a fresh element, so the emptied list is
-            // never observed again.
-            let members = std::mem::take(&mut self.sets.block_mut_of_root(root).members);
-            let block_size = members.len();
-            self.stats.block_sizes.record(block_size as u64);
-            for handle in members {
-                let data = self.objects[handle.index_usize()]
-                    .as_mut()
-                    .expect("block members are registered objects");
-                if data.dead {
-                    continue;
-                }
-                data.dead = true;
-                self.tainted.insert(handle);
-                self.stats.objects_collected += 1;
-                if block_size == 1 {
-                    self.stats.objects_collected_exactly += 1;
-                }
-                let age = data.birth_depth.saturating_sub(frame.depth);
-                self.stats.age_at_death.record(age as u64);
-
-                let slot_count = match heap.get(handle) {
-                    Ok(object) if !object.is_array() => Some(object.slot_count()),
-                    _ => None,
-                };
-                match slot_count {
-                    Some(slots) if self.config.recycling => {
-                        // Defer the free: the object waits on the recycle
-                        // list and is handed back to the allocator later
-                        // (§3.7).
-                        self.recycle.push(handle, slots);
-                    }
-                    _ => {
-                        let bytes = heap
-                            .free(handle)
-                            .expect("collected object must still be live");
-                        freed_bytes += bytes as u64;
-                        freed_objects += 1;
-                    }
-                }
-            }
-        }
-        CollectOutcome {
-            freed_objects,
-            freed_bytes,
-            marked_objects: 0,
-        }
+        self.shard.on_frame_pop(frame, heap)
     }
 
     fn on_object_access(&mut self, handle: Handle, thread: ThreadId, _heap: &Heap) {
-        let Some(data) = self.data(handle).copied() else {
-            return;
-        };
-        if data.dead {
-            if self.config.verify_tainted {
-                panic!("contaminated GC soundness violation: dead object {handle} accessed by {thread}");
-            }
-            return;
-        }
-        if data.alloc_thread != thread {
-            // The object is shared between threads; its whole block must be
-            // treated as live for the program's duration (§3.3).
-            self.make_static(data.elem, StaticReason::ThreadShared);
-        }
+        self.shard.on_object_access(handle, thread, &self.domain);
     }
 
     fn try_recycled_alloc(
@@ -621,33 +267,12 @@ impl Collector for ContaminatedGc {
         _frame: &FrameInfo,
         heap: &mut Heap,
     ) -> Option<Handle> {
-        if !self.config.recycling {
-            return None;
-        }
-        // Search the recycle structure (§3.7) under the configured policy;
-        // every examined corpse is charged to `recycle_probes`.
-        let taken = self
-            .recycle
-            .take(field_count, &mut self.stats.recycle_probes, |handle| {
-                let fits = heap
-                    .get(handle)
-                    .map(|o| !o.is_array() && o.slot_count() >= field_count)
-                    .unwrap_or(false);
-                fits && heap.reinitialize(handle, class, field_count).is_ok()
-            });
-        if let Some(handle) = taken {
-            self.tainted.remove(handle);
-            self.stats.objects_recycled += 1;
-            // `on_allocate` follows and re-registers the handle as a new
-            // object incarnation.
-            return Some(handle);
-        }
-        None
+        self.shard.try_recycled_alloc(class, field_count, heap)
     }
 
     fn on_program_end(&mut self, _roots: &RootSet, _heap: &mut Heap) {
         let breakdown = self.compute_breakdown();
-        self.stats.objects_thread_shared = breakdown.thread_shared;
+        self.shard.stats_mut().objects_thread_shared = breakdown.thread_shared;
         self.breakdown = Some(breakdown);
     }
 }

@@ -9,6 +9,8 @@
 use cg_unionfind::{ElementId, MergePayload, TaggedSets};
 use cg_vm::{FrameId, FrameInfo, Handle, ThreadId};
 
+use crate::static_domain::StaticNodeId;
+
 /// The frame a block depends on.
 ///
 /// `Static` is the paper's "frame 0": the conceptual oldest frame holding all
@@ -143,22 +145,33 @@ pub enum StaticReason {
 }
 
 /// The per-block payload carried on every equilive set root.
+///
+/// A static block's identity and reason live in the shared
+/// [`StaticDomain`](crate::StaticDomain): `static_node` points at the
+/// block's domain node, and two static blocks are "the same block" iff their
+/// nodes are in the same domain set.  Shards never union static blocks in
+/// their own forests — that is what lets the static set be shared across
+/// shards while everything else stays shard-private.
 #[derive(Debug, Clone, PartialEq)]
 pub struct BlockInfo {
     /// The frame this block depends on.
     pub key: FrameKey,
-    /// Why the block is static, if it is.
-    pub static_reason: StaticReason,
+    /// The block's node in the shared static domain; `Some` iff `key` is
+    /// [`FrameKey::Static`].
+    pub static_node: Option<StaticNodeId>,
     /// Every object in the block.
     pub members: Vec<Handle>,
 }
 
 impl BlockInfo {
     /// Creates a singleton block for a freshly allocated object.
+    ///
+    /// The caller escalates the block into the static domain (assigning
+    /// `static_node`) if `key` is already static.
     pub fn singleton(handle: Handle, key: FrameKey) -> Self {
         BlockInfo {
             key,
-            static_reason: StaticReason::NotStatic,
+            static_node: None,
             members: vec![handle],
         }
     }
@@ -183,22 +196,16 @@ impl BlockInfo {
 impl MergePayload for BlockInfo {
     fn merge(&mut self, absorbed: Self) {
         self.key = self.key.older(absorbed.key);
-        self.static_reason = match (self.static_reason, absorbed.static_reason) {
-            (StaticReason::NotStatic, r) => r,
-            (r, StaticReason::NotStatic) => r,
-            // Thread sharing is the more specific diagnosis; keep it.
-            (StaticReason::ThreadShared, _) | (_, StaticReason::ThreadShared) => {
-                StaticReason::ThreadShared
-            }
-            (StaticReason::StaticReference, StaticReason::StaticReference) => {
-                StaticReason::StaticReference
-            }
-        };
-        // If the merged key became static through thread incomparability the
-        // reason may still be NotStatic; normalise.
-        if self.key.is_static() && self.static_reason == StaticReason::NotStatic {
-            self.static_reason = StaticReason::StaticReference;
-        }
+        // At most one side is static: the store barrier routes static×static
+        // pairs to the shared domain instead of unioning them in the shard
+        // forest.  When the merged key becomes static with no node (one side
+        // was static, or the frames were thread-incomparable), the barrier
+        // escalates the merged block right after this merge.
+        debug_assert!(
+            self.static_node.is_none() || absorbed.static_node.is_none(),
+            "static blocks merge in the static domain, not the shard forest"
+        );
+        self.static_node = self.static_node.or(absorbed.static_node);
         let mut absorbed_members = absorbed.members;
         self.members.append(&mut absorbed_members);
     }
@@ -411,18 +418,24 @@ mod tests {
     }
 
     #[test]
-    fn block_merge_static_reason_prefers_thread_shared() {
+    fn block_merge_inherits_the_static_side_node() {
         let mut a = BlockInfo::singleton(handle(0), FrameKey::Static);
-        a.static_reason = StaticReason::StaticReference;
-        let mut b = BlockInfo::singleton(handle(1), frame_key(1, 1));
-        b.static_reason = StaticReason::ThreadShared;
+        a.static_node = Some(7);
+        let b = BlockInfo::singleton(handle(1), frame_key(1, 1));
         a.merge(b);
-        assert_eq!(a.static_reason, StaticReason::ThreadShared);
         assert!(a.is_static());
+        assert_eq!(a.static_node, Some(7));
+        // Symmetric: the non-static winner inherits the absorbed node.
+        let mut c = BlockInfo::singleton(handle(2), frame_key(1, 1));
+        let mut d = BlockInfo::singleton(handle(3), FrameKey::Static);
+        d.static_node = Some(9);
+        c.merge(d);
+        assert!(c.is_static());
+        assert_eq!(c.static_node, Some(9));
     }
 
     #[test]
-    fn block_merge_across_threads_normalises_reason() {
+    fn block_merge_across_threads_goes_static_pending_escalation() {
         let mut a = BlockInfo::singleton(
             handle(0),
             FrameKey::Frame {
@@ -440,8 +453,10 @@ mod tests {
             },
         );
         a.merge(b);
+        // Thread-incomparable frames merge to the static pseudo-frame; the
+        // store barrier escalates the block into the domain right after.
         assert!(a.is_static());
-        assert_ne!(a.static_reason, StaticReason::NotStatic);
+        assert_eq!(a.static_node, None);
     }
 
     #[test]
@@ -481,7 +496,8 @@ mod tests {
         let mut eq = EquiliveSets::new();
         let a = eq.insert(handle(0), frame_key(4, 4));
         eq.block_mut(a).key = FrameKey::Static;
-        eq.block_mut(a).static_reason = StaticReason::StaticReference;
+        eq.block_mut(a).static_node = Some(0);
         assert!(eq.block(a).is_static());
+        assert_eq!(eq.block(a).static_node, Some(0));
     }
 }

@@ -34,8 +34,14 @@
 //!
 //! The main types:
 //!
-//! * [`ContaminatedGc`] — the collector, a [`cg_vm::Collector`] implementation.
-//! * [`CgConfig`] — static optimisation / recycling / verification knobs.
+//! * [`ContaminatedGc`] — the collector, a [`cg_vm::Collector`] implementation
+//!   (the 1-shard instantiation of the sharded code path).
+//! * [`CollectorShard`] / [`StaticDomain`] — one thread's share of the
+//!   collector state, and the §3.3 static set shared by all shards.
+//! * [`ShardedGc`] — the N-shard collector, routing a live VM's events
+//!   across per-thread shards.
+//! * [`CgConfig`] — static optimisation / recycling / verification knobs
+//!   (`verify_tainted` defaults on only under `debug_assertions`).
 //! * [`HybridCollector`] — contaminated GC plus a mark-sweep backstop with
 //!   optional structure resetting.
 //! * [`EquiliveSets`], [`FrameKey`], [`BlockInfo`] — the underlying relation.
@@ -82,6 +88,9 @@ pub mod equilive;
 pub mod frame_index;
 pub mod hybrid;
 pub mod recycle;
+pub mod shard;
+pub mod sharded;
+pub mod static_domain;
 pub mod stats;
 
 pub use bitset::HandleBitSet;
@@ -90,4 +99,7 @@ pub use equilive::{BlockInfo, EquiliveSets, FrameKey, StaticReason};
 pub use frame_index::FrameBlockIndex;
 pub use hybrid::{HybridCollector, HybridConfig};
 pub use recycle::{RecycleBins, RecyclePolicy};
+pub use shard::{aggregate_shards, aggregate_stats, CollectorShard, StoreOperand};
+pub use sharded::ShardedGc;
+pub use static_domain::{StaticDomain, StaticNodeId};
 pub use stats::{CgStats, ObjectBreakdown};

@@ -1,0 +1,955 @@
+//! One thread's share of the contaminated collector.
+//!
+//! A [`CollectorShard`] owns everything the collector keeps per thread: the
+//! equilive forest ([`EquiliveSets`]), the dense per-frame block index, the
+//! tainted bitset, the recycle bins and the statistics.  The only state a
+//! shard shares with other shards is the [`StaticDomain`] — the §3.3 static
+//! set — which every event handler receives by reference.
+//!
+//! The single-threaded [`ContaminatedGc`](crate::ContaminatedGc) is the
+//! 1-shard instantiation of exactly this code path: it owns one shard plus a
+//! private domain and forwards every collector hook.  A parallel trace
+//! evaluation instantiates N shards (one per OS thread), shares one domain
+//! between them, and drives each shard from its partitioned sub-stream.
+//!
+//! # The cross-shard rule
+//!
+//! A shard never unions blocks across shard boundaries.  A store whose
+//! operands live in different shards *escalates* both operands to the static
+//! domain (per §3.3 — the store proves the object is reachable from a
+//! foreign thread) and unions their domain nodes there.  In streams recorded
+//! from the VM the escalation has always already happened — every
+//! cross-thread `ObjectAccess` precedes the store that uses the object, so a
+//! foreign operand is static by the time the store arrives — which is what
+//! makes the sharded evaluation's aggregated statistics byte-identical to a
+//! single-threaded replay.
+
+use cg_unionfind::ElementId;
+use cg_vm::{ClassId, CollectOutcome, FrameInfo, Handle, Heap, RootSet, ThreadId};
+
+use crate::bitset::HandleBitSet;
+use crate::collector::CgConfig;
+use crate::equilive::{EquiliveSets, FrameKey, StaticReason};
+use crate::recycle::RecycleBins;
+use crate::static_domain::{StaticDomain, StaticNodeId};
+use crate::stats::{CgStats, ObjectBreakdown};
+
+/// Per-object bookkeeping (one entry per live object incarnation).
+#[derive(Debug, Clone, Copy)]
+struct ObjData {
+    /// The object's element in the shard's equilive forest.
+    elem: ElementId,
+    /// Stack depth of the frame the object was allocated in (Figure 4.6).
+    birth_depth: usize,
+    /// The thread that allocated the object (§3.3).
+    alloc_thread: ThreadId,
+    /// Whether the collector has declared the object dead.
+    dead: bool,
+}
+
+/// A store operand as seen by the processing shard: either an object this
+/// shard owns, or a block that already lives in the shared static domain
+/// (the only way a foreign object can legally appear in a store, §3.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StoreOperand {
+    /// An object owned by (or conservatively registered with) this shard.
+    Owned(Handle),
+    /// A static block, typically owned by another shard.
+    Static(StaticNodeId),
+}
+
+/// A resolved operand: a root in this shard's forest or a domain node.
+#[derive(Debug, Clone, Copy)]
+enum Resolved {
+    Local(ElementId),
+    Foreign(StaticNodeId),
+}
+
+/// One shard of the contaminated collector: a complete per-thread collector
+/// state sharing only the [`StaticDomain`] with its siblings.
+#[derive(Debug, Clone)]
+pub struct CollectorShard {
+    config: CgConfig,
+    sets: EquiliveSets,
+    /// Indexed by handle index; `Some` only for objects this shard owns.
+    objects: Vec<Option<ObjData>>,
+    frame_index: crate::frame_index::FrameBlockIndex,
+    recycle: RecycleBins,
+    tainted: HandleBitSet,
+    stats: CgStats,
+    /// How to treat a handle with no local bookkeeping: register it
+    /// conservatively (the single-shard collector's behaviour) or treat it
+    /// as foreign and resolve it through the static domain (sharded replay).
+    strict_foreign: bool,
+}
+
+impl CollectorShard {
+    /// Creates a shard with the single-shard collector's conservative
+    /// treatment of unknown handles.
+    pub fn new(config: CgConfig) -> Self {
+        Self::with_strictness(config, false)
+    }
+
+    /// Creates a shard for a multi-shard evaluation: a handle this shard
+    /// does not own is *foreign* and must already be static (§3.3).
+    pub fn for_shard(config: CgConfig) -> Self {
+        Self::with_strictness(config, true)
+    }
+
+    fn with_strictness(config: CgConfig, strict_foreign: bool) -> Self {
+        Self {
+            config,
+            sets: EquiliveSets::new(),
+            objects: Vec::new(),
+            frame_index: crate::frame_index::FrameBlockIndex::new(),
+            recycle: RecycleBins::new(config.recycle_policy),
+            tainted: HandleBitSet::new(),
+            stats: CgStats::new(),
+            strict_foreign,
+        }
+    }
+
+    /// The shard's configuration.
+    pub fn config(&self) -> &CgConfig {
+        &self.config
+    }
+
+    /// The statistics this shard has accumulated.
+    pub fn stats(&self) -> &CgStats {
+        &self.stats
+    }
+
+    /// Mutable statistics access (the program-end accounting writes the
+    /// thread-shared total back).
+    pub fn stats_mut(&mut self) -> &mut CgStats {
+        &mut self.stats
+    }
+
+    /// The shard's equilive relation (for inspection in tests).
+    pub fn sets(&self) -> &EquiliveSets {
+        &self.sets
+    }
+
+    /// Whether this shard owns bookkeeping for `handle`.
+    pub fn owns(&self, handle: Handle) -> bool {
+        self.data(handle).is_some()
+    }
+
+    /// Drops this shard's bookkeeping for a stale incarnation of `handle`
+    /// whose ownership moved to another shard (a conservatively registered
+    /// handle later allocated by a different thread).  Mirrors the 1-shard
+    /// collector, where the re-registration simply overwrites the slot.
+    pub fn forget(&mut self, handle: Handle) {
+        if let Some(slot) = self.objects.get_mut(handle.index_usize()) {
+            *slot = None;
+        }
+    }
+
+    /// Number of dead objects awaiting reuse on this shard's recycle list.
+    pub fn recycle_list_len(&self) -> usize {
+        self.recycle.len()
+    }
+
+    /// Whether the shard believes `handle` is dead.
+    pub fn is_tainted(&self, handle: Handle) -> bool {
+        self.tainted.contains(handle)
+    }
+
+    // ------------------------------------------------------------------
+    // internal helpers
+    // ------------------------------------------------------------------
+
+    fn ensure_slot(&mut self, handle: Handle) {
+        if self.objects.len() <= handle.index_usize() {
+            self.objects.resize(handle.index_usize() + 1, None);
+        }
+    }
+
+    fn attach(&mut self, root: ElementId, key: FrameKey) {
+        self.frame_index.attach(root, key);
+    }
+
+    /// Registers a (possibly recycled) object as a fresh singleton block
+    /// dependent on the allocating frame.
+    fn register(&mut self, handle: Handle, frame: &FrameInfo, domain: &StaticDomain) -> ElementId {
+        self.ensure_slot(handle);
+        let key = FrameKey::frame(frame);
+        let elem = self.sets.insert(handle, key);
+        if key.is_static() {
+            // Conservative registration against the static pseudo-frame
+            // (an unseen handle reaching `on_static_store`): the block is
+            // static with no definite reason yet.
+            let node = domain.insert(StaticReason::NotStatic);
+            self.sets.block_mut_of_root(elem).static_node = Some(node);
+            domain.register_members(&[handle], node);
+        }
+        self.attach(elem, key);
+        self.objects[handle.index_usize()] = Some(ObjData {
+            elem,
+            birth_depth: frame.depth,
+            alloc_thread: frame.thread,
+            dead: false,
+        });
+        self.stats.objects_created += 1;
+        elem
+    }
+
+    fn data(&self, handle: Handle) -> Option<&ObjData> {
+        self.objects
+            .get(handle.index_usize())
+            .and_then(Option::as_ref)
+    }
+
+    /// The element of a live object, registering it conservatively against
+    /// the given frame if the collector has somehow never seen it.
+    fn elem_of(&mut self, handle: Handle, frame: &FrameInfo, domain: &StaticDomain) -> ElementId {
+        match self.data(handle) {
+            Some(data) if !data.dead => data.elem,
+            Some(_) => {
+                // A dead object is being used again: this can only happen if
+                // the collector's deadness conclusion was wrong.
+                if self.config.verify_tainted {
+                    panic!("contaminated GC soundness violation: {handle} was declared dead but is still in use");
+                }
+                self.register(handle, frame, domain)
+            }
+            None => self.register(handle, frame, domain),
+        }
+    }
+
+    /// Resolves a store operand: a root in this shard's forest, or — for a
+    /// handle this shard does not own in strict mode — the static-domain
+    /// block the §3.3 invariant guarantees it belongs to.
+    fn resolve_operand(
+        &mut self,
+        handle: Handle,
+        frame: &FrameInfo,
+        domain: &StaticDomain,
+    ) -> Resolved {
+        if self.strict_foreign && !self.owns(handle) {
+            let node = domain.node_of(handle).unwrap_or_else(|| {
+                panic!(
+                    "foreign store operand {handle} is not in the static domain: \
+                     the stream violates the §3.3 pre-escalation invariant \
+                     (every cross-thread ObjectAccess precedes the store using the object)"
+                )
+            });
+            return Resolved::Foreign(node);
+        }
+        let elem = self.elem_of(handle, frame, domain);
+        Resolved::Local(self.sets.find(elem))
+    }
+
+    /// Escalates the block rooted at `root` into the static domain,
+    /// returning its node.  On an already-static block this only records the
+    /// §3.3 upgrade (thread sharing refines an indefinite reason).
+    fn escalate_root(
+        &mut self,
+        root: ElementId,
+        reason: StaticReason,
+        domain: &StaticDomain,
+    ) -> StaticNodeId {
+        if let Some(node) = self.sets.block_of_root(root).static_node {
+            if reason == StaticReason::ThreadShared {
+                domain.note_thread_shared(node);
+            }
+            return node;
+        }
+        self.frame_index.detach(root);
+        let node = domain.insert(reason);
+        let block = self.sets.block_mut_of_root(root);
+        block.key = FrameKey::Static;
+        block.static_node = Some(node);
+        domain.register_members(&block.members, node);
+        self.attach(root, FrameKey::Static);
+        node
+    }
+
+    /// Escalates `handle`'s block per §3.3 (it is being handed across a
+    /// shard boundary) and returns the domain node.  Used by the sequential
+    /// sharded collector to pre-escalate a foreign store operand.
+    pub fn escalate_for_sharing(
+        &mut self,
+        handle: Handle,
+        frame: &FrameInfo,
+        domain: &StaticDomain,
+    ) -> StaticNodeId {
+        let elem = self.elem_of(handle, frame, domain);
+        let root = self.sets.find(elem);
+        self.escalate_root(root, StaticReason::ThreadShared, domain)
+    }
+
+    /// Unions the blocks of two elements (the contamination step), keeping
+    /// the per-frame index consistent.  Static×static pairs union in the
+    /// domain instead of the shard forest.
+    fn contaminate(&mut self, a: ElementId, b: ElementId, domain: &StaticDomain) {
+        let ra = self.sets.find(a);
+        let rb = self.sets.find(b);
+        if ra == rb {
+            return;
+        }
+        let an = self.sets.block_of_root(ra).static_node;
+        let bn = self.sets.block_of_root(rb).static_node;
+        if let (Some(x), Some(y)) = (an, bn) {
+            if domain.union(x, y) {
+                self.stats.unions += 1;
+            }
+            return;
+        }
+        self.contaminate_roots(ra, rb, domain);
+    }
+
+    /// The contamination step for two distinct roots of which at most one is
+    /// static: a shard-forest union, with the merged block escalated when it
+    /// lands on the static pseudo-frame.
+    fn contaminate_roots(&mut self, ra: ElementId, rb: ElementId, domain: &StaticDomain) {
+        self.frame_index.detach(ra);
+        self.frame_index.detach(rb);
+        // If exactly one side is static, the other side's members become
+        // static with the merge and must be resolvable by foreign shards.
+        // The merged member list is the winner's with the absorbed side
+        // appended, so the newly static members survive as a contiguous
+        // slice of it — no clone on this path.
+        let a_static = self.sets.block_of_root(ra).static_node.is_some();
+        let b_static = self.sets.block_of_root(rb).static_node.is_some();
+        let a_len = self.sets.block_of_root(ra).members.len();
+        let b_len = self.sets.block_of_root(rb).members.len();
+        let root = self.sets.union_roots(ra, rb);
+        let merged_key = self.sets.block_of_root(root).key;
+        if merged_key.is_static() {
+            match self.sets.block_of_root(root).static_node {
+                Some(node) => {
+                    if a_static != b_static {
+                        let (winner_len, winner_was_static) = if root == ra {
+                            (a_len, a_static)
+                        } else {
+                            (b_len, b_static)
+                        };
+                        let merged = self.sets.block_of_root(root);
+                        let newly_static = if winner_was_static {
+                            // The absorbed (non-static) side was appended.
+                            &merged.members[winner_len..]
+                        } else {
+                            // The winner was the non-static side.
+                            &merged.members[..winner_len]
+                        };
+                        domain.register_members(newly_static, node);
+                        domain.absorb_nonstatic(node);
+                    }
+                }
+                None => {
+                    // Both sides were frame-dependent but on incomparable
+                    // (different-thread) frames: the merged block is static
+                    // (§3.3) and escalates as a whole.
+                    let node = domain.insert(StaticReason::StaticReference);
+                    let block = self.sets.block_mut_of_root(root);
+                    block.static_node = Some(node);
+                    domain.register_members(&block.members, node);
+                }
+            }
+        }
+        self.attach(root, merged_key);
+        self.stats.unions += 1;
+    }
+
+    // ------------------------------------------------------------------
+    // event handlers (the Collector hooks, with the domain made explicit)
+    // ------------------------------------------------------------------
+
+    /// A new object was allocated in `frame`.
+    pub fn on_allocate(&mut self, handle: Handle, frame: &FrameInfo, domain: &StaticDomain) {
+        self.register(handle, frame, domain);
+    }
+
+    /// The contamination event: `source` now references `target`.
+    pub fn on_reference_store(
+        &mut self,
+        source: Handle,
+        target: Handle,
+        frame: &FrameInfo,
+        domain: &StaticDomain,
+    ) {
+        self.stats.contaminations += 1;
+        if !self.strict_foreign {
+            // The single-shard hot path: both operands are local by
+            // construction.  Resolve each operand's root exactly once and
+            // compare before touching any block payload — stores within an
+            // already-merged block read nothing else.
+            let source_elem = self.elem_of(source, frame, domain);
+            let target_elem = self.elem_of(target, frame, domain);
+            let source_root = self.sets.find(source_elem);
+            let target_root = self.sets.find(target_elem);
+            self.store_local_roots(source_root, target_root, domain);
+            return;
+        }
+        let s = self.resolve_operand(source, frame, domain);
+        let t = self.resolve_operand(target, frame, domain);
+        self.store_resolved(s, t, domain);
+    }
+
+    /// The contamination event with pre-classified operands (the sequential
+    /// sharded collector resolves foreign operands through their owning
+    /// shards and passes the domain nodes here).
+    pub fn on_reference_store_between(
+        &mut self,
+        source: StoreOperand,
+        target: StoreOperand,
+        frame: &FrameInfo,
+        domain: &StaticDomain,
+    ) {
+        self.stats.contaminations += 1;
+        let s = match source {
+            StoreOperand::Owned(h) => self.resolve_operand(h, frame, domain),
+            StoreOperand::Static(n) => Resolved::Foreign(n),
+        };
+        let t = match target {
+            StoreOperand::Owned(h) => self.resolve_operand(h, frame, domain),
+            StoreOperand::Static(n) => Resolved::Foreign(n),
+        };
+        self.store_resolved(s, t, domain);
+    }
+
+    /// The store barrier for two locally-resolved roots.
+    fn store_local_roots(&mut self, sr: ElementId, tr: ElementId, domain: &StaticDomain) {
+        if sr == tr {
+            // Already equilive: nothing can change.
+            return;
+        }
+        let sn = self.sets.block_of_root(sr).static_node;
+        let tn = self.sets.block_of_root(tr).static_node;
+        if let (Some(a), Some(b)) = (sn, tn) {
+            // Two static blocks: their identity lives in the domain.
+            if domain.union(a, b) {
+                self.stats.unions += 1;
+            }
+            return;
+        }
+        if self.config.static_opt && tn.is_some() && sn.is_none() {
+            // §3.4: referencing an already-static object cannot make it any
+            // more live; the referencer stays collectable.
+            self.stats.static_opt_skips += 1;
+            return;
+        }
+        self.contaminate_roots(sr, tr, domain);
+    }
+
+    /// The store barrier for operands that may be foreign static blocks.
+    fn store_resolved(&mut self, s: Resolved, t: Resolved, domain: &StaticDomain) {
+        match (s, t) {
+            (Resolved::Local(sr), Resolved::Local(tr)) => {
+                self.store_local_roots(sr, tr, domain);
+            }
+            (Resolved::Foreign(a), Resolved::Foreign(b)) => {
+                if domain.union(a, b) {
+                    self.stats.unions += 1;
+                }
+            }
+            (Resolved::Local(root), Resolved::Foreign(t_node)) => {
+                // The target is a foreign static block.
+                if let Some(n) = self.sets.block_of_root(root).static_node {
+                    if domain.union(n, t_node) {
+                        self.stats.unions += 1;
+                    }
+                    return;
+                }
+                if self.config.static_opt {
+                    self.stats.static_opt_skips += 1;
+                    return;
+                }
+                let n = self.escalate_root(root, StaticReason::StaticReference, domain);
+                if domain.union(n, t_node) {
+                    self.stats.unions += 1;
+                }
+            }
+            (Resolved::Foreign(s_node), Resolved::Local(root)) => {
+                // A foreign static block now references a local object: the
+                // local block is dragged into the static set.
+                if let Some(n) = self.sets.block_of_root(root).static_node {
+                    if domain.union(s_node, n) {
+                        self.stats.unions += 1;
+                    }
+                    return;
+                }
+                let n = self.escalate_root(root, StaticReason::StaticReference, domain);
+                if domain.union(s_node, n) {
+                    self.stats.unions += 1;
+                }
+            }
+        }
+    }
+
+    /// A static variable (or interpreter-internal static reference) now
+    /// references `target`.
+    pub fn on_static_store(&mut self, target: Handle, domain: &StaticDomain) {
+        let elem = self.elem_of(target, &FrameInfo::static_frame(), domain);
+        let root = self.sets.find(elem);
+        self.escalate_root(root, StaticReason::StaticReference, domain);
+    }
+
+    /// The `areturn` event: `value` now belongs to `caller`.
+    ///
+    /// A value owned by another shard is provably a no-op: its dependent
+    /// frame belongs to a different thread (or is static), and frames of
+    /// different threads are never comparable, so the retarget condition
+    /// cannot hold.  In strict mode the shard therefore skips it outright.
+    pub fn on_return_value(
+        &mut self,
+        value: Handle,
+        caller: &FrameInfo,
+        _callee: &FrameInfo,
+        domain: &StaticDomain,
+    ) {
+        if self.strict_foreign && !self.owns(value) {
+            return;
+        }
+        let elem = self.elem_of(value, caller, domain);
+        let root = self.sets.find(elem);
+        let current = self.sets.block_of_root(root).key;
+        let caller_key = FrameKey::frame(caller);
+        // Adjust only if the caller's frame outlives the current dependent
+        // frame (§3.1.3, areturn).
+        if caller_key.strictly_older_than(current) {
+            if caller_key.is_static() {
+                // Returning into the static pseudo-frame (interpreter
+                // internals); conservative, like a static reference with no
+                // definite reason.
+                self.escalate_root(root, StaticReason::NotStatic, domain);
+            } else {
+                self.frame_index.detach(root);
+                self.sets.block_mut_of_root(root).key = caller_key;
+                self.attach(root, caller_key);
+            }
+            self.stats.returns_retargeted += 1;
+        }
+    }
+
+    /// `frame` was popped: every block dependent on it is dead (§2.2).
+    pub fn on_frame_pop(&mut self, frame: &FrameInfo, heap: &mut Heap) -> CollectOutcome {
+        let mut freed_objects = 0u64;
+        let mut freed_bytes = 0u64;
+        // Frames pop LIFO, so the bucket at this frame's depth holds exactly
+        // this frame's blocks; draining it is pop-after-pop, no hash lookup
+        // and no member-list clone.
+        while let Some(root) = self.frame_index.pop_frame_block(frame.thread, frame.depth) {
+            debug_assert_eq!(self.sets.block_of_root(root).key.frame_id(), Some(frame.id));
+            // The block is dying with its frame: move the member list out
+            // instead of cloning it.  A recycled member re-registers as a
+            // fresh incarnation with a fresh element, so the emptied list is
+            // never observed again.
+            let members = std::mem::take(&mut self.sets.block_mut_of_root(root).members);
+            let block_size = members.len();
+            self.stats.block_sizes.record(block_size as u64);
+            for handle in members {
+                let data = self.objects[handle.index_usize()]
+                    .as_mut()
+                    .expect("block members are registered objects");
+                if data.dead {
+                    continue;
+                }
+                data.dead = true;
+                self.tainted.insert(handle);
+                self.stats.objects_collected += 1;
+                if block_size == 1 {
+                    self.stats.objects_collected_exactly += 1;
+                }
+                let age = data.birth_depth.saturating_sub(frame.depth);
+                self.stats.age_at_death.record(age as u64);
+
+                let slot_count = match heap.get(handle) {
+                    Ok(object) if !object.is_array() => Some(object.slot_count()),
+                    _ => None,
+                };
+                match slot_count {
+                    Some(slots) if self.config.recycling => {
+                        // Defer the free: the object waits on the recycle
+                        // list and is handed back to the allocator later
+                        // (§3.7).
+                        self.recycle.push(handle, slots);
+                    }
+                    _ => {
+                        let bytes = heap
+                            .free(handle)
+                            .expect("collected object must still be live");
+                        freed_bytes += bytes as u64;
+                        freed_objects += 1;
+                    }
+                }
+            }
+        }
+        CollectOutcome {
+            freed_objects,
+            freed_bytes,
+            marked_objects: 0,
+        }
+    }
+
+    /// `thread` touched `handle` (§3.3 cross-thread detection).  Routed to
+    /// the shard that owns `handle`.
+    pub fn on_object_access(&mut self, handle: Handle, thread: ThreadId, domain: &StaticDomain) {
+        let Some(data) = self.data(handle).copied() else {
+            return;
+        };
+        if data.dead {
+            if self.config.verify_tainted {
+                panic!("contaminated GC soundness violation: dead object {handle} accessed by {thread}");
+            }
+            return;
+        }
+        if data.alloc_thread != thread {
+            // The object is shared between threads; its whole block must be
+            // treated as live for the program's duration (§3.3).
+            let root = self.sets.find(data.elem);
+            self.escalate_root(root, StaticReason::ThreadShared, domain);
+        }
+    }
+
+    /// Offers a recycled corpse for an allocation (§3.7), searching this
+    /// shard's bins only.
+    pub fn try_recycled_alloc(
+        &mut self,
+        class: ClassId,
+        field_count: usize,
+        heap: &mut Heap,
+    ) -> Option<Handle> {
+        if !self.config.recycling {
+            return None;
+        }
+        // Search the recycle structure (§3.7) under the configured policy;
+        // every examined corpse is charged to `recycle_probes`.
+        let taken = self
+            .recycle
+            .take(field_count, &mut self.stats.recycle_probes, |handle| {
+                let fits = heap
+                    .get(handle)
+                    .map(|o| !o.is_array() && o.slot_count() >= field_count)
+                    .unwrap_or(false);
+                fits && heap.reinitialize(handle, class, field_count).is_ok()
+            });
+        if let Some(handle) = taken {
+            self.tainted.remove(handle);
+            self.stats.objects_recycled += 1;
+            // `on_allocate` follows and re-registers the handle as a new
+            // object incarnation.
+            return Some(handle);
+        }
+        None
+    }
+
+    /// Adds this shard's live objects to an [`ObjectBreakdown`]: every
+    /// static object is classified by its domain reason, everything else
+    /// counts as static-by-default (mirroring the single-shard collector's
+    /// accounting of objects still live at exit).
+    pub fn accumulate_breakdown(&mut self, domain: &StaticDomain, out: &mut ObjectBreakdown) {
+        let entries: Vec<ElementId> = self
+            .objects
+            .iter()
+            .filter_map(|d| d.as_ref().filter(|d| !d.dead).map(|d| d.elem))
+            .collect();
+        for elem in entries {
+            let block = self.sets.block(elem);
+            match block.static_node {
+                Some(node) => match domain.reason(node) {
+                    StaticReason::ThreadShared => out.thread_shared += 1,
+                    _ => out.static_objects += 1,
+                },
+                None => out.static_objects += 1,
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // resetting (§3.6) and cooperation with a traditional collector
+    // ------------------------------------------------------------------
+
+    /// Drops every object that a traditional collection found unreachable
+    /// (`live[handle] == false`) from the shard's structures, counting them
+    /// as "collected by MSA" (Figure 4.11).  Also purges them from the
+    /// recycle list.
+    pub fn purge_unreachable(&mut self, live: &[bool]) {
+        for (index, slot) in self.objects.iter_mut().enumerate() {
+            if let Some(data) = slot {
+                if !data.dead && !live.get(index).copied().unwrap_or(false) {
+                    data.dead = true;
+                    self.tainted.insert(Handle::from_index(index as u32));
+                    self.stats.reset_collected_by_msa += 1;
+                }
+            }
+        }
+        self.recycle
+            .retain(|h| live.get(h.index_usize()).copied().unwrap_or(false));
+    }
+
+    /// Rebuilds the equilive relation from the live object graph during a
+    /// traditional collection (§3.6).
+    ///
+    /// The traversal mirrors the paper's description: static (and
+    /// interpreter) roots are considered first, then each stack frame oldest
+    /// first; every object is re-associated with the frame that first reaches
+    /// it and unioned with the objects it points to.  Objects whose dependent
+    /// frame becomes *younger* than before are counted as "less live"
+    /// (Figure 4.11).
+    ///
+    /// Resetting is a single-shard operation (it reads the whole root set);
+    /// stale domain nodes from before the reset are simply abandoned — the
+    /// member map entries are overwritten as blocks re-escalate.
+    pub fn reset_from_roots(
+        &mut self,
+        roots: &RootSet,
+        heap: &Heap,
+        live: &[bool],
+        domain: &StaticDomain,
+    ) {
+        use std::collections::HashMap;
+        self.stats.resets += 1;
+
+        // Remember each live object's old dependent frame for the
+        // less-live accounting.
+        let live_entries: Vec<(Handle, ElementId)> = self
+            .objects
+            .iter()
+            .enumerate()
+            .filter_map(|(index, slot)| {
+                slot.as_ref()
+                    .filter(|d| !d.dead)
+                    .map(|d| (Handle::from_index(index as u32), d.elem))
+            })
+            .collect();
+        let mut old_keys: HashMap<Handle, FrameKey> = HashMap::new();
+        for (handle, elem) in live_entries {
+            let key = self.sets.block(elem).key;
+            old_keys.insert(handle, key);
+        }
+
+        // Objects the mark phase could not reach drop out of our structures.
+        self.purge_unreachable(live);
+
+        // Dissolve all per-frame lists; every live object gets a fresh
+        // element below.
+        self.frame_index.clear();
+
+        // Breadth of reassignment: handle -> new element.
+        let mut new_elem: HashMap<Handle, ElementId> = HashMap::new();
+
+        let assign = |cg: &mut Self,
+                      new_elem: &mut HashMap<Handle, ElementId>,
+                      handle: Handle,
+                      key: FrameKey|
+         -> ElementId {
+            if let Some(&elem) = new_elem.get(&handle) {
+                return elem;
+            }
+            let elem = cg.sets.insert(handle, key);
+            if key.is_static() {
+                let node = domain.insert(StaticReason::NotStatic);
+                cg.sets.block_mut_of_root(elem).static_node = Some(node);
+                domain.register_members(&[handle], node);
+            }
+            cg.attach(elem, key);
+            new_elem.insert(handle, elem);
+            if let Some(Some(data)) = cg.objects.get_mut(handle.index_usize()) {
+                data.elem = elem;
+            }
+            elem
+        };
+
+        // Worklist traversal from a set of roots, assigning `key` to newly
+        // reached objects and unioning along every edge.
+        let traverse = |cg: &mut Self,
+                        new_elem: &mut HashMap<Handle, ElementId>,
+                        root: Handle,
+                        key: FrameKey| {
+            if !heap.is_live(root) {
+                return;
+            }
+            let root_elem = assign(cg, new_elem, root, key);
+            let mut worklist = vec![(root, root_elem)];
+            while let Some((handle, elem)) = worklist.pop() {
+                // The borrowing iterator keeps this traversal from
+                // allocating a Vec per visited object.
+                for target in heap.references_iter(handle) {
+                    if !heap.is_live(target) {
+                        continue;
+                    }
+                    let seen = new_elem.contains_key(&target);
+                    let target_elem = assign(cg, new_elem, target, key);
+                    cg.contaminate(elem, target_elem, domain);
+                    if !seen {
+                        worklist.push((target, target_elem));
+                    }
+                }
+            }
+        };
+
+        // Statics and interpreter-internal references first: they pin their
+        // whole reachable subgraph to the static pseudo-frame.
+        for &root in roots.statics.iter().chain(roots.interpreter.iter()) {
+            traverse(self, &mut new_elem, root, FrameKey::Static);
+        }
+
+        // Then each stack frame, oldest first within each thread (the order
+        // `RootSet::frames` is built in).
+        for frame_roots in &roots.frames {
+            let key = FrameKey::frame(&frame_roots.frame);
+            for &root in &frame_roots.refs {
+                traverse(self, &mut new_elem, root, key);
+            }
+        }
+
+        // Count objects whose liveness estimate improved (moved to a younger
+        // frame than before).
+        for (handle, &elem) in &new_elem {
+            if let Some(old_key) = old_keys.get(handle) {
+                let new_key = self.sets.block(elem).key;
+                if old_key.strictly_older_than(new_key) {
+                    self.stats.reset_less_live += 1;
+                }
+            }
+        }
+    }
+}
+
+/// Aggregates per-shard statistics into the totals a single-threaded run
+/// would report: counters add, histograms merge bucket-wise.
+///
+/// `objects_thread_shared` is overwritten afterwards from the aggregated
+/// [`ObjectBreakdown`] by the caller (the single-threaded collector sets it
+/// at program end from its own breakdown); [`aggregate_shards`] does both
+/// steps at once.
+pub fn aggregate_stats<'a>(shards: impl IntoIterator<Item = &'a CgStats>) -> CgStats {
+    let mut total = CgStats::new();
+    for s in shards {
+        total.merge_from(s);
+    }
+    total
+}
+
+/// Aggregates a sharded run's statistics **and** object breakdown exactly
+/// the way the single-shard collector reports them at program end: counters
+/// add, histograms merge, `popped` is the total collected, live objects are
+/// classified by their static-domain reason, and the thread-shared total is
+/// written back into the statistics.
+///
+/// Both the sequential [`ShardedGc`](crate::ShardedGc) and the parallel
+/// trace evaluation go through this one function, so the byte-identical
+/// equivalence with [`ContaminatedGc`](crate::ContaminatedGc) is pinned in
+/// a single place.
+pub fn aggregate_shards<'a>(
+    shards: impl IntoIterator<Item = &'a mut CollectorShard>,
+    domain: &StaticDomain,
+) -> (CgStats, ObjectBreakdown) {
+    let mut stats = CgStats::new();
+    let mut breakdown = ObjectBreakdown::default();
+    for shard in shards {
+        breakdown.popped += shard.stats().objects_collected;
+        shard.accumulate_breakdown(domain, &mut breakdown);
+        stats.merge_from(shard.stats());
+    }
+    stats.objects_thread_shared = breakdown.thread_shared;
+    (stats, breakdown)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cg_vm::{FrameId, MethodId};
+
+    fn frame(id: u64, depth: usize, thread: u32) -> FrameInfo {
+        FrameInfo {
+            id: FrameId::new(id),
+            depth,
+            thread: ThreadId::new(thread),
+            method: MethodId::new(0),
+        }
+    }
+
+    fn h(i: u32) -> Handle {
+        Handle::from_index(i)
+    }
+
+    #[test]
+    fn static_static_stores_union_in_the_domain_not_the_forest() {
+        let domain = StaticDomain::new();
+        let mut shard = CollectorShard::new(CgConfig::default());
+        let f = frame(1, 1, 0);
+        shard.on_allocate(h(0), &f, &domain);
+        shard.on_allocate(h(1), &f, &domain);
+        shard.on_static_store(h(0), &domain);
+        shard.on_static_store(h(1), &domain);
+        assert_eq!(domain.block_count(), 2);
+        // The store unions their domain nodes, once.
+        shard.on_reference_store(h(0), h(1), &f, &domain);
+        assert_eq!(shard.stats().unions, 1);
+        assert_eq!(domain.block_count(), 1);
+        // Repeating it is a no-op for the union count.
+        shard.on_reference_store(h(0), h(1), &f, &domain);
+        assert_eq!(shard.stats().unions, 1);
+        assert_eq!(shard.stats().contaminations, 2);
+    }
+
+    #[test]
+    fn strict_shard_resolves_foreign_operands_through_the_domain() {
+        let domain = StaticDomain::new();
+        // Owner shard escalates its object (the §3.3 hand-off).
+        let mut owner = CollectorShard::for_shard(CgConfig::default());
+        let f0 = frame(1, 1, 0);
+        owner.on_allocate(h(0), &f0, &domain);
+        owner.on_object_access(h(0), ThreadId::new(1), &domain);
+        assert!(domain.node_of(h(0)).is_some());
+        // Foreign shard stores the (static) object into its own local one:
+        // with the §3.4 optimisation the local object stays collectable.
+        let mut other = CollectorShard::for_shard(CgConfig::default());
+        let f1 = frame(2, 1, 1);
+        other.on_allocate(h(1), &f1, &domain);
+        other.on_reference_store(h(1), h(0), &f1, &domain);
+        assert_eq!(other.stats().static_opt_skips, 1);
+        assert_eq!(other.stats().unions, 0);
+        // The reverse store drags the local object into the static set.
+        other.on_reference_store(h(0), h(1), &f1, &domain);
+        assert_eq!(other.stats().unions, 1);
+        assert!(domain.node_of(h(1)).is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "pre-escalation invariant")]
+    fn strict_shard_rejects_non_static_foreign_operands() {
+        let domain = StaticDomain::new();
+        let mut shard = CollectorShard::for_shard(CgConfig::default());
+        let f = frame(1, 1, 0);
+        shard.on_allocate(h(0), &f, &domain);
+        // h(9) is unknown to the shard and not in the domain.
+        shard.on_reference_store(h(0), h(9), &f, &domain);
+    }
+
+    #[test]
+    fn cross_thread_frame_merge_escalates_the_merged_block() {
+        let domain = StaticDomain::new();
+        // One shard hosting two threads (shard_count < thread count): a
+        // store between their objects merges to the static pseudo-frame.
+        let mut shard = CollectorShard::new(CgConfig::default());
+        shard.on_allocate(h(0), &frame(1, 1, 0), &domain);
+        shard.on_allocate(h(1), &frame(2, 1, 1), &domain);
+        shard.on_reference_store(h(0), h(1), &frame(1, 1, 0), &domain);
+        assert_eq!(shard.stats().unions, 1);
+        assert_eq!(domain.block_count(), 1);
+        assert!(domain.node_of(h(0)).is_some());
+        assert!(domain.node_of(h(1)).is_some());
+        let mut breakdown = ObjectBreakdown::default();
+        shard.accumulate_breakdown(&domain, &mut breakdown);
+        assert_eq!(breakdown.static_objects, 2);
+    }
+
+    #[test]
+    fn aggregate_stats_sums_counters_and_histograms() {
+        let mut a = CgStats::new();
+        a.objects_created = 3;
+        a.block_sizes.record(1);
+        let mut b = CgStats::new();
+        b.objects_created = 5;
+        b.block_sizes.record(1);
+        b.block_sizes.record(7);
+        let total = aggregate_stats([&a, &b]);
+        assert_eq!(total.objects_created, 8);
+        assert_eq!(total.block_sizes.total(), 3);
+        assert_eq!(total.block_sizes.bucket_count(0), 2);
+    }
+}

@@ -1,0 +1,299 @@
+//! The static domain: the one piece of collector state shared across shards.
+//!
+//! The paper's design is naturally per-thread — each thread owns its frame
+//! stack and the equilive blocks dependent on those frames — and the only
+//! cross-thread coupling is the §3.3 rule: an object reachable from a static
+//! variable, or touched by more than one thread, must be treated as live for
+//! the rest of the program.  The sharded collector makes that coupling
+//! explicit: every [`CollectorShard`](crate::CollectorShard) keeps its own
+//! union/find forest, frame index, tainted set and recycle bins, and the
+//! *static set* alone lives here, shared by every shard.
+//!
+//! A shard never unions blocks across shard boundaries.  Instead, a block
+//! that becomes static is *escalated*: it gets a node in this domain's own
+//! union/find forest, its members are registered in the handle → node map
+//! (so a store executed by a foreign thread can resolve them), and all
+//! further identity questions about it — "are these two static blocks the
+//! same block?", "why is this block static?" — are answered by the domain.
+//! Cross-shard stores therefore reduce to unions of *domain nodes*, which is
+//! both rare (escalation happens once per block) and cheap (one lock, one
+//! union).
+//!
+//! All operations take `&self` and lock an internal mutex, so shards on
+//! different OS threads share one domain by reference during parallel trace
+//! evaluation.  The per-event hot path of a shard — stores between
+//! non-static blocks, frame pops, allocations — never touches the domain at
+//! all.
+//!
+//! Determinism: the number of *effective* domain unions equals the number of
+//! escalated blocks minus the number of final static blocks, and the merged
+//! reason of a static block is `ThreadShared` iff any constituent block was
+//! thread-shared — both independent of the order concurrent shards perform
+//! the unions in.  That is what makes the aggregated `CgStats` of a parallel
+//! sharded evaluation byte-identical to a single-threaded replay.
+
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+use cg_unionfind::PackedForest;
+use cg_vm::Handle;
+
+use crate::equilive::StaticReason;
+
+/// Identity of one escalated (static) block inside the domain.
+pub type StaticNodeId = u32;
+
+#[derive(Debug, Clone, Default)]
+struct DomainInner {
+    /// Union/find over escalated blocks.
+    forest: PackedForest,
+    /// Indexed by node id; authoritative at set roots.
+    reasons: Vec<StaticReason>,
+    /// Every object belonging to an escalated block, by the node it was
+    /// registered under (resolve with a find — nodes merge).
+    members: HashMap<Handle, StaticNodeId>,
+    /// Blocks ever escalated into the domain (diagnostic).
+    promotions: u64,
+}
+
+/// The shared static set: thread-shared and statically-referenced blocks,
+/// owned jointly by all shards (§3.3).
+#[derive(Debug, Default)]
+pub struct StaticDomain {
+    inner: Mutex<DomainInner>,
+}
+
+impl Clone for StaticDomain {
+    fn clone(&self) -> Self {
+        StaticDomain {
+            inner: Mutex::new(self.lock().clone()),
+        }
+    }
+}
+
+/// Merges the reasons of two static blocks, mirroring `BlockInfo`'s merge
+/// policy: thread sharing is the more specific diagnosis and wins; a merged
+/// static block never keeps `NotStatic`.
+fn merge_reasons(a: StaticReason, b: StaticReason) -> StaticReason {
+    match (a, b) {
+        (StaticReason::ThreadShared, _) | (_, StaticReason::ThreadShared) => {
+            StaticReason::ThreadShared
+        }
+        _ => StaticReason::StaticReference,
+    }
+}
+
+impl StaticDomain {
+    /// Creates an empty domain.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, DomainInner> {
+        self.inner.lock().expect("static domain lock poisoned")
+    }
+
+    /// Escalates a new block into the domain, returning its node.
+    pub fn insert(&self, reason: StaticReason) -> StaticNodeId {
+        let mut inner = self.lock();
+        let node = inner.forest.make_set();
+        debug_assert_eq!(node as usize, inner.reasons.len());
+        inner.reasons.push(reason);
+        inner.promotions += 1;
+        node
+    }
+
+    /// Unions two static blocks, returning whether they were distinct (the
+    /// store barrier counts exactly the effective unions).
+    pub fn union(&self, a: StaticNodeId, b: StaticNodeId) -> bool {
+        let mut inner = self.lock();
+        let ra = inner.forest.find(a);
+        let rb = inner.forest.find(b);
+        if ra == rb {
+            return false;
+        }
+        let merged = merge_reasons(inner.reasons[ra as usize], inner.reasons[rb as usize]);
+        let outcome = inner.forest.union_roots(ra, rb);
+        inner.reasons[outcome.root as usize] = merged;
+        true
+    }
+
+    /// Whether two nodes name the same static block.
+    pub fn same_block(&self, a: StaticNodeId, b: StaticNodeId) -> bool {
+        let mut inner = self.lock();
+        inner.forest.same_set(a, b)
+    }
+
+    /// Why the block of `node` is static.
+    pub fn reason(&self, node: StaticNodeId) -> StaticReason {
+        let mut inner = self.lock();
+        let root = inner.forest.find(node);
+        inner.reasons[root as usize]
+    }
+
+    /// Records a §3.3 cross-thread access on an already-static block.
+    ///
+    /// Mirrors the single-shard collector exactly: thread sharing upgrades
+    /// the recorded reason only when the block had no definite reason yet
+    /// (`NotStatic`, possible only for conservatively registered blocks); a
+    /// block already diagnosed `StaticReference` keeps that diagnosis.
+    pub fn note_thread_shared(&self, node: StaticNodeId) {
+        let mut inner = self.lock();
+        let root = inner.forest.find(node);
+        if inner.reasons[root as usize] == StaticReason::NotStatic {
+            inner.reasons[root as usize] = StaticReason::ThreadShared;
+        }
+    }
+
+    /// Records that a non-static block was dragged into the static block of
+    /// `node` (a union whose other operand was not yet static).  Mirrors the
+    /// `BlockInfo` merge normalisation: absorbing concrete members turns an
+    /// indefinite `NotStatic` reason into `StaticReference`.
+    pub fn absorb_nonstatic(&self, node: StaticNodeId) {
+        let mut inner = self.lock();
+        let root = inner.forest.find(node);
+        if inner.reasons[root as usize] == StaticReason::NotStatic {
+            inner.reasons[root as usize] = StaticReason::StaticReference;
+        }
+    }
+
+    /// Registers objects as members of the static block of `node`, making
+    /// them resolvable by shards that do not own them.
+    pub fn register_members(&self, handles: &[Handle], node: StaticNodeId) {
+        let mut inner = self.lock();
+        for &handle in handles {
+            inner.members.insert(handle, node);
+        }
+    }
+
+    /// The static block containing `handle`, if the object has been
+    /// escalated.  This is how a shard resolves a store operand it does not
+    /// own: per §3.3 such an operand must already be static.
+    pub fn node_of(&self, handle: Handle) -> Option<StaticNodeId> {
+        let mut inner = self.lock();
+        let node = *inner.members.get(&handle)?;
+        Some(inner.forest.find(node))
+    }
+
+    /// Number of blocks ever escalated into the domain.
+    pub fn promotions(&self) -> u64 {
+        self.lock().promotions
+    }
+
+    /// Number of distinct static blocks right now.
+    pub fn block_count(&self) -> usize {
+        self.lock().forest.set_count()
+    }
+
+    /// Number of registered static objects.
+    pub fn member_count(&self) -> usize {
+        self.lock().members.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn h(i: u32) -> Handle {
+        Handle::from_index(i)
+    }
+
+    #[test]
+    fn insert_union_and_reason_merge() {
+        let domain = StaticDomain::new();
+        let a = domain.insert(StaticReason::StaticReference);
+        let b = domain.insert(StaticReason::ThreadShared);
+        assert_eq!(domain.block_count(), 2);
+        assert!(!domain.same_block(a, b));
+        assert!(domain.union(a, b));
+        assert!(!domain.union(a, b), "second union is a no-op");
+        assert!(domain.same_block(a, b));
+        // Thread sharing is the dominant diagnosis.
+        assert_eq!(domain.reason(a), StaticReason::ThreadShared);
+        assert_eq!(domain.block_count(), 1);
+        assert_eq!(domain.promotions(), 2);
+    }
+
+    #[test]
+    fn effective_union_count_is_order_independent() {
+        // Three nodes, three union ops: any execution order yields exactly
+        // two effective unions (3 initial blocks -> 1 final block).
+        let ops: [(usize, usize); 3] = [(0, 1), (1, 2), (0, 2)];
+        let mut orders = vec![
+            vec![0usize, 1, 2],
+            vec![2, 1, 0],
+            vec![1, 0, 2],
+            vec![1, 2, 0],
+        ];
+        for order in orders.drain(..) {
+            let domain = StaticDomain::new();
+            let nodes: Vec<_> = (0..3)
+                .map(|_| domain.insert(StaticReason::StaticReference))
+                .collect();
+            let effective = order
+                .into_iter()
+                .filter(|&i| domain.union(nodes[ops[i].0], nodes[ops[i].1]))
+                .count();
+            assert_eq!(effective, 2);
+        }
+    }
+
+    #[test]
+    fn member_registration_resolves_through_unions() {
+        let domain = StaticDomain::new();
+        let a = domain.insert(StaticReason::StaticReference);
+        let b = domain.insert(StaticReason::StaticReference);
+        domain.register_members(&[h(1), h(2)], a);
+        domain.register_members(&[h(9)], b);
+        assert_eq!(domain.member_count(), 3);
+        assert_eq!(domain.node_of(h(7)), None);
+        domain.union(a, b);
+        let ra = domain.node_of(h(1)).unwrap();
+        let rb = domain.node_of(h(9)).unwrap();
+        assert_eq!(ra, rb, "members resolve to the merged block");
+    }
+
+    #[test]
+    fn thread_shared_note_upgrades_only_indefinite_reasons() {
+        let domain = StaticDomain::new();
+        let definite = domain.insert(StaticReason::StaticReference);
+        domain.note_thread_shared(definite);
+        assert_eq!(domain.reason(definite), StaticReason::StaticReference);
+        let indefinite = domain.insert(StaticReason::NotStatic);
+        domain.note_thread_shared(indefinite);
+        assert_eq!(domain.reason(indefinite), StaticReason::ThreadShared);
+        let indefinite2 = domain.insert(StaticReason::NotStatic);
+        domain.absorb_nonstatic(indefinite2);
+        assert_eq!(domain.reason(indefinite2), StaticReason::StaticReference);
+    }
+
+    #[test]
+    fn clone_snapshots_the_domain() {
+        let domain = StaticDomain::new();
+        let a = domain.insert(StaticReason::StaticReference);
+        domain.register_members(&[h(4)], a);
+        let copy = domain.clone();
+        let b = domain.insert(StaticReason::ThreadShared);
+        domain.union(a, b);
+        assert_eq!(copy.block_count(), 1);
+        assert_eq!(copy.reason(a), StaticReason::StaticReference);
+        assert_eq!(copy.node_of(h(4)), Some(a));
+    }
+
+    #[test]
+    fn domain_is_shareable_across_threads() {
+        let domain = StaticDomain::new();
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    for _ in 0..100 {
+                        let n = domain.insert(StaticReason::StaticReference);
+                        domain.reason(n);
+                    }
+                });
+            }
+        });
+        assert_eq!(domain.promotions(), 400);
+    }
+}

@@ -128,6 +128,32 @@ impl CgStats {
     pub fn recycled_percent(&self) -> f64 {
         cg_stats::percent(self.objects_recycled, self.objects_created)
     }
+
+    /// Adds another collector's statistics into this one: counters add and
+    /// histograms merge bucket-wise.
+    ///
+    /// This is how a sharded evaluation aggregates per-shard statistics into
+    /// the totals a single-threaded run reports.  Every counter is either
+    /// per-event (counted by exactly one shard) or per-block (blocks are
+    /// owned by exactly one shard), so the sum over shards is exact, not
+    /// approximate.
+    pub fn merge_from(&mut self, other: &CgStats) {
+        self.objects_created += other.objects_created;
+        self.objects_collected += other.objects_collected;
+        self.objects_collected_exactly += other.objects_collected_exactly;
+        self.objects_thread_shared += other.objects_thread_shared;
+        self.objects_recycled += other.objects_recycled;
+        self.contaminations += other.contaminations;
+        self.unions += other.unions;
+        self.static_opt_skips += other.static_opt_skips;
+        self.returns_retargeted += other.returns_retargeted;
+        self.block_sizes.merge(&other.block_sizes);
+        self.age_at_death.merge(&other.age_at_death);
+        self.reset_collected_by_msa += other.reset_collected_by_msa;
+        self.reset_less_live += other.reset_less_live;
+        self.resets += other.resets;
+        self.recycle_probes += other.recycle_probes;
+    }
 }
 
 #[cfg(test)]

@@ -39,6 +39,9 @@ pub enum HeapError {
         /// What the operation expected ("array" or "instance").
         expected: &'static str,
     },
+    /// A sharded-replay allocation named a handle slot that is already
+    /// occupied (the shard streams diverged from the recorded history).
+    HandleInUse(Handle),
     /// Reinitialisation (object recycling) requested a different size than
     /// the dead object provides.
     RecycleSizeMismatch {
@@ -63,6 +66,9 @@ impl std::fmt::Display for HeapError {
                 write!(f, "handle space exhausted: capacity {capacity} handles")
             }
             HeapError::DeadHandle(h) => write!(f, "handle {h} does not name a live object"),
+            HeapError::HandleInUse(h) => {
+                write!(f, "handle {h} already names a live object")
+            }
             HeapError::BadField { handle, index, len } => {
                 write!(f, "field index {index} out of range for {handle} (len {len})")
             }

@@ -138,7 +138,9 @@ impl Heap {
         self.allocate_object(Object::array(class, length, size))
     }
 
-    fn allocate_object(&mut self, object: Object) -> Result<Handle, HeapError> {
+    /// Reserves object space for `object`, charging failed attempts; the
+    /// caller installs the slot and calls [`Heap::commit_allocation`].
+    fn reserve_space(&mut self, object: &Object) -> Result<BlockAddr, HeapError> {
         if self.live >= self.config.handle_capacity() {
             self.stats.allocation_failures += 1;
             return Err(HeapError::OutOfHandleSpace {
@@ -146,23 +148,89 @@ impl Heap {
             });
         }
         let size = object.size_bytes();
-        let addr = match self.space.alloc(size) {
-            Some(addr) => addr,
+        match self.space.alloc(size) {
+            Some(addr) => Ok(addr),
             None => {
                 self.stats.allocation_failures += 1;
-                return Err(HeapError::OutOfObjectSpace {
+                Err(HeapError::OutOfObjectSpace {
                     requested: size,
                     free: self.space.free_bytes(),
-                });
+                })
             }
-        };
-        let handle = Handle::from_index(self.slots.len() as u32);
-        self.slots.push(Some(Slot { object, addr }));
+        }
+    }
+
+    /// The shared accounting tail of every successful allocation.
+    fn commit_allocation(&mut self, size: usize) {
         self.live += 1;
         self.stats.objects_allocated += 1;
         self.stats.bytes_allocated += size as u64;
         self.stats.peak_live_objects = self.stats.peak_live_objects.max(self.live as u64);
+    }
+
+    fn allocate_object(&mut self, object: Object) -> Result<Handle, HeapError> {
+        let addr = self.reserve_space(&object)?;
+        let size = object.size_bytes();
+        let handle = Handle::from_index(self.slots.len() as u32);
+        self.slots.push(Some(Slot { object, addr }));
+        self.commit_allocation(size);
         Ok(handle)
+    }
+
+    /// Allocates an instance of `class` under a caller-chosen handle — the
+    /// sharded replay mode.
+    ///
+    /// A parallel trace evaluation gives every shard its own `Heap` (a
+    /// private object-space region with its own rover and free list, so
+    /// shards never touch each other's free lists); handle identities,
+    /// however, were minted globally by the recording run, so each shard
+    /// mirrors only its own slice of the handle table and must place each
+    /// object at the *recorded* handle index rather than the next sequential
+    /// one.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HeapError::HandleInUse`] if the slot already holds a live
+    /// object, plus the same exhaustion errors as [`Heap::allocate`].
+    pub fn allocate_at(
+        &mut self,
+        handle: Handle,
+        class: ClassId,
+        field_count: usize,
+    ) -> Result<(), HeapError> {
+        let size = self.config.instance_bytes(field_count);
+        self.allocate_object_at(handle, Object::instance(class, field_count, size))
+    }
+
+    /// Allocates an array under a caller-chosen handle (see
+    /// [`Heap::allocate_at`]).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Heap::allocate_at`].
+    pub fn allocate_array_at(
+        &mut self,
+        handle: Handle,
+        class: ClassId,
+        length: usize,
+    ) -> Result<(), HeapError> {
+        let size = self.config.array_bytes(length);
+        self.allocate_object_at(handle, Object::array(class, length, size))
+    }
+
+    fn allocate_object_at(&mut self, handle: Handle, object: Object) -> Result<(), HeapError> {
+        let index = handle.index_usize();
+        if self.slots.len() <= index {
+            self.slots.resize(index + 1, None);
+        }
+        if self.slots[index].is_some() {
+            return Err(HeapError::HandleInUse(handle));
+        }
+        let addr = self.reserve_space(&object)?;
+        let size = object.size_bytes();
+        self.slots[index] = Some(Slot { object, addr });
+        self.commit_allocation(size);
+        Ok(())
     }
 
     /// Frees the object named by `handle`, returning its size in bytes.
@@ -552,6 +620,48 @@ mod tests {
         assert_eq!(live, vec![a, c]);
         assert_eq!(h.handles_minted(), 3);
         assert_eq!(h.live_count(), 2);
+    }
+
+    #[test]
+    fn allocate_at_places_objects_at_recorded_handles() {
+        // A shard mirrors only its slice of the handle table: indices 1 and
+        // 3 here, as if handles 0 and 2 belong to another shard.
+        let mut h = heap();
+        h.allocate_at(Handle::from_index(1), class(), 2).unwrap();
+        h.allocate_at(Handle::from_index(3), class(), 0).unwrap();
+        assert!(h.is_live(Handle::from_index(1)));
+        assert!(!h.is_live(Handle::from_index(0)));
+        assert!(!h.is_live(Handle::from_index(2)));
+        assert_eq!(h.live_count(), 2);
+        assert_eq!(h.stats().objects_allocated, 2);
+        // The slot is occupied now.
+        assert!(matches!(
+            h.allocate_at(Handle::from_index(1), class(), 1),
+            Err(HeapError::HandleInUse(_))
+        ));
+        // Freeing and re-placing works (a recycle-free cycle in a shard).
+        h.free(Handle::from_index(1)).unwrap();
+        h.allocate_at(Handle::from_index(1), class(), 1).unwrap();
+        assert_eq!(h.get(Handle::from_index(1)).unwrap().slot_count(), 1);
+        // Arrays too.
+        h.allocate_array_at(Handle::from_index(7), class(), 4)
+            .unwrap();
+        assert!(h.get(Handle::from_index(7)).unwrap().is_array());
+        assert_eq!(h.live_count(), 3);
+    }
+
+    #[test]
+    fn allocate_at_reports_exhaustion() {
+        let mut config = HeapConfig::tight(64);
+        config.handle_space_bytes = 1 << 16;
+        let mut h = Heap::new(config);
+        for i in 0..4 {
+            h.allocate_at(Handle::from_index(i), class(), 2).unwrap();
+        }
+        assert!(matches!(
+            h.allocate_at(Handle::from_index(9), class(), 2),
+            Err(HeapError::OutOfObjectSpace { .. })
+        ));
     }
 
     #[test]

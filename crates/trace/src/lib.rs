@@ -9,7 +9,7 @@
 //! * [`Trace`] — an owned event log plus bookkeeping counts.
 //! * [`TraceRecorder`] — a [`cg_vm::EventSink`] that captures a live run's
 //!   stream; [`record`] is the one-call convenience wrapper.
-//! * [`replay`] — drives any [`cg_vm::Collector`] with a recorded stream,
+//! * [`replay()`] — drives any [`cg_vm::Collector`] with a recorded stream,
 //!   maintaining a shadow heap, *without re-interpreting the program*.  A
 //!   workload can be captured once and then evaluated under `ContaminatedGc`,
 //!   `HybridCollector`, `MarkSweep`, … at a fraction of the cost of a live
@@ -29,11 +29,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod partition;
 pub mod recorder;
 pub mod replay;
 pub mod trace;
 
 pub use cg_vm::{AllocKind, EventSink, GcEvent};
+pub use partition::{partition, PartitionedTrace, ShardEvent, ShardStream, ShardWait};
 pub use recorder::{record, TraceRecorder};
 pub use replay::{replay, ReplayError, ReplayOutcome, Replayed};
 pub use trace::{Trace, TraceStats};

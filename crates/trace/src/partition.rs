@@ -1,0 +1,542 @@
+//! Partitioning a recorded trace into per-shard sub-streams.
+//!
+//! The paper's collector is naturally per-thread: each thread owns its frame
+//! stack and the equilive blocks dependent on it, and the only cross-thread
+//! coupling is the §3.3 static/thread-shared escalation.  The partitioner
+//! turns that observation into data: it splits one recorded [`Trace`] into
+//! `shard_count` sub-streams (threads map to shards round-robin) such that N
+//! OS threads can each drive one collector shard from one stream — with the
+//! few genuinely cross-thread points made explicit as *wait edges*.
+//!
+//! # Routing
+//!
+//! Every event is assigned to exactly one shard — the shard whose state it
+//! mutates:
+//!
+//! | event | shard |
+//! |---|---|
+//! | `Allocate`, `FramePush`, `FramePop`, `ReturnValue` | the executing thread's |
+//! | `SlotWrite`, `StaticStore`, `ObjectAccess` | the touched object's **owner** (its allocating thread's shard) |
+//! | `ReferenceStore` | the executing thread's |
+//! | `Collect`, `ProgramEnd` | shard 0, as a barrier over all shards |
+//!
+//! Routing accesses and writes to the owner means a shard's view of its own
+//! objects — including a foreign thread's §3.3 access that escalates one of
+//! them — is totally ordered by its own stream, with no synchronisation at
+//! all.  The one place a shard must observe *another* shard's progress is a
+//! `ReferenceStore` with a foreign operand: per §3.3 that operand is already
+//! static by this point in the global order, but the owning shard must have
+//! *processed* the escalating event before the store can resolve the operand
+//! through the shared static domain.  The partitioner therefore attaches a
+//! [`ShardWait`] to such events: "shard S must have processed at least K of
+//! its own events first", with K computed from the global order.  All wait
+//! edges point backwards in the global sequence, so they can never deadlock.
+//!
+//! # Determinism
+//!
+//! Each event carries its global sequence number, and
+//! [`PartitionedTrace::merge`] reassembles the streams into the original
+//! event order exactly — partition → merge is the identity on any trace (a
+//! property test in `cg-bench` checks this for every recorded workload).
+//! Replaying the streams on N threads under the wait edges is equivalent to
+//! the single-threaded replay: every cross-shard read is ordered by a wait,
+//! and the shared static domain's aggregate effects (effective-union count,
+//! merged reasons, final partition) are independent of the order concurrent
+//! unions interleave in.
+
+use cg_vm::{GcEvent, Handle, ThreadId};
+
+use crate::trace::Trace;
+
+/// A prerequisite attached to a shard event: the named shard must have
+/// processed at least `processed` events of its own stream first.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardWait {
+    /// The shard whose progress is awaited.
+    pub shard: u32,
+    /// Minimum number of events that shard must have processed.
+    pub processed: u64,
+}
+
+/// One event of a shard's sub-stream.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardEvent {
+    /// Position of the event in the original trace (global order).
+    pub seq: u64,
+    /// Cross-shard ordering prerequisites (empty for almost all events).
+    pub waits: Vec<ShardWait>,
+    /// The event itself.
+    pub event: GcEvent,
+}
+
+/// The events routed to one shard, in global order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardStream {
+    /// The shard index.
+    pub shard: u32,
+    /// The shard's events, `seq`-ascending.
+    pub events: Vec<ShardEvent>,
+}
+
+/// A trace split into per-shard sub-streams with explicit cross-thread
+/// synchronisation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PartitionedTrace {
+    name: String,
+    shard_count: usize,
+    total: usize,
+    /// One stream per shard.
+    pub streams: Vec<ShardStream>,
+    /// Number of cross-thread synchronisation points the partitioner made
+    /// explicit: foreign-operand stores, cross-thread accesses routed to
+    /// their owner, and global barriers (`Collect`, `ProgramEnd`).
+    pub cross_thread_syncs: u64,
+}
+
+impl PartitionedTrace {
+    /// The original trace's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of shards the trace was partitioned for.
+    pub fn shard_count(&self) -> usize {
+        self.shard_count
+    }
+
+    /// Total number of events across all streams (= the original trace's).
+    pub fn len(&self) -> usize {
+        self.total
+    }
+
+    /// Whether the partition holds no events.
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+
+    /// The shard a thread's events are routed to.
+    pub fn shard_of(&self, thread: ThreadId) -> usize {
+        thread.raw() as usize % self.shard_count
+    }
+
+    /// Deterministically merges the sub-streams back into one trace, in the
+    /// original event order.  `partition` followed by `merge` reproduces the
+    /// input exactly.
+    pub fn merge(&self) -> Trace {
+        let mut slots: Vec<Option<&GcEvent>> = vec![None; self.total];
+        for stream in &self.streams {
+            for ev in &stream.events {
+                let slot = &mut slots[ev.seq as usize];
+                debug_assert!(slot.is_none(), "event {} routed twice", ev.seq);
+                *slot = Some(&ev.event);
+            }
+        }
+        let mut merged = Trace::new(self.name.clone());
+        for slot in slots {
+            merged.push(
+                slot.expect("every global sequence number is routed to exactly one shard")
+                    .clone(),
+            );
+        }
+        merged
+    }
+}
+
+/// Tracks which thread allocated each handle (the handle's *owner*).
+#[derive(Debug, Default)]
+struct OwnerMap {
+    /// Raw thread id per handle index; `u32::MAX` = unseen.
+    owners: Vec<u32>,
+}
+
+impl OwnerMap {
+    fn set(&mut self, handle: Handle, thread: ThreadId) {
+        let index = handle.index_usize();
+        if self.owners.len() <= index {
+            self.owners.resize(index + 1, u32::MAX);
+        }
+        self.owners[index] = thread.raw();
+    }
+
+    fn get(&self, handle: Handle) -> Option<ThreadId> {
+        match self.owners.get(handle.index_usize()) {
+            Some(&raw) if raw != u32::MAX => Some(ThreadId::new(raw)),
+            _ => None,
+        }
+    }
+}
+
+/// Adds a wait, merging with an existing wait on the same shard.
+fn add_wait(waits: &mut Vec<ShardWait>, shard: usize, processed: u64) {
+    if processed == 0 {
+        return; // trivially satisfied
+    }
+    let shard = shard as u32;
+    if let Some(w) = waits.iter_mut().find(|w| w.shard == shard) {
+        w.processed = w.processed.max(processed);
+    } else {
+        waits.push(ShardWait { shard, processed });
+    }
+}
+
+/// Splits `trace` into `shard_count` per-shard sub-streams with explicit
+/// cross-thread synchronisation (see the module docs for the routing and
+/// wait rules).
+///
+/// # Panics
+///
+/// Panics if `shard_count` is zero.
+pub fn partition(trace: &Trace, shard_count: usize) -> PartitionedTrace {
+    assert!(shard_count > 0, "cannot partition into zero shards");
+    let shard_of = |thread: ThreadId| thread.raw() as usize % shard_count;
+
+    let mut streams: Vec<Vec<ShardEvent>> = vec![Vec::new(); shard_count];
+    // Events already routed to each shard (= "processed" count a wait on
+    // that shard can require at this point in the global order).
+    let mut counts = vec![0u64; shard_count];
+    // Barrier-release waits to attach to a shard's next event.
+    let mut pending: Vec<Vec<ShardWait>> = vec![Vec::new(); shard_count];
+    let mut owners = OwnerMap::default();
+    let mut cross_thread_syncs = 0u64;
+
+    for (seq, event) in trace.events().iter().enumerate() {
+        let mut waits: Vec<ShardWait> = Vec::new();
+        let mut barrier = false;
+        let shard = match event {
+            GcEvent::Allocate { handle, frame, .. } => {
+                // A recycled allocation re-registers the handle under the
+                // (possibly different) recycling thread.
+                owners.set(*handle, frame.thread);
+                shard_of(frame.thread)
+            }
+            GcEvent::SlotWrite { object, .. } => owners
+                .get(*object)
+                .map(shard_of)
+                .unwrap_or_else(|| shard_of(ThreadId::MAIN)),
+            GcEvent::ObjectAccess { handle, thread } => {
+                let accessor = shard_of(*thread);
+                let owner = owners.get(*handle).map(shard_of).unwrap_or(accessor);
+                if owner != accessor {
+                    cross_thread_syncs += 1;
+                }
+                owner
+            }
+            GcEvent::ReferenceStore {
+                source,
+                target,
+                frame,
+            } => {
+                let p = shard_of(frame.thread);
+                for operand in [source, target] {
+                    if let Some(o) = owners.get(*operand).map(shard_of) {
+                        if o != p {
+                            // The owner must have processed everything that
+                            // globally precedes this store — in particular
+                            // the §3.3 escalation of this operand.
+                            add_wait(&mut waits, o, counts[o]);
+                            cross_thread_syncs += 1;
+                        }
+                    }
+                }
+                p
+            }
+            GcEvent::StaticStore { target } => owners
+                .get(*target)
+                .map(shard_of)
+                .unwrap_or_else(|| shard_of(ThreadId::MAIN)),
+            GcEvent::ReturnValue { caller, .. } => shard_of(caller.thread),
+            GcEvent::FramePush { frame } | GcEvent::FramePop { frame } => shard_of(frame.thread),
+            GcEvent::Collect { .. } | GcEvent::ProgramEnd { .. } => {
+                // Global barrier: shard 0 runs the event only after every
+                // shard has caught up, and every shard waits for shard 0 to
+                // finish it before continuing.
+                for (s, &count) in counts.iter().enumerate() {
+                    if s != 0 {
+                        add_wait(&mut waits, s, count);
+                    }
+                }
+                cross_thread_syncs += 1;
+                barrier = true;
+                0
+            }
+        };
+
+        let mut event_waits = std::mem::take(&mut pending[shard]);
+        for wait in waits {
+            add_wait(&mut event_waits, wait.shard as usize, wait.processed);
+        }
+        streams[shard].push(ShardEvent {
+            seq: seq as u64,
+            waits: event_waits,
+            event: event.clone(),
+        });
+        counts[shard] += 1;
+
+        if barrier {
+            // Release: other shards may only continue once shard 0 has
+            // processed the barrier event itself.
+            for (s, slot) in pending.iter_mut().enumerate() {
+                if s != 0 {
+                    add_wait(slot, 0, counts[0]);
+                }
+            }
+        }
+    }
+
+    PartitionedTrace {
+        name: trace.name().to_string(),
+        shard_count,
+        total: trace.len(),
+        streams: streams
+            .into_iter()
+            .enumerate()
+            .map(|(shard, events)| ShardStream {
+                shard: shard as u32,
+                events,
+            })
+            .collect(),
+        cross_thread_syncs,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cg_vm::{AllocKind, ClassId, FrameId, FrameInfo, MethodId, RootSet};
+
+    fn frame(id: u64, depth: usize, thread: u32) -> FrameInfo {
+        FrameInfo {
+            id: FrameId::new(id),
+            depth,
+            thread: ThreadId::new(thread),
+            method: MethodId::new(0),
+        }
+    }
+
+    fn h(i: u32) -> Handle {
+        Handle::from_index(i)
+    }
+
+    fn alloc(handle: Handle, thread: u32) -> GcEvent {
+        GcEvent::Allocate {
+            handle,
+            class: ClassId::new(0),
+            kind: AllocKind::Instance { field_count: 1 },
+            frame: frame(1 + thread as u64, 1, thread),
+            recycled: false,
+        }
+    }
+
+    /// A two-thread stream with a cross-thread access and store.
+    fn cross_thread_trace() -> Trace {
+        let mut t = Trace::new("cross");
+        t.push(GcEvent::FramePush {
+            frame: frame(1, 1, 0),
+        });
+        t.push(alloc(h(0), 0));
+        t.push(GcEvent::FramePush {
+            frame: frame(2, 1, 1),
+        });
+        t.push(alloc(h(1), 1));
+        // Thread 1 touches thread 0's object (the §3.3 escalation)...
+        t.push(GcEvent::ObjectAccess {
+            handle: h(0),
+            thread: ThreadId::new(1),
+        });
+        // ...then stores it into its own object.
+        t.push(GcEvent::ReferenceStore {
+            source: h(1),
+            target: h(0),
+            frame: frame(2, 1, 1),
+        });
+        t.push(GcEvent::FramePop {
+            frame: frame(2, 1, 1),
+        });
+        t.push(GcEvent::FramePop {
+            frame: frame(1, 1, 0),
+        });
+        t.push(GcEvent::ProgramEnd {
+            roots: Box::new(RootSet::default()),
+        });
+        t
+    }
+
+    #[test]
+    fn single_shard_routes_everything_to_stream_zero() {
+        let trace = cross_thread_trace();
+        let pt = partition(&trace, 1);
+        assert_eq!(pt.shard_count(), 1);
+        assert_eq!(pt.streams[0].events.len(), trace.len());
+        assert_eq!(pt.len(), trace.len());
+        // No cross-shard waits exist with one shard.
+        assert!(pt.streams[0].events.iter().all(|e| e.waits.is_empty()));
+    }
+
+    #[test]
+    fn cross_thread_access_is_routed_to_the_owner() {
+        let trace = cross_thread_trace();
+        let pt = partition(&trace, 2);
+        // The ObjectAccess on thread 0's object (seq 4) must sit in shard
+        // 0's stream even though thread 1 performed it.
+        let shard0_seqs: Vec<u64> = pt.streams[0].events.iter().map(|e| e.seq).collect();
+        assert!(shard0_seqs.contains(&4), "{shard0_seqs:?}");
+        assert!(pt.cross_thread_syncs >= 2);
+    }
+
+    #[test]
+    fn foreign_operand_store_waits_for_the_owner() {
+        let trace = cross_thread_trace();
+        let pt = partition(&trace, 2);
+        // The store (seq 5) runs in shard 1 and must wait until shard 0 has
+        // processed its first three events (push, alloc, access).
+        let store = pt.streams[1]
+            .events
+            .iter()
+            .find(|e| e.seq == 5)
+            .expect("store in shard 1");
+        assert_eq!(
+            store.waits,
+            vec![ShardWait {
+                shard: 0,
+                processed: 3
+            }]
+        );
+    }
+
+    #[test]
+    fn program_end_is_a_barrier_on_shard_zero() {
+        let trace = cross_thread_trace();
+        let pt = partition(&trace, 2);
+        let end = pt.streams[0]
+            .events
+            .last()
+            .expect("shard 0 holds the barrier");
+        assert!(matches!(end.event, GcEvent::ProgramEnd { .. }));
+        // It waits for shard 1's four events (push, alloc, store, pop).
+        assert_eq!(
+            end.waits,
+            vec![ShardWait {
+                shard: 1,
+                processed: 4
+            }]
+        );
+    }
+
+    #[test]
+    fn merge_reproduces_the_original_order() {
+        let trace = cross_thread_trace();
+        for shards in [1, 2, 3, 4, 8] {
+            let pt = partition(&trace, shards);
+            assert_eq!(pt.merge(), trace, "{shards} shards");
+        }
+    }
+
+    #[test]
+    fn waits_always_point_backwards_in_the_global_order() {
+        // A wait at global position g may only require events with seq < g:
+        // the count it requires must not exceed the number of that shard's
+        // events preceding g.  (Forward edges could deadlock.)
+        let trace = cross_thread_trace();
+        for shards in [2, 3, 4] {
+            let pt = partition(&trace, shards);
+            for stream in &pt.streams {
+                for ev in &stream.events {
+                    for w in &ev.waits {
+                        let preceding = pt.streams[w.shard as usize]
+                            .events
+                            .iter()
+                            .filter(|other| other.seq < ev.seq)
+                            .count() as u64;
+                        assert!(
+                            w.processed <= preceding,
+                            "shards={shards} seq={} wait {:?} but only {} precede",
+                            ev.seq,
+                            w,
+                            preceding
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "zero shards")]
+    fn zero_shards_is_rejected() {
+        let _ = partition(&Trace::new("x"), 0);
+    }
+
+    mod properties {
+        use super::*;
+        use cg_testutil::TestRng;
+
+        /// Random event soups (valid enough for the partitioner: handles
+        /// are allocated before use) partition into streams that merge back
+        /// to the original, for every shard count, with backward waits only.
+        #[test]
+        fn random_streams_round_trip() {
+            for seed in 0..64u64 {
+                let mut rng = TestRng::new(seed);
+                let threads = rng.gen_range(1, 5) as u32;
+                let mut trace = Trace::new(format!("seed-{seed}"));
+                let mut allocated: Vec<(Handle, u32)> = Vec::new();
+                let mut next_handle = 0u32;
+                for t in 0..threads {
+                    trace.push(GcEvent::FramePush {
+                        frame: frame(1 + t as u64, 1, t),
+                    });
+                }
+                for _ in 0..rng.gen_range(5, 120) {
+                    let t = rng.gen_range(0, threads as usize) as u32;
+                    if allocated.len() < 2 || rng.gen_bool(0.4) {
+                        let handle = h(next_handle);
+                        next_handle += 1;
+                        trace.push(alloc(handle, t));
+                        allocated.push((handle, t));
+                    } else if rng.gen_bool(0.5) {
+                        let (handle, _) = allocated[rng.gen_range(0, allocated.len())];
+                        trace.push(GcEvent::ObjectAccess {
+                            handle,
+                            thread: ThreadId::new(t),
+                        });
+                    } else {
+                        let (a, _) = allocated[rng.gen_range(0, allocated.len())];
+                        let (b, _) = allocated[rng.gen_range(0, allocated.len())];
+                        trace.push(GcEvent::ReferenceStore {
+                            source: a,
+                            target: b,
+                            frame: frame(1 + t as u64, 1, t),
+                        });
+                    }
+                }
+                trace.push(GcEvent::ProgramEnd {
+                    roots: Box::new(RootSet::default()),
+                });
+                for shards in [1, 2, 3, 5, 8] {
+                    let pt = partition(&trace, shards);
+                    assert_eq!(pt.merge(), trace, "seed {seed}, {shards} shards");
+                    let total: usize = pt.streams.iter().map(|s| s.events.len()).sum();
+                    assert_eq!(total, trace.len(), "seed {seed}, {shards} shards");
+                    for stream in &pt.streams {
+                        // Streams are seq-ascending.
+                        assert!(
+                            stream.events.windows(2).all(|w| w[0].seq < w[1].seq),
+                            "seed {seed}"
+                        );
+                        for ev in &stream.events {
+                            for w in &ev.waits {
+                                assert_ne!(w.shard, stream.shard, "self-wait, seed {seed}");
+                                let preceding = pt.streams[w.shard as usize]
+                                    .events
+                                    .iter()
+                                    .filter(|other| other.seq < ev.seq)
+                                    .count() as u64;
+                                assert!(w.processed <= preceding, "seed {seed}");
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+}

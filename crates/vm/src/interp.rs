@@ -1,6 +1,6 @@
 //! The bytecode interpreter.
 //!
-//! Execution state lives in [`Exec`], separate from the immutable
+//! Execution state lives in `Exec` (private), separate from the immutable
 //! [`Program`], so the dispatch loop can hold a borrow of the current
 //! method's code across instruction execution: instructions are *borrowed*,
 //! never cloned, which keeps `Call`-heavy workloads off the allocator (the
@@ -8,7 +8,7 @@
 //! included).
 //!
 //! Every collector-visible action is emitted through a single seam,
-//! [`Exec::dispatch`], as a typed [`GcEvent`]: the event is offered to an
+//! `Exec::dispatch`, as a typed [`GcEvent`]: the event is offered to an
 //! optional [`EventSink`] (the record side of `cg-trace`) and then routed to
 //! the matching [`Collector`] hook.  The interpreter never calls a collector
 //! hook directly.
@@ -160,6 +160,11 @@ pub enum VmError {
     InstructionLimit(u64),
     /// The configured stack-depth limit was exceeded.
     StackOverflow(usize),
+    /// Spawning another thread would overflow the 32-bit thread-id space.
+    TooManyThreads {
+        /// The maximum number of threads the id space can name.
+        limit: u64,
+    },
 }
 
 impl std::fmt::Display for VmError {
@@ -186,6 +191,12 @@ impl std::fmt::Display for VmError {
             VmError::DivideByZero { method, pc } => write!(f, "division by zero at {method}:{pc}"),
             VmError::InstructionLimit(n) => write!(f, "instruction limit of {n} exceeded"),
             VmError::StackOverflow(n) => write!(f, "stack depth limit of {n} exceeded"),
+            VmError::TooManyThreads { limit } => {
+                write!(
+                    f,
+                    "cannot spawn another thread: thread-id space holds {limit} threads"
+                )
+            }
         }
     }
 }
@@ -945,7 +956,14 @@ impl<C: Collector> Vm<C> {
             Some(Insn::SpawnThread { method, args }) => {
                 let arg_values: Vec<Value> =
                     args.iter().map(|&a| self.ex.local(thread_idx, a)).collect();
-                let new_id = ThreadId::new(self.ex.threads.len() as u32);
+                // Thread ids are 32-bit; a checked conversion turns id-space
+                // exhaustion into an error instead of silently wrapping onto
+                // an existing thread's identity.
+                let new_id = u32::try_from(self.ex.threads.len())
+                    .map(ThreadId::new)
+                    .map_err(|_| VmError::TooManyThreads {
+                        limit: u64::from(u32::MAX) + 1,
+                    })?;
                 self.ex.threads.push(ThreadState::new(new_id));
                 let new_idx = self.ex.threads.len() - 1;
                 self.ex.stats.threads_spawned += 1;
@@ -1538,5 +1556,9 @@ mod tests {
         assert!(e.to_string().contains("64"));
         assert!(VmError::InstructionLimit(9).to_string().contains("9"));
         assert!(VmError::StackOverflow(4).to_string().contains("4"));
+        let e = VmError::TooManyThreads {
+            limit: u64::from(u32::MAX) + 1,
+        };
+        assert!(e.to_string().contains("4294967296"));
     }
 }

@@ -3,7 +3,7 @@
 //! Each module documents the demographic the paper reports for that
 //! benchmark (collectable percentage with and without the §3.4 optimisation,
 //! static and thread-shared shares, block sizes, ages at death) and defines a
-//! [`Profile`](crate::Profile) per problem size that reproduces it.
+//! [`Profile`] per problem size that reproduces it.
 //!
 //! The object counts are scaled down by a constant factor (roughly 4× for
 //! size 1) relative to the paper so the whole suite runs in seconds rather
