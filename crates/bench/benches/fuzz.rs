@@ -1,0 +1,58 @@
+//! Fuzz-throughput benchmarks: how fast the differential harness can
+//! manufacture and check scenarios (`BENCH_fuzz.json`).
+//!
+//! Three figures per profile:
+//!
+//! * `gen/<profile>` — generating one program (pure generator cost);
+//! * `record/<profile>` — generating + recording the collector-free
+//!   baseline run (the oracle's fixed floor);
+//! * `oracle/<profile>` — one full differential check: ground truth,
+//!   contaminated GC live + replay + incremental, sharded at {1,2,4,8},
+//!   parallel evaluation, recycling soundness.
+//!
+//! Before timing anything, every profile's seed-0 program is checked once —
+//! a benchmark of a failing oracle would be measuring panic unwinding.
+
+use cg_bench::BenchHarness;
+use cg_fuzz::{check_program, fuzz_vm_config, generate, GenProfile, OracleOptions};
+use cg_testutil::TestRng;
+use cg_trace::record;
+use cg_vm::NoopCollector;
+
+fn main() {
+    let mut harness = BenchHarness::new("fuzz");
+    let options = OracleOptions::default();
+
+    // Correctness gate first.
+    for profile in GenProfile::all() {
+        let program = generate(0, profile);
+        if let Err(failure) = check_program(&program, &options) {
+            panic!(
+                "oracle must pass before being timed: {}: {failure}",
+                profile.name
+            );
+        }
+    }
+
+    for profile in GenProfile::all() {
+        let mut seeds = TestRng::new(7);
+        harness.bench(format!("gen/{}", profile.name), 64, || {
+            generate(seeds.next_u64(), profile)
+        });
+
+        let mut seeds = TestRng::new(7);
+        harness.bench(format!("record/{}", profile.name), 32, || {
+            let program = generate(seeds.next_u64(), profile);
+            record("bench", program, fuzz_vm_config(None), NoopCollector::new())
+                .expect("generated programs record")
+        });
+
+        let mut seeds = TestRng::new(7);
+        harness.bench(format!("oracle/{}", profile.name), 8, || {
+            let program = generate(seeds.next_u64(), profile);
+            check_program(&program, &options).expect("generated programs pass")
+        });
+    }
+
+    harness.write_json();
+}

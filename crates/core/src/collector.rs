@@ -8,6 +8,25 @@ use crate::shard::CollectorShard;
 use crate::static_domain::StaticDomain;
 use crate::stats::{CgStats, ObjectBreakdown};
 
+/// A deliberate, test-only defect injected into the collector.
+///
+/// The differential fuzzer (`cg-fuzz`) checks the collector against a
+/// precise reachability oracle; fault injection is how the *oracle itself*
+/// is validated — a harness that cannot catch a collector with its
+/// contamination rule ripped out is not testing anything.  Production code
+/// never sets anything but [`FaultInjection::None`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FaultInjection {
+    /// No fault: the collector behaves as the paper specifies.
+    #[default]
+    None,
+    /// Drop every contamination event: `on_reference_store` records its
+    /// statistics but never merges blocks, so an object stored into a
+    /// longer-lived container still dies with its birth frame — a textbook
+    /// soundness violation the oracle must catch.
+    SkipContamination,
+}
+
 /// Configuration of the contaminated collector.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CgConfig {
@@ -26,6 +45,9 @@ pub struct CgConfig {
     /// considers dead (the "tainted" list of §3.1.4).  Violations indicate a
     /// soundness bug and panic.
     pub verify_tainted: bool,
+    /// Test-only deliberate defect (see [`FaultInjection`]); always
+    /// [`FaultInjection::None`] outside the fuzzer's self-check.
+    pub fault: FaultInjection,
 }
 
 impl Default for CgConfig {
@@ -35,6 +57,7 @@ impl Default for CgConfig {
             recycling: false,
             recycle_policy: RecyclePolicy::FirstFit,
             verify_tainted: cfg!(debug_assertions),
+            fault: FaultInjection::None,
         }
     }
 }
@@ -72,6 +95,13 @@ impl CgConfig {
             recycle_policy: RecyclePolicy::SegregatedBins,
             ..Self::default()
         }
+    }
+
+    /// The same configuration with a deliberate defect injected (test-only;
+    /// see [`FaultInjection`]).
+    pub fn with_fault(mut self, fault: FaultInjection) -> Self {
+        self.fault = fault;
+        self
     }
 }
 
@@ -730,6 +760,60 @@ mod tests {
         assert_eq!(vm.stats().recycled_allocations, 3);
         // Only one object was ever taken from the heap.
         assert_eq!(vm.heap().stats().objects_allocated, 1);
+    }
+
+    #[test]
+    fn skip_contamination_fault_disables_unions() {
+        // main's container receives the helper's temporary; normally the
+        // store unions their blocks and the temp survives the helper.  With
+        // the injected fault the store is dropped and the temp dies (wrongly)
+        // at the helper's pop — exactly the defect the fuzz oracle hunts.
+        let build = || {
+            let mut p = Program::new();
+            let c = p.add_class(ClassDef::new("Node", 1));
+            let helper = p.add_method(MethodDef::new(
+                "helper",
+                1,
+                2,
+                vec![
+                    Insn::New { class: c, dst: 1 },
+                    Insn::PutField {
+                        object: 0,
+                        field: 0,
+                        value: 1,
+                    },
+                    Insn::Return { value: None },
+                ],
+            ));
+            let main = p.add_method(MethodDef::new(
+                "main",
+                0,
+                1,
+                vec![
+                    Insn::New { class: c, dst: 0 },
+                    Insn::Call {
+                        method: helper,
+                        args: vec![0],
+                        dst: None,
+                    },
+                    Insn::Return { value: None },
+                ],
+            ));
+            p.set_entry(main);
+            p
+        };
+        let sound = run_with(build(), CgConfig::default());
+        assert_eq!(sound.collector().stats().unions, 1);
+        let faulty = run_with(
+            build(),
+            CgConfig::default().with_fault(FaultInjection::SkipContamination),
+        );
+        let stats = faulty.collector().stats();
+        assert_eq!(stats.unions, 0);
+        assert_eq!(stats.contaminations, 1);
+        // The temp was freed at the helper's pop even though the container
+        // still referenced it.
+        assert!(faulty.collector().is_tainted(Handle::from_index(1)));
     }
 
     #[test]

@@ -94,7 +94,7 @@ pub mod static_domain;
 pub mod stats;
 
 pub use bitset::HandleBitSet;
-pub use collector::{CgConfig, ContaminatedGc};
+pub use collector::{CgConfig, ContaminatedGc, FaultInjection};
 pub use equilive::{BlockInfo, EquiliveSets, FrameKey, StaticReason};
 pub use frame_index::FrameBlockIndex;
 pub use hybrid::{HybridCollector, HybridConfig};

@@ -370,6 +370,9 @@ impl CollectorShard {
         domain: &StaticDomain,
     ) {
         self.stats.contaminations += 1;
+        if self.config.fault == crate::collector::FaultInjection::SkipContamination {
+            return;
+        }
         if !self.strict_foreign {
             // The single-shard hot path: both operands are local by
             // construction.  Resolve each operand's root exactly once and
@@ -398,6 +401,9 @@ impl CollectorShard {
         domain: &StaticDomain,
     ) {
         self.stats.contaminations += 1;
+        if self.config.fault == crate::collector::FaultInjection::SkipContamination {
+            return;
+        }
         let s = match source {
             StoreOperand::Owned(h) => self.resolve_operand(h, frame, domain),
             StoreOperand::Static(n) => Resolved::Foreign(n),

@@ -1,0 +1,52 @@
+//! Differential fuzzing for the contaminated-GC reproduction.
+//!
+//! The paper's central claim — contaminated GC reclaims only objects a
+//! precise tracing collector would also reclaim — and the stacked
+//! equivalence guarantees of this workspace (trace replay, sharded
+//! collection, partitioned parallel evaluation) are properties over *all*
+//! programs, but until this crate they were witnessed only by eight
+//! hand-ported workloads.  `cg-fuzz` manufactures the missing scenarios:
+//!
+//! * [`generator`] — a seeded, deterministic random program generator over
+//!   the full instruction set.  Six weighted profiles (alloc-heavy,
+//!   store-heavy, deep-calls, threads, recycle-churn, array-heavy) always
+//!   yield terminating, type-valid programs.
+//! * [`oracle`] — the differential runner: each program executes under the
+//!   mark-sweep ground truth, `ContaminatedGc`, `ShardedGc` at {1,2,4,8}
+//!   shards, trace replay and partitioned parallel evaluation, with
+//!   soundness checked against precise reachability and statistics compared
+//!   byte-for-byte.
+//! * [`mod@shrink`] — failing programs are minimised by thread/frame/instruction
+//!   deletion passes, each re-checked against the oracle.
+//! * [`corpus`] — a dependency-free text format so minimised
+//!   counterexamples are committed under `crates/fuzz/corpus/` and replayed
+//!   forever by the corpus-regression test.
+//!
+//! The `cg-fuzz` binary drives it all:
+//!
+//! ```text
+//! cg-fuzz --seed 0xC0FFEE --iters 500                 # all profiles
+//! cg-fuzz --profile store-heavy --iters 200
+//! cg-fuzz --seed 0xC0FFEE --iters 50 --fault skip-contamination --minimize
+//! cg-fuzz --replay crates/fuzz/corpus/case.cgp
+//! ```
+//!
+//! A found failure prints the seed and profile; re-running with the same
+//! `--seed`/`--profile` reproduces it exactly, and `--minimize` shrinks it
+//! and writes a corpus file.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod corpus;
+pub mod generator;
+pub mod oracle;
+pub mod shrink;
+
+pub use corpus::{instruction_count, parse, serialize, ParseError};
+pub use generator::{generate, GenProfile};
+pub use oracle::{
+    check_program, check_round_trip, fuzz_heap_config, fuzz_vm_config, CheckFailure, OracleOptions,
+    OracleReport, QuietPanics,
+};
+pub use shrink::{shrink, ShrinkOutcome};

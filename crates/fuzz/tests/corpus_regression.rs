@@ -1,0 +1,72 @@
+//! The regression corpus: every committed case must keep passing the full
+//! differential oracle, and the committed fault fixture must keep *failing*
+//! under its injected fault (and passing without it).
+
+use cg_core::FaultInjection;
+use cg_fuzz::{check_program, instruction_count, parse, OracleOptions, QuietPanics};
+
+fn corpus_dir(sub: &str) -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join(sub)
+}
+
+fn read_cases(sub: &str) -> Vec<(String, cg_vm::Program)> {
+    let dir = corpus_dir(sub);
+    let mut cases = Vec::new();
+    for entry in std::fs::read_dir(&dir).unwrap_or_else(|e| panic!("read {dir:?}: {e}")) {
+        let path = entry.expect("dir entry").path();
+        if path.extension().and_then(|e| e.to_str()) != Some("cgp") {
+            continue;
+        }
+        let text = std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {path:?}: {e}"));
+        let program = parse(&text).unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+        cases.push((path.display().to_string(), program));
+    }
+    cases.sort_by(|a, b| a.0.cmp(&b.0));
+    cases
+}
+
+/// Every committed corpus case passes the whole oracle: soundness against
+/// precise reachability, byte-identical replay and sharded stats, partition
+/// round trips.
+#[test]
+fn corpus_cases_pass_the_oracle() {
+    let cases = read_cases("corpus");
+    assert!(
+        cases.len() >= 6,
+        "the committed corpus should cover the profiles, found {}",
+        cases.len()
+    );
+    let options = OracleOptions::default();
+    for (name, program) in &cases {
+        if let Err(failure) = check_program(program, &options) {
+            panic!("{name}: regression: {failure}");
+        }
+    }
+}
+
+/// The committed counterexample stays small, still catches the injected
+/// fault, and is clean without it — proving the harness end to end: the
+/// defect is in the collector, not the program.
+#[test]
+fn skip_contamination_fixture_catches_the_fault() {
+    let _quiet = QuietPanics::install();
+    let path = corpus_dir("fixtures").join("skip_contamination.cgp");
+    let text = std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {path:?}: {e}"));
+    let program = parse(&text).expect("fixture parses");
+
+    // The acceptance budget: a shrunk counterexample of at most 30
+    // instructions.
+    assert!(
+        instruction_count(&program) <= 30,
+        "fixture has {} instructions, want <= 30",
+        instruction_count(&program)
+    );
+
+    let faulty = OracleOptions::with_fault(FaultInjection::SkipContamination);
+    let failure =
+        check_program(&program, &faulty).expect_err("the fixture must catch the injected fault");
+    assert_eq!(failure.class(), "soundness", "got: {failure}");
+
+    check_program(&program, &OracleOptions::default())
+        .expect("the fixture is clean without the fault");
+}

@@ -662,6 +662,60 @@ mod tests {
             h.allocate_at(Handle::from_index(9), class(), 2),
             Err(HeapError::OutOfObjectSpace { .. })
         ));
+        // A failed placement must not leak the reserved slot: the handle
+        // stays dead and allocatable later.
+        assert!(!h.is_live(Handle::from_index(9)));
+        assert_eq!(h.stats().allocation_failures, 1);
+    }
+
+    #[test]
+    fn allocate_array_at_reports_exhaustion_and_occupied_slots() {
+        let mut config = HeapConfig::tight(64);
+        config.handle_space_bytes = 1 << 16;
+        let mut h = Heap::new(config);
+        // A 13-element array needs (2 + 1 + 13) * 4 = 64 bytes: fills the
+        // region exactly.
+        h.allocate_array_at(Handle::from_index(0), class(), 13)
+            .unwrap();
+        // The array variant reports HandleInUse like the instance variant...
+        assert!(matches!(
+            h.allocate_array_at(Handle::from_index(0), class(), 1),
+            Err(HeapError::HandleInUse(_))
+        ));
+        // ...and out-of-region exhaustion on a fresh slot.
+        assert!(matches!(
+            h.allocate_array_at(Handle::from_index(5), class(), 1),
+            Err(HeapError::OutOfObjectSpace { .. })
+        ));
+        assert!(!h.is_live(Handle::from_index(5)));
+        // Freeing the array makes both the space and the slot reusable.
+        h.free(Handle::from_index(0)).unwrap();
+        h.allocate_array_at(Handle::from_index(0), class(), 13)
+            .unwrap();
+    }
+
+    #[test]
+    fn allocate_at_respects_handle_capacity() {
+        // A handle table with room for exactly 2 live handles (JDK repr:
+        // 8 bytes per handle).
+        let mut config = HeapConfig::with_object_space(1 << 12, HandleRepr::Jdk);
+        config.handle_space_bytes = 16;
+        let mut h = Heap::new(config);
+        h.allocate_at(Handle::from_index(0), class(), 0).unwrap();
+        h.allocate_at(Handle::from_index(7), class(), 0).unwrap();
+        let err = h
+            .allocate_at(Handle::from_index(3), class(), 0)
+            .unwrap_err();
+        assert_eq!(err, HeapError::OutOfHandleSpace { capacity: 2 });
+        // Same for the array variant.
+        let err = h
+            .allocate_array_at(Handle::from_index(3), class(), 1)
+            .unwrap_err();
+        assert_eq!(err, HeapError::OutOfHandleSpace { capacity: 2 });
+        // Freeing one releases capacity for a placed allocation again.
+        h.free(Handle::from_index(7)).unwrap();
+        h.allocate_array_at(Handle::from_index(3), class(), 1)
+            .unwrap();
     }
 
     #[test]

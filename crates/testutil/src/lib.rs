@@ -72,6 +72,49 @@ impl TestRng {
             items.swap(i, j);
         }
     }
+
+    /// A uniformly chosen element of `items`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `items` is empty.
+    pub fn pick<'a, T>(&mut self, items: &'a [T]) -> &'a T {
+        assert!(!items.is_empty(), "pick needs a non-empty slice");
+        &items[self.gen_range(0, items.len())]
+    }
+
+    /// An index into `weights`, chosen with probability proportional to the
+    /// weight at that index.  Zero-weight entries are never chosen.  This is
+    /// the distribution primitive behind the fuzzer's instruction-mix
+    /// profiles.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weights` is empty or sums to zero.
+    pub fn weighted(&mut self, weights: &[u32]) -> usize {
+        let total: u64 = weights.iter().map(|&w| u64::from(w)).sum();
+        assert!(total > 0, "weighted needs a positive total weight");
+        let mut roll = self.next_u64() % total;
+        for (index, &w) in weights.iter().enumerate() {
+            let w = u64::from(w);
+            if roll < w {
+                return index;
+            }
+            roll -= w;
+        }
+        unreachable!("roll is bounded by the total weight")
+    }
+
+    /// Derives an independent generator for sub-stream `index`: the same
+    /// (seed, index) pair always yields the same child, and distinct indices
+    /// yield uncorrelated streams.  The fuzzer uses this to give every
+    /// iteration of a run its own reproducible seed.
+    pub fn derive(&self, index: u64) -> TestRng {
+        let mut mix = TestRng::new(self.state ^ index.rotate_left(32));
+        // Burn one output so child 0 does not mirror the parent.
+        let _ = mix.next_u64();
+        mix
+    }
 }
 
 #[cfg(test)]
@@ -118,6 +161,54 @@ mod tests {
         let mut rng = TestRng::new(2);
         let hits = (0..10_000).filter(|_| rng.gen_bool(0.25)).count();
         assert!((2_000..3_000).contains(&hits), "got {hits}");
+    }
+
+    #[test]
+    fn pick_returns_elements_uniformly_enough() {
+        let mut rng = TestRng::new(5);
+        let items = [1, 2, 3];
+        let mut seen = [0u32; 3];
+        for _ in 0..3000 {
+            seen[*rng.pick(&items) as usize - 1] += 1;
+        }
+        assert!(seen.iter().all(|&n| n > 700), "{seen:?}");
+    }
+
+    #[test]
+    fn weighted_respects_weights() {
+        let mut rng = TestRng::new(6);
+        let mut seen = [0u32; 3];
+        for _ in 0..10_000 {
+            seen[rng.weighted(&[1, 0, 3])] += 1;
+        }
+        assert_eq!(seen[1], 0, "zero-weight entries are never chosen");
+        assert!(seen[2] > 2 * seen[0], "{seen:?}");
+        assert!(seen[0] > 1_500, "{seen:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "positive total weight")]
+    fn weighted_rejects_zero_total() {
+        let _ = TestRng::new(0).weighted(&[0, 0]);
+    }
+
+    #[test]
+    fn derive_yields_reproducible_uncorrelated_children() {
+        let parent = TestRng::new(9);
+        let a: Vec<u64> = {
+            let mut c = parent.derive(0);
+            (0..4).map(|_| c.next_u64()).collect()
+        };
+        let a_again: Vec<u64> = {
+            let mut c = parent.derive(0);
+            (0..4).map(|_| c.next_u64()).collect()
+        };
+        let b: Vec<u64> = {
+            let mut c = parent.derive(1);
+            (0..4).map(|_| c.next_u64()).collect()
+        };
+        assert_eq!(a, a_again);
+        assert_ne!(a, b);
     }
 
     #[test]

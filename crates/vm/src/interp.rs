@@ -38,6 +38,10 @@ pub struct VmConfig {
     pub max_instructions: u64,
     /// Safety limit on per-thread stack depth.
     pub max_stack_depth: usize,
+    /// Maximum number of threads (including main) the VM will run.  Defaults
+    /// to the full 32-bit thread-id space; spawning past the limit raises
+    /// [`VmError::TooManyThreads`].
+    pub max_threads: usize,
 }
 
 impl Default for VmConfig {
@@ -48,6 +52,11 @@ impl Default for VmConfig {
             gc_every_instructions: None,
             max_instructions: 2_000_000_000,
             max_stack_depth: 4096,
+            // The full 32-bit thread-id space, computed in u64 so the
+            // default cannot overflow usize on 32-bit targets (where it
+            // saturates to usize::MAX — unreachable anyway, since each
+            // thread costs far more than one byte).
+            max_threads: (u64::from(u32::MAX) + 1).min(usize::MAX as u64) as usize,
         }
     }
 }
@@ -160,9 +169,10 @@ pub enum VmError {
     InstructionLimit(u64),
     /// The configured stack-depth limit was exceeded.
     StackOverflow(usize),
-    /// Spawning another thread would overflow the 32-bit thread-id space.
+    /// Spawning another thread would exceed [`VmConfig::max_threads`] (by
+    /// default the 32-bit thread-id space).
     TooManyThreads {
-        /// The maximum number of threads the id space can name.
+        /// The maximum number of threads the configuration allows.
         limit: u64,
     },
 }
@@ -956,9 +966,14 @@ impl<C: Collector> Vm<C> {
             Some(Insn::SpawnThread { method, args }) => {
                 let arg_values: Vec<Value> =
                     args.iter().map(|&a| self.ex.local(thread_idx, a)).collect();
-                // Thread ids are 32-bit; a checked conversion turns id-space
-                // exhaustion into an error instead of silently wrapping onto
-                // an existing thread's identity.
+                // Thread ids are 32-bit; the configured cap (defaulting to
+                // the id space) turns exhaustion into an error instead of
+                // silently wrapping onto an existing thread's identity.
+                if self.ex.threads.len() >= self.ex.config.max_threads {
+                    return Err(VmError::TooManyThreads {
+                        limit: self.ex.config.max_threads as u64,
+                    });
+                }
                 let new_id = u32::try_from(self.ex.threads.len())
                     .map(ThreadId::new)
                     .map_err(|_| VmError::TooManyThreads {
@@ -1397,6 +1412,67 @@ mod tests {
         config.max_stack_depth = 64;
         let mut vm = Vm::new(p, config, NoopCollector::new());
         assert_eq!(vm.run(), Err(VmError::StackOverflow(64)));
+    }
+
+    #[test]
+    fn too_many_threads_is_an_error() {
+        // Main plus one worker fills a 2-thread cap; the second spawn fails.
+        let mut p = Program::new();
+        let worker = p.add_method(MethodDef::new(
+            "worker",
+            0,
+            1,
+            vec![Insn::Return { value: None }],
+        ));
+        let main = p.add_method(MethodDef::new(
+            "main",
+            0,
+            1,
+            vec![
+                Insn::SpawnThread {
+                    method: worker,
+                    args: vec![],
+                },
+                Insn::SpawnThread {
+                    method: worker,
+                    args: vec![],
+                },
+                Insn::Return { value: None },
+            ],
+        ));
+        p.set_entry(main);
+        let mut config = VmConfig::small();
+        config.max_threads = 2;
+        let mut vm = Vm::new(p, config, NoopCollector::new());
+        assert_eq!(vm.run(), Err(VmError::TooManyThreads { limit: 2 }));
+        // One spawn succeeded before the limit hit.
+        assert_eq!(vm.stats().threads_spawned, 1);
+    }
+
+    #[test]
+    fn thread_cap_at_default_allows_many_threads() {
+        // The default cap is the 32-bit id space: a workload-scale spawn
+        // count is far below it.
+        let mut p = Program::new();
+        let worker = p.add_method(MethodDef::new(
+            "worker",
+            0,
+            1,
+            vec![Insn::Return { value: None }],
+        ));
+        let mut code = Vec::new();
+        for _ in 0..16 {
+            code.push(Insn::SpawnThread {
+                method: worker,
+                args: vec![],
+            });
+        }
+        code.push(Insn::Return { value: None });
+        let main = p.add_method(MethodDef::new("main", 0, 1, code));
+        p.set_entry(main);
+        let mut vm = Vm::new(p, VmConfig::small(), NoopCollector::new());
+        vm.run().expect("spawning 16 threads is fine");
+        assert_eq!(vm.stats().threads_spawned, 16);
     }
 
     #[test]

@@ -103,6 +103,24 @@ impl MethodDef {
         }
     }
 
+    /// Creates a method definition whose `max_locals` is derived from the
+    /// code itself: one past the highest local any instruction touches, but
+    /// at least `arg_count`.
+    ///
+    /// Program generators (the fuzzer, the workload synthesiser) build code
+    /// first and rarely know the local high-water mark up front; deriving it
+    /// here keeps generated methods valid by construction.
+    pub fn from_code(name: impl Into<String>, arg_count: usize, code: Vec<Insn>) -> Self {
+        let max_locals = code
+            .iter()
+            .filter_map(Insn::max_local)
+            .map(|l| l as usize + 1)
+            .max()
+            .unwrap_or(0)
+            .max(arg_count);
+        Self::new(name, arg_count, max_locals, code)
+    }
+
     /// The method name.
     pub fn name(&self) -> &str {
         &self.name
@@ -596,6 +614,28 @@ mod tests {
         ));
         p.set_entry(m);
         assert!(matches!(p.validate(), Err(ProgramError::BadLocal { .. })));
+    }
+
+    #[test]
+    fn from_code_derives_max_locals() {
+        let m = MethodDef::from_code(
+            "derived",
+            1,
+            vec![
+                Insn::Const { dst: 4, value: 7 },
+                Insn::Arith {
+                    op: crate::insn::ArithOp::Add,
+                    dst: 0,
+                    a: Operand::Local(4),
+                    b: Operand::Imm(1),
+                },
+                Insn::Return { value: Some(0) },
+            ],
+        );
+        assert_eq!(m.max_locals(), 5);
+        // Arguments floor the derived count even with no code.
+        let empty = MethodDef::from_code("args-only", 3, vec![Insn::Return { value: None }]);
+        assert_eq!(empty.max_locals(), 3);
     }
 
     #[test]
