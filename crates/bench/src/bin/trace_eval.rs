@@ -32,7 +32,9 @@ fn main() {
             .collect()
     };
 
-    let mut cache = TraceCache::new();
+    // Disk-backed: recordings persist under target/trace-cache/, so a
+    // repeated trace_eval run skips re-interpretation entirely.
+    let mut cache = TraceCache::with_disk_cache();
     let mut table = Table::new(
         format!("Trace-driven evaluation (size {})", options.size),
         &[

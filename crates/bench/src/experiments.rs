@@ -9,7 +9,7 @@ use cg_stats::{percent, Cell, ExperimentRecord, ExperimentReport, RunTimings, Ta
 use cg_workloads::{Size, Workload};
 
 use crate::paper;
-use crate::runner::{run_once, run_repeated, CollectorChoice, RunResult};
+use crate::runner::{run_repeated, CollectorChoice, RunResult};
 
 /// Options controlling how much work the experiment functions do.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -60,13 +60,18 @@ fn workloads() -> Vec<Workload> {
 }
 
 fn cg_run(workload: Workload, size: Size, choice: CollectorChoice) -> RunResult {
-    run_once(workload, size, choice).unwrap_or_else(|e| {
-        panic!(
-            "{} (size {size}, {:?}) failed: {e}",
-            workload.name(),
-            choice
-        )
-    })
+    // Stats experiments honour the process-wide run mode (`repro_all
+    // --streaming` drives them from persisted `.cgt` traces to prove stats
+    // parity with live interpretation); timing experiments always call
+    // `run_once`/`run_repeated` directly and stay live.
+    crate::runner::run_with_mode(workload, size, choice, crate::runner::experiment_run_mode())
+        .unwrap_or_else(|e| {
+            panic!(
+                "{} (size {size}, {:?}) failed: {e}",
+                workload.name(),
+                choice
+            )
+        })
 }
 
 // ----------------------------------------------------------------------

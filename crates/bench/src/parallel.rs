@@ -28,11 +28,15 @@
 //! are barriers but collect nothing — exactly like `ContaminatedGc`'s no-op
 //! `collect` hook.
 
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 
 use cg_core::{aggregate_shards, CgConfig, CgStats, CollectorShard, ObjectBreakdown, StaticDomain};
 use cg_heap::{Heap, HeapConfig, Value};
-use cg_trace::{GcEvent, PartitionedTrace, ReplayError, ShardStream};
+use cg_trace::{
+    GcEvent, PartitionedTrace, ReplayError, ShardStream, ShardWait, StreamKind, StreamReplayError,
+    TraceIoError,
+};
 
 /// What a parallel sharded evaluation produced, aggregated across shards.
 #[derive(Debug, Clone)]
@@ -73,6 +77,8 @@ struct ShardRun {
 enum ShardError {
     /// The shard itself diverged from the recorded history.
     Real(ReplayError),
+    /// The shard's `.cgt` sub-stream could not be read (streaming mode).
+    Stream(TraceIoError),
     /// Another shard failed first; this one bailed out of a wait.
     Aborted,
 }
@@ -95,7 +101,112 @@ impl Drop for AbortOnDrop<'_> {
     }
 }
 
-/// Replays one shard's stream, publishing progress after every event.
+/// Parks until every wait edge is satisfied.  All edges point backwards in
+/// the global order, so this cannot deadlock; on one core the yield hands
+/// the timeslice to the awaited shard.
+fn honour_waits(
+    waits: &[ShardWait],
+    progress: &[AtomicU64],
+    abort: &AtomicBool,
+) -> Result<(), ShardError> {
+    for wait in waits {
+        let target = &progress[wait.shard as usize];
+        let mut spins = 0u32;
+        while target.load(Ordering::Acquire) < wait.processed {
+            if abort.load(Ordering::Relaxed) {
+                return Err(ShardError::Aborted);
+            }
+            spins += 1;
+            if spins < 64 {
+                std::hint::spin_loop();
+            } else {
+                std::thread::yield_now();
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Applies one routed event to a shard's collector and private heap — the
+/// single step shared by the in-memory and streamed-from-disk drivers.
+fn apply_shard_event(
+    run: &mut ShardRun,
+    event: &GcEvent,
+    domain: &StaticDomain,
+) -> Result<(), ReplayError> {
+    match event {
+        GcEvent::Allocate {
+            handle,
+            class,
+            kind,
+            frame,
+            recycled,
+        } => {
+            if *recycled {
+                // Recycling traces are collector-dependent; they cannot
+                // be replayed (sharded or not).
+                return Err(ReplayError::RecycleDiverged { handle: *handle });
+            }
+            match kind {
+                cg_trace::AllocKind::Instance { field_count } => {
+                    run.heap.allocate_at(*handle, *class, *field_count)?
+                }
+                cg_trace::AllocKind::Array { length } => {
+                    run.heap.allocate_array_at(*handle, *class, *length)?
+                }
+            };
+            run.shard.on_allocate(*handle, frame, domain);
+        }
+        GcEvent::SlotWrite {
+            object,
+            slot,
+            value,
+            element,
+        } => {
+            let value = Value::from(*value);
+            if *element {
+                run.heap.set_element(*object, *slot, value)?;
+            } else {
+                run.heap.set_field(*object, *slot, value)?;
+            }
+        }
+        GcEvent::ObjectAccess { handle, thread } => {
+            run.shard.on_object_access(*handle, *thread, domain);
+        }
+        GcEvent::ReferenceStore {
+            source,
+            target,
+            frame,
+        } => {
+            run.shard
+                .on_reference_store(*source, *target, frame, domain);
+        }
+        GcEvent::StaticStore { target } => {
+            run.shard.on_static_store(*target, domain);
+        }
+        GcEvent::ReturnValue {
+            value,
+            caller,
+            callee,
+        } => {
+            run.shard.on_return_value(*value, caller, callee, domain);
+        }
+        GcEvent::FramePush { .. } => {}
+        GcEvent::FramePop { frame } => {
+            let outcome = run.shard.on_frame_pop(frame, &mut run.heap);
+            run.freed_objects += outcome.freed_objects;
+            run.freed_bytes += outcome.freed_bytes;
+        }
+        // Barriers.  Plain CG's `collect` hook is a no-op (no marking);
+        // the breakdown is aggregated after the join.
+        GcEvent::Collect { .. } => run.gc_cycles += 1,
+        GcEvent::ProgramEnd { .. } => {}
+    }
+    Ok(())
+}
+
+/// Replays one shard's in-memory stream, publishing progress after every
+/// event.
 fn run_shard(
     stream: &ShardStream,
     config: CgConfig,
@@ -116,105 +227,88 @@ fn run_shard(
     // Any exit other than a clean completion — error return *or* panic —
     // must wake the siblings (the guard is defused just before `Ok`).
     let mut guard = AbortOnDrop { abort, armed: true };
-    let fail = |abort: &AtomicBool, e: ReplayError| {
-        abort.store(true, Ordering::Relaxed);
-        ShardError::Real(e)
-    };
     for ev in &stream.events {
-        // Honour the cross-shard ordering edges.  All edges point backwards
-        // in the global order, so this cannot deadlock; on one core the
-        // yield hands the timeslice to the awaited shard.
-        for wait in &ev.waits {
-            let target = &progress[wait.shard as usize];
-            let mut spins = 0u32;
-            while target.load(Ordering::Acquire) < wait.processed {
-                if abort.load(Ordering::Relaxed) {
-                    return Err(ShardError::Aborted);
-                }
-                spins += 1;
-                if spins < 64 {
-                    std::hint::spin_loop();
-                } else {
-                    std::thread::yield_now();
-                }
-            }
+        honour_waits(&ev.waits, progress, abort)?;
+        if let Err(e) = apply_shard_event(&mut run, &ev.event, domain) {
+            abort.store(true, Ordering::Relaxed);
+            return Err(ShardError::Real(e));
         }
-        match &ev.event {
-            GcEvent::Allocate {
-                handle,
-                class,
-                kind,
-                frame,
-                recycled,
-            } => {
-                if *recycled {
-                    // Recycling traces are collector-dependent; they cannot
-                    // be replayed (sharded or not).
-                    return Err(fail(
-                        abort,
-                        ReplayError::RecycleDiverged { handle: *handle },
-                    ));
-                }
-                let placed = match kind {
-                    cg_trace::AllocKind::Instance { field_count } => {
-                        run.heap.allocate_at(*handle, *class, *field_count)
-                    }
-                    cg_trace::AllocKind::Array { length } => {
-                        run.heap.allocate_array_at(*handle, *class, *length)
-                    }
-                };
-                if let Err(e) = placed {
-                    return Err(fail(abort, ReplayError::Heap(e)));
-                }
-                run.shard.on_allocate(*handle, frame, domain);
+        run.events += 1;
+        progress[me].store(run.events as u64, Ordering::Release);
+    }
+    guard.armed = false;
+    Ok(run)
+}
+
+/// Replays one shard's `.cgt` sub-stream straight from disk, holding
+/// O(chunk) trace memory, publishing progress after every event.
+fn run_shard_streaming(
+    me: usize,
+    path: &PathBuf,
+    config: CgConfig,
+    heap_config: HeapConfig,
+    domain: &StaticDomain,
+    progress: &[AtomicU64],
+    abort: &AtomicBool,
+) -> Result<ShardRun, ShardError> {
+    let mut run = ShardRun {
+        shard: CollectorShard::for_shard(config),
+        heap: Heap::new(heap_config),
+        events: 0,
+        freed_objects: 0,
+        freed_bytes: 0,
+        gc_cycles: 0,
+    };
+    let mut guard = AbortOnDrop { abort, armed: true };
+    let mut reader = match cg_trace::open_trace(path) {
+        Ok(reader) => reader,
+        Err(e) => {
+            abort.store(true, Ordering::Relaxed);
+            return Err(ShardError::Stream(e));
+        }
+    };
+    match reader.meta().stream {
+        StreamKind::Shard { shard, shard_count }
+            if shard as usize == me && shard_count as usize == progress.len() => {}
+        _ => {
+            abort.store(true, Ordering::Relaxed);
+            return Err(ShardError::Stream(TraceIoError::Malformed {
+                chunk: None,
+                detail: format!(
+                    "{} is not shard {me} of a {}-shard partition",
+                    path.display(),
+                    progress.len()
+                ),
+            }));
+        }
+    }
+    loop {
+        let ev = match reader.next_shard_event() {
+            Ok(Some(ev)) => ev,
+            Ok(None) => break,
+            Err(e) => {
+                abort.store(true, Ordering::Relaxed);
+                return Err(ShardError::Stream(e));
             }
-            GcEvent::SlotWrite {
-                object,
-                slot,
-                value,
-                element,
-            } => {
-                let value = Value::from(*value);
-                let written = if *element {
-                    run.heap.set_element(*object, *slot, value)
-                } else {
-                    run.heap.set_field(*object, *slot, value)
-                };
-                if let Err(e) = written {
-                    return Err(fail(abort, ReplayError::Heap(e)));
-                }
-            }
-            GcEvent::ObjectAccess { handle, thread } => {
-                run.shard.on_object_access(*handle, *thread, domain);
-            }
-            GcEvent::ReferenceStore {
-                source,
-                target,
-                frame,
-            } => {
-                run.shard
-                    .on_reference_store(*source, *target, frame, domain);
-            }
-            GcEvent::StaticStore { target } => {
-                run.shard.on_static_store(*target, domain);
-            }
-            GcEvent::ReturnValue {
-                value,
-                caller,
-                callee,
-            } => {
-                run.shard.on_return_value(*value, caller, callee, domain);
-            }
-            GcEvent::FramePush { .. } => {}
-            GcEvent::FramePop { frame } => {
-                let outcome = run.shard.on_frame_pop(frame, &mut run.heap);
-                run.freed_objects += outcome.freed_objects;
-                run.freed_bytes += outcome.freed_bytes;
-            }
-            // Barriers.  Plain CG's `collect` hook is a no-op (no marking);
-            // the breakdown is aggregated after the join.
-            GcEvent::Collect { .. } => run.gc_cycles += 1,
-            GcEvent::ProgramEnd { .. } => {}
+        };
+        // A corrupt or foreign file may name a shard outside the topology;
+        // fail cleanly instead of indexing out of bounds.
+        if let Some(bad) = ev.waits.iter().find(|w| w.shard as usize >= progress.len()) {
+            abort.store(true, Ordering::Relaxed);
+            return Err(ShardError::Stream(TraceIoError::Malformed {
+                chunk: None,
+                detail: format!(
+                    "{}: wait edge names shard {} of a {}-shard partition",
+                    path.display(),
+                    bad.shard,
+                    progress.len()
+                ),
+            }));
+        }
+        honour_waits(&ev.waits, progress, abort)?;
+        if let Err(e) = apply_shard_event(&mut run, &ev.event, domain) {
+            abort.store(true, Ordering::Relaxed);
+            return Err(ShardError::Real(e));
         }
         run.events += 1;
         progress[me].store(run.events as u64, Ordering::Release);
@@ -272,13 +366,29 @@ pub fn parallel_eval(
             .collect()
     });
 
+    aggregate_results(results, shard_count, &domain, start).map_err(|e| match e {
+        ShardError::Real(e) => e,
+        // In-memory streams cannot raise stream errors.
+        ShardError::Stream(e) => unreachable!("in-memory shard raised a stream error: {e}"),
+        ShardError::Aborted => unreachable!("all aborts trace back to a real error"),
+    })
+}
+
+/// Joins per-shard results into the aggregated outcome (shared by the
+/// in-memory and streamed-from-disk evaluators).
+fn aggregate_results(
+    results: Vec<Result<ShardRun, ShardError>>,
+    shard_count: usize,
+    domain: &StaticDomain,
+    start: std::time::Instant,
+) -> Result<ParallelOutcome, ShardError> {
     let mut runs = Vec::with_capacity(shard_count);
     let mut first_error = None;
     for result in results {
         match result {
             Ok(run) => runs.push(run),
-            Err(ShardError::Real(e)) => first_error = first_error.or(Some(e)),
             Err(ShardError::Aborted) => {}
+            Err(real) => first_error = first_error.or(Some(real)),
         }
     }
     if let Some(e) = first_error {
@@ -288,7 +398,7 @@ pub fn parallel_eval(
 
     // Aggregate exactly the way the single-threaded collector reports at
     // program end (one shared implementation with the sequential ShardedGc).
-    let (stats, breakdown) = aggregate_shards(runs.iter_mut().map(|r| &mut r.shard), &domain);
+    let (stats, breakdown) = aggregate_shards(runs.iter_mut().map(|r| &mut r.shard), domain);
 
     Ok(ParallelOutcome {
         stats,
@@ -300,6 +410,59 @@ pub fn parallel_eval(
         live_at_exit: runs.iter().map(|r| r.heap.live_count()).sum(),
         gc_cycles: runs.iter().map(|r| r.gc_cycles).sum(),
         elapsed_seconds: start.elapsed().as_secs_f64(),
+    })
+}
+
+/// Replays per-shard `.cgt` sub-streams (written by
+/// [`cg_trace::partition_streaming`]) on one OS thread per shard, straight
+/// from disk: each thread holds one decoded chunk of its own stream, so
+/// the whole evaluation's trace memory is O(shards × chunk) regardless of
+/// trace length.  Statistics are byte-identical to [`parallel_eval`] over
+/// the same partition, which is itself byte-identical to a single-threaded
+/// replay.
+///
+/// # Errors
+///
+/// A [`StreamReplayError`]: a replay divergence, or an unreadable shard
+/// file (the remaining shards abort).
+pub fn parallel_eval_streaming(
+    paths: &[PathBuf],
+    heap_config: HeapConfig,
+    config: CgConfig,
+) -> Result<ParallelOutcome, StreamReplayError> {
+    let start = std::time::Instant::now();
+    let shard_count = paths.len();
+    assert!(shard_count > 0, "need at least one shard stream");
+    let domain = StaticDomain::new();
+    let progress: Vec<AtomicU64> = (0..shard_count).map(|_| AtomicU64::new(0)).collect();
+    let abort = AtomicBool::new(false);
+
+    let results: Vec<Result<ShardRun, ShardError>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = paths
+            .iter()
+            .enumerate()
+            .map(|(me, path)| {
+                let domain = &domain;
+                let progress = &progress;
+                let abort = &abort;
+                scope.spawn(move || {
+                    run_shard_streaming(me, path, config, heap_config, domain, progress, abort)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| match h.join() {
+                Ok(result) => result,
+                Err(payload) => std::panic::resume_unwind(payload),
+            })
+            .collect()
+    });
+
+    aggregate_results(results, shard_count, &domain, start).map_err(|e| match e {
+        ShardError::Real(e) => StreamReplayError::Replay(e),
+        ShardError::Stream(e) => StreamReplayError::Trace(e),
+        ShardError::Aborted => unreachable!("all aborts trace back to a real error"),
     })
 }
 

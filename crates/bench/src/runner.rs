@@ -1,14 +1,20 @@
-//! Running one workload under one collector configuration — either *live*
-//! (interpret the program) or by *replaying* a recorded event trace, which
-//! evaluates a collector without re-interpreting (see [`RunMode`]).
+//! Running one workload under one collector configuration — *live*
+//! (interpret the program), by *replaying* an in-memory recorded event
+//! trace, or by *streaming* a persisted `.cgt` trace from disk with
+//! O(chunk) memory (see [`RunMode`]).
 
 use std::collections::HashMap;
+use std::path::{Path, PathBuf};
 use std::rc::Rc;
 
 use cg_baseline::{MarkSweep, MarkSweepStats, NoopCollector};
 use cg_core::{CgConfig, CgStats, HybridCollector, HybridConfig, ObjectBreakdown};
-use cg_heap::{HandleRepr, HeapConfig, HeapStats};
-use cg_trace::{record, replay, ReplayError, ReplayOutcome, Trace};
+use cg_heap::{HeapConfig, HeapStats};
+use cg_trace::footer::{vm_stats_from_section, VM_SECTION};
+use cg_trace::{
+    record, record_streaming, replay, ReplayError, ReplayOutcome, StreamReplayError, Trace,
+    TraceIoError, TraceMeta, WorkloadRef,
+};
 use cg_vm::{Vm, VmConfig, VmError, VmStats};
 use cg_workloads::{Size, Workload};
 
@@ -70,7 +76,7 @@ impl CollectorChoice {
 
     /// The periodic forced-collection interval the experiment configuration
     /// uses for this choice, if any.
-    fn gc_every(self) -> Option<u64> {
+    pub fn gc_every(self) -> Option<u64> {
         // §4.7 forces a traditional collection every 100 000 JVM
         // instructions; our synthetic workloads are scaled down roughly 4×,
         // so the interval is scaled the same way.
@@ -78,7 +84,8 @@ impl CollectorChoice {
     }
 }
 
-/// Whether to interpret the workload or replay a recorded trace.
+/// Whether to interpret the workload, replay an in-memory recording, or
+/// stream a persisted `.cgt` trace from disk.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum RunMode {
     /// Interpret the program with the collector installed (the paper's own
@@ -90,15 +97,25 @@ pub enum RunMode {
     /// evaluating several collectors over one workload, because the
     /// interpretation cost is paid once.
     Replay,
+    /// Like [`RunMode::Replay`], but through the persistent `.cgt` layer:
+    /// the recording is streamed to a file under `target/trace-cache/`
+    /// (skipped entirely when a matching cache file already exists) and
+    /// the collector is driven chunk-by-chunk from disk with O(chunk)
+    /// trace memory.  Repeated bench runs skip re-interpretation across
+    /// *processes*, not just within one.
+    Streaming,
 }
 
-/// Errors from the runner: a live run's [`VmError`] or a replay divergence.
-#[derive(Debug, Clone, PartialEq)]
+/// Errors from the runner: a live run's [`VmError`], a replay divergence,
+/// or an unreadable/unwritable `.cgt` stream.
+#[derive(Debug)]
 pub enum RunnerError {
     /// The live (or recording) run failed.
     Vm(VmError),
     /// The replay diverged from the recorded heap history.
     Replay(ReplayError),
+    /// The persisted trace could not be read or written.
+    Trace(TraceIoError),
 }
 
 impl std::fmt::Display for RunnerError {
@@ -106,6 +123,7 @@ impl std::fmt::Display for RunnerError {
         match self {
             RunnerError::Vm(e) => write!(f, "{e}"),
             RunnerError::Replay(e) => write!(f, "{e}"),
+            RunnerError::Trace(e) => write!(f, "{e}"),
         }
     }
 }
@@ -121,6 +139,30 @@ impl From<VmError> for RunnerError {
 impl From<ReplayError> for RunnerError {
     fn from(e: ReplayError) -> Self {
         RunnerError::Replay(e)
+    }
+}
+
+impl From<TraceIoError> for RunnerError {
+    fn from(e: TraceIoError) -> Self {
+        RunnerError::Trace(e)
+    }
+}
+
+impl From<StreamReplayError> for RunnerError {
+    fn from(e: StreamReplayError) -> Self {
+        match e {
+            StreamReplayError::Replay(e) => RunnerError::Replay(e),
+            StreamReplayError::Trace(e) => RunnerError::Trace(e),
+        }
+    }
+}
+
+impl From<cg_trace::RecordError> for RunnerError {
+    fn from(e: cg_trace::RecordError) -> Self {
+        match e {
+            cg_trace::RecordError::Vm(e) => RunnerError::Vm(e),
+            cg_trace::RecordError::Trace(e) => RunnerError::Trace(e),
+        }
     }
 }
 
@@ -176,13 +218,15 @@ impl RunResult {
 /// collects, as in the paper's small runs) while the large problem sizes
 /// overflow it many times over and retain sizable live structures (so the
 /// baseline's repeated marking cost shows up, as in the paper's large runs).
+/// The large javac/jack runs keep roughly half a million objects live at
+/// once; the 64 MiB handle table gives them room so the experiments measure
+/// object-space behaviour rather than handle-table exhaustion.
+///
+/// This is the same configuration golden-corpus `.cgt` recordings embed —
+/// one definition, shared through `cg-trace`, so the bench harness and the
+/// committed traces can never drift apart.
 pub fn experiment_heap() -> HeapConfig {
-    let mut config = HeapConfig::with_object_space(12 * 1024 * 1024, HandleRepr::CgWide);
-    // The large javac/jack runs keep roughly half a million objects live at
-    // once; give the handle table room for them so the experiments measure
-    // object-space behaviour rather than handle-table exhaustion.
-    config.handle_space_bytes = 64 * 1024 * 1024;
-    config
+    cg_trace::footer::canonical_heap()
 }
 
 /// The VM configuration used by experiment runs.
@@ -335,6 +379,235 @@ pub fn record_workload_trace(
     })
 }
 
+/// Where on-disk trace memoization lives: `$CG_TRACE_CACHE_DIR`, or
+/// `target/trace-cache/` relative to the working directory.
+pub fn trace_cache_dir() -> PathBuf {
+    std::env::var_os("CG_TRACE_CACHE_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("target").join("trace-cache"))
+}
+
+/// The cache file for one `(workload, size, gc_every)` recording.
+pub fn trace_cache_path(workload: Workload, size: Size, gc_every: Option<u64>) -> PathBuf {
+    let gc = gc_every.map_or_else(|| "none".to_string(), |n| n.to_string());
+    trace_cache_dir().join(format!("{}-s{size}-gc{gc}.cgt", workload.name()))
+}
+
+/// Records `workload` straight to a `.cgt` file with O(chunk) memory: the
+/// header carries the workload identity, heap configuration and
+/// `gc_every`; the footer carries the recording run's interpreter
+/// statistics (everything [`replay_streaming`] and the disk cache need).
+///
+/// # Errors
+///
+/// Returns a [`RunnerError`] if the recording run or the write fails.
+pub fn record_workload_trace_to_path(
+    workload: Workload,
+    size: Size,
+    gc_every: Option<u64>,
+    path: &Path,
+) -> Result<(), RunnerError> {
+    if let Some(parent) = path.parent() {
+        std::fs::create_dir_all(parent).map_err(TraceIoError::Io)?;
+    }
+    let mut config = VmConfig::default().with_heap(experiment_heap());
+    if let Some(every) = gc_every {
+        config = config.with_gc_every(every);
+    }
+    let meta = TraceMeta {
+        name: format!("{}/{size}", workload.name()),
+        workload: Some(WorkloadRef {
+            name: workload.name().to_string(),
+            size: size.spec_number(),
+        }),
+        ..TraceMeta::default()
+    };
+    // Record into a temp sibling and rename into place: a crash mid-write
+    // can never leave a truncated stream at the published path.
+    let tmp = path.with_extension("cgt.tmp");
+    let file = std::fs::File::create(&tmp).map_err(TraceIoError::Io)?;
+    let recorded = record_streaming(
+        &meta,
+        workload.program(size),
+        config,
+        NoopCollector::new(),
+        std::io::BufWriter::new(file),
+    );
+    let flushed = recorded
+        .map_err(RunnerError::from)
+        .and_then(|(_, _, _, w)| {
+            w.into_inner()
+                .map_err(|e| RunnerError::Trace(TraceIoError::Io(e.into_error())))
+        });
+    if let Err(e) = flushed {
+        let _ = std::fs::remove_file(&tmp);
+        return Err(e);
+    }
+    std::fs::rename(&tmp, path).map_err(TraceIoError::Io)?;
+    Ok(())
+}
+
+/// Ensures the disk cache holds a recording for `(workload, size,
+/// gc_every)` and returns its path, recording on first use.
+///
+/// # Errors
+///
+/// Returns a [`RunnerError`] if a needed recording fails.
+pub fn ensure_cached_trace(
+    workload: Workload,
+    size: Size,
+    gc_every: Option<u64>,
+) -> Result<PathBuf, RunnerError> {
+    let path = trace_cache_path(workload, size, gc_every);
+    if !path.exists() {
+        record_workload_trace_to_path(workload, size, gc_every, &path)?;
+    }
+    Ok(path)
+}
+
+/// Streams a persisted `.cgt` workload trace through the chosen collector
+/// — O(chunk) trace memory — and returns the same uniform [`RunResult`] a
+/// live run would (interpreter statistics from the file's footer;
+/// collector statistics and timing from the replay).
+///
+/// # Errors
+///
+/// Returns a [`RunnerError`] on unreadable streams, replay divergence, or
+/// a file whose metadata does not match what the choice needs.
+///
+/// # Panics
+///
+/// Panics on choices where [`CollectorChoice::supports_replay`] is false.
+pub fn replay_streaming(path: &Path, choice: CollectorChoice) -> Result<RunResult, RunnerError> {
+    assert!(
+        choice.supports_replay(),
+        "{} cannot be evaluated by replay; run it live",
+        choice.label()
+    );
+    let malformed = |detail: String| {
+        RunnerError::Trace(TraceIoError::Malformed {
+            chunk: None,
+            detail,
+        })
+    };
+    // One open: the header is validated against the choice before any
+    // replay work starts, then the same reader drives the replay.
+    let reader = cg_trace::open_trace(path)?;
+    let meta = reader.meta().clone();
+    if meta.gc_every != choice.gc_every() {
+        return Err(malformed(format!(
+            "{} was recorded with gc_every={:?}, but {} expects {:?}",
+            path.display(),
+            meta.gc_every,
+            choice.label(),
+            choice.gc_every(),
+        )));
+    }
+    let workload = meta
+        .workload
+        .as_ref()
+        .and_then(|w| Workload::by_name(&w.name))
+        .ok_or_else(|| malformed(format!("{} names no known workload", path.display())))?;
+    let size = meta
+        .workload
+        .as_ref()
+        .and_then(|w| Size::parse(&w.size.to_string()))
+        .ok_or_else(|| malformed(format!("{} has no valid size", path.display())))?;
+
+    let vm_of = |footer: &cg_trace::TraceFooter| {
+        footer
+            .section(VM_SECTION)
+            .and_then(vm_stats_from_section)
+            .ok_or_else(|| {
+                malformed(format!(
+                    "{} has no \"{VM_SECTION}\" footer section",
+                    path.display()
+                ))
+            })
+    };
+    let vm_with = |recorded: VmStats, outcome: &ReplayOutcome| {
+        let mut vm = recorded;
+        vm.gc_cycles = outcome.gc_cycles;
+        vm.collector_freed_objects = outcome.collector_freed_objects;
+        vm.collector_freed_bytes = outcome.collector_freed_bytes;
+        vm.collector_marked_objects = outcome.collector_marked_objects;
+        vm
+    };
+    let base = RunResult {
+        workload: workload.name(),
+        size,
+        collector: choice,
+        elapsed_seconds: 0.0,
+        vm: VmStats::default(),
+        heap: HeapStats::default(),
+        live_at_exit: 0,
+        cg: None,
+        msa: None,
+    };
+    let heap_config = meta.heap.unwrap_or_else(experiment_heap);
+    // Drives the already-open reader through one collector and hands back
+    // the replay plus the footer (exactly one header parse per run).
+    fn drive<C: cg_vm::Collector, R: std::io::Read>(
+        mut reader: cg_trace::TraceReader<R>,
+        heap_config: HeapConfig,
+        collector: C,
+    ) -> Result<(cg_trace::Replayed<C>, cg_trace::TraceFooter), RunnerError> {
+        let replayed = cg_trace::replay_events(
+            std::iter::from_fn(|| reader.next_event().transpose()),
+            heap_config,
+            collector,
+        )?;
+        let footer = reader
+            .footer()
+            .cloned()
+            .expect("stream iterated to completion, so the footer was read");
+        Ok((replayed, footer))
+    }
+    match choice {
+        CollectorChoice::Noop => {
+            let (replayed, footer) = drive(reader, heap_config, NoopCollector::new())?;
+            let recorded = vm_of(&footer)?;
+            Ok(RunResult {
+                elapsed_seconds: replayed.outcome.elapsed_seconds,
+                vm: vm_with(recorded, &replayed.outcome),
+                heap: *replayed.heap.stats(),
+                live_at_exit: replayed.outcome.live_at_exit,
+                ..base
+            })
+        }
+        CollectorChoice::Baseline => {
+            let (replayed, footer) = drive(reader, heap_config, MarkSweep::new())?;
+            let recorded = vm_of(&footer)?;
+            Ok(RunResult {
+                elapsed_seconds: replayed.outcome.elapsed_seconds,
+                vm: vm_with(recorded, &replayed.outcome),
+                heap: *replayed.heap.stats(),
+                live_at_exit: replayed.outcome.live_at_exit,
+                msa: Some(*replayed.collector.stats()),
+                ..base
+            })
+        }
+        _ => {
+            let (replayed, footer) = drive(reader, heap_config, hybrid_for(choice))?;
+            let recorded = vm_of(&footer)?;
+            let mut collector = replayed.collector;
+            let breakdown = collector.cg_mut().breakdown();
+            Ok(RunResult {
+                elapsed_seconds: replayed.outcome.elapsed_seconds,
+                vm: vm_with(recorded, &replayed.outcome),
+                heap: *replayed.heap.stats(),
+                live_at_exit: replayed.outcome.live_at_exit,
+                cg: Some(CgSummary {
+                    stats: collector.cg().stats().clone(),
+                    breakdown,
+                }),
+                msa: Some(*collector.msa_stats()),
+                ..base
+            })
+        }
+    }
+}
+
 /// Replays a recorded workload against the chosen collector and returns the
 /// same uniform [`RunResult`] a live run would (interpreter statistics come
 /// from the recording; collector statistics and timing from the replay).
@@ -454,30 +727,100 @@ pub fn run_with_mode(
 ) -> Result<RunResult, RunnerError> {
     match mode {
         RunMode::Live => Ok(run_once(workload, size, choice)?),
-        RunMode::Replay if !choice.supports_replay() => Ok(run_once(workload, size, choice)?),
+        RunMode::Replay | RunMode::Streaming if !choice.supports_replay() => {
+            Ok(run_once(workload, size, choice)?)
+        }
         RunMode::Replay => {
             let recorded = record_workload_trace(workload, size, choice.gc_every())?;
             replay_run(&recorded, choice)
         }
+        RunMode::Streaming => {
+            // Recording runs under a passive collector, which never frees:
+            // a workload too large for the experiment heap without garbage
+            // collection (the size-100 runs) cannot be captured as a
+            // collector-independent stream at all, so it honestly falls
+            // back to live interpretation.
+            let gc_every = choice.gc_every();
+            match ensure_cached_trace(workload, size, gc_every) {
+                Ok(path) => match replay_streaming(&path, choice) {
+                    Ok(result) => Ok(result),
+                    // A stale or corrupt cache file (older format, crash
+                    // leftovers, wrong metadata) only costs a re-recording.
+                    Err(RunnerError::Trace(_)) => {
+                        let _ = std::fs::remove_file(&path);
+                        let path = ensure_cached_trace(workload, size, gc_every)?;
+                        replay_streaming(&path, choice)
+                    }
+                    Err(e) => Err(e),
+                },
+                Err(RunnerError::Vm(_)) => Ok(run_once(workload, size, choice)?),
+                Err(e) => Err(e),
+            }
+        }
+    }
+}
+
+/// The process-wide default [`RunMode`] for the stats experiments (the
+/// `repro_*` binaries' non-timing figures).  Timing experiments always run
+/// live regardless — replay timings measure the replayer, not the paper's
+/// methodology.
+static EXPERIMENT_RUN_MODE: std::sync::atomic::AtomicU8 = std::sync::atomic::AtomicU8::new(0);
+
+/// Sets the default run mode used by the experiment suite (`repro_all
+/// --streaming` selects [`RunMode::Streaming`] to prove stats parity
+/// through the persisted-trace path).
+pub fn set_experiment_run_mode(mode: RunMode) {
+    let raw = match mode {
+        RunMode::Live => 0,
+        RunMode::Replay => 1,
+        RunMode::Streaming => 2,
+    };
+    EXPERIMENT_RUN_MODE.store(raw, std::sync::atomic::Ordering::Relaxed);
+}
+
+/// The current default run mode for the experiment suite.
+pub fn experiment_run_mode() -> RunMode {
+    match EXPERIMENT_RUN_MODE.load(std::sync::atomic::Ordering::Relaxed) {
+        1 => RunMode::Replay,
+        2 => RunMode::Streaming,
+        _ => RunMode::Live,
     }
 }
 
 /// Caches recorded workload traces keyed by `(workload, size, gc_every)`, so
 /// a batch evaluation (many collectors × one workload) interprets each
 /// workload once.
+///
+/// With [`TraceCache::with_disk_cache`] the memoization extends across
+/// processes: recordings are persisted as `.cgt` files under
+/// [`trace_cache_dir`] and loaded back instead of re-interpreted on the
+/// next run.  A stale or unreadable cache file is silently re-recorded
+/// (and overwritten) — the cache can only cost a re-recording, never
+/// correctness.  Delete `target/trace-cache/` (or `cargo clean`) after
+/// changing workload definitions.
 #[derive(Debug, Default)]
 pub struct TraceCache {
     traces: HashMap<(&'static str, Size, Option<u64>), Rc<WorkloadTrace>>,
+    use_disk: bool,
 }
 
 impl TraceCache {
-    /// Creates an empty cache.
+    /// Creates an empty in-memory cache.
     pub fn new() -> Self {
         Self::default()
     }
 
-    /// The recorded trace for the workload the given choice needs, recording
-    /// it on first use.
+    /// Creates a cache that additionally memoizes recordings on disk under
+    /// [`trace_cache_dir`].
+    pub fn with_disk_cache() -> Self {
+        Self {
+            traces: HashMap::new(),
+            use_disk: true,
+        }
+    }
+
+    /// The recorded trace for the workload the given choice needs,
+    /// recording it — or loading it from the disk cache — on first use.
     ///
     /// # Errors
     ///
@@ -488,24 +831,114 @@ impl TraceCache {
         size: Size,
         choice: CollectorChoice,
     ) -> Result<Rc<WorkloadTrace>, VmError> {
-        let key = (workload.name(), size, choice.gc_every());
+        let gc_every = choice.gc_every();
+        let key = (workload.name(), size, gc_every);
         if let Some(trace) = self.traces.get(&key) {
             return Ok(Rc::clone(trace));
         }
-        let recorded = Rc::new(record_workload_trace(workload, size, choice.gc_every())?);
+        if self.use_disk {
+            let path = trace_cache_path(workload, size, gc_every);
+            if let Some(loaded) = load_cached_workload_trace(&path, workload, size, gc_every) {
+                let loaded = Rc::new(loaded);
+                self.traces.insert(key, Rc::clone(&loaded));
+                return Ok(loaded);
+            }
+            let recorded = Rc::new(record_workload_trace(workload, size, gc_every)?);
+            if let Err(e) = write_cached_workload_trace(&path, &recorded) {
+                // The cache is an optimization; a failed write only costs
+                // the next process a re-recording.
+                eprintln!(
+                    "warning: could not write trace cache {}: {e}",
+                    path.display()
+                );
+            }
+            self.traces.insert(key, Rc::clone(&recorded));
+            return Ok(recorded);
+        }
+        let recorded = Rc::new(record_workload_trace(workload, size, gc_every)?);
         self.traces.insert(key, Rc::clone(&recorded));
         Ok(recorded)
     }
 
-    /// Number of distinct recordings held.
+    /// Number of distinct recordings held in memory.
     pub fn len(&self) -> usize {
         self.traces.len()
     }
 
-    /// Whether the cache is empty.
+    /// Whether the in-memory cache is empty.
     pub fn is_empty(&self) -> bool {
         self.traces.is_empty()
     }
+}
+
+/// Persists a recorded workload trace as a `.cgt` cache file (header:
+/// workload identity + heap + `gc_every`; footer: the recording run's
+/// interpreter statistics).
+fn write_cached_workload_trace(path: &Path, wt: &WorkloadTrace) -> Result<(), TraceIoError> {
+    if let Some(parent) = path.parent() {
+        std::fs::create_dir_all(parent)?;
+    }
+    let meta = TraceMeta {
+        name: wt.trace.name().to_string(),
+        workload: Some(WorkloadRef {
+            name: wt.workload.to_string(),
+            size: wt.size.spec_number(),
+        }),
+        gc_every: wt.gc_every,
+        heap: Some(wt.heap),
+        declared_events: Some(wt.trace.len() as u64),
+        stream: cg_trace::StreamKind::Plain,
+    };
+    let file = std::fs::File::create(path)?;
+    let mut writer = cg_trace::TraceWriter::new(std::io::BufWriter::new(file), &meta)?;
+    for event in wt.trace.events() {
+        writer.push(event)?;
+    }
+    writer.add_section(cg_trace::footer::vm_section(&wt.vm));
+    let (w, _) = writer.finish()?;
+    w.into_inner()
+        .map_err(|e| TraceIoError::Io(e.into_error()))?;
+    Ok(())
+}
+
+/// Loads a cached workload trace, returning `None` when the file is
+/// missing, unreadable, or does not describe the requested recording.
+fn load_cached_workload_trace(
+    path: &Path,
+    workload: Workload,
+    size: Size,
+    gc_every: Option<u64>,
+) -> Option<WorkloadTrace> {
+    if !path.exists() {
+        return None;
+    }
+    let (trace, meta, footer) = match cg_trace::read_trace_from_path(path) {
+        Ok(read) => read,
+        Err(e) => {
+            eprintln!(
+                "warning: ignoring unreadable trace cache {}: {e}",
+                path.display()
+            );
+            return None;
+        }
+    };
+    let matches = meta
+        .workload
+        .as_ref()
+        .is_some_and(|w| w.name == workload.name() && w.size == size.spec_number())
+        && meta.gc_every == gc_every;
+    if !matches {
+        return None;
+    }
+    let vm = footer.section(VM_SECTION).and_then(vm_stats_from_section)?;
+    Some(WorkloadTrace {
+        workload: workload.name(),
+        size,
+        trace,
+        vm,
+        heap: meta.heap?,
+        gc_every,
+    })
 }
 
 /// Runs a workload `repetitions` times under the chosen collector and

@@ -1,0 +1,67 @@
+//! The disk-backed `TraceCache`: recordings persist as `.cgt` files and a
+//! second cache (a stand-in for a second process) loads them back instead
+//! of re-interpreting — with identical traces and statistics.  A corrupted
+//! cache file silently falls back to re-recording.
+
+use cg_bench::{replay_run, CollectorChoice, TraceCache};
+use cg_workloads::{Size, Workload};
+
+#[test]
+fn disk_cache_round_trips_across_cache_instances() {
+    // One env var for the whole process: this is the only test in this
+    // file, so nothing races the cache directory.
+    let dir = std::env::temp_dir().join(format!("cg-bench-cache-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::env::set_var("CG_TRACE_CACHE_DIR", &dir);
+
+    let db = Workload::by_name("db").expect("db exists");
+
+    // First "process": records and persists.
+    let mut first = TraceCache::with_disk_cache();
+    let recorded = first
+        .for_choice(db, Size::S1, CollectorChoice::Cg)
+        .expect("record");
+    let cache_file = cg_bench::trace_cache_path(db, Size::S1, None);
+    assert!(
+        cache_file.exists(),
+        "disk cache file must exist at {}",
+        cache_file.display()
+    );
+
+    // Second "process": loads from disk — same trace, same statistics.
+    let mut second = TraceCache::with_disk_cache();
+    let loaded = second
+        .for_choice(db, Size::S1, CollectorChoice::Cg)
+        .expect("load");
+    assert_eq!(loaded.trace, recorded.trace, "persisted trace is identical");
+    assert_eq!(loaded.vm, recorded.vm, "persisted interpreter stats match");
+    assert_eq!(loaded.heap, recorded.heap);
+    assert_eq!(loaded.gc_every, recorded.gc_every);
+    let a = replay_run(&recorded, CollectorChoice::Cg).expect("replay");
+    let b = replay_run(&loaded, CollectorChoice::Cg).expect("replay");
+    assert_eq!(
+        a.cg.as_ref().map(|c| (&c.stats, &c.breakdown)),
+        b.cg.as_ref().map(|c| (&c.stats, &c.breakdown))
+    );
+
+    // A corrupt cache file is ignored and re-recorded over.
+    std::fs::write(&cache_file, b"garbage").expect("corrupt the cache");
+    let mut third = TraceCache::with_disk_cache();
+    let rerecorded = third
+        .for_choice(db, Size::S1, CollectorChoice::Cg)
+        .expect("fall back to recording");
+    assert_eq!(rerecorded.trace, recorded.trace);
+    // And the overwritten file is valid again.
+    let (reread, ..) = cg_trace::read_trace_from_path(&cache_file).expect("cache file restored");
+    assert_eq!(reread, recorded.trace);
+
+    // Different gc_every keys get their own files.
+    let mut with_gc = TraceCache::with_disk_cache();
+    let reset = with_gc
+        .for_choice(db, Size::S1, CollectorChoice::CgReset)
+        .expect("record with gc_every");
+    assert!(reset.gc_every.is_some());
+    assert!(cg_bench::trace_cache_path(db, Size::S1, reset.gc_every).exists());
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

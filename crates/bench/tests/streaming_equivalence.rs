@@ -1,0 +1,140 @@
+//! The streaming path must be invisible in the numbers: for every
+//! workload, driving a collector from a persisted `.cgt` file
+//! chunk-by-chunk produces `CgStats`/`ObjectBreakdown` (and interpreter
+//! statistics) byte-identical to the in-memory replay path — and the
+//! parallel evaluator fed from per-shard `.cgt` files matches the
+//! in-memory partitioned evaluation exactly.
+
+use std::path::PathBuf;
+
+use cg_bench::{
+    parallel_eval, parallel_eval_streaming, record_workload_trace, record_workload_trace_to_path,
+    replay_run, replay_streaming, CollectorChoice,
+};
+use cg_core::CgConfig;
+use cg_trace::{partition, partition_path_streaming, read_partitioned};
+use cg_workloads::{Size, Workload};
+
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("cg-bench-stream-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    dir
+}
+
+#[test]
+fn streaming_replay_matches_in_memory_replay_for_all_workloads() {
+    let dir = scratch("replay");
+    for workload in Workload::all() {
+        let path = dir.join(format!("{}.cgt", workload.name()));
+        record_workload_trace_to_path(workload, Size::S1, None, &path)
+            .unwrap_or_else(|e| panic!("{}: record failed: {e}", workload.name()));
+        let recorded = record_workload_trace(workload, Size::S1, None)
+            .unwrap_or_else(|e| panic!("{}: record failed: {e}", workload.name()));
+        for choice in [
+            CollectorChoice::Cg,
+            CollectorChoice::CgNoOpt,
+            CollectorChoice::Baseline,
+        ] {
+            let streamed = replay_streaming(&path, choice)
+                .unwrap_or_else(|e| panic!("{}: streaming failed: {e}", workload.name()));
+            let in_memory = replay_run(&recorded, choice)
+                .unwrap_or_else(|e| panic!("{}: replay failed: {e}", workload.name()));
+            assert_eq!(
+                streamed.vm,
+                in_memory.vm,
+                "{}/{}: interpreter statistics",
+                workload.name(),
+                choice.label()
+            );
+            assert_eq!(
+                streamed.cg.as_ref().map(|c| (&c.stats, &c.breakdown)),
+                in_memory.cg.as_ref().map(|c| (&c.stats, &c.breakdown)),
+                "{}/{}: collector statistics",
+                workload.name(),
+                choice.label()
+            );
+            assert_eq!(streamed.live_at_exit, in_memory.live_at_exit);
+            assert_eq!(streamed.heap, in_memory.heap);
+        }
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn streaming_replay_honours_the_recorded_gc_interval() {
+    let dir = scratch("gc-interval");
+    let workload = Workload::by_name("jess").expect("jess exists");
+    let path = dir.join("jess-reset.cgt");
+    record_workload_trace_to_path(
+        workload,
+        Size::S1,
+        CollectorChoice::CgReset.gc_every(),
+        &path,
+    )
+    .expect("record with gc_every");
+    // The matching choice replays...
+    let result = replay_streaming(&path, CollectorChoice::CgReset).expect("replay CgReset");
+    assert!(result.cg.as_ref().unwrap().stats.resets > 0);
+    // ...a mismatching one is rejected before any replay work.
+    let err = replay_streaming(&path, CollectorChoice::Cg).unwrap_err();
+    assert!(err.to_string().contains("gc_every"), "{err}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn parallel_eval_streaming_rejects_an_incomplete_shard_set_cleanly() {
+    let dir = scratch("partial-shards");
+    let workload = Workload::by_name("db").expect("db exists");
+    let src = dir.join("db.cgt");
+    record_workload_trace_to_path(workload, Size::S1, None, &src).expect("record");
+    let placed = partition_path_streaming(&src, 4, dir.join("shards")).expect("partition");
+    let cg_config = CgConfig {
+        verify_tainted: false,
+        ..CgConfig::preferred()
+    };
+    let heap = cg_bench::runner::experiment_heap();
+    // Feeding only half the shard files must be a clean error (the files
+    // declare a 4-shard topology), not an index-out-of-bounds panic.
+    let err = parallel_eval_streaming(&placed.paths[..2], heap, cg_config).unwrap_err();
+    assert!(err.to_string().contains("shard"), "{err}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn parallel_eval_from_disk_matches_in_memory_partition() {
+    let dir = scratch("parallel");
+    let workload = Workload::by_name("mtrt").expect("mtrt exists");
+    let src = dir.join("mtrt.cgt");
+    record_workload_trace_to_path(workload, Size::S1, None, &src).expect("record");
+    let recorded = record_workload_trace(workload, Size::S1, None).expect("record");
+    let cg_config = CgConfig {
+        verify_tainted: false,
+        ..CgConfig::preferred()
+    };
+    let heap = cg_bench::runner::experiment_heap();
+    for shards in [1, 2, 4] {
+        let shard_dir = dir.join(format!("shards-{shards}"));
+        let placed = partition_path_streaming(&src, shards, &shard_dir).expect("partition to disk");
+        assert_eq!(placed.total_events, recorded.trace.len() as u64);
+
+        // Disk round-trip reproduces the in-memory partition exactly.
+        let loaded = read_partitioned(&placed.paths).expect("load partition");
+        let in_memory_partition = partition(&recorded.trace, shards);
+        assert_eq!(loaded, in_memory_partition, "{shards} shards");
+
+        // And the parallel evaluators agree byte-for-byte.
+        let from_disk =
+            parallel_eval_streaming(&placed.paths, heap, cg_config).expect("streaming eval");
+        let from_memory = parallel_eval(&in_memory_partition, heap, cg_config).expect("eval");
+        assert_eq!(from_disk.stats, from_memory.stats, "{shards} shards");
+        assert_eq!(from_disk.breakdown, from_memory.breakdown);
+        assert_eq!(from_disk.events_replayed, from_memory.events_replayed);
+        assert_eq!(from_disk.live_at_exit, from_memory.live_at_exit);
+        assert_eq!(
+            from_disk.collector_freed_objects,
+            from_memory.collector_freed_objects
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -1,0 +1,92 @@
+//! Property-style `.cgt` round-trip over fuzz-generated traces: for random
+//! programs from all six generator profiles, encode→decode is the identity
+//! on the recorded event stream — through in-memory bytes, through files,
+//! compressed and raw, and through the streaming partitioner's per-shard
+//! files.  This is the corpus-facing guarantee: any stream the VM can emit
+//! survives persistence bit-for-bit.
+
+use cg_fuzz::{fuzz_vm_config, generate, GenProfile};
+use cg_trace::{
+    partition, partition_streaming, read_partitioned, read_trace, record, write_trace, Trace,
+    TraceMeta,
+};
+use cg_vm::NoopCollector;
+
+fn recorded_trace(seed: u64, profile: &GenProfile) -> Trace {
+    let program = generate(seed, profile);
+    // Every other seed adds forced periodic collections so Collect events
+    // (with their root-set snapshots) are exercised by the round-trip too.
+    let forced_gc = seed.is_multiple_of(2).then_some(512);
+    let (trace, ..) = record(
+        format!("{}/{seed}", program.name()),
+        program,
+        fuzz_vm_config(forced_gc),
+        NoopCollector::new(),
+    )
+    .expect("generated programs terminate and record");
+    trace
+}
+
+#[test]
+fn fuzz_traces_round_trip_through_cgt_bytes() {
+    for profile in GenProfile::all() {
+        for seed in 0..8u64 {
+            let trace = recorded_trace(seed ^ 0xC61_7A5E, profile);
+            let meta = TraceMeta {
+                name: trace.name().to_string(),
+                ..TraceMeta::default()
+            };
+            let bytes = write_trace(Vec::new(), &trace, &meta).expect("write");
+            let (decoded, meta2, footer) = read_trace(&bytes[..]).expect("read");
+            assert_eq!(decoded, trace, "{}/{seed}", profile.name);
+            assert_eq!(meta2.name, trace.name());
+            assert_eq!(footer.counts, trace.stats().counts(), "{}", profile.name);
+        }
+    }
+}
+
+#[test]
+fn fuzz_traces_round_trip_uncompressed() {
+    // The raw codec path (chunks stored verbatim) must be lossless too.
+    for profile in GenProfile::all() {
+        let trace = recorded_trace(99, profile);
+        let meta = TraceMeta {
+            name: trace.name().to_string(),
+            ..TraceMeta::default()
+        };
+        let mut writer = cg_trace::TraceWriter::new(Vec::new(), &meta).expect("writer");
+        writer.set_compression(false);
+        for event in trace.events() {
+            writer.push(event).expect("push");
+        }
+        let (bytes, _) = writer.finish().expect("finish");
+        let (decoded, ..) = read_trace(&bytes[..]).expect("read");
+        assert_eq!(decoded, trace, "{}", profile.name);
+    }
+}
+
+#[test]
+fn fuzz_traces_partition_to_disk_and_back() {
+    let dir = std::env::temp_dir().join(format!("cgt-fuzz-rt-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    for profile in GenProfile::all() {
+        // The threads profile exercises real cross-shard wait edges; the
+        // others mostly stay single-threaded — both shapes must survive.
+        let trace = recorded_trace(7, profile);
+        for shards in [1, 2, 3] {
+            let sub = dir.join(format!("{}-{shards}", profile.name));
+            let meta = TraceMeta {
+                name: trace.name().to_string(),
+                ..TraceMeta::default()
+            };
+            let placed =
+                partition_streaming(trace.events().iter().cloned().map(Ok), &meta, shards, &sub)
+                    .expect("partition to disk");
+            let loaded = read_partitioned(&placed.paths).expect("load partition");
+            let in_memory = partition(&trace, shards);
+            assert_eq!(loaded, in_memory, "{}/{shards}", profile.name);
+            assert_eq!(loaded.merge(), trace, "{}/{shards}", profile.name);
+        }
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -122,6 +122,15 @@ impl Histogram {
         self.total
     }
 
+    /// Sum of all recorded samples (exact, not derived from buckets).
+    ///
+    /// Exposed so an exact serialized form of a histogram — such as the
+    /// `.cgt` stats footer in `cg-trace` — can round-trip the state that
+    /// [`Histogram::mean`] is derived from without losing precision.
+    pub fn sum(&self) -> u128 {
+        self.sum
+    }
+
     /// Mean of the recorded samples, or `None` if empty.
     pub fn mean(&self) -> Option<f64> {
         if self.total == 0 {
@@ -278,6 +287,7 @@ mod tests {
         h.record(12);
         assert_eq!(h.min(), Some(2));
         assert_eq!(h.max(), Some(12));
+        assert_eq!(h.sum(), 18);
         assert!((h.mean().unwrap() - 6.0).abs() < 1e-9);
     }
 

@@ -1,0 +1,274 @@
+//! Per-chunk LZ compression for the `.cgt` format.
+//!
+//! Event streams are extremely repetitive — the same handful of event
+//! shapes, nearby handles and frame ids recur for millions of events — so
+//! even a very small LZ pass shrinks a chunk severalfold.  The container
+//! has no crates.io access, so this is a deliberately tiny, dependency-free
+//! LZSS variant rather than a binding to a real codec:
+//!
+//! * tokens are grouped eight per **control byte** (LSB first; bit set =
+//!   match, clear = literal);
+//! * a literal is one raw byte;
+//! * a match is three bytes: a little-endian `u16` backward distance
+//!   (1–65535) and a length byte encoding lengths 4–259.
+//!
+//! The encoder is greedy with a 64 KiB window and a single-probe hash of
+//! the next four bytes; the decoder copies byte-by-byte so overlapping
+//! matches (distance < length) replicate runs, as in every LZ77 family
+//! codec.  Compression is deterministic, which the golden-trace CI gate
+//! relies on (byte-identical re-encodes).
+//!
+//! Chunks store the codec id, so `.cgt` readers stay compatible if a chunk
+//! was written raw (the writer falls back to raw whenever compression does
+//! not help).
+
+/// Shortest match worth encoding (a match token costs 3 bytes + control
+/// bit; literals cost 1 byte + control bit, so 4 is the break-even point).
+const MIN_MATCH: usize = 4;
+
+/// Longest encodable match (`MIN_MATCH + 255`).
+const MAX_MATCH: usize = MIN_MATCH + 255;
+
+/// Window size: matches may reach back at most this far (encoded distance
+/// is a non-zero `u16`).
+const MAX_DISTANCE: usize = u16::MAX as usize;
+
+/// Hash-table size for the four-byte prefix hash.
+const HASH_BITS: u32 = 15;
+
+/// Candidates examined per position (hash-chain depth).  Deeper chains
+/// find longer matches at the cost of encode time; 16 is a good balance
+/// for varint event streams.
+const MAX_CHAIN: usize = 16;
+
+fn hash4(bytes: &[u8]) -> usize {
+    // Fibonacci hashing over the next four bytes.
+    let v = u32::from_le_bytes([bytes[0], bytes[1], bytes[2], bytes[3]]);
+    (v.wrapping_mul(0x9E37_79B9) >> (32 - HASH_BITS)) as usize
+}
+
+/// Compresses `src`, returning the token stream.
+///
+/// The output may be larger than the input for incompressible data; the
+/// caller ([`io`](crate::io)) compares sizes and stores whichever encoding
+/// is smaller.
+pub fn compress(src: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(src.len() / 2 + 16);
+    // Hash-chain matcher: `head` holds the most recent position per hash
+    // slot, `prev[p % window]` the position before `p` in the same chain.
+    let mut head = vec![usize::MAX; 1 << HASH_BITS];
+    let mut prev = vec![usize::MAX; MAX_DISTANCE + 1];
+
+    let mut control_at = usize::MAX;
+    let mut control_bit = 8u8;
+    let mut emit_flag = |out: &mut Vec<u8>, is_match: bool| {
+        if control_bit == 8 {
+            control_at = out.len();
+            out.push(0);
+            control_bit = 0;
+        }
+        if is_match {
+            out[control_at] |= 1 << control_bit;
+        }
+        control_bit += 1;
+    };
+
+    let insert = |head: &mut [usize], prev: &mut [usize], src: &[u8], p: usize| {
+        if p + MIN_MATCH <= src.len() {
+            let slot = hash4(&src[p..]);
+            prev[p % (MAX_DISTANCE + 1)] = head[slot];
+            head[slot] = p;
+        }
+    };
+
+    let mut pos = 0;
+    while pos < src.len() {
+        let mut best_len = 0;
+        let mut best_dist = 0;
+        if pos + MIN_MATCH <= src.len() {
+            let limit = (src.len() - pos).min(MAX_MATCH);
+            let mut candidate = head[hash4(&src[pos..])];
+            let mut probes = 0;
+            while candidate != usize::MAX && probes < MAX_CHAIN {
+                let dist = pos - candidate;
+                if dist > MAX_DISTANCE {
+                    break; // chain only gets older from here
+                }
+                // Cheap rejection: a longer match must agree at best_len.
+                if best_len == 0 || src.get(candidate + best_len) == src.get(pos + best_len) {
+                    let mut len = 0;
+                    while len < limit && src[candidate + len] == src[pos + len] {
+                        len += 1;
+                    }
+                    if len > best_len {
+                        best_len = len;
+                        best_dist = dist;
+                        if len == limit {
+                            break;
+                        }
+                    }
+                }
+                candidate = prev[candidate % (MAX_DISTANCE + 1)];
+                probes += 1;
+            }
+        }
+        if best_len >= MIN_MATCH {
+            emit_flag(&mut out, true);
+            out.extend_from_slice(&(best_dist as u16).to_le_bytes());
+            out.push((best_len - MIN_MATCH) as u8);
+            // Index the covered positions so later matches can reach into
+            // this run.
+            for p in pos..pos + best_len {
+                insert(&mut head, &mut prev, src, p);
+            }
+            pos += best_len;
+        } else {
+            emit_flag(&mut out, false);
+            out.push(src[pos]);
+            insert(&mut head, &mut prev, src, pos);
+            pos += 1;
+        }
+    }
+    out
+}
+
+/// Decompresses a token stream produced by [`compress`] into exactly
+/// `expected_len` bytes.
+///
+/// Returns a descriptive error on any malformed input (bad distance,
+/// truncated token, wrong output size) instead of panicking — corrupt
+/// chunks must surface as clean trace errors.
+pub fn decompress(src: &[u8], expected_len: usize) -> Result<Vec<u8>, String> {
+    let mut out = Vec::with_capacity(expected_len);
+    let mut pos = 0;
+    while pos < src.len() {
+        let control = src[pos];
+        pos += 1;
+        for bit in 0..8 {
+            if pos >= src.len() {
+                break;
+            }
+            if control & (1 << bit) == 0 {
+                out.push(src[pos]);
+                pos += 1;
+            } else {
+                if pos + 3 > src.len() {
+                    return Err("truncated match token".to_string());
+                }
+                let dist = u16::from_le_bytes([src[pos], src[pos + 1]]) as usize;
+                let len = src[pos + 2] as usize + MIN_MATCH;
+                pos += 3;
+                if dist == 0 || dist > out.len() {
+                    return Err(format!(
+                        "match distance {dist} exceeds {} decoded bytes",
+                        out.len()
+                    ));
+                }
+                if out.len() + len > expected_len {
+                    return Err("decompressed output exceeds declared size".to_string());
+                }
+                let start = out.len() - dist;
+                // Byte-by-byte: overlapping matches replicate runs.
+                for i in 0..len {
+                    let b = out[start + i];
+                    out.push(b);
+                }
+            }
+            if out.len() > expected_len {
+                return Err("decompressed output exceeds declared size".to_string());
+            }
+        }
+    }
+    if out.len() != expected_len {
+        return Err(format!(
+            "decompressed to {} bytes, expected {expected_len}",
+            out.len()
+        ));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(data: &[u8]) {
+        let packed = compress(data);
+        let unpacked = decompress(&packed, data.len()).expect("decompress");
+        assert_eq!(unpacked, data);
+    }
+
+    #[test]
+    fn empty_and_tiny_inputs_round_trip() {
+        round_trip(b"");
+        round_trip(b"a");
+        round_trip(b"abc");
+    }
+
+    #[test]
+    fn repetitive_input_round_trips_and_shrinks() {
+        let data: Vec<u8> = (0..10_000u32)
+            .flat_map(|i| [3u8, (i % 7) as u8, 0, 42, 1])
+            .collect();
+        let packed = compress(&data);
+        assert!(
+            packed.len() * 3 < data.len(),
+            "repetitive data must shrink well: {} vs {}",
+            packed.len(),
+            data.len()
+        );
+        assert_eq!(decompress(&packed, data.len()).unwrap(), data);
+    }
+
+    #[test]
+    fn overlapping_run_round_trips() {
+        // A run of one byte forces dist=1 overlapping copies.
+        let data = vec![7u8; 4096];
+        round_trip(&data);
+    }
+
+    #[test]
+    fn incompressible_input_round_trips() {
+        // A cheap xorshift keeps this deterministic without a rand dep.
+        let mut state = 0x9E3779B97F4A7C15u64;
+        let data: Vec<u8> = (0..4096)
+            .map(|_| {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                (state >> 32) as u8
+            })
+            .collect();
+        round_trip(&data);
+    }
+
+    #[test]
+    fn long_matches_beyond_one_token_round_trip() {
+        let mut data = b"the quick brown fox jumps over the lazy dog".to_vec();
+        let phrase = data.clone();
+        for _ in 0..100 {
+            data.extend_from_slice(&phrase);
+        }
+        round_trip(&data);
+    }
+
+    #[test]
+    fn corrupt_streams_are_rejected_cleanly() {
+        let data = vec![7u8; 64];
+        let packed = compress(&data);
+        // Wrong expected length.
+        assert!(decompress(&packed, 63).is_err());
+        assert!(decompress(&packed, 65).is_err());
+        // Truncated token stream.
+        assert!(decompress(&packed[..packed.len() - 1], 64).is_err());
+        // A match before any literal has an invalid distance.
+        let bogus = vec![0b0000_0001, 5, 0, 0];
+        assert!(decompress(&bogus, 9).unwrap_err().contains("distance"));
+    }
+
+    #[test]
+    fn compression_is_deterministic() {
+        let data: Vec<u8> = (0..50_000u32).flat_map(|i| i.to_le_bytes()).collect();
+        assert_eq!(compress(&data), compress(&data));
+    }
+}

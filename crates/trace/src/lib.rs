@@ -25,17 +25,54 @@
 //! list reuses handles, which ties the stream to that collector's reuse
 //! choices); [`record`] with [`cg_vm::NoopCollector`] is the canonical way
 //! to capture a workload.
+//!
+//! # Persistence: the `.cgt` format
+//!
+//! A trace survives its process as a versioned, dependency-free binary
+//! `.cgt` file ([`mod@format`], [`io`]): magic + header (format version,
+//! workload metadata, heap configuration), LEB128-varint events in CRC32'd
+//! chunks (optionally LZ-compressed), and a footer with the per-kind event
+//! census plus exact stats sections ([`footer`]).  The streaming
+//! [`TraceWriter`]/[`TraceReader`] pair — and [`record_streaming`],
+//! [`replay_path`] and [`partition_streaming`] on top of them — move
+//! events chunk-by-chunk and never materialize the full vector, so a
+//! multi-million-event workload records, replays and partitions in
+//! O(chunk) memory.  The `cgt` binary in this crate is the command-line
+//! face of all of it (`cgt record | info | verify | convert | diff`), and
+//! `crates/trace/golden/` holds the committed golden corpus CI gates
+//! collector changes against.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod compress;
+pub mod footer;
+pub mod format;
+pub mod io;
 pub mod partition;
 pub mod recorder;
 pub mod replay;
 pub mod trace;
+mod wire;
 
-pub use cg_vm::{AllocKind, EventSink, GcEvent};
-pub use partition::{partition, PartitionedTrace, ShardEvent, ShardStream, ShardWait};
-pub use recorder::{record, TraceRecorder};
-pub use replay::{replay, ReplayError, ReplayOutcome, Replayed};
+pub use cg_vm::{AllocKind, EventKind, EventSink, GcEvent};
+pub use format::{
+    FooterSection, StreamKind, TraceFooter, TraceIoError, TraceMeta, WorkloadRef,
+    DEFAULT_CHUNK_EVENTS, FORMAT_VERSION,
+};
+pub use io::{
+    open_trace, read_shard_stream, read_trace, read_trace_from_path, rewrite_trace, write_trace,
+    write_trace_to_path, RewriteOptions, TraceReader, TraceWriter,
+};
+pub use partition::{
+    partition, partition_path_streaming, partition_streaming, read_partitioned, PartitionedPaths,
+    PartitionedTrace, ShardEvent, ShardStream, ShardWait,
+};
+pub use recorder::{
+    finish_streaming, record, record_streaming, RecordError, StreamingRecorder, TraceRecorder,
+};
+pub use replay::{
+    apply_event, replay, replay_events, replay_path, ReplayError, ReplayOutcome, Replayed,
+    StreamReplayError, StreamReplayed,
+};
 pub use trace::{Trace, TraceStats};

@@ -44,8 +44,12 @@
 //! merged reasons, final partition) are independent of the order concurrent
 //! unions interleave in.
 
+use std::path::{Path, PathBuf};
+
 use cg_vm::{GcEvent, Handle, ThreadId};
 
+use crate::format::{StreamKind, TraceIoError, TraceMeta};
+use crate::io::{read_shard_stream, TraceWriter};
 use crate::trace::Trace;
 
 /// A prerequisite attached to a shard event: the named shard must have
@@ -179,45 +183,68 @@ fn add_wait(waits: &mut Vec<ShardWait>, shard: usize, processed: u64) {
     }
 }
 
-/// Splits `trace` into `shard_count` per-shard sub-streams with explicit
-/// cross-thread synchronisation (see the module docs for the routing and
-/// wait rules).
-///
-/// # Panics
-///
-/// Panics if `shard_count` is zero.
-pub fn partition(trace: &Trace, shard_count: usize) -> PartitionedTrace {
-    assert!(shard_count > 0, "cannot partition into zero shards");
-    let shard_of = |thread: ThreadId| thread.raw() as usize % shard_count;
+/// The stateful routing core shared by [`partition`] (in memory) and
+/// [`partition_streaming`] (per-shard `.cgt` files): applies the module's
+/// routing and wait rules one event at a time, holding only the owner map
+/// and per-shard counters — never the events themselves.
+struct EventRouter {
+    shard_count: usize,
+    /// Events already routed to each shard (= "processed" count a wait on
+    /// that shard can require at this point in the global order).
+    counts: Vec<u64>,
+    /// Barrier-release waits to attach to a shard's next event.
+    pending: Vec<Vec<ShardWait>>,
+    owners: OwnerMap,
+    cross_thread_syncs: u64,
+}
 
-    let mut streams: Vec<Vec<ShardEvent>> = vec![Vec::new(); shard_count];
-    // Events already routed to each shard (= "processed" count a wait on
-    // that shard can require at this point in the global order).
-    let mut counts = vec![0u64; shard_count];
-    // Barrier-release waits to attach to a shard's next event.
-    let mut pending: Vec<Vec<ShardWait>> = vec![Vec::new(); shard_count];
-    let mut owners = OwnerMap::default();
-    let mut cross_thread_syncs = 0u64;
+/// Where [`EventRouter::route`] sent one event.
+struct Routed {
+    shard: usize,
+    waits: Vec<ShardWait>,
+}
 
-    for (seq, event) in trace.events().iter().enumerate() {
+impl EventRouter {
+    fn new(shard_count: usize) -> Self {
+        assert!(shard_count > 0, "cannot partition into zero shards");
+        Self {
+            shard_count,
+            counts: vec![0; shard_count],
+            pending: vec![Vec::new(); shard_count],
+            owners: OwnerMap::default(),
+            cross_thread_syncs: 0,
+        }
+    }
+
+    fn shard_of(&self, thread: ThreadId) -> usize {
+        thread.raw() as usize % self.shard_count
+    }
+
+    /// Routes the next event in global order.
+    fn route(&mut self, event: &GcEvent) -> Routed {
         let mut waits: Vec<ShardWait> = Vec::new();
         let mut barrier = false;
         let shard = match event {
             GcEvent::Allocate { handle, frame, .. } => {
                 // A recycled allocation re-registers the handle under the
                 // (possibly different) recycling thread.
-                owners.set(*handle, frame.thread);
-                shard_of(frame.thread)
+                self.owners.set(*handle, frame.thread);
+                self.shard_of(frame.thread)
             }
-            GcEvent::SlotWrite { object, .. } => owners
+            GcEvent::SlotWrite { object, .. } => self
+                .owners
                 .get(*object)
-                .map(shard_of)
-                .unwrap_or_else(|| shard_of(ThreadId::MAIN)),
+                .map(|t| self.shard_of(t))
+                .unwrap_or_else(|| self.shard_of(ThreadId::MAIN)),
             GcEvent::ObjectAccess { handle, thread } => {
-                let accessor = shard_of(*thread);
-                let owner = owners.get(*handle).map(shard_of).unwrap_or(accessor);
+                let accessor = self.shard_of(*thread);
+                let owner = self
+                    .owners
+                    .get(*handle)
+                    .map(|t| self.shard_of(t))
+                    .unwrap_or(accessor);
                 if owner != accessor {
-                    cross_thread_syncs += 1;
+                    self.cross_thread_syncs += 1;
                 }
                 owner
             }
@@ -226,61 +253,86 @@ pub fn partition(trace: &Trace, shard_count: usize) -> PartitionedTrace {
                 target,
                 frame,
             } => {
-                let p = shard_of(frame.thread);
+                let p = self.shard_of(frame.thread);
                 for operand in [source, target] {
-                    if let Some(o) = owners.get(*operand).map(shard_of) {
+                    if let Some(o) = self.owners.get(*operand).map(|t| self.shard_of(t)) {
                         if o != p {
                             // The owner must have processed everything that
                             // globally precedes this store — in particular
                             // the §3.3 escalation of this operand.
-                            add_wait(&mut waits, o, counts[o]);
-                            cross_thread_syncs += 1;
+                            add_wait(&mut waits, o, self.counts[o]);
+                            self.cross_thread_syncs += 1;
                         }
                     }
                 }
                 p
             }
-            GcEvent::StaticStore { target } => owners
+            GcEvent::StaticStore { target } => self
+                .owners
                 .get(*target)
-                .map(shard_of)
-                .unwrap_or_else(|| shard_of(ThreadId::MAIN)),
-            GcEvent::ReturnValue { caller, .. } => shard_of(caller.thread),
-            GcEvent::FramePush { frame } | GcEvent::FramePop { frame } => shard_of(frame.thread),
+                .map(|t| self.shard_of(t))
+                .unwrap_or_else(|| self.shard_of(ThreadId::MAIN)),
+            GcEvent::ReturnValue { caller, .. } => self.shard_of(caller.thread),
+            GcEvent::FramePush { frame } | GcEvent::FramePop { frame } => {
+                self.shard_of(frame.thread)
+            }
             GcEvent::Collect { .. } | GcEvent::ProgramEnd { .. } => {
                 // Global barrier: shard 0 runs the event only after every
                 // shard has caught up, and every shard waits for shard 0 to
                 // finish it before continuing.
-                for (s, &count) in counts.iter().enumerate() {
+                for (s, &count) in self.counts.iter().enumerate() {
                     if s != 0 {
                         add_wait(&mut waits, s, count);
                     }
                 }
-                cross_thread_syncs += 1;
+                self.cross_thread_syncs += 1;
                 barrier = true;
                 0
             }
         };
 
-        let mut event_waits = std::mem::take(&mut pending[shard]);
+        let mut event_waits = std::mem::take(&mut self.pending[shard]);
         for wait in waits {
             add_wait(&mut event_waits, wait.shard as usize, wait.processed);
         }
-        streams[shard].push(ShardEvent {
-            seq: seq as u64,
-            waits: event_waits,
-            event: event.clone(),
-        });
-        counts[shard] += 1;
+        self.counts[shard] += 1;
 
         if barrier {
             // Release: other shards may only continue once shard 0 has
             // processed the barrier event itself.
-            for (s, slot) in pending.iter_mut().enumerate() {
+            let released = self.counts[0];
+            for (s, slot) in self.pending.iter_mut().enumerate() {
                 if s != 0 {
-                    add_wait(slot, 0, counts[0]);
+                    add_wait(slot, 0, released);
                 }
             }
         }
+
+        Routed {
+            shard,
+            waits: event_waits,
+        }
+    }
+}
+
+/// Splits `trace` into `shard_count` per-shard sub-streams with explicit
+/// cross-thread synchronisation (see the module docs for the routing and
+/// wait rules).
+///
+/// # Panics
+///
+/// Panics if `shard_count` is zero.
+pub fn partition(trace: &Trace, shard_count: usize) -> PartitionedTrace {
+    let mut router = EventRouter::new(shard_count);
+    let mut streams: Vec<Vec<ShardEvent>> = vec![Vec::new(); shard_count];
+
+    for (seq, event) in trace.events().iter().enumerate() {
+        let routed = router.route(event);
+        streams[routed.shard].push(ShardEvent {
+            seq: seq as u64,
+            waits: routed.waits,
+            event: event.clone(),
+        });
     }
 
     PartitionedTrace {
@@ -295,8 +347,198 @@ pub fn partition(trace: &Trace, shard_count: usize) -> PartitionedTrace {
                 events,
             })
             .collect(),
-        cross_thread_syncs,
+        cross_thread_syncs: router.cross_thread_syncs,
     }
+}
+
+/// Name of the footer section carrying whole-partition totals in per-shard
+/// `.cgt` files.
+pub const SHARD_SECTION: &str = "shard";
+
+/// Where a streaming partition put its per-shard `.cgt` files, plus the
+/// whole-partition totals.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PartitionedPaths {
+    /// One `.cgt` file per shard, index-ordered.
+    pub paths: Vec<PathBuf>,
+    /// Number of shards.
+    pub shard_count: usize,
+    /// Events across all shards.
+    pub total_events: u64,
+    /// Cross-thread synchronisation points made explicit.
+    pub cross_thread_syncs: u64,
+}
+
+/// Streams a whole trace through the partitioner, writing one `.cgt`
+/// sub-stream per shard into `dir` (`shard-<i>-of-<n>.cgt`) — the disk
+/// twin of [`partition`], with O(chunk) memory: no shard stream is ever
+/// materialized.
+///
+/// `meta` supplies the headers of the shard files (name, workload, heap,
+/// `gc_every`); its stream kind is overridden per shard.
+///
+/// # Errors
+///
+/// Any [`TraceIoError`] from the input iterator or the shard writers.
+///
+/// # Panics
+///
+/// Panics if `shard_count` is zero.
+pub fn partition_streaming<I>(
+    events: I,
+    meta: &TraceMeta,
+    shard_count: usize,
+    dir: impl AsRef<Path>,
+) -> Result<PartitionedPaths, TraceIoError>
+where
+    I: IntoIterator<Item = Result<GcEvent, TraceIoError>>,
+{
+    let dir = dir.as_ref();
+    std::fs::create_dir_all(dir)?;
+    let mut router = EventRouter::new(shard_count);
+    let mut paths = Vec::with_capacity(shard_count);
+    let mut writers = Vec::with_capacity(shard_count);
+    for shard in 0..shard_count {
+        let path = dir.join(format!("shard-{shard}-of-{shard_count}.cgt"));
+        let shard_meta = TraceMeta {
+            declared_events: None,
+            stream: StreamKind::Shard {
+                shard: shard as u32,
+                shard_count: shard_count as u32,
+            },
+            ..meta.clone()
+        };
+        let file = std::fs::File::create(&path)?;
+        writers.push(TraceWriter::new(
+            std::io::BufWriter::new(file),
+            &shard_meta,
+        )?);
+        paths.push(path);
+    }
+
+    let mut seq = 0u64;
+    for event in events {
+        let event = event?;
+        let routed = router.route(&event);
+        writers[routed.shard].push_shard(&ShardEvent {
+            seq,
+            waits: routed.waits,
+            event,
+        })?;
+        seq += 1;
+    }
+
+    let totals = |shard: usize| crate::format::FooterSection {
+        name: SHARD_SECTION.to_string(),
+        entries: vec![
+            ("shard".to_string(), shard as u64),
+            ("shard_count".to_string(), shard_count as u64),
+            ("total_events".to_string(), seq),
+            ("cross_thread_syncs".to_string(), router.cross_thread_syncs),
+        ],
+    };
+    for (shard, mut writer) in writers.into_iter().enumerate() {
+        writer.add_section(totals(shard));
+        let (w, _) = writer.finish()?;
+        w.into_inner()
+            .map_err(|e| TraceIoError::Io(e.into_error()))?;
+    }
+
+    Ok(PartitionedPaths {
+        paths,
+        shard_count,
+        total_events: seq,
+        cross_thread_syncs: router.cross_thread_syncs,
+    })
+}
+
+/// [`partition_streaming`] over an existing plain `.cgt` file, carrying
+/// the source header's metadata into the shard files.
+///
+/// # Errors
+///
+/// Any [`TraceIoError`] from the source or the shard writers.
+pub fn partition_path_streaming(
+    src: impl AsRef<Path>,
+    shard_count: usize,
+    dir: impl AsRef<Path>,
+) -> Result<PartitionedPaths, TraceIoError> {
+    let mut reader = crate::io::open_trace(src)?;
+    let meta = reader.meta().clone();
+    partition_streaming(
+        std::iter::from_fn(|| reader.next_event().transpose()),
+        &meta,
+        shard_count,
+        dir,
+    )
+}
+
+/// Loads per-shard `.cgt` files written by [`partition_streaming`] back
+/// into an in-memory [`PartitionedTrace`].
+///
+/// # Errors
+///
+/// Any [`TraceIoError`], including inconsistent shard topology across the
+/// files.
+pub fn read_partitioned(paths: &[PathBuf]) -> Result<PartitionedTrace, TraceIoError> {
+    let mut streams = Vec::with_capacity(paths.len());
+    let mut name = String::new();
+    let mut cross_thread_syncs = 0u64;
+    let mut total = 0u64;
+    for path in paths {
+        let (stream, meta, footer) = read_shard_stream(path)?;
+        match meta.stream {
+            StreamKind::Shard { shard_count, .. } if shard_count as usize == paths.len() => {}
+            _ => {
+                return Err(TraceIoError::Malformed {
+                    chunk: None,
+                    detail: format!(
+                        "{} does not belong to a {}-shard partition",
+                        path.display(),
+                        paths.len()
+                    ),
+                })
+            }
+        }
+        name = meta.name;
+        if let Some(section) = footer.section(SHARD_SECTION) {
+            let get = |key: &str| {
+                section
+                    .entries
+                    .iter()
+                    .find(|(k, _)| k == key)
+                    .map(|(_, v)| *v)
+            };
+            cross_thread_syncs = get("cross_thread_syncs").unwrap_or(0);
+            total = get("total_events").unwrap_or(0);
+        }
+        streams.push(stream);
+    }
+    streams.sort_by_key(|s| s.shard);
+    for (i, stream) in streams.iter().enumerate() {
+        if stream.shard as usize != i {
+            return Err(TraceIoError::Malformed {
+                chunk: None,
+                detail: format!("missing or duplicate shard {i} in the partition"),
+            });
+        }
+    }
+    let counted: u64 = streams.iter().map(|s| s.events.len() as u64).sum();
+    if counted != total {
+        return Err(TraceIoError::Malformed {
+            chunk: None,
+            detail: format!(
+                "partition footers declare {total} events but the streams hold {counted}"
+            ),
+        });
+    }
+    Ok(PartitionedTrace {
+        name,
+        shard_count: streams.len(),
+        total: counted as usize,
+        streams,
+        cross_thread_syncs,
+    })
 }
 
 #[cfg(test)]
@@ -464,6 +706,49 @@ mod tests {
     #[should_panic(expected = "zero shards")]
     fn zero_shards_is_rejected() {
         let _ = partition(&Trace::new("x"), 0);
+    }
+
+    /// A unique, clean scratch directory under the system temp dir.
+    fn scratch_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("cgt-partition-{}-{tag}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn streaming_partition_round_trips_through_disk() {
+        let trace = cross_thread_trace();
+        for shards in [1, 2, 3] {
+            let dir = scratch_dir(&format!("rt{shards}"));
+            let meta = TraceMeta {
+                name: trace.name().to_string(),
+                ..TraceMeta::default()
+            };
+            let events = trace.events().iter().cloned().map(Ok);
+            let placed = partition_streaming(events, &meta, shards, &dir).expect("partition");
+            assert_eq!(placed.shard_count, shards);
+            assert_eq!(placed.total_events, trace.len() as u64);
+            assert_eq!(placed.paths.len(), shards);
+
+            let loaded = read_partitioned(&placed.paths).expect("load");
+            let in_memory = partition(&trace, shards);
+            assert_eq!(loaded, in_memory, "{shards} shards");
+            assert_eq!(loaded.merge(), trace);
+            assert_eq!(placed.cross_thread_syncs, in_memory.cross_thread_syncs);
+            let _ = std::fs::remove_dir_all(&dir);
+        }
+    }
+
+    #[test]
+    fn read_partitioned_rejects_an_incomplete_shard_set() {
+        let trace = cross_thread_trace();
+        let dir = scratch_dir("incomplete");
+        let meta = TraceMeta::default();
+        let events = trace.events().iter().cloned().map(Ok);
+        let placed = partition_streaming(events, &meta, 2, &dir).expect("partition");
+        let err = read_partitioned(&placed.paths[..1]).unwrap_err();
+        assert!(err.to_string().contains("partition"), "{err}");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     mod properties {

@@ -1,11 +1,18 @@
-//! Capturing a live run's event stream.
+//! Capturing a live run's event stream — into memory ([`TraceRecorder`])
+//! or flushed chunk-by-chunk through a `.cgt` writer
+//! ([`StreamingRecorder`]), which holds O(chunk) memory regardless of how
+//! long the run is.
 
 use std::cell::RefCell;
+use std::io::Write;
 use std::rc::Rc;
 
 use cg_vm::{Collector, EventSink, GcEvent, Program, RunOutcome, Vm, VmConfig, VmError};
 
-use crate::trace::Trace;
+use crate::footer::vm_section;
+use crate::format::{TraceIoError, TraceMeta};
+use crate::io::TraceWriter;
+use crate::trace::{Trace, TraceStats};
 
 /// An [`EventSink`] that appends every event to a shared [`Trace`].
 ///
@@ -57,10 +64,126 @@ impl TraceRecorder {
     }
 }
 
+impl TraceRecorder {
+    /// Creates a recorder whose trace has room for `capacity` events,
+    /// avoiding doubling reallocations when the expected stream length is
+    /// known (e.g. re-recording a workload whose trace was measured
+    /// before).  For unbounded runs, prefer [`StreamingRecorder`], which
+    /// never holds more than one chunk.
+    pub fn with_capacity(name: impl Into<String>, capacity: usize) -> Self {
+        Self {
+            trace: Rc::new(RefCell::new(Trace::with_capacity(name, capacity))),
+        }
+    }
+}
+
 impl EventSink for TraceRecorder {
     fn record(&mut self, event: &GcEvent) {
         self.trace.borrow_mut().push(event.clone());
     }
+}
+
+/// The shared state behind a [`StreamingRecorder`]: the chunked writer and
+/// the first error it hit (the [`EventSink`] interface cannot surface
+/// errors mid-run, so they are held until [`finish_streaming`] /
+/// [`record_streaming`] checks them).
+pub struct StreamingSink<W: Write> {
+    writer: Option<TraceWriter<W>>,
+    error: Option<TraceIoError>,
+}
+
+// Manual impl: `W` (a file, a socket, ...) need not be `Debug` itself.
+impl<W: Write> std::fmt::Debug for StreamingSink<W> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StreamingSink")
+            .field("writer_taken", &self.writer.is_none())
+            .field("error", &self.error)
+            .finish()
+    }
+}
+
+impl<W: Write> StreamingSink<W> {
+    fn push(&mut self, event: &GcEvent) {
+        if self.error.is_some() {
+            return; // sticky: drop everything after the first failure
+        }
+        if let Some(writer) = self.writer.as_mut() {
+            if let Err(e) = writer.push(event) {
+                self.error = Some(e);
+            }
+        }
+    }
+}
+
+/// An [`EventSink`] that encodes every event straight into a chunked
+/// [`TraceWriter`], flushing full chunks as the run progresses.  Unlike
+/// [`TraceRecorder`], it never grows an unbounded event vector: peak
+/// memory is one encoded chunk, however long the program runs.
+///
+/// The sink and the caller share the writer through an `Rc` (the VM owns
+/// the sink during the run); after the run, [`finish_streaming`] retrieves
+/// the writer, surfaces any deferred I/O error and writes the footer.
+/// [`record_streaming`] wraps the whole record-run-finish cycle.
+pub struct StreamingRecorder<W: Write> {
+    sink: Rc<RefCell<StreamingSink<W>>>,
+}
+
+impl<W: Write> std::fmt::Debug for StreamingRecorder<W> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StreamingRecorder").finish_non_exhaustive()
+    }
+}
+
+impl<W: Write> StreamingRecorder<W> {
+    /// Creates a recorder over an open [`TraceWriter`] (the header is
+    /// already written by [`TraceWriter::new`]).
+    pub fn new(writer: TraceWriter<W>) -> Self {
+        Self {
+            sink: Rc::new(RefCell::new(StreamingSink {
+                writer: Some(writer),
+                error: None,
+            })),
+        }
+    }
+
+    /// A shared handle to the sink state, for retrieving the writer after
+    /// the VM dropped its sink (see [`finish_streaming`]).
+    pub fn handle(&self) -> Rc<RefCell<StreamingSink<W>>> {
+        Rc::clone(&self.sink)
+    }
+}
+
+impl<W: Write> EventSink for StreamingRecorder<W> {
+    fn record(&mut self, event: &GcEvent) {
+        self.sink.borrow_mut().push(event);
+    }
+}
+
+/// Unwraps a [`StreamingRecorder`]'s shared state after the VM dropped its
+/// sink, surfacing any I/O error deferred during the run, and returns the
+/// still-open writer (the caller adds footer sections and calls
+/// [`TraceWriter::finish`]).
+///
+/// # Errors
+///
+/// The first [`TraceIoError`] the sink hit mid-run, if any.
+///
+/// # Panics
+///
+/// Panics if the VM's sink is still alive (drop it first) or the writer
+/// was already taken.
+pub fn finish_streaming<W: Write>(
+    handle: Rc<RefCell<StreamingSink<W>>>,
+) -> Result<TraceWriter<W>, TraceIoError> {
+    let state = Rc::try_unwrap(handle)
+        .expect("the VM dropped its recorder, leaving one owner")
+        .into_inner();
+    if let Some(e) = state.error {
+        return Err(e);
+    }
+    Ok(state
+        .writer
+        .expect("the writer is present until finish_streaming takes it"))
 }
 
 /// Runs `program` under `collector` with a recorder attached and returns the
@@ -90,6 +213,80 @@ pub fn record<C: Collector>(
         .expect("the VM dropped its recorder, leaving one owner")
         .into_inner();
     Ok((trace, outcome, vm))
+}
+
+/// Why a streaming recording failed: the run itself, or writing the
+/// stream.
+#[derive(Debug)]
+pub enum RecordError {
+    /// The recording run failed.
+    Vm(VmError),
+    /// The `.cgt` stream could not be written.
+    Trace(TraceIoError),
+}
+
+impl std::fmt::Display for RecordError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RecordError::Vm(e) => write!(f, "{e}"),
+            RecordError::Trace(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for RecordError {}
+
+impl From<VmError> for RecordError {
+    fn from(e: VmError) -> Self {
+        RecordError::Vm(e)
+    }
+}
+
+impl From<TraceIoError> for RecordError {
+    fn from(e: TraceIoError) -> Self {
+        RecordError::Trace(e)
+    }
+}
+
+/// Runs `program` under `collector`, streaming every event through a
+/// chunked `.cgt` writer as it is emitted — peak trace memory is one
+/// chunk, regardless of run length.  The header is written from `meta`
+/// (heap and `gc_every` filled in from `config` when unset) and the footer
+/// gets a `"vm"` section with the recording run's interpreter statistics.
+///
+/// Returns the run outcome, the per-kind event census and the finished
+/// VM, plus the underlying writer (already flushed).
+///
+/// # Errors
+///
+/// A [`RecordError`]: the run's [`VmError`] or the writer's
+/// [`TraceIoError`].
+pub fn record_streaming<C: Collector, W: Write + 'static>(
+    meta: &TraceMeta,
+    program: Program,
+    config: VmConfig,
+    collector: C,
+    w: W,
+) -> Result<(RunOutcome, TraceStats, Vm<C>, W), RecordError> {
+    let mut meta = meta.clone();
+    if meta.heap.is_none() {
+        meta.heap = Some(config.heap);
+    }
+    if meta.gc_every.is_none() {
+        meta.gc_every = config.gc_every_instructions;
+    }
+    let writer = TraceWriter::new(w, &meta)?;
+    let recorder = StreamingRecorder::new(writer);
+    let handle = recorder.handle();
+    let mut vm = Vm::new(program, config, collector);
+    vm.set_event_sink(Box::new(recorder));
+    let ran = vm.run();
+    drop(vm.take_event_sink());
+    let outcome = ran?;
+    let mut writer = finish_streaming(handle)?;
+    writer.add_section(vm_section(&outcome.stats));
+    let (w, stats) = writer.finish()?;
+    Ok((outcome, stats, vm, w))
 }
 
 #[cfg(test)]

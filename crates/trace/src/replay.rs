@@ -1,8 +1,13 @@
-//! Replaying a recorded stream against any collector.
+//! Replaying a recorded stream against any collector — from memory or
+//! streamed chunk-by-chunk from a `.cgt` file with O(chunk) memory.
+
+use std::path::Path;
 
 use cg_heap::{Heap, HeapConfig, HeapError, Value};
 use cg_vm::{AllocKind, Collector, GcEvent, Handle};
 
+use crate::format::TraceIoError;
+use crate::io::open_trace;
 use crate::trace::Trace;
 
 /// What a replay accomplished, mirroring the collector-side fields of a live
@@ -83,6 +88,46 @@ impl From<HeapError> for ReplayError {
     }
 }
 
+/// Why a *streaming* replay failed: either the collector diverged from the
+/// recorded history, or the `.cgt` stream itself could not be read.
+#[derive(Debug)]
+pub enum StreamReplayError {
+    /// The collector under replay diverged (see [`ReplayError`]).
+    Replay(ReplayError),
+    /// The trace stream was unreadable (I/O, corruption, truncation).
+    Trace(TraceIoError),
+}
+
+impl std::fmt::Display for StreamReplayError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StreamReplayError::Replay(e) => write!(f, "{e}"),
+            StreamReplayError::Trace(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for StreamReplayError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StreamReplayError::Replay(e) => Some(e),
+            StreamReplayError::Trace(e) => Some(e),
+        }
+    }
+}
+
+impl From<ReplayError> for StreamReplayError {
+    fn from(e: ReplayError) -> Self {
+        StreamReplayError::Replay(e)
+    }
+}
+
+impl From<TraceIoError> for StreamReplayError {
+    fn from(e: TraceIoError) -> Self {
+        StreamReplayError::Trace(e)
+    }
+}
+
 /// The result of [`replay`]: the driven collector, its outcome, and the
 /// shadow heap (for reachability checks).
 #[derive(Debug)]
@@ -116,95 +161,7 @@ pub fn replay<C: Collector>(
     let mut outcome = ReplayOutcome::default();
 
     for event in trace.events() {
-        outcome.events_replayed += 1;
-        match event {
-            GcEvent::Allocate {
-                handle,
-                class,
-                kind,
-                frame,
-                recycled,
-            } => {
-                if *recycled {
-                    let field_count = match kind {
-                        AllocKind::Instance { field_count } => *field_count,
-                        // The collector never recycles arrays (§3.7).
-                        AllocKind::Array { .. } => {
-                            return Err(ReplayError::RecycleDiverged { handle: *handle })
-                        }
-                    };
-                    heap.reinitialize(*handle, *class, field_count)
-                        .map_err(|_| ReplayError::RecycleDiverged { handle: *handle })?;
-                } else {
-                    let minted = match kind {
-                        AllocKind::Instance { field_count } => {
-                            heap.allocate(*class, *field_count)?
-                        }
-                        AllocKind::Array { length } => heap.allocate_array(*class, *length)?,
-                    };
-                    if minted != *handle {
-                        return Err(ReplayError::HandleMismatch {
-                            expected: *handle,
-                            got: minted,
-                        });
-                    }
-                }
-                collector.on_allocate(*handle, frame, &heap);
-            }
-            GcEvent::SlotWrite {
-                object,
-                slot,
-                value,
-                element,
-            } => {
-                let value = Value::from(*value);
-                if *element {
-                    heap.set_element(*object, *slot, value)?;
-                } else {
-                    heap.set_field(*object, *slot, value)?;
-                }
-            }
-            GcEvent::ObjectAccess { handle, thread } => {
-                collector.on_object_access(*handle, *thread, &heap);
-            }
-            GcEvent::ReferenceStore {
-                source,
-                target,
-                frame,
-            } => {
-                collector.on_reference_store(*source, *target, frame, &heap);
-            }
-            GcEvent::StaticStore { target } => {
-                collector.on_static_store(*target, &heap);
-            }
-            GcEvent::ReturnValue {
-                value,
-                caller,
-                callee,
-            } => {
-                collector.on_return_value(*value, caller, callee);
-            }
-            GcEvent::FramePush { frame } => {
-                collector.on_frame_push(frame);
-            }
-            GcEvent::FramePop { frame } => {
-                outcome.frames_popped += 1;
-                let freed = collector.on_frame_pop(frame, &mut heap);
-                outcome.collector_freed_objects += freed.freed_objects;
-                outcome.collector_freed_bytes += freed.freed_bytes;
-                outcome.collector_marked_objects += freed.marked_objects;
-            }
-            GcEvent::Collect { roots } => {
-                outcome.gc_cycles += 1;
-                let collected = collector.collect(roots, &mut heap);
-                outcome.collector_freed_objects += collected.freed_objects;
-                outcome.collector_freed_bytes += collected.freed_bytes;
-                outcome.collector_marked_objects += collected.marked_objects;
-            }
-            GcEvent::ProgramEnd { roots } => {
-                collector.on_program_end(roots, &mut heap);
-            }
-        }
+        apply_event(event, &mut heap, &mut collector, &mut outcome)?;
     }
 
     outcome.live_at_exit = heap.live_count();
@@ -213,6 +170,194 @@ pub fn replay<C: Collector>(
         collector,
         outcome,
         heap,
+    })
+}
+
+/// Applies one recorded event to the shadow heap and the collector —
+/// the single replay step shared by [`replay`], [`replay_events`] and the
+/// parallel evaluators.
+pub fn apply_event<C: Collector>(
+    event: &GcEvent,
+    heap: &mut Heap,
+    collector: &mut C,
+    outcome: &mut ReplayOutcome,
+) -> Result<(), ReplayError> {
+    outcome.events_replayed += 1;
+    match event {
+        GcEvent::Allocate {
+            handle,
+            class,
+            kind,
+            frame,
+            recycled,
+        } => {
+            if *recycled {
+                let field_count = match kind {
+                    AllocKind::Instance { field_count } => *field_count,
+                    // The collector never recycles arrays (§3.7).
+                    AllocKind::Array { .. } => {
+                        return Err(ReplayError::RecycleDiverged { handle: *handle })
+                    }
+                };
+                heap.reinitialize(*handle, *class, field_count)
+                    .map_err(|_| ReplayError::RecycleDiverged { handle: *handle })?;
+            } else {
+                let minted = match kind {
+                    AllocKind::Instance { field_count } => heap.allocate(*class, *field_count)?,
+                    AllocKind::Array { length } => heap.allocate_array(*class, *length)?,
+                };
+                if minted != *handle {
+                    return Err(ReplayError::HandleMismatch {
+                        expected: *handle,
+                        got: minted,
+                    });
+                }
+            }
+            collector.on_allocate(*handle, frame, heap);
+        }
+        GcEvent::SlotWrite {
+            object,
+            slot,
+            value,
+            element,
+        } => {
+            let value = Value::from(*value);
+            if *element {
+                heap.set_element(*object, *slot, value)?;
+            } else {
+                heap.set_field(*object, *slot, value)?;
+            }
+        }
+        GcEvent::ObjectAccess { handle, thread } => {
+            collector.on_object_access(*handle, *thread, heap);
+        }
+        GcEvent::ReferenceStore {
+            source,
+            target,
+            frame,
+        } => {
+            collector.on_reference_store(*source, *target, frame, heap);
+        }
+        GcEvent::StaticStore { target } => {
+            collector.on_static_store(*target, heap);
+        }
+        GcEvent::ReturnValue {
+            value,
+            caller,
+            callee,
+        } => {
+            collector.on_return_value(*value, caller, callee);
+        }
+        GcEvent::FramePush { frame } => {
+            collector.on_frame_push(frame);
+        }
+        GcEvent::FramePop { frame } => {
+            outcome.frames_popped += 1;
+            let freed = collector.on_frame_pop(frame, heap);
+            outcome.collector_freed_objects += freed.freed_objects;
+            outcome.collector_freed_bytes += freed.freed_bytes;
+            outcome.collector_marked_objects += freed.marked_objects;
+        }
+        GcEvent::Collect { roots } => {
+            outcome.gc_cycles += 1;
+            let collected = collector.collect(roots, heap);
+            outcome.collector_freed_objects += collected.freed_objects;
+            outcome.collector_freed_bytes += collected.freed_bytes;
+            outcome.collector_marked_objects += collected.marked_objects;
+        }
+        GcEvent::ProgramEnd { roots } => {
+            collector.on_program_end(roots, heap);
+        }
+    }
+    Ok(())
+}
+
+/// Replays a stream of events (each possibly failing with a trace error,
+/// as produced by a [`TraceReader`](crate::TraceReader)) against a
+/// collector.  Holds only the iterator's working set — for a `.cgt`
+/// reader, one chunk — regardless of trace length.
+///
+/// # Errors
+///
+/// A [`StreamReplayError`]: a replay divergence or an unreadable stream.
+pub fn replay_events<C, I>(
+    events: I,
+    heap_config: HeapConfig,
+    mut collector: C,
+) -> Result<Replayed<C>, StreamReplayError>
+where
+    C: Collector,
+    I: IntoIterator<Item = Result<GcEvent, TraceIoError>>,
+{
+    let start = std::time::Instant::now();
+    let mut heap = Heap::new(heap_config);
+    let mut outcome = ReplayOutcome::default();
+    for event in events {
+        apply_event(&event?, &mut heap, &mut collector, &mut outcome)?;
+    }
+    outcome.live_at_exit = heap.live_count();
+    outcome.elapsed_seconds = start.elapsed().as_secs_f64();
+    Ok(Replayed {
+        collector,
+        outcome,
+        heap,
+    })
+}
+
+/// What a streaming replay of a `.cgt` file produced: the replay result
+/// plus the stream's own metadata and buffering high-water mark.
+#[derive(Debug)]
+pub struct StreamReplayed<C> {
+    /// The replay result.
+    pub replayed: Replayed<C>,
+    /// The stream's header metadata.
+    pub meta: crate::format::TraceMeta,
+    /// The stream's footer.
+    pub footer: crate::format::TraceFooter,
+    /// Most decoded events the reader ever held at once (the O(chunk)
+    /// memory bound).
+    pub max_buffered_events: usize,
+}
+
+/// Streams a `.cgt` file through any collector, chunk by chunk.
+///
+/// The heap configuration is taken from the file's header when present,
+/// otherwise from `fallback_heap`.
+///
+/// # Errors
+///
+/// A [`StreamReplayError`]: a replay divergence or an unreadable stream.
+pub fn replay_path<C: Collector>(
+    path: impl AsRef<Path>,
+    fallback_heap: Option<HeapConfig>,
+    collector: C,
+) -> Result<StreamReplayed<C>, StreamReplayError> {
+    let mut reader = open_trace(path)?;
+    let heap_config =
+        reader
+            .meta()
+            .heap
+            .or(fallback_heap)
+            .ok_or_else(|| TraceIoError::Malformed {
+                chunk: None,
+                detail: "trace header carries no heap configuration and no fallback was given"
+                    .to_string(),
+            })?;
+    let meta = reader.meta().clone();
+    let replayed = replay_events(
+        std::iter::from_fn(|| reader.next_event().transpose()),
+        heap_config,
+        collector,
+    )?;
+    let footer = reader
+        .footer()
+        .cloned()
+        .expect("stream iterated to completion, so the footer was read");
+    Ok(StreamReplayed {
+        replayed,
+        meta,
+        footer,
+        max_buffered_events: reader.max_buffered_events(),
     })
 }
 

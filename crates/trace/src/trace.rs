@@ -1,6 +1,6 @@
 //! The owned event log.
 
-use cg_vm::GcEvent;
+use cg_vm::{EventKind, GcEvent};
 
 /// Counts of each event kind in a [`Trace`].
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -27,6 +27,63 @@ pub struct TraceStats {
     pub program_ends: u64,
 }
 
+impl TraceStats {
+    /// Counts one event of the given kind.
+    pub fn record(&mut self, kind: EventKind) {
+        *self.slot_mut(kind) += 1;
+    }
+
+    /// The count for one kind.
+    pub fn count(&self, kind: EventKind) -> u64 {
+        match kind {
+            EventKind::Allocate => self.allocations,
+            EventKind::SlotWrite => self.slot_writes,
+            EventKind::ObjectAccess => self.object_accesses,
+            EventKind::ReferenceStore => self.reference_stores,
+            EventKind::StaticStore => self.static_stores,
+            EventKind::ReturnValue => self.return_values,
+            EventKind::FramePush => self.frame_pushes,
+            EventKind::FramePop => self.frame_pops,
+            EventKind::Collect => self.collects,
+            EventKind::ProgramEnd => self.program_ends,
+        }
+    }
+
+    fn slot_mut(&mut self, kind: EventKind) -> &mut u64 {
+        match kind {
+            EventKind::Allocate => &mut self.allocations,
+            EventKind::SlotWrite => &mut self.slot_writes,
+            EventKind::ObjectAccess => &mut self.object_accesses,
+            EventKind::ReferenceStore => &mut self.reference_stores,
+            EventKind::StaticStore => &mut self.static_stores,
+            EventKind::ReturnValue => &mut self.return_values,
+            EventKind::FramePush => &mut self.frame_pushes,
+            EventKind::FramePop => &mut self.frame_pops,
+            EventKind::Collect => &mut self.collects,
+            EventKind::ProgramEnd => &mut self.program_ends,
+        }
+    }
+
+    /// All counts in [`EventKind`] tag order — the `.cgt` footer census.
+    pub fn counts(&self) -> [u64; EventKind::ALL.len()] {
+        EventKind::ALL.map(|kind| self.count(kind))
+    }
+
+    /// Rebuilds stats from a tag-ordered census (the footer's form).
+    pub fn from_counts(counts: &[u64; EventKind::ALL.len()]) -> Self {
+        let mut stats = TraceStats::default();
+        for (kind, &count) in EventKind::ALL.iter().zip(counts.iter()) {
+            *stats.slot_mut(*kind) = count;
+        }
+        stats
+    }
+
+    /// Total events across all kinds.
+    pub fn total(&self) -> u64 {
+        self.counts().iter().sum()
+    }
+}
+
 /// A recorded VM↔collector event stream.
 ///
 /// Traces are append-only; the recorder pushes events in emission order and
@@ -48,6 +105,16 @@ impl Trace {
         }
     }
 
+    /// Creates an empty trace with room for `capacity` events, avoiding the
+    /// doubling reallocations of a growing recording.
+    pub fn with_capacity(name: impl Into<String>, capacity: usize) -> Self {
+        Self {
+            name: name.into(),
+            events: Vec::with_capacity(capacity),
+            stats: TraceStats::default(),
+        }
+    }
+
     /// The trace's name (typically `workload/size`).
     pub fn name(&self) -> &str {
         &self.name
@@ -55,19 +122,7 @@ impl Trace {
 
     /// Appends one event.
     pub fn push(&mut self, event: GcEvent) {
-        let stats = &mut self.stats;
-        match &event {
-            GcEvent::Allocate { .. } => stats.allocations += 1,
-            GcEvent::SlotWrite { .. } => stats.slot_writes += 1,
-            GcEvent::ObjectAccess { .. } => stats.object_accesses += 1,
-            GcEvent::ReferenceStore { .. } => stats.reference_stores += 1,
-            GcEvent::StaticStore { .. } => stats.static_stores += 1,
-            GcEvent::ReturnValue { .. } => stats.return_values += 1,
-            GcEvent::FramePush { .. } => stats.frame_pushes += 1,
-            GcEvent::FramePop { .. } => stats.frame_pops += 1,
-            GcEvent::Collect { .. } => stats.collects += 1,
-            GcEvent::ProgramEnd { .. } => stats.program_ends += 1,
-        }
+        self.stats.record(event.kind());
         self.events.push(event);
     }
 
@@ -128,5 +183,19 @@ mod tests {
         assert!(trace.is_complete());
         assert_eq!(trace.name(), "t");
         assert_eq!(trace.events().len(), 3);
+    }
+
+    #[test]
+    fn stats_census_round_trips() {
+        let mut trace = Trace::with_capacity("t", 4);
+        trace.push(GcEvent::FramePush { frame: frame() });
+        trace.push(GcEvent::FramePush { frame: frame() });
+        trace.push(GcEvent::FramePop { frame: frame() });
+        let counts = trace.stats().counts();
+        assert_eq!(counts[cg_vm::EventKind::FramePush.tag() as usize], 2);
+        assert_eq!(counts[cg_vm::EventKind::FramePop.tag() as usize], 1);
+        assert_eq!(TraceStats::from_counts(&counts), *trace.stats());
+        assert_eq!(trace.stats().total(), 3);
+        assert_eq!(trace.stats().count(cg_vm::EventKind::Collect), 0);
     }
 }

@@ -1,0 +1,306 @@
+//! Low-level wire primitives of the `.cgt` format: LEB128 varints,
+//! length-prefixed strings, and the CRC32 used for per-chunk integrity.
+//!
+//! Everything here is dependency-free and deliberately boring: the format
+//! must stay readable by any future version of this crate, so the encoding
+//! is the plainest possible — unsigned LEB128 for every integer, UTF-8
+//! bytes with a varint length prefix for strings, and IEEE CRC32
+//! (reflected, polynomial `0xEDB88320`) over stored chunk payloads.
+
+use std::io::{self, Read, Write};
+
+/// Appends `value` as an unsigned LEB128 varint.
+pub fn put_varint(buf: &mut Vec<u8>, mut value: u64) {
+    loop {
+        let byte = (value & 0x7f) as u8;
+        value >>= 7;
+        if value == 0 {
+            buf.push(byte);
+            return;
+        }
+        buf.push(byte | 0x80);
+    }
+}
+
+/// Appends a `usize` as a varint.
+pub fn put_varint_usize(buf: &mut Vec<u8>, value: usize) {
+    put_varint(buf, value as u64);
+}
+
+/// Appends a length-prefixed UTF-8 string.
+pub fn put_string(buf: &mut Vec<u8>, s: &str) {
+    put_varint_usize(buf, s.len());
+    buf.extend_from_slice(s.as_bytes());
+}
+
+/// Appends an `Option<u64>` (0 = `None`, otherwise `value + 1`).
+pub fn put_opt_u64(buf: &mut Vec<u8>, value: Option<u64>) {
+    match value {
+        None => put_varint(buf, 0),
+        Some(v) => {
+            // +1 cannot overflow in practice: the encoded values are event
+            // counts and byte sizes, never u64::MAX.
+            put_varint(buf, v.checked_add(1).expect("optional value overflow"));
+        }
+    }
+}
+
+/// A cursor over a decoded byte slice.
+///
+/// Every read reports a clean error on truncation instead of panicking, so
+/// corrupt or hostile inputs surface as [`TraceIoError`](crate::TraceIoError)
+/// rather than aborts.
+pub struct SliceReader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+/// A structural decoding failure: what was being read when the bytes ran
+/// out or were malformed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireError(pub String);
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl<'a> SliceReader<'a> {
+    /// Wraps a byte slice.
+    pub fn new(bytes: &'a [u8]) -> Self {
+        Self { bytes, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.bytes.len() - self.pos
+    }
+
+    /// Whether every byte has been consumed.
+    pub fn is_empty(&self) -> bool {
+        self.remaining() == 0
+    }
+
+    /// Reads one byte.
+    pub fn u8(&mut self, what: &str) -> Result<u8, WireError> {
+        let b = *self
+            .bytes
+            .get(self.pos)
+            .ok_or_else(|| WireError(format!("truncated while reading {what}")))?;
+        self.pos += 1;
+        Ok(b)
+    }
+
+    /// Reads an unsigned LEB128 varint.
+    pub fn varint(&mut self, what: &str) -> Result<u64, WireError> {
+        let mut value: u64 = 0;
+        let mut shift = 0u32;
+        loop {
+            let byte = self.u8(what)?;
+            if shift == 63 && byte > 1 {
+                return Err(WireError(format!("varint overflow while reading {what}")));
+            }
+            value |= u64::from(byte & 0x7f) << shift;
+            if byte & 0x80 == 0 {
+                return Ok(value);
+            }
+            shift += 7;
+            if shift > 63 {
+                return Err(WireError(format!("varint too long while reading {what}")));
+            }
+        }
+    }
+
+    /// Reads a varint and converts it to `usize`, bounding it by `limit` to
+    /// keep corrupt length prefixes from provoking huge allocations.
+    pub fn bounded_len(&mut self, what: &str, limit: usize) -> Result<usize, WireError> {
+        let v = self.varint(what)?;
+        if v > limit as u64 {
+            return Err(WireError(format!(
+                "implausible length {v} for {what} (limit {limit})"
+            )));
+        }
+        Ok(v as usize)
+    }
+
+    /// Reads a length-prefixed UTF-8 string.
+    pub fn string(&mut self, what: &str) -> Result<String, WireError> {
+        let len = self.bounded_len(what, 1 << 20)?;
+        if self.remaining() < len {
+            return Err(WireError(format!("truncated while reading {what}")));
+        }
+        let bytes = &self.bytes[self.pos..self.pos + len];
+        self.pos += len;
+        String::from_utf8(bytes.to_vec()).map_err(|_| WireError(format!("invalid UTF-8 in {what}")))
+    }
+
+    /// Reads an `Option<u64>` (see [`put_opt_u64`]).
+    pub fn opt_u64(&mut self, what: &str) -> Result<Option<u64>, WireError> {
+        let raw = self.varint(what)?;
+        Ok(if raw == 0 { None } else { Some(raw - 1) })
+    }
+}
+
+/// The CRC32 lookup table (IEEE, reflected), built at first use.
+fn crc_table() -> &'static [u32; 256] {
+    use std::sync::OnceLock;
+    static TABLE: OnceLock<[u32; 256]> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        let mut table = [0u32; 256];
+        for (i, entry) in table.iter_mut().enumerate() {
+            let mut crc = i as u32;
+            for _ in 0..8 {
+                crc = if crc & 1 != 0 {
+                    (crc >> 1) ^ 0xEDB8_8320
+                } else {
+                    crc >> 1
+                };
+            }
+            *entry = crc;
+        }
+        table
+    })
+}
+
+/// IEEE CRC32 of `bytes` (the zlib/PNG polynomial).
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let table = crc_table();
+    let mut crc = 0xffff_ffffu32;
+    for &b in bytes {
+        crc = (crc >> 8) ^ table[((crc ^ u32::from(b)) & 0xff) as usize];
+    }
+    !crc
+}
+
+/// Reads exactly `buf.len()` bytes, mapping EOF to `Ok(false)` when nothing
+/// was read at all (clean end of stream) and to an error when the stream
+/// ends mid-record.
+pub fn read_exact_or_eof<R: Read>(r: &mut R, buf: &mut [u8]) -> io::Result<bool> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        let n = r.read(&mut buf[filled..])?;
+        if n == 0 {
+            if filled == 0 {
+                return Ok(false);
+            }
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "stream ended mid-record",
+            ));
+        }
+        filled += n;
+    }
+    Ok(true)
+}
+
+/// Writes a `u32` little-endian.
+pub fn write_u32<W: Write>(w: &mut W, value: u32) -> io::Result<()> {
+    w.write_all(&value.to_le_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(value: u64) {
+        let mut buf = Vec::new();
+        put_varint(&mut buf, value);
+        let mut r = SliceReader::new(&buf);
+        assert_eq!(r.varint("v").unwrap(), value);
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn varints_round_trip() {
+        for v in [
+            0,
+            1,
+            127,
+            128,
+            300,
+            16_383,
+            16_384,
+            u32::MAX as u64,
+            u64::MAX,
+        ] {
+            round_trip(v);
+        }
+    }
+
+    #[test]
+    fn varint_encoding_is_minimal_for_small_values() {
+        let mut buf = Vec::new();
+        put_varint(&mut buf, 127);
+        assert_eq!(buf.len(), 1);
+        buf.clear();
+        put_varint(&mut buf, 128);
+        assert_eq!(buf.len(), 2);
+        buf.clear();
+        put_varint(&mut buf, u64::MAX);
+        assert_eq!(buf.len(), 10, "u64::MAX takes the full 10 LEB128 bytes");
+    }
+
+    #[test]
+    fn truncated_varint_is_an_error() {
+        let mut r = SliceReader::new(&[0x80]);
+        let err = r.varint("field").unwrap_err();
+        assert!(err.0.contains("truncated"), "{err}");
+    }
+
+    #[test]
+    fn overlong_varint_is_an_error() {
+        let bytes = [0xff; 11];
+        let mut r = SliceReader::new(&bytes);
+        assert!(r.varint("field").is_err());
+    }
+
+    #[test]
+    fn strings_round_trip() {
+        let mut buf = Vec::new();
+        put_string(&mut buf, "javac/1");
+        put_string(&mut buf, "");
+        let mut r = SliceReader::new(&buf);
+        assert_eq!(r.string("a").unwrap(), "javac/1");
+        assert_eq!(r.string("b").unwrap(), "");
+    }
+
+    #[test]
+    fn invalid_utf8_is_an_error() {
+        let buf = vec![2, 0xff, 0xfe];
+        let mut r = SliceReader::new(&buf);
+        assert!(r.string("s").unwrap_err().0.contains("UTF-8"));
+    }
+
+    #[test]
+    fn options_round_trip() {
+        let mut buf = Vec::new();
+        put_opt_u64(&mut buf, None);
+        put_opt_u64(&mut buf, Some(0));
+        put_opt_u64(&mut buf, Some(25_000));
+        let mut r = SliceReader::new(&buf);
+        assert_eq!(r.opt_u64("a").unwrap(), None);
+        assert_eq!(r.opt_u64("b").unwrap(), Some(0));
+        assert_eq!(r.opt_u64("c").unwrap(), Some(25_000));
+    }
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // The classic check value for IEEE CRC32.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_ne!(crc32(b"a"), crc32(b"b"));
+    }
+
+    #[test]
+    fn bounded_len_rejects_implausible_lengths() {
+        let mut buf = Vec::new();
+        put_varint(&mut buf, 1 << 40);
+        let mut r = SliceReader::new(&buf);
+        assert!(r
+            .bounded_len("len", 1 << 20)
+            .unwrap_err()
+            .0
+            .contains("implausible"));
+    }
+}

@@ -1,0 +1,191 @@
+//! `.cgt` robustness: damaged, truncated or future-versioned files must
+//! fail with clean [`TraceIoError`]s — never panics, never silent
+//! misreads.  Chunked CRC framing localizes a flipped byte to one chunk.
+
+use cg_trace::{
+    read_trace, write_trace, Trace, TraceIoError, TraceMeta, TraceReader, FORMAT_VERSION,
+};
+use cg_vm::{FrameId, FrameInfo, GcEvent, Handle, MethodId, RootSet, ThreadId};
+
+fn frame(id: u64) -> FrameInfo {
+    FrameInfo {
+        id: FrameId::new(id),
+        depth: 1,
+        thread: ThreadId::MAIN,
+        method: MethodId::new(0),
+    }
+}
+
+/// A trace big enough to span several chunks at the default chunk size.
+fn sample_trace() -> Trace {
+    let mut t = Trace::new("robustness");
+    t.push(GcEvent::FramePush { frame: frame(1) });
+    for i in 0..20_000u32 {
+        t.push(GcEvent::SlotWrite {
+            object: Handle::from_index(i % 571),
+            slot: (i % 7) as usize,
+            value: (i % 3 == 0).then(|| Handle::from_index(i % 113)),
+            element: i % 2 == 0,
+        });
+    }
+    t.push(GcEvent::FramePop { frame: frame(1) });
+    t.push(GcEvent::ProgramEnd {
+        roots: Box::new(RootSet::default()),
+    });
+    t
+}
+
+fn sample_bytes() -> Vec<u8> {
+    write_trace(Vec::new(), &sample_trace(), &TraceMeta::default()).expect("write")
+}
+
+#[test]
+fn truncation_at_every_region_is_a_clean_error() {
+    let bytes = sample_bytes();
+    // A spread of cut points: inside the magic, the header, early chunks,
+    // mid-payload and just before the footer.
+    let cuts = [
+        1,
+        3,
+        5,
+        9,
+        20,
+        100,
+        bytes.len() / 3,
+        bytes.len() / 2,
+        bytes.len() - 100,
+        bytes.len() - 1,
+    ];
+    for cut in cuts {
+        let err = read_trace(&bytes[..cut]).expect_err("truncated file must not parse");
+        assert!(
+            matches!(
+                err,
+                TraceIoError::Truncated { .. } | TraceIoError::Io(_) | TraceIoError::BadMagic
+            ),
+            "cut at {cut}: unexpected error {err}"
+        );
+    }
+}
+
+#[test]
+fn a_flipped_byte_in_a_chunk_body_is_caught_by_the_crc() {
+    let bytes = sample_bytes();
+    // Flip one byte somewhere inside an event chunk's payload (well past
+    // the header, well before the footer).  The CRC must catch it and name
+    // a chunk.
+    let mut corrupt = bytes.clone();
+    let target = bytes.len() / 2;
+    corrupt[target] ^= 0x40;
+    let err = read_trace(&corrupt[..]).expect_err("corrupt chunk must not parse");
+    match err {
+        TraceIoError::CrcMismatch { .. } => {}
+        // Flipping a byte of the chunk *framing* (kind/lengths/codec) is
+        // also legal damage; it must still fail cleanly.
+        TraceIoError::Malformed { .. } | TraceIoError::Truncated { .. } => {}
+        other => panic!("unexpected error for flipped byte: {other}"),
+    }
+}
+
+#[test]
+fn every_single_byte_flip_fails_cleanly_or_roundtrips_header_fields() {
+    // Sweep a prefix of the file (header + first chunk): no single-byte
+    // flip may panic; each either fails with a TraceIoError or — for the
+    // few bytes that only change free metadata like the name — decodes.
+    let bytes = sample_bytes();
+    for i in 0..bytes.len().min(600) {
+        let mut corrupt = bytes.clone();
+        corrupt[i] ^= 0xff;
+        let _ = read_trace(&corrupt[..]); // must not panic
+    }
+}
+
+#[test]
+fn shard_stream_byte_flips_fail_cleanly_too() {
+    // Shard sub-streams carry extra per-event framing (seq deltas, wait
+    // edges); corruption there must fail as cleanly as in plain streams —
+    // including seq-delta overflow, which must not panic in debug builds.
+    let trace = sample_trace();
+    let dir = std::env::temp_dir().join(format!("cgt-shard-robust-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let meta = TraceMeta {
+        name: trace.name().to_string(),
+        ..TraceMeta::default()
+    };
+    let placed =
+        cg_trace::partition_streaming(trace.events().iter().cloned().map(Ok), &meta, 2, &dir)
+            .expect("partition to disk");
+    let bytes = std::fs::read(&placed.paths[0]).expect("read shard file");
+    let flip_target = dir.join("flipped.cgt");
+    for i in 0..bytes.len().min(900) {
+        let mut corrupt = bytes.clone();
+        corrupt[i] ^= 0xff;
+        std::fs::write(&flip_target, &corrupt).expect("write flipped");
+        let _ = cg_trace::read_shard_stream(&flip_target); // must not panic
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn unknown_future_version_is_a_clean_unsupported_error() {
+    let mut bytes = sample_bytes();
+    // The version is the two bytes after the 4-byte magic.
+    bytes[4] = 0x2a;
+    bytes[5] = 0x00;
+    let err = read_trace(&bytes[..]).expect_err("future version must not parse");
+    match err {
+        TraceIoError::UnsupportedVersion { found } => {
+            assert_eq!(found, 42);
+            assert_ne!(found, FORMAT_VERSION);
+            let msg = err.to_string();
+            assert!(msg.contains("42"), "{msg}");
+        }
+        other => panic!("expected UnsupportedVersion, got {other}"),
+    }
+}
+
+#[test]
+fn foreign_files_are_rejected_by_magic() {
+    for junk in [
+        &b"not a trace at all"[..],
+        &b"PK\x03\x04zipfile"[..],
+        &[0x89, b'P', b'N', b'G', 1, 2, 3][..],
+    ] {
+        let err = read_trace(junk).expect_err("foreign bytes must not parse");
+        assert!(
+            matches!(err, TraceIoError::BadMagic | TraceIoError::Truncated { .. }),
+            "unexpected error {err}"
+        );
+    }
+}
+
+#[test]
+fn data_after_the_footer_is_rejected() {
+    let mut bytes = sample_bytes();
+    bytes.extend_from_slice(b"trailing garbage");
+    let err = read_trace(&bytes[..]).expect_err("trailing data must not parse");
+    assert!(
+        matches!(err, TraceIoError::Malformed { .. }),
+        "unexpected error {err}"
+    );
+    assert!(err.to_string().contains("after the footer"), "{err}");
+}
+
+#[test]
+fn header_crc_catches_metadata_corruption() {
+    let bytes = sample_bytes();
+    // Byte 7 onward is the header payload (magic 4 + version 2 + length
+    // varint ≥ 1); flip a byte inside it.
+    let mut corrupt = bytes.clone();
+    corrupt[8] ^= 0x01;
+    let err = TraceReader::new(&corrupt[..])
+        .map(|_| ())
+        .expect_err("header corruption");
+    assert!(
+        matches!(
+            err,
+            TraceIoError::Malformed { .. } | TraceIoError::Truncated { .. }
+        ),
+        "unexpected error {err}"
+    );
+}

@@ -1,0 +1,122 @@
+//! The acceptance bar for the streaming path: a javac-style trace of over
+//! a million events must record straight to disk, replay chunk-by-chunk
+//! with O(chunk) resident trace memory, and produce `CgStats` /
+//! `ObjectBreakdown` byte-identical to the classic in-memory replay.
+//!
+//! javac at SPEC size 100 yields ~8.5M events.  The test is ignored in
+//! debug builds (interpreting size 100 unoptimized takes minutes); CI runs
+//! it with `cargo test --release -p cg-trace --test streaming_large`.
+
+use cg_heap::{AllocPolicy, HandleRepr, HeapConfig};
+use cg_trace::footer::{canonical_collector, cg_section, CG_SECTION};
+use cg_trace::{
+    read_trace_from_path, record_streaming, replay, replay_path, rewrite_trace, RewriteOptions,
+    TraceMeta, WorkloadRef, DEFAULT_CHUNK_EVENTS,
+};
+use cg_vm::{NoopCollector, VmConfig};
+use cg_workloads::{Size, Workload};
+
+#[test]
+#[cfg_attr(debug_assertions, ignore = "size-100 interpretation is release-only")]
+fn million_event_javac_trace_streams_with_bounded_memory() {
+    let workload = Workload::by_name("javac").expect("javac exists");
+    // The passive recording collector never frees, so size 100 needs a
+    // heap it cannot exhaust; segregated fit keeps the shadow heap's
+    // allocation search O(size classes) at this scale.
+    let mut heap = HeapConfig::with_object_space(128 * 1024 * 1024, HandleRepr::CgWide);
+    heap.handle_space_bytes = 256 * 1024 * 1024;
+    heap = heap.with_alloc_policy(AllocPolicy::SegregatedFit);
+    let config = VmConfig {
+        heap,
+        ..VmConfig::default()
+    };
+
+    let dir = std::env::temp_dir().join(format!("cgt-large-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    let path = dir.join("javac-s100.cgt");
+
+    // Record straight to disk (O(chunk) memory on the recording side).
+    let meta = TraceMeta {
+        name: "javac/100".to_string(),
+        workload: Some(WorkloadRef {
+            name: "javac".to_string(),
+            size: 100,
+        }),
+        ..TraceMeta::default()
+    };
+    let file = std::fs::File::create(&path).expect("create trace file");
+    let (outcome, stats, _, w) = record_streaming(
+        &meta,
+        workload.program(Size::S100),
+        config,
+        NoopCollector::new(),
+        std::io::BufWriter::new(file),
+    )
+    .expect("recording javac/100 succeeds");
+    drop(w);
+    assert!(
+        stats.total() >= 1_000_000,
+        "javac/100 must exceed a million events, got {}",
+        stats.total()
+    );
+    assert_eq!(
+        outcome.stats.objects_allocated + outcome.stats.arrays_allocated,
+        stats.allocations
+    );
+
+    // Streaming replay: chunk-by-chunk, never the whole vector.
+    let streamed =
+        replay_path(&path, None, canonical_collector()).expect("streaming replay succeeds");
+    assert!(
+        streamed.max_buffered_events <= DEFAULT_CHUNK_EVENTS,
+        "streaming replay held {} events at once; the chunk cap is {}",
+        streamed.max_buffered_events,
+        DEFAULT_CHUNK_EVENTS
+    );
+
+    // Classic in-memory replay of the same file.
+    let (trace, file_meta, _) = read_trace_from_path(&path).expect("whole-trace read");
+    assert_eq!(trace.len() as u64, stats.total());
+    let in_memory = replay(
+        &trace,
+        file_meta.heap.expect("header embeds the heap"),
+        canonical_collector(),
+    )
+    .expect("in-memory replay succeeds");
+
+    // Byte-identical statistics and breakdown.
+    let mut streamed_collector = streamed.replayed.collector;
+    let mut memory_collector = in_memory.collector;
+    assert_eq!(streamed_collector.stats(), memory_collector.stats());
+    assert_eq!(streamed_collector.breakdown(), memory_collector.breakdown());
+    assert_eq!(
+        streamed.replayed.outcome.live_at_exit,
+        in_memory.outcome.live_at_exit
+    );
+    assert_eq!(
+        streamed.replayed.outcome.collector_freed_objects,
+        in_memory.outcome.collector_freed_objects
+    );
+
+    // And the stats footer a `cgt record` would embed matches both.
+    let breakdown = streamed_collector.breakdown();
+    let section = cg_section(streamed_collector.stats(), &breakdown);
+    let rewritten = dir.join("javac-s100-footer.cgt");
+    rewrite_trace(
+        &path,
+        &rewritten,
+        &RewriteOptions {
+            add_sections: vec![section.clone()],
+            ..RewriteOptions::default()
+        },
+    )
+    .expect("rewrite with footer");
+    let (_, _, footer) = read_trace_from_path(&rewritten).expect("rewritten trace reads");
+    assert_eq!(
+        footer.section(CG_SECTION).expect("stats footer").entries,
+        section.entries
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -136,11 +136,99 @@ pub enum GcEvent {
     },
 }
 
+/// The kind of a [`GcEvent`], without its payload.
+///
+/// The discriminant values are stable: they double as the per-variant tag
+/// bytes of the persistent `.cgt` trace format (see the `cg-trace` crate),
+/// so reordering or renumbering them is a trace-format break.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(u8)]
+pub enum EventKind {
+    /// [`GcEvent::Allocate`].
+    Allocate = 0,
+    /// [`GcEvent::SlotWrite`].
+    SlotWrite = 1,
+    /// [`GcEvent::ObjectAccess`].
+    ObjectAccess = 2,
+    /// [`GcEvent::ReferenceStore`].
+    ReferenceStore = 3,
+    /// [`GcEvent::StaticStore`].
+    StaticStore = 4,
+    /// [`GcEvent::ReturnValue`].
+    ReturnValue = 5,
+    /// [`GcEvent::FramePush`].
+    FramePush = 6,
+    /// [`GcEvent::FramePop`].
+    FramePop = 7,
+    /// [`GcEvent::Collect`].
+    Collect = 8,
+    /// [`GcEvent::ProgramEnd`].
+    ProgramEnd = 9,
+}
+
+impl EventKind {
+    /// Every kind, in tag order.
+    pub const ALL: [EventKind; 10] = [
+        EventKind::Allocate,
+        EventKind::SlotWrite,
+        EventKind::ObjectAccess,
+        EventKind::ReferenceStore,
+        EventKind::StaticStore,
+        EventKind::ReturnValue,
+        EventKind::FramePush,
+        EventKind::FramePop,
+        EventKind::Collect,
+        EventKind::ProgramEnd,
+    ];
+
+    /// The kind's stable tag byte.
+    pub fn tag(self) -> u8 {
+        self as u8
+    }
+
+    /// The kind for a tag byte, if the tag is known.
+    pub fn from_tag(tag: u8) -> Option<EventKind> {
+        Self::ALL.get(tag as usize).copied()
+    }
+
+    /// Snake-case label, as used in reports and the trace-stats footer.
+    pub fn label(self) -> &'static str {
+        match self {
+            EventKind::Allocate => "allocations",
+            EventKind::SlotWrite => "slot_writes",
+            EventKind::ObjectAccess => "object_accesses",
+            EventKind::ReferenceStore => "reference_stores",
+            EventKind::StaticStore => "static_stores",
+            EventKind::ReturnValue => "return_values",
+            EventKind::FramePush => "frame_pushes",
+            EventKind::FramePop => "frame_pops",
+            EventKind::Collect => "collects",
+            EventKind::ProgramEnd => "program_ends",
+        }
+    }
+}
+
 impl GcEvent {
     /// Whether this event invokes a collector hook when dispatched
     /// ([`GcEvent::SlotWrite`] is heap-mirroring only).
     pub fn invokes_collector(&self) -> bool {
         !matches!(self, GcEvent::SlotWrite { .. })
+    }
+
+    /// The event's kind (payload-free discriminant).
+    pub fn kind(&self) -> EventKind {
+        match self {
+            GcEvent::Allocate { .. } => EventKind::Allocate,
+            GcEvent::SlotWrite { .. } => EventKind::SlotWrite,
+            GcEvent::ObjectAccess { .. } => EventKind::ObjectAccess,
+            GcEvent::ReferenceStore { .. } => EventKind::ReferenceStore,
+            GcEvent::StaticStore { .. } => EventKind::StaticStore,
+            GcEvent::ReturnValue { .. } => EventKind::ReturnValue,
+            GcEvent::FramePush { .. } => EventKind::FramePush,
+            GcEvent::FramePop { .. } => EventKind::FramePop,
+            GcEvent::Collect { .. } => EventKind::Collect,
+            GcEvent::ProgramEnd { .. } => EventKind::ProgramEnd,
+        }
     }
 }
 
@@ -191,6 +279,20 @@ mod tests {
             roots: Box::new(RootSet::default())
         }
         .invokes_collector());
+    }
+
+    #[test]
+    fn kinds_round_trip_through_tags() {
+        for (i, kind) in EventKind::ALL.into_iter().enumerate() {
+            assert_eq!(kind.tag() as usize, i, "tags are dense and stable");
+            assert_eq!(EventKind::from_tag(kind.tag()), Some(kind));
+        }
+        assert_eq!(EventKind::from_tag(10), None);
+        assert_eq!(
+            GcEvent::FramePush { frame: frame() }.kind(),
+            EventKind::FramePush
+        );
+        assert_eq!(EventKind::Allocate.label(), "allocations");
     }
 
     #[test]

@@ -337,7 +337,16 @@ impl<C: Collector> Exec<C> {
             }
         }
         let statics = self.statics.iter().filter_map(Value::as_handle).collect();
-        let mut interpreter: Vec<Handle> = self.intern_table.values().copied().collect();
+        // Snapshot the intern table in key order: HashMap iteration order
+        // varies per process, and the root snapshot is recorded into traces
+        // whose golden-corpus gate demands byte-identical re-recordings.
+        let mut interned: Vec<(u32, Handle)> = self
+            .intern_table
+            .iter()
+            .map(|(&key, &handle)| (key, handle))
+            .collect();
+        interned.sort_unstable_by_key(|&(key, _)| key);
+        let mut interpreter: Vec<Handle> = interned.into_iter().map(|(_, h)| h).collect();
         interpreter.extend(self.native_refs.iter().copied());
         RootSet {
             frames,

@@ -59,7 +59,7 @@ pub mod program;
 
 pub use cg_heap::{ClassId, Handle, Heap, HeapConfig, HeapError, Value};
 pub use collector::{CollectOutcome, Collector, FrameRoots, NoopCollector, RootSet};
-pub use event::{AllocKind, EventSink, GcEvent};
+pub use event::{AllocKind, EventKind, EventSink, GcEvent};
 pub use frame::{Frame, FrameId, FrameInfo, ThreadId, ThreadState, ThreadStatus};
 pub use insn::{ArithOp, Cond, Insn, LocalIdx, Operand};
 pub use interp::{RunOutcome, Vm, VmConfig, VmError, VmStats};

@@ -113,6 +113,17 @@ impl Workload {
             .map(|name| Workload { name })
     }
 
+    /// Parses a `name[/size]` spec (`"javac"`, `"javac/10"`) — the notation
+    /// trace names, the `cgt` CLI and the golden corpus use.  The size
+    /// defaults to 1.
+    pub fn parse_spec(spec: &str) -> Option<(Workload, Size)> {
+        let (name, size) = match spec.split_once('/') {
+            Some((name, size)) => (name, Size::parse(size)?),
+            None => (spec, Size::S1),
+        };
+        Self::by_name(name).map(|w| (w, size))
+    }
+
     /// The benchmark name (`"compress"`, `"jess"`, ...).
     pub fn name(&self) -> &'static str {
         self.name
@@ -155,6 +166,18 @@ mod tests {
             assert!(program.validate().is_ok(), "{} must validate", w.name());
             assert_eq!(program.name(), w.name());
         }
+    }
+
+    #[test]
+    fn specs_parse_name_and_size() {
+        let (w, size) = Workload::parse_spec("javac/10").unwrap();
+        assert_eq!(w.name(), "javac");
+        assert_eq!(size, Size::S10);
+        let (w, size) = Workload::parse_spec("db").unwrap();
+        assert_eq!(w.name(), "db");
+        assert_eq!(size, Size::S1);
+        assert!(Workload::parse_spec("doom/1").is_none());
+        assert!(Workload::parse_spec("javac/7").is_none());
     }
 
     #[test]
