@@ -1,0 +1,307 @@
+//! Contention benchmarks for the shared static domain.
+//!
+//! The §3.3 static set is the only state the collector shards share, so its
+//! concurrency behaviour decides whether shard scaling is real on real
+//! cores.  This bench pits the two [`DomainImpl`]s against each other:
+//!
+//! * a **microbench family**: N producer threads hammer one domain with a
+//!   seeded mix of `insert`/`union`/`node_of`/`reason` calls plus a
+//!   configurable escalation rate (`note_thread_shared`/`absorb_nonstatic`),
+//!   under a union-heavy and a read-heavy profile, at 1, 2 and 4 threads —
+//!   labels `static_domain/<profile>/<impl>/threads_<n>`;
+//! * an **end-to-end leg**: the mtrt-style trace from `shard_scaling`,
+//!   evaluated with 4 shards on OS threads under each implementation —
+//!   labels `static_domain/e2e_mtrt/<impl>/shards_4`.
+//!
+//! On a multi-core runner the bench *asserts* that the lock-free domain
+//! beats the mutex domain by ≥ 2x on the 4-thread union-heavy profile; on a
+//! single core the threads serialise and the assertion is skipped (the
+//! numbers then measure per-op overhead, not contention).  The committed
+//! baseline (`baselines/static_domain.json`) carries only the labels that
+//! are stable across core counts: the calibration loop, the single-threaded
+//! microbenches and the end-to-end legs.  `BENCH_static_domain.json`
+//! records the runner's core count so the other numbers can be read in
+//! context.
+
+use std::hint::black_box;
+
+use cg_bench::{parallel_eval, BenchHarness};
+use cg_core::{CgConfig, DomainImpl, StaticDomain, StaticNodeId, StaticReason};
+use cg_stats::Json;
+use cg_testutil::TestRng;
+use cg_trace::{partition, record};
+use cg_vm::{Handle, NoopCollector, VmConfig};
+use cg_workloads::Profile;
+
+const CALIBRATION_LABEL: &str = "calibration/spin_1k";
+const THREAD_COUNTS: [usize; 3] = [1, 2, 4];
+const IMPLS: [DomainImpl; 2] = [DomainImpl::Mutex, DomainImpl::Atomic];
+/// Domain ops per producer thread per iteration.
+const OPS_PER_THREAD: usize = 4_000;
+/// Pre-seeded nodes every thread contends on.
+const SHARED_NODES: usize = 64;
+
+fn impl_name(which: DomainImpl) -> &'static str {
+    match which {
+        DomainImpl::Atomic => "atomic",
+        DomainImpl::Mutex => "mutex",
+    }
+}
+
+/// Per-mille op mix for one producer thread; the remainder up to 1000 is
+/// `same_block` probes.
+#[derive(Clone, Copy)]
+struct OpMix {
+    name: &'static str,
+    insert: u32,
+    union: u32,
+    /// Escalation rate: half `note_thread_shared`, half `absorb_nonstatic`.
+    escalate: u32,
+    reason: u32,
+    node_of: u32,
+}
+
+/// The profile the tentpole is about: mostly unions (the shard escalation
+/// path), a trickle of inserts and escalations, some reads.
+const UNION_HEAVY: OpMix = OpMix {
+    name: "union_heavy",
+    insert: 150,
+    union: 550,
+    escalate: 60,
+    reason: 80,
+    node_of: 80,
+};
+
+/// The steady-state profile: shards mostly *ask* about the static set
+/// (`same_block` on every store, `node_of` on every scan) and rarely grow it.
+const READ_HEAVY: OpMix = OpMix {
+    name: "read_heavy",
+    insert: 40,
+    union: 80,
+    escalate: 20,
+    reason: 300,
+    node_of: 260,
+};
+
+/// One producer thread's run: local inserts plus contended ops against the
+/// shared node set.  Returns a checksum so the optimizer keeps the reads.
+fn producer(domain: &StaticDomain, shared: &[StaticNodeId], thread: usize, mix: OpMix) -> u64 {
+    let mut rng = TestRng::new(0x5D0 + thread as u64);
+    let mut local: Vec<StaticNodeId> = Vec::with_capacity(OPS_PER_THREAD / 4);
+    let mut sum = 0u64;
+    let pick = |rng: &mut TestRng, local: &[StaticNodeId]| {
+        // Half the operands come from the shared set: that is where the
+        // cross-thread contention lives.
+        if local.is_empty() || rng.gen_bool(0.5) {
+            shared[rng.gen_range(0, shared.len())]
+        } else {
+            local[rng.gen_range(0, local.len())]
+        }
+    };
+    for i in 0..OPS_PER_THREAD {
+        let r = rng.gen_range(0, 1000) as u32;
+        if r < mix.insert {
+            let node = domain.insert(StaticReason::StaticReference);
+            let handle = Handle::from_index((SHARED_NODES + thread * OPS_PER_THREAD + i) as u32);
+            domain.register_members(&[handle], node);
+            local.push(node);
+        } else if r < mix.insert + mix.union {
+            let a = pick(&mut rng, &local);
+            let b = pick(&mut rng, &local);
+            sum += u64::from(domain.union(a, b));
+        } else if r < mix.insert + mix.union + mix.escalate {
+            let a = pick(&mut rng, &local);
+            if rng.gen_bool(0.5) {
+                domain.note_thread_shared(a);
+            } else {
+                domain.absorb_nonstatic(a);
+            }
+        } else if r < mix.insert + mix.union + mix.escalate + mix.reason {
+            sum += domain.reason(pick(&mut rng, &local)) as u64;
+        } else if r < mix.insert + mix.union + mix.escalate + mix.reason + mix.node_of {
+            let h = Handle::from_index(rng.gen_range(0, SHARED_NODES) as u32);
+            sum += domain.node_of(h).map_or(0, u64::from);
+        } else {
+            let a = pick(&mut rng, &local);
+            let b = pick(&mut rng, &local);
+            sum += u64::from(domain.same_block(a, b));
+        }
+    }
+    sum
+}
+
+/// One timed iteration: fresh domain, `threads` producers over the shared
+/// node set.  A fresh domain per iteration keeps the workload honest —
+/// unions are irreversible, so a reused domain would degenerate into
+/// all-singletons-already-merged.
+fn contention_iteration(which: DomainImpl, threads: usize, mix: OpMix) -> u64 {
+    let domain = StaticDomain::with_impl(which);
+    let shared: Vec<StaticNodeId> = (0..SHARED_NODES)
+        .map(|i| {
+            let node = domain.insert(StaticReason::StaticReference);
+            domain.register_members(&[Handle::from_index(i as u32)], node);
+            node
+        })
+        .collect();
+    if threads == 1 {
+        return producer(&domain, &shared, 0, mix);
+    }
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let (domain, shared) = (&domain, &shared);
+                scope.spawn(move || producer(domain, shared, t, mix))
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).sum()
+    })
+}
+
+fn bench_contention(h: &mut BenchHarness, cores: usize) {
+    for mix in [UNION_HEAVY, READ_HEAVY] {
+        for which in IMPLS {
+            for threads in THREAD_COUNTS {
+                let label = format!(
+                    "static_domain/{}/{}/threads_{threads}",
+                    mix.name,
+                    impl_name(which)
+                );
+                h.bench(&label, 8, || {
+                    black_box(contention_iteration(which, threads, mix))
+                });
+            }
+        }
+        for threads in THREAD_COUNTS {
+            let mutex = h
+                .ns_of(&format!(
+                    "static_domain/{}/mutex/threads_{threads}",
+                    mix.name
+                ))
+                .unwrap();
+            let atomic = h
+                .ns_of(&format!(
+                    "static_domain/{}/atomic/threads_{threads}",
+                    mix.name
+                ))
+                .unwrap();
+            println!(
+                "  {}: atomic is {:.2}x the mutex throughput at {threads} thread(s)",
+                mix.name,
+                mutex / atomic
+            );
+        }
+    }
+
+    // The acceptance gate: contended unions must actually scale.  Only
+    // meaningful when threads can run in parallel.
+    let mutex4 = h
+        .ns_of("static_domain/union_heavy/mutex/threads_4")
+        .unwrap();
+    let atomic4 = h
+        .ns_of("static_domain/union_heavy/atomic/threads_4")
+        .unwrap();
+    if cores >= 2 {
+        assert!(
+            mutex4 / atomic4 >= 2.0,
+            "lock-free domain should be >= 2x the mutex domain on the 4-thread \
+             union-heavy profile with {cores} cores (got {:.2}x)",
+            mutex4 / atomic4
+        );
+        println!(
+            "union_heavy/threads_4: atomic beats mutex {:.2}x (gate: >= 2x on {cores} cores)",
+            mutex4 / atomic4
+        );
+    } else {
+        println!(
+            "union_heavy/threads_4: {:.2}x on a single core — >= 2x contention gate skipped \
+             (threads serialise, nothing contends)",
+            mutex4 / atomic4
+        );
+    }
+}
+
+/// The mtrt-style profile from `shard_scaling`, shrunk so the end-to-end leg
+/// stays a small share of the bench's runtime.
+fn mtrt_style() -> Profile {
+    Profile {
+        name: "mtrt_style".to_string(),
+        description: "mtrt-style: private ray temporaries over a shared scene, 8 threads"
+            .to_string(),
+        static_setup: 600,
+        interned: 8,
+        iterations: 8_000,
+        leaf_temps: 5,
+        chained_temps: 3,
+        static_touching_temps: 1,
+        returned_temps: 2,
+        escape_depth: 2,
+        leaked_per_iteration: 0,
+        compute_per_iteration: 6,
+        shared_objects: 200,
+        worker_threads: 7,
+    }
+}
+
+fn cg_config(which: DomainImpl) -> CgConfig {
+    CgConfig {
+        verify_tainted: false,
+        ..CgConfig::preferred()
+    }
+    .with_domain_impl(which)
+}
+
+/// End-to-end: the same 4-shard parallel evaluation `shard_scaling` times,
+/// once per domain implementation, after proving both produce identical
+/// statistics.
+fn bench_e2e(h: &mut BenchHarness, vm_config: VmConfig) {
+    let (trace, _, _) = record(
+        "mtrt_style".to_string(),
+        cg_workloads::synthesize(&mtrt_style()),
+        vm_config,
+        NoopCollector::new(),
+    )
+    .expect("recording succeeds");
+    let pt = partition(&trace, 4);
+
+    let eval = |which: DomainImpl| {
+        parallel_eval(&pt, vm_config.heap, cg_config(which)).expect("parallel eval succeeds")
+    };
+    let mutex_outcome = eval(DomainImpl::Mutex);
+    let atomic_outcome = eval(DomainImpl::Atomic);
+    assert_eq!(
+        mutex_outcome.stats, atomic_outcome.stats,
+        "domain implementations must agree end-to-end"
+    );
+    println!("e2e_mtrt: both domain implementations produce identical CgStats");
+
+    for which in IMPLS {
+        let label = format!("static_domain/e2e_mtrt/{}/shards_4", impl_name(which));
+        h.bench(&label, 3, || black_box(eval(which)).events_replayed);
+    }
+}
+
+fn main() {
+    let check = cg_bench::parse_check_arg();
+    let vm_config = VmConfig::default().with_heap(cg_bench::runner::experiment_heap());
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    println!("static_domain: {cores} hardware thread(s) available");
+
+    let mut harness = BenchHarness::new("static_domain");
+    harness.bench(CALIBRATION_LABEL, 200_000, || {
+        (0..1000u64).fold(0u64, |acc, i| {
+            acc.wrapping_mul(6_364_136_223_846_793_005)
+                .wrapping_add(black_box(i))
+        })
+    });
+
+    bench_contention(&mut harness, cores);
+    bench_e2e(&mut harness, vm_config);
+
+    harness.write_json_with([("cores", Json::Num(cores as f64))]);
+
+    if let Some(path) = check {
+        cg_bench::check_against_baseline(&harness, &path, CALIBRATION_LABEL);
+    }
+}

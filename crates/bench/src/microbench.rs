@@ -98,31 +98,47 @@ impl BenchHarness {
 
     /// The results as a JSON document.
     pub fn to_json(&self) -> Json {
-        Json::obj([
-            ("bench", Json::Str(self.name.clone())),
-            (
-                "results",
-                Json::Arr(
-                    self.results
-                        .iter()
-                        .map(|r| {
-                            Json::obj([
-                                ("label", Json::Str(r.label.clone())),
-                                ("iters", Json::Num(r.iters as f64)),
-                                ("ns_per_iter", Json::Num(r.ns_per_iter)),
-                            ])
-                        })
-                        .collect(),
+        self.to_json_with([])
+    }
+
+    /// Like [`Self::to_json`] with extra top-level fields appended — benches
+    /// use this to record environment facts (e.g. the core count) that are
+    /// needed to interpret multi-threaded timings.
+    pub fn to_json_with(&self, extra: impl IntoIterator<Item = (&'static str, Json)>) -> Json {
+        Json::obj(
+            [
+                ("bench", Json::Str(self.name.clone())),
+                (
+                    "results",
+                    Json::Arr(
+                        self.results
+                            .iter()
+                            .map(|r| {
+                                Json::obj([
+                                    ("label", Json::Str(r.label.clone())),
+                                    ("iters", Json::Num(r.iters as f64)),
+                                    ("ns_per_iter", Json::Num(r.ns_per_iter)),
+                                ])
+                            })
+                            .collect(),
+                    ),
                 ),
-            ),
-        ])
+            ]
+            .into_iter()
+            .chain(extra),
+        )
     }
 
     /// Writes `BENCH_<name>.json` into the current directory and prints the
     /// path; failures are reported but not fatal (benches still ran).
     pub fn write_json(&self) {
+        self.write_json_with([]);
+    }
+
+    /// Like [`Self::write_json`] with extra top-level fields appended.
+    pub fn write_json_with(&self, extra: impl IntoIterator<Item = (&'static str, Json)>) {
         let path = format!("BENCH_{}.json", self.name);
-        match std::fs::write(&path, self.to_json().render_pretty()) {
+        match std::fs::write(&path, self.to_json_with(extra).render_pretty()) {
             Ok(()) => eprintln!("wrote {path}"),
             Err(e) => eprintln!("could not write {path}: {e}"),
         }

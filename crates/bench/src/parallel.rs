@@ -29,7 +29,8 @@
 //! `collect` hook.
 
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{fence, AtomicBool, AtomicU64, Ordering};
+use std::sync::Mutex;
 
 use cg_core::{aggregate_shards, CgConfig, CgStats, CollectorShard, ObjectBreakdown, StaticDomain};
 use cg_heap::{Heap, HeapConfig, Value};
@@ -87,9 +88,10 @@ enum ShardError {
 /// a replay error, or a panic unwinding through `run_shard` (soundness
 /// violations, the §3.3 invariant check) — must release every sibling
 /// parked on its progress counter, or the evaluation hangs instead of
-/// failing.
+/// failing.  The drop also unparks every registered waiter on every cell.
 struct AbortOnDrop<'a> {
     abort: &'a AtomicBool,
+    cells: &'a [WaitCell],
     armed: bool,
 }
 
@@ -97,32 +99,174 @@ impl Drop for AbortOnDrop<'_> {
     fn drop(&mut self) {
         if self.armed {
             self.abort.store(true, Ordering::Relaxed);
+            for cell in self.cells {
+                cell.wake_all();
+            }
         }
     }
 }
 
-/// Parks until every wait edge is satisfied.  All edges point backwards in
-/// the global order, so this cannot deadlock; on one core the yield hands
-/// the timeslice to the awaited shard.
-fn honour_waits(
-    waits: &[ShardWait],
-    progress: &[AtomicU64],
-    abort: &AtomicBool,
-) -> Result<(), ShardError> {
-    for wait in waits {
-        let target = &progress[wait.shard as usize];
+/// Pure spinning before a waiter considers parking: short enough that a
+/// satisfied-almost-immediately edge (the common case — edges point at
+/// events the owner has usually long passed) never pays a syscall.
+const SPIN_LIMIT: u32 = 64;
+/// Yields after the spin phase before parking: on one core this hands the
+/// timeslice to the awaited shard, which usually satisfies the edge without
+/// any parking at all.
+const YIELD_LIMIT: u32 = 192;
+
+/// One shard's progress counter plus the machinery for other shards to
+/// block on it: bounded spin, then `std::thread::park` until the publisher
+/// passes the awaited event count.
+///
+/// Lost-wakeup freedom is the classic store/fence/load handshake: a waiter
+/// registers itself (under the `waiters` lock), issues a `SeqCst` fence,
+/// and re-reads `progress` before parking; the publisher stores `progress`,
+/// issues a `SeqCst` fence, and reads `min_target`.  Whichever side's fence
+/// comes second in the total fence order sees the other side's write, so
+/// either the waiter observes enough progress and never parks, or the
+/// publisher observes the waiter's target and unparks it.  `min_target`
+/// (the smallest unsatisfied target, `u64::MAX` when nobody waits) keeps
+/// the publisher's per-event cost to one fence and one relaxed load.
+struct WaitCell {
+    /// Events this shard has fully applied (monotone).
+    progress: AtomicU64,
+    /// Smallest registered waiter target; written only under `waiters`.
+    min_target: AtomicU64,
+    /// Parked waiters as `(target, thread)`.
+    waiters: Mutex<Vec<(u64, std::thread::Thread)>>,
+}
+
+impl WaitCell {
+    fn new() -> Self {
+        Self {
+            progress: AtomicU64::new(0),
+            min_target: AtomicU64::new(u64::MAX),
+            waiters: Mutex::new(Vec::new()),
+        }
+    }
+
+    fn progress(&self) -> u64 {
+        self.progress.load(Ordering::Acquire)
+    }
+
+    /// Publishes this shard's new event count and wakes any waiter it
+    /// satisfies.  Called once per replayed event — the no-waiter fast path
+    /// is a store, a fence and a relaxed load.
+    fn publish(&self, value: u64) {
+        self.progress.store(value, Ordering::Release);
+        fence(Ordering::SeqCst);
+        if self.min_target.load(Ordering::Relaxed) <= value {
+            self.wake_satisfied(value);
+        }
+    }
+
+    fn wake_satisfied(&self, value: u64) {
+        let mut waiters = self.waiters.lock().expect("wait cell poisoned");
+        let mut min = u64::MAX;
+        waiters.retain(|(target, thread)| {
+            if *target <= value {
+                thread.unpark();
+                false
+            } else {
+                min = min.min(*target);
+                true
+            }
+        });
+        self.min_target.store(min, Ordering::Relaxed);
+    }
+
+    /// Unparks every registered waiter (the abort path; the waiters re-check
+    /// the abort flag after waking).
+    fn wake_all(&self) {
+        let mut waiters = self.waiters.lock().expect("wait cell poisoned");
+        for (_, thread) in waiters.drain(..) {
+            thread.unpark();
+        }
+        self.min_target.store(u64::MAX, Ordering::Relaxed);
+    }
+
+    /// Removes this thread's registration (spurious wakeup, satisfaction
+    /// observed directly, or abort), recomputing `min_target`.
+    fn deregister(&self, target: u64) {
+        let mut waiters = self.waiters.lock().expect("wait cell poisoned");
+        let me = std::thread::current().id();
+        let mut min = u64::MAX;
+        waiters.retain(|(t, thread)| {
+            if *t == target && thread.id() == me {
+                false
+            } else {
+                min = min.min(*t);
+                true
+            }
+        });
+        self.min_target.store(min, Ordering::Relaxed);
+    }
+
+    /// Blocks until this cell's progress reaches `target`: bounded spin,
+    /// a few yields, then park/unpark.
+    fn wait_for(&self, target: u64, abort: &AtomicBool) -> Result<(), ShardError> {
         let mut spins = 0u32;
-        while target.load(Ordering::Acquire) < wait.processed {
+        loop {
+            if self.progress() >= target {
+                return Ok(());
+            }
             if abort.load(Ordering::Relaxed) {
                 return Err(ShardError::Aborted);
             }
             spins += 1;
-            if spins < 64 {
+            if spins < SPIN_LIMIT {
                 std::hint::spin_loop();
-            } else {
+            } else if spins < YIELD_LIMIT {
                 std::thread::yield_now();
+            } else {
+                break;
             }
         }
+        loop {
+            {
+                let mut waiters = self.waiters.lock().expect("wait cell poisoned");
+                waiters.push((target, std::thread::current()));
+                let min = self.min_target.load(Ordering::Relaxed).min(target);
+                self.min_target.store(min, Ordering::Relaxed);
+            }
+            fence(Ordering::SeqCst);
+            if self.progress() >= target {
+                self.deregister(target);
+                return Ok(());
+            }
+            // Checked *after* registering: an aborter stores the flag, then
+            // drains the waiter list under the same lock our registration
+            // used, so we either see the flag here or get unparked below.
+            if abort.load(Ordering::Relaxed) {
+                self.deregister(target);
+                return Err(ShardError::Aborted);
+            }
+            std::thread::park();
+            // Woken by the publisher (already deregistered), by an abort
+            // (drained), or spuriously (still registered — clean up before
+            // looping, which re-registers).
+            self.deregister(target);
+            if self.progress() >= target {
+                return Ok(());
+            }
+            if abort.load(Ordering::Relaxed) {
+                return Err(ShardError::Aborted);
+            }
+        }
+    }
+}
+
+/// Blocks until every wait edge is satisfied.  All edges point backwards in
+/// the global order, so this cannot deadlock; a shard stalled behind a
+/// neighbour's long chunk parks instead of burning a core.
+fn honour_waits(
+    waits: &[ShardWait],
+    progress: &[WaitCell],
+    abort: &AtomicBool,
+) -> Result<(), ShardError> {
+    for wait in waits {
+        progress[wait.shard as usize].wait_for(wait.processed, abort)?;
     }
     Ok(())
 }
@@ -212,7 +356,7 @@ fn run_shard(
     config: CgConfig,
     heap_config: HeapConfig,
     domain: &StaticDomain,
-    progress: &[AtomicU64],
+    progress: &[WaitCell],
     abort: &AtomicBool,
 ) -> Result<ShardRun, ShardError> {
     let me = stream.shard as usize;
@@ -226,15 +370,18 @@ fn run_shard(
     };
     // Any exit other than a clean completion — error return *or* panic —
     // must wake the siblings (the guard is defused just before `Ok`).
-    let mut guard = AbortOnDrop { abort, armed: true };
+    let mut guard = AbortOnDrop {
+        abort,
+        cells: progress,
+        armed: true,
+    };
     for ev in &stream.events {
         honour_waits(&ev.waits, progress, abort)?;
         if let Err(e) = apply_shard_event(&mut run, &ev.event, domain) {
-            abort.store(true, Ordering::Relaxed);
             return Err(ShardError::Real(e));
         }
         run.events += 1;
-        progress[me].store(run.events as u64, Ordering::Release);
+        progress[me].publish(run.events as u64);
     }
     guard.armed = false;
     Ok(run)
@@ -248,7 +395,7 @@ fn run_shard_streaming(
     config: CgConfig,
     heap_config: HeapConfig,
     domain: &StaticDomain,
-    progress: &[AtomicU64],
+    progress: &[WaitCell],
     abort: &AtomicBool,
 ) -> Result<ShardRun, ShardError> {
     let mut run = ShardRun {
@@ -259,19 +406,21 @@ fn run_shard_streaming(
         freed_bytes: 0,
         gc_cycles: 0,
     };
-    let mut guard = AbortOnDrop { abort, armed: true };
+    // Every error return below leaves the guard armed, so its drop both
+    // raises the abort flag and unparks any sibling waiting on this shard.
+    let mut guard = AbortOnDrop {
+        abort,
+        cells: progress,
+        armed: true,
+    };
     let mut reader = match cg_trace::open_trace(path) {
         Ok(reader) => reader,
-        Err(e) => {
-            abort.store(true, Ordering::Relaxed);
-            return Err(ShardError::Stream(e));
-        }
+        Err(e) => return Err(ShardError::Stream(e)),
     };
     match reader.meta().stream {
         StreamKind::Shard { shard, shard_count }
             if shard as usize == me && shard_count as usize == progress.len() => {}
         _ => {
-            abort.store(true, Ordering::Relaxed);
             return Err(ShardError::Stream(TraceIoError::Malformed {
                 chunk: None,
                 detail: format!(
@@ -286,15 +435,11 @@ fn run_shard_streaming(
         let ev = match reader.next_shard_event() {
             Ok(Some(ev)) => ev,
             Ok(None) => break,
-            Err(e) => {
-                abort.store(true, Ordering::Relaxed);
-                return Err(ShardError::Stream(e));
-            }
+            Err(e) => return Err(ShardError::Stream(e)),
         };
         // A corrupt or foreign file may name a shard outside the topology;
         // fail cleanly instead of indexing out of bounds.
         if let Some(bad) = ev.waits.iter().find(|w| w.shard as usize >= progress.len()) {
-            abort.store(true, Ordering::Relaxed);
             return Err(ShardError::Stream(TraceIoError::Malformed {
                 chunk: None,
                 detail: format!(
@@ -307,11 +452,10 @@ fn run_shard_streaming(
         }
         honour_waits(&ev.waits, progress, abort)?;
         if let Err(e) = apply_shard_event(&mut run, &ev.event, domain) {
-            abort.store(true, Ordering::Relaxed);
             return Err(ShardError::Real(e));
         }
         run.events += 1;
-        progress[me].store(run.events as u64, Ordering::Release);
+        progress[me].publish(run.events as u64);
     }
     guard.armed = false;
     Ok(run)
@@ -340,8 +484,8 @@ pub fn parallel_eval(
 ) -> Result<ParallelOutcome, ReplayError> {
     let start = std::time::Instant::now();
     let shard_count = pt.shard_count();
-    let domain = StaticDomain::new();
-    let progress: Vec<AtomicU64> = (0..shard_count).map(|_| AtomicU64::new(0)).collect();
+    let domain = StaticDomain::with_impl(config.domain_impl);
+    let progress: Vec<WaitCell> = (0..shard_count).map(|_| WaitCell::new()).collect();
     let abort = AtomicBool::new(false);
 
     let results: Vec<Result<ShardRun, ShardError>> = std::thread::scope(|scope| {
@@ -433,8 +577,8 @@ pub fn parallel_eval_streaming(
     let start = std::time::Instant::now();
     let shard_count = paths.len();
     assert!(shard_count > 0, "need at least one shard stream");
-    let domain = StaticDomain::new();
-    let progress: Vec<AtomicU64> = (0..shard_count).map(|_| AtomicU64::new(0)).collect();
+    let domain = StaticDomain::with_impl(config.domain_impl);
+    let progress: Vec<WaitCell> = (0..shard_count).map(|_| WaitCell::new()).collect();
     let abort = AtomicBool::new(false);
 
     let results: Vec<Result<ShardRun, ShardError>> = std::thread::scope(|scope| {

@@ -5,7 +5,7 @@ use cg_vm::{ClassId, CollectOutcome, Collector, FrameInfo, Handle, Heap, RootSet
 use crate::equilive::EquiliveSets;
 use crate::recycle::RecyclePolicy;
 use crate::shard::CollectorShard;
-use crate::static_domain::StaticDomain;
+use crate::static_domain::{DomainImpl, StaticDomain};
 use crate::stats::{CgStats, ObjectBreakdown};
 
 /// A deliberate, test-only defect injected into the collector.
@@ -48,6 +48,10 @@ pub struct CgConfig {
     /// Test-only deliberate defect (see [`FaultInjection`]); always
     /// [`FaultInjection::None`] outside the fuzzer's self-check.
     pub fault: FaultInjection,
+    /// Which [`StaticDomain`] implementation backs the shared static set:
+    /// the lock-free forest (the default) or the retained global-lock model
+    /// the fuzzer uses as the differential reference.
+    pub domain_impl: DomainImpl,
 }
 
 impl Default for CgConfig {
@@ -58,6 +62,7 @@ impl Default for CgConfig {
             recycle_policy: RecyclePolicy::FirstFit,
             verify_tainted: cfg!(debug_assertions),
             fault: FaultInjection::None,
+            domain_impl: DomainImpl::default(),
         }
     }
 }
@@ -101,6 +106,13 @@ impl CgConfig {
     /// see [`FaultInjection`]).
     pub fn with_fault(mut self, fault: FaultInjection) -> Self {
         self.fault = fault;
+        self
+    }
+
+    /// The same configuration on an explicit [`StaticDomain`]
+    /// implementation (the fuzzer and the contention bench run both).
+    pub fn with_domain_impl(mut self, which: DomainImpl) -> Self {
+        self.domain_impl = which;
         self
     }
 }
@@ -174,7 +186,7 @@ impl ContaminatedGc {
         Self {
             config,
             shard: CollectorShard::new(config),
-            domain: StaticDomain::new(),
+            domain: StaticDomain::with_impl(config.domain_impl),
             breakdown: None,
         }
     }

@@ -134,7 +134,13 @@ impl FrameKey {
 
 /// Why a block was (or was not) demoted to the static pseudo-frame.  Used to
 /// report the static / thread-shared breakdown of Figures 4.2–4.4 and A.1.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+///
+/// The variants are declared in lattice order — `NotStatic` (no definite
+/// reason yet) below `StaticReference` below `ThreadShared` — and the
+/// derived `Ord` *is* that lattice: merging the reasons of two blocks takes
+/// the maximum (see [`merge_reasons`](crate::static_domain::merge_reasons)),
+/// which makes concurrent reason upgrades commute.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum StaticReason {
     /// The block is not static.
     NotStatic,

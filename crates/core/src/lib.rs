@@ -101,5 +101,5 @@ pub use hybrid::{HybridCollector, HybridConfig};
 pub use recycle::{RecycleBins, RecyclePolicy};
 pub use shard::{aggregate_shards, aggregate_stats, CollectorShard, StoreOperand};
 pub use sharded::ShardedGc;
-pub use static_domain::{StaticDomain, StaticNodeId};
+pub use static_domain::{merge_reasons, DomainImpl, StaticDomain, StaticNodeId};
 pub use stats::{CgStats, ObjectBreakdown};

@@ -74,7 +74,7 @@ impl ShardedGc {
             shards: (0..shard_count)
                 .map(|_| CollectorShard::new(config))
                 .collect(),
-            domain: StaticDomain::new(),
+            domain: StaticDomain::with_impl(config.domain_impl),
             owner: Vec::new(),
             breakdown: None,
             name: format!("cg-sharded-{shard_count}"),

@@ -1,0 +1,383 @@
+//! Stress tests for the concurrent static domain.
+//!
+//! Strategy: generate a seeded schedule of domain operations (inserts with
+//! member registration, unions, thread-shared notes, non-static absorbs,
+//! read probes), split it across N OS threads hammering one
+//! `DomainImpl::Atomic` domain, then apply the *same op multiset*
+//! sequentially to the retained `DomainImpl::Mutex` reference model and
+//! require identical final state.
+//!
+//! Which schedules admit exact equality is itself part of the §3.3
+//! order-independence argument (see `static_domain.rs`'s module docs):
+//!
+//! * unions and absorbs are lattice *joins* — they commute, so any schedule
+//!   built only from inserts, unions, absorbs and reads is fully
+//!   order-independent and must match the sequential model exactly
+//!   (schedules A and B);
+//! * `note_thread_shared` is a *conditional* upgrade (it must not overwrite
+//!   a definite `StaticReference`), so it is order-independent only when it
+//!   cannot race a join on the same class — exercised per-node in schedule
+//!   C;
+//! * with everything mixed (schedule D) the final reason of a class depends
+//!   on the interleaving, but the partition, the promotion/member counts
+//!   and the reason *lattice bounds* do not — those are asserted instead.
+
+use std::sync::{Barrier, OnceLock};
+
+use cg_core::{merge_reasons, DomainImpl, StaticDomain, StaticNodeId, StaticReason};
+use cg_testutil::TestRng;
+use cg_vm::Handle;
+
+const THREADS: usize = 4;
+
+#[derive(Clone, Copy, Debug)]
+enum Op {
+    Union(usize, usize),
+    NoteThreadShared(usize),
+    Absorb(usize),
+    /// `same_block` + `reason` + `node_of` probes, results discarded: reads
+    /// must be safe to race with every mutation.
+    Read(usize, usize),
+}
+
+struct Schedule {
+    /// Insert reasons per thread; logical id `t * per_thread + i`.
+    inserts: Vec<Vec<StaticReason>>,
+    /// Mutation/read ops per thread, over logical ids.
+    ops: Vec<Vec<Op>>,
+}
+
+impl Schedule {
+    fn total(&self) -> usize {
+        self.inserts.iter().map(Vec::len).sum()
+    }
+}
+
+/// Generates a schedule from op-class toggles.  Every thread gets the same
+/// number of inserts so logical ids are dense.
+fn generate(
+    seed: u64,
+    reason_pool: &[StaticReason],
+    unions: bool,
+    note_ts: bool,
+    absorb: bool,
+) -> Schedule {
+    let mut rng = TestRng::new(seed);
+    let per_thread = rng.gen_range(24, 48);
+    let total = THREADS * per_thread;
+    let inserts = (0..THREADS)
+        .map(|_| {
+            (0..per_thread)
+                .map(|_| reason_pool[rng.gen_range(0, reason_pool.len())])
+                .collect()
+        })
+        .collect();
+    let ops = (0..THREADS)
+        .map(|_| {
+            let count = rng.gen_range(150, 300);
+            (0..count)
+                .filter_map(|_| {
+                    let a = rng.gen_range(0, total);
+                    let b = rng.gen_range(0, total);
+                    match rng.gen_range(0, 10) {
+                        0..=4 if unions => Some(Op::Union(a, b)),
+                        5..=6 if note_ts => Some(Op::NoteThreadShared(a)),
+                        7 if absorb => Some(Op::Absorb(a)),
+                        8..=9 => Some(Op::Read(a, b)),
+                        _ => None,
+                    }
+                })
+                .collect()
+        })
+        .collect();
+    Schedule { inserts, ops }
+}
+
+fn handle_of(logical: usize) -> Handle {
+    Handle::from_index(logical as u32)
+}
+
+fn apply_op(op: &Op, domain: &StaticDomain, nodes: &[StaticNodeId]) {
+    match *op {
+        Op::Union(a, b) => {
+            domain.union(nodes[a], nodes[b]);
+        }
+        Op::NoteThreadShared(a) => domain.note_thread_shared(nodes[a]),
+        Op::Absorb(a) => domain.absorb_nonstatic(nodes[a]),
+        Op::Read(a, b) => {
+            let _ = domain.same_block(nodes[a], nodes[b]);
+            let _ = domain.reason(nodes[a]);
+            let _ = domain.node_of(handle_of(b));
+        }
+    }
+}
+
+/// Runs the schedule concurrently: each thread performs its own inserts,
+/// all threads rendezvous at a barrier, then each thread fires its op list
+/// against the shared domain.
+fn run_concurrent(schedule: &Schedule, which: DomainImpl) -> (StaticDomain, Vec<StaticNodeId>) {
+    let domain = StaticDomain::with_impl(which);
+    let per_thread = schedule.inserts[0].len();
+    let total = schedule.total();
+    let slots: Vec<OnceLock<StaticNodeId>> = (0..total).map(|_| OnceLock::new()).collect();
+    let barrier = Barrier::new(THREADS);
+    std::thread::scope(|scope| {
+        for t in 0..THREADS {
+            let domain = &domain;
+            let slots = &slots;
+            let barrier = &barrier;
+            let schedule = &schedule;
+            scope.spawn(move || {
+                for (i, &reason) in schedule.inserts[t].iter().enumerate() {
+                    let logical = t * per_thread + i;
+                    let node = domain.insert(reason);
+                    domain.register_members(&[handle_of(logical)], node);
+                    slots[logical].set(node).expect("logical id set once");
+                }
+                barrier.wait();
+                let nodes: Vec<StaticNodeId> = slots.iter().map(|s| *s.wait()).collect();
+                for op in &schedule.ops[t] {
+                    apply_op(op, domain, &nodes);
+                }
+            });
+        }
+    });
+    let nodes = slots.into_iter().map(|s| s.into_inner().unwrap()).collect();
+    (domain, nodes)
+}
+
+/// Applies the same op multiset sequentially (inserts in logical order,
+/// then thread 0's ops, thread 1's, ...) to the reference model.
+fn run_sequential(schedule: &Schedule, which: DomainImpl) -> (StaticDomain, Vec<StaticNodeId>) {
+    let domain = StaticDomain::with_impl(which);
+    let per_thread = schedule.inserts[0].len();
+    let mut nodes = vec![0; schedule.total()];
+    for (t, reasons) in schedule.inserts.iter().enumerate() {
+        for (i, &reason) in reasons.iter().enumerate() {
+            let logical = t * per_thread + i;
+            let node = domain.insert(reason);
+            domain.register_members(&[handle_of(logical)], node);
+            nodes[logical] = node;
+        }
+    }
+    for ops in &schedule.ops {
+        for op in ops {
+            apply_op(op, &domain, &nodes);
+        }
+    }
+    (domain, nodes)
+}
+
+/// Final-state equality over logical ids: counts, reasons, the partition
+/// (as the `same_block` relation) and member resolution.
+fn assert_equal_state(
+    label: &str,
+    left: &(StaticDomain, Vec<StaticNodeId>),
+    right: &(StaticDomain, Vec<StaticNodeId>),
+    total: usize,
+) {
+    let (ld, ln) = left;
+    let (rd, rn) = right;
+    assert_eq!(ld.promotions(), rd.promotions(), "{label}: promotions");
+    assert_eq!(ld.block_count(), rd.block_count(), "{label}: block count");
+    assert_eq!(
+        ld.member_count(),
+        rd.member_count(),
+        "{label}: member count"
+    );
+    for i in 0..total {
+        assert_eq!(
+            ld.reason(ln[i]),
+            rd.reason(rn[i]),
+            "{label}: reason of logical {i}"
+        );
+        assert!(ld.node_of(handle_of(i)).is_some(), "{label}: member {i}");
+        assert!(rd.node_of(handle_of(i)).is_some(), "{label}: member {i}");
+    }
+    for i in 0..total {
+        for j in (i + 1)..total {
+            let l = ld.same_block(ln[i], ln[j]);
+            let r = rd.same_block(rn[i], rn[j]);
+            assert_eq!(l, r, "{label}: partition disagrees on ({i}, {j})");
+            // Member resolution must induce the same equivalence.
+            let lm = ld.node_of(handle_of(i)) == ld.node_of(handle_of(j));
+            assert_eq!(
+                lm, l,
+                "{label}: node_of disagrees with same_block on ({i}, {j})"
+            );
+        }
+    }
+}
+
+fn exact_equality_schedule(label: &str, seed: u64, schedule: &Schedule) {
+    let concurrent = run_concurrent(schedule, DomainImpl::Atomic);
+    let reference = run_sequential(schedule, DomainImpl::Mutex);
+    assert_equal_state(
+        &format!("{label}/seed {seed}"),
+        &concurrent,
+        &reference,
+        schedule.total(),
+    );
+}
+
+/// Schedule A: definite insert reasons only (`StaticReference` /
+/// `ThreadShared`), everything else enabled.  Notes and absorbs are
+/// deterministic no-ops on definite reasons and unions are joins, so the
+/// whole schedule is order-independent: concurrent atomic must equal
+/// sequential mutex exactly.
+#[test]
+fn union_heavy_definite_reasons_match_sequential_model() {
+    for seed in 0..6 {
+        let schedule = generate(
+            0xA100 + seed,
+            &[StaticReason::StaticReference, StaticReason::ThreadShared],
+            true,
+            true,
+            true,
+        );
+        exact_equality_schedule("A", seed, &schedule);
+    }
+}
+
+/// Schedule B: indefinite (`NotStatic`) inserts in the mix, unions and
+/// absorbs but no thread-shared notes — all mutations are joins, so the
+/// result is order-independent.
+#[test]
+fn join_only_schedules_match_sequential_model() {
+    for seed in 0..6 {
+        let schedule = generate(
+            0xB200 + seed,
+            &[
+                StaticReason::NotStatic,
+                StaticReason::StaticReference,
+                StaticReason::ThreadShared,
+            ],
+            true,
+            false,
+            true,
+        );
+        exact_equality_schedule("B", seed, &schedule);
+    }
+}
+
+/// Schedule C: indefinite inserts and thread-shared notes but no unions or
+/// absorbs — every class is a singleton, so the conditional `NotStatic ->
+/// ThreadShared` upgrade is per-node deterministic (and idempotent under
+/// racing duplicate notes).
+#[test]
+fn thread_shared_notes_match_sequential_model() {
+    for seed in 0..6 {
+        let schedule = generate(
+            0xC300 + seed,
+            &[StaticReason::NotStatic, StaticReason::StaticReference],
+            false,
+            true,
+            false,
+        );
+        exact_equality_schedule("C", seed, &schedule);
+    }
+}
+
+/// Schedule D: everything enabled, including the races whose reason
+/// outcome is genuinely interleaving-dependent (a conditional note against
+/// a concurrent join).  The partition, the counters and the reason
+/// *bounds* are still order-independent and are asserted against the
+/// sequential model.
+#[test]
+fn mixed_schedules_preserve_order_independent_invariants() {
+    for seed in 0..6 {
+        let schedule = generate(
+            0xD400 + seed,
+            &[
+                StaticReason::NotStatic,
+                StaticReason::StaticReference,
+                StaticReason::ThreadShared,
+            ],
+            true,
+            true,
+            true,
+        );
+        let total = schedule.total();
+        let (cd, cn) = run_concurrent(&schedule, DomainImpl::Atomic);
+        let (sd, sn) = run_sequential(&schedule, DomainImpl::Mutex);
+        assert_eq!(cd.promotions(), sd.promotions(), "seed {seed}");
+        assert_eq!(cd.block_count(), sd.block_count(), "seed {seed}");
+        assert_eq!(cd.member_count(), sd.member_count(), "seed {seed}");
+        for i in 0..total {
+            for j in (i + 1)..total {
+                assert_eq!(
+                    cd.same_block(cn[i], cn[j]),
+                    sd.same_block(sn[i], sn[j]),
+                    "seed {seed}: partition disagrees on ({i}, {j})"
+                );
+            }
+        }
+        // Reason bounds per final class: at least the join of the members'
+        // insert reasons; at most that join joined with what the targeted
+        // ops could have added.
+        let mut lower = vec![StaticReason::NotStatic; total];
+        let mut upper = vec![StaticReason::NotStatic; total];
+        let class_of: Vec<usize> = (0..total)
+            .map(|i| (0..total).find(|&j| cd.same_block(cn[i], cn[j])).unwrap())
+            .collect();
+        let flat: Vec<StaticReason> = schedule.inserts.iter().flatten().copied().collect();
+        for i in 0..total {
+            let c = class_of[i];
+            lower[c] = merge_reasons(lower[c], flat[i]);
+            upper[c] = merge_reasons(upper[c], flat[i]);
+        }
+        for ops in &schedule.ops {
+            for op in ops {
+                match *op {
+                    Op::NoteThreadShared(a) => {
+                        let c = class_of[a];
+                        upper[c] = merge_reasons(upper[c], StaticReason::ThreadShared);
+                    }
+                    Op::Absorb(a) => {
+                        let c = class_of[a];
+                        upper[c] = merge_reasons(upper[c], StaticReason::StaticReference);
+                    }
+                    _ => {}
+                }
+            }
+        }
+        for i in 0..total {
+            let c = class_of[i];
+            let got = cd.reason(cn[i]);
+            assert!(
+                lower[c] <= got && got <= upper[c],
+                "seed {seed}: class of {i} has reason {got:?} outside [{:?}, {:?}]",
+                lower[c],
+                upper[c]
+            );
+        }
+    }
+}
+
+/// The order-independence argument requires `merge_reasons` to be a
+/// commutative, associative, idempotent join with `ThreadShared` on top —
+/// checked exhaustively over the 3-element lattice.
+#[test]
+fn merge_reasons_is_a_semilattice_join() {
+    use StaticReason::*;
+    let all = [NotStatic, StaticReference, ThreadShared];
+    for a in all {
+        assert_eq!(merge_reasons(a, a), a, "idempotent at {a:?}");
+        assert_eq!(merge_reasons(a, ThreadShared), ThreadShared, "top absorbs");
+        assert_eq!(merge_reasons(a, NotStatic), a, "bottom is neutral");
+        for b in all {
+            assert_eq!(
+                merge_reasons(a, b),
+                merge_reasons(b, a),
+                "commutative at ({a:?}, {b:?})"
+            );
+            for c in all {
+                assert_eq!(
+                    merge_reasons(merge_reasons(a, b), c),
+                    merge_reasons(a, merge_reasons(b, c)),
+                    "associative at ({a:?}, {b:?}, {c:?})"
+                );
+            }
+        }
+    }
+}

@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! cg-fuzz [--seed N|0xHEX] [--iters N] [--profile NAME|all]
-//!         [--forced-gc N] [--fault skip-contamination]
+//!         [--forced-gc N] [--fault skip-contamination] [--domain atomic|mutex]
 //!         [--minimize] [--out PATH] [--replay FILE]
 //! ```
 //!
@@ -12,7 +12,7 @@
 
 use std::process::ExitCode;
 
-use cg_core::FaultInjection;
+use cg_core::{DomainImpl, FaultInjection};
 use cg_fuzz::{
     check_program, generate, instruction_count, parse, serialize, shrink, GenProfile,
     OracleOptions, QuietPanics,
@@ -29,6 +29,7 @@ struct Options {
     out: String,
     replay: Option<String>,
     case_seed: Option<u64>,
+    domain: DomainImpl,
 }
 
 impl Default for Options {
@@ -43,6 +44,7 @@ impl Default for Options {
             out: "cg-fuzz-counterexample.cgp".to_string(),
             replay: None,
             case_seed: None,
+            domain: DomainImpl::default(),
         }
     }
 }
@@ -50,8 +52,8 @@ impl Default for Options {
 fn usage() -> ! {
     eprintln!(
         "usage: cg-fuzz [--seed N|0xHEX] [--iters N] [--profile NAME|all] \
-         [--forced-gc N] [--fault skip-contamination] [--minimize] [--out PATH] \
-         [--replay FILE] [--case-seed N|0xHEX]\n\nprofiles:"
+         [--forced-gc N] [--fault skip-contamination] [--domain atomic|mutex] \
+         [--minimize] [--out PATH] [--replay FILE] [--case-seed N|0xHEX]\n\nprofiles:"
     );
     for p in GenProfile::all() {
         eprintln!("  {:<14} {}", p.name, p.description);
@@ -104,6 +106,17 @@ fn parse_args() -> Options {
                     }
                 };
             }
+            "--domain" => {
+                let v = args.next().unwrap_or_else(|| usage());
+                options.domain = match v.as_str() {
+                    "atomic" => DomainImpl::Atomic,
+                    "mutex" => DomainImpl::Mutex,
+                    _ => {
+                        eprintln!("unknown domain implementation '{v}'");
+                        usage()
+                    }
+                };
+            }
             "--case-seed" => {
                 let v = args.next().unwrap_or_else(|| usage());
                 options.case_seed = Some(parse_seed(&v).unwrap_or_else(|| usage()));
@@ -124,6 +137,9 @@ fn parse_args() -> Options {
 fn oracle_options(options: &Options) -> OracleOptions {
     let mut oracle = OracleOptions::default();
     oracle.cg.fault = options.fault;
+    // The primary static-domain implementation; the oracle's differential
+    // leg exercises the other one as well.
+    oracle.cg.domain_impl = options.domain;
     // `--forced-gc 0` disables the periodic barriers; absent, the oracle
     // default (1024) stands.
     match options.forced_gc {

@@ -18,7 +18,11 @@
 //!    [`ObjectBreakdown`] byte-for-byte.
 //! 4. **Shard invariance** — a live [`ShardedGc`] at every configured shard
 //!    count must match the single-shard collector byte-for-byte, and
-//!    [`fn@partition`]`+`[`parallel_eval`] must match a single-threaded replay.
+//!    [`fn@partition`]`+`[`parallel_eval`] must match a single-threaded
+//!    replay.  The sharded checks run under **both** [`DomainImpl`]s — the
+//!    configured one live and in parallel, the other one in parallel — so
+//!    the lock-free static domain is differentially fuzzed against the
+//!    mutex model on every program.
 //! 5. **Partition fidelity** — `partition(trace, n).merge()` must reproduce
 //!    the trace exactly for every shard count.
 //!
@@ -30,7 +34,7 @@
 
 use cg_baseline::{trace_live, MarkSweep};
 use cg_bench::parallel_eval;
-use cg_core::{CgConfig, CgStats, ContaminatedGc, ObjectBreakdown, ShardedGc};
+use cg_core::{CgConfig, CgStats, ContaminatedGc, DomainImpl, ObjectBreakdown, ShardedGc};
 use cg_heap::{HandleRepr, Heap, HeapConfig};
 use cg_trace::{partition, record, replay, Trace};
 use cg_vm::{Collector, NoopCollector, Program, Vm, VmConfig};
@@ -466,6 +470,34 @@ pub fn check_program(
             &live_breakdown,
             &parallel.stats,
             &parallel.breakdown,
+        )?;
+
+        // Differential leg for the static domain: the same parallel
+        // evaluation under the *other* `DomainImpl` must produce the same
+        // bytes.  With the lock-free domain as the subject this fuzzes the
+        // atomic union-find against the mutex reference model on real
+        // threads; with `--domain mutex` the roles swap.
+        let other = match cg.domain_impl {
+            DomainImpl::Atomic => DomainImpl::Mutex,
+            DomainImpl::Mutex => DomainImpl::Atomic,
+        };
+        let cross = CgConfig {
+            domain_impl: other,
+            ..cg
+        };
+        let context = format!("parallel-{shards}-{other:?}-domain");
+        let parallel_other = guard(&context, || {
+            parallel_eval(&pt, vm_config.heap, cross).map_err(|e| CheckFailure::Replay {
+                context: context.clone(),
+                error: e.to_string(),
+            })
+        })?;
+        check_equal(
+            &format!("parallel-{shards}-domains"),
+            &parallel.stats,
+            &parallel.breakdown,
+            &parallel_other.stats,
+            &parallel_other.breakdown,
         )?;
     }
 

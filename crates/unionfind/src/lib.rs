@@ -17,6 +17,10 @@
 //!   payload that is merged (via [`MergePayload`]) whenever two sets are
 //!   unioned.  The collector uses the payload to store each equilive set's
 //!   dependent frame, its member list and its size.
+//! * [`AtomicForest`] — the packed forest with every word in an
+//!   `AtomicU32`: lock-free CAS unions and wait-free finds, so the shared
+//!   static domain (§3.3) can be driven by many shard threads without a
+//!   global lock.
 //!
 //! # Example
 //!
@@ -36,10 +40,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod atomic;
 pub mod forest;
 pub mod packed;
 pub mod tagged;
 
+pub use atomic::AtomicForest;
 pub use forest::{DisjointSets, ElementId, UnionOutcome};
 pub use packed::PackedForest;
 pub use tagged::{MergePayload, TaggedSets};
