@@ -82,9 +82,13 @@
 //! implementation each word, reason cell and members stripe is read
 //! atomically but one at a time, so a clone raced by concurrent mutation is
 //! a monotone cut — every union it contains is fully applied or absent, and
-//! every reason it contains was held at some point.  Clone quiescent state
-//! (as the collector does: snapshots happen between evaluations) and the
-//! copy is exact.
+//! every reason it contains was held at some point.  The copy is also
+//! self-contained: its element count is fixed at the start of the copy, and
+//! a racing link from a copied node to a node created after that point is
+//! replaced by a fresh root during the copy, so lookups inside the clone
+//! never leave its own element range.  Clone quiescent state (as the
+//! collector does: snapshots happen between evaluations) and the copy is
+//! exact.
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
@@ -434,9 +438,19 @@ impl AtomicDomain {
             );
         }
         let members = StripedMembers::default();
+        let len = forest.len() as u32;
         for (i, stripe) in self.members.stripes.iter().enumerate() {
-            *members.stripes[i].lock().expect("members stripe poisoned") =
-                stripe.lock().expect("members stripe poisoned").clone();
+            // Drop entries registered to nodes created after the forest
+            // copy fixed its length, so every node the snapshot can hand
+            // out exists in its own forest (matches the forest snapshot's
+            // re-rootification of racing links past the boundary).
+            *members.stripes[i].lock().expect("members stripe poisoned") = stripe
+                .lock()
+                .expect("members stripe poisoned")
+                .iter()
+                .filter(|&(_, &node)| node < len)
+                .map(|(&handle, &node)| (handle, node))
+                .collect();
         }
         AtomicDomain {
             forest,

@@ -12,9 +12,13 @@
 //! # Protocol
 //!
 //! * **find** is wait-free for the caller that only needs *a* root: it walks
-//!   parent words with `Acquire` loads until it hits a root, then retries
-//!   best-effort `compare_exchange_weak` path compression on the way back.
-//!   A failed compression CAS is simply skipped — another thread compressed
+//!   parent words with `Acquire` loads until it hits a root, compressing by
+//!   *path halving* as it goes — each step best-effort CASes a node's word
+//!   from its observed parent to its observed grandparent, which always
+//!   points strictly upward in the link order (see
+//!   [`find`](AtomicForest::find) for why that, unlike pointing at a
+//!   previously-observed root, can never create a cycle under races).  A
+//!   failed compression CAS is simply skipped — another thread compressed
 //!   or unioned first, and the returned root is still a valid (possibly
 //!   former) representative, which is all the callers need.
 //! * **union** links *loser root → winner root* with a single
@@ -201,7 +205,7 @@ impl AtomicForest {
     }
 
     /// Finds a representative of the set containing `id`, compressing the
-    /// path best-effort on the way.
+    /// path by halving on the way.
     ///
     /// The returned node was the set's root at some point during the call;
     /// a concurrent union may have absorbed it by the time the caller looks
@@ -209,33 +213,47 @@ impl AtomicForest {
     /// leads to the current root, and the static domain's state is monotone
     /// (§3.3 — blocks only ever *join* the static set).  Use
     /// [`same_set`](Self::same_set) for a linearisable comparison.
+    ///
+    /// Compression is *path halving*: each step tries to CAS `cur`'s word
+    /// from its observed parent to its observed grandparent.  Both values
+    /// were parent words at the moment they were read, and every parent
+    /// word ever stored is strictly greater than its node in the total
+    /// order `(rank at link time, id)` — so the installed edge
+    /// `cur → grandparent` also points strictly upward, under *any*
+    /// interleaving.  (A two-pass "point everything at the pass-1 root"
+    /// scheme does not have this property: a racing compression can move
+    /// the walk past the pass-1 root, and re-installing that — by then
+    /// possibly absorbed — root as a parent of a node above it creates a
+    /// cycle.)  A failed CAS is simply skipped; the walk still advances.
     pub fn find(&self, id: ElementId) -> ElementId {
         debug_assert!(self.contains(id), "element {id} does not exist");
-        // First pass: locate the root.  Parent edges strictly increase the
-        // total order `(rank at link time, id)`, so this terminates even
-        // while other threads re-link words under us.
-        let mut root = id;
-        let mut word = self.word(root).load(Ordering::Acquire);
-        while !Self::is_root_word(word) {
-            root = word;
-            word = self.word(root).load(Ordering::Acquire);
-        }
-        // Second pass: best-effort compression.  `root` is an ancestor of
-        // every node on the walked path forever (links never detach), so
-        // pointing them at it preserves reachability even if it has since
-        // been absorbed itself.
+        // Parent edges strictly increase the total order `(rank at link
+        // time, id)`, and every step moves `cur` strictly up that order, so
+        // this terminates even while other threads re-link words under us.
         let mut cur = id;
-        while cur != root {
-            let cell = self.word(cur);
-            let observed = cell.load(Ordering::Relaxed);
-            if Self::is_root_word(observed) {
-                break;
+        let mut word = self.word(cur).load(Ordering::Acquire);
+        loop {
+            if Self::is_root_word(word) {
+                return cur;
             }
-            let _ =
-                cell.compare_exchange_weak(observed, root, Ordering::Release, Ordering::Relaxed);
-            cur = observed;
+            let parent = word;
+            let parent_word = self.word(parent).load(Ordering::Acquire);
+            if Self::is_root_word(parent_word) {
+                return parent;
+            }
+            // Halve: swing `cur` past `parent` to the grandparent.  The CAS
+            // only succeeds while `cur`'s parent is still the `parent` we
+            // read the grandparent from, and grandparent > parent > cur in
+            // the link order either way, so acyclicity is preserved.
+            let _ = self.word(cur).compare_exchange_weak(
+                parent,
+                parent_word,
+                Ordering::Release,
+                Ordering::Relaxed,
+            );
+            cur = parent_word;
+            word = self.word(cur).load(Ordering::Acquire);
         }
-        root
     }
 
     /// Whether two elements are currently in the same set (linearisable:
@@ -346,13 +364,25 @@ impl AtomicForest {
     /// either fully-applied or not-at-all (a link is a single word), and
     /// `set_count` is recomputed from the copied words so the snapshot is
     /// internally consistent.
+    ///
+    /// The snapshot is also *self-contained*: `len` is read first, and a
+    /// racing `make_set` + union can link a copied root to an element
+    /// created after that read (a parent id `>= len`).  Such a word is
+    /// copied as a fresh root instead, so every `find` inside the copy
+    /// stays within `0..len` and never walks into the copy's own
+    /// lazily-created (all-root) storage.
     pub fn snapshot(&self) -> AtomicForest {
         let len = self.len.load(Ordering::Acquire);
         let copy = AtomicForest::new();
         copy.len.store(len, Ordering::Release);
         let mut roots = 0u32;
         for id in 0..len {
-            let word = self.word(id).load(Ordering::Acquire);
+            let mut word = self.word(id).load(Ordering::Acquire);
+            if !Self::is_root_word(word) && word >= len {
+                // Linked past the snapshot boundary by a racing union;
+                // re-rootify so the copy is closed under `find`.
+                word = ROOT_BIT;
+            }
             if Self::is_root_word(word) {
                 roots += 1;
             }
@@ -369,6 +399,27 @@ impl AtomicForest {
 mod tests {
     use super::*;
     use crate::packed::PackedForest;
+
+    /// Walks the raw parent chain of every element with a step bound: any
+    /// cycle a compression/union race could have installed would exceed it.
+    /// (A cycle would make `find` itself spin forever, so this check reads
+    /// the words directly instead of going through `find`.)
+    fn assert_acyclic(forest: &AtomicForest) {
+        let len = forest.len() as u32;
+        for id in 0..len {
+            let mut cur = id;
+            let mut steps = 0u32;
+            loop {
+                let word = forest.word(cur).load(Ordering::SeqCst);
+                if AtomicForest::is_root_word(word) {
+                    break;
+                }
+                cur = word;
+                steps += 1;
+                assert!(steps <= len, "parent cycle reachable from element {id}");
+            }
+        }
+    }
 
     #[test]
     fn new_forest_is_empty() {
@@ -543,6 +594,7 @@ mod tests {
                 for &(a, b) in &edges {
                     packed.union(a, b);
                 }
+                assert_acyclic(&forest);
                 assert_eq!(forest.set_count(), packed.set_count(), "seed {seed}");
                 assert_eq!(
                     effective.load(Ordering::Relaxed),
@@ -559,6 +611,143 @@ mod tests {
                         );
                     }
                 }
+            }
+        }
+
+        /// Dedicated find-vs-union compression race: reader threads hammer
+        /// `find` (driving path-halving CASes) while writer threads run the
+        /// whole union schedule, including unions that absorb roots the
+        /// readers just observed.  The forest must stay acyclic — the
+        /// two-pass "point at the pass-1 root" compression this crate used
+        /// to do could install a downward edge here and make every later
+        /// `find` spin forever.
+        #[test]
+        fn racing_finds_never_corrupt_the_forest() {
+            const UNION_THREADS: usize = 2;
+            const FIND_THREADS: usize = 2;
+            for seed in 0..16u64 {
+                let mut rng = TestRng::new(0xF1AD ^ seed);
+                let n = rng.gen_range(64, 513);
+                let edges: Vec<(u32, u32)> = (0..n * 2)
+                    .map(|_| (rng.gen_range(0, n) as u32, rng.gen_range(0, n) as u32))
+                    .collect();
+
+                let forest = AtomicForest::new();
+                for _ in 0..n {
+                    forest.make_set();
+                }
+                let barrier = std::sync::Barrier::new(UNION_THREADS + FIND_THREADS);
+                let writers_done = std::sync::atomic::AtomicUsize::new(0);
+                std::thread::scope(|scope| {
+                    for t in 0..UNION_THREADS {
+                        let (forest, edges) = (&forest, &edges);
+                        let (barrier, writers_done) = (&barrier, &writers_done);
+                        scope.spawn(move || {
+                            barrier.wait();
+                            for (i, &(a, b)) in edges.iter().enumerate() {
+                                if i % UNION_THREADS == t {
+                                    forest.try_union(a, b);
+                                }
+                            }
+                            writers_done.fetch_add(1, Ordering::Release);
+                        });
+                    }
+                    for t in 0..FIND_THREADS {
+                        let forest = &forest;
+                        let (barrier, writers_done) = (&barrier, &writers_done);
+                        scope.spawn(move || {
+                            let mut rng = TestRng::new(0xF1AD ^ seed ^ ((t as u64) << 32));
+                            barrier.wait();
+                            while writers_done.load(Ordering::Acquire) < UNION_THREADS {
+                                let id = rng.gen_range(0, n) as u32;
+                                let root = forest.find(id);
+                                let _ = forest.same_set(id, root);
+                            }
+                        });
+                    }
+                });
+
+                assert_acyclic(&forest);
+                let mut packed = PackedForest::new();
+                for _ in 0..n {
+                    packed.make_set();
+                }
+                for &(a, b) in &edges {
+                    packed.union(a, b);
+                }
+                assert_eq!(forest.set_count(), packed.set_count(), "seed {seed}");
+                for a in 0..n as u32 {
+                    for b in 0..n as u32 {
+                        assert_eq!(
+                            forest.same_set(a, b),
+                            packed.find_immutable(a) == packed.find_immutable(b),
+                            "seed {seed}: {a} vs {b}"
+                        );
+                    }
+                }
+            }
+        }
+
+        /// Snapshots taken while another thread grows and unions the forest
+        /// are self-contained: every `find` inside the copy resolves to an
+        /// element below the copy's `len` (a racing link to a
+        /// younger-than-the-snapshot element is re-rootified during the
+        /// copy), and `set_count` matches the copied words.
+        #[test]
+        fn snapshot_is_self_contained_under_racing_growth() {
+            use std::collections::HashSet;
+            const GROWTH: usize = 20_000;
+            for seed in 0..4u64 {
+                let forest = AtomicForest::new();
+                let base = 64u32;
+                for _ in 0..base {
+                    forest.make_set();
+                }
+                let grown = std::sync::atomic::AtomicBool::new(false);
+                std::thread::scope(|scope| {
+                    let (forest, grown) = (&forest, &grown);
+                    scope.spawn(move || {
+                        let mut rng = TestRng::new(0x5A45 ^ seed);
+                        for _ in 0..GROWTH {
+                            // Grow, then immediately union the newborn with
+                            // an older element — the schedule that can link
+                            // a pre-snapshot root to a post-snapshot id.
+                            let id = forest.make_set();
+                            let old = rng.gen_range(0, id as usize) as u32;
+                            forest.try_union(old, id);
+                        }
+                        grown.store(true, Ordering::Release);
+                    });
+                    // Snapshot while the grower races us; bounded so the
+                    // test terminates even on a single core (at least one
+                    // snapshot is taken after growth finishes, as a control).
+                    let mut snaps = 0;
+                    while snaps < 64 {
+                        let done = grown.load(Ordering::Acquire);
+                        let copy = forest.snapshot();
+                        let len = copy.len() as u32;
+                        assert!(len >= base);
+                        let mut roots = HashSet::new();
+                        for id in 0..len {
+                            let root = copy.find(id);
+                            assert!(
+                                root < len,
+                                "seed {seed}: snapshot find({id}) = {root} escapes 0..{len}"
+                            );
+                            roots.insert(root);
+                        }
+                        assert_acyclic(&copy);
+                        assert_eq!(
+                            copy.set_count(),
+                            roots.len(),
+                            "seed {seed}: snapshot set_count is internally consistent"
+                        );
+                        snaps += 1;
+                        if done {
+                            break;
+                        }
+                    }
+                });
             }
         }
 
