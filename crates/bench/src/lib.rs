@@ -37,10 +37,13 @@ pub use cli::{parse_options, parse_trace_eval, TraceEvalOptions};
 pub use experiments::{all_reports, report_by_id, ExperimentOptions, REPORT_IDS};
 pub use gate::{check_against_baseline, parse_check_arg};
 pub use microbench::{BenchHarness, BenchResult};
-pub use parallel::{parallel_eval, parallel_eval_streaming, ParallelOutcome};
+pub use parallel::{
+    parallel_eval, parallel_eval_governed, parallel_eval_streaming,
+    parallel_eval_streaming_governed, ParallelError, ParallelOutcome,
+};
 pub use runner::{
-    ensure_cached_trace, experiment_run_mode, record_workload_trace, record_workload_trace_to_path,
-    replay_run, replay_streaming, run_once, run_with_mode, set_experiment_run_mode,
-    trace_cache_dir, trace_cache_path, CollectorChoice, RunMode, RunResult, RunnerError,
-    TraceCache, WorkloadTrace,
+    ensure_cached_trace, experiment_run_mode, quarantine_cache_entry, record_workload_trace,
+    record_workload_trace_to_path, replay_run, replay_streaming, run_once, run_with_mode,
+    set_experiment_run_mode, trace_cache_dir, trace_cache_path, CollectorChoice, RunMode,
+    RunResult, RunnerError, TraceCache, WorkloadTrace,
 };

@@ -31,12 +31,13 @@
 use std::path::PathBuf;
 use std::sync::atomic::{fence, AtomicBool, AtomicU64, Ordering};
 use std::sync::Mutex;
+use std::time::Instant;
 
 use cg_core::{aggregate_shards, CgConfig, CgStats, CollectorShard, ObjectBreakdown, StaticDomain};
 use cg_heap::{Heap, HeapConfig, Value};
 use cg_trace::{
-    GcEvent, PartitionedTrace, ReplayError, ShardStream, ShardWait, StreamKind, StreamReplayError,
-    TraceIoError,
+    EvalError, GcEvent, Governor, PartitionedTrace, ReplayError, ShardStream, ShardWait,
+    StreamKind, TraceIoError, GOVERNOR_CHECK_EVENTS,
 };
 
 /// What a parallel sharded evaluation produced, aggregated across shards.
@@ -76,12 +77,92 @@ struct ShardRun {
 
 /// Why a shard stopped.
 enum ShardError {
-    /// The shard itself diverged from the recorded history.
-    Real(ReplayError),
-    /// The shard's `.cgt` sub-stream could not be read (streaming mode).
-    Stream(TraceIoError),
+    /// The shard itself failed: a replay divergence, an unreadable
+    /// sub-stream, a budget trip, a caught panic, or a stalled wait edge.
+    Eval(EvalError),
     /// Another shard failed first; this one bailed out of a wait.
     Aborted,
+}
+
+impl From<ReplayError> for ShardError {
+    fn from(e: ReplayError) -> Self {
+        ShardError::Eval(EvalError::Replay(e))
+    }
+}
+
+impl From<TraceIoError> for ShardError {
+    fn from(e: TraceIoError) -> Self {
+        ShardError::Eval(EvalError::Trace(e))
+    }
+}
+
+/// Why a parallel evaluation failed.
+///
+/// Panics and limit trips inside worker shards are caught at the shard
+/// boundary and reported here per shard, together with the best-effort
+/// aggregated statistics of the shards that did complete — the caller
+/// (a service evaluating many untrusted uploads) gets a diagnosable
+/// report instead of a re-raised panic or a hang.
+#[derive(Debug)]
+pub enum ParallelError {
+    /// The evaluation was rejected before any shard thread spawned
+    /// (budget validation of the heap configuration or shard count).
+    Rejected(EvalError),
+    /// One or more shards failed.
+    Shards {
+        /// Every shard's failure as `(shard index, error)`, in shard
+        /// order.  Never empty.
+        shard_errors: Vec<(u32, EvalError)>,
+        /// Aggregated outcome of the shards that completed, if any did.
+        /// `shard_count` inside counts only the completed shards.
+        partial: Option<Box<ParallelOutcome>>,
+    },
+}
+
+impl ParallelError {
+    /// The primary failure: the rejection, or the first failing shard.
+    pub fn primary(&self) -> &EvalError {
+        match self {
+            ParallelError::Rejected(e) => e,
+            ParallelError::Shards { shard_errors, .. } => &shard_errors[0].1,
+        }
+    }
+
+    /// The completed shards' aggregated outcome, if any shard completed.
+    pub fn partial(&self) -> Option<&ParallelOutcome> {
+        match self {
+            ParallelError::Rejected(_) => None,
+            ParallelError::Shards { partial, .. } => partial.as_deref(),
+        }
+    }
+}
+
+impl std::fmt::Display for ParallelError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParallelError::Rejected(e) => write!(f, "evaluation rejected: {e}"),
+            ParallelError::Shards {
+                shard_errors,
+                partial,
+            } => {
+                let (shard, error) = &shard_errors[0];
+                write!(f, "shard {shard} failed: {error}")?;
+                if shard_errors.len() > 1 {
+                    write!(f, " (+{} more shard failures)", shard_errors.len() - 1)?;
+                }
+                if let Some(p) = partial {
+                    write!(f, "; {} shard(s) completed", p.shard_count)?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+impl std::error::Error for ParallelError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        Some(self.primary())
+    }
 }
 
 /// Sets the abort flag unless defused: a shard that stops for any reason —
@@ -204,8 +285,18 @@ impl WaitCell {
     }
 
     /// Blocks until this cell's progress reaches `target`: bounded spin,
-    /// a few yields, then park/unpark.
-    fn wait_for(&self, target: u64, abort: &AtomicBool) -> Result<(), ShardError> {
+    /// a few yields, then park/unpark — bounded by `deadline` when the
+    /// governor set one, so a dead or wedged publisher surfaces as
+    /// [`EvalError::ShardStalled`] (attributed `me` → `owner`) instead of
+    /// a hang.
+    fn wait_for(
+        &self,
+        target: u64,
+        abort: &AtomicBool,
+        deadline: Option<Instant>,
+        me: u32,
+        owner: u32,
+    ) -> Result<(), ShardError> {
         let mut spins = 0u32;
         loop {
             if self.progress() >= target {
@@ -223,6 +314,7 @@ impl WaitCell {
                 break;
             }
         }
+        let started = deadline.map(|_| Instant::now());
         loop {
             {
                 let mut waiters = self.waiters.lock().expect("wait cell poisoned");
@@ -242,10 +334,24 @@ impl WaitCell {
                 self.deregister(target);
                 return Err(ShardError::Aborted);
             }
-            std::thread::park();
+            match deadline {
+                None => std::thread::park(),
+                Some(at) => {
+                    let now = Instant::now();
+                    if now >= at {
+                        self.deregister(target);
+                        return Err(ShardError::Eval(EvalError::ShardStalled {
+                            shard: me,
+                            waiting_on: owner,
+                            waited: started.expect("set when a deadline exists").elapsed(),
+                        }));
+                    }
+                    std::thread::park_timeout(at - now);
+                }
+            }
             // Woken by the publisher (already deregistered), by an abort
-            // (drained), or spuriously (still registered — clean up before
-            // looping, which re-registers).
+            // (drained), by the timeout, or spuriously (still registered —
+            // clean up before looping, which re-registers).
             self.deregister(target);
             if self.progress() >= target {
                 return Ok(());
@@ -264,9 +370,11 @@ fn honour_waits(
     waits: &[ShardWait],
     progress: &[WaitCell],
     abort: &AtomicBool,
+    me: u32,
+    deadline: Option<Instant>,
 ) -> Result<(), ShardError> {
     for wait in waits {
-        progress[wait.shard as usize].wait_for(wait.processed, abort)?;
+        progress[wait.shard as usize].wait_for(wait.processed, abort, deadline, me, wait.shard)?;
     }
     Ok(())
 }
@@ -278,6 +386,10 @@ fn apply_shard_event(
     event: &GcEvent,
     domain: &StaticDomain,
 ) -> Result<(), ReplayError> {
+    // Same hostile-handle bound as the single-threaded replay: collector
+    // shards index per-object state by handle, so an implausible index
+    // must be rejected before any table grows.
+    cg_trace::validate_event_handles(event, &run.heap)?;
     match event {
         GcEvent::Allocate {
             handle,
@@ -358,8 +470,10 @@ fn run_shard(
     domain: &StaticDomain,
     progress: &[WaitCell],
     abort: &AtomicBool,
+    governor: &Governor,
 ) -> Result<ShardRun, ShardError> {
     let me = stream.shard as usize;
+    let deadline = governor.deadline_at();
     let mut run = ShardRun {
         shard: CollectorShard::for_shard(config),
         heap: Heap::new(heap_config),
@@ -376,12 +490,15 @@ fn run_shard(
         armed: true,
     };
     for ev in &stream.events {
-        honour_waits(&ev.waits, progress, abort)?;
-        if let Err(e) = apply_shard_event(&mut run, &ev.event, domain) {
-            return Err(ShardError::Real(e));
-        }
+        honour_waits(&ev.waits, progress, abort, me as u32, deadline)?;
+        apply_shard_event(&mut run, &ev.event, domain)?;
         run.events += 1;
         progress[me].publish(run.events as u64);
+        if (run.events as u64).is_multiple_of(GOVERNOR_CHECK_EVENTS) {
+            governor
+                .checkpoint(run.events as u64, &run.heap)
+                .map_err(ShardError::Eval)?;
+        }
     }
     guard.armed = false;
     Ok(run)
@@ -389,6 +506,7 @@ fn run_shard(
 
 /// Replays one shard's `.cgt` sub-stream straight from disk, holding
 /// O(chunk) trace memory, publishing progress after every event.
+#[allow(clippy::too_many_arguments)] // internal plumbing mirroring run_shard
 fn run_shard_streaming(
     me: usize,
     path: &PathBuf,
@@ -397,7 +515,9 @@ fn run_shard_streaming(
     domain: &StaticDomain,
     progress: &[WaitCell],
     abort: &AtomicBool,
+    governor: &Governor,
 ) -> Result<ShardRun, ShardError> {
+    let deadline = governor.deadline_at();
     let mut run = ShardRun {
         shard: CollectorShard::for_shard(config),
         heap: Heap::new(heap_config),
@@ -413,34 +533,32 @@ fn run_shard_streaming(
         cells: progress,
         armed: true,
     };
-    let mut reader = match cg_trace::open_trace(path) {
-        Ok(reader) => reader,
-        Err(e) => return Err(ShardError::Stream(e)),
-    };
+    let mut reader = cg_trace::open_trace(path).map_err(ShardError::from)?;
     match reader.meta().stream {
         StreamKind::Shard { shard, shard_count }
             if shard as usize == me && shard_count as usize == progress.len() => {}
         _ => {
-            return Err(ShardError::Stream(TraceIoError::Malformed {
+            return Err(TraceIoError::Malformed {
                 chunk: None,
                 detail: format!(
                     "{} is not shard {me} of a {}-shard partition",
                     path.display(),
                     progress.len()
                 ),
-            }));
+            }
+            .into());
         }
     }
     loop {
         let ev = match reader.next_shard_event() {
             Ok(Some(ev)) => ev,
             Ok(None) => break,
-            Err(e) => return Err(ShardError::Stream(e)),
+            Err(e) => return Err(e.into()),
         };
         // A corrupt or foreign file may name a shard outside the topology;
         // fail cleanly instead of indexing out of bounds.
         if let Some(bad) = ev.waits.iter().find(|w| w.shard as usize >= progress.len()) {
-            return Err(ShardError::Stream(TraceIoError::Malformed {
+            return Err(TraceIoError::Malformed {
                 chunk: None,
                 detail: format!(
                     "{}: wait edge names shard {} of a {}-shard partition",
@@ -448,17 +566,50 @@ fn run_shard_streaming(
                     bad.shard,
                     progress.len()
                 ),
-            }));
+            }
+            .into());
         }
-        honour_waits(&ev.waits, progress, abort)?;
-        if let Err(e) = apply_shard_event(&mut run, &ev.event, domain) {
-            return Err(ShardError::Real(e));
-        }
+        honour_waits(&ev.waits, progress, abort, me as u32, deadline)?;
+        apply_shard_event(&mut run, &ev.event, domain)?;
         run.events += 1;
         progress[me].publish(run.events as u64);
+        if (run.events as u64).is_multiple_of(GOVERNOR_CHECK_EVENTS) {
+            governor
+                .checkpoint(run.events as u64, &run.heap)
+                .map_err(ShardError::Eval)?;
+        }
     }
     guard.armed = false;
     Ok(run)
+}
+
+/// Renders a caught panic payload for an [`EvalError::ShardPanicked`]
+/// report.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&'static str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Runs one shard body with a panic boundary: a panic first triggers the
+/// body's own abort guard during unwinding (releasing parked siblings),
+/// then is caught here and converted into a structured
+/// [`EvalError::ShardPanicked`] report instead of being re-raised.
+fn catch_shard_panic(
+    me: u32,
+    body: impl FnOnce() -> Result<ShardRun, ShardError>,
+) -> Result<ShardRun, ShardError> {
+    match std::panic::catch_unwind(std::panic::AssertUnwindSafe(body)) {
+        Ok(result) => result,
+        Err(payload) => Err(ShardError::Eval(EvalError::ShardPanicked {
+            shard: me,
+            message: panic_message(payload.as_ref()),
+        })),
+    }
 }
 
 /// Replays a partitioned trace on `shard_count` OS threads and aggregates
@@ -467,23 +618,48 @@ fn run_shard_streaming(
 /// Every shard gets the full `heap_config` as its private region, so a
 /// sharded replay can never exhaust space a single-threaded replay had.
 ///
+/// Equivalent to [`parallel_eval_governed`] with no limits.
+///
 /// # Errors
 ///
-/// Returns a [`ReplayError`] if any shard diverges from the recorded heap
-/// history (the remaining shards abort).
-///
-/// # Panics
-///
-/// Panics if the stream violates the §3.3 pre-escalation invariant (a store
-/// operand owned by a foreign shard that is not yet static) — possible only
-/// for hand-built traces, never for streams recorded from the VM.
+/// A [`ParallelError`] carrying each failing shard's [`EvalError`] (a
+/// divergence, or a panic caught at the shard boundary — e.g. an
+/// ill-formed stream violating the §3.3 pre-escalation invariant) plus
+/// the completed shards' partial statistics.
 pub fn parallel_eval(
     pt: &PartitionedTrace,
     heap_config: HeapConfig,
     config: CgConfig,
-) -> Result<ParallelOutcome, ReplayError> {
-    let start = std::time::Instant::now();
+) -> Result<ParallelOutcome, ParallelError> {
+    parallel_eval_governed(pt, heap_config, config, &Governor::unlimited())
+}
+
+/// [`parallel_eval`] under a resource [`Governor`]: the heap
+/// configuration and shard count are validated before any thread spawns
+/// or heap allocates, every shard polls the budget cooperatively, and
+/// cross-shard wait edges honour the governor's deadline (a dead sibling
+/// surfaces as [`EvalError::ShardStalled`] instead of a hang).
+///
+/// # Errors
+///
+/// A [`ParallelError`]: the up-front rejection, or the per-shard failure
+/// report with partial statistics.
+pub fn parallel_eval_governed(
+    pt: &PartitionedTrace,
+    heap_config: HeapConfig,
+    config: CgConfig,
+    governor: &Governor,
+) -> Result<ParallelOutcome, ParallelError> {
+    let start = Instant::now();
     let shard_count = pt.shard_count();
+    governor
+        .validate_shards(shard_count)
+        .and_then(|()| governor.validate_heap(&heap_config))
+        .map_err(ParallelError::Rejected)?;
+    let total_events: u64 = pt.streams.iter().map(|s| s.events.len() as u64).sum();
+    governor
+        .validate_declared_events(total_events)
+        .map_err(ParallelError::Rejected)?;
     let domain = StaticDomain::with_impl(config.domain_impl);
     let progress: Vec<WaitCell> = (0..shard_count).map(|_| WaitCell::new()).collect();
     let abort = AtomicBool::new(false);
@@ -496,55 +672,85 @@ pub fn parallel_eval(
                 let domain = &domain;
                 let progress = &progress;
                 let abort = &abort;
-                scope.spawn(move || run_shard(stream, config, heap_config, domain, progress, abort))
+                let me = stream.shard;
+                scope.spawn(move || {
+                    catch_shard_panic(me, || {
+                        run_shard(
+                            stream,
+                            config,
+                            heap_config,
+                            domain,
+                            progress,
+                            abort,
+                            governor,
+                        )
+                    })
+                })
             })
             .collect();
         handles
             .into_iter()
-            .map(|h| match h.join() {
-                Ok(result) => result,
-                // The shard's abort guard has already released the
-                // siblings; surface the original panic to the caller.
-                Err(payload) => std::panic::resume_unwind(payload),
+            .map(|h| {
+                h.join()
+                    .expect("shard panics are caught at the shard boundary")
             })
             .collect()
     });
 
-    aggregate_results(results, shard_count, &domain, start).map_err(|e| match e {
-        ShardError::Real(e) => e,
-        // In-memory streams cannot raise stream errors.
-        ShardError::Stream(e) => unreachable!("in-memory shard raised a stream error: {e}"),
-        ShardError::Aborted => unreachable!("all aborts trace back to a real error"),
-    })
+    aggregate_results(results, shard_count, &domain, start)
 }
 
 /// Joins per-shard results into the aggregated outcome (shared by the
-/// in-memory and streamed-from-disk evaluators).
+/// in-memory and streamed-from-disk evaluators); on failure, aggregates
+/// whatever completed into the error's partial outcome.
 fn aggregate_results(
     results: Vec<Result<ShardRun, ShardError>>,
     shard_count: usize,
     domain: &StaticDomain,
-    start: std::time::Instant,
-) -> Result<ParallelOutcome, ShardError> {
+    start: Instant,
+) -> Result<ParallelOutcome, ParallelError> {
     let mut runs = Vec::with_capacity(shard_count);
-    let mut first_error = None;
-    for result in results {
+    let mut shard_errors: Vec<(u32, EvalError)> = Vec::new();
+    for (index, result) in results.into_iter().enumerate() {
         match result {
             Ok(run) => runs.push(run),
             Err(ShardError::Aborted) => {}
-            Err(real) => first_error = first_error.or(Some(real)),
+            Err(ShardError::Eval(e)) => shard_errors.push((index as u32, e)),
         }
     }
-    if let Some(e) = first_error {
-        return Err(e);
+
+    if shard_errors.is_empty() {
+        debug_assert_eq!(runs.len(), shard_count);
+        return Ok(aggregate_runs(&mut runs, shard_count, domain, start));
     }
-    debug_assert_eq!(runs.len(), shard_count);
+    // Best-effort partial report: the completed shards' aggregate.  The
+    // shared static domain may reflect half-applied work from the failed
+    // shards, so this is diagnostic data, not an equivalence-grade result.
+    let partial = if runs.is_empty() {
+        None
+    } else {
+        let completed = runs.len();
+        Some(Box::new(aggregate_runs(
+            &mut runs, completed, domain, start,
+        )))
+    };
+    Err(ParallelError::Shards {
+        shard_errors,
+        partial,
+    })
+}
 
-    // Aggregate exactly the way the single-threaded collector reports at
-    // program end (one shared implementation with the sequential ShardedGc).
+/// Aggregates completed shard runs exactly the way the single-threaded
+/// collector reports at program end (one shared implementation with the
+/// sequential `ShardedGc`).
+fn aggregate_runs(
+    runs: &mut [ShardRun],
+    shard_count: usize,
+    domain: &StaticDomain,
+    start: Instant,
+) -> ParallelOutcome {
     let (stats, breakdown) = aggregate_shards(runs.iter_mut().map(|r| &mut r.shard), domain);
-
-    Ok(ParallelOutcome {
+    ParallelOutcome {
         stats,
         breakdown,
         shard_count,
@@ -554,7 +760,7 @@ fn aggregate_results(
         live_at_exit: runs.iter().map(|r| r.heap.live_count()).sum(),
         gc_cycles: runs.iter().map(|r| r.gc_cycles).sum(),
         elapsed_seconds: start.elapsed().as_secs_f64(),
-    })
+    }
 }
 
 /// Replays per-shard `.cgt` sub-streams (written by
@@ -565,18 +771,41 @@ fn aggregate_results(
 /// the same partition, which is itself byte-identical to a single-threaded
 /// replay.
 ///
+/// Equivalent to [`parallel_eval_streaming_governed`] with no limits.
+///
 /// # Errors
 ///
-/// A [`StreamReplayError`]: a replay divergence, or an unreadable shard
-/// file (the remaining shards abort).
+/// A [`ParallelError`] carrying each failing shard's [`EvalError`] (a
+/// divergence, an unreadable shard file, or a caught panic) plus the
+/// completed shards' partial statistics.
 pub fn parallel_eval_streaming(
     paths: &[PathBuf],
     heap_config: HeapConfig,
     config: CgConfig,
-) -> Result<ParallelOutcome, StreamReplayError> {
-    let start = std::time::Instant::now();
+) -> Result<ParallelOutcome, ParallelError> {
+    parallel_eval_streaming_governed(paths, heap_config, config, &Governor::unlimited())
+}
+
+/// [`parallel_eval_streaming`] under a resource [`Governor`] (see
+/// [`parallel_eval_governed`] for the enforcement points).
+///
+/// # Errors
+///
+/// A [`ParallelError`]: the up-front rejection, or the per-shard failure
+/// report with partial statistics.
+pub fn parallel_eval_streaming_governed(
+    paths: &[PathBuf],
+    heap_config: HeapConfig,
+    config: CgConfig,
+    governor: &Governor,
+) -> Result<ParallelOutcome, ParallelError> {
+    let start = Instant::now();
     let shard_count = paths.len();
     assert!(shard_count > 0, "need at least one shard stream");
+    governor
+        .validate_shards(shard_count)
+        .and_then(|()| governor.validate_heap(&heap_config))
+        .map_err(ParallelError::Rejected)?;
     let domain = StaticDomain::with_impl(config.domain_impl);
     let progress: Vec<WaitCell> = (0..shard_count).map(|_| WaitCell::new()).collect();
     let abort = AtomicBool::new(false);
@@ -590,24 +819,31 @@ pub fn parallel_eval_streaming(
                 let progress = &progress;
                 let abort = &abort;
                 scope.spawn(move || {
-                    run_shard_streaming(me, path, config, heap_config, domain, progress, abort)
+                    catch_shard_panic(me as u32, || {
+                        run_shard_streaming(
+                            me,
+                            path,
+                            config,
+                            heap_config,
+                            domain,
+                            progress,
+                            abort,
+                            governor,
+                        )
+                    })
                 })
             })
             .collect();
         handles
             .into_iter()
-            .map(|h| match h.join() {
-                Ok(result) => result,
-                Err(payload) => std::panic::resume_unwind(payload),
+            .map(|h| {
+                h.join()
+                    .expect("shard panics are caught at the shard boundary")
             })
             .collect()
     });
 
-    aggregate_results(results, shard_count, &domain, start).map_err(|e| match e {
-        ShardError::Real(e) => StreamReplayError::Replay(e),
-        ShardError::Stream(e) => StreamReplayError::Trace(e),
-        ShardError::Aborted => unreachable!("all aborts trace back to a real error"),
-    })
+    aggregate_results(results, shard_count, &domain, start)
 }
 
 #[cfg(test)]
@@ -618,11 +854,12 @@ mod tests {
     use cg_vm::{NoopCollector, VmConfig};
     use cg_workloads::{Size, Workload};
 
-    /// A panic in one shard must propagate out of `parallel_eval` (the abort
-    /// guard releases the siblings) instead of deadlocking the evaluation.
+    /// A panic in one shard must come back as a structured
+    /// [`EvalError::ShardPanicked`] report (the abort guard releases the
+    /// siblings during unwinding) instead of deadlocking the evaluation or
+    /// re-raising the panic in the caller.
     #[test]
-    #[should_panic(expected = "pre-escalation invariant")]
-    fn shard_panic_propagates_instead_of_hanging() {
+    fn shard_panic_reports_instead_of_hanging() {
         use cg_trace::Trace;
         use cg_vm::{
             AllocKind, ClassId, FrameId, FrameInfo, GcEvent, Handle, MethodId, RootSet, ThreadId,
@@ -655,7 +892,26 @@ mod tests {
             roots: Box::new(RootSet::default()),
         });
         let pt = partition(&trace, 2);
-        let _ = parallel_eval(&pt, cg_heap::HeapConfig::small(), CgConfig::default());
+        let _quiet = cg_fuzz::QuietPanics::install();
+        let err = parallel_eval(&pt, cg_heap::HeapConfig::small(), CgConfig::default())
+            .expect_err("the ill-formed stream must fail");
+        match &err {
+            ParallelError::Shards { shard_errors, .. } => {
+                assert_eq!(shard_errors.len(), 1, "exactly one shard fails: {err}");
+                let (shard, eval) = &shard_errors[0];
+                assert_eq!(*shard, 1, "the storing shard is the one that panics");
+                match eval {
+                    EvalError::ShardPanicked { shard: 1, message } => {
+                        assert!(
+                            message.contains("pre-escalation invariant"),
+                            "panic message survives: {message}"
+                        );
+                    }
+                    other => panic!("expected ShardPanicked, got {other}"),
+                }
+            }
+            ParallelError::Rejected(other) => panic!("expected shard failures, got {other}"),
+        }
     }
 
     #[test]

@@ -422,9 +422,13 @@ pub fn record_workload_trace_to_path(
         }),
         ..TraceMeta::default()
     };
-    // Record into a temp sibling and rename into place: a crash mid-write
-    // can never leave a truncated stream at the published path.
-    let tmp = path.with_extension("cgt.tmp");
+    // Record into a process-unique temp sibling, fsync, and rename into
+    // place: a crash mid-write can never leave a truncated stream at the
+    // published path, a crash between write and rename leaves only a
+    // `.tmp` orphan, and concurrent recorders cannot observe (or clobber)
+    // each other's half-written files — whichever rename lands last wins,
+    // and both renamed files are complete.
+    let tmp = path.with_extension(format!("cgt.tmp.{}", std::process::id()));
     let file = std::fs::File::create(&tmp).map_err(TraceIoError::Io)?;
     let recorded = record_streaming(
         &meta,
@@ -438,13 +442,44 @@ pub fn record_workload_trace_to_path(
         .and_then(|(_, _, _, w)| {
             w.into_inner()
                 .map_err(|e| RunnerError::Trace(TraceIoError::Io(e.into_error())))
+        })
+        // Durability before visibility: the bytes must be on disk before
+        // the rename publishes the path, or a power cut can publish an
+        // empty (but fully renamed) cache entry.
+        .and_then(|file| {
+            file.sync_all()
+                .map_err(|e| RunnerError::Trace(TraceIoError::Io(e)))
         });
     if let Err(e) = flushed {
         let _ = std::fs::remove_file(&tmp);
         return Err(e);
     }
     std::fs::rename(&tmp, path).map_err(TraceIoError::Io)?;
+    // Persist the rename itself (the directory entry); best-effort, since
+    // not every filesystem supports opening a directory for sync.
+    if let Some(parent) = path.parent() {
+        if let Ok(dir) = std::fs::File::open(parent) {
+            let _ = dir.sync_all();
+        }
+    }
     Ok(())
+}
+
+/// Moves a corrupt cache entry aside as `<name>.cgt.bad` instead of
+/// deleting it, preserving the bytes for a post-mortem (`cgt info` on the
+/// quarantined file shows how far it parses).  Any previous quarantined
+/// entry for the same path is replaced.  Returns the quarantine path if
+/// the move succeeded; falls back to deletion (and `None`) if rename
+/// fails, so a corrupt entry never blocks re-recording.
+pub fn quarantine_cache_entry(path: &Path) -> Option<PathBuf> {
+    let bad = path.with_extension("cgt.bad");
+    match std::fs::rename(path, &bad) {
+        Ok(()) => Some(bad),
+        Err(_) => {
+            let _ = std::fs::remove_file(path);
+            None
+        }
+    }
 }
 
 /// Ensures the disk cache holds a recording for `(workload, size,
@@ -746,8 +781,12 @@ pub fn run_with_mode(
                     Ok(result) => Ok(result),
                     // A stale or corrupt cache file (older format, crash
                     // leftovers, wrong metadata) only costs a re-recording.
+                    // The bad bytes are quarantined, not destroyed, and the
+                    // retry happens exactly once — a corruption that
+                    // survives a fresh recording is a real bug to surface,
+                    // not something to loop on.
                     Err(RunnerError::Trace(_)) => {
-                        let _ = std::fs::remove_file(&path);
+                        quarantine_cache_entry(&path);
                         let path = ensure_cached_trace(workload, size, gc_every)?;
                         replay_streaming(&path, choice)
                     }
@@ -889,15 +928,34 @@ fn write_cached_workload_trace(path: &Path, wt: &WorkloadTrace) -> Result<(), Tr
         declared_events: Some(wt.trace.len() as u64),
         stream: cg_trace::StreamKind::Plain,
     };
-    let file = std::fs::File::create(path)?;
-    let mut writer = cg_trace::TraceWriter::new(std::io::BufWriter::new(file), &meta)?;
-    for event in wt.trace.events() {
-        writer.push(event)?;
+    // Same atomic-publish discipline as [`record_workload_trace_to_path`]:
+    // a crash or concurrent writer can never leave a torn file at the
+    // published path, and the bytes are on disk before the rename.
+    let tmp = path.with_extension(format!("cgt.tmp.{}", std::process::id()));
+    let write = || -> Result<(), TraceIoError> {
+        let file = std::fs::File::create(&tmp)?;
+        let mut writer = cg_trace::TraceWriter::new(std::io::BufWriter::new(file), &meta)?;
+        for event in wt.trace.events() {
+            writer.push(event)?;
+        }
+        writer.add_section(cg_trace::footer::vm_section(&wt.vm));
+        let (w, _) = writer.finish()?;
+        let file = w
+            .into_inner()
+            .map_err(|e| TraceIoError::Io(e.into_error()))?;
+        file.sync_all()?;
+        Ok(())
+    };
+    if let Err(e) = write() {
+        let _ = std::fs::remove_file(&tmp);
+        return Err(e);
     }
-    writer.add_section(cg_trace::footer::vm_section(&wt.vm));
-    let (w, _) = writer.finish()?;
-    w.into_inner()
-        .map_err(|e| TraceIoError::Io(e.into_error()))?;
+    std::fs::rename(&tmp, path)?;
+    if let Some(parent) = path.parent() {
+        if let Ok(dir) = std::fs::File::open(parent) {
+            let _ = dir.sync_all();
+        }
+    }
     Ok(())
 }
 
@@ -915,8 +973,14 @@ fn load_cached_workload_trace(
     let (trace, meta, footer) = match cg_trace::read_trace_from_path(path) {
         Ok(read) => read,
         Err(e) => {
+            // Quarantine rather than delete: the corrupt bytes are the
+            // evidence (`cgt info <file>.bad` shows how far they parse).
+            let kept = quarantine_cache_entry(path).map_or_else(
+                || "discarded".to_string(),
+                |bad| format!("kept as {}", bad.display()),
+            );
             eprintln!(
-                "warning: ignoring unreadable trace cache {}: {e}",
+                "warning: ignoring unreadable trace cache {} ({kept}): {e}",
                 path.display()
             );
             return None;

@@ -44,16 +44,31 @@ fn disk_cache_round_trips_across_cache_instances() {
         b.cg.as_ref().map(|c| (&c.stats, &c.breakdown))
     );
 
-    // A corrupt cache file is ignored and re-recorded over.
+    // A corrupt cache file is quarantined (not destroyed) and re-recorded.
     std::fs::write(&cache_file, b"garbage").expect("corrupt the cache");
     let mut third = TraceCache::with_disk_cache();
     let rerecorded = third
         .for_choice(db, Size::S1, CollectorChoice::Cg)
         .expect("fall back to recording");
     assert_eq!(rerecorded.trace, recorded.trace);
-    // And the overwritten file is valid again.
+    // The re-recorded file is valid again...
     let (reread, ..) = cg_trace::read_trace_from_path(&cache_file).expect("cache file restored");
     assert_eq!(reread, recorded.trace);
+    // ...and the corrupt bytes moved aside for a post-mortem.
+    let quarantined = cache_file.with_extension("cgt.bad");
+    assert_eq!(
+        std::fs::read(&quarantined).expect("corrupt entry quarantined"),
+        b"garbage",
+        "the quarantined file holds the original corrupt bytes"
+    );
+    // No temp leftovers from the atomic rewrite.
+    let leftovers: Vec<_> = std::fs::read_dir(&dir)
+        .expect("cache dir listable")
+        .filter_map(|e| e.ok())
+        .map(|e| e.file_name().to_string_lossy().into_owned())
+        .filter(|name| name.contains(".tmp"))
+        .collect();
+    assert!(leftovers.is_empty(), "stray temp files: {leftovers:?}");
 
     // Different gc_every keys get their own files.
     let mut with_gc = TraceCache::with_disk_cache();

@@ -3,19 +3,25 @@
 //! ```text
 //! cg-fuzz [--seed N|0xHEX] [--iters N] [--profile NAME|all]
 //!         [--forced-gc N] [--fault skip-contamination] [--domain atomic|mutex]
-//!         [--minimize] [--out PATH] [--replay FILE]
+//!         [--minimize] [--out PATH] [--replay FILE] [--mutate-trace]
 //! ```
 //!
 //! Exit code 0 means every checked program passed the oracle; 1 means a
 //! counterexample was found (printed, and written to `--out` when
 //! `--minimize` is given); 2 means bad usage.
+//!
+//! `--mutate-trace` switches to the adversarial trace-mutation campaign:
+//! valid traces recorded from all eight workload shapes are corrupted at
+//! the byte and event level and replayed under resource limits; `--iters`
+//! is the total mutated-case budget and `--out` receives the failing
+//! `.cgt` artifact if a case panics, hangs or silently misdecodes.
 
 use std::process::ExitCode;
 
 use cg_core::{DomainImpl, FaultInjection};
 use cg_fuzz::{
-    check_program, generate, instruction_count, parse, serialize, shrink, GenProfile,
-    OracleOptions, QuietPanics,
+    check_program, generate, instruction_count, parse, run_mutation_campaign, serialize, shrink,
+    GenProfile, MutationOptions, OracleOptions, QuietPanics,
 };
 use cg_testutil::TestRng;
 
@@ -30,6 +36,7 @@ struct Options {
     replay: Option<String>,
     case_seed: Option<u64>,
     domain: DomainImpl,
+    mutate_trace: bool,
 }
 
 impl Default for Options {
@@ -45,6 +52,7 @@ impl Default for Options {
             replay: None,
             case_seed: None,
             domain: DomainImpl::default(),
+            mutate_trace: false,
         }
     }
 }
@@ -53,7 +61,8 @@ fn usage() -> ! {
     eprintln!(
         "usage: cg-fuzz [--seed N|0xHEX] [--iters N] [--profile NAME|all] \
          [--forced-gc N] [--fault skip-contamination] [--domain atomic|mutex] \
-         [--minimize] [--out PATH] [--replay FILE] [--case-seed N|0xHEX]\n\nprofiles:"
+         [--minimize] [--out PATH] [--replay FILE] [--case-seed N|0xHEX] \
+         [--mutate-trace]\n\nprofiles:"
     );
     for p in GenProfile::all() {
         eprintln!("  {:<14} {}", p.name, p.description);
@@ -122,6 +131,7 @@ fn parse_args() -> Options {
                 options.case_seed = Some(parse_seed(&v).unwrap_or_else(|| usage()));
             }
             "--minimize" => options.minimize = true,
+            "--mutate-trace" => options.mutate_trace = true,
             "--out" => options.out = args.next().unwrap_or_else(|| usage()),
             "--replay" => options.replay = Some(args.next().unwrap_or_else(|| usage())),
             "--help" | "-h" => usage(),
@@ -188,11 +198,54 @@ fn replay_file(path: &str, oracle: &OracleOptions) -> ExitCode {
     }
 }
 
+fn mutate_traces(options: &Options) -> ExitCode {
+    // `--iters` is the total case budget, spread across all eight shapes.
+    let cases_per_workload = (options.iters / 8).max(1);
+    let campaign = MutationOptions {
+        seed: options.seed,
+        cases_per_workload,
+        ..MutationOptions::default()
+    };
+    let start = std::time::Instant::now();
+    let report = run_mutation_campaign(&campaign);
+    let elapsed = start.elapsed().as_secs_f64();
+    println!(
+        "mutation campaign: {} cases across 8 workloads in {elapsed:.1}s \
+         ({} clean passes, {} structured errors, longest case {:.2}s)",
+        report.cases,
+        report.clean_passes,
+        report.structured_errors,
+        report.max_case.as_secs_f64()
+    );
+    if report.failures.is_empty() {
+        println!("PASS: every mutant terminated with correct stats or a structured error");
+        return ExitCode::SUCCESS;
+    }
+    for failure in &report.failures {
+        println!(
+            "FAIL: workload={} mutation={} case-seed={:#x}: {}",
+            failure.workload, failure.mutation, failure.case_seed, failure.detail
+        );
+    }
+    // Preserve the first reproducible artifact for CI upload.
+    if let Some(bytes) = report.failures.iter().find_map(|f| f.artifact.as_ref()) {
+        let path = format!("{}.cgt", options.out.trim_end_matches(".cgp"));
+        match std::fs::write(&path, bytes) {
+            Ok(()) => println!("  wrote failing mutant to {path}"),
+            Err(e) => eprintln!("  could not write {path}: {e}"),
+        }
+    }
+    ExitCode::FAILURE
+}
+
 fn main() -> ExitCode {
     let options = parse_args();
     let oracle = oracle_options(&options);
     let _quiet = QuietPanics::install();
 
+    if options.mutate_trace {
+        return mutate_traces(&options);
+    }
     if let Some(path) = &options.replay {
         return replay_file(path, &oracle);
     }

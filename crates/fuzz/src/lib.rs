@@ -40,11 +40,15 @@
 
 pub mod corpus;
 pub mod generator;
+pub mod mutate;
 pub mod oracle;
 pub mod shrink;
 
 pub use corpus::{instruction_count, parse, serialize, ParseError};
 pub use generator::{generate, GenProfile};
+pub use mutate::{
+    campaign_limits, run_mutation_campaign, MutationFailure, MutationOptions, MutationReport,
+};
 pub use oracle::{
     check_program, check_round_trip, fuzz_heap_config, fuzz_vm_config, CheckFailure, OracleOptions,
     OracleReport, QuietPanics,

@@ -409,11 +409,21 @@ pub fn check_program(
     }
 
     let replayed = guard("cg-replay", || {
-        replay(&trace, vm_config.heap, ContaminatedGc::with_config(cg)).map_err(|e| {
-            CheckFailure::Replay {
+        replay(&trace, vm_config.heap, ContaminatedGc::with_config(cg)).map_err(|e| match e {
+            // Replay validates that every event names a live object, so a
+            // collector that frees early is caught at the first event still
+            // referencing the victim — the same defect `check_sound` reports,
+            // classed accordingly so shrinking preserves the failure mode.
+            cg_trace::ReplayError::Heap(cg_heap::HeapError::DeadHandle(handle)) => {
+                CheckFailure::CollectorRun {
+                    context: "cg-replay".to_string(),
+                    error: format!("replayed event references freed object {handle}"),
+                }
+            }
+            e => CheckFailure::Replay {
                 context: "cg-replay".to_string(),
                 error: e.to_string(),
-            }
+            },
         })
     })?;
     check_sound("cg-replay", &reachable, &replayed.heap)?;

@@ -58,6 +58,7 @@ pub struct Heap {
     slots: Vec<Option<Slot>>,
     live: usize,
     stats: HeapStats,
+    alloc_attempts: u64,
 }
 
 impl Heap {
@@ -69,6 +70,7 @@ impl Heap {
             slots: Vec::new(),
             live: 0,
             stats: HeapStats::default(),
+            alloc_attempts: 0,
         }
     }
 
@@ -141,6 +143,15 @@ impl Heap {
     /// Reserves object space for `object`, charging failed attempts; the
     /// caller installs the slot and calls [`Heap::commit_allocation`].
     fn reserve_space(&mut self, object: &Object) -> Result<BlockAddr, HeapError> {
+        let attempt = self.alloc_attempts;
+        self.alloc_attempts += 1;
+        if self.config.alloc_failure_at == Some(attempt) {
+            self.stats.allocation_failures += 1;
+            return Err(HeapError::OutOfObjectSpace {
+                requested: object.size_bytes(),
+                free: self.space.free_bytes(),
+            });
+        }
         if self.live >= self.config.handle_capacity() {
             self.stats.allocation_failures += 1;
             return Err(HeapError::OutOfHandleSpace {
@@ -220,6 +231,12 @@ impl Heap {
 
     fn allocate_object_at(&mut self, handle: Handle, object: Object) -> Result<(), HeapError> {
         let index = handle.index_usize();
+        // Placed allocation trusts the caller's index: the replay layers
+        // (`validate_event_handles` on both the single-heap and sharded
+        // paths) bound every event-named handle by the configured capacity
+        // before it reaches the heap, so a hostile index near `u32::MAX`
+        // never gets far enough to inflate the slot table.  Handles may be
+        // sparse — capacity bounds the *live count*, not the index space.
         if self.slots.len() <= index {
             self.slots.resize(index + 1, None);
         }
@@ -716,6 +733,28 @@ mod tests {
         h.free(Handle::from_index(7)).unwrap();
         h.allocate_array_at(Handle::from_index(3), class(), 1)
             .unwrap();
+    }
+
+    #[test]
+    fn injected_allocation_failure_trips_the_exact_attempt() {
+        let config = HeapConfig::small().with_alloc_failure_at(2);
+        let mut h = Heap::new(config);
+        h.allocate(class(), 0).unwrap();
+        h.allocate(class(), 1).unwrap();
+        let err = h.allocate(class(), 0).unwrap_err();
+        assert!(matches!(err, HeapError::OutOfObjectSpace { .. }));
+        assert_eq!(h.stats().allocation_failures, 1);
+        // The failure fires once; the heap keeps working afterwards.
+        h.allocate(class(), 0).unwrap();
+        assert_eq!(h.live_count(), 3);
+        // The placed-allocation paths share the counter.
+        let config = HeapConfig::small().with_alloc_failure_at(0);
+        let mut h = Heap::new(config);
+        let err = h
+            .allocate_at(Handle::from_index(4), class(), 0)
+            .unwrap_err();
+        assert!(matches!(err, HeapError::OutOfObjectSpace { .. }));
+        assert!(!h.is_live(Handle::from_index(4)));
     }
 
     #[test]

@@ -89,6 +89,12 @@ pub struct HeapConfig {
     /// paper-faithful first-fit rover; [`AllocPolicy::SegregatedFit`] trades
     /// paper fidelity for O(size classes) searches.
     pub alloc_policy: AllocPolicy,
+    /// Fault injection: fail the k-th allocation attempt (0-based, counted
+    /// across all allocation entry points) with an out-of-space error.
+    /// `None` in every real configuration; the robustness test sweeps set
+    /// it to prove allocation failure at any point propagates cleanly.
+    /// Never serialized into `.cgt` headers.
+    pub alloc_failure_at: Option<u64>,
 }
 
 impl HeapConfig {
@@ -105,12 +111,20 @@ impl HeapConfig {
             handle_repr,
             object_header_words: Self::DEFAULT_HEADER_WORDS,
             alloc_policy: AllocPolicy::FirstFitRover,
+            alloc_failure_at: None,
         }
     }
 
     /// The same configuration with a different object-space search policy.
     pub fn with_alloc_policy(mut self, policy: AllocPolicy) -> Self {
         self.alloc_policy = policy;
+        self
+    }
+
+    /// The same configuration with an injected failure at the k-th
+    /// allocation attempt (see [`HeapConfig::alloc_failure_at`]).
+    pub fn with_alloc_failure_at(mut self, attempt: u64) -> Self {
+        self.alloc_failure_at = Some(attempt);
         self
     }
 

@@ -23,7 +23,18 @@
 //!   sections); `diff` reports the first diverging event and any footer
 //!   differences; `info` prints the header, census and sections.
 //!
-//! Exit codes: 0 = OK, 1 = mismatch/corruption, 2 = usage error.
+//! Exit codes are distinct per failure class so scripts can branch on
+//! them without parsing stderr:
+//!
+//! | code | meaning                                              |
+//! |------|------------------------------------------------------|
+//! | 0    | OK                                                   |
+//! | 1    | other failure (recording run failed, bad spec, ...)  |
+//! | 2    | usage error                                          |
+//! | 3    | corrupt input (bad magic, CRC, malformed, replay divergence) |
+//! | 4    | resource limit exceeded (`verify --limits`)          |
+//! | 5    | verify/diff mismatch (statistics or events differ)   |
+//! | 6    | OS-level I/O error                                   |
 
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
@@ -32,8 +43,9 @@ use cg_trace::footer::{
     canonical_collector, canonical_heap, cg_section, vm_stats_from_section, CG_SECTION, VM_SECTION,
 };
 use cg_trace::{
-    open_trace, record_streaming, rewrite_trace, FooterSection, RewriteOptions, TraceFooter,
-    TraceMeta, TraceStats, WorkloadRef, DEFAULT_CHUNK_EVENTS,
+    open_trace, record_streaming, rewrite_trace, EvalError, FooterSection, Governor,
+    ResourceLimits, RewriteOptions, TraceFooter, TraceIoError, TraceMeta, TraceStats, WorkloadRef,
+    DEFAULT_CHUNK_EVENTS,
 };
 use cg_vm::{EventKind, NoopCollector, VmConfig};
 use cg_workloads::Workload;
@@ -46,14 +58,109 @@ USAGE:
   cgt record <workload>[/<size>] [--out PATH] [--gc-every N] [--chunk-events N]
              [--object-space-mib N] [--segregated]
   cgt info <file.cgt>
-  cgt verify <file.cgt> [--re-record] [--mismatch-out PATH]
+  cgt verify <file.cgt> [--re-record] [--mismatch-out PATH] [--limits SPEC]
   cgt convert <in.cgt> <out.cgt> [--chunk-events N] [--no-compress] [--strip-sections]
   cgt diff <a.cgt> <b.cgt>
 
 Workloads: the eight SPECjvm98-like benchmarks (compress, jess, raytrace,
-db, javac, mpegaudio, mtrt, jack) at sizes 1, 10 or 100 (default 1)."
+db, javac, mpegaudio, mtrt, jack) at sizes 1, 10 or 100 (default 1).
+
+--limits runs the verification replay under a resource governor.  SPEC is
+a key=value comma list (events, heap-mib, handles, shards, deadline-ms),
+e.g. --limits events=1000000,heap-mib=256,deadline-ms=5000; an empty SPEC
+('') applies the conservative untrusted-input defaults.
+
+EXIT CODES:
+  0  OK
+  1  other failure (recording run failed, bad workload spec, ...)
+  2  usage error
+  3  corrupt input (bad magic, CRC mismatch, malformed bytes, replay divergence)
+  4  resource limit exceeded
+  5  verify/diff mismatch (statistics or events differ)
+  6  OS-level I/O error"
     );
     std::process::exit(2);
+}
+
+/// A command failure, classed so `main` can pick the exit code.
+enum CgtError {
+    /// Anything without a more specific class (exit 1).
+    Other(String),
+    /// The input bytes are not a valid trace, or replaying them diverged
+    /// (exit 3).
+    Corrupt(String),
+    /// A `--limits` budget tripped (exit 4).
+    Limit(String),
+    /// The trace is well-formed but its statistics or events do not match
+    /// what verification demands (exit 5).
+    Mismatch(String),
+    /// The operating system failed the read or write (exit 6).
+    Io(String),
+}
+
+impl CgtError {
+    fn exit_code(&self) -> u8 {
+        match self {
+            CgtError::Other(_) => 1,
+            CgtError::Corrupt(_) => 3,
+            CgtError::Limit(_) => 4,
+            CgtError::Mismatch(_) => 5,
+            CgtError::Io(_) => 6,
+        }
+    }
+
+    fn message(&self) -> &str {
+        match self {
+            CgtError::Other(m)
+            | CgtError::Corrupt(m)
+            | CgtError::Limit(m)
+            | CgtError::Mismatch(m)
+            | CgtError::Io(m) => m,
+        }
+    }
+
+    /// Prepends `context: ` to the message, keeping the class.
+    fn prefixed(self, context: &str) -> Self {
+        let with = |m: &str| format!("{context}: {m}");
+        match self {
+            CgtError::Other(m) => CgtError::Other(with(&m)),
+            CgtError::Corrupt(m) => CgtError::Corrupt(with(&m)),
+            CgtError::Limit(m) => CgtError::Limit(with(&m)),
+            CgtError::Mismatch(m) => CgtError::Mismatch(with(&m)),
+            CgtError::Io(m) => CgtError::Io(with(&m)),
+        }
+    }
+}
+
+impl From<TraceIoError> for CgtError {
+    fn from(e: TraceIoError) -> Self {
+        match &e {
+            // An unexpected EOF is a truncated *file*, not an OS failure:
+            // the read itself succeeded, the bytes just ran out early.
+            TraceIoError::Io(io) if io.kind() == std::io::ErrorKind::UnexpectedEof => {
+                CgtError::Corrupt(e.to_string())
+            }
+            TraceIoError::Io(_) => CgtError::Io(e.to_string()),
+            _ => CgtError::Corrupt(e.to_string()),
+        }
+    }
+}
+
+impl From<EvalError> for CgtError {
+    fn from(e: EvalError) -> Self {
+        match e {
+            EvalError::Trace(e) => e.into(),
+            // A replay divergence means the event *content* is invalid —
+            // the same trust verdict as a CRC failure.
+            EvalError::Replay(_) => CgtError::Corrupt(e.to_string()),
+            EvalError::LimitExceeded { .. }
+            | EvalError::DeadlineExceeded { .. }
+            | EvalError::Cancelled => CgtError::Limit(e.to_string()),
+            EvalError::ShardPanicked { .. } | EvalError::ShardStalled { .. } => {
+                CgtError::Other(e.to_string())
+            }
+        }
+    }
 }
 
 fn main() -> ExitCode {
@@ -73,16 +180,10 @@ fn main() -> ExitCode {
         }
     };
     match result {
-        Ok(ok) => {
-            if ok {
-                ExitCode::SUCCESS
-            } else {
-                ExitCode::FAILURE
-            }
-        }
+        Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
-            eprintln!("error: {e}");
-            ExitCode::FAILURE
+            eprintln!("error: {}", e.message());
+            ExitCode::from(e.exit_code())
         }
     }
 }
@@ -153,7 +254,7 @@ fn record_workload(
     heap: cg_heap::HeapConfig,
     chunk_events: usize,
     path: &Path,
-) -> Result<TraceStats, String> {
+) -> Result<TraceStats, CgtError> {
     let config = VmConfig {
         heap,
         gc_every_instructions: gc_every,
@@ -168,7 +269,8 @@ fn record_workload(
         ..TraceMeta::default()
     };
     let tmp = path.with_extension("cgt.tmp");
-    let file = std::fs::File::create(&tmp).map_err(|e| format!("create {}: {e}", tmp.display()))?;
+    let file = std::fs::File::create(&tmp)
+        .map_err(|e| CgtError::Io(format!("create {}: {e}", tmp.display())))?;
     let recorded = record_streaming(
         &meta,
         workload.program(size),
@@ -180,16 +282,15 @@ fn record_workload(
         Ok(recorded) => recorded,
         Err(e) => {
             let _ = std::fs::remove_file(&tmp);
-            return Err(format!("recording {}: {e}", meta.name));
+            return Err(CgtError::Other(format!("recording {}: {e}", meta.name)));
         }
     };
     w.into_inner()
-        .map_err(|e| format!("flush: {}", e.error()))?;
+        .map_err(|e| CgtError::Io(format!("flush: {}", e.error())))?;
 
     // Stream the fresh recording back through the canonical collector to
     // compute the exact stats footer, then rewrite with it embedded.
-    let (_, section) =
-        replay_for_section(&tmp).map_err(|e| format!("replaying {}: {e}", tmp.display()))?;
+    let (_, section) = replay_for_section(&tmp, &Governor::unlimited())?;
     let (_, stats) = rewrite_trace(
         &tmp,
         path,
@@ -199,23 +300,31 @@ fn record_workload(
             ..RewriteOptions::default()
         },
     )
-    .map_err(|e| format!("rewriting {}: {e}", path.display()))?;
+    .map_err(CgtError::from)?;
     let _ = std::fs::remove_file(&tmp);
     Ok(stats)
 }
 
-/// Streams a file through the canonical collector; returns the observed
-/// census and the freshly computed `"cg"` section.
-fn replay_for_section(path: &Path) -> Result<(TraceFooter, FooterSection), String> {
-    let replayed = cg_trace::replay_path(path, Some(canonical_heap()), canonical_collector())
-        .map_err(|e| e.to_string())?;
+/// Streams a file through the canonical collector under `governor`;
+/// returns the observed census and the freshly computed `"cg"` section.
+fn replay_for_section(
+    path: &Path,
+    governor: &Governor,
+) -> Result<(TraceFooter, FooterSection), CgtError> {
+    let replayed = cg_trace::replay_path_governed(
+        path,
+        Some(canonical_heap()),
+        canonical_collector(),
+        governor,
+    )
+    .map_err(CgtError::from)?;
     let mut collector = replayed.replayed.collector;
     let breakdown = collector.breakdown();
     let section = cg_section(collector.stats(), &breakdown);
     Ok((replayed.footer, section))
 }
 
-fn cmd_record(args: &[String]) -> Result<bool, String> {
+fn cmd_record(args: &[String]) -> Result<(), CgtError> {
     let (positional, flags) = split_flags(
         args,
         &[
@@ -229,8 +338,9 @@ fn cmd_record(args: &[String]) -> Result<bool, String> {
     let [spec] = positional.as_slice() else {
         usage();
     };
-    let (workload, size) = Workload::parse_spec(spec)
-        .ok_or_else(|| format!("unknown workload spec '{spec}' (try e.g. javac/1)"))?;
+    let (workload, size) = Workload::parse_spec(spec).ok_or_else(|| {
+        CgtError::Other(format!("unknown workload spec '{spec}' (try e.g. javac/1)"))
+    })?;
     let gc_every = flags.get_usize("--gc-every").map(|v| v as u64);
     let chunk_events = flags
         .get_usize("--chunk-events")
@@ -270,16 +380,16 @@ fn cmd_record(args: &[String]) -> Result<bool, String> {
         stats.total(),
         bytes,
     );
-    Ok(true)
+    Ok(())
 }
 
-fn cmd_info(args: &[String]) -> Result<bool, String> {
+fn cmd_info(args: &[String]) -> Result<(), CgtError> {
     let (positional, _) = split_flags(args, &[], &[]);
     let [path] = positional.as_slice() else {
         usage();
     };
     let path = Path::new(path);
-    let mut reader = open_trace(path).map_err(|e| e.to_string())?;
+    let mut reader = open_trace(path).map_err(CgtError::from)?;
     let meta = reader.meta().clone();
     // Drain the stream to validate CRCs and reach the footer.
     loop {
@@ -288,7 +398,7 @@ fn cmd_info(args: &[String]) -> Result<bool, String> {
         } else {
             reader.next_event().map(|e| e.is_some())
         };
-        if !more.map_err(|e| e.to_string())? {
+        if !more.map_err(CgtError::from)? {
             break;
         }
     }
@@ -339,7 +449,7 @@ fn cmd_info(args: &[String]) -> Result<bool, String> {
             section.entries.len()
         );
     }
-    Ok(true)
+    Ok(())
 }
 
 /// Compares two canonical sections entry-for-entry, printing every
@@ -364,25 +474,43 @@ fn compare_sections(what: &str, expected: &FooterSection, actual: &FooterSection
     false
 }
 
-fn cmd_verify(args: &[String]) -> Result<bool, String> {
-    let (positional, flags) = split_flags(args, &["--mismatch-out"], &["--re-record"]);
+fn cmd_verify(args: &[String]) -> Result<(), CgtError> {
+    let (positional, flags) = split_flags(args, &["--mismatch-out", "--limits"], &["--re-record"]);
     let [path] = positional.as_slice() else {
         usage();
     };
     let path = Path::new(path);
+    // `--limits ''` means the conservative untrusted-input defaults; no
+    // flag at all means unlimited (the trusting golden-corpus gate).
+    let governor = match flags.get("--limits") {
+        Some(spec) => match ResourceLimits::parse(spec) {
+            Ok(limits) => Governor::new(limits),
+            Err(e) => {
+                eprintln!("--limits: {e}");
+                usage();
+            }
+        },
+        None => Governor::unlimited(),
+    };
 
     // Pass 1: full streaming read (every chunk CRC-checked) + canonical
-    // replay, compared against the embedded footer.
-    let (footer, fresh) = replay_for_section(path)?;
-    let stored = footer
-        .section(CG_SECTION)
-        .ok_or_else(|| format!("{} has no \"{CG_SECTION}\" stats footer", path.display()))?;
+    // replay under the governor, compared against the embedded footer.
+    let (footer, fresh) = replay_for_section(path, &governor)?;
+    let stored = footer.section(CG_SECTION).ok_or_else(|| {
+        CgtError::Mismatch(format!(
+            "{} has no \"{CG_SECTION}\" stats footer",
+            path.display()
+        ))
+    })?;
     if !compare_sections(
         &format!("{} (stored footer vs replay)", path.display()),
         stored,
         &fresh,
     ) {
-        return Ok(false);
+        return Err(CgtError::Mismatch(format!(
+            "{}: replay statistics do not match the stored footer",
+            path.display()
+        )));
     }
     println!(
         "{}: CRCs OK, {} events, replay statistics match the footer",
@@ -391,19 +519,21 @@ fn cmd_verify(args: &[String]) -> Result<bool, String> {
     );
 
     if !flags.has("--re-record") {
-        return Ok(true);
+        return Ok(());
     }
 
     // Pass 2: re-interpret the workload named in the header and demand the
     // fresh recording replay to byte-identical statistics.
-    let meta = open_trace(path).map_err(|e| e.to_string())?.meta().clone();
-    let workload_ref = meta
-        .workload
-        .as_ref()
-        .ok_or_else(|| format!("{} names no workload; cannot re-record", path.display()))?;
+    let meta = open_trace(path).map_err(CgtError::from)?.meta().clone();
+    let workload_ref = meta.workload.as_ref().ok_or_else(|| {
+        CgtError::Other(format!(
+            "{} names no workload; cannot re-record",
+            path.display()
+        ))
+    })?;
     let spec = format!("{}/{}", workload_ref.name, workload_ref.size);
-    let (workload, size) =
-        Workload::parse_spec(&spec).ok_or_else(|| format!("unknown workload '{spec}'"))?;
+    let (workload, size) = Workload::parse_spec(&spec)
+        .ok_or_else(|| CgtError::Other(format!("unknown workload '{spec}'")))?;
     let rerecorded = flags
         .get("--mismatch-out")
         .map(PathBuf::from)
@@ -417,7 +547,7 @@ fn cmd_verify(args: &[String]) -> Result<bool, String> {
         DEFAULT_CHUNK_EVENTS,
         &rerecorded,
     )?;
-    let (refooter, _) = replay_for_section(&rerecorded)?;
+    let (refooter, _) = replay_for_section(&rerecorded, &governor)?;
     let restored = refooter
         .section(CG_SECTION)
         .expect("record_workload always embeds the stats footer");
@@ -439,18 +569,21 @@ fn cmd_verify(args: &[String]) -> Result<bool, String> {
             "{}: live re-record of {spec} is byte-identical",
             path.display()
         );
-        Ok(true)
+        Ok(())
     } else {
         eprintln!(
             "{}: mismatching re-recording kept at {}",
             path.display(),
             rerecorded.display()
         );
-        Ok(false)
+        Err(CgtError::Mismatch(format!(
+            "{}: live re-record of {spec} diverges from the committed trace",
+            path.display()
+        )))
     }
 }
 
-fn cmd_convert(args: &[String]) -> Result<bool, String> {
+fn cmd_convert(args: &[String]) -> Result<(), CgtError> {
     let (positional, flags) = split_flags(
         args,
         &["--chunk-events"],
@@ -467,32 +600,38 @@ fn cmd_convert(args: &[String]) -> Result<bool, String> {
         keep_sections: !flags.has("--strip-sections"),
         add_sections: Vec::new(),
     };
-    let (_, stats) = rewrite_trace(src, dst, &opts).map_err(|e| e.to_string())?;
+    let (_, stats) = rewrite_trace(src, dst, &opts).map_err(CgtError::from)?;
     let from = std::fs::metadata(src).map(|m| m.len()).unwrap_or(0);
     let to = std::fs::metadata(dst).map(|m| m.len()).unwrap_or(0);
     println!(
         "converted {src} ({from} B) -> {dst} ({to} B), {} events",
         stats.total()
     );
-    Ok(true)
+    Ok(())
 }
 
-fn cmd_diff(args: &[String]) -> Result<bool, String> {
+fn cmd_diff(args: &[String]) -> Result<(), CgtError> {
     let (positional, _) = split_flags(args, &[], &[]);
     let [a_path, b_path] = positional.as_slice() else {
         usage();
     };
-    let mut a = open_trace(a_path).map_err(|e| e.to_string())?;
-    let mut b = open_trace(b_path).map_err(|e| e.to_string())?;
+    let mut a = open_trace(a_path).map_err(CgtError::from)?;
+    let mut b = open_trace(b_path).map_err(CgtError::from)?;
     if a.is_shard_stream() || b.is_shard_stream() {
-        return Err("diff compares plain traces, not shard sub-streams".to_string());
+        return Err(CgtError::Other(
+            "diff compares plain traces, not shard sub-streams".to_string(),
+        ));
     }
     let mut identical = true;
     let mut seq = 0u64;
     let mut reported = 0;
     loop {
-        let ea = a.next_event().map_err(|e| format!("{a_path}: {e}"))?;
-        let eb = b.next_event().map_err(|e| format!("{b_path}: {e}"))?;
+        let ea = a
+            .next_event()
+            .map_err(|e| CgtError::from(e).prefixed(a_path))?;
+        let eb = b
+            .next_event()
+            .map_err(|e| CgtError::from(e).prefixed(b_path))?;
         match (ea, eb) {
             (None, None) => break,
             (Some(_), None) => {
@@ -547,6 +686,8 @@ fn cmd_diff(args: &[String]) -> Result<bool, String> {
     }
     if identical {
         println!("traces are identical ({seq} events)");
+        Ok(())
+    } else {
+        Err(CgtError::Mismatch(format!("{a_path} and {b_path} differ")))
     }
-    Ok(identical)
 }

@@ -1,0 +1,264 @@
+//! Deterministic I/O fault injection for robustness testing.
+//!
+//! [`FaultyReader`] and [`FaultyWriter`] wrap any `Read`/`Write` and
+//! inject failures at byte-exact offsets chosen by a [`FaultPlan`]: short
+//! reads, bit flips, hard `io::Error`s, and torn writes (a partial write
+//! followed by failure — what a crashed process or a full disk leaves
+//! behind).  Because the plan is plain data, a seeded sweep can march the
+//! fault offset across an entire trace and assert that every read/write
+//! path degrades to a structured error instead of panicking.
+//!
+//! These wrappers live in the library (not a test module) so the fuzzer's
+//! adversarial campaign and the `cg-bench` robustness tests can share
+//! them.
+
+use std::io::{self, Read, Write};
+
+/// Where and how a [`FaultyReader`]/[`FaultyWriter`] misbehaves.
+/// Offsets are absolute byte positions in the wrapped stream.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// XOR this bit mask into the byte at this offset (silent corruption).
+    pub flip_at: Option<(u64, u8)>,
+    /// Fail with an injected [`io::Error`] once this offset is reached.
+    pub error_at: Option<u64>,
+    /// Cap every read/write at this many bytes (short reads; and writers
+    /// that must handle partial writes).  Zero means no cap.
+    pub max_io: usize,
+}
+
+impl FaultPlan {
+    /// A plan that never misbehaves.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Flip `mask` into the byte at `offset`.
+    pub fn flip(offset: u64, mask: u8) -> Self {
+        Self {
+            flip_at: Some((offset, mask.max(1))),
+            ..Self::default()
+        }
+    }
+
+    /// Fail with an I/O error at `offset` (a torn write / dead disk).
+    pub fn error(offset: u64) -> Self {
+        Self {
+            error_at: Some(offset),
+            ..Self::default()
+        }
+    }
+
+    /// Deliver at most `max` bytes per read/write call.
+    pub fn short(max: usize) -> Self {
+        Self {
+            max_io: max.max(1),
+            ..Self::default()
+        }
+    }
+
+    fn injected_error(offset: u64) -> io::Error {
+        io::Error::other(format!("injected fault at byte offset {offset}"))
+    }
+}
+
+/// A `Read` adapter that misbehaves according to its [`FaultPlan`].
+#[derive(Debug)]
+pub struct FaultyReader<R> {
+    inner: R,
+    plan: FaultPlan,
+    offset: u64,
+}
+
+impl<R: Read> FaultyReader<R> {
+    /// Wraps `inner` with `plan`.
+    pub fn new(inner: R, plan: FaultPlan) -> Self {
+        Self {
+            inner,
+            plan,
+            offset: 0,
+        }
+    }
+
+    /// Bytes delivered so far.
+    pub fn offset(&self) -> u64 {
+        self.offset
+    }
+}
+
+impl<R: Read> Read for FaultyReader<R> {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        if let Some(at) = self.plan.error_at {
+            if self.offset >= at {
+                return Err(FaultPlan::injected_error(at));
+            }
+        }
+        let mut cap = buf.len();
+        if self.plan.max_io > 0 {
+            cap = cap.min(self.plan.max_io);
+        }
+        // Stop exactly at the error offset so the failure is byte-exact.
+        if let Some(at) = self.plan.error_at {
+            cap = cap.min((at - self.offset) as usize);
+            if cap == 0 {
+                return Err(FaultPlan::injected_error(at));
+            }
+        }
+        let n = self.inner.read(&mut buf[..cap])?;
+        if let Some((at, mask)) = self.plan.flip_at {
+            if at >= self.offset && at < self.offset + n as u64 {
+                buf[(at - self.offset) as usize] ^= mask;
+            }
+        }
+        self.offset += n as u64;
+        Ok(n)
+    }
+}
+
+/// A `Write` adapter that misbehaves according to its [`FaultPlan`].
+///
+/// An `error_at` plan produces a *torn write*: every byte before the
+/// offset reaches the inner writer, then the write fails — the on-disk
+/// state a crash mid-write leaves behind.
+#[derive(Debug)]
+pub struct FaultyWriter<W> {
+    inner: W,
+    plan: FaultPlan,
+    offset: u64,
+}
+
+impl<W: Write> FaultyWriter<W> {
+    /// Wraps `inner` with `plan`.
+    pub fn new(inner: W, plan: FaultPlan) -> Self {
+        Self {
+            inner,
+            plan,
+            offset: 0,
+        }
+    }
+
+    /// Bytes accepted so far.
+    pub fn offset(&self) -> u64 {
+        self.offset
+    }
+
+    /// Unwraps the inner writer (e.g. to inspect the torn prefix).
+    pub fn into_inner(self) -> W {
+        self.inner
+    }
+}
+
+impl<W: Write> Write for FaultyWriter<W> {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        if let Some(at) = self.plan.error_at {
+            if self.offset >= at {
+                return Err(FaultPlan::injected_error(at));
+            }
+        }
+        let mut cap = buf.len();
+        if self.plan.max_io > 0 {
+            cap = cap.min(self.plan.max_io);
+        }
+        if let Some(at) = self.plan.error_at {
+            cap = cap.min((at - self.offset) as usize);
+            if cap == 0 {
+                return Err(FaultPlan::injected_error(at));
+            }
+        }
+        let mut chunk = [0u8; 4096];
+        let n = if let Some((at, mask)) = self.plan.flip_at {
+            // Corrupt a copy so the caller's buffer stays pristine.
+            let cap = cap.min(chunk.len());
+            chunk[..cap].copy_from_slice(&buf[..cap]);
+            if at >= self.offset && at < self.offset + cap as u64 {
+                chunk[(at - self.offset) as usize] ^= mask;
+            }
+            self.inner.write(&chunk[..cap])?
+        } else {
+            self.inner.write(&buf[..cap])?
+        };
+        self.offset += n as u64;
+        Ok(n)
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.inner.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_plan_is_transparent() {
+        let data = (0u8..=255).collect::<Vec<_>>();
+        let mut out = Vec::new();
+        FaultyReader::new(&data[..], FaultPlan::none())
+            .read_to_end(&mut out)
+            .unwrap();
+        assert_eq!(out, data);
+
+        let mut w = FaultyWriter::new(Vec::new(), FaultPlan::none());
+        w.write_all(&data).unwrap();
+        assert_eq!(w.into_inner(), data);
+    }
+
+    #[test]
+    fn short_reads_still_deliver_everything() {
+        let data = [7u8; 1000];
+        let mut reader = FaultyReader::new(&data[..], FaultPlan::short(3));
+        let mut buf = [0u8; 64];
+        let n = reader.read(&mut buf).unwrap();
+        assert_eq!(n, 3);
+        let mut rest = Vec::new();
+        reader.read_to_end(&mut rest).unwrap();
+        assert_eq!(rest.len() + n, data.len());
+    }
+
+    #[test]
+    fn bit_flip_lands_on_the_exact_byte() {
+        let data = vec![0u8; 100];
+        let mut out = Vec::new();
+        FaultyReader::new(&data[..], FaultPlan::flip(42, 0x80))
+            .read_to_end(&mut out)
+            .unwrap();
+        assert_eq!(out[42], 0x80);
+        assert!(out.iter().enumerate().all(|(i, &b)| i == 42 || b == 0));
+
+        let mut w = FaultyWriter::new(Vec::new(), FaultPlan::flip(42, 0x01));
+        w.write_all(&data).unwrap();
+        let written = w.into_inner();
+        assert_eq!(written[42], 0x01);
+    }
+
+    #[test]
+    fn error_offset_is_byte_exact_and_tears_the_write() {
+        let data = vec![9u8; 100];
+        let mut reader = FaultyReader::new(&data[..], FaultPlan::error(10));
+        let mut out = Vec::new();
+        let err = reader.read_to_end(&mut out).unwrap_err();
+        assert!(err.to_string().contains("injected fault"));
+        assert_eq!(out.len(), 10);
+
+        let mut w = FaultyWriter::new(Vec::new(), FaultPlan::error(10));
+        let err = w.write_all(&data).unwrap_err();
+        assert!(err.to_string().contains("offset 10"));
+        assert_eq!(w.into_inner().len(), 10);
+    }
+
+    #[test]
+    fn flip_through_short_reads_still_lands() {
+        let data = [0u8; 64];
+        let plan = FaultPlan {
+            flip_at: Some((33, 0x04)),
+            max_io: 5,
+            ..FaultPlan::default()
+        };
+        let mut out = Vec::new();
+        FaultyReader::new(&data[..], plan)
+            .read_to_end(&mut out)
+            .unwrap();
+        assert_eq!(out[33], 0x04);
+    }
+}

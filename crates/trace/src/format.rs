@@ -333,6 +333,9 @@ pub fn decode_header(bytes: &[u8]) -> Result<TraceMeta, WireError> {
                 handle_repr,
                 object_header_words,
                 alloc_policy,
+                // Fault injection is a process-local test aid, never part
+                // of the wire format.
+                alloc_failure_at: None,
             })
         }
         other => return Err(WireError(format!("bad heap flag {other}"))),

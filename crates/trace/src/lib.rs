@@ -46,9 +46,11 @@
 #![warn(missing_docs)]
 
 pub mod compress;
+pub mod fault;
 pub mod footer;
 pub mod format;
 pub mod io;
+pub mod limits;
 pub mod partition;
 pub mod recorder;
 pub mod replay;
@@ -56,6 +58,7 @@ pub mod trace;
 mod wire;
 
 pub use cg_vm::{AllocKind, EventKind, EventSink, GcEvent};
+pub use fault::{FaultPlan, FaultyReader, FaultyWriter};
 pub use format::{
     FooterSection, StreamKind, TraceFooter, TraceIoError, TraceMeta, WorkloadRef,
     DEFAULT_CHUNK_EVENTS, FORMAT_VERSION,
@@ -63,6 +66,9 @@ pub use format::{
 pub use io::{
     open_trace, read_shard_stream, read_trace, read_trace_from_path, rewrite_trace, write_trace,
     write_trace_to_path, RewriteOptions, TraceReader, TraceWriter,
+};
+pub use limits::{
+    CancelToken, EvalError, Governor, LimitKind, ResourceLimits, GOVERNOR_CHECK_EVENTS,
 };
 pub use partition::{
     partition, partition_path_streaming, partition_streaming, read_partitioned, PartitionedPaths,
@@ -72,7 +78,8 @@ pub use recorder::{
     finish_streaming, record, record_streaming, RecordError, StreamingRecorder, TraceRecorder,
 };
 pub use replay::{
-    apply_event, replay, replay_events, replay_path, ReplayError, ReplayOutcome, Replayed,
-    StreamReplayError, StreamReplayed,
+    apply_event, replay, replay_events, replay_events_governed, replay_governed, replay_path,
+    replay_path_governed, validate_event_handles, validate_event_liveness, ReplayError,
+    ReplayOutcome, Replayed, StreamReplayError, StreamReplayed,
 };
 pub use trace::{Trace, TraceStats};

@@ -8,6 +8,7 @@ use cg_vm::{AllocKind, Collector, GcEvent, Handle};
 
 use crate::format::TraceIoError;
 use crate::io::open_trace;
+use crate::limits::{EvalError, Governor, GOVERNOR_CHECK_EVENTS};
 use crate::trace::Trace;
 
 /// What a replay accomplished, mirroring the collector-side fields of a live
@@ -58,6 +59,15 @@ pub enum ReplayError {
         /// The handle that could not be reused.
         handle: Handle,
     },
+    /// An event named a handle index no valid recording on this heap
+    /// could have minted (see [`validate_event_handles`]) — corrupt or
+    /// hostile input, rejected before any handle-indexed table grows.
+    HandleOutOfRange {
+        /// The implausible handle.
+        handle: Handle,
+        /// The heap's configured handle capacity.
+        capacity: usize,
+    },
 }
 
 impl std::fmt::Display for ReplayError {
@@ -74,6 +84,12 @@ impl std::fmt::Display for ReplayError {
                 write!(
                     f,
                     "recorded recycled allocation of {handle} could not be replayed"
+                )
+            }
+            ReplayError::HandleOutOfRange { handle, capacity } => {
+                write!(
+                    f,
+                    "event names {handle}, beyond the heap's capacity of {capacity} handles"
                 )
             }
         }
@@ -154,15 +170,43 @@ pub struct Replayed<C> {
 pub fn replay<C: Collector>(
     trace: &Trace,
     heap_config: HeapConfig,
-    mut collector: C,
+    collector: C,
 ) -> Result<Replayed<C>, ReplayError> {
+    replay_governed(trace, heap_config, collector, &Governor::unlimited()).map_err(|e| match e {
+        EvalError::Replay(e) => e,
+        // An unlimited governor with a fresh cancel token has nothing to
+        // trip, and an in-memory trace cannot raise a stream error.
+        other => unreachable!("unlimited governor tripped: {other}"),
+    })
+}
+
+/// [`replay`] under a resource [`Governor`]: the heap configuration is
+/// validated against the budget *before* the shadow heap is allocated, and
+/// the budget (events, handles, deadline, cancellation) is polled every
+/// [`GOVERNOR_CHECK_EVENTS`] events.
+///
+/// # Errors
+///
+/// An [`EvalError`]: a replay divergence or a budget trip.
+pub fn replay_governed<C: Collector>(
+    trace: &Trace,
+    heap_config: HeapConfig,
+    mut collector: C,
+    governor: &Governor,
+) -> Result<Replayed<C>, EvalError> {
+    governor.validate_heap(&heap_config)?;
+    governor.validate_declared_events(trace.len() as u64)?;
     let start = std::time::Instant::now();
     let mut heap = Heap::new(heap_config);
     let mut outcome = ReplayOutcome::default();
 
     for event in trace.events() {
         apply_event(event, &mut heap, &mut collector, &mut outcome)?;
+        if (outcome.events_replayed as u64).is_multiple_of(GOVERNOR_CHECK_EVENTS) {
+            governor.checkpoint(outcome.events_replayed as u64, &heap)?;
+        }
     }
+    governor.checkpoint(outcome.events_replayed as u64, &heap)?;
 
     outcome.live_at_exit = heap.live_count();
     outcome.elapsed_seconds = start.elapsed().as_secs_f64();
@@ -171,6 +215,98 @@ pub fn replay<C: Collector>(
         outcome,
         heap,
     })
+}
+
+/// Validates every handle `event` names against the heap's configured
+/// capacity.
+///
+/// Collectors index per-object state by handle (union/find slots, taint
+/// bitsets), so a hostile stream naming an index near `u32::MAX` would
+/// otherwise inflate those tables by hundreds of gigabytes in a single
+/// event — long before any cooperative budget checkpoint fires.  A valid
+/// recording can never exceed the capacity bound: the canonical
+/// (non-recycling) recording pipeline never frees, so every handle it
+/// mints is below the heap's live-handle capacity.
+///
+/// # Errors
+///
+/// [`ReplayError::HandleOutOfRange`] naming the implausible handle.
+pub fn validate_event_handles(event: &GcEvent, heap: &Heap) -> Result<(), ReplayError> {
+    let capacity = heap.config().handle_capacity();
+    let check = |handle: Handle| -> Result<(), ReplayError> {
+        if handle.index_usize() >= capacity {
+            Err(ReplayError::HandleOutOfRange { handle, capacity })
+        } else {
+            Ok(())
+        }
+    };
+    match event {
+        GcEvent::Allocate { handle, .. } => check(*handle),
+        GcEvent::SlotWrite { object, value, .. } => {
+            check(*object)?;
+            value.map_or(Ok(()), check)
+        }
+        GcEvent::ObjectAccess { handle, .. } => check(*handle),
+        GcEvent::ReferenceStore { source, target, .. } => {
+            check(*source)?;
+            check(*target)
+        }
+        GcEvent::StaticStore { target } => check(*target),
+        GcEvent::ReturnValue { value, .. } => check(*value),
+        GcEvent::FramePush { .. } | GcEvent::FramePop { .. } => Ok(()),
+        GcEvent::Collect { roots } | GcEvent::ProgramEnd { roots } => {
+            roots.all_roots().try_for_each(check)
+        }
+    }
+}
+
+/// Validates that every *existing* object `event` names is live in `heap`.
+///
+/// A consistent stream only ever mentions objects that are live at that
+/// point — the VM cannot touch, store or root a freed object, and the
+/// contaminated collector only frees objects the program can provably
+/// never touch again.  A mutated or corrupt stream breaks that: it can
+/// name an index that was never allocated (or was already freed), which
+/// the collector hooks would happily *register* — and a registered-but-
+/// never-allocated object later trips `heap.free` invariants deep inside
+/// frame-pop collection.  Checking liveness up front turns that panic
+/// into a structured [`ReplayError`] at the offending event.
+///
+/// `Allocate` handles are exempt (they are *supposed* to be dead — the
+/// heap itself rejects an in-use handle), so this check is safe for
+/// recycled traces.  It only applies to whole-trace replay against a
+/// single shadow heap; sharded replay routes foreign handles that live
+/// in a sibling shard's heap and must not be checked here.
+///
+/// # Errors
+///
+/// [`ReplayError::Heap`] carrying [`HeapError::DeadHandle`] for the first
+/// non-live handle the event names.
+pub fn validate_event_liveness(event: &GcEvent, heap: &Heap) -> Result<(), ReplayError> {
+    let live = |handle: Handle| -> Result<(), ReplayError> {
+        if heap.is_live(handle) {
+            Ok(())
+        } else {
+            Err(ReplayError::Heap(HeapError::DeadHandle(handle)))
+        }
+    };
+    match event {
+        GcEvent::Allocate { .. } | GcEvent::FramePush { .. } | GcEvent::FramePop { .. } => Ok(()),
+        GcEvent::SlotWrite { object, value, .. } => {
+            live(*object)?;
+            value.map_or(Ok(()), live)
+        }
+        GcEvent::ObjectAccess { handle, .. } => live(*handle),
+        GcEvent::ReferenceStore { source, target, .. } => {
+            live(*source)?;
+            live(*target)
+        }
+        GcEvent::StaticStore { target } => live(*target),
+        GcEvent::ReturnValue { value, .. } => live(*value),
+        GcEvent::Collect { roots } | GcEvent::ProgramEnd { roots } => {
+            roots.all_roots().try_for_each(live)
+        }
+    }
 }
 
 /// Applies one recorded event to the shadow heap and the collector —
@@ -182,6 +318,8 @@ pub fn apply_event<C: Collector>(
     collector: &mut C,
     outcome: &mut ReplayOutcome,
 ) -> Result<(), ReplayError> {
+    validate_event_handles(event, heap)?;
+    validate_event_liveness(event, heap)?;
     outcome.events_replayed += 1;
     match event {
         GcEvent::Allocate {
@@ -283,18 +421,44 @@ pub fn apply_event<C: Collector>(
 pub fn replay_events<C, I>(
     events: I,
     heap_config: HeapConfig,
-    mut collector: C,
+    collector: C,
 ) -> Result<Replayed<C>, StreamReplayError>
 where
     C: Collector,
     I: IntoIterator<Item = Result<GcEvent, TraceIoError>>,
 {
+    replay_events_governed(events, heap_config, collector, &Governor::unlimited())
+        .map_err(degrade_ungoverned)
+}
+
+/// [`replay_events`] under a resource [`Governor`] (see
+/// [`replay_governed`] for the enforcement points).
+///
+/// # Errors
+///
+/// An [`EvalError`]: a replay divergence, an unreadable stream, or a
+/// budget trip.
+pub fn replay_events_governed<C, I>(
+    events: I,
+    heap_config: HeapConfig,
+    mut collector: C,
+    governor: &Governor,
+) -> Result<Replayed<C>, EvalError>
+where
+    C: Collector,
+    I: IntoIterator<Item = Result<GcEvent, TraceIoError>>,
+{
+    governor.validate_heap(&heap_config)?;
     let start = std::time::Instant::now();
     let mut heap = Heap::new(heap_config);
     let mut outcome = ReplayOutcome::default();
     for event in events {
         apply_event(&event?, &mut heap, &mut collector, &mut outcome)?;
+        if (outcome.events_replayed as u64).is_multiple_of(GOVERNOR_CHECK_EVENTS) {
+            governor.checkpoint(outcome.events_replayed as u64, &heap)?;
+        }
     }
+    governor.checkpoint(outcome.events_replayed as u64, &heap)?;
     outcome.live_at_exit = heap.live_count();
     outcome.elapsed_seconds = start.elapsed().as_secs_f64();
     Ok(Replayed {
@@ -302,6 +466,17 @@ where
         outcome,
         heap,
     })
+}
+
+/// Maps an [`EvalError`] from an *unlimited* governor back onto the
+/// pre-governance error type: only stream and replay failures are
+/// reachable.
+fn degrade_ungoverned(e: EvalError) -> StreamReplayError {
+    match e {
+        EvalError::Replay(e) => StreamReplayError::Replay(e),
+        EvalError::Trace(e) => StreamReplayError::Trace(e),
+        other => unreachable!("unlimited governor tripped: {other}"),
+    }
 }
 
 /// What a streaming replay of a `.cgt` file produced: the replay result
@@ -332,6 +507,28 @@ pub fn replay_path<C: Collector>(
     fallback_heap: Option<HeapConfig>,
     collector: C,
 ) -> Result<StreamReplayed<C>, StreamReplayError> {
+    replay_path_governed(path, fallback_heap, collector, &Governor::unlimited())
+        .map_err(degrade_ungoverned)
+}
+
+/// [`replay_path`] under a resource [`Governor`].
+///
+/// This is the untrusted-input entry point: the header's heap
+/// configuration and declared event count are validated against the
+/// budget *before any heap allocation*, so a hostile header cannot OOM
+/// the evaluator, and the replay loop then polls the governor every
+/// [`GOVERNOR_CHECK_EVENTS`] events.
+///
+/// # Errors
+///
+/// An [`EvalError`]: a replay divergence, an unreadable stream, or a
+/// budget trip.
+pub fn replay_path_governed<C: Collector>(
+    path: impl AsRef<Path>,
+    fallback_heap: Option<HeapConfig>,
+    collector: C,
+    governor: &Governor,
+) -> Result<StreamReplayed<C>, EvalError> {
     let mut reader = open_trace(path)?;
     let heap_config =
         reader
@@ -343,11 +540,16 @@ pub fn replay_path<C: Collector>(
                 detail: "trace header carries no heap configuration and no fallback was given"
                     .to_string(),
             })?;
+    governor.validate_heap(&heap_config)?;
+    if let Some(declared) = reader.meta().declared_events {
+        governor.validate_declared_events(declared)?;
+    }
     let meta = reader.meta().clone();
-    let replayed = replay_events(
+    let replayed = replay_events_governed(
         std::iter::from_fn(|| reader.next_event().transpose()),
         heap_config,
         collector,
+        governor,
     )?;
     let footer = reader
         .footer()
