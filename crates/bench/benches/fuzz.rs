@@ -12,15 +12,46 @@
 //!
 //! Before timing anything, every profile's seed-0 program is checked once —
 //! a benchmark of a failing oracle would be measuring panic unwinding.
+//!
+//! CI re-runs the suite with `--check baselines/fuzz.json` and fails if any
+//! shared label regressed more than 2x (speed-normalised through the
+//! calibration loop) — the oracle's throughput is a feature: it bounds how
+//! many programs a fixed fuzzing budget can cover.
+//!
+//! Two derived programs/sec figures are embedded in the JSON so the bench
+//! trajectory accumulates comparable points across PRs:
+//!
+//! * `record_path` — generate + record one program (interpretation-bound;
+//!   this is the figure the fused dispatch loop moves). Hard-asserted to
+//!   stay above the PR 4 full-oracle figure of ~1000 programs/s: PR 4's
+//!   whole differential check ran at ~1000/s, so its record leg was
+//!   necessarily faster than that, and the interpreter must never fall
+//!   back below it.
+//! * `full_oracle` — one complete differential check. Slower per program
+//!   than at PR 4 because the oracle has since roughly doubled its legs
+//!   (domain differential, trace mutation, fusion differential), which is
+//!   why the hard regression floor is on the record path, not here.
+
+use std::hint::black_box;
 
 use cg_bench::BenchHarness;
 use cg_fuzz::{check_program, fuzz_vm_config, generate, GenProfile, OracleOptions};
+use cg_stats::Json;
 use cg_testutil::TestRng;
 use cg_trace::record;
 use cg_vm::NoopCollector;
 
+const CALIBRATION_LABEL: &str = "calibration/spin_1k";
+
 fn main() {
+    let check = cg_bench::parse_check_arg();
     let mut harness = BenchHarness::new("fuzz");
+    harness.bench(CALIBRATION_LABEL, 200_000, || {
+        (0..1000u64).fold(0u64, |acc, i| {
+            acc.wrapping_mul(6_364_136_223_846_793_005)
+                .wrapping_add(black_box(i))
+        })
+    });
     let options = OracleOptions::default();
 
     // Correctness gate first.
@@ -54,5 +85,48 @@ fn main() {
         });
     }
 
-    harness.write_json();
+    // Aggregate programs/sec across the six profiles (total time for one
+    // program of each, inverted), for the two pipeline depths described in
+    // the module docs.
+    let (mut record_ns, mut oracle_ns) = (0.0f64, 0.0f64);
+    for profile in GenProfile::all() {
+        record_ns += harness
+            .ns_of(&format!("record/{}", profile.name))
+            .expect("record leg benched");
+        oracle_ns += harness
+            .ns_of(&format!("oracle/{}", profile.name))
+            .expect("oracle leg benched");
+    }
+    let profiles = GenProfile::all().len() as f64;
+    let record_pps = profiles * 1e9 / record_ns;
+    let oracle_pps = profiles * 1e9 / oracle_ns;
+
+    // PR 4 measured ~1000 programs/s through its (shallower) full oracle;
+    // the interpretation-bound record path must never regress below that.
+    const PR4_FULL_ORACLE_PPS: f64 = 1000.0;
+    println!(
+        "fuzz programs/sec: record path {record_pps:.0}/s, full oracle {oracle_pps:.0}/s \
+         (PR 4 full-oracle reference {PR4_FULL_ORACLE_PPS:.0}/s)"
+    );
+    assert!(
+        record_pps > PR4_FULL_ORACLE_PPS,
+        "generate+record throughput regressed below the PR 4 full-oracle figure: \
+         {record_pps:.0} programs/s <= {PR4_FULL_ORACLE_PPS:.0} programs/s"
+    );
+
+    harness.write_json_with([(
+        "fuzz_programs_per_sec",
+        Json::Obj(vec![
+            ("record_path".to_string(), Json::Num(record_pps)),
+            ("full_oracle".to_string(), Json::Num(oracle_pps)),
+            (
+                "pr4_full_oracle_reference".to_string(),
+                Json::Num(PR4_FULL_ORACLE_PPS),
+            ),
+        ]),
+    )]);
+
+    if let Some(path) = check {
+        cg_bench::check_against_baseline(&harness, &path, CALIBRATION_LABEL);
+    }
 }

@@ -3,8 +3,12 @@
 //! ```text
 //! cg-fuzz [--seed N|0xHEX] [--iters N] [--profile NAME|all]
 //!         [--forced-gc N] [--fault skip-contamination] [--domain atomic|mutex]
-//!         [--minimize] [--out PATH] [--replay FILE] [--mutate-trace]
+//!         [--no-fuse] [--minimize] [--out PATH] [--replay FILE] [--mutate-trace]
 //! ```
+//!
+//! `--no-fuse` runs the primary oracle legs on the unfused interpreter
+//! (the oracle's fusion-differential leg then re-records each program
+//! *fused*, so the byte-identity invariant is checked either way).
 //!
 //! Exit code 0 means every checked program passed the oracle; 1 means a
 //! counterexample was found (printed, and written to `--out` when
@@ -37,6 +41,7 @@ struct Options {
     case_seed: Option<u64>,
     domain: DomainImpl,
     mutate_trace: bool,
+    fusion: bool,
 }
 
 impl Default for Options {
@@ -53,6 +58,7 @@ impl Default for Options {
             case_seed: None,
             domain: DomainImpl::default(),
             mutate_trace: false,
+            fusion: true,
         }
     }
 }
@@ -61,8 +67,12 @@ fn usage() -> ! {
     eprintln!(
         "usage: cg-fuzz [--seed N|0xHEX] [--iters N] [--profile NAME|all] \
          [--forced-gc N] [--fault skip-contamination] [--domain atomic|mutex] \
-         [--minimize] [--out PATH] [--replay FILE] [--case-seed N|0xHEX] \
-         [--mutate-trace]\n\nprofiles:"
+         [--no-fuse] [--minimize] [--out PATH] [--replay FILE] \
+         [--case-seed N|0xHEX] [--mutate-trace]\n\n\
+         --no-fuse runs the primary legs on the unfused interpreter; the\n\
+         fusion-differential leg still checks byte-identity against the\n\
+         fused one.  Exit codes are unchanged: 0 pass, 1 counterexample,\n\
+         2 bad usage.\n\nprofiles:"
     );
     for p in GenProfile::all() {
         eprintln!("  {:<14} {}", p.name, p.description);
@@ -132,6 +142,7 @@ fn parse_args() -> Options {
             }
             "--minimize" => options.minimize = true,
             "--mutate-trace" => options.mutate_trace = true,
+            "--no-fuse" => options.fusion = false,
             "--out" => options.out = args.next().unwrap_or_else(|| usage()),
             "--replay" => options.replay = Some(args.next().unwrap_or_else(|| usage())),
             "--help" | "-h" => usage(),
@@ -157,6 +168,7 @@ fn oracle_options(options: &Options) -> OracleOptions {
         Some(n) => oracle.forced_gc = Some(n),
         None => {}
     }
+    oracle.fusion = options.fusion;
     oracle
 }
 

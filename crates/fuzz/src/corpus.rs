@@ -167,6 +167,70 @@ fn insn_to_string(insn: &Insn) -> String {
         Insn::Intern { key, src, dst } => format!("intern {key} {src} {dst}"),
         Insn::NativeStaticRef { src } => format!("nativeref {src}"),
         Insn::Nop => "nop".to_string(),
+        Insn::CallCached {
+            method,
+            args,
+            dst,
+            site,
+        } => {
+            let dst = dst.map_or("-".to_string(), |d| d.to_string());
+            let args: Vec<String> = args.iter().map(|a| a.to_string()).collect();
+            format!("call.c {} {site} {dst} {}", method.index(), args.join(" "))
+                .trim_end()
+                .to_string()
+        }
+        Insn::FusedGetGet {
+            object_a,
+            field_a,
+            dst_a,
+            object_b,
+            field_b,
+            dst_b,
+        } => format!("f.getget {object_a} {field_a} {dst_a} {object_b} {field_b} {dst_b}"),
+        Insn::FusedGetPut {
+            object_a,
+            field_a,
+            dst_a,
+            object_b,
+            field_b,
+            value_b,
+        } => format!("f.getput {object_a} {field_a} {dst_a} {object_b} {field_b} {value_b}"),
+        Insn::FusedArithBranch {
+            op,
+            dst,
+            a,
+            b,
+            cond,
+            cmp_a,
+            cmp_b,
+            target,
+        } => format!(
+            "f.arithbr {} {dst} {} {} {} {} {} {target}",
+            arith_name(*op),
+            op_to_string(a),
+            op_to_string(b),
+            cond_name(*cond),
+            op_to_string(cmp_a),
+            op_to_string(cmp_b)
+        ),
+        Insn::FusedConstCall {
+            const_dst,
+            const_value,
+            method,
+            args,
+            dst,
+            site,
+        } => {
+            let dst = dst.map_or("-".to_string(), |d| d.to_string());
+            let args: Vec<String> = args.iter().map(|a| a.to_string()).collect();
+            format!(
+                "f.constcall {const_dst} {const_value} {} {site} {dst} {}",
+                method.index(),
+                args.join(" ")
+            )
+            .trim_end()
+            .to_string()
+        }
     }
 }
 
@@ -346,6 +410,18 @@ pub fn parse(text: &str) -> Result<Program, ParseError> {
     Ok(program)
 }
 
+fn parse_call_args(p: &mut Parser<'_>) -> Result<Vec<LocalIdx>, ParseError> {
+    p.rest()
+        .into_iter()
+        .map(|a| {
+            a.parse().map_err(|_| ParseError {
+                line: p.line,
+                message: format!("bad call argument '{a}'"),
+            })
+        })
+        .collect()
+}
+
 fn parse_insn(keyword: &str, p: &mut Parser<'_>) -> Result<Insn, ParseError> {
     let insn = match keyword {
         "new" => Insn::New {
@@ -475,6 +551,81 @@ fn parse_insn(keyword: &str, p: &mut Parser<'_>) -> Result<Insn, ParseError> {
         },
         "nativeref" => Insn::NativeStaticRef { src: p.local()? },
         "nop" => Insn::Nop,
+        "call.c" => {
+            let method = MethodId::new(p.usize()? as u32);
+            let site = p.usize()? as u32;
+            let dst = p.opt_local()?;
+            Insn::CallCached {
+                method,
+                args: parse_call_args(p)?,
+                dst,
+                site,
+            }
+        }
+        "f.getget" => Insn::FusedGetGet {
+            object_a: p.local()?,
+            field_a: p.usize()?,
+            dst_a: p.local()?,
+            object_b: p.local()?,
+            field_b: p.usize()?,
+            dst_b: p.local()?,
+        },
+        "f.getput" => Insn::FusedGetPut {
+            object_a: p.local()?,
+            field_a: p.usize()?,
+            dst_a: p.local()?,
+            object_b: p.local()?,
+            field_b: p.usize()?,
+            value_b: p.local()?,
+        },
+        "f.arithbr" => {
+            let op = match p.next()? {
+                "add" => ArithOp::Add,
+                "sub" => ArithOp::Sub,
+                "mul" => ArithOp::Mul,
+                "div" => ArithOp::Div,
+                "rem" => ArithOp::Rem,
+                "xor" => ArithOp::Xor,
+                other => return Err(p.err(format!("unknown arith op '{other}'"))),
+            };
+            let dst = p.local()?;
+            let a = p.operand()?;
+            let b = p.operand()?;
+            let cond = match p.next()? {
+                "eq" => Cond::Eq,
+                "ne" => Cond::Ne,
+                "lt" => Cond::Lt,
+                "le" => Cond::Le,
+                "gt" => Cond::Gt,
+                "ge" => Cond::Ge,
+                other => return Err(p.err(format!("unknown condition '{other}'"))),
+            };
+            Insn::FusedArithBranch {
+                op,
+                dst,
+                a,
+                b,
+                cond,
+                cmp_a: p.operand()?,
+                cmp_b: p.operand()?,
+                target: p.usize()?,
+            }
+        }
+        "f.constcall" => {
+            let const_dst = p.local()?;
+            let const_value = p.i64()?;
+            let method = MethodId::new(p.usize()? as u32);
+            let site = p.usize()? as u32;
+            let dst = p.opt_local()?;
+            Insn::FusedConstCall {
+                const_dst,
+                const_value,
+                method,
+                args: parse_call_args(p)?,
+                dst,
+                site,
+            }
+        }
         other => return Err(p.err(format!("unknown instruction '{other}'"))),
     };
     Ok(insn)
@@ -568,6 +719,12 @@ method 0 main
   intern 3 0 7
   nativeref 0
   nop
+  call.c 0 1 -
+  call.c 0 2 7
+  f.getget 0 0 3 0 1 4
+  f.getput 0 0 3 0 1 2
+  f.arithbr add 2 l2 i1 lt l2 i9 26
+  f.constcall 2 5 0 3 -
   return 2
 entry 1
 ";
@@ -575,6 +732,6 @@ entry 1
         let reserialized = serialize(&program);
         let reparsed = parse(&reserialized).expect("round trip");
         assert_eq!(reparsed, program);
-        assert_eq!(instruction_count(&program), 22 + 1);
+        assert_eq!(instruction_count(&program), 28 + 1);
     }
 }

@@ -25,6 +25,10 @@
 //!    mutex model on every program.
 //! 5. **Partition fidelity** — `partition(trace, n).merge()` must reproduce
 //!    the trace exactly for every shard count.
+//! 6. **Fusion invariance** — re-recording the program with the
+//!    superinstruction/inline-cache pass flipped (fused vs. unfused
+//!    dispatch) must reproduce the event stream and the VM statistics
+//!    byte-for-byte; fusion may only change speed, never behaviour.
 //!
 //! Failures carry a coarse [`CheckFailure::class`] so the shrinker can
 //! insist a minimised program still fails *the same way*.  Collector panics
@@ -69,6 +73,12 @@ pub struct OracleOptions {
     /// Also run the §3.7 recycling configurations (soundness only; recycled
     /// traces are collector-dependent and excluded from replay equality).
     pub check_recycling: bool,
+    /// Run the primary legs with the superinstruction/inline-cache pass on
+    /// (`true`, the default) or off.  Either way the oracle re-records the
+    /// program with the *opposite* setting and demands a byte-identical
+    /// event stream and identical execution statistics — the fused dispatch
+    /// loop's core invariant.
+    pub fusion: bool,
 }
 
 impl Default for OracleOptions {
@@ -86,6 +96,7 @@ impl Default for OracleOptions {
             // program end.
             forced_gc: Some(1024),
             check_recycling: true,
+            fusion: true,
         }
     }
 }
@@ -155,6 +166,13 @@ pub enum CheckFailure {
         /// The shard count that broke the round trip.
         shards: usize,
     },
+    /// A fused and an unfused execution of the same program diverged (event
+    /// stream or execution statistics): the superinstruction/inline-cache
+    /// rewrite changed observable behaviour.
+    FusionDivergence {
+        /// Which comparison diverged.
+        context: String,
+    },
     /// The mark-sweep ground truth itself misbehaved (kept garbage or freed
     /// reachable objects on a precise collection).
     Baseline {
@@ -177,6 +195,7 @@ impl CheckFailure {
                 "divergence"
             }
             CheckFailure::RoundTrip { .. } => "round-trip",
+            CheckFailure::FusionDivergence { .. } => "fusion",
             CheckFailure::Baseline { .. } => "baseline",
         }
     }
@@ -211,6 +230,9 @@ impl std::fmt::Display for CheckFailure {
             }
             CheckFailure::RoundTrip { shards } => {
                 write!(f, "partition({shards}) + merge did not reproduce the trace")
+            }
+            CheckFailure::FusionDivergence { context } => {
+                write!(f, "[{context}] fused and unfused executions diverged")
             }
             CheckFailure::Baseline { detail } => write!(f, "mark-sweep ground truth: {detail}"),
         }
@@ -327,7 +349,7 @@ pub fn check_program(
     program: &Program,
     options: &OracleOptions,
 ) -> Result<OracleReport, CheckFailure> {
-    let vm_config = fuzz_vm_config(options.forced_gc);
+    let vm_config = fuzz_vm_config(options.forced_gc).with_fusion(options.fusion);
     let cg = CgConfig {
         verify_tainted: false,
         ..options.cg
@@ -346,6 +368,39 @@ pub fn check_program(
     let baseline_roots = baseline_vm.build_roots();
     let reachable = trace_live(&baseline_roots, baseline_vm.heap());
     let reachable_count = reachable.iter().filter(|&&m| m).count();
+
+    // 1b. Fusion differential: re-record with the superinstruction /
+    // inline-cache pass flipped.  The event stream and the execution
+    // statistics must be byte-identical — fusion may only change *speed*.
+    {
+        let context = if vm_config.fusion {
+            "fusion-off"
+        } else {
+            "fusion-on"
+        };
+        let (flipped_trace, flipped_outcome, _) = guard(context, || {
+            record(
+                program.name().to_string(),
+                program.clone(),
+                vm_config.with_fusion(!vm_config.fusion),
+                NoopCollector::new(),
+            )
+            .map_err(|e| CheckFailure::CollectorRun {
+                context: context.to_string(),
+                error: e.to_string(),
+            })
+        })?;
+        if flipped_trace != trace {
+            return Err(CheckFailure::FusionDivergence {
+                context: format!("{context}: event stream"),
+            });
+        }
+        if flipped_outcome.stats != baseline_outcome.stats {
+            return Err(CheckFailure::FusionDivergence {
+                context: format!("{context}: vm stats"),
+            });
+        }
+    }
 
     // The mark-sweep oracle's own check: one precise collection over the
     // final heap keeps exactly the reachable set.

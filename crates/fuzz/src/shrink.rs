@@ -123,7 +123,12 @@ pub fn shrink(
         // Pass 1 + 2: thread and frame deletion, one site at a time.
         for pred in [
             (|i: &Insn| matches!(i, Insn::SpawnThread { .. })) as fn(&Insn) -> bool,
-            (|i: &Insn| matches!(i, Insn::Call { .. })) as fn(&Insn) -> bool,
+            (|i: &Insn| {
+                matches!(
+                    i,
+                    Insn::Call { .. } | Insn::CallCached { .. } | Insn::FusedConstCall { .. }
+                )
+            }) as fn(&Insn) -> bool,
         ] {
             for m in 0..current.methods.len() {
                 for pc in 0..current.methods[m].2.len() {
@@ -211,7 +216,11 @@ fn compact(editable: &Editable) -> Editable {
             continue;
         }
         for insn in &editable.methods[m].2 {
-            if let Insn::Call { method, .. } | Insn::SpawnThread { method, .. } = insn {
+            if let Insn::Call { method, .. }
+            | Insn::SpawnThread { method, .. }
+            | Insn::CallCached { method, .. }
+            | Insn::FusedConstCall { method, .. } = insn
+            {
                 if !reachable[method.index()] {
                     worklist.push(method.index());
                 }
@@ -268,6 +277,51 @@ fn compact(editable: &Editable) -> Editable {
                 Insn::SpawnThread { method, args } => Insn::SpawnThread {
                     method: MethodId::new(method_map[method.index()] as u32),
                     args: args.clone(),
+                },
+                Insn::CallCached {
+                    method,
+                    args,
+                    dst,
+                    site,
+                } => Insn::CallCached {
+                    method: MethodId::new(method_map[method.index()] as u32),
+                    args: args.clone(),
+                    dst: *dst,
+                    site: *site,
+                },
+                Insn::FusedConstCall {
+                    const_dst,
+                    const_value,
+                    method,
+                    args,
+                    dst,
+                    site,
+                } => Insn::FusedConstCall {
+                    const_dst: *const_dst,
+                    const_value: *const_value,
+                    method: MethodId::new(method_map[method.index()] as u32),
+                    args: args.clone(),
+                    dst: *dst,
+                    site: *site,
+                },
+                Insn::FusedArithBranch {
+                    op,
+                    dst,
+                    a,
+                    b,
+                    cond,
+                    cmp_a,
+                    cmp_b,
+                    target,
+                } => Insn::FusedArithBranch {
+                    op: *op,
+                    dst: *dst,
+                    a: *a,
+                    b: *b,
+                    cond: *cond,
+                    cmp_a: *cmp_a,
+                    cmp_b: *cmp_b,
+                    target: pc_map[*target],
                 },
                 other => other.clone(),
             };

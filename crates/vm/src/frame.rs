@@ -150,6 +150,18 @@ impl Frame {
         }
     }
 
+    /// Creates a frame that takes ownership of an already-prepared locals
+    /// vector.  The interpreter's cached-call fast path uses this with a
+    /// pooled vector so pushing a frame allocates nothing.
+    pub fn with_locals(info: FrameInfo, locals: Vec<Value>, return_dst: Option<u16>) -> Self {
+        Self {
+            info,
+            pc: 0,
+            locals,
+            return_dst,
+        }
+    }
+
     /// The handles currently referenced by this frame's locals.
     pub fn local_references(&self) -> Vec<cg_heap::Handle> {
         self.locals.iter().filter_map(Value::as_handle).collect()

@@ -18,8 +18,8 @@ use std::collections::HashMap;
 use crate::collector::{CollectOutcome, Collector, FrameRoots, RootSet};
 use crate::event::{AllocKind, EventSink, GcEvent};
 use crate::frame::{Frame, FrameId, FrameInfo, ThreadId, ThreadState, ThreadStatus};
-use crate::insn::{ArithOp, Insn, LocalIdx, Operand};
-use crate::program::{MethodId, Program, ProgramError, StaticId};
+use crate::insn::{ArithOp, Cond, Insn, LocalIdx, Operand, OPCODE_NAMES};
+use crate::program::{FuseReport, MethodId, Program, ProgramError, StaticId};
 use cg_heap::{ClassId, Handle, Heap, HeapConfig, HeapError, HeapStats, Value};
 
 /// Interpreter configuration.
@@ -42,6 +42,25 @@ pub struct VmConfig {
     /// to the full 32-bit thread-id space; spawning past the limit raises
     /// [`VmError::TooManyThreads`].
     pub max_threads: usize,
+    /// Whether to run the superinstruction/inline-cache fusion pass
+    /// ([`Program::fused`]) when the VM is built.  Defaults to on, unless the
+    /// `CG_VM_FUSION` environment variable is `off`/`0`/`false` — CI uses
+    /// that toggle to run the whole suite against the unfused differential
+    /// model.  Fusion is observationally invisible: the emitted event stream
+    /// and final statistics are byte-identical either way.
+    pub fusion: bool,
+}
+
+/// The process-wide default for [`VmConfig::fusion`], read once from the
+/// `CG_VM_FUSION` environment variable.
+fn fusion_default() -> bool {
+    static FUSION: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+    *FUSION.get_or_init(|| {
+        !matches!(
+            std::env::var("CG_VM_FUSION").ok().as_deref(),
+            Some("off") | Some("0") | Some("false")
+        )
+    })
 }
 
 impl Default for VmConfig {
@@ -57,6 +76,7 @@ impl Default for VmConfig {
             // saturates to usize::MAX — unreachable anyway, since each
             // thread costs far more than one byte).
             max_threads: (u64::from(u32::MAX) + 1).min(usize::MAX as u64) as usize,
+            fusion: fusion_default(),
         }
     }
 }
@@ -79,6 +99,12 @@ impl VmConfig {
     /// Sets a periodic forced collection interval, builder style.
     pub fn with_gc_every(mut self, instructions: u64) -> Self {
         self.gc_every_instructions = Some(instructions);
+        self
+    }
+
+    /// Enables or disables the fusion/inline-cache pass, builder style.
+    pub fn with_fusion(mut self, fusion: bool) -> Self {
+        self.fusion = fusion;
         self
     }
 }
@@ -112,6 +138,78 @@ pub struct VmStats {
     pub collector_freed_bytes: u64,
     /// Objects marked by the collector's full collections.
     pub collector_marked_objects: u64,
+}
+
+/// One inline-cache slot: the last method resolved at a call site, plus its
+/// frame shape so repeated calls skip both method-table lookups.
+///
+/// A site's target is re-checked on every dispatch, so a site whose cached
+/// method no longer matches (possible when corpus text assigns one site id to
+/// several call instructions) simply misses and re-resolves.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CallSite {
+    /// Raw index of the cached callee, or `u32::MAX` when empty.
+    pub cached_method: u32,
+    /// The cached callee's `max_locals`, valid when `cached_method` is set.
+    pub max_locals: u32,
+    /// Dispatches that hit the cache.
+    pub hits: u32,
+    /// Dispatches that missed and re-resolved.
+    pub misses: u32,
+}
+
+impl CallSite {
+    const EMPTY: CallSite = CallSite {
+        cached_method: u32::MAX,
+        max_locals: 0,
+        hits: 0,
+        misses: 0,
+    };
+}
+
+/// Where dispatch time goes: per-opcode dispatch counts and aggregate
+/// inline-cache hit/miss totals.
+///
+/// Per-opcode counts are only collected when the crate is built with the
+/// `profile` feature (they stay zero otherwise); cache hit/miss totals are
+/// always collected because the counters live in the per-site slots anyway.
+/// Kept separate from [`VmStats`] so the trace format (which embeds
+/// `VmStats`) is unchanged.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DispatchProfile {
+    /// Dispatch count per opcode, indexed like
+    /// [`OPCODE_NAMES`].  A fused pair counts
+    /// once, under its fused opcode.
+    pub opcode_counts: [u64; OPCODE_NAMES.len()],
+    /// Inline-cache hits summed over all call sites.
+    pub call_site_hits: u64,
+    /// Inline-cache misses summed over all call sites.
+    pub call_site_misses: u64,
+}
+
+impl Default for DispatchProfile {
+    fn default() -> Self {
+        Self {
+            opcode_counts: [0; OPCODE_NAMES.len()],
+            call_site_hits: 0,
+            call_site_misses: 0,
+        }
+    }
+}
+
+impl DispatchProfile {
+    /// `(name, count)` rows for every opcode that was dispatched at least
+    /// once, hottest first.
+    pub fn hot_opcodes(&self) -> Vec<(&'static str, u64)> {
+        let mut rows: Vec<(&'static str, u64)> = OPCODE_NAMES
+            .iter()
+            .zip(self.opcode_counts.iter())
+            .filter(|(_, &count)| count > 0)
+            .map(|(&name, &count)| (name, count))
+            .collect();
+        rows.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(b.0)));
+        rows
+    }
 }
 
 /// The result of running a program to completion.
@@ -225,6 +323,28 @@ impl From<ProgramError> for VmError {
     }
 }
 
+/// Evaluates a binary arithmetic op; `None` signals division by zero.
+fn arith_eval(op: ArithOp, a: i64, b: i64) -> Option<i64> {
+    Some(match op {
+        ArithOp::Add => a.wrapping_add(b),
+        ArithOp::Sub => a.wrapping_sub(b),
+        ArithOp::Mul => a.wrapping_mul(b),
+        ArithOp::Div => {
+            if b == 0 {
+                return None;
+            }
+            a.wrapping_div(b)
+        }
+        ArithOp::Rem => {
+            if b == 0 {
+                return None;
+            }
+            a.wrapping_rem(b)
+        }
+        ArithOp::Xor => a ^ b,
+    })
+}
+
 /// What [`Exec::allocate`] is being asked for.
 #[derive(Debug, Clone, Copy)]
 enum AllocRequest {
@@ -266,7 +386,16 @@ struct Exec<C: Collector> {
     next_frame_id: u64,
     stats: VmStats,
     sink: Option<Box<dyn EventSink>>,
+    /// Inline-cache slots, indexed by the `site` field of cached calls.
+    call_sites: Vec<CallSite>,
+    /// Retired frames' locals vectors, reused by the cached-call fast path.
+    locals_pool: Vec<Vec<Value>>,
+    /// Dispatch counters (populated only under the `profile` feature).
+    profile: DispatchProfile,
 }
+
+/// How many retired locals vectors [`Exec::locals_pool`] keeps around.
+const LOCALS_POOL_CAP: usize = 64;
 
 impl<C: Collector> Exec<C> {
     /// The single VM→collector seam: offer the event to the attached sink
@@ -468,6 +597,215 @@ impl<C: Collector> Exec<C> {
         Ok(())
     }
 
+    /// Whether the periodic-collection cadence is due at the current
+    /// instruction count.
+    fn gc_due(&self) -> bool {
+        self.config
+            .gc_every_instructions
+            .is_some_and(|every| self.stats.instructions.is_multiple_of(every))
+    }
+
+    /// Executes an `Arith`'s semantics (also the first half of
+    /// `FusedArithBranch`).  `pc` is the instruction index reported in
+    /// errors.
+    #[allow(clippy::too_many_arguments)] // mirrors the insn's operand list
+    fn exec_arith(
+        &mut self,
+        thread_idx: usize,
+        op: ArithOp,
+        dst: LocalIdx,
+        a: Operand,
+        b: Operand,
+        info: FrameInfo,
+        pc: usize,
+    ) -> Result<(), VmError> {
+        let a = self.operand_int(thread_idx, a, info, pc)?;
+        let b = self.operand_int(thread_idx, b, info, pc)?;
+        let result = arith_eval(op, a, b).ok_or(VmError::DivideByZero {
+            method: info.method,
+            pc,
+        })?;
+        self.set_local(thread_idx, dst, Value::Int(result));
+        Ok(())
+    }
+
+    /// Evaluates a `Branch` condition (also the second half of
+    /// `FusedArithBranch`), returning whether the branch is taken.
+    fn branch_taken(
+        &self,
+        thread_idx: usize,
+        cond: Cond,
+        a: Operand,
+        b: Operand,
+        info: FrameInfo,
+        pc: usize,
+    ) -> Result<bool, VmError> {
+        let a = self.operand_int(thread_idx, a, info, pc)?;
+        let b = self.operand_int(thread_idx, b, info, pc)?;
+        Ok(cond.eval(a, b))
+    }
+
+    /// Executes a `GetField`'s semantics and events (also each half of
+    /// `FusedGetGet` and the first half of `FusedGetPut`).
+    #[allow(clippy::too_many_arguments)] // mirrors the insn's operand list
+    fn exec_getfield(
+        &mut self,
+        thread_idx: usize,
+        object: LocalIdx,
+        field: usize,
+        dst: LocalIdx,
+        info: FrameInfo,
+        pc: usize,
+        thread_id: ThreadId,
+    ) -> Result<(), VmError> {
+        let object = self.local_handle(thread_idx, object, info, pc)?;
+        let value = self.heap.field(object, field)?;
+        self.dispatch(GcEvent::ObjectAccess {
+            handle: object,
+            thread: thread_id,
+        });
+        if let Some(target) = value.as_handle() {
+            self.dispatch(GcEvent::ObjectAccess {
+                handle: target,
+                thread: thread_id,
+            });
+        }
+        self.set_local(thread_idx, dst, value);
+        Ok(())
+    }
+
+    /// Executes a `PutField`'s semantics and events (also the second half of
+    /// `FusedGetPut`).
+    #[allow(clippy::too_many_arguments)] // mirrors the insn's operand list
+    fn exec_putfield(
+        &mut self,
+        thread_idx: usize,
+        object: LocalIdx,
+        field: usize,
+        value: LocalIdx,
+        info: FrameInfo,
+        pc: usize,
+        thread_id: ThreadId,
+    ) -> Result<(), VmError> {
+        let object = self.local_handle(thread_idx, object, info, pc)?;
+        let value = self.local(thread_idx, value);
+        self.heap.set_field(object, field, value)?;
+        self.dispatch(GcEvent::SlotWrite {
+            object,
+            slot: field,
+            value: value.as_handle(),
+            element: false,
+        });
+        self.dispatch(GcEvent::ObjectAccess {
+            handle: object,
+            thread: thread_id,
+        });
+        if let Some(target) = value.as_handle() {
+            self.dispatch(GcEvent::ObjectAccess {
+                handle: target,
+                thread: thread_id,
+            });
+            self.dispatch(GcEvent::ReferenceStore {
+                source: object,
+                target,
+                frame: info,
+            });
+        }
+        Ok(())
+    }
+
+    /// After a fused pair's first half has executed (and been counted),
+    /// decides whether the pair must split at a boundary: the instruction
+    /// limit, the periodic-GC cadence, or the quantum budget (`budget` is
+    /// what the current step was entered with, so `< 2` means the first half
+    /// spent the last slot).  On a split the thread's pc is left on the
+    /// retained second half at `pc + 1`; returns `Some(gc_due)` to stop
+    /// after the first half, `None` to continue with the second.
+    fn pair_boundary(
+        &mut self,
+        thread_idx: usize,
+        pc: usize,
+        budget: usize,
+    ) -> Result<Option<bool>, VmError> {
+        if self.stats.instructions > self.config.max_instructions {
+            self.set_pc(thread_idx, pc + 1);
+            return Err(VmError::InstructionLimit(self.config.max_instructions));
+        }
+        if self.gc_due() {
+            self.set_pc(thread_idx, pc + 1);
+            return Ok(Some(true));
+        }
+        if budget < 2 {
+            self.set_pc(thread_idx, pc + 1);
+            return Ok(Some(false));
+        }
+        Ok(None)
+    }
+
+    /// The cached-call counterpart of [`Exec::push_frame`]: resolves the
+    /// callee's frame shape through the inline cache and builds the callee
+    /// frame from a pooled locals vector, copying arguments straight out of
+    /// the caller's frame — no argument vector, no fresh allocation, and at
+    /// most one method-table lookup (none on a cache hit).
+    ///
+    /// Emits exactly the events and statistics `push_frame` would.
+    fn push_frame_cached(
+        &mut self,
+        program: &Program,
+        thread_idx: usize,
+        method: MethodId,
+        args: &[LocalIdx],
+        return_dst: Option<LocalIdx>,
+        site: u32,
+    ) -> Result<(), VmError> {
+        let slot = &mut self.call_sites[site as usize];
+        let max_locals = if slot.cached_method == method.index() as u32 {
+            slot.hits += 1;
+            slot.max_locals as usize
+        } else {
+            let def = program
+                .method(method)
+                .expect("method ids are validated before execution");
+            slot.misses += 1;
+            // A hand-crafted method whose max_locals exceeds u32 simply
+            // stays uncached rather than storing a truncated shape.
+            if let Ok(max_locals) = u32::try_from(def.max_locals()) {
+                slot.cached_method = method.index() as u32;
+                slot.max_locals = max_locals;
+            }
+            def.max_locals()
+        };
+        let depth = self.threads[thread_idx].depth() + 1;
+        if depth > self.config.max_stack_depth {
+            return Err(VmError::StackOverflow(self.config.max_stack_depth));
+        }
+        let info = FrameInfo {
+            id: FrameId::new(self.next_frame_id),
+            depth,
+            thread: self.threads[thread_idx].id,
+            method,
+        };
+        self.next_frame_id += 1;
+        let mut locals = self.locals_pool.pop().unwrap_or_default();
+        locals.clear();
+        locals.resize(max_locals, Value::NULL);
+        {
+            let caller = self.threads[thread_idx]
+                .current_frame()
+                .expect("calling thread has a frame");
+            for (i, &arg) in args.iter().enumerate() {
+                locals[i] = caller.locals[arg as usize];
+            }
+        }
+        self.threads[thread_idx]
+            .stack
+            .push(Frame::with_locals(info, locals, return_dst));
+        self.dispatch(GcEvent::FramePush { frame: info });
+        self.stats.method_calls += 1;
+        self.stats.max_stack_depth = self.stats.max_stack_depth.max(depth);
+        Ok(())
+    }
+
     /// Allocates an instance or array: the collector's recycle list is
     /// offered first (instances only, §3.7), then the heap, then — after a
     /// full collection — the heap once more.  This is the single place the
@@ -583,6 +921,14 @@ impl<C: Collector> Exec<C> {
         // Now the frame is gone: let the collector reclaim its dependents.
         self.dispatch(GcEvent::FramePop { frame: callee.info });
 
+        // Recycle the callee's locals vector into the pool the cached-call
+        // path allocates frames from.  Invisible to the collector.
+        if self.locals_pool.len() < LOCALS_POOL_CAP {
+            let mut locals = callee.locals;
+            locals.clear();
+            self.locals_pool.push(locals);
+        }
+
         if self.threads[thread_idx].stack.is_empty() {
             self.threads[thread_idx].status = ThreadStatus::Finished;
         }
@@ -597,11 +943,30 @@ impl<C: Collector> Exec<C> {
 pub struct Vm<C: Collector> {
     program: Program,
     ex: Exec<C>,
+    fuse_report: FuseReport,
 }
 
 impl<C: Collector> Vm<C> {
     /// Creates a virtual machine for `program` using the given collector.
+    ///
+    /// When [`VmConfig::fusion`] is on the program is rewritten through
+    /// [`Program::fused`] first; execution semantics and the emitted event
+    /// stream are identical either way.
     pub fn new(program: Program, config: VmConfig, collector: C) -> Self {
+        let (program, fuse_report) = if config.fusion {
+            program.fused()
+        } else {
+            // Even unfused, the program may carry cached calls (e.g. parsed
+            // from corpus text); size the cache table to cover them.
+            let call_sites = program.max_call_site().map_or(0, |s| s + 1);
+            (
+                program,
+                FuseReport {
+                    call_sites,
+                    ..FuseReport::default()
+                },
+            )
+        };
         let statics = vec![Value::NULL; program.static_count()];
         Self {
             program,
@@ -617,8 +982,35 @@ impl<C: Collector> Vm<C> {
                 next_frame_id: 1,
                 stats: VmStats::default(),
                 sink: None,
+                call_sites: vec![CallSite::EMPTY; fuse_report.call_sites as usize],
+                locals_pool: Vec::new(),
+                profile: DispatchProfile::default(),
             },
+            fuse_report,
         }
+    }
+
+    /// What the fusion pass rewrote when this VM was built (all zeros when
+    /// fusion is disabled).
+    pub fn fuse_report(&self) -> FuseReport {
+        self.fuse_report
+    }
+
+    /// Dispatch counters: per-opcode counts (only populated when built with
+    /// the `profile` feature) plus inline-cache hit/miss totals (always
+    /// populated).
+    pub fn dispatch_profile(&self) -> DispatchProfile {
+        let mut profile = self.ex.profile;
+        for site in &self.ex.call_sites {
+            profile.call_site_hits += u64::from(site.hits);
+            profile.call_site_misses += u64::from(site.misses);
+        }
+        profile
+    }
+
+    /// The per-site inline-cache slots (for tests and diagnostics).
+    pub fn call_sites(&self) -> &[CallSite] {
+        &self.ex.call_sites
     }
 
     /// The collector installed in this VM.
@@ -692,20 +1084,7 @@ impl<C: Collector> Vm<C> {
                 current = (current + 1) % self.ex.threads.len();
                 continue;
             }
-            for _ in 0..self.ex.config.thread_quantum {
-                if self.ex.threads[current].status != ThreadStatus::Runnable {
-                    break;
-                }
-                self.step(current)?;
-                if self.ex.stats.instructions > self.ex.config.max_instructions {
-                    return Err(VmError::InstructionLimit(self.ex.config.max_instructions));
-                }
-                if let Some(every) = self.ex.config.gc_every_instructions {
-                    if self.ex.stats.instructions.is_multiple_of(every) {
-                        self.ex.run_collection();
-                    }
-                }
-            }
+            self.run_quantum(current)?;
             current = (current + 1) % self.ex.threads.len();
         }
 
@@ -726,8 +1105,212 @@ impl<C: Collector> Vm<C> {
         self.ex.build_roots()
     }
 
-    /// Executes one instruction on the given thread.
-    fn step(&mut self, thread_idx: usize) -> Result<(), VmError> {
+    /// Runs up to `thread_quantum` logical instructions on one thread.
+    ///
+    /// A tight fast loop executes the collector-invisible instructions
+    /// (constants, moves, arithmetic, jumps, branches) against cached frame
+    /// and bytecode borrows; anything that touches the heap, the collector
+    /// or the frame stack falls back to [`Vm::step_slow`].  The instruction
+    /// counter, the instruction limit and the periodic-GC cadence are
+    /// checked after every *logical* instruction, so a fused pair that meets
+    /// a quantum or cadence boundary splits and behaves exactly like its
+    /// unfused halves.
+    fn run_quantum(&mut self, thread_idx: usize) -> Result<(), VmError> {
+        let mut budget = self.ex.config.thread_quantum;
+        while budget > 0 && self.ex.threads[thread_idx].status == ThreadStatus::Runnable {
+            match self.fast_loop(thread_idx, &mut budget)? {
+                FastExit::Budget => break,
+                FastExit::GcDue => self.ex.run_collection(),
+                FastExit::Slow => {
+                    let before = self.ex.stats.instructions;
+                    let gc_due = self.step_slow(thread_idx, budget)?;
+                    budget = budget.saturating_sub((self.ex.stats.instructions - before) as usize);
+                    if self.ex.stats.instructions > self.ex.config.max_instructions {
+                        return Err(VmError::InstructionLimit(self.ex.config.max_instructions));
+                    }
+                    if gc_due {
+                        self.ex.run_collection();
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Executes consecutive collector-invisible instructions without
+    /// re-borrowing the frame or the bytecode between dispatches (the som-rs
+    /// `current_bytecodes` pattern).  Returns why it stopped; the frame's pc
+    /// is always written back before returning.
+    fn fast_loop(&mut self, thread_idx: usize, budget: &mut usize) -> Result<FastExit, VmError> {
+        if *budget == 0 {
+            return Ok(FastExit::Budget);
+        }
+        let Exec {
+            threads,
+            stats,
+            config,
+            profile,
+            ..
+        } = &mut self.ex;
+        let thread = &mut threads[thread_idx];
+        let frame = thread
+            .stack
+            .last_mut()
+            .expect("runnable thread has a frame");
+        let method = frame.info.method;
+        let code = self
+            .program
+            .method(method)
+            .expect("validated method")
+            .code();
+        let mut pc = frame.pc;
+
+        // Bookkeeping after each logical instruction: count it, spend one
+        // quantum slot, advance, then run the same limit and cadence checks
+        // the outer loop would.  Exits write the pc back.
+        macro_rules! retire {
+            ($next:expr) => {{
+                stats.instructions += 1;
+                *budget -= 1;
+                pc = $next;
+                if stats.instructions > config.max_instructions {
+                    frame.pc = pc;
+                    return Err(VmError::InstructionLimit(config.max_instructions));
+                }
+                if let Some(every) = config.gc_every_instructions {
+                    if stats.instructions.is_multiple_of(every) {
+                        frame.pc = pc;
+                        return Ok(FastExit::GcDue);
+                    }
+                }
+                if *budget == 0 {
+                    frame.pc = pc;
+                    return Ok(FastExit::Budget);
+                }
+            }};
+        }
+        macro_rules! fail {
+            ($err:expr) => {{
+                frame.pc = pc;
+                return Err($err);
+            }};
+        }
+        macro_rules! op_int {
+            ($op:expr) => {
+                match $op {
+                    Operand::Imm(i) => *i,
+                    Operand::Local(l) => match frame.locals[*l as usize].as_int() {
+                        Some(v) => v,
+                        None => fail!(VmError::TypeError {
+                            method,
+                            pc,
+                            expected: "int",
+                        }),
+                    },
+                }
+            };
+        }
+        macro_rules! prof {
+            ($insn:expr) => {
+                if cfg!(feature = "profile") {
+                    profile.opcode_counts[$insn.opcode_index()] += 1;
+                }
+            };
+        }
+
+        loop {
+            let insn = match code.get(pc) {
+                Some(insn) => insn,
+                None => {
+                    frame.pc = pc;
+                    return Ok(FastExit::Slow);
+                }
+            };
+            match insn {
+                Insn::Nop => {
+                    prof!(insn);
+                    retire!(pc + 1);
+                }
+                Insn::Const { dst, value } => {
+                    prof!(insn);
+                    frame.locals[*dst as usize] = Value::Int(*value);
+                    retire!(pc + 1);
+                }
+                Insn::LoadNull { dst } => {
+                    prof!(insn);
+                    frame.locals[*dst as usize] = Value::NULL;
+                    retire!(pc + 1);
+                }
+                Insn::Move { dst, src } => {
+                    prof!(insn);
+                    frame.locals[*dst as usize] = frame.locals[*src as usize];
+                    retire!(pc + 1);
+                }
+                Insn::Jump { target } => {
+                    prof!(insn);
+                    retire!(*target);
+                }
+                Insn::Arith { op, dst, a, b } => {
+                    prof!(insn);
+                    let a = op_int!(a);
+                    let b = op_int!(b);
+                    match arith_eval(*op, a, b) {
+                        Some(result) => frame.locals[*dst as usize] = Value::Int(result),
+                        None => fail!(VmError::DivideByZero { method, pc }),
+                    }
+                    retire!(pc + 1);
+                }
+                Insn::Branch { cond, a, b, target } => {
+                    prof!(insn);
+                    let a = op_int!(a);
+                    let b = op_int!(b);
+                    let next = if cond.eval(a, b) { *target } else { pc + 1 };
+                    retire!(next);
+                }
+                Insn::FusedArithBranch {
+                    op,
+                    dst,
+                    a,
+                    b,
+                    cond,
+                    cmp_a,
+                    cmp_b,
+                    target,
+                } => {
+                    if *budget < 2 {
+                        // Let the slow path split the pair at the quantum
+                        // boundary.
+                        frame.pc = pc;
+                        return Ok(FastExit::Slow);
+                    }
+                    prof!(insn);
+                    let a = op_int!(a);
+                    let b = op_int!(b);
+                    match arith_eval(*op, a, b) {
+                        Some(result) => frame.locals[*dst as usize] = Value::Int(result),
+                        None => fail!(VmError::DivideByZero { method, pc }),
+                    }
+                    // If the GC cadence lands between the halves this exits
+                    // with the pc on the retained `Branch` at pc + 1, which
+                    // then runs on resume — exactly the unfused schedule.
+                    retire!(pc + 1);
+                    let a = op_int!(cmp_a);
+                    let b = op_int!(cmp_b);
+                    let next = if cond.eval(a, b) { *target } else { pc + 1 };
+                    retire!(next);
+                }
+                _ => {
+                    frame.pc = pc;
+                    return Ok(FastExit::Slow);
+                }
+            }
+        }
+    }
+
+    /// Executes one instruction (or one fused pair) that the fast loop does
+    /// not handle.  Returns whether the periodic-GC cadence is due; the
+    /// caller re-checks the instruction limit.
+    fn step_slow(&mut self, thread_idx: usize, budget: usize) -> Result<bool, VmError> {
         // One frame lookup yields everything the dispatch needs; the frame's
         // identity, depth and method are cached in the frame itself.
         let (info, pc, thread_id) = {
@@ -743,13 +1326,24 @@ impl<C: Collector> Vm<C> {
             .expect("validated method")
             .code()
             .get(pc);
+        if cfg!(feature = "profile") {
+            if let Some(insn) = insn {
+                self.ex.profile.opcode_counts[insn.opcode_index()] += 1;
+            }
+        }
         self.ex.stats.instructions += 1;
         let mut next_pc = pc + 1;
 
         match insn {
             // Falling off the end of a method behaves like a bare return.
-            None => return self.ex.return_from_frame(thread_idx, None),
-            Some(Insn::Return { value }) => return self.ex.return_from_frame(thread_idx, *value),
+            None => {
+                self.ex.return_from_frame(thread_idx, None)?;
+                return Ok(self.ex.gc_due());
+            }
+            Some(Insn::Return { value }) => {
+                self.ex.return_from_frame(thread_idx, *value)?;
+                return Ok(self.ex.gc_due());
+            }
             Some(Insn::Nop) => {}
             Some(Insn::Const { dst, value }) => {
                 self.ex.set_local(thread_idx, *dst, Value::Int(*value))
@@ -760,39 +1354,12 @@ impl<C: Collector> Vm<C> {
                 self.ex.set_local(thread_idx, *dst, v);
             }
             Some(Insn::Arith { op, dst, a, b }) => {
-                let a = self.ex.operand_int(thread_idx, *a, info, pc)?;
-                let b = self.ex.operand_int(thread_idx, *b, info, pc)?;
-                let result = match op {
-                    ArithOp::Add => a.wrapping_add(b),
-                    ArithOp::Sub => a.wrapping_sub(b),
-                    ArithOp::Mul => a.wrapping_mul(b),
-                    ArithOp::Div => {
-                        if b == 0 {
-                            return Err(VmError::DivideByZero {
-                                method: info.method,
-                                pc,
-                            });
-                        }
-                        a.wrapping_div(b)
-                    }
-                    ArithOp::Rem => {
-                        if b == 0 {
-                            return Err(VmError::DivideByZero {
-                                method: info.method,
-                                pc,
-                            });
-                        }
-                        a.wrapping_rem(b)
-                    }
-                    ArithOp::Xor => a ^ b,
-                };
-                self.ex.set_local(thread_idx, *dst, Value::Int(result));
+                self.ex
+                    .exec_arith(thread_idx, *op, *dst, *a, *b, info, pc)?;
             }
             Some(Insn::Jump { target }) => next_pc = *target,
             Some(Insn::Branch { cond, a, b, target }) => {
-                let a = self.ex.operand_int(thread_idx, *a, info, pc)?;
-                let b = self.ex.operand_int(thread_idx, *b, info, pc)?;
-                if cond.eval(a, b) {
+                if self.ex.branch_taken(thread_idx, *cond, *a, *b, info, pc)? {
                     next_pc = *target;
                 }
             }
@@ -829,45 +1396,12 @@ impl<C: Collector> Vm<C> {
                 field,
                 value,
             }) => {
-                let object = self.ex.local_handle(thread_idx, *object, info, pc)?;
-                let value = self.ex.local(thread_idx, *value);
-                self.ex.heap.set_field(object, *field, value)?;
-                self.ex.dispatch(GcEvent::SlotWrite {
-                    object,
-                    slot: *field,
-                    value: value.as_handle(),
-                    element: false,
-                });
-                self.ex.dispatch(GcEvent::ObjectAccess {
-                    handle: object,
-                    thread: thread_id,
-                });
-                if let Some(target) = value.as_handle() {
-                    self.ex.dispatch(GcEvent::ObjectAccess {
-                        handle: target,
-                        thread: thread_id,
-                    });
-                    self.ex.dispatch(GcEvent::ReferenceStore {
-                        source: object,
-                        target,
-                        frame: info,
-                    });
-                }
+                self.ex
+                    .exec_putfield(thread_idx, *object, *field, *value, info, pc, thread_id)?;
             }
             Some(Insn::GetField { object, field, dst }) => {
-                let object = self.ex.local_handle(thread_idx, *object, info, pc)?;
-                let value = self.ex.heap.field(object, *field)?;
-                self.ex.dispatch(GcEvent::ObjectAccess {
-                    handle: object,
-                    thread: thread_id,
-                });
-                if let Some(target) = value.as_handle() {
-                    self.ex.dispatch(GcEvent::ObjectAccess {
-                        handle: target,
-                        thread: thread_id,
-                    });
-                }
-                self.ex.set_local(thread_idx, *dst, value);
+                self.ex
+                    .exec_getfield(thread_idx, *object, *field, *dst, info, pc, thread_id)?;
             }
             Some(Insn::ArrayStore {
                 array,
@@ -970,7 +1504,114 @@ impl<C: Collector> Vm<C> {
                 self.ex.set_pc(thread_idx, next_pc);
                 self.ex
                     .push_frame(&self.program, thread_idx, *method, &arg_values, *dst)?;
-                return Ok(());
+                return Ok(self.ex.gc_due());
+            }
+            Some(Insn::CallCached {
+                method,
+                args,
+                dst,
+                site,
+            }) => {
+                self.ex.set_pc(thread_idx, next_pc);
+                self.ex
+                    .push_frame_cached(&self.program, thread_idx, *method, args, *dst, *site)?;
+                return Ok(self.ex.gc_due());
+            }
+            Some(Insn::FusedGetGet {
+                object_a,
+                field_a,
+                dst_a,
+                object_b,
+                field_b,
+                dst_b,
+            }) => {
+                self.ex
+                    .exec_getfield(thread_idx, *object_a, *field_a, *dst_a, info, pc, thread_id)?;
+                if let Some(gc_due) = self.ex.pair_boundary(thread_idx, pc, budget)? {
+                    return Ok(gc_due);
+                }
+                self.ex.stats.instructions += 1;
+                self.ex.exec_getfield(
+                    thread_idx,
+                    *object_b,
+                    *field_b,
+                    *dst_b,
+                    info,
+                    pc + 1,
+                    thread_id,
+                )?;
+                next_pc = pc + 2;
+            }
+            Some(Insn::FusedGetPut {
+                object_a,
+                field_a,
+                dst_a,
+                object_b,
+                field_b,
+                value_b,
+            }) => {
+                self.ex
+                    .exec_getfield(thread_idx, *object_a, *field_a, *dst_a, info, pc, thread_id)?;
+                if let Some(gc_due) = self.ex.pair_boundary(thread_idx, pc, budget)? {
+                    return Ok(gc_due);
+                }
+                self.ex.stats.instructions += 1;
+                self.ex.exec_putfield(
+                    thread_idx,
+                    *object_b,
+                    *field_b,
+                    *value_b,
+                    info,
+                    pc + 1,
+                    thread_id,
+                )?;
+                next_pc = pc + 2;
+            }
+            Some(Insn::FusedArithBranch {
+                op,
+                dst,
+                a,
+                b,
+                cond,
+                cmp_a,
+                cmp_b,
+                target,
+            }) => {
+                self.ex
+                    .exec_arith(thread_idx, *op, *dst, *a, *b, info, pc)?;
+                if let Some(gc_due) = self.ex.pair_boundary(thread_idx, pc, budget)? {
+                    return Ok(gc_due);
+                }
+                self.ex.stats.instructions += 1;
+                next_pc =
+                    if self
+                        .ex
+                        .branch_taken(thread_idx, *cond, *cmp_a, *cmp_b, info, pc + 1)?
+                    {
+                        *target
+                    } else {
+                        pc + 2
+                    };
+            }
+            Some(Insn::FusedConstCall {
+                const_dst,
+                const_value,
+                method,
+                args,
+                dst,
+                site,
+            }) => {
+                self.ex
+                    .set_local(thread_idx, *const_dst, Value::Int(*const_value));
+                if let Some(gc_due) = self.ex.pair_boundary(thread_idx, pc, budget)? {
+                    return Ok(gc_due);
+                }
+                self.ex.stats.instructions += 1;
+                // Resume after the pair when the callee returns.
+                self.ex.set_pc(thread_idx, pc + 2);
+                self.ex
+                    .push_frame_cached(&self.program, thread_idx, *method, args, *dst, *site)?;
+                return Ok(self.ex.gc_due());
             }
             Some(Insn::SpawnThread { method, args }) => {
                 let arg_values: Vec<Value> =
@@ -1006,13 +1647,23 @@ impl<C: Collector> Vm<C> {
                 self.ex.set_pc(thread_idx, next_pc);
                 self.ex
                     .push_frame(&self.program, new_idx, *method, &arg_values, None)?;
-                return Ok(());
+                return Ok(self.ex.gc_due());
             }
         }
 
         self.ex.set_pc(thread_idx, next_pc);
-        Ok(())
+        Ok(self.ex.gc_due())
     }
+}
+
+/// Why [`Vm::fast_loop`] returned.
+enum FastExit {
+    /// The quantum budget ran out.
+    Budget,
+    /// The periodic-GC cadence is due; the caller runs a collection.
+    GcDue,
+    /// The next instruction needs the slow path.
+    Slow,
 }
 
 #[cfg(test)]
@@ -1645,5 +2296,324 @@ mod tests {
             limit: u64::from(u32::MAX) + 1,
         };
         assert!(e.to_string().contains("4294967296"));
+    }
+
+    /// Records every event verbatim (the byte-identity tests' probe).
+    #[derive(Debug, Default)]
+    struct Capture {
+        events: std::rc::Rc<std::cell::RefCell<Vec<GcEvent>>>,
+    }
+
+    impl EventSink for Capture {
+        fn record(&mut self, event: &GcEvent) {
+            self.events.borrow_mut().push(event.clone());
+        }
+    }
+
+    /// Runs `p` under `config`, returning the full event stream and stats.
+    fn record_events(p: &Program, config: VmConfig) -> (Vec<GcEvent>, VmStats) {
+        let mut vm = Vm::new(p.clone(), config, NoopCollector::new());
+        let sink = Capture::default();
+        let events = std::rc::Rc::clone(&sink.events);
+        vm.set_event_sink(Box::new(sink));
+        let outcome = vm.run().expect("program runs");
+        let events = events.borrow().clone();
+        (events, outcome.stats)
+    }
+
+    /// A program that tickles every fusion pattern: const+call, getfield
+    /// pairs, getfield+putfield, an arith+branch loop, plus a spawned
+    /// thread for cross-thread events.
+    fn fusible_program() -> Program {
+        let mut p = Program::named("fusible");
+        let c = p.add_class(ClassDef::new("Obj", 2));
+        let helper = p.add_method(MethodDef::new(
+            "helper",
+            1,
+            4,
+            vec![
+                Insn::GetField {
+                    object: 0,
+                    field: 0,
+                    dst: 1,
+                },
+                Insn::GetField {
+                    object: 0,
+                    field: 1,
+                    dst: 2,
+                },
+                Insn::GetField {
+                    object: 0,
+                    field: 0,
+                    dst: 3,
+                },
+                Insn::PutField {
+                    object: 0,
+                    field: 1,
+                    value: 3,
+                },
+                Insn::Return { value: Some(1) },
+            ],
+        ));
+        let main = p.add_method(MethodDef::new(
+            "main",
+            0,
+            8,
+            vec![
+                Insn::New { class: c, dst: 0 },
+                Insn::New { class: c, dst: 1 },
+                Insn::PutField {
+                    object: 0,
+                    field: 0,
+                    value: 1,
+                },
+                Insn::Const { dst: 2, value: 0 },
+                // Loop head: Const+Call fuses, the branch targets it.
+                Insn::Const { dst: 3, value: 1 },
+                Insn::Call {
+                    method: helper,
+                    args: vec![0],
+                    dst: Some(4),
+                },
+                Insn::GetField {
+                    object: 0,
+                    field: 0,
+                    dst: 5,
+                },
+                Insn::GetField {
+                    object: 0,
+                    field: 1,
+                    dst: 6,
+                },
+                Insn::Arith {
+                    op: ArithOp::Add,
+                    dst: 2,
+                    a: Operand::Local(2),
+                    b: Operand::Imm(1),
+                },
+                Insn::Branch {
+                    cond: Cond::Lt,
+                    a: Operand::Local(2),
+                    b: Operand::Imm(5),
+                    target: 4,
+                },
+                Insn::SpawnThread {
+                    method: helper,
+                    args: vec![0],
+                },
+                Insn::Return { value: None },
+            ],
+        ));
+        p.set_entry(main);
+        p
+    }
+
+    #[test]
+    fn fused_and_unfused_event_streams_are_byte_identical() {
+        let p = fusible_program();
+        assert!(
+            Vm::new(
+                p.clone(),
+                VmConfig::small().with_fusion(true),
+                NoopCollector::new()
+            )
+            .fuse_report()
+            .fused_pairs()
+                > 0,
+            "the probe program must actually fuse something"
+        );
+        for gc_every in [None, Some(64)] {
+            let mut config = VmConfig::small();
+            config.gc_every_instructions = gc_every;
+            let (fused, fused_stats) = record_events(&p, config.with_fusion(true));
+            let (plain, plain_stats) = record_events(&p, config.with_fusion(false));
+            assert_eq!(
+                fused, plain,
+                "event streams diverged (gc_every={gc_every:?})"
+            );
+            assert_eq!(fused_stats, plain_stats);
+        }
+    }
+
+    #[test]
+    fn gc_cadence_mid_pair_splits_byte_identically() {
+        // A forced collection after *every* instruction lands the cadence
+        // point in the middle of every fused pair: the head half retires,
+        // the collection runs, and the retained second half resumes at
+        // pc+1.  The stream — including every Collect barrier's position —
+        // must still match the unfused interpreter exactly.
+        let p = fusible_program();
+        for gc_every in [1u64, 3, 7] {
+            let config = VmConfig::small().with_gc_every(gc_every);
+            let (fused, fused_stats) = record_events(&p, config.with_fusion(true));
+            let (plain, plain_stats) = record_events(&p, config.with_fusion(false));
+            assert_eq!(fused, plain, "streams diverged at gc_every={gc_every}");
+            assert_eq!(fused_stats, plain_stats);
+            assert!(fused_stats.gc_cycles > 0);
+        }
+    }
+
+    #[test]
+    fn quantum_boundary_mid_pair_splits_byte_identically() {
+        // A one-instruction quantum leaves no budget for a pair's second
+        // half: the fused head must retire alone and yield, preserving the
+        // unfused round-robin interleaving with the spawned thread.
+        let p = fusible_program();
+        for quantum in [1usize, 2, 3] {
+            let mut config = VmConfig::small();
+            config.thread_quantum = quantum;
+            let (fused, fused_stats) = record_events(&p, config.with_fusion(true));
+            let (plain, plain_stats) = record_events(&p, config.with_fusion(false));
+            assert_eq!(fused, plain, "streams diverged at quantum={quantum}");
+            assert_eq!(fused_stats, plain_stats);
+        }
+    }
+
+    #[test]
+    fn inline_cache_reresolves_when_a_site_changes_target() {
+        // One site shared by calls with *different* targets: the cache must
+        // miss, re-resolve and still dispatch correctly.  (The corpus text
+        // format can express this directly, so the interpreter cannot
+        // assume sites are monomorphic.)
+        let mut p = Program::named("ic-invalidate");
+        let a = p.add_method(MethodDef::new(
+            "a",
+            0,
+            1,
+            vec![
+                Insn::Const { dst: 0, value: 10 },
+                Insn::Return { value: Some(0) },
+            ],
+        ));
+        let b = p.add_method(MethodDef::new(
+            "b",
+            0,
+            1,
+            vec![
+                Insn::Const { dst: 0, value: 32 },
+                Insn::Return { value: Some(0) },
+            ],
+        ));
+        let main = p.add_method(MethodDef::new(
+            "main",
+            0,
+            8,
+            vec![
+                Insn::CallCached {
+                    method: a,
+                    args: vec![],
+                    dst: Some(0),
+                    site: 0,
+                },
+                Insn::CallCached {
+                    method: a,
+                    args: vec![],
+                    dst: Some(1),
+                    site: 0,
+                },
+                Insn::CallCached {
+                    method: b,
+                    args: vec![],
+                    dst: Some(2),
+                    site: 0,
+                },
+                Insn::CallCached {
+                    method: a,
+                    args: vec![],
+                    dst: Some(3),
+                    site: 0,
+                },
+                Insn::Arith {
+                    op: ArithOp::Add,
+                    dst: 4,
+                    a: Operand::Local(1),
+                    b: Operand::Local(2),
+                },
+                Insn::Return { value: Some(4) },
+            ],
+        ));
+        p.set_entry(main);
+        // `with_fusion(false)` keeps the hand-written sites as-is.
+        let mut vm = Vm::new(
+            p,
+            VmConfig::small().with_fusion(false),
+            NoopCollector::new(),
+        );
+        vm.run().expect("program runs");
+        let site = vm.call_sites()[0];
+        assert_eq!(
+            site.hits + site.misses,
+            4,
+            "every call goes through the site"
+        );
+        // Cold miss, hit on `a`, invalidated by `b`, invalidated back to `a`.
+        assert_eq!(site.misses, 3);
+        assert_eq!(site.hits, 1);
+        // Entry frame + the four cached calls.
+        assert_eq!(vm.stats().method_calls, 5);
+    }
+
+    #[test]
+    fn inline_cache_site_is_shared_across_threads() {
+        // Two spawned workers and the main thread call through the same
+        // site id with the same target: one cold miss, hits after — the
+        // cache is per-site, not per-thread, and stays correct either way.
+        let mut p = Program::named("ic-cross-thread");
+        let helper = p.add_method(MethodDef::new(
+            "helper",
+            0,
+            1,
+            vec![
+                Insn::Const { dst: 0, value: 7 },
+                Insn::Return { value: Some(0) },
+            ],
+        ));
+        let worker = p.add_method(MethodDef::new(
+            "worker",
+            0,
+            2,
+            vec![
+                Insn::CallCached {
+                    method: helper,
+                    args: vec![],
+                    dst: Some(1),
+                    site: 0,
+                },
+                Insn::Return { value: None },
+            ],
+        ));
+        let main = p.add_method(MethodDef::new(
+            "main",
+            0,
+            2,
+            vec![
+                Insn::SpawnThread {
+                    method: worker,
+                    args: vec![],
+                },
+                Insn::SpawnThread {
+                    method: worker,
+                    args: vec![],
+                },
+                Insn::CallCached {
+                    method: helper,
+                    args: vec![],
+                    dst: Some(0),
+                    site: 0,
+                },
+                Insn::Return { value: None },
+            ],
+        ));
+        p.set_entry(main);
+        let mut vm = Vm::new(
+            p,
+            VmConfig::small().with_fusion(false),
+            NoopCollector::new(),
+        );
+        let outcome = vm.run().expect("program runs");
+        assert_eq!(outcome.stats.threads_spawned, 2);
+        let site = vm.call_sites()[0];
+        assert_eq!(site.misses, 1, "only the cold lookup misses");
+        assert_eq!(site.hits, 2);
     }
 }

@@ -61,6 +61,6 @@ pub use cg_heap::{ClassId, Handle, Heap, HeapConfig, HeapError, Value};
 pub use collector::{CollectOutcome, Collector, FrameRoots, NoopCollector, RootSet};
 pub use event::{AllocKind, EventKind, EventSink, GcEvent};
 pub use frame::{Frame, FrameId, FrameInfo, ThreadId, ThreadState, ThreadStatus};
-pub use insn::{ArithOp, Cond, Insn, LocalIdx, Operand};
-pub use interp::{RunOutcome, Vm, VmConfig, VmError, VmStats};
-pub use program::{ClassDef, MethodDef, MethodId, Program, StaticId};
+pub use insn::{ArithOp, Cond, Insn, LocalIdx, Operand, OPCODE_NAMES};
+pub use interp::{CallSite, DispatchProfile, RunOutcome, Vm, VmConfig, VmError, VmStats};
+pub use program::{ClassDef, FuseReport, MethodDef, MethodId, Program, StaticId};
