@@ -44,6 +44,6 @@ pub use parallel::{
 pub use runner::{
     ensure_cached_trace, experiment_run_mode, quarantine_cache_entry, record_workload_trace,
     record_workload_trace_to_path, replay_run, replay_streaming, run_once, run_with_mode,
-    set_experiment_run_mode, trace_cache_dir, trace_cache_path, CollectorChoice, RunMode,
-    RunResult, RunnerError, TraceCache, WorkloadTrace,
+    set_experiment_run_mode, sweep_stale_tmps, trace_cache_dir, trace_cache_path, unique_tmp_path,
+    CollectorChoice, RunMode, RunResult, RunnerError, TraceCache, WorkloadTrace, TMP_SWEEP_TTL,
 };

@@ -6,6 +6,8 @@
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
 use std::rc::Rc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, SystemTime};
 
 use cg_baseline::{MarkSweep, MarkSweepStats, NoopCollector};
 use cg_core::{CgConfig, CgStats, HybridCollector, HybridConfig, ObjectBreakdown};
@@ -393,6 +395,63 @@ pub fn trace_cache_path(workload: Workload, size: Size, gc_every: Option<u64>) -
     trace_cache_dir().join(format!("{}-s{size}-gc{gc}.cgt", workload.name()))
 }
 
+/// How long an unpublished `.tmp.` sibling may sit in a cache directory
+/// before [`sweep_stale_tmps`] treats it as an orphan from a dead writer.
+/// Generous: a live recording of the largest workload finishes in minutes,
+/// not hours.
+pub const TMP_SWEEP_TTL: Duration = Duration::from_secs(60 * 60);
+
+/// A process-unique, collision-proof temp sibling for atomically publishing
+/// `path`: `<name>.<ext>.tmp.<pid>-<counter>`.
+///
+/// The PID alone is not enough — PIDs are recycled, so a sweeper (or an
+/// unrelated crashed writer's successor) holding the same PID could clobber
+/// a live tmp.  The monotonic per-process counter makes every tmp name this
+/// process ever creates distinct, and distinct from any name a previous
+/// holder of the PID plausibly left behind.
+pub fn unique_tmp_path(path: &Path) -> PathBuf {
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+    let ext = path
+        .extension()
+        .map_or_else(|| "tmp".to_string(), |e| e.to_string_lossy().into_owned());
+    path.with_extension(format!("{ext}.tmp.{}-{n}", std::process::id()))
+}
+
+/// Removes `*.tmp.*` orphans older than `ttl` from `dir`, returning how
+/// many were deleted.  Called on cache open: a recorder that dies between
+/// `File::create` and the publishing `rename` leaks its tmp forever
+/// otherwise.  The mtime TTL keeps the sweep from racing a *live* writer —
+/// an in-progress recording's tmp is at most minutes old, while an orphan
+/// only gets older.  Missing directories and unreadable entries are not
+/// errors (the sweep is best-effort hygiene).
+pub fn sweep_stale_tmps(dir: &Path, ttl: Duration) -> usize {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return 0;
+    };
+    let now = SystemTime::now();
+    let mut removed = 0;
+    for entry in entries.flatten() {
+        let path = entry.path();
+        let is_tmp = path
+            .file_name()
+            .and_then(|n| n.to_str())
+            .is_some_and(|n| n.contains(".tmp."));
+        if !is_tmp {
+            continue;
+        }
+        let Ok(modified) = entry.metadata().and_then(|m| m.modified()) else {
+            continue;
+        };
+        // An mtime in the future (clock skew) reads as age zero.
+        let age = now.duration_since(modified).unwrap_or(Duration::ZERO);
+        if age >= ttl && std::fs::remove_file(&path).is_ok() {
+            removed += 1;
+        }
+    }
+    removed
+}
+
 /// Records `workload` straight to a `.cgt` file with O(chunk) memory: the
 /// header carries the workload identity, heap configuration and
 /// `gc_every`; the footer carries the recording run's interpreter
@@ -422,13 +481,14 @@ pub fn record_workload_trace_to_path(
         }),
         ..TraceMeta::default()
     };
-    // Record into a process-unique temp sibling, fsync, and rename into
+    // Record into a collision-proof temp sibling, fsync, and rename into
     // place: a crash mid-write can never leave a truncated stream at the
     // published path, a crash between write and rename leaves only a
-    // `.tmp` orphan, and concurrent recorders cannot observe (or clobber)
-    // each other's half-written files — whichever rename lands last wins,
-    // and both renamed files are complete.
-    let tmp = path.with_extension(format!("cgt.tmp.{}", std::process::id()));
+    // `.tmp` orphan (reclaimed by the TTL sweep on the next cache open),
+    // and concurrent recorders cannot observe (or clobber) each other's
+    // half-written files — whichever rename lands last wins, and both
+    // renamed files are complete.
+    let tmp = unique_tmp_path(path);
     let file = std::fs::File::create(&tmp).map_err(TraceIoError::Io)?;
     let recorded = record_streaming(
         &meta,
@@ -851,7 +911,12 @@ impl TraceCache {
 
     /// Creates a cache that additionally memoizes recordings on disk under
     /// [`trace_cache_dir`].
+    ///
+    /// Opening the disk cache also sweeps `.tmp.` orphans older than
+    /// [`TMP_SWEEP_TTL`] — leftovers from recorders that died between
+    /// creating the temp file and renaming it into place.
     pub fn with_disk_cache() -> Self {
+        sweep_stale_tmps(&trace_cache_dir(), TMP_SWEEP_TTL);
         Self {
             traces: HashMap::new(),
             use_disk: true,
@@ -931,7 +996,7 @@ fn write_cached_workload_trace(path: &Path, wt: &WorkloadTrace) -> Result<(), Tr
     // Same atomic-publish discipline as [`record_workload_trace_to_path`]:
     // a crash or concurrent writer can never leave a torn file at the
     // published path, and the bytes are on disk before the rename.
-    let tmp = path.with_extension(format!("cgt.tmp.{}", std::process::id()));
+    let tmp = unique_tmp_path(path);
     let write = || -> Result<(), TraceIoError> {
         let file = std::fs::File::create(&tmp)?;
         let mut writer = cg_trace::TraceWriter::new(std::io::BufWriter::new(file), &meta)?;

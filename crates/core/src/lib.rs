@@ -100,6 +100,6 @@ pub use frame_index::FrameBlockIndex;
 pub use hybrid::{HybridCollector, HybridConfig};
 pub use recycle::{RecycleBins, RecyclePolicy};
 pub use shard::{aggregate_shards, aggregate_stats, CollectorShard, StoreOperand};
-pub use sharded::ShardedGc;
+pub use sharded::{ShardConfigError, ShardedGc};
 pub use static_domain::{merge_reasons, DomainImpl, StaticDomain, StaticNodeId};
 pub use stats::{CgStats, ObjectBreakdown};

@@ -19,13 +19,20 @@
 //! the byte and event level and replayed under resource limits; `--iters`
 //! is the total mutated-case budget and `--out` receives the failing
 //! `.cgt` artifact if a case panics, hangs or silently misdecodes.
+//!
+//! `--mutate-proto` attacks the `cgtd` frame protocol instead: wire-valid
+//! client sessions are corrupted at the byte and frame level and fed
+//! through the frame parser and session reassembler, which must decode
+//! them exactly or reject them with a structured error — never panic,
+//! hang, or mis-hash.
 
 use std::process::ExitCode;
 
 use cg_core::{DomainImpl, FaultInjection};
 use cg_fuzz::{
-    check_program, generate, instruction_count, parse, run_mutation_campaign, serialize, shrink,
-    GenProfile, MutationOptions, OracleOptions, QuietPanics,
+    check_program, generate, instruction_count, parse, run_mutation_campaign, run_proto_campaign,
+    serialize, shrink, GenProfile, MutationOptions, OracleOptions, ProtoMutationOptions,
+    QuietPanics,
 };
 use cg_testutil::TestRng;
 
@@ -41,6 +48,7 @@ struct Options {
     case_seed: Option<u64>,
     domain: DomainImpl,
     mutate_trace: bool,
+    mutate_proto: bool,
     fusion: bool,
 }
 
@@ -58,6 +66,7 @@ impl Default for Options {
             case_seed: None,
             domain: DomainImpl::default(),
             mutate_trace: false,
+            mutate_proto: false,
             fusion: true,
         }
     }
@@ -68,7 +77,7 @@ fn usage() -> ! {
         "usage: cg-fuzz [--seed N|0xHEX] [--iters N] [--profile NAME|all] \
          [--forced-gc N] [--fault skip-contamination] [--domain atomic|mutex] \
          [--no-fuse] [--minimize] [--out PATH] [--replay FILE] \
-         [--case-seed N|0xHEX] [--mutate-trace]\n\n\
+         [--case-seed N|0xHEX] [--mutate-trace] [--mutate-proto]\n\n\
          --no-fuse runs the primary legs on the unfused interpreter; the\n\
          fusion-differential leg still checks byte-identity against the\n\
          fused one.  Exit codes are unchanged: 0 pass, 1 counterexample,\n\
@@ -142,6 +151,7 @@ fn parse_args() -> Options {
             }
             "--minimize" => options.minimize = true,
             "--mutate-trace" => options.mutate_trace = true,
+            "--mutate-proto" => options.mutate_proto = true,
             "--no-fuse" => options.fusion = false,
             "--out" => options.out = args.next().unwrap_or_else(|| usage()),
             "--replay" => options.replay = Some(args.next().unwrap_or_else(|| usage())),
@@ -250,6 +260,35 @@ fn mutate_traces(options: &Options) -> ExitCode {
     ExitCode::FAILURE
 }
 
+fn mutate_proto(options: &Options) -> ExitCode {
+    let campaign = ProtoMutationOptions {
+        seed: options.seed,
+        cases: options.iters,
+    };
+    let start = std::time::Instant::now();
+    let report = run_proto_campaign(&campaign);
+    let elapsed = start.elapsed().as_secs_f64();
+    println!(
+        "protocol campaign: {} cases in {elapsed:.1}s \
+         ({} clean passes, {} structured errors, longest case {:.2}s)",
+        report.cases,
+        report.clean_passes,
+        report.structured_errors,
+        report.max_case.as_secs_f64()
+    );
+    if report.failures.is_empty() {
+        println!("PASS: every mutated stream decoded exactly or failed with a structured error");
+        return ExitCode::SUCCESS;
+    }
+    for failure in &report.failures {
+        println!(
+            "FAIL: mutation={} case-seed={:#x}: {}",
+            failure.mutation, failure.case_seed, failure.detail
+        );
+    }
+    ExitCode::FAILURE
+}
+
 fn main() -> ExitCode {
     let options = parse_args();
     let oracle = oracle_options(&options);
@@ -257,6 +296,9 @@ fn main() -> ExitCode {
 
     if options.mutate_trace {
         return mutate_traces(&options);
+    }
+    if options.mutate_proto {
+        return mutate_proto(&options);
     }
     if let Some(path) = &options.replay {
         return replay_file(path, &oracle);

@@ -42,6 +42,7 @@ pub mod corpus;
 pub mod generator;
 pub mod mutate;
 pub mod oracle;
+pub mod proto_mutate;
 pub mod shrink;
 
 pub use corpus::{instruction_count, parse, serialize, ParseError};
@@ -52,5 +53,8 @@ pub use mutate::{
 pub use oracle::{
     check_program, check_round_trip, fuzz_heap_config, fuzz_vm_config, CheckFailure, OracleOptions,
     OracleReport, QuietPanics,
+};
+pub use proto_mutate::{
+    run_proto_campaign, ProtoMutationFailure, ProtoMutationOptions, ProtoMutationReport,
 };
 pub use shrink::{shrink, ShrinkOutcome};

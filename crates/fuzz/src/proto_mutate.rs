@@ -1,0 +1,465 @@
+//! Adversarial frame-protocol mutation: the `--mutate-proto` campaign.
+//!
+//! `cgtd` feeds untrusted sockets straight into the frame parser and
+//! [`SessionReader`], so those two layers carry the same robustness
+//! contract the `.cgt` decoder does under `--mutate-trace`:
+//!
+//! * every mutated client byte-stream must **terminate** quickly with
+//!   bounded memory — no hangs, no length-prefix allocation bombs;
+//! * the outcome must be either a **clean decode that exactly matches
+//!   what the (possibly mutated) frame sequence encodes** or a
+//!   **structured error** ([`cg_trace::proto::ProtoError`] / `io::Error`)
+//!   — never a panic, never a silently different body;
+//! * the session hashes ([`SessionReader::crc32`]/[`SessionReader::fnv64`])
+//!   must agree with an independent reimplementation on every clean pass
+//!   (they key `cgtd`'s memoized result cache, so a divergence there is a
+//!   wrong-answer bug, not a nuisance).
+//!
+//! Byte-level mutants (bit flips, truncation, zero runs, spliced slices,
+//! header lies, I/O faults via [`FaultyReader`]) attack the parser;
+//! structure-level mutants re-encode wire-valid frame sequences whose
+//! *shape* is hostile (dropped/duplicated/reordered frames, missing END,
+//! server frames from a client) and attack the session state machine.
+
+use std::io::{self, Read};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::time::{Duration, Instant};
+
+use cg_testutil::TestRng;
+use cg_trace::proto::{
+    read_frame, read_preamble, write_frame, write_preamble, Frame, SessionReader,
+};
+use cg_trace::{FaultPlan, FaultyReader};
+
+/// Campaign configuration.
+#[derive(Debug, Clone)]
+pub struct ProtoMutationOptions {
+    /// Base seed; every case derives its own reproducible seed from it.
+    pub seed: u64,
+    /// Total mutated cases.
+    pub cases: u64,
+}
+
+impl Default for ProtoMutationOptions {
+    fn default() -> Self {
+        Self {
+            seed: 0xC0FFEE,
+            cases: 128,
+        }
+    }
+}
+
+/// One campaign violation: a panic, a silent misdecode, a hash divergence
+/// or a runaway case.
+#[derive(Debug)]
+pub struct ProtoMutationFailure {
+    /// The case's reproducible seed.
+    pub case_seed: u64,
+    /// The mutation applied.
+    pub mutation: &'static str,
+    /// What went wrong.
+    pub detail: String,
+}
+
+/// Aggregate campaign result.
+#[derive(Debug, Default)]
+pub struct ProtoMutationReport {
+    /// Mutated cases executed.
+    pub cases: u64,
+    /// Cases that decoded to exactly what their frame sequence encodes.
+    pub clean_passes: u64,
+    /// Cases rejected with a structured error.
+    pub structured_errors: u64,
+    /// The longest single case.
+    pub max_case: Duration,
+    /// Contract violations (must be empty for the campaign to pass).
+    pub failures: Vec<ProtoMutationFailure>,
+}
+
+/// The mutation menu; roughly half byte-level, half structure-level.
+const MUTATIONS: &[(&str, u32)] = &[
+    ("flip-bits", 10),
+    ("truncate", 6),
+    ("zero-run", 6),
+    ("duplicate-slice", 5),
+    ("len-lie", 8),
+    ("kind-lie", 6),
+    ("read-fault", 6),
+    ("drop-frame", 7),
+    ("duplicate-frame", 6),
+    ("swap-frames", 6),
+    ("strip-end", 5),
+    ("server-frame", 5),
+    ("rechunk", 6),
+];
+
+/// Independent CRC32 (IEEE, bitwise) — deliberately *not* the wire
+/// implementation, so a clean pass cross-checks the session hash.
+fn crc32_ref(bytes: &[u8]) -> u32 {
+    let mut crc = 0xffff_ffffu32;
+    for &b in bytes {
+        crc ^= u32::from(b);
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xedb8_8320 & mask);
+        }
+    }
+    !crc
+}
+
+/// Independent FNV-1a 64.
+fn fnv64_ref(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x100_0000_01b3);
+    }
+    hash
+}
+
+/// A seeded, wire-valid client session: SUBMIT + DATA chunks + END.
+fn base_frames(rng: &mut TestRng) -> Vec<Frame> {
+    let tenant = format!("tenant-{}", rng.gen_range(0, 1000));
+    let payload_len = rng.gen_range(1, 96 * 1024);
+    let mut payload = vec![0u8; payload_len];
+    for b in &mut payload {
+        *b = rng.gen_range(0, 256) as u8;
+    }
+    let mut frames = vec![Frame::Submit { tenant }];
+    let mut rest = payload.as_slice();
+    while !rest.is_empty() {
+        let take = rng.gen_range(1, 32 * 1024).min(rest.len());
+        frames.push(Frame::Data(rest[..take].to_vec()));
+        rest = &rest[take..];
+    }
+    frames.push(Frame::End);
+    frames
+}
+
+/// What a frame sequence *encodes*: the session body a correct parser
+/// must reassemble, or a structured rejection.
+enum Expected {
+    Session { tenant: String, body: Vec<u8> },
+    Error,
+}
+
+fn expected_of(frames: &[Frame]) -> Expected {
+    let Some(Frame::Submit { tenant }) = frames.first() else {
+        return Expected::Error;
+    };
+    let mut body = Vec::new();
+    for frame in &frames[1..] {
+        match frame {
+            Frame::Data(bytes) => body.extend_from_slice(bytes),
+            Frame::End => {
+                return Expected::Session {
+                    tenant: tenant.clone(),
+                    body,
+                }
+            }
+            // Anything else from a client mid-body is a protocol error.
+            _ => return Expected::Error,
+        }
+    }
+    // The stream ran out without END: truncated.
+    Expected::Error
+}
+
+/// Serializes preamble + frames, recording each frame's start offset so
+/// header-field mutations can aim precisely.
+fn serialize_session(frames: &[Frame]) -> (Vec<u8>, Vec<usize>) {
+    let mut bytes = Vec::new();
+    write_preamble(&mut bytes).expect("vec write");
+    let mut offsets = Vec::with_capacity(frames.len());
+    for frame in frames {
+        offsets.push(bytes.len());
+        write_frame(&mut bytes, frame).expect("vec write");
+    }
+    (bytes, offsets)
+}
+
+/// The server's parsing path in miniature: preamble, SUBMIT, then the
+/// session body through [`SessionReader`] — exactly the layers a `cgtd`
+/// worker exposes to untrusted bytes.
+fn serve(input: impl Read) -> Result<(String, Vec<u8>, u32, u64), String> {
+    let mut input = input;
+    read_preamble(&mut input).map_err(|e| e.to_string())?;
+    let tenant = match read_frame(&mut input) {
+        Ok(Some(Frame::Submit { tenant })) => tenant,
+        Ok(_) => return Err("first frame is not SUBMIT".to_string()),
+        Err(e) => return Err(e.to_string()),
+    };
+    let mut session = SessionReader::new(input);
+    let mut body = Vec::new();
+    session.read_to_end(&mut body).map_err(|e| e.to_string())?;
+    Ok((tenant, body, session.crc32(), session.fnv64()))
+}
+
+/// How one case ended (violations are detected by the driver).
+enum CaseEnd {
+    CleanPass,
+    StructuredError,
+    SilentCorruption(String),
+}
+
+/// Checks a decode outcome against what the frame sequence encodes.
+fn judge(outcome: Result<(String, Vec<u8>, u32, u64), String>, expected: &Expected) -> CaseEnd {
+    match (outcome, expected) {
+        (Err(_), _) => CaseEnd::StructuredError,
+        (Ok((tenant, body, crc, fnv)), Expected::Session { tenant: t, body: b }) => {
+            if tenant != *t || body != *b {
+                return CaseEnd::SilentCorruption(format!(
+                    "decoded {}-byte body for '{tenant}' where the stream encodes \
+                     {} bytes for '{t}'",
+                    body.len(),
+                    b.len()
+                ));
+            }
+            if crc != crc32_ref(&body) || fnv != fnv64_ref(&body) {
+                return CaseEnd::SilentCorruption(
+                    "session hashes disagree with the reference implementation".to_string(),
+                );
+            }
+            CaseEnd::CleanPass
+        }
+        (Ok((tenant, body, ..)), Expected::Error) => CaseEnd::SilentCorruption(format!(
+            "a stream that encodes no valid session decoded as {} bytes for '{tenant}'",
+            body.len()
+        )),
+    }
+}
+
+/// Applies one structure-level mutation to the frame list.
+fn mutate_frames(frames: &[Frame], mutation: &str, rng: &mut TestRng) -> Vec<Frame> {
+    let mut frames = frames.to_vec();
+    let at = rng.gen_range(0, frames.len());
+    match mutation {
+        "drop-frame" => {
+            frames.remove(at);
+        }
+        "duplicate-frame" => {
+            let f = frames[at].clone();
+            frames.insert(at, f);
+        }
+        "swap-frames" => {
+            let b = rng.gen_range(0, frames.len());
+            frames.swap(at, b);
+        }
+        "strip-end" => {
+            frames.retain(|f| !matches!(f, Frame::End));
+        }
+        "server-frame" => {
+            let plant = match rng.gen_range(0, 4) {
+                0 => Frame::Accepted,
+                1 => Frame::Busy {
+                    reason: "fake".to_string(),
+                },
+                2 => Frame::Stats {
+                    cached: false,
+                    text: "events 0\n".to_string(),
+                },
+                _ => Frame::Metrics,
+            };
+            frames.insert(at, plant);
+        }
+        "rechunk" => {
+            // Same body, different DATA framing — must decode identically.
+            let Expected::Session { tenant, body } = expected_of(&frames) else {
+                return frames;
+            };
+            let mut rechunked = vec![Frame::Submit { tenant }];
+            let mut rest = body.as_slice();
+            while !rest.is_empty() {
+                let take = rng.gen_range(1, 8 * 1024).min(rest.len());
+                rechunked.push(Frame::Data(rest[..take].to_vec()));
+                rest = &rest[take..];
+            }
+            rechunked.push(Frame::End);
+            return rechunked;
+        }
+        other => unreachable!("not a structure mutation: {other}"),
+    }
+    frames
+}
+
+/// Applies one byte-level mutation to the serialized stream.
+fn mutate_bytes(bytes: &mut Vec<u8>, offsets: &[usize], mutation: &str, rng: &mut TestRng) {
+    match mutation {
+        "flip-bits" => {
+            for _ in 0..rng.gen_range(1, 5) {
+                let at = rng.gen_range(0, bytes.len());
+                bytes[at] ^= 1 << rng.gen_range(0, 8);
+            }
+        }
+        "truncate" => {
+            let keep = rng.gen_range(0, bytes.len());
+            bytes.truncate(keep);
+        }
+        "zero-run" => {
+            let at = rng.gen_range(0, bytes.len());
+            let run = rng.gen_range(1, 33).min(bytes.len() - at);
+            bytes[at..at + run].fill(0);
+        }
+        "duplicate-slice" => {
+            let at = rng.gen_range(0, bytes.len());
+            let run = rng.gen_range(1, 65).min(bytes.len() - at);
+            let slice = bytes[at..at + run].to_vec();
+            let insert_at = rng.gen_range(0, bytes.len());
+            bytes.splice(insert_at..insert_at, slice);
+        }
+        "len-lie" => {
+            // Overwrite one frame's length prefix: huge values must bounce
+            // on sight (no allocation), small lies must fail the CRC.
+            let frame = offsets[rng.gen_range(0, offsets.len())];
+            let lie: u32 = if rng.gen_bool(0.5) {
+                u32::MAX - rng.gen_range(0, 1024) as u32
+            } else {
+                rng.gen_range(0, 1 << 21) as u32
+            };
+            bytes[frame + 1..frame + 5].copy_from_slice(&lie.to_le_bytes());
+        }
+        "kind-lie" => {
+            let frame = offsets[rng.gen_range(0, offsets.len())];
+            bytes[frame] = rng.gen_range(0, 256) as u8;
+        }
+        other => unreachable!("not a byte mutation: {other}"),
+    }
+}
+
+/// Runs one seeded case end to end.
+fn run_case(mutation: &str, rng: &mut TestRng) -> CaseEnd {
+    let base = base_frames(rng);
+    match mutation {
+        "drop-frame" | "duplicate-frame" | "swap-frames" | "strip-end" | "server-frame"
+        | "rechunk" => {
+            let mutated = mutate_frames(&base, mutation, rng);
+            let expected = expected_of(&mutated);
+            let (bytes, _) = serialize_session(&mutated);
+            judge(serve(io::Cursor::new(bytes)), &expected)
+        }
+        "read-fault" => {
+            // A pristine stream through a faulty transport: either a clean
+            // decode of exactly the encoded session, or a structured error.
+            let expected = expected_of(&base);
+            let (bytes, _) = serialize_session(&base);
+            let plan = if rng.gen_bool(0.5) {
+                FaultPlan::error(rng.gen_range(0, bytes.len()) as u64)
+            } else {
+                FaultPlan::short(rng.gen_range(1, 8))
+            };
+            judge(serve(FaultyReader::new(&bytes[..], plan)), &expected)
+        }
+        byte_level => {
+            // Frame CRCs cover every mutated byte (trailing garbage past
+            // END is never read), so a clean decode must equal the
+            // *original* session.
+            let expected = expected_of(&base);
+            let (mut bytes, offsets) = serialize_session(&base);
+            mutate_bytes(&mut bytes, &offsets, byte_level, rng);
+            judge(serve(io::Cursor::new(bytes)), &expected)
+        }
+    }
+}
+
+/// Runs the full campaign: `cases` seeded mutants.
+pub fn run_proto_campaign(options: &ProtoMutationOptions) -> ProtoMutationReport {
+    let mut report = ProtoMutationReport::default();
+    // Protocol parsing is pure in-memory work; any case that takes this
+    // long has hung or gone quadratic.
+    let case_slack = Duration::from_secs(10);
+    let weights: Vec<u32> = MUTATIONS.iter().map(|(_, w)| *w).collect();
+    for case in 0..options.cases {
+        let mut rng = TestRng::new(options.seed).derive(case).derive(0x70726f74); // "prot"
+        let case_seed = rng.next_u64();
+        let mut case_rng = TestRng::new(case_seed);
+        let mutation = MUTATIONS[case_rng.weighted(&weights)].0;
+        report.cases += 1;
+        let started = Instant::now();
+        let outcome = catch_unwind(AssertUnwindSafe(|| run_case(mutation, &mut case_rng)));
+        let elapsed = started.elapsed();
+        report.max_case = report.max_case.max(elapsed);
+        match outcome {
+            Err(payload) => {
+                let msg = payload
+                    .downcast_ref::<&str>()
+                    .map(|s| s.to_string())
+                    .or_else(|| payload.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "non-string panic payload".to_string());
+                report.failures.push(ProtoMutationFailure {
+                    case_seed,
+                    mutation,
+                    detail: format!("panicked: {msg}"),
+                });
+            }
+            Ok(CaseEnd::SilentCorruption(detail)) => {
+                report.failures.push(ProtoMutationFailure {
+                    case_seed,
+                    mutation,
+                    detail: format!("silent corruption: {detail}"),
+                });
+            }
+            Ok(_) if elapsed > case_slack => {
+                report.failures.push(ProtoMutationFailure {
+                    case_seed,
+                    mutation,
+                    detail: format!(
+                        "budget violation: a parse took {:.1}s",
+                        elapsed.as_secs_f64()
+                    ),
+                });
+            }
+            Ok(CaseEnd::CleanPass) => report.clean_passes += 1,
+            Ok(CaseEnd::StructuredError) => report.structured_errors += 1,
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn a_small_campaign_is_clean() {
+        let options = ProtoMutationOptions {
+            seed: 0xDECADE,
+            cases: 64,
+        };
+        let report = run_proto_campaign(&options);
+        assert_eq!(report.cases, 64);
+        assert_eq!(
+            report.cases,
+            report.clean_passes + report.structured_errors,
+            "violations: {:?}",
+            report.failures
+        );
+        assert!(report.failures.is_empty(), "{:?}", report.failures);
+        // A campaign without structured rejections is not attacking
+        // anything; without clean passes it is not checking reassembly.
+        assert!(report.structured_errors > 0);
+        assert!(report.clean_passes > 0);
+    }
+
+    #[test]
+    fn the_reference_hashes_match_the_wire() {
+        // Pin the reference implementations against known vectors so the
+        // cross-check means something.
+        assert_eq!(crc32_ref(b""), 0);
+        assert_eq!(crc32_ref(b"123456789"), 0xcbf4_3926);
+        assert_eq!(fnv64_ref(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv64_ref(b"a"), 0xaf63_dc4c_8601_ec8c);
+    }
+
+    #[test]
+    fn an_unmutated_session_round_trips_clean() {
+        let mut rng = TestRng::new(7);
+        let frames = base_frames(&mut rng);
+        let expected = expected_of(&frames);
+        let (bytes, _) = serialize_session(&frames);
+        match judge(serve(io::Cursor::new(bytes)), &expected) {
+            CaseEnd::CleanPass => {}
+            CaseEnd::StructuredError => panic!("pristine session rejected"),
+            CaseEnd::SilentCorruption(d) => panic!("pristine session corrupted: {d}"),
+        }
+    }
+}

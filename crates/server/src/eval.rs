@@ -1,0 +1,378 @@
+//! One session's evaluation: spool the uploaded `.cgt` byte stream to
+//! disk with O(chunk) memory, answer repeated workloads from the memoized
+//! result cache, otherwise replay under the session's [`Governor`] via the
+//! governed streaming path and publish the result for next time.
+//!
+//! The result cache lives under the same directory tree as the benchmark
+//! harness's disk trace cache and uses the same atomic-publish discipline
+//! (collision-proof tmp sibling + rename, expired tmps swept on startup).
+//! Entries are keyed by content — `(length, CRC32, FNV-1a 64)` of the full
+//! uploaded byte stream — so a repeated upload of the same workload trace
+//! is answered without replaying a single event, and a trace that differs
+//! anywhere (header, events, footer) can never collide into a wrong
+//! answer short of a simultaneous 96-bit hash collision.
+
+use std::fmt;
+use std::fs::File;
+use std::io::{self, BufWriter, Read, Write};
+use std::path::{Path, PathBuf};
+
+use cg_bench::{sweep_stale_tmps, unique_tmp_path, TMP_SWEEP_TTL};
+use cg_trace::footer::{canonical_collector, cg_section};
+use cg_trace::proto::{session_error, ErrorClass, ProtoError, SessionReader};
+use cg_trace::{replay_path_governed, EvalError, Governor};
+
+/// How a session's evaluation is configured (shared by all workers).
+#[derive(Debug, Clone)]
+pub struct EvalConfig {
+    /// Root directory for spools and memoized results.
+    pub cache_dir: PathBuf,
+    /// Whether to memoize results (on by default; off forces re-replay).
+    pub memoize: bool,
+    /// Hard cap on the uploaded byte stream.
+    pub max_upload_bytes: u64,
+}
+
+impl EvalConfig {
+    /// Creates the spool/result directories and sweeps expired tmps left
+    /// by evaluators that died mid-publish.
+    ///
+    /// # Errors
+    ///
+    /// Propagates directory-creation failures.
+    pub fn prepare(&self) -> io::Result<()> {
+        for sub in ["uploads", "results"] {
+            let dir = self.cache_dir.join(sub);
+            std::fs::create_dir_all(&dir)?;
+            sweep_stale_tmps(&dir, TMP_SWEEP_TTL);
+        }
+        Ok(())
+    }
+
+    fn result_path(&self, len: u64, crc: u32, fnv: u64) -> PathBuf {
+        self.cache_dir
+            .join("results")
+            .join(format!("{len:x}-{crc:08x}-{fnv:016x}.stats"))
+    }
+}
+
+/// A successful evaluation, ready to frame as `STATS`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SessionResult {
+    /// The plaintext stats body: `events N` then `cg.<counter> <value>`
+    /// lines in the canonical footer-section order.
+    pub text: String,
+    /// Whether it came from the memoized result cache.
+    pub cached: bool,
+    /// Events replayed (from the `events` line; the recorded count when
+    /// answered from cache).
+    pub events: u64,
+}
+
+/// Why a session failed, with enough structure to pick the wire
+/// [`ErrorClass`] and a metrics bucket.
+#[derive(Debug)]
+pub enum SessionError {
+    /// The client broke the frame protocol mid-body.
+    Proto(ProtoError),
+    /// The client stopped sending bytes (socket idle timeout).
+    Stalled,
+    /// The upload exceeded the configured byte cap.
+    UploadTooLarge {
+        /// The configured cap.
+        limit: u64,
+    },
+    /// The server's own disk I/O failed.
+    Io(io::Error),
+    /// The governed replay rejected or aborted the trace.
+    Eval(EvalError),
+}
+
+impl SessionError {
+    /// The wire error class this failure reports as.
+    pub fn class(&self) -> ErrorClass {
+        match self {
+            SessionError::Proto(_) => ErrorClass::Protocol,
+            SessionError::Stalled => ErrorClass::Deadline,
+            SessionError::UploadTooLarge { .. } => ErrorClass::Limit,
+            SessionError::Io(_) => ErrorClass::Io,
+            SessionError::Eval(e) => ErrorClass::from_eval(e),
+        }
+    }
+}
+
+impl fmt::Display for SessionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SessionError::Proto(e) => write!(f, "{e}"),
+            SessionError::Stalled => write!(f, "session stalled: no bytes within the idle timeout"),
+            SessionError::UploadTooLarge { limit } => {
+                write!(f, "upload exceeds the {limit}-byte cap")
+            }
+            SessionError::Io(e) => write!(f, "server i/o: {e}"),
+            SessionError::Eval(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for SessionError {}
+
+/// Classifies a [`SessionReader`] read failure: a wrapped [`ProtoError`]
+/// is a protocol violation, a timeout is a stalled client, anything else
+/// is transport I/O (mid-stream disconnects arrive as `Truncated`).
+fn classify_read(e: io::Error) -> SessionError {
+    if matches!(
+        e.kind(),
+        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+    ) {
+        return SessionError::Stalled;
+    }
+    match session_error(&e) {
+        Some(_) => {
+            // Take the ProtoError back out of the io::Error wrapper.
+            let inner = e
+                .into_inner()
+                .expect("session_error saw an inner error")
+                .downcast::<ProtoError>()
+                .expect("session_error checked the type");
+            SessionError::Proto(*inner)
+        }
+        None => SessionError::Proto(ProtoError::Io(e)),
+    }
+}
+
+/// Runs one session body to completion: spools, memoizes, evaluates.
+///
+/// The governor's deadline covers the whole session — a client that
+/// uploads slowly eats into its own evaluation budget, so a worker slot
+/// is always reclaimed within the deadline plus one idle timeout.
+///
+/// # Errors
+///
+/// A [`SessionError`]; the worker frames it as an `ERROR` response.
+pub fn evaluate_session<R: Read>(
+    body: &mut SessionReader<R>,
+    governor: &Governor,
+    config: &EvalConfig,
+) -> Result<SessionResult, SessionError> {
+    let uploads = config.cache_dir.join("uploads");
+    std::fs::create_dir_all(&uploads).map_err(SessionError::Io)?;
+    let spool_path = unique_tmp_path(&uploads.join("session.cgt"));
+    let result = spool_and_eval(body, governor, config, &spool_path);
+    let _ = std::fs::remove_file(&spool_path);
+    result
+}
+
+fn spool_and_eval<R: Read>(
+    body: &mut SessionReader<R>,
+    governor: &Governor,
+    config: &EvalConfig,
+    spool_path: &Path,
+) -> Result<SessionResult, SessionError> {
+    // Spool the framed byte stream to disk: memory stays at one frame
+    // plus this copy buffer regardless of trace size.
+    let spool = File::create(spool_path).map_err(SessionError::Io)?;
+    let mut spool = BufWriter::new(spool);
+    let mut buf = vec![0u8; 64 * 1024];
+    loop {
+        governor.check_deadline().map_err(SessionError::Eval)?;
+        governor.check_cancelled().map_err(SessionError::Eval)?;
+        let n = body.read(&mut buf).map_err(classify_read)?;
+        if n == 0 {
+            break;
+        }
+        if body.bytes_read() > config.max_upload_bytes {
+            return Err(SessionError::UploadTooLarge {
+                limit: config.max_upload_bytes,
+            });
+        }
+        spool.write_all(&buf[..n]).map_err(SessionError::Io)?;
+    }
+    spool
+        .into_inner()
+        .map_err(|e| SessionError::Io(e.into_error()))?;
+
+    // Memoization: same bytes, same answer — skip the replay entirely.
+    let result_path = config.result_path(body.bytes_read(), body.crc32(), body.fnv64());
+    if config.memoize {
+        if let Some(hit) = load_result(&result_path) {
+            return Ok(SessionResult {
+                cached: true,
+                ..hit
+            });
+        }
+    }
+
+    let evaluated = replay_path_governed(spool_path, None, canonical_collector(), governor)
+        .map_err(SessionError::Eval)?;
+    let mut collector = evaluated.replayed.collector;
+    let breakdown = collector.breakdown();
+    let section = cg_section(collector.stats(), &breakdown);
+    let events = evaluated.replayed.outcome.events_replayed as u64;
+    let mut text = format!("events {events}\n");
+    for (name, value) in &section.entries {
+        text.push_str(&format!("cg.{name} {value}\n"));
+    }
+    if config.memoize {
+        store_result(&result_path, &text);
+    }
+    Ok(SessionResult {
+        text,
+        cached: false,
+        events,
+    })
+}
+
+/// Loads a memoized result; `None` on absence or any damage (a damaged
+/// entry just costs a re-replay, exactly like the trace cache).
+fn load_result(path: &Path) -> Option<SessionResult> {
+    let text = std::fs::read_to_string(path).ok()?;
+    let events = text
+        .lines()
+        .next()?
+        .strip_prefix("events ")?
+        .parse::<u64>()
+        .ok()?;
+    if !text.lines().skip(1).all(|l| l.starts_with("cg.")) || text.lines().count() < 2 {
+        return None;
+    }
+    Some(SessionResult {
+        text,
+        cached: true,
+        events,
+    })
+}
+
+/// Publishes a result atomically (tmp sibling + rename).  Best-effort: a
+/// failure here only loses the memoization, never the response.
+fn store_result(path: &Path, text: &str) {
+    let tmp = unique_tmp_path(path);
+    let publish = || -> io::Result<()> {
+        let mut f = File::create(&tmp)?;
+        f.write_all(text.as_bytes())?;
+        f.sync_all()?;
+        std::fs::rename(&tmp, path)
+    };
+    if publish().is_err() {
+        let _ = std::fs::remove_file(&tmp);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cg_trace::proto::{write_session_body, Frame};
+    use cg_trace::ResourceLimits;
+
+    fn test_config(tag: &str) -> EvalConfig {
+        let dir = std::env::temp_dir().join(format!("cgtd-eval-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let config = EvalConfig {
+            cache_dir: dir,
+            memoize: true,
+            max_upload_bytes: 64 << 20,
+        };
+        config.prepare().expect("prepare");
+        config
+    }
+
+    /// A tiny but real `.cgt` stream: record one workload at size 1.
+    fn small_trace_bytes() -> Vec<u8> {
+        let dir = std::env::temp_dir().join(format!("cgtd-eval-trace-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let path = dir.join("jess-s1.cgt");
+        if !path.exists() {
+            let workload = cg_workloads::Workload::by_name("jess").expect("jess exists");
+            cg_bench::record_workload_trace_to_path(workload, cg_workloads::Size::S1, None, &path)
+                .expect("record");
+        }
+        std::fs::read(&path).expect("read trace")
+    }
+
+    fn frame_body(bytes: &[u8]) -> Vec<u8> {
+        let mut framed = Vec::new();
+        write_session_body(&mut io::Cursor::new(bytes), &mut framed).expect("frame");
+        framed
+    }
+
+    #[test]
+    fn evaluates_then_memoizes_byte_identically() {
+        let config = test_config("memo");
+        let governor = Governor::new(ResourceLimits::untrusted());
+        let bytes = small_trace_bytes();
+
+        let mut first = SessionReader::new(io::Cursor::new(frame_body(&bytes)));
+        let a = evaluate_session(&mut first, &governor, &config).expect("first eval");
+        assert!(!a.cached);
+        assert!(a.events > 0);
+        assert!(a.text.starts_with("events "));
+        assert!(a.text.contains("cg.objects_created"), "{}", a.text);
+
+        let mut second = SessionReader::new(io::Cursor::new(frame_body(&bytes)));
+        let b = evaluate_session(&mut second, &governor, &config).expect("second eval");
+        assert!(b.cached, "repeat upload answered from cache");
+        assert_eq!(a.text, b.text, "cached answer is byte-identical");
+
+        // No spool leftovers.
+        let leftovers = std::fs::read_dir(config.cache_dir.join("uploads"))
+            .expect("uploads dir")
+            .count();
+        assert_eq!(leftovers, 0, "spools are always reclaimed");
+        let _ = std::fs::remove_dir_all(&config.cache_dir);
+    }
+
+    #[test]
+    fn corrupt_stream_reports_corrupt_class() {
+        let config = test_config("corrupt");
+        let governor = Governor::new(ResourceLimits::untrusted());
+        let mut bytes = small_trace_bytes();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x20;
+        let mut body = SessionReader::new(io::Cursor::new(frame_body(&bytes)));
+        let err = evaluate_session(&mut body, &governor, &config).expect_err("corrupt");
+        assert_eq!(err.class(), ErrorClass::Corrupt, "{err}");
+        let _ = std::fs::remove_dir_all(&config.cache_dir);
+    }
+
+    #[test]
+    fn event_budget_trips_limit_class() {
+        let config = test_config("limit");
+        let governor = Governor::new(ResourceLimits::parse("events=10").expect("spec"));
+        let bytes = small_trace_bytes();
+        let mut body = SessionReader::new(io::Cursor::new(frame_body(&bytes)));
+        let err = evaluate_session(&mut body, &governor, &config).expect_err("limited");
+        assert_eq!(err.class(), ErrorClass::Limit, "{err}");
+        let _ = std::fs::remove_dir_all(&config.cache_dir);
+    }
+
+    #[test]
+    fn upload_cap_trips_before_disk_fills() {
+        let config = EvalConfig {
+            max_upload_bytes: 1024,
+            ..test_config("cap")
+        };
+        let governor = Governor::new(ResourceLimits::untrusted());
+        let mut framed = Vec::new();
+        for _ in 0..10 {
+            cg_trace::proto::write_frame(&mut framed, &Frame::Data(vec![0u8; 512])).unwrap();
+        }
+        cg_trace::proto::write_frame(&mut framed, &Frame::End).unwrap();
+        let mut body = SessionReader::new(io::Cursor::new(framed));
+        let err = evaluate_session(&mut body, &governor, &config).expect_err("capped");
+        assert_eq!(err.class(), ErrorClass::Limit, "{err}");
+        let _ = std::fs::remove_dir_all(&config.cache_dir);
+    }
+
+    #[test]
+    fn disconnect_mid_body_is_a_protocol_error() {
+        let config = test_config("disconnect");
+        let governor = Governor::new(ResourceLimits::untrusted());
+        let mut framed = Vec::new();
+        cg_trace::proto::write_frame(&mut framed, &Frame::Data(vec![1, 2, 3])).unwrap();
+        // No END frame: the client vanished.
+        let mut body = SessionReader::new(io::Cursor::new(framed));
+        let err = evaluate_session(&mut body, &governor, &config).expect_err("gone");
+        assert_eq!(err.class(), ErrorClass::Protocol, "{err}");
+        let _ = std::fs::remove_dir_all(&config.cache_dir);
+    }
+}

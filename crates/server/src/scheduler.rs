@@ -1,0 +1,219 @@
+//! The fixed worker pool's admission queue: a global FIFO with a hard
+//! global bound and a per-tenant bound.
+//!
+//! Backpressure is explicit and immediate — [`Scheduler::try_enqueue`]
+//! never blocks and never buffers beyond the bounds; a full queue is a
+//! `Busy` answer the client can retry, not an unbounded `VecDeque`.  The
+//! queued item is the accepted connection itself, so a queued session
+//! costs one socket and a tenant string, not trace bytes.
+
+use std::collections::{HashMap, VecDeque};
+use std::net::TcpStream;
+use std::sync::{Condvar, Mutex};
+
+/// One admitted session waiting for (or held by) a worker.
+#[derive(Debug)]
+pub struct QueuedSession {
+    /// The tenant it is accounted under.
+    pub tenant: String,
+    /// The client connection, positioned just after its `SUBMIT` frame.
+    pub stream: TcpStream,
+    /// Bytes the handshake's buffered reader pulled off the socket past
+    /// the `SUBMIT` frame (a client that streamed without waiting for
+    /// `ACCEPTED`); the worker consumes these before the socket.
+    pub leftover: Vec<u8>,
+}
+
+/// Why a submission was not admitted.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Rejected {
+    /// The global queue is at capacity.
+    GlobalFull {
+        /// The configured global bound.
+        cap: usize,
+    },
+    /// This tenant's queue is at capacity.
+    TenantFull {
+        /// The configured per-tenant bound.
+        cap: usize,
+    },
+    /// The daemon is shutting down.
+    ShuttingDown,
+}
+
+impl Rejected {
+    /// The operator-facing reason string carried in the BUSY frame.
+    pub fn reason(&self) -> String {
+        match self {
+            Rejected::GlobalFull { cap } => format!("global queue full ({cap}/{cap})"),
+            Rejected::TenantFull { cap } => format!("tenant queue full ({cap}/{cap})"),
+            Rejected::ShuttingDown => "shutting down".to_string(),
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct State {
+    queue: VecDeque<QueuedSession>,
+    per_tenant: HashMap<String, usize>,
+    closed: bool,
+}
+
+/// Bounded admission queue shared by the acceptor and the worker pool.
+#[derive(Debug)]
+pub struct Scheduler {
+    state: Mutex<State>,
+    ready: Condvar,
+    global_cap: usize,
+    tenant_cap: usize,
+}
+
+impl Scheduler {
+    /// A queue bounded at `global_cap` sessions total and `tenant_cap`
+    /// per tenant (both at least 1).
+    pub fn new(global_cap: usize, tenant_cap: usize) -> Self {
+        Self {
+            state: Mutex::new(State::default()),
+            ready: Condvar::new(),
+            global_cap: global_cap.max(1),
+            tenant_cap: tenant_cap.max(1),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, State> {
+        self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Admits a session or rejects it immediately — never blocks.
+    ///
+    /// # Errors
+    ///
+    /// The [`Rejected`] bound that was hit.
+    pub fn try_enqueue(&self, session: QueuedSession) -> Result<(), Rejected> {
+        let mut state = self.lock();
+        if state.closed {
+            return Err(Rejected::ShuttingDown);
+        }
+        if state.queue.len() >= self.global_cap {
+            return Err(Rejected::GlobalFull {
+                cap: self.global_cap,
+            });
+        }
+        let tenant_depth = state
+            .per_tenant
+            .get(session.tenant.as_str())
+            .copied()
+            .unwrap_or(0);
+        if tenant_depth >= self.tenant_cap {
+            return Err(Rejected::TenantFull {
+                cap: self.tenant_cap,
+            });
+        }
+        *state.per_tenant.entry(session.tenant.clone()).or_default() += 1;
+        state.queue.push_back(session);
+        drop(state);
+        self.ready.notify_one();
+        Ok(())
+    }
+
+    /// Blocks for the next session; `None` means the scheduler was closed
+    /// and drained (the worker should exit).
+    pub fn dequeue(&self) -> Option<QueuedSession> {
+        let mut state = self.lock();
+        loop {
+            if let Some(session) = state.queue.pop_front() {
+                if let Some(depth) = state.per_tenant.get_mut(session.tenant.as_str()) {
+                    *depth = depth.saturating_sub(1);
+                    if *depth == 0 {
+                        state.per_tenant.remove(session.tenant.as_str());
+                    }
+                }
+                return Some(session);
+            }
+            if state.closed {
+                return None;
+            }
+            state = self.ready.wait(state).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// Closes the queue: pending sessions still drain, new submissions get
+    /// [`Rejected::ShuttingDown`], idle workers wake and exit.
+    pub fn close(&self) {
+        self.lock().closed = true;
+        self.ready.notify_all();
+    }
+
+    /// Sessions currently queued (all tenants).
+    pub fn depth(&self) -> usize {
+        self.lock().queue.len()
+    }
+
+    /// Per-tenant queue depths (tenants with zero queued are absent) —
+    /// the metrics renderer's source of truth for queue gauges.
+    pub fn depths(&self) -> std::collections::BTreeMap<String, usize> {
+        self.lock()
+            .per_tenant
+            .iter()
+            .map(|(tenant, &depth)| (tenant.clone(), depth))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::{TcpListener, TcpStream};
+
+    /// A connected socket pair to stand in for client connections.
+    fn sock() -> TcpStream {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let client = TcpStream::connect(addr).expect("connect");
+        let _server_end = listener.accept().expect("accept");
+        client
+    }
+
+    fn session(tenant: &str) -> QueuedSession {
+        QueuedSession {
+            tenant: tenant.to_string(),
+            stream: sock(),
+            leftover: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn bounds_are_enforced_per_tenant_and_globally() {
+        let sched = Scheduler::new(3, 2);
+        sched.try_enqueue(session("a")).expect("a1");
+        sched.try_enqueue(session("a")).expect("a2");
+        assert_eq!(
+            sched.try_enqueue(session("a")).unwrap_err(),
+            Rejected::TenantFull { cap: 2 },
+            "third session for one tenant bounces"
+        );
+        sched.try_enqueue(session("b")).expect("b1");
+        assert_eq!(
+            sched.try_enqueue(session("c")).unwrap_err(),
+            Rejected::GlobalFull { cap: 3 },
+            "fourth session overall bounces"
+        );
+        // Draining frees both bounds.
+        assert_eq!(sched.dequeue().expect("drain").tenant, "a");
+        sched.try_enqueue(session("a")).expect("slot freed");
+        assert_eq!(sched.depth(), 3);
+    }
+
+    #[test]
+    fn close_drains_then_signals_exit() {
+        let sched = Scheduler::new(4, 4);
+        sched.try_enqueue(session("a")).expect("enqueue");
+        sched.close();
+        assert_eq!(
+            sched.try_enqueue(session("a")).unwrap_err(),
+            Rejected::ShuttingDown
+        );
+        assert!(sched.dequeue().is_some(), "queued work still drains");
+        assert!(sched.dequeue().is_none(), "then workers are told to exit");
+    }
+}

@@ -1,0 +1,237 @@
+//! The acceptance gate for `cgtd`: the eight committed golden traces,
+//! submitted concurrently (32+ sessions), must each come back with stats
+//! byte-identical to the footer the trace itself carries — and the
+//! daemon's backpressure, memoization and metrics must all be observable
+//! from the outside.
+
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use std::time::Duration;
+
+use cg_server::{spawn, ServerConfig, ServerHandle};
+use cg_trace::footer::CG_SECTION;
+use cg_trace::open_trace;
+use cg_trace::proto::{self, read_frame, write_frame, write_preamble, ClientError, Frame};
+
+fn golden_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../trace/golden")
+}
+
+fn golden_paths() -> Vec<PathBuf> {
+    let mut paths: Vec<PathBuf> = std::fs::read_dir(golden_dir())
+        .expect("golden dir")
+        .map(|e| e.expect("entry").path())
+        .filter(|p| p.extension().is_some_and(|e| e == "cgt"))
+        .collect();
+    paths.sort();
+    assert_eq!(paths.len(), 8, "the eight committed golden traces");
+    paths
+}
+
+/// Drains a golden trace and returns (total events, embedded "cg" entries).
+fn embedded_footer(path: &Path) -> (u64, Vec<(String, u64)>) {
+    let mut reader = open_trace(path).expect("open golden");
+    while reader.next_event().expect("event").is_some() {}
+    let footer = reader.footer().expect("drained").clone();
+    let section = footer.section(CG_SECTION).expect("cg footer");
+    (footer.total_events(), section.entries.clone())
+}
+
+fn test_server(tag: &str, config: ServerConfig) -> (ServerHandle, std::thread::JoinHandle<()>) {
+    let dir = std::env::temp_dir().join(format!("cgtd-it-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let config = ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        cache_dir: Some(dir),
+        ..config
+    };
+    spawn(config).expect("spawn server")
+}
+
+/// Submits with a bounded BUSY retry loop — backpressure is an expected,
+/// retryable answer, not a failure.
+fn submit_retrying(
+    addr: &str,
+    tenant: &str,
+    path: &Path,
+) -> Result<proto::SubmitOutcome, ClientError> {
+    let timeout = Some(Duration::from_secs(120));
+    for _ in 0..500 {
+        match proto::submit_path(addr, tenant, path, timeout) {
+            Err(ClientError::Busy { .. }) => {
+                std::thread::sleep(Duration::from_millis(20));
+            }
+            other => return other,
+        }
+    }
+    panic!("server still busy after 500 retries");
+}
+
+#[test]
+fn thirty_two_concurrent_sessions_match_embedded_footers() {
+    let (handle, join) = test_server(
+        "golden",
+        ServerConfig {
+            workers: 4,
+            tenant_queue: 16,
+            global_queue: 64,
+            ..ServerConfig::default()
+        },
+    );
+    let addr = handle.addr().to_string();
+
+    let goldens = golden_paths();
+    let expected: HashMap<PathBuf, (u64, Vec<(String, u64)>)> = goldens
+        .iter()
+        .map(|p| (p.clone(), embedded_footer(p)))
+        .collect();
+
+    // 8 goldens x 4 tenants = 32 concurrent sessions.
+    let mut threads = Vec::new();
+    for round in 0..4 {
+        for path in &goldens {
+            let addr = addr.clone();
+            let path = path.clone();
+            let (want_events, want_entries) = expected[&path].clone();
+            threads.push(std::thread::spawn(move || {
+                let tenant = format!("tenant-{round}");
+                let outcome = submit_retrying(&addr, &tenant, &path).expect("session succeeds");
+                assert_eq!(
+                    outcome.events(),
+                    Some(want_events),
+                    "{}: replayed event count matches the footer census",
+                    path.display()
+                );
+                assert_eq!(
+                    outcome.cg_entries(),
+                    want_entries,
+                    "{}: server stats are byte-identical to the embedded footer",
+                    path.display()
+                );
+            }));
+        }
+    }
+    assert_eq!(threads.len(), 32);
+    for t in threads {
+        t.join().expect("session thread");
+    }
+
+    let metrics = handle.metrics();
+    assert_eq!(metrics.sessions_total(), 32);
+    assert_eq!(metrics.sessions_active(), 0, "all worker slots freed");
+
+    // Round two, serially: every golden has been evaluated at least once,
+    // so each repeat upload must be a memoized hit with identical bytes.
+    let hits_before = metrics.cache_hits();
+    for path in &goldens {
+        let outcome = submit_retrying(&addr, "repeat", path).expect("repeat succeeds");
+        assert!(
+            outcome.cached,
+            "{}: repeat answered from cache",
+            path.display()
+        );
+        assert_eq!(outcome.cg_entries(), expected[path].1);
+    }
+    assert_eq!(metrics.cache_hits() - hits_before, 8);
+
+    // The metrics scrape shows the tenants and totals.
+    let text = proto::fetch_metrics(&addr, Some(Duration::from_secs(10))).expect("metrics");
+    for needle in [
+        "cgtd.workers 4",
+        "cgtd.sessions_total 40",
+        "cgtd.sessions_active 0",
+        "tenant.tenant-0.sessions 8",
+        "tenant.repeat.cache_hits 8",
+    ] {
+        assert!(text.contains(needle), "missing {needle:?} in:\n{text}");
+    }
+
+    handle.shutdown();
+    join.join().expect("server thread");
+}
+
+/// A raw session opened by hand: preamble + SUBMIT sent, then *held* —
+/// the admission (and, once dequeued, the worker slot) stays occupied
+/// until the stream is dropped.  `wait_accept` reads the ACCEPTED frame,
+/// which only a dequeued session ever receives.
+fn open_held_session(addr: &str, tenant: &str, wait_accept: bool) -> std::net::TcpStream {
+    let stream = std::net::TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .expect("timeout");
+    let mut reader = std::io::BufReader::new(stream.try_clone().expect("clone"));
+    let mut writer = std::io::BufWriter::new(stream.try_clone().expect("clone"));
+    write_preamble(&mut writer).expect("preamble");
+    write_frame(
+        &mut writer,
+        &Frame::Submit {
+            tenant: tenant.to_string(),
+        },
+    )
+    .expect("submit");
+    std::io::Write::flush(&mut writer).expect("flush");
+    if wait_accept {
+        match read_frame(&mut reader).expect("reply").expect("frame") {
+            Frame::Accepted => {}
+            other => panic!("expected ACCEPTED, got {other:?}"),
+        }
+    }
+    stream
+}
+
+#[test]
+fn saturation_answers_busy_and_recovers() {
+    // One worker, one queue slot of every kind: the third concurrent
+    // session MUST bounce.
+    let (handle, join) = test_server(
+        "busy",
+        ServerConfig {
+            workers: 1,
+            tenant_queue: 1,
+            global_queue: 1,
+            idle_timeout: Duration::from_secs(20),
+            ..ServerConfig::default()
+        },
+    );
+    let addr = handle.addr().to_string();
+    let golden = golden_dir().join("compress-s1.cgt");
+
+    // Occupy the only worker and the only queue slot with held sessions.
+    let occupant = open_held_session(&addr, "hog-a", true);
+    // The worker dequeues the first session quickly; make sure it has
+    // before parking the second one in the queue.
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    while handle.metrics().sessions_active() == 0 {
+        assert!(std::time::Instant::now() < deadline, "worker never started");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    let queued = open_held_session(&addr, "hog-b", false);
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    while handle.queue_depth() == 0 {
+        assert!(std::time::Instant::now() < deadline, "session never queued");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+
+    // Now the queue is full: a fresh submission gets an explicit BUSY.
+    let err = proto::submit_path(&addr, "victim", &golden, Some(Duration::from_secs(10)))
+        .expect_err("saturated daemon must bounce");
+    match err {
+        ClientError::Busy { reason } => {
+            assert!(reason.contains("queue full"), "reason: {reason}");
+        }
+        other => panic!("expected Busy, got {other:?}"),
+    }
+    assert!(handle.metrics().busy_rejected() >= 1);
+
+    // Release the hogs (mid-stream disconnects) and verify the daemon
+    // recovers: the same submission now succeeds end-to-end.
+    drop(occupant);
+    drop(queued);
+    let outcome = submit_retrying(&addr, "victim", &golden).expect("recovered");
+    let (want_events, want_entries) = embedded_footer(&golden);
+    assert_eq!(outcome.events(), Some(want_events));
+    assert_eq!(outcome.cg_entries(), want_entries);
+
+    handle.shutdown();
+    join.join().expect("server thread");
+}

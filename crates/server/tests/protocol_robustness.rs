@@ -1,0 +1,263 @@
+//! Satellite coverage: hostile and broken clients against a live daemon.
+//!
+//! Every abuse pattern — wrong preamble, torn frames, oversized length
+//! prefixes, slowloris drips, mid-stream disconnects — must surface as a
+//! structured `ERROR` frame (or a counted handshake failure) and must
+//! free the worker slot: after each attack the same daemon still serves
+//! a clean session to completion.
+
+use std::io::{BufReader, BufWriter, Write};
+use std::net::TcpStream;
+use std::path::{Path, PathBuf};
+use std::time::{Duration, Instant};
+
+use cg_server::{spawn, ServerConfig, ServerHandle};
+use cg_trace::proto::{self, read_frame, write_frame, write_preamble, ErrorClass, Frame};
+
+fn golden() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../trace/golden/compress-s1.cgt")
+}
+
+/// One worker and short idle timeout: a held slot shows up immediately
+/// and a stalled client is cut off fast.
+fn test_server(tag: &str) -> (ServerHandle, std::thread::JoinHandle<()>) {
+    let dir = std::env::temp_dir().join(format!("cgtd-robust-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    spawn(ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers: 1,
+        idle_timeout: Duration::from_millis(300),
+        cache_dir: Some(dir),
+        memoize: false,
+        ..ServerConfig::default()
+    })
+    .expect("spawn server")
+}
+
+/// Connects, completes the handshake for `tenant`, and waits for ACCEPTED.
+fn accepted_session(addr: &str, tenant: &str) -> (BufReader<TcpStream>, BufWriter<TcpStream>) {
+    let stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .expect("timeout");
+    let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+    let mut writer = BufWriter::new(stream);
+    write_preamble(&mut writer).expect("preamble");
+    write_frame(
+        &mut writer,
+        &Frame::Submit {
+            tenant: tenant.to_string(),
+        },
+    )
+    .expect("submit");
+    writer.flush().expect("flush");
+    match read_frame(&mut reader).expect("reply").expect("frame") {
+        Frame::Accepted => (reader, writer),
+        other => panic!("expected ACCEPTED, got {other:?}"),
+    }
+}
+
+/// Reads the session verdict and asserts it is an ERROR of `want`.
+fn expect_error_class(reader: &mut BufReader<TcpStream>, want: ErrorClass, what: &str) {
+    match read_frame(reader).expect("verdict").expect("frame") {
+        Frame::Error { class, message } => {
+            assert_eq!(class, want, "{what}: server said {class:?}: {message}");
+        }
+        other => panic!("{what}: expected ERROR, got {other:?}"),
+    }
+}
+
+/// The daemon still serves a clean session — the abused worker slot was
+/// freed, not wedged.
+fn assert_recovered(addr: &str) {
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        match proto::submit_path(addr, "clean", &golden(), Some(Duration::from_secs(60))) {
+            Ok(outcome) => {
+                assert!(outcome.events().unwrap_or(0) > 0);
+                return;
+            }
+            Err(proto::ClientError::Busy { .. }) if Instant::now() < deadline => {
+                std::thread::sleep(Duration::from_millis(20));
+            }
+            Err(e) => panic!("daemon did not recover: {e}"),
+        }
+    }
+}
+
+#[test]
+fn wrong_preamble_is_refused_with_a_protocol_error() {
+    let (handle, join) = test_server("preamble");
+    let addr = handle.addr().to_string();
+
+    let stream = TcpStream::connect(&addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .expect("timeout");
+    let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+    let mut writer = BufWriter::new(stream);
+    writer.write_all(b"GET / HTTP/1.1\r\n\r\n").expect("write");
+    writer.flush().expect("flush");
+    expect_error_class(&mut reader, ErrorClass::Protocol, "http client");
+
+    assert_recovered(&addr);
+    handle.shutdown();
+    join.join().expect("server thread");
+}
+
+#[test]
+fn torn_frame_then_half_close_is_a_structured_protocol_error() {
+    let (handle, join) = test_server("torn");
+    let addr = handle.addr().to_string();
+
+    let (mut reader, mut writer) = accepted_session(&addr, "torn");
+    // A DATA frame header promising 1000 payload bytes, then only 10,
+    // then a half-close: the stream ends mid-frame.
+    writer.write_all(&[0x02]).expect("kind");
+    writer.write_all(&1000u32.to_le_bytes()).expect("len");
+    writer.write_all(&[0xAA; 10]).expect("partial payload");
+    writer.flush().expect("flush");
+    writer
+        .get_ref()
+        .shutdown(std::net::Shutdown::Write)
+        .expect("half-close");
+    expect_error_class(&mut reader, ErrorClass::Protocol, "torn frame");
+
+    assert_recovered(&addr);
+    handle.shutdown();
+    join.join().expect("server thread");
+}
+
+#[test]
+fn oversized_length_prefix_is_rejected_before_allocation() {
+    let (handle, join) = test_server("oversized");
+    let addr = handle.addr().to_string();
+
+    let (mut reader, mut writer) = accepted_session(&addr, "oversized");
+    // A DATA frame claiming a 4 GiB payload: the length must be rejected
+    // on sight, not buffered.
+    writer.write_all(&[0x02]).expect("kind");
+    writer.write_all(&u32::MAX.to_le_bytes()).expect("len");
+    writer.flush().expect("flush");
+    expect_error_class(&mut reader, ErrorClass::Protocol, "oversized frame");
+
+    assert_recovered(&addr);
+    handle.shutdown();
+    join.join().expect("server thread");
+}
+
+#[test]
+fn corrupt_frame_crc_is_a_structured_protocol_error() {
+    let (handle, join) = test_server("crc");
+    let addr = handle.addr().to_string();
+
+    let (mut reader, mut writer) = accepted_session(&addr, "crc");
+    // A well-formed DATA frame with its trailing CRC32 flipped.
+    let mut framed = Vec::new();
+    write_frame(&mut framed, &Frame::Data(vec![1, 2, 3, 4])).expect("encode");
+    let last = framed.len() - 1;
+    framed[last] ^= 0xFF;
+    writer.write_all(&framed).expect("write");
+    writer.flush().expect("flush");
+    expect_error_class(&mut reader, ErrorClass::Protocol, "bad frame crc");
+
+    assert_recovered(&addr);
+    handle.shutdown();
+    join.join().expect("server thread");
+}
+
+#[test]
+fn slowloris_is_cut_off_and_the_slot_freed() {
+    let (handle, join) = test_server("slowloris");
+    let addr = handle.addr().to_string();
+
+    // Accepted, then silent: the 300ms idle timeout must reclaim the
+    // worker, reported as a deadline-class error.
+    let (mut reader, _writer) = accepted_session(&addr, "drip");
+    expect_error_class(&mut reader, ErrorClass::Deadline, "slowloris");
+    assert_eq!(handle.metrics().errors_of(ErrorClass::Deadline), 1);
+
+    assert_recovered(&addr);
+    handle.shutdown();
+    join.join().expect("server thread");
+}
+
+#[test]
+fn mid_stream_disconnect_frees_the_slot() {
+    let (handle, join) = test_server("disconnect");
+    let addr = handle.addr().to_string();
+
+    {
+        let (_reader, mut writer) = accepted_session(&addr, "vanish");
+        // One valid DATA frame, then the client process "dies".
+        write_frame(&mut writer, &Frame::Data(vec![0u8; 128])).expect("data");
+        writer.flush().expect("flush");
+    } // both halves drop: RST/EOF mid-session
+
+    // The worker sees a truncated session; its slot must come back.  The
+    // error frame is unobservable (the client is gone), so watch metrics.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while handle.metrics().errors_of(ErrorClass::Protocol) == 0 {
+        assert!(Instant::now() < deadline, "disconnect never surfaced");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    assert_eq!(handle.metrics().sessions_active(), 0);
+
+    assert_recovered(&addr);
+    handle.shutdown();
+    join.join().expect("server thread");
+}
+
+#[test]
+fn data_before_submit_is_refused() {
+    let (handle, join) = test_server("early-data");
+    let addr = handle.addr().to_string();
+
+    let stream = TcpStream::connect(&addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .expect("timeout");
+    let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+    let mut writer = BufWriter::new(stream);
+    write_preamble(&mut writer).expect("preamble");
+    write_frame(&mut writer, &Frame::Data(vec![1, 2, 3])).expect("data");
+    writer.flush().expect("flush");
+    expect_error_class(&mut reader, ErrorClass::Protocol, "data before submit");
+
+    assert_recovered(&addr);
+    handle.shutdown();
+    join.join().expect("server thread");
+}
+
+/// A torn session must not poison the *next* session on a fresh
+/// connection even when both race the same single worker.
+#[test]
+fn interleaved_abuse_and_clean_sessions_all_resolve() {
+    let (handle, join) = test_server("interleaved");
+    let addr = handle.addr().to_string();
+
+    let mut abusers = Vec::new();
+    for i in 0..4 {
+        let addr = addr.clone();
+        abusers.push(std::thread::spawn(move || {
+            let (mut reader, mut writer) = accepted_session(&addr, &format!("abuser-{i}"));
+            writer.write_all(&[0x02]).expect("kind");
+            writer.write_all(&64u32.to_le_bytes()).expect("len");
+            writer.write_all(&[0u8; 16]).expect("partial");
+            writer.flush().expect("flush");
+            writer
+                .get_ref()
+                .shutdown(std::net::Shutdown::Write)
+                .expect("half-close");
+            expect_error_class(&mut reader, ErrorClass::Protocol, "torn frame");
+        }));
+    }
+    for t in abusers {
+        t.join().expect("abuser thread");
+    }
+    assert_recovered(&addr);
+    assert_eq!(handle.metrics().sessions_active(), 0, "no slot leaked");
+
+    handle.shutdown();
+    join.join().expect("server thread");
+}

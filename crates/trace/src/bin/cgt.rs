@@ -7,6 +7,9 @@
 //! cgt verify <file.cgt> [--re-record] [--mismatch-out PATH] [--no-fuse]
 //! cgt convert <in.cgt> <out.cgt> [--chunk-events N] [--no-compress] [--strip-sections]
 //! cgt diff <a.cgt> <b.cgt>
+//! cgt submit <file.cgt> [--addr HOST:PORT] [--tenant NAME] [--timeout-ms N]
+//!            [--expect-footer]
+//! cgt metrics [--addr HOST:PORT] [--timeout-ms N]
 //! ```
 //!
 //! * `record` interprets a synthetic SPEC workload once under a passive
@@ -23,6 +26,11 @@
 //! * `convert` re-frames a file (chunk size, compression, footer
 //!   sections); `diff` reports the first diverging event and any footer
 //!   differences; `info` prints the header, census and sections.
+//! * `submit` uploads a trace to a running `cgtd` daemon over the framed
+//!   protocol and prints the stats the server computed; `--expect-footer`
+//!   compares them entry-for-entry against the local file's embedded
+//!   `"cg"` footer (exit 5 on mismatch).  `metrics` scrapes the daemon's
+//!   plaintext counters.
 //!
 //! Exit codes are distinct per failure class so scripts can branch on
 //! them without parsing stderr:
@@ -43,6 +51,7 @@ use std::process::ExitCode;
 use cg_trace::footer::{
     canonical_collector, canonical_heap, cg_section, vm_stats_from_section, CG_SECTION, VM_SECTION,
 };
+use cg_trace::proto::{self, ClientError, ErrorClass, ProtoError};
 use cg_trace::{
     open_trace, record_streaming, rewrite_trace, EvalError, FooterSection, Governor,
     ResourceLimits, RewriteOptions, TraceFooter, TraceIoError, TraceMeta, TraceStats, WorkloadRef,
@@ -63,6 +72,9 @@ USAGE:
              [--no-fuse]
   cgt convert <in.cgt> <out.cgt> [--chunk-events N] [--no-compress] [--strip-sections]
   cgt diff <a.cgt> <b.cgt>
+  cgt submit <file.cgt> [--addr HOST:PORT] [--tenant NAME] [--timeout-ms N]
+             [--expect-footer]
+  cgt metrics [--addr HOST:PORT] [--timeout-ms N]
 
 Workloads: the eight SPECjvm98-like benchmarks (compress, jess, raytrace,
 db, javac, mpegaudio, mtrt, jack) at sizes 1, 10 or 100 (default 1).
@@ -77,6 +89,12 @@ changing what gets recorded.
 a key=value comma list (events, heap-mib, handles, shards, deadline-ms),
 e.g. --limits events=1000000,heap-mib=256,deadline-ms=5000; an empty SPEC
 ('') applies the conservative untrusted-input defaults.
+
+submit/metrics talk to a cgtd daemon (default --addr 127.0.0.1:4270).
+submit streams the file over the framed protocol and prints the server's
+stats; --expect-footer additionally compares them against the local file's
+embedded \"cg\" footer.  A BUSY answer (backpressure) exits 1; server-side
+corruption exits 3 and a tripped budget exits 4, mirroring local verify.
 
 EXIT CODES:
   0  OK
@@ -181,6 +199,8 @@ fn main() -> ExitCode {
         "verify" => cmd_verify(&rest),
         "convert" => cmd_convert(&rest),
         "diff" => cmd_diff(&rest),
+        "submit" => cmd_submit(&rest),
+        "metrics" => cmd_metrics(&rest),
         "--help" | "-h" | "help" => usage(),
         other => {
             eprintln!("unknown command '{other}'");
@@ -713,4 +733,108 @@ fn cmd_diff(args: &[String]) -> Result<(), CgtError> {
     } else {
         Err(CgtError::Mismatch(format!("{a_path} and {b_path} differ")))
     }
+}
+
+/// Default daemon address — keep in sync with `ServerConfig::default()`.
+const DEFAULT_DAEMON_ADDR: &str = "127.0.0.1:4270";
+
+/// Maps a client-side protocol failure onto the `cgt` exit-code classes,
+/// mirroring how local verification classes the same failures: corrupt
+/// input exits 3, a tripped budget exits 4, transport trouble exits 6.
+fn client_error(e: ClientError) -> CgtError {
+    match e {
+        ClientError::Proto(ProtoError::Io(io)) => CgtError::Io(io.to_string()),
+        ClientError::Proto(e) => CgtError::Corrupt(e.to_string()),
+        ClientError::Busy { reason } => CgtError::Other(format!("server busy: {reason}")),
+        ClientError::Server { class, message } => {
+            let text = format!("server error [{class}]: {message}");
+            match class {
+                ErrorClass::Corrupt => CgtError::Corrupt(text),
+                ErrorClass::Limit | ErrorClass::Deadline => CgtError::Limit(text),
+                ErrorClass::Io => CgtError::Io(text),
+                _ => CgtError::Other(text),
+            }
+        }
+    }
+}
+
+/// Drains `path` (validating every chunk CRC) and returns its embedded
+/// `"cg"` stats footer section.
+fn local_cg_section(path: &Path) -> Result<FooterSection, CgtError> {
+    let mut reader = open_trace(path).map_err(CgtError::from)?;
+    loop {
+        let more = if reader.is_shard_stream() {
+            reader.next_shard_event().map(|e| e.is_some())
+        } else {
+            reader.next_event().map(|e| e.is_some())
+        };
+        if !more.map_err(CgtError::from)? {
+            break;
+        }
+    }
+    let footer = reader.footer().expect("stream drained");
+    footer.section(CG_SECTION).cloned().ok_or_else(|| {
+        CgtError::Mismatch(format!(
+            "{} has no \"{CG_SECTION}\" stats footer to compare against",
+            path.display()
+        ))
+    })
+}
+
+fn cmd_submit(args: &[String]) -> Result<(), CgtError> {
+    let (positional, flags) = split_flags(
+        args,
+        &["--addr", "--tenant", "--timeout-ms"],
+        &["--expect-footer"],
+    );
+    let [path] = positional.as_slice() else {
+        usage();
+    };
+    let path = Path::new(path);
+    let addr = flags.get("--addr").unwrap_or(DEFAULT_DAEMON_ADDR);
+    let tenant = flags.get("--tenant").unwrap_or("default");
+    let timeout_ms = flags.get_usize("--timeout-ms").unwrap_or(60_000) as u64;
+    let timeout = (timeout_ms > 0).then(|| std::time::Duration::from_millis(timeout_ms));
+
+    let outcome = proto::submit_path(addr, tenant, path, timeout).map_err(client_error)?;
+    print!("{}", outcome.text);
+    if outcome.cached {
+        eprintln!("(answered from the server's result cache)");
+    }
+
+    if flags.has("--expect-footer") {
+        let stored = local_cg_section(path)?;
+        let served = FooterSection {
+            name: CG_SECTION.to_string(),
+            entries: outcome.cg_entries(),
+        };
+        if !compare_sections(
+            &format!("{} (local footer vs server)", path.display()),
+            &stored,
+            &served,
+        ) {
+            return Err(CgtError::Mismatch(format!(
+                "{}: server statistics do not match the local footer",
+                path.display()
+            )));
+        }
+        eprintln!(
+            "server stats match the local footer ({} entries)",
+            stored.entries.len()
+        );
+    }
+    Ok(())
+}
+
+fn cmd_metrics(args: &[String]) -> Result<(), CgtError> {
+    let (positional, flags) = split_flags(args, &["--addr", "--timeout-ms"], &[]);
+    if !positional.is_empty() {
+        usage();
+    }
+    let addr = flags.get("--addr").unwrap_or(DEFAULT_DAEMON_ADDR);
+    let timeout_ms = flags.get_usize("--timeout-ms").unwrap_or(10_000) as u64;
+    let timeout = (timeout_ms > 0).then(|| std::time::Duration::from_millis(timeout_ms));
+    let text = proto::fetch_metrics(addr, timeout).map_err(client_error)?;
+    print!("{text}");
+    Ok(())
 }

@@ -52,6 +52,7 @@ pub mod format;
 pub mod io;
 pub mod limits;
 pub mod partition;
+pub mod proto;
 pub mod recorder;
 pub mod replay;
 pub mod trace;
@@ -68,7 +69,8 @@ pub use io::{
     write_trace_to_path, RewriteOptions, TraceReader, TraceWriter,
 };
 pub use limits::{
-    CancelToken, EvalError, Governor, LimitKind, ResourceLimits, GOVERNOR_CHECK_EVENTS,
+    CancelToken, EvalError, Governor, LimitKind, LimitsParseError, ResourceLimits,
+    GOVERNOR_CHECK_EVENTS,
 };
 pub use partition::{
     partition, partition_path_streaming, partition_streaming, read_partitioned, PartitionedPaths,

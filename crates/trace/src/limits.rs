@@ -84,42 +84,138 @@ impl ResourceLimits {
     /// Parses a `key=value` comma list, e.g.
     /// `events=100000,heap-mib=256,handles=100000,shards=8,deadline-ms=5000`.
     ///
-    /// Unknown keys and malformed numbers are errors; an empty spec means
-    /// [`ResourceLimits::untrusted`].
+    /// Unknown keys, malformed numbers, zero values, repeated keys and
+    /// `heap-mib` values whose byte count overflows `u64` are all errors;
+    /// an empty spec means [`ResourceLimits::untrusted`].  Every budget is
+    /// a maximum, so a zero would reject *every* evaluation — a spec that
+    /// asks for that is a typo, not a policy.
     ///
     /// # Errors
     ///
-    /// A human-readable description of the offending token.
-    pub fn parse(spec: &str) -> Result<Self, String> {
+    /// A [`LimitsParseError`] naming the offending token.
+    pub fn parse(spec: &str) -> Result<Self, LimitsParseError> {
         if spec.trim().is_empty() {
             return Ok(Self::untrusted());
         }
         let mut limits = Self::unlimited();
+        let mut seen: Vec<&str> = Vec::new();
         for token in spec.split(',') {
             let token = token.trim();
-            let (key, value) = token
-                .split_once('=')
-                .ok_or_else(|| format!("limit '{token}' is not of the form key=value"))?;
-            let n: u64 = value
-                .parse()
-                .map_err(|_| format!("limit '{key}' has a non-numeric value '{value}'"))?;
+            let (key, value) =
+                token
+                    .split_once('=')
+                    .ok_or_else(|| LimitsParseError::NotKeyValue {
+                        token: token.to_string(),
+                    })?;
+            let n: u64 = value.parse().map_err(|_| LimitsParseError::BadNumber {
+                key: key.to_string(),
+                value: value.to_string(),
+            })?;
+            if n == 0 {
+                return Err(LimitsParseError::ZeroValue {
+                    key: key.to_string(),
+                });
+            }
+            if seen.contains(&key) {
+                return Err(LimitsParseError::DuplicateKey {
+                    key: key.to_string(),
+                });
+            }
             match key {
                 "events" => limits.max_events = Some(n),
-                "heap-mib" => limits.max_heap_bytes = Some(n.saturating_mul(1 << 20)),
+                "heap-mib" => {
+                    let bytes =
+                        n.checked_mul(1 << 20)
+                            .ok_or_else(|| LimitsParseError::Overflow {
+                                key: key.to_string(),
+                                value: n,
+                            })?;
+                    limits.max_heap_bytes = Some(bytes);
+                }
                 "handles" => limits.max_handles = Some(n),
                 "shards" => limits.max_shards = Some(n),
                 "deadline-ms" => limits.deadline = Some(Duration::from_millis(n)),
                 _ => {
-                    return Err(format!(
-                        "unknown limit '{key}' (expected events, heap-mib, handles, \
-                         shards or deadline-ms)"
-                    ))
+                    return Err(LimitsParseError::UnknownKey {
+                        key: key.to_string(),
+                    })
                 }
             }
+            seen.push(key);
         }
         Ok(limits)
     }
 }
+
+/// Why a [`ResourceLimits::parse`] spec was rejected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LimitsParseError {
+    /// A token had no `=`.
+    NotKeyValue {
+        /// The offending token.
+        token: String,
+    },
+    /// The key is not one of the recognised limit names.
+    UnknownKey {
+        /// The offending key.
+        key: String,
+    },
+    /// The value did not parse as a `u64`.
+    BadNumber {
+        /// The key whose value was malformed.
+        key: String,
+        /// The malformed value.
+        value: String,
+    },
+    /// The value was zero, which would reject every evaluation.
+    ZeroValue {
+        /// The offending key.
+        key: String,
+    },
+    /// The key appeared more than once in the spec.
+    DuplicateKey {
+        /// The repeated key.
+        key: String,
+    },
+    /// The value overflows when converted to its internal unit.
+    Overflow {
+        /// The offending key.
+        key: String,
+        /// The value as given in the spec.
+        value: u64,
+    },
+}
+
+impl fmt::Display for LimitsParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LimitsParseError::NotKeyValue { token } => {
+                write!(f, "limit '{token}' is not of the form key=value")
+            }
+            LimitsParseError::UnknownKey { key } => write!(
+                f,
+                "unknown limit '{key}' (expected events, heap-mib, handles, \
+                 shards or deadline-ms)"
+            ),
+            LimitsParseError::BadNumber { key, value } => {
+                write!(f, "limit '{key}' has a non-numeric value '{value}'")
+            }
+            LimitsParseError::ZeroValue { key } => write!(
+                f,
+                "limit '{key}' is zero, which would reject every evaluation; \
+                 omit the key for unlimited"
+            ),
+            LimitsParseError::DuplicateKey { key } => {
+                write!(f, "limit '{key}' appears more than once")
+            }
+            LimitsParseError::Overflow { key, value } => {
+                write!(f, "limit '{key}={value}' overflows the byte budget")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LimitsParseError {}
 
 /// Which budget a [`EvalError::LimitExceeded`] tripped.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -516,6 +612,106 @@ mod tests {
         assert!(ResourceLimits::parse("events").is_err());
         assert!(ResourceLimits::parse("events=abc").is_err());
         assert!(ResourceLimits::parse("frobs=3").is_err());
+    }
+
+    #[test]
+    fn parse_rejects_degenerate_specs() {
+        // Table of (spec, expected error). Every budget is a maximum, so
+        // zero values, repeated keys and overflowing sizes are typos the
+        // parser must refuse rather than silently honour.
+        let table: &[(&str, LimitsParseError)] = &[
+            (
+                "events=0",
+                LimitsParseError::ZeroValue {
+                    key: "events".to_string(),
+                },
+            ),
+            (
+                "deadline-ms=0",
+                LimitsParseError::ZeroValue {
+                    key: "deadline-ms".to_string(),
+                },
+            ),
+            (
+                "heap-mib=0",
+                LimitsParseError::ZeroValue {
+                    key: "heap-mib".to_string(),
+                },
+            ),
+            (
+                "handles=0,events=10",
+                LimitsParseError::ZeroValue {
+                    key: "handles".to_string(),
+                },
+            ),
+            (
+                "shards=0",
+                LimitsParseError::ZeroValue {
+                    key: "shards".to_string(),
+                },
+            ),
+            (
+                "events=10,events=20",
+                LimitsParseError::DuplicateKey {
+                    key: "events".to_string(),
+                },
+            ),
+            (
+                "heap-mib=1,events=5,heap-mib=2",
+                LimitsParseError::DuplicateKey {
+                    key: "heap-mib".to_string(),
+                },
+            ),
+            // 2^44 MiB = 2^64 bytes: one past the largest representable
+            // byte budget.
+            (
+                "heap-mib=17592186044416",
+                LimitsParseError::Overflow {
+                    key: "heap-mib".to_string(),
+                    value: 1 << 44,
+                },
+            ),
+            (
+                "heap-mib=18446744073709551615",
+                LimitsParseError::Overflow {
+                    key: "heap-mib".to_string(),
+                    value: u64::MAX,
+                },
+            ),
+            (
+                "frobs=3",
+                LimitsParseError::UnknownKey {
+                    key: "frobs".to_string(),
+                },
+            ),
+            (
+                "events=abc",
+                LimitsParseError::BadNumber {
+                    key: "events".to_string(),
+                    value: "abc".to_string(),
+                },
+            ),
+            (
+                "events",
+                LimitsParseError::NotKeyValue {
+                    token: "events".to_string(),
+                },
+            ),
+        ];
+        for (spec, expected) in table {
+            assert_eq!(
+                ResourceLimits::parse(spec).unwrap_err(),
+                *expected,
+                "spec {spec:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn parse_accepts_largest_representable_heap() {
+        // 2^44 - 1 MiB still fits in a u64 byte count.
+        let l = ResourceLimits::parse("heap-mib=17592186044415").unwrap();
+        assert_eq!(l.max_heap_bytes, Some(((1u64 << 44) - 1) << 20));
     }
 
     #[test]

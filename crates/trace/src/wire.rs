@@ -165,12 +165,20 @@ fn crc_table() -> &'static [u32; 256] {
 
 /// IEEE CRC32 of `bytes` (the zlib/PNG polynomial).
 pub fn crc32(bytes: &[u8]) -> u32 {
+    !crc32_update(0xffff_ffff, bytes)
+}
+
+/// One step of an incremental [`crc32`]: feed `bytes` into the running
+/// state.  Start from `0xffff_ffff`, fold each chunk, and complement
+/// (`!state`) to finish — `!crc32_update(0xffff_ffff, all_bytes)` equals
+/// `crc32(all_bytes)` however the bytes were split.
+pub fn crc32_update(state: u32, bytes: &[u8]) -> u32 {
     let table = crc_table();
-    let mut crc = 0xffff_ffffu32;
+    let mut crc = state;
     for &b in bytes {
         crc = (crc >> 8) ^ table[((crc ^ u32::from(b)) & 0xff) as usize];
     }
-    !crc
+    crc
 }
 
 /// Reads exactly `buf.len()` bytes, mapping EOF to `Ok(false)` when nothing
