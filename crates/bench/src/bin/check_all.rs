@@ -1,0 +1,96 @@
+//! `cg-bench` — the consolidated baseline gate.
+//!
+//! ```text
+//! cg-bench --check-all [--baselines DIR]
+//! ```
+//!
+//! Discovers every committed `<family>.json` under the baselines
+//! directory (default: this crate's `baselines/`) and replays each bench
+//! family with `cargo bench -p cg-bench --bench <family> -- --check
+//! <baseline>`, so adding a baseline file is all it takes to put a new
+//! bench under the CI gate.  Per-family output is wrapped in GitHub
+//! Actions `::group::` markers; the process exits non-zero if any family
+//! fails its gate.
+
+use std::path::PathBuf;
+use std::process::{Command, ExitCode};
+
+fn usage() -> ! {
+    eprintln!("usage: cg-bench --check-all [--baselines DIR]");
+    std::process::exit(2);
+}
+
+fn main() -> ExitCode {
+    let mut check_all = false;
+    let mut baselines: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--check-all" => check_all = true,
+            "--baselines" => {
+                baselines = Some(PathBuf::from(args.next().unwrap_or_else(|| {
+                    eprintln!("cg-bench: --baselines wants a directory");
+                    usage();
+                })));
+            }
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("cg-bench: unknown flag '{other}'");
+                usage();
+            }
+        }
+    }
+    if !check_all {
+        usage();
+    }
+    // The compiled-in manifest dir makes the default work from any cwd —
+    // CI invokes this from the repository root.
+    let dir =
+        baselines.unwrap_or_else(|| PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("baselines"));
+    let found = cg_bench::discover_baselines(&dir);
+    if found.is_empty() {
+        eprintln!("cg-bench: no baselines under {}", dir.display());
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "cg-bench: {} baseline-gated famil{} under {}",
+        found.len(),
+        if found.len() == 1 { "y" } else { "ies" },
+        dir.display()
+    );
+    let cargo = std::env::var("CARGO").unwrap_or_else(|_| "cargo".to_string());
+    let mut failed = Vec::new();
+    for (family, baseline) in &found {
+        println!("::group::{family} (--check {})", baseline.display());
+        let status = Command::new(&cargo)
+            .args(["bench", "-p", "cg-bench", "--bench", family, "--"])
+            .arg("--check")
+            .arg(baseline)
+            .status();
+        let ok = matches!(&status, Ok(s) if s.success());
+        if !ok {
+            match status {
+                Ok(s) => eprintln!("cg-bench: {family} gate failed ({s})"),
+                Err(e) => eprintln!("cg-bench: could not run {family}: {e}"),
+            }
+            failed.push(family.clone());
+        }
+        println!("::endgroup::");
+    }
+    if failed.is_empty() {
+        println!(
+            "cg-bench: all {} families within their baselines",
+            found.len()
+        );
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("cg-bench: {} famil{} FAILED: {failed:?}", failed.len(), {
+            if failed.len() == 1 {
+                "y"
+            } else {
+                "ies"
+            }
+        });
+        ExitCode::FAILURE
+    }
+}

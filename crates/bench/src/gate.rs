@@ -8,7 +8,36 @@
 //! host's single-core speed) before comparing, so a baseline committed from
 //! one machine gates a CI runner of a different speed without false alarms.
 
+use std::path::{Path, PathBuf};
+
 use crate::microbench::BenchHarness;
+
+/// Discovers every committed baseline under `dir`: each `<family>.json`
+/// names the bench target its snapshot gates.  Sorted by family so
+/// `cg-bench --check-all` runs (and logs) in a stable order.
+///
+/// # Panics
+///
+/// Panics if `dir` cannot be read — a missing baselines directory means
+/// the gate would silently check nothing.
+pub fn discover_baselines(dir: &Path) -> Vec<(String, PathBuf)> {
+    let entries = std::fs::read_dir(dir)
+        .unwrap_or_else(|e| panic!("cannot read baselines dir {}: {e}", dir.display()));
+    let mut found: Vec<(String, PathBuf)> = entries
+        .map(|e| e.expect("baselines dir entry").path())
+        .filter(|p| p.extension().is_some_and(|e| e == "json"))
+        .map(|p| {
+            let family = p
+                .file_stem()
+                .expect("baseline file has a stem")
+                .to_string_lossy()
+                .into_owned();
+            (family, p)
+        })
+        .collect();
+    found.sort();
+    found
+}
 
 /// Parses a `--check <path>` pair out of the bench binary's arguments.
 pub fn parse_check_arg() -> Option<String> {
@@ -97,5 +126,36 @@ pub fn check_against_baseline(harness: &BenchHarness, path: &str, calibration_la
             eprintln!("  {failure}");
         }
         std::process::exit(1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn discovery_finds_every_committed_baseline_sorted() {
+        let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("baselines");
+        let found = discover_baselines(&dir);
+        let families: Vec<&str> = found.iter().map(|(f, _)| f.as_str()).collect();
+        let mut sorted = families.clone();
+        sorted.sort_unstable();
+        assert_eq!(families, sorted, "stable run order");
+        for family in [
+            "fuzz",
+            "gc_hot_path",
+            "interp_dispatch",
+            "serving_shards",
+            "shard_scaling",
+            "static_domain",
+        ] {
+            assert!(
+                families.contains(&family),
+                "missing committed baseline for {family}: {families:?}"
+            );
+        }
+        for (_, path) in &found {
+            assert!(path.is_file());
+        }
     }
 }

@@ -35,7 +35,7 @@ pub mod runner;
 
 pub use cli::{parse_options, parse_trace_eval, TraceEvalOptions};
 pub use experiments::{all_reports, report_by_id, ExperimentOptions, REPORT_IDS};
-pub use gate::{check_against_baseline, parse_check_arg};
+pub use gate::{check_against_baseline, discover_baselines, parse_check_arg};
 pub use microbench::{BenchHarness, BenchResult};
 pub use parallel::{
     parallel_eval, parallel_eval_governed, parallel_eval_streaming,

@@ -20,6 +20,9 @@
 //! structure-level mutants re-encode wire-valid frame sequences whose
 //! *shape* is hostile (dropped/duplicated/reordered frames, missing END,
 //! server frames from a client) and attack the session state machine.
+//! Sessions open with either `SUBMIT` or `STREAM` — the two kinds share
+//! the body layer, so the same contract covers both — and the planted
+//! server frames include `PROGRESS`, which a client must never send.
 
 use std::io::{self, Read};
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -91,6 +94,7 @@ const MUTATIONS: &[(&str, u32)] = &[
     ("strip-end", 5),
     ("server-frame", 5),
     ("rechunk", 6),
+    ("swap-opener", 5),
 ];
 
 /// Independent CRC32 (IEEE, bitwise) — deliberately *not* the wire
@@ -117,15 +121,22 @@ fn fnv64_ref(bytes: &[u8]) -> u64 {
     hash
 }
 
-/// A seeded, wire-valid client session: SUBMIT + DATA chunks + END.
+/// A seeded, wire-valid client session: SUBMIT or STREAM, then DATA
+/// chunks, then END.  Both session kinds carry their body identically,
+/// so the campaign attacks them with the same mutations.
 fn base_frames(rng: &mut TestRng) -> Vec<Frame> {
     let tenant = format!("tenant-{}", rng.gen_range(0, 1000));
+    let open = if rng.gen_bool(0.25) {
+        Frame::Stream { tenant }
+    } else {
+        Frame::Submit { tenant }
+    };
     let payload_len = rng.gen_range(1, 96 * 1024);
     let mut payload = vec![0u8; payload_len];
     for b in &mut payload {
         *b = rng.gen_range(0, 256) as u8;
     }
-    let mut frames = vec![Frame::Submit { tenant }];
+    let mut frames = vec![open];
     let mut rest = payload.as_slice();
     while !rest.is_empty() {
         let take = rng.gen_range(1, 32 * 1024).min(rest.len());
@@ -144,7 +155,7 @@ enum Expected {
 }
 
 fn expected_of(frames: &[Frame]) -> Expected {
-    let Some(Frame::Submit { tenant }) = frames.first() else {
+    let (Some(Frame::Submit { tenant }) | Some(Frame::Stream { tenant })) = frames.first() else {
         return Expected::Error;
     };
     let mut body = Vec::new();
@@ -178,15 +189,15 @@ fn serialize_session(frames: &[Frame]) -> (Vec<u8>, Vec<usize>) {
     (bytes, offsets)
 }
 
-/// The server's parsing path in miniature: preamble, SUBMIT, then the
-/// session body through [`SessionReader`] — exactly the layers a `cgtd`
-/// worker exposes to untrusted bytes.
+/// The server's parsing path in miniature: preamble, SUBMIT or STREAM,
+/// then the session body through [`SessionReader`] — exactly the layers
+/// a `cgtd` worker exposes to untrusted bytes.
 fn serve(input: impl Read) -> Result<(String, Vec<u8>, u32, u64), String> {
     let mut input = input;
     read_preamble(&mut input).map_err(|e| e.to_string())?;
     let tenant = match read_frame(&mut input) {
-        Ok(Some(Frame::Submit { tenant })) => tenant,
-        Ok(_) => return Err("first frame is not SUBMIT".to_string()),
+        Ok(Some(Frame::Submit { tenant } | Frame::Stream { tenant })) => tenant,
+        Ok(_) => return Err("first frame is not SUBMIT or STREAM".to_string()),
         Err(e) => return Err(e.to_string()),
     };
     let mut session = SessionReader::new(input);
@@ -249,7 +260,7 @@ fn mutate_frames(frames: &[Frame], mutation: &str, rng: &mut TestRng) -> Vec<Fra
             frames.retain(|f| !matches!(f, Frame::End));
         }
         "server-frame" => {
-            let plant = match rng.gen_range(0, 4) {
+            let plant = match rng.gen_range(0, 5) {
                 0 => Frame::Accepted,
                 1 => Frame::Busy {
                     reason: "fake".to_string(),
@@ -258,16 +269,23 @@ fn mutate_frames(frames: &[Frame], mutation: &str, rng: &mut TestRng) -> Vec<Fra
                     cached: false,
                     text: "events 0\n".to_string(),
                 },
-                _ => Frame::Metrics,
+                3 => Frame::Metrics,
+                // PROGRESS flows server→client only; a client sending it
+                // mid-body must be rejected like any other server frame.
+                _ => Frame::Progress {
+                    events: rng.gen_range(0, 1 << 20) as u64,
+                    bytes: rng.gen_range(0, 1 << 20) as u64,
+                },
             };
             frames.insert(at, plant);
         }
         "rechunk" => {
             // Same body, different DATA framing — must decode identically.
-            let Expected::Session { tenant, body } = expected_of(&frames) else {
+            let opener = frames[0].clone();
+            let Expected::Session { body, .. } = expected_of(&frames) else {
                 return frames;
             };
-            let mut rechunked = vec![Frame::Submit { tenant }];
+            let mut rechunked = vec![opener];
             let mut rest = body.as_slice();
             while !rest.is_empty() {
                 let take = rng.gen_range(1, 8 * 1024).min(rest.len());
@@ -276,6 +294,15 @@ fn mutate_frames(frames: &[Frame], mutation: &str, rng: &mut TestRng) -> Vec<Fra
             }
             rechunked.push(Frame::End);
             return rechunked;
+        }
+        "swap-opener" => {
+            // SUBMIT and STREAM carry the same body: swapping the session
+            // kind must decode to the identical tenant + bytes.
+            frames[0] = match frames[0].clone() {
+                Frame::Submit { tenant } => Frame::Stream { tenant },
+                Frame::Stream { tenant } => Frame::Submit { tenant },
+                other => other,
+            };
         }
         other => unreachable!("not a structure mutation: {other}"),
     }
@@ -331,7 +358,7 @@ fn run_case(mutation: &str, rng: &mut TestRng) -> CaseEnd {
     let base = base_frames(rng);
     match mutation {
         "drop-frame" | "duplicate-frame" | "swap-frames" | "strip-end" | "server-frame"
-        | "rechunk" => {
+        | "rechunk" | "swap-opener" => {
             let mutated = mutate_frames(&base, mutation, rng);
             let expected = expected_of(&mutated);
             let (bytes, _) = serialize_session(&mutated);

@@ -3,7 +3,7 @@
 //! ```text
 //! cgtd [--addr HOST:PORT] [--workers N] [--tenant-queue N]
 //!      [--global-queue N] [--limits SPEC] [--tenant NAME=SPEC]...
-//!      [--max-upload-mib N] [--idle-timeout-ms N]
+//!      [--max-upload-mib N] [--shard-min-kib N] [--idle-timeout-ms N]
 //!      [--cache-dir PATH] [--no-memoize] [--addr-file PATH]
 //! ```
 //!
@@ -12,7 +12,9 @@
 //! the conservative untrusted-input defaults.  `--tenant` overrides the
 //! default budget for one tenant and may repeat.  `--addr 127.0.0.1:0`
 //! picks an ephemeral port; `--addr-file` writes the bound address to a
-//! file so scripts can find it.
+//! file so scripts can find it.  `--shard-min-kib` sets the smallest
+//! upload routed through the sharded evaluator when the tenant's `shards`
+//! budget allows it (default 4096 KiB; `0` shards everything).
 
 use std::process::ExitCode;
 use std::time::Duration;
@@ -24,7 +26,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: cgtd [--addr HOST:PORT] [--workers N] [--tenant-queue N]\n\
          \x20           [--global-queue N] [--limits SPEC] [--tenant NAME=SPEC]...\n\
-         \x20           [--max-upload-mib N] [--idle-timeout-ms N]\n\
+         \x20           [--max-upload-mib N] [--shard-min-kib N] [--idle-timeout-ms N]\n\
          \x20           [--cache-dir PATH] [--no-memoize] [--addr-file PATH]"
     );
     std::process::exit(2);
@@ -88,6 +90,10 @@ fn main() -> ExitCode {
             "--max-upload-mib" => {
                 config.max_upload_bytes =
                     parse_num("--max-upload-mib", &value_of("--max-upload-mib")) << 20;
+            }
+            "--shard-min-kib" => {
+                config.shard_min_bytes =
+                    parse_num("--shard-min-kib", &value_of("--shard-min-kib")) << 10;
             }
             "--idle-timeout-ms" => {
                 config.idle_timeout = Duration::from_millis(parse_num(

@@ -3,6 +3,22 @@
 //! result cache, otherwise replay under the session's [`Governor`] via the
 //! governed streaming path and publish the result for next time.
 //!
+//! Large uploads take the **sharded** path: when the tenant's `shards`
+//! budget allows ≥ 2 shards and the spool crosses
+//! [`EvalConfig::shard_min_bytes`], the spool is split per thread with
+//! [`partition_path_streaming`] and evaluated on one OS thread per shard
+//! via [`parallel_eval_streaming_governed`] — sound because contaminated
+//! GC's per-thread frame/block locality (§3.3) keeps shard state
+//! independent up to explicit cross-shard waits, and byte-identical to
+//! the single-shard replay by the shard-equivalence invariant.  Shard
+//! failures surface as [`SessionError::Shards`] with the completed
+//! shards' partial statistics preserved in the error message.
+//!
+//! **Live streams** ([`evaluate_stream_session`]) never spool at all: the
+//! framed body is decoded event-by-event as it arrives and applied to the
+//! shadow heap incrementally, so a stream of any length evaluates in
+//! O(chunk) memory, with periodic `PROGRESS` callbacks for the client.
+//!
 //! The result cache lives under the same directory tree as the benchmark
 //! harness's disk trace cache and uses the same atomic-publish discipline
 //! (collision-proof tmp sibling + rename, expired tmps swept on startup).
@@ -12,15 +28,31 @@
 //! anywhere (header, events, footer) can never collide into a wrong
 //! answer short of a simultaneous 96-bit hash collision.
 
+use std::cell::RefCell;
 use std::fmt;
 use std::fs::File;
 use std::io::{self, BufWriter, Read, Write};
 use std::path::{Path, PathBuf};
+use std::rc::Rc;
 
 use cg_bench::{sweep_stale_tmps, unique_tmp_path, TMP_SWEEP_TTL};
-use cg_trace::footer::{canonical_collector, cg_section};
+use cg_heap::Heap;
+use cg_trace::footer::{canonical_collector, canonical_config, cg_section};
 use cg_trace::proto::{session_error, ErrorClass, ProtoError, SessionReader};
-use cg_trace::{replay_path_governed, EvalError, Governor};
+use cg_trace::{
+    apply_event, open_trace, parallel_eval_streaming_governed, partition_path_streaming,
+    replay_path_governed, EvalError, FooterSection, Governor, ParallelError, ReplayOutcome,
+    ResourceLimits, TraceIoError, TraceReader, GOVERNOR_CHECK_EVENTS,
+};
+
+/// Most shard threads one session may occupy, regardless of the tenant's
+/// `shards` budget — the serving-side sanity clamp (the bench harness has
+/// no such clamp; a daemon sharing a machine does).
+pub const MAX_SERVING_SHARDS: usize = 16;
+
+/// A live stream reports `PROGRESS` every this many events (plus once
+/// right after the header parses, so every watcher sees at least one).
+pub const PROGRESS_EVERY_EVENTS: u64 = 4096;
 
 /// How a session's evaluation is configured (shared by all workers).
 #[derive(Debug, Clone)]
@@ -31,6 +63,21 @@ pub struct EvalConfig {
     pub memoize: bool,
     /// Hard cap on the uploaded byte stream.
     pub max_upload_bytes: u64,
+    /// Smallest upload worth sharding: below this the partition cost
+    /// outweighs the parallel win and the single-shard path runs instead.
+    pub shard_min_bytes: u64,
+}
+
+/// Shard threads one session may use under `limits`: the tenant's
+/// `shards` budget clamped by [`MAX_SERVING_SHARDS`], never zero.  The
+/// budget is honored even on machines with fewer cores — byte-identity
+/// holds at any shard count and an explicit grant should behave the same
+/// everywhere; the speedup (not the answer) is what scales with cores.
+/// The scheduler charges this many worker-equivalent slots at admission
+/// (see [`crate::scheduler`]).
+pub fn serving_shards(limits: &ResourceLimits) -> usize {
+    let budget = limits.max_shards.unwrap_or(u64::MAX);
+    budget.min(MAX_SERVING_SHARDS as u64).max(1) as usize
 }
 
 impl EvalConfig {
@@ -67,6 +114,9 @@ pub struct SessionResult {
     /// Events replayed (from the `events` line; the recorded count when
     /// answered from cache).
     pub events: u64,
+    /// Shard threads the evaluation used (1 for the single-shard path,
+    /// live streams and cache hits).
+    pub shards: usize,
 }
 
 /// Why a session failed, with enough structure to pick the wire
@@ -86,6 +136,9 @@ pub enum SessionError {
     Io(io::Error),
     /// The governed replay rejected or aborted the trace.
     Eval(EvalError),
+    /// One or more shards of a parallel evaluation failed; the completed
+    /// shards' partial statistics travel in the error message.
+    Shards(ParallelError),
 }
 
 impl SessionError {
@@ -97,6 +150,7 @@ impl SessionError {
             SessionError::UploadTooLarge { .. } => ErrorClass::Limit,
             SessionError::Io(_) => ErrorClass::Io,
             SessionError::Eval(e) => ErrorClass::from_eval(e),
+            SessionError::Shards(e) => ErrorClass::from_eval(e.primary()),
         }
     }
 }
@@ -111,6 +165,17 @@ impl fmt::Display for SessionError {
             }
             SessionError::Io(e) => write!(f, "server i/o: {e}"),
             SessionError::Eval(e) => write!(f, "{e}"),
+            SessionError::Shards(e) => {
+                write!(f, "{e}")?;
+                if let Some(p) = e.partial() {
+                    write!(
+                        f,
+                        "; partial stats: events={} live_at_exit={} freed_objects={}",
+                        p.events_replayed, p.live_at_exit, p.collector_freed_objects
+                    )?;
+                }
+                Ok(())
+            }
         }
     }
 }
@@ -163,6 +228,154 @@ pub fn evaluate_session<R: Read>(
     result
 }
 
+/// The marker error [`SharedSession`] raises when a stream crosses the
+/// upload byte cap, so [`classify_stream`] can tell the cap apart from
+/// transport failures after the error has passed through the trace
+/// reader.
+#[derive(Debug)]
+struct CapExceeded;
+
+impl fmt::Display for CapExceeded {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "stream exceeds the upload byte cap")
+    }
+}
+
+impl std::error::Error for CapExceeded {}
+
+/// A [`SessionReader`] behind a shared handle, so the trace reader can
+/// consume it while the evaluation loop still observes `bytes_read` for
+/// progress frames and drains the tail after the footer.  Enforces the
+/// upload cap on every read.
+struct SharedSession<R: Read> {
+    inner: Rc<RefCell<SessionReader<R>>>,
+    cap: u64,
+}
+
+impl<R: Read> Read for SharedSession<R> {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        let mut inner = self.inner.borrow_mut();
+        let n = inner.read(buf)?;
+        if inner.bytes_read() > self.cap {
+            return Err(io::Error::other(CapExceeded));
+        }
+        Ok(n)
+    }
+}
+
+/// Classifies a failure from the incremental trace reader: the cap marker
+/// planted by [`SharedSession`], a client transport failure (stall,
+/// disconnect, torn frame), or genuine stream damage.
+fn classify_stream(e: TraceIoError, limit: u64) -> SessionError {
+    match e {
+        TraceIoError::Io(io) => {
+            if io.get_ref().is_some_and(|inner| inner.is::<CapExceeded>()) {
+                SessionError::UploadTooLarge { limit }
+            } else {
+                classify_read(io)
+            }
+        }
+        damaged => SessionError::Eval(EvalError::Trace(damaged)),
+    }
+}
+
+/// Runs one live `STREAM` session: decodes the framed `.cgt` body
+/// event-by-event as it arrives and applies each event to the shadow heap
+/// immediately, so memory stays O(chunk) no matter how long the client
+/// records.  `progress` is called with `(events, bytes)` once after the
+/// header parses and then every [`PROGRESS_EVERY_EVENTS`] events — the
+/// worker turns each call into a `PROGRESS` frame; a callback error means
+/// the client stopped draining and ends the session.
+///
+/// Live streams bypass the memoized result cache: the daemon never holds
+/// the full byte stream, so there is no content key to look up.  The
+/// governed checkpoints are the same as the spooled path's, so budgets
+/// and deadlines trip identically.
+///
+/// # Errors
+///
+/// A [`SessionError`]; the worker frames it as an `ERROR` response.
+pub fn evaluate_stream_session<R: Read>(
+    body: SessionReader<R>,
+    governor: &Governor,
+    config: &EvalConfig,
+    mut progress: impl FnMut(u64, u64) -> io::Result<()>,
+) -> Result<SessionResult, SessionError> {
+    let session = Rc::new(RefCell::new(body));
+    let cap = config.max_upload_bytes;
+    let mut reader = TraceReader::new(SharedSession {
+        inner: Rc::clone(&session),
+        cap,
+    })
+    .map_err(|e| classify_stream(e, cap))?;
+
+    let heap_config = reader.meta().heap.ok_or_else(|| {
+        SessionError::Eval(EvalError::Trace(TraceIoError::Malformed {
+            chunk: None,
+            detail: "stream header carries no heap configuration".to_string(),
+        }))
+    })?;
+    governor
+        .validate_heap(&heap_config)
+        .map_err(SessionError::Eval)?;
+    if let Some(declared) = reader.meta().declared_events {
+        governor
+            .validate_declared_events(declared)
+            .map_err(SessionError::Eval)?;
+    }
+
+    let mut heap = Heap::new(heap_config);
+    let mut collector = canonical_collector();
+    let mut outcome = ReplayOutcome::default();
+    progress(0, session.borrow().bytes_read()).map_err(classify_read)?;
+    loop {
+        match reader.next_event() {
+            Ok(Some(event)) => {
+                apply_event(&event, &mut heap, &mut collector, &mut outcome)
+                    .map_err(|e| SessionError::Eval(EvalError::Replay(e)))?;
+                let n = outcome.events_replayed as u64;
+                if n.is_multiple_of(GOVERNOR_CHECK_EVENTS) {
+                    governor.checkpoint(n, &heap).map_err(SessionError::Eval)?;
+                }
+                if n.is_multiple_of(PROGRESS_EVERY_EVENTS) {
+                    progress(n, session.borrow().bytes_read()).map_err(classify_read)?;
+                }
+            }
+            Ok(None) => break,
+            Err(e) => return Err(classify_stream(e, cap)),
+        }
+    }
+    let events = outcome.events_replayed as u64;
+    governor
+        .checkpoint(events, &heap)
+        .map_err(SessionError::Eval)?;
+    drop(reader);
+
+    // Drain to the END frame so the response is never raced by an unread
+    // tail (a close with buffered receive data can turn into a reset that
+    // eats the STATS frame).
+    let mut sink = [0u8; 4096];
+    loop {
+        let mut inner = session.borrow_mut();
+        let n = inner.read(&mut sink).map_err(classify_read)?;
+        if inner.bytes_read() > cap {
+            return Err(SessionError::UploadTooLarge { limit: cap });
+        }
+        if n == 0 {
+            break;
+        }
+    }
+
+    let breakdown = collector.breakdown();
+    let section = cg_section(collector.stats(), &breakdown);
+    Ok(SessionResult {
+        text: stats_text(events, &section),
+        cached: false,
+        events,
+        shards: 1,
+    })
+}
+
 fn spool_and_eval<R: Read>(
     body: &mut SessionReader<R>,
     governor: &Governor,
@@ -203,16 +416,18 @@ fn spool_and_eval<R: Read>(
         }
     }
 
-    let evaluated = replay_path_governed(spool_path, None, canonical_collector(), governor)
-        .map_err(SessionError::Eval)?;
-    let mut collector = evaluated.replayed.collector;
-    let breakdown = collector.breakdown();
-    let section = cg_section(collector.stats(), &breakdown);
-    let events = evaluated.replayed.outcome.events_replayed as u64;
-    let mut text = format!("events {events}\n");
-    for (name, value) in &section.entries {
-        text.push_str(&format!("cg.{name} {value}\n"));
-    }
+    // Route: the sharded path when the tenant's budget allows it and the
+    // upload is large enough to pay for the partition pass.
+    let shards = if body.bytes_read() >= config.shard_min_bytes {
+        serving_shards(governor.limits())
+    } else {
+        1
+    };
+    let (text, events) = if shards >= 2 {
+        eval_sharded(spool_path, shards, governor)?
+    } else {
+        eval_single(spool_path, governor)?
+    };
     if config.memoize {
         store_result(&result_path, &text);
     }
@@ -220,7 +435,80 @@ fn spool_and_eval<R: Read>(
         text,
         cached: false,
         events,
+        shards,
     })
+}
+
+/// The canonical stats body: `events N` then the footer-section entries.
+fn stats_text(events: u64, section: &FooterSection) -> String {
+    let mut text = format!("events {events}\n");
+    for (name, value) in &section.entries {
+        text.push_str(&format!("cg.{name} {value}\n"));
+    }
+    text
+}
+
+/// The single-shard whole-file path — the byte-identity reference for
+/// both the sharded and the streamed evaluators.
+fn eval_single(spool_path: &Path, governor: &Governor) -> Result<(String, u64), SessionError> {
+    let evaluated = replay_path_governed(spool_path, None, canonical_collector(), governor)
+        .map_err(SessionError::Eval)?;
+    let mut collector = evaluated.replayed.collector;
+    let breakdown = collector.breakdown();
+    let section = cg_section(collector.stats(), &breakdown);
+    let events = evaluated.replayed.outcome.events_replayed as u64;
+    Ok((stats_text(events, &section), events))
+}
+
+/// The sharded path: partition the spool per recording thread, evaluate
+/// one OS thread per shard, aggregate.  Identical output to
+/// [`eval_single`] by the shard-equivalence invariant.
+fn eval_sharded(
+    spool_path: &Path,
+    shards: usize,
+    governor: &Governor,
+) -> Result<(String, u64), SessionError> {
+    let reader = open_trace(spool_path).map_err(|e| SessionError::Eval(EvalError::Trace(e)))?;
+    let heap = reader.meta().heap.ok_or_else(|| {
+        SessionError::Eval(EvalError::Trace(TraceIoError::Malformed {
+            chunk: None,
+            detail: "trace header carries no heap configuration".to_string(),
+        }))
+    })?;
+    if let Some(declared) = reader.meta().declared_events {
+        governor
+            .validate_declared_events(declared)
+            .map_err(SessionError::Eval)?;
+    }
+    drop(reader);
+
+    // Append to the full spool name (which carries the per-session unique
+    // tmp suffix) — `with_extension` would replace that suffix and make
+    // every concurrent session partition into the same directory.
+    let mut shard_dir = spool_path.as_os_str().to_owned();
+    shard_dir.push(".shards");
+    let shard_dir = std::path::PathBuf::from(shard_dir);
+    std::fs::create_dir_all(&shard_dir).map_err(SessionError::Io)?;
+    let result = (|| {
+        let parts = partition_path_streaming(spool_path, shards, &shard_dir)
+            .map_err(|e| SessionError::Eval(EvalError::Trace(e)))?;
+        // The partition pass counted every event, so the budget check here
+        // is exact even when the header declared nothing.
+        governor
+            .validate_declared_events(parts.total_events)
+            .map_err(SessionError::Eval)?;
+        let outcome =
+            parallel_eval_streaming_governed(&parts.paths, heap, canonical_config(), governor)
+                .map_err(|e| match e {
+                    ParallelError::Rejected(e) => SessionError::Eval(e),
+                    failed @ ParallelError::Shards { .. } => SessionError::Shards(failed),
+                })?;
+        let section = cg_section(&outcome.stats, &outcome.breakdown);
+        let events = outcome.events_replayed as u64;
+        Ok((stats_text(events, &section), events))
+    })();
+    let _ = std::fs::remove_dir_all(&shard_dir);
+    result
 }
 
 /// Loads a memoized result; `None` on absence or any damage (a damaged
@@ -240,6 +528,7 @@ fn load_result(path: &Path) -> Option<SessionResult> {
         text,
         cached: true,
         events,
+        shards: 1,
     })
 }
 
@@ -271,6 +560,7 @@ mod tests {
             cache_dir: dir,
             memoize: true,
             max_upload_bytes: 64 << 20,
+            shard_min_bytes: 4 << 20,
         };
         config.prepare().expect("prepare");
         config
@@ -359,6 +649,118 @@ mod tests {
         cg_trace::proto::write_frame(&mut framed, &Frame::End).unwrap();
         let mut body = SessionReader::new(io::Cursor::new(framed));
         let err = evaluate_session(&mut body, &governor, &config).expect_err("capped");
+        assert_eq!(err.class(), ErrorClass::Limit, "{err}");
+        let _ = std::fs::remove_dir_all(&config.cache_dir);
+    }
+
+    /// The invariant of the whole PR: sharded and streamed evaluations of
+    /// the same trace answer byte-identically to the single-shard path.
+    #[test]
+    fn sharded_and_streamed_answers_match_single_shard_byte_for_byte() {
+        let config = EvalConfig {
+            memoize: false,
+            ..test_config("identity")
+        };
+        let bytes = small_trace_bytes();
+
+        let mut single = SessionReader::new(io::Cursor::new(frame_body(&bytes)));
+        let governor = Governor::new(ResourceLimits::untrusted());
+        let reference = evaluate_session(&mut single, &governor, &config).expect("single");
+        assert_eq!(reference.shards, 1, "small upload stays single-shard");
+
+        // Sharded: force the route with a zero size floor and a 4-shard
+        // budget.
+        let sharded_config = EvalConfig {
+            shard_min_bytes: 0,
+            ..config.clone()
+        };
+        let governor = Governor::new(ResourceLimits::parse("shards=4").expect("spec"));
+        let mut body = SessionReader::new(io::Cursor::new(frame_body(&bytes)));
+        let sharded = evaluate_session(&mut body, &governor, &sharded_config).expect("sharded");
+        assert_eq!(sharded.shards, 4, "the sharded route honors the budget");
+        assert_eq!(
+            sharded.text, reference.text,
+            "sharded answer is byte-identical"
+        );
+        assert_eq!(sharded.events, reference.events);
+
+        // Streamed: same bytes through the incremental evaluator.
+        let governor = Governor::new(ResourceLimits::untrusted());
+        let body = SessionReader::new(io::Cursor::new(frame_body(&bytes)));
+        let mut frames = 0u32;
+        let mut last = (0u64, 0u64);
+        let streamed = evaluate_stream_session(body, &governor, &config, |events, bytes| {
+            frames += 1;
+            assert!(
+                (events, bytes) >= last,
+                "progress is monotonic: {last:?} then ({events}, {bytes})"
+            );
+            last = (events, bytes);
+            Ok(())
+        })
+        .expect("streamed");
+        assert_eq!(
+            streamed.text, reference.text,
+            "streamed answer is byte-identical"
+        );
+        assert!(frames >= 1, "at least the post-header progress frame fires");
+        assert!(!streamed.cached, "live streams bypass the result cache");
+        let _ = std::fs::remove_dir_all(&config.cache_dir);
+    }
+
+    #[test]
+    fn stream_exceeding_event_budget_trips_limit_mid_flight() {
+        let config = test_config("stream-limit");
+        let governor = Governor::new(ResourceLimits::parse("events=10").expect("spec"));
+        let body = SessionReader::new(io::Cursor::new(frame_body(&small_trace_bytes())));
+        let err =
+            evaluate_stream_session(body, &governor, &config, |_, _| Ok(())).expect_err("limited");
+        assert_eq!(err.class(), ErrorClass::Limit, "{err}");
+        let _ = std::fs::remove_dir_all(&config.cache_dir);
+    }
+
+    #[test]
+    fn stream_disconnect_mid_body_is_a_protocol_error() {
+        let config = test_config("stream-disconnect");
+        let governor = Governor::new(ResourceLimits::untrusted());
+        let bytes = small_trace_bytes();
+        let mut framed = Vec::new();
+        write_session_body(&mut io::Cursor::new(&bytes[..]), &mut framed).expect("frame");
+        framed.truncate(framed.len() / 2); // the client vanished mid-stream
+        let body = SessionReader::new(io::Cursor::new(framed));
+        let err =
+            evaluate_stream_session(body, &governor, &config, |_, _| Ok(())).expect_err("gone");
+        assert_eq!(err.class(), ErrorClass::Protocol, "{err}");
+        let _ = std::fs::remove_dir_all(&config.cache_dir);
+    }
+
+    #[test]
+    fn stream_upload_cap_trips_limit() {
+        let config = EvalConfig {
+            max_upload_bytes: 512,
+            ..test_config("stream-cap")
+        };
+        let governor = Governor::new(ResourceLimits::untrusted());
+        let body = SessionReader::new(io::Cursor::new(frame_body(&small_trace_bytes())));
+        let err =
+            evaluate_stream_session(body, &governor, &config, |_, _| Ok(())).expect_err("capped");
+        assert_eq!(err.class(), ErrorClass::Limit, "{err}");
+        let _ = std::fs::remove_dir_all(&config.cache_dir);
+    }
+
+    #[test]
+    fn shard_failure_preserves_partial_stats_in_the_error() {
+        // A 4-shard budget but a tiny event budget: at least one shard
+        // trips the governor while others may complete; either way the
+        // failure must carry the Shard-or-Limit structure, not a panic.
+        let config = EvalConfig {
+            shard_min_bytes: 0,
+            memoize: false,
+            ..test_config("shard-partial")
+        };
+        let governor = Governor::new(ResourceLimits::parse("shards=4,events=10").expect("spec"));
+        let mut body = SessionReader::new(io::Cursor::new(frame_body(&small_trace_bytes())));
+        let err = evaluate_session(&mut body, &governor, &config).expect_err("limited");
         assert_eq!(err.class(), ErrorClass::Limit, "{err}");
         let _ = std::fs::remove_dir_all(&config.cache_dir);
     }

@@ -31,6 +31,10 @@ pub struct TenantMetrics {
     pub busy_rejected: u64,
     /// Sessions answered from the memoized result cache.
     pub cache_hits: u64,
+    /// Uploads evaluated on the sharded (multi-thread) path.
+    pub sharded: u64,
+    /// Live `STREAM` sessions evaluated incrementally.
+    pub streamed: u64,
 }
 
 impl TenantMetrics {
@@ -50,8 +54,21 @@ struct Inner {
     sessions_active: u64,
     busy_rejected: u64,
     cache_hits: u64,
+    sessions_sharded: u64,
+    sessions_streamed: u64,
     errors: BTreeMap<&'static str, u64>,
     tenants: BTreeMap<String, TenantMetrics>,
+}
+
+/// How a finished session was evaluated, for the counters.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SessionShape {
+    /// Answered from the memoized result cache.
+    pub cached: bool,
+    /// Shard threads the evaluation used (1 = single-shard path).
+    pub shards: usize,
+    /// Evaluated incrementally as a live `STREAM` session.
+    pub streamed: bool,
 }
 
 /// Shared daemon counters; cheap to clone behind an `Arc`.
@@ -101,20 +118,32 @@ impl Metrics {
     }
 
     /// The session finished successfully.
-    pub fn on_session_ok(&self, tenant: &str, events: u64, busy: Duration, cached: bool) {
+    pub fn on_session_ok(&self, tenant: &str, events: u64, busy: Duration, shape: SessionShape) {
         let mut inner = self.lock();
         inner.sessions_total += 1;
         inner.sessions_active = inner.sessions_active.saturating_sub(1);
-        if cached {
+        if shape.cached {
             inner.cache_hits += 1;
+        }
+        if shape.shards >= 2 {
+            inner.sessions_sharded += 1;
+        }
+        if shape.streamed {
+            inner.sessions_streamed += 1;
         }
         let t = inner.tenants.entry(tenant.to_string()).or_default();
         t.active = t.active.saturating_sub(1);
         t.sessions += 1;
         t.events += events;
         t.busy += busy;
-        if cached {
+        if shape.cached {
             t.cache_hits += 1;
+        }
+        if shape.shards >= 2 {
+            t.sharded += 1;
+        }
+        if shape.streamed {
+            t.streamed += 1;
         }
     }
 
@@ -163,6 +192,16 @@ impl Metrics {
         self.lock().cache_hits
     }
 
+    /// Total uploads evaluated on the sharded path.
+    pub fn sessions_sharded(&self) -> u64 {
+        self.lock().sessions_sharded
+    }
+
+    /// Total live streams evaluated.
+    pub fn sessions_streamed(&self) -> u64 {
+        self.lock().sessions_streamed
+    }
+
     /// Total errors of one class.
     pub fn errors_of(&self, class: ErrorClass) -> u64 {
         self.lock().errors.get(class.name()).copied().unwrap_or(0)
@@ -182,6 +221,8 @@ impl Metrics {
         let _ = writeln!(out, "cgtd.queue_depth {queued}");
         let _ = writeln!(out, "cgtd.busy_rejected {}", inner.busy_rejected);
         let _ = writeln!(out, "cgtd.cache_hits {}", inner.cache_hits);
+        let _ = writeln!(out, "cgtd.sessions_sharded {}", inner.sessions_sharded);
+        let _ = writeln!(out, "cgtd.sessions_streamed {}", inner.sessions_streamed);
         for class in ERROR_CLASSES {
             let n = inner.errors.get(class.name()).copied().unwrap_or(0);
             let _ = writeln!(out, "cgtd.errors.{} {n}", class.name());
@@ -208,6 +249,8 @@ impl Metrics {
             let _ = writeln!(out, "tenant.{name}.errors {}", t.errors);
             let _ = writeln!(out, "tenant.{name}.busy_rejected {}", t.busy_rejected);
             let _ = writeln!(out, "tenant.{name}.cache_hits {}", t.cache_hits);
+            let _ = writeln!(out, "tenant.{name}.sharded {}", t.sharded);
+            let _ = writeln!(out, "tenant.{name}.streamed {}", t.streamed);
         }
         out
     }
@@ -221,23 +264,46 @@ mod tests {
     fn render_is_stable_and_complete() {
         let m = Metrics::new(3);
         m.on_session_start("acme");
-        m.on_session_ok("acme", 1000, Duration::from_millis(10), false);
+        m.on_session_ok(
+            "acme",
+            1000,
+            Duration::from_millis(10),
+            SessionShape {
+                shards: 4,
+                ..SessionShape::default()
+            },
+        );
         m.on_busy("acme");
+        m.on_session_start("acme");
+        m.on_session_ok(
+            "acme",
+            500,
+            Duration::from_millis(5),
+            SessionShape {
+                streamed: true,
+                shards: 1,
+                cached: false,
+            },
+        );
         m.on_session_start("zeta");
         m.on_session_error("zeta", ErrorClass::Limit, Duration::from_millis(1));
         let queues = BTreeMap::from([("acme".to_string(), 2usize), ("idle".to_string(), 1)]);
         let text = m.render(&queues);
         for needle in [
             "cgtd.workers 3",
-            "cgtd.sessions_total 2",
+            "cgtd.sessions_total 3",
             "cgtd.sessions_active 0",
             "cgtd.queue_depth 3",
             "cgtd.busy_rejected 1",
             "cgtd.errors.limit 1",
-            "tenant.acme.sessions 1",
+            "cgtd.sessions_sharded 1",
+            "cgtd.sessions_streamed 1",
+            "tenant.acme.sessions 2",
             "tenant.acme.queue_depth 2",
-            "tenant.acme.events 1000",
+            "tenant.acme.events 1500",
             "tenant.acme.busy_rejected 1",
+            "tenant.acme.sharded 1",
+            "tenant.acme.streamed 1",
             "tenant.idle.queue_depth 1",
             "tenant.zeta.errors 1",
         ] {

@@ -1,15 +1,35 @@
 //! The fixed worker pool's admission queue: a global FIFO with a hard
-//! global bound and a per-tenant bound.
+//! global bound and a per-tenant bound, both measured in
+//! **worker-equivalent slots**.
 //!
 //! Backpressure is explicit and immediate — [`Scheduler::try_enqueue`]
 //! never blocks and never buffers beyond the bounds; a full queue is a
 //! `Busy` answer the client can retry, not an unbounded `VecDeque`.  The
 //! queued item is the accepted connection itself, so a queued session
 //! costs one socket and a tenant string, not trace bytes.
+//!
+//! A sharded session occupies [`QueuedSession::slots`] OS threads at
+//! dequeue, not one, so admission charges that many slots against both
+//! bounds — a tenant with a wide `shards` budget queues proportionally
+//! fewer sessions instead of monopolizing the machine.  The first session
+//! of a tenant (or of an empty queue) is always admissible even when its
+//! weight alone exceeds the bound; otherwise a budget wider than the
+//! queue could never be served at all.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::net::TcpStream;
 use std::sync::{Condvar, Mutex};
+
+/// What kind of session a worker is about to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SessionKind {
+    /// A complete `.cgt` upload (`SUBMIT`): spooled, memoized, possibly
+    /// sharded.
+    Upload,
+    /// A live event stream (`STREAM`): evaluated incrementally with
+    /// periodic `PROGRESS` frames.
+    Stream,
+}
 
 /// One admitted session waiting for (or held by) a worker.
 #[derive(Debug)]
@@ -22,6 +42,19 @@ pub struct QueuedSession {
     /// the `SUBMIT` frame (a client that streamed without waiting for
     /// `ACCEPTED`); the worker consumes these before the socket.
     pub leftover: Vec<u8>,
+    /// Upload or live stream.
+    pub kind: SessionKind,
+    /// Worker-equivalent slots this session occupies when dequeued: the
+    /// tenant's serving shard budget for uploads, 1 for live streams
+    /// (which always evaluate single-threaded).  Charged against both
+    /// admission bounds; values below 1 are treated as 1.
+    pub slots: usize,
+}
+
+impl QueuedSession {
+    fn weight(&self) -> usize {
+        self.slots.max(1)
+    }
 }
 
 /// Why a submission was not admitted.
@@ -55,7 +88,10 @@ impl Rejected {
 #[derive(Debug, Default)]
 struct State {
     queue: VecDeque<QueuedSession>,
+    /// Queued worker-equivalent slots per tenant (admission accounting;
+    /// session counts come from the queue itself).
     per_tenant: HashMap<String, usize>,
+    queued_slots: usize,
     closed: bool,
 }
 
@@ -69,8 +105,10 @@ pub struct Scheduler {
 }
 
 impl Scheduler {
-    /// A queue bounded at `global_cap` sessions total and `tenant_cap`
-    /// per tenant (both at least 1).
+    /// A queue bounded at `global_cap` worker-equivalent slots total and
+    /// `tenant_cap` per tenant (both at least 1).  Single-shard sessions
+    /// weigh one slot each, so for them the bounds read as session
+    /// counts, exactly as before sharding existed.
     pub fn new(global_cap: usize, tenant_cap: usize) -> Self {
         Self {
             state: Mutex::new(State::default()),
@@ -86,6 +124,12 @@ impl Scheduler {
 
     /// Admits a session or rejects it immediately — never blocks.
     ///
+    /// The session's [`weight`](QueuedSession::slots) is charged against
+    /// both bounds.  The check is `current < cap` rather than
+    /// `current + weight <= cap`, so a session wider than the whole bound
+    /// is still admissible when the bound is idle — it just prevents
+    /// anything else from queueing behind it.
+    ///
     /// # Errors
     ///
     /// The [`Rejected`] bound that was hit.
@@ -94,7 +138,7 @@ impl Scheduler {
         if state.closed {
             return Err(Rejected::ShuttingDown);
         }
-        if state.queue.len() >= self.global_cap {
+        if state.queued_slots >= self.global_cap {
             return Err(Rejected::GlobalFull {
                 cap: self.global_cap,
             });
@@ -109,7 +153,9 @@ impl Scheduler {
                 cap: self.tenant_cap,
             });
         }
-        *state.per_tenant.entry(session.tenant.clone()).or_default() += 1;
+        let weight = session.weight();
+        *state.per_tenant.entry(session.tenant.clone()).or_default() += weight;
+        state.queued_slots += weight;
         state.queue.push_back(session);
         drop(state);
         self.ready.notify_one();
@@ -122,8 +168,10 @@ impl Scheduler {
         let mut state = self.lock();
         loop {
             if let Some(session) = state.queue.pop_front() {
+                let weight = session.weight();
+                state.queued_slots = state.queued_slots.saturating_sub(weight);
                 if let Some(depth) = state.per_tenant.get_mut(session.tenant.as_str()) {
-                    *depth = depth.saturating_sub(1);
+                    *depth = depth.saturating_sub(weight);
                     if *depth == 0 {
                         state.per_tenant.remove(session.tenant.as_str());
                     }
@@ -149,14 +197,16 @@ impl Scheduler {
         self.lock().queue.len()
     }
 
-    /// Per-tenant queue depths (tenants with zero queued are absent) —
-    /// the metrics renderer's source of truth for queue gauges.
-    pub fn depths(&self) -> std::collections::BTreeMap<String, usize> {
-        self.lock()
-            .per_tenant
-            .iter()
-            .map(|(tenant, &depth)| (tenant.clone(), depth))
-            .collect()
+    /// Per-tenant queued **session counts** (tenants with zero queued are
+    /// absent) — the metrics renderer's source of truth for queue gauges.
+    /// Counts sessions, not slots, so dashboards keep reading naturally.
+    pub fn depths(&self) -> BTreeMap<String, usize> {
+        let state = self.lock();
+        let mut out = BTreeMap::new();
+        for session in &state.queue {
+            *out.entry(session.tenant.clone()).or_insert(0) += 1;
+        }
+        out
     }
 }
 
@@ -174,12 +224,18 @@ mod tests {
         client
     }
 
-    fn session(tenant: &str) -> QueuedSession {
+    fn weighted(tenant: &str, slots: usize) -> QueuedSession {
         QueuedSession {
             tenant: tenant.to_string(),
             stream: sock(),
             leftover: Vec::new(),
+            kind: SessionKind::Upload,
+            slots,
         }
+    }
+
+    fn session(tenant: &str) -> QueuedSession {
+        weighted(tenant, 1)
     }
 
     #[test]
@@ -202,6 +258,66 @@ mod tests {
         assert_eq!(sched.dequeue().expect("drain").tenant, "a");
         sched.try_enqueue(session("a")).expect("slot freed");
         assert_eq!(sched.depth(), 3);
+    }
+
+    /// The PR-10 regression: a queued sharded session must be charged its
+    /// shard budget, not one slot — otherwise a wide tenant queues as
+    /// many sessions as a narrow one and monopolizes the pool's threads
+    /// at dequeue.  Two tenants, one sharded: both make progress.
+    #[test]
+    fn shard_budgets_are_charged_at_admission() {
+        let sched = Scheduler::new(8, 4);
+        sched
+            .try_enqueue(weighted("wide", 4))
+            .expect("first sharded session admitted");
+        assert_eq!(
+            sched.try_enqueue(weighted("wide", 4)).unwrap_err(),
+            Rejected::TenantFull { cap: 4 },
+            "a second 4-shard session would let one tenant hold 8 threads"
+        );
+        // The narrow tenant still makes progress in the remaining slots.
+        for i in 0..4 {
+            sched
+                .try_enqueue(session("narrow"))
+                .unwrap_or_else(|e| panic!("narrow #{i} admitted: {e:?}"));
+        }
+        assert_eq!(
+            sched.try_enqueue(session("narrow")).unwrap_err(),
+            Rejected::GlobalFull { cap: 8 },
+            "4 sharded slots + 4 single slots fill the global bound"
+        );
+        assert_eq!(sched.depth(), 5, "depth() still counts sessions");
+        assert_eq!(
+            sched.depths(),
+            BTreeMap::from([("wide".to_string(), 1), ("narrow".to_string(), 4)]),
+            "queue gauges count sessions, not slots"
+        );
+        // Draining the sharded session frees its whole weight at once.
+        assert_eq!(sched.dequeue().expect("drain").tenant, "wide");
+        sched
+            .try_enqueue(weighted("wide", 4))
+            .expect("the full shard weight was released");
+    }
+
+    /// A budget wider than the whole queue is still serveable: the first
+    /// session in an idle bound always fits.
+    #[test]
+    fn oversized_budget_is_admissible_when_idle() {
+        let sched = Scheduler::new(2, 2);
+        sched
+            .try_enqueue(weighted("huge", 16))
+            .expect("idle bound admits any single session");
+        assert_eq!(
+            sched.try_enqueue(session("huge")).unwrap_err(),
+            Rejected::GlobalFull { cap: 2 },
+            "but nothing queues behind it"
+        );
+        assert_eq!(
+            sched.try_enqueue(session("other")).unwrap_err(),
+            Rejected::GlobalFull { cap: 2 },
+        );
+        sched.dequeue().expect("drain");
+        sched.try_enqueue(session("other")).expect("slots released");
     }
 
     #[test]

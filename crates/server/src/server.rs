@@ -28,9 +28,9 @@ use std::time::{Duration, Instant};
 use cg_trace::proto::{read_frame, read_preamble, write_frame, ErrorClass, Frame, SessionReader};
 use cg_trace::{Governor, ResourceLimits};
 
-use crate::eval::{evaluate_session, EvalConfig};
-use crate::metrics::Metrics;
-use crate::scheduler::{QueuedSession, Scheduler};
+use crate::eval::{evaluate_session, evaluate_stream_session, serving_shards, EvalConfig};
+use crate::metrics::{Metrics, SessionShape};
+use crate::scheduler::{QueuedSession, Scheduler, SessionKind};
 
 /// Longest tenant name the daemon accepts.
 pub const MAX_TENANT_LEN: usize = 64;
@@ -52,6 +52,9 @@ pub struct ServerConfig {
     pub tenant_limits: HashMap<String, ResourceLimits>,
     /// Hard cap on one session's uploaded bytes.
     pub max_upload_bytes: u64,
+    /// Smallest upload routed through the sharded evaluator (when the
+    /// tenant's `shards` budget allows ≥ 2).
+    pub shard_min_bytes: u64,
     /// Socket read/write timeout — a silent peer is cut off after this.
     pub idle_timeout: Duration,
     /// Spool/result-cache root; `None` means `<trace cache dir>/cgtd`.
@@ -67,9 +70,16 @@ impl Default for ServerConfig {
             workers: 4,
             tenant_queue: 4,
             global_queue: 0,
-            default_limits: ResourceLimits::untrusted(),
+            // Sharded serving is an explicit grant: the stock daemon
+            // evaluates single-shard (and admits every upload at weight 1)
+            // until the operator widens `shards` via `--limits`/`--tenant`.
+            default_limits: ResourceLimits {
+                max_shards: Some(1),
+                ..ResourceLimits::untrusted()
+            },
             tenant_limits: HashMap::new(),
             max_upload_bytes: 256 << 20,
+            shard_min_bytes: 4 << 20,
             idle_timeout: Duration::from_secs(30),
             cache_dir: None,
             memoize: true,
@@ -162,6 +172,7 @@ impl Server {
                 .unwrap_or_else(|| cg_bench::trace_cache_dir().join("cgtd")),
             memoize: config.memoize,
             max_upload_bytes: config.max_upload_bytes,
+            shard_min_bytes: config.shard_min_bytes,
         };
         eval.prepare()?;
         let shared = Arc::new(Shared {
@@ -303,55 +314,92 @@ fn handshake(stream: TcpStream, shared: &Shared) {
             let _ = writer.flush();
         }
         Ok(Some(Frame::Submit { tenant })) => {
-            if tenant.is_empty()
-                || tenant.len() > MAX_TENANT_LEN
-                || !tenant
-                    .chars()
-                    .all(|c| c.is_ascii_alphanumeric() || c == '-' || c == '_' || c == '.')
-            {
-                refuse(
-                    &mut writer,
-                    format!(
-                        "tenant names are 1..={MAX_TENANT_LEN} ascii \
-                         alphanumeric/dash/underscore/dot characters"
-                    ),
-                );
-                return;
-            }
-            // Reunite the halves: the worker owns the whole socket.  Any
-            // bytes the buffered reader pulled past the SUBMIT frame (a
-            // client that streamed without waiting for ACCEPTED) travel
-            // with the session so nothing is swallowed.
-            let leftover = reader.buffer().to_vec();
-            drop(reader);
-            let stream = match writer.into_inner() {
-                Ok(stream) => stream,
-                Err(_) => return,
-            };
-            // Keep a reply handle: on rejection the session (and its
-            // socket) has been consumed by value.
-            let reply = stream.try_clone().ok();
-            if let Err(rejected) = shared.scheduler.try_enqueue(QueuedSession {
-                tenant: tenant.clone(),
-                stream,
-                leftover,
-            }) {
-                shared.metrics.on_busy(&tenant);
-                if let Some(reply) = reply {
-                    let mut writer = BufWriter::new(reply);
-                    let _ = write_frame(
-                        &mut writer,
-                        &Frame::Busy {
-                            reason: rejected.reason(),
-                        },
-                    );
-                    let _ = writer.flush();
-                }
-            }
+            admit(reader, writer, shared, tenant, SessionKind::Upload);
         }
-        Ok(Some(_)) => refuse(&mut writer, "expected SUBMIT or METRICS".to_string()),
+        Ok(Some(Frame::Stream { tenant })) => {
+            admit(reader, writer, shared, tenant, SessionKind::Stream);
+        }
+        Ok(Some(_)) => refuse(
+            &mut writer,
+            "expected SUBMIT, STREAM or METRICS".to_string(),
+        ),
         Ok(None) => shared.metrics.on_handshake_error(),
         Err(e) => refuse(&mut writer, e.to_string()),
+    }
+}
+
+/// Validates the tenant name and hands the connection to the scheduler
+/// (or bounces BUSY).  The session is charged its worker-equivalent
+/// weight at admission: the tenant's serving shard budget for uploads,
+/// one slot for live streams, which always evaluate single-threaded.
+fn admit(
+    reader: BufReader<TcpStream>,
+    mut writer: BufWriter<TcpStream>,
+    shared: &Shared,
+    tenant: String,
+    kind: SessionKind,
+) {
+    let refuse = |writer: &mut BufWriter<TcpStream>, message: String| {
+        shared.metrics.on_handshake_error();
+        let _ = write_frame(
+            writer,
+            &Frame::Error {
+                class: ErrorClass::Protocol,
+                message,
+            },
+        );
+        let _ = writer.flush();
+    };
+    if tenant.is_empty()
+        || tenant.len() > MAX_TENANT_LEN
+        || !tenant
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '-' || c == '_' || c == '.')
+    {
+        refuse(
+            &mut writer,
+            format!(
+                "tenant names are 1..={MAX_TENANT_LEN} ascii \
+                 alphanumeric/dash/underscore/dot characters"
+            ),
+        );
+        return;
+    }
+    // Reunite the halves: the worker owns the whole socket.  Any
+    // bytes the buffered reader pulled past the SUBMIT frame (a
+    // client that streamed without waiting for ACCEPTED) travel
+    // with the session so nothing is swallowed.
+    let leftover = reader.buffer().to_vec();
+    drop(reader);
+    let stream = match writer.into_inner() {
+        Ok(stream) => stream,
+        Err(_) => return,
+    };
+    // Keep a reply handle: on rejection the session (and its
+    // socket) has been consumed by value.
+    let reply = stream.try_clone().ok();
+    let slots = match kind {
+        SessionKind::Upload => serving_shards(&shared.limits_for(&tenant)),
+        SessionKind::Stream => 1,
+    };
+    if let Err(rejected) = shared.scheduler.try_enqueue(QueuedSession {
+        tenant: tenant.clone(),
+        stream,
+        leftover,
+        kind,
+        slots,
+    }) {
+        shared.metrics.on_busy(&tenant);
+        if let Some(reply) = reply {
+            let mut writer = BufWriter::new(reply);
+            let _ = write_frame(
+                &mut writer,
+                &Frame::Busy {
+                    reason: rejected.reason(),
+                },
+            );
+            let _ = writer.flush();
+        }
     }
 }
 
@@ -369,6 +417,8 @@ fn run_session(session: QueuedSession, shared: &Shared) {
         tenant,
         stream,
         leftover,
+        kind,
+        slots: _,
     } = session;
     let started = Instant::now();
     let governor = Governor::new(shared.limits_for(&tenant));
@@ -381,16 +431,34 @@ fn run_session(session: QueuedSession, shared: &Shared) {
             .map_err(crate::eval::SessionError::Io)?;
         // Bytes buffered during the handshake come first, then the socket.
         let source = io::Cursor::new(leftover).chain(reader_stream);
-        let mut body = SessionReader::new(BufReader::new(source));
-        let result = evaluate_session(&mut body, &governor, &shared.eval);
+        let result = match kind {
+            SessionKind::Upload => {
+                let mut body = SessionReader::new(BufReader::new(source));
+                evaluate_session(&mut body, &governor, &shared.eval)
+            }
+            SessionKind::Stream => {
+                let body = SessionReader::new(BufReader::new(source));
+                evaluate_stream_session(body, &governor, &shared.eval, |events, bytes| {
+                    write_frame(&mut writer, &Frame::Progress { events, bytes })?;
+                    writer.flush()
+                })
+            }
+        };
         Ok((writer, result))
     })();
 
     match outcome {
         Ok((mut writer, Ok(result))) => {
-            shared
-                .metrics
-                .on_session_ok(&tenant, result.events, started.elapsed(), result.cached);
+            shared.metrics.on_session_ok(
+                &tenant,
+                result.events,
+                started.elapsed(),
+                SessionShape {
+                    cached: result.cached,
+                    shards: result.shards,
+                    streamed: kind == SessionKind::Stream,
+                },
+            );
             let _ = write_frame(
                 &mut writer,
                 &Frame::Stats {

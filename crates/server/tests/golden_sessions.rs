@@ -150,6 +150,144 @@ fn thirty_two_concurrent_sessions_match_embedded_footers() {
     join.join().expect("server thread");
 }
 
+/// The phase-2 acceptance gate: the same eight goldens, submitted
+/// concurrently under a `shards=4` budget with the size floor lowered so
+/// every upload takes the sharded path — byte-identity must survive
+/// partition + parallel evaluation + aggregation.
+#[test]
+fn eight_concurrent_sharded_sessions_match_embedded_footers() {
+    let (handle, join) = test_server(
+        "sharded",
+        ServerConfig {
+            workers: 4,
+            // Slot units: each session is admitted at its 4-shard weight.
+            tenant_queue: 64,
+            global_queue: 64,
+            default_limits: cg_trace::ResourceLimits {
+                max_shards: Some(4),
+                ..cg_trace::ResourceLimits::untrusted()
+            },
+            shard_min_bytes: 0,
+            memoize: false,
+            ..ServerConfig::default()
+        },
+    );
+    let addr = handle.addr().to_string();
+
+    let goldens = golden_paths();
+    let mut threads = Vec::new();
+    for path in &goldens {
+        let addr = addr.clone();
+        let path = path.clone();
+        let (want_events, want_entries) = embedded_footer(&path);
+        threads.push(std::thread::spawn(move || {
+            let outcome = submit_retrying(&addr, "sharded", &path).expect("session succeeds");
+            assert_eq!(
+                outcome.events(),
+                Some(want_events),
+                "{}: sharded event count matches the footer census",
+                path.display()
+            );
+            assert_eq!(
+                outcome.cg_entries(),
+                want_entries,
+                "{}: sharded stats are byte-identical to the embedded footer",
+                path.display()
+            );
+        }));
+    }
+    assert_eq!(threads.len(), 8);
+    for t in threads {
+        t.join().expect("session thread");
+    }
+
+    let metrics = handle.metrics();
+    assert_eq!(metrics.sessions_total(), 8);
+    assert_eq!(
+        metrics.sessions_sharded(),
+        8,
+        "every session took the sharded path"
+    );
+    assert_eq!(metrics.sessions_active(), 0, "all shard slots freed");
+
+    handle.shutdown();
+    join.join().expect("server thread");
+}
+
+/// Four goldens opened as live `STREAM` sessions concurrently: the
+/// incremental evaluator must answer byte-identically to the embedded
+/// footer, with at least one `PROGRESS` frame per session and monotonic
+/// progress counters.
+#[test]
+fn four_concurrent_live_streams_match_embedded_footers() {
+    let (handle, join) = test_server(
+        "streams",
+        ServerConfig {
+            workers: 4,
+            tenant_queue: 8,
+            global_queue: 64,
+            memoize: false,
+            ..ServerConfig::default()
+        },
+    );
+    let addr = handle.addr().to_string();
+
+    let goldens: Vec<PathBuf> = golden_paths().into_iter().take(4).collect();
+    let mut threads = Vec::new();
+    for path in &goldens {
+        let addr = addr.clone();
+        let path = path.clone();
+        let (want_events, want_entries) = embedded_footer(&path);
+        threads.push(std::thread::spawn(move || {
+            let file = std::fs::File::open(&path).expect("open golden");
+            let mut body = std::io::BufReader::new(file);
+            let mut frames = 0u64;
+            let mut last = (0u64, 0u64);
+            let outcome = proto::stream_events(
+                &addr,
+                "live",
+                &mut body,
+                Some(Duration::from_secs(120)),
+                |p| {
+                    frames += 1;
+                    assert!(
+                        (p.events, p.bytes) >= last,
+                        "{}: progress is monotonic",
+                        path.display()
+                    );
+                    last = (p.events, p.bytes);
+                },
+            )
+            .expect("live stream succeeds");
+            assert!(frames >= 1, "{}: saw PROGRESS frames", path.display());
+            assert_eq!(
+                outcome.events(),
+                Some(want_events),
+                "{}: streamed event count matches the footer census",
+                path.display()
+            );
+            assert_eq!(
+                outcome.cg_entries(),
+                want_entries,
+                "{}: streamed stats are byte-identical to the embedded footer",
+                path.display()
+            );
+            assert!(!outcome.cached, "live streams bypass the result cache");
+        }));
+    }
+    for t in threads {
+        t.join().expect("stream thread");
+    }
+
+    let metrics = handle.metrics();
+    assert_eq!(metrics.sessions_total(), 4);
+    assert_eq!(metrics.sessions_streamed(), 4);
+    assert_eq!(metrics.sessions_active(), 0, "all worker slots freed");
+
+    handle.shutdown();
+    join.join().expect("server thread");
+}
+
 /// A raw session opened by hand: preamble + SUBMIT sent, then *held* —
 /// the admission (and, once dequeued, the worker slot) stays occupied
 /// until the stream is dropped.  `wait_accept` reads the ACCEPTED frame,

@@ -21,6 +21,15 @@ fn golden() -> PathBuf {
 /// One worker and short idle timeout: a held slot shows up immediately
 /// and a stalled client is cut off fast.
 fn test_server(tag: &str) -> (ServerHandle, std::thread::JoinHandle<()>) {
+    test_server_with(tag, ServerConfig::default())
+}
+
+/// Like [`test_server`] but layered over a caller-tuned config (limits,
+/// queue sizes) — the robustness defaults still win where they matter.
+fn test_server_with(
+    tag: &str,
+    config: ServerConfig,
+) -> (ServerHandle, std::thread::JoinHandle<()>) {
     let dir = std::env::temp_dir().join(format!("cgtd-robust-{tag}-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&dir);
     spawn(ServerConfig {
@@ -29,13 +38,13 @@ fn test_server(tag: &str) -> (ServerHandle, std::thread::JoinHandle<()>) {
         idle_timeout: Duration::from_millis(300),
         cache_dir: Some(dir),
         memoize: false,
-        ..ServerConfig::default()
+        ..config
     })
     .expect("spawn server")
 }
 
-/// Connects, completes the handshake for `tenant`, and waits for ACCEPTED.
-fn accepted_session(addr: &str, tenant: &str) -> (BufReader<TcpStream>, BufWriter<TcpStream>) {
+/// Connects, completes the handshake with `open`, and waits for ACCEPTED.
+fn accepted_with(addr: &str, open: Frame) -> (BufReader<TcpStream>, BufWriter<TcpStream>) {
     let stream = TcpStream::connect(addr).expect("connect");
     stream
         .set_read_timeout(Some(Duration::from_secs(10)))
@@ -43,18 +52,32 @@ fn accepted_session(addr: &str, tenant: &str) -> (BufReader<TcpStream>, BufWrite
     let mut reader = BufReader::new(stream.try_clone().expect("clone"));
     let mut writer = BufWriter::new(stream);
     write_preamble(&mut writer).expect("preamble");
-    write_frame(
-        &mut writer,
-        &Frame::Submit {
-            tenant: tenant.to_string(),
-        },
-    )
-    .expect("submit");
+    write_frame(&mut writer, &open).expect("open frame");
     writer.flush().expect("flush");
     match read_frame(&mut reader).expect("reply").expect("frame") {
         Frame::Accepted => (reader, writer),
         other => panic!("expected ACCEPTED, got {other:?}"),
     }
+}
+
+/// An accepted `SUBMIT` (whole-upload) session for `tenant`.
+fn accepted_session(addr: &str, tenant: &str) -> (BufReader<TcpStream>, BufWriter<TcpStream>) {
+    accepted_with(
+        addr,
+        Frame::Submit {
+            tenant: tenant.to_string(),
+        },
+    )
+}
+
+/// An accepted live `STREAM` session for `tenant`.
+fn accepted_stream(addr: &str, tenant: &str) -> (BufReader<TcpStream>, BufWriter<TcpStream>) {
+    accepted_with(
+        addr,
+        Frame::Stream {
+            tenant: tenant.to_string(),
+        },
+    )
 }
 
 /// Reads the session verdict and asserts it is an ERROR of `want`.
@@ -223,6 +246,116 @@ fn data_before_submit_is_refused() {
     write_frame(&mut writer, &Frame::Data(vec![1, 2, 3])).expect("data");
     writer.flush().expect("flush");
     expect_error_class(&mut reader, ErrorClass::Protocol, "data before submit");
+
+    assert_recovered(&addr);
+    handle.shutdown();
+    join.join().expect("server thread");
+}
+
+/// Reads frames until the session verdict, skipping any `PROGRESS` the
+/// incremental evaluator emitted first, and asserts an ERROR of `want`.
+fn expect_stream_error_class(reader: &mut BufReader<TcpStream>, want: ErrorClass, what: &str) {
+    loop {
+        match read_frame(reader).expect("verdict").expect("frame") {
+            Frame::Progress { .. } => continue,
+            Frame::Error { class, message } => {
+                assert_eq!(class, want, "{what}: server said {class:?}: {message}");
+                return;
+            }
+            other => panic!("{what}: expected ERROR, got {other:?}"),
+        }
+    }
+}
+
+/// A live stream whose client vanishes mid-body: the incremental
+/// evaluator sees a truncated session, counts a protocol error, and the
+/// worker slot comes back.
+#[test]
+fn stream_disconnect_mid_flight_frees_the_slot() {
+    let (handle, join) = test_server("stream-disconnect");
+    let addr = handle.addr().to_string();
+
+    {
+        let (_reader, mut writer) = accepted_stream(&addr, "vanish");
+        // The first bytes of a real trace so the server is mid-parse,
+        // then the client process "dies".
+        let body = std::fs::read(golden()).expect("read golden");
+        write_frame(
+            &mut writer,
+            &Frame::Data(body[..256.min(body.len())].to_vec()),
+        )
+        .expect("data");
+        writer.flush().expect("flush");
+    } // both halves drop: RST/EOF mid-stream
+
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while handle.metrics().errors_of(ErrorClass::Protocol) == 0 {
+        assert!(
+            Instant::now() < deadline,
+            "stream disconnect never surfaced"
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    assert_eq!(handle.metrics().sessions_active(), 0, "slot freed");
+
+    assert_recovered(&addr);
+    handle.shutdown();
+    join.join().expect("server thread");
+}
+
+/// A live stream that goes silent: the idle timeout must cut it off with
+/// a deadline-class error, exactly like a stalled upload.
+#[test]
+fn stalled_stream_hits_the_idle_timeout() {
+    let (handle, join) = test_server("stream-stall");
+    let addr = handle.addr().to_string();
+
+    let (mut reader, _writer) = accepted_stream(&addr, "drip");
+    expect_stream_error_class(&mut reader, ErrorClass::Deadline, "stalled stream");
+    assert_eq!(handle.metrics().errors_of(ErrorClass::Deadline), 1);
+
+    assert_recovered(&addr);
+    handle.shutdown();
+    join.join().expect("server thread");
+}
+
+/// A live stream that blows through `max_events` *mid-flight*: the
+/// incremental evaluator must stop at the budget with a limit-class
+/// error instead of replaying to the end first.
+#[test]
+fn stream_exceeding_max_events_trips_the_limit_mid_flight() {
+    let (handle, join) = test_server_with(
+        "stream-limit",
+        ServerConfig {
+            default_limits: cg_trace::ResourceLimits {
+                max_events: Some(10),
+                ..cg_trace::ResourceLimits::untrusted()
+            },
+            // `assert_recovered` replays a full golden as tenant "clean";
+            // exempt it from the 10-event budget under test.
+            tenant_limits: std::collections::HashMap::from([(
+                "clean".to_string(),
+                cg_trace::ResourceLimits::untrusted(),
+            )]),
+            ..ServerConfig::default()
+        },
+    );
+    let addr = handle.addr().to_string();
+
+    let (mut reader, mut writer) = accepted_stream(&addr, "hog");
+    // Stream the whole golden; the server may answer (and hang up) while
+    // bytes are still in flight, so write errors past that point are
+    // expected, not failures.
+    let body = std::fs::read(golden()).expect("read golden");
+    for chunk in body.chunks(4096) {
+        if write_frame(&mut writer, &Frame::Data(chunk.to_vec())).is_err() {
+            break;
+        }
+    }
+    let _ = write_frame(&mut writer, &Frame::End);
+    let _ = writer.flush();
+    expect_stream_error_class(&mut reader, ErrorClass::Limit, "event budget");
+    assert_eq!(handle.metrics().sessions_active(), 0, "slot freed");
 
     assert_recovered(&addr);
     handle.shutdown();

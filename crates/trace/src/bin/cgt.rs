@@ -8,7 +8,7 @@
 //! cgt convert <in.cgt> <out.cgt> [--chunk-events N] [--no-compress] [--strip-sections]
 //! cgt diff <a.cgt> <b.cgt>
 //! cgt submit <file.cgt> [--addr HOST:PORT] [--tenant NAME] [--timeout-ms N]
-//!            [--expect-footer]
+//!            [--expect-footer] [--watch]
 //! cgt metrics [--addr HOST:PORT] [--timeout-ms N]
 //! ```
 //!
@@ -29,8 +29,11 @@
 //! * `submit` uploads a trace to a running `cgtd` daemon over the framed
 //!   protocol and prints the stats the server computed; `--expect-footer`
 //!   compares them entry-for-entry against the local file's embedded
-//!   `"cg"` footer (exit 5 on mismatch).  `metrics` scrapes the daemon's
-//!   plaintext counters.
+//!   `"cg"` footer (exit 5 on mismatch).  `--watch` opens a live `STREAM`
+//!   session instead: the server evaluates incrementally while the upload
+//!   is still in flight and `cgt` prints each `PROGRESS` frame to stderr;
+//!   stats, `--expect-footer` and every exit code behave exactly as for a
+//!   plain submit.  `metrics` scrapes the daemon's plaintext counters.
 //!
 //! Exit codes are distinct per failure class so scripts can branch on
 //! them without parsing stderr:
@@ -73,7 +76,7 @@ USAGE:
   cgt convert <in.cgt> <out.cgt> [--chunk-events N] [--no-compress] [--strip-sections]
   cgt diff <a.cgt> <b.cgt>
   cgt submit <file.cgt> [--addr HOST:PORT] [--tenant NAME] [--timeout-ms N]
-             [--expect-footer]
+             [--expect-footer] [--watch]
   cgt metrics [--addr HOST:PORT] [--timeout-ms N]
 
 Workloads: the eight SPECjvm98-like benchmarks (compress, jess, raytrace,
@@ -93,8 +96,11 @@ e.g. --limits events=1000000,heap-mib=256,deadline-ms=5000; an empty SPEC
 submit/metrics talk to a cgtd daemon (default --addr 127.0.0.1:4270).
 submit streams the file over the framed protocol and prints the server's
 stats; --expect-footer additionally compares them against the local file's
-embedded \"cg\" footer.  A BUSY answer (backpressure) exits 1; server-side
-corruption exits 3 and a tripped budget exits 4, mirroring local verify.
+embedded \"cg\" footer; --watch opens a live STREAM session (incremental
+server-side evaluation) and prints PROGRESS frames to stderr as they
+arrive.  A BUSY answer (backpressure) exits 1; server-side corruption
+exits 3 and a tripped budget exits 4, mirroring local verify — with or
+without --watch.
 
 EXIT CODES:
   0  OK
@@ -785,7 +791,7 @@ fn cmd_submit(args: &[String]) -> Result<(), CgtError> {
     let (positional, flags) = split_flags(
         args,
         &["--addr", "--tenant", "--timeout-ms"],
-        &["--expect-footer"],
+        &["--expect-footer", "--watch"],
     );
     let [path] = positional.as_slice() else {
         usage();
@@ -796,7 +802,21 @@ fn cmd_submit(args: &[String]) -> Result<(), CgtError> {
     let timeout_ms = flags.get_usize("--timeout-ms").unwrap_or(60_000) as u64;
     let timeout = (timeout_ms > 0).then(|| std::time::Duration::from_millis(timeout_ms));
 
-    let outcome = proto::submit_path(addr, tenant, path, timeout).map_err(client_error)?;
+    let outcome = if flags.has("--watch") {
+        let file = std::fs::File::open(path)
+            .map_err(|e| CgtError::Io(format!("open {}: {e}", path.display())))?;
+        let mut body = std::io::BufReader::new(file);
+        let mut frames = 0u64;
+        let outcome = proto::stream_events(addr, tenant, &mut body, timeout, |p| {
+            frames += 1;
+            eprintln!("progress: {} events, {} bytes", p.events, p.bytes);
+        })
+        .map_err(client_error)?;
+        eprintln!("stream complete after {frames} progress frame(s)");
+        outcome
+    } else {
+        proto::submit_path(addr, tenant, path, timeout).map_err(client_error)?
+    };
     print!("{}", outcome.text);
     if outcome.cached {
         eprintln!("(answered from the server's result cache)");

@@ -46,6 +46,7 @@
 #![warn(missing_docs)]
 
 pub mod compress;
+pub mod eval;
 pub mod fault;
 pub mod footer;
 pub mod format;
@@ -59,6 +60,10 @@ pub mod trace;
 mod wire;
 
 pub use cg_vm::{AllocKind, EventKind, EventSink, GcEvent};
+pub use eval::{
+    parallel_eval, parallel_eval_governed, parallel_eval_streaming,
+    parallel_eval_streaming_governed, ParallelError, ParallelOutcome,
+};
 pub use fault::{FaultPlan, FaultyReader, FaultyWriter};
 pub use format::{
     FooterSection, StreamKind, TraceFooter, TraceIoError, TraceMeta, WorkloadRef,

@@ -16,6 +16,25 @@
 //!
 //! or, for a metrics scrape, `preamble` + `METRICS` → `METRICS_REPLY`.
 //!
+//! A *live* session opens with `STREAM` instead of `SUBMIT`: the body
+//! framing is identical (`DATA`… + `END`), but the server evaluates each
+//! chunk as it lands — in O(chunk) memory, never spooling the stream —
+//! and interleaves periodic `PROGRESS` frames back while the upload is
+//! still in flight:
+//!
+//! ```text
+//! client                                 server
+//!   |-- preamble: magic(4) version(2) -->|
+//!   |-- STREAM tenant ------------------>|
+//!   |<------------- ACCEPTED (or BUSY) --|
+//!   |-- DATA bytes... ------------------>|   (events as they are recorded)
+//!   |<-------- PROGRESS events bytes ----|   (periodic, while streaming)
+//!   |-- DATA bytes... ------------------>|
+//!   |<-------- PROGRESS events bytes ----|
+//!   |-- END ---------------------------->|
+//!   |<------------ STATS (or ERROR) -----|
+//! ```
+//!
 //! # Frame layout
 //!
 //! ```text
@@ -53,11 +72,13 @@ const KIND_SUBMIT: u8 = 0x01;
 const KIND_DATA: u8 = 0x02;
 const KIND_END: u8 = 0x03;
 const KIND_METRICS: u8 = 0x04;
+const KIND_STREAM: u8 = 0x05;
 const KIND_ACCEPTED: u8 = 0x81;
 const KIND_BUSY: u8 = 0x82;
 const KIND_STATS: u8 = 0x83;
 const KIND_ERROR: u8 = 0x84;
 const KIND_METRICS_REPLY: u8 = 0x85;
+const KIND_PROGRESS: u8 = 0x86;
 
 /// One protocol frame.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -73,6 +94,15 @@ pub enum Frame {
     End,
     /// Client → server: request a metrics snapshot.
     Metrics,
+    /// Client → server: open a *live* evaluation session for `tenant`.
+    ///
+    /// The body framing is the same as after [`Frame::Submit`], but the
+    /// server evaluates incrementally and interleaves [`Frame::Progress`]
+    /// replies while the client is still sending.
+    Stream {
+        /// Tenant name the session is accounted (and rate-limited) under.
+        tenant: String,
+    },
     /// Server → client: session admitted; start streaming.
     Accepted,
     /// Server → client: queue full — explicit backpressure, try later.
@@ -99,6 +129,14 @@ pub enum Frame {
         /// `key value` lines.
         text: String,
     },
+    /// Server → client: periodic progress on a live ([`Frame::Stream`])
+    /// session.
+    Progress {
+        /// Events evaluated so far.
+        events: u64,
+        /// `.cgt` bytes consumed so far.
+        bytes: u64,
+    },
 }
 
 impl Frame {
@@ -108,18 +146,22 @@ impl Frame {
             Frame::Data(_) => KIND_DATA,
             Frame::End => KIND_END,
             Frame::Metrics => KIND_METRICS,
+            Frame::Stream { .. } => KIND_STREAM,
             Frame::Accepted => KIND_ACCEPTED,
             Frame::Busy { .. } => KIND_BUSY,
             Frame::Stats { .. } => KIND_STATS,
             Frame::Error { .. } => KIND_ERROR,
             Frame::MetricsReply { .. } => KIND_METRICS_REPLY,
+            Frame::Progress { .. } => KIND_PROGRESS,
         }
     }
 
     fn payload(&self) -> Vec<u8> {
         let mut buf = Vec::new();
         match self {
-            Frame::Submit { tenant } => wire::put_string(&mut buf, tenant),
+            Frame::Submit { tenant } | Frame::Stream { tenant } => {
+                wire::put_string(&mut buf, tenant)
+            }
             Frame::Data(bytes) => buf.extend_from_slice(bytes),
             Frame::End | Frame::Metrics | Frame::Accepted => {}
             Frame::Busy { reason } => wire::put_string(&mut buf, reason),
@@ -132,6 +174,10 @@ impl Frame {
                 wire::put_string(&mut buf, message);
             }
             Frame::MetricsReply { text } => wire::put_string(&mut buf, text),
+            Frame::Progress { events, bytes } => {
+                wire::put_varint(&mut buf, *events);
+                wire::put_varint(&mut buf, *bytes);
+            }
         }
         buf
     }
@@ -145,6 +191,9 @@ impl Frame {
             KIND_DATA => return Ok(Frame::Data(payload.to_vec())),
             KIND_END => Frame::End,
             KIND_METRICS => Frame::Metrics,
+            KIND_STREAM => Frame::Stream {
+                tenant: r.string("tenant").map_err(malformed)?,
+            },
             KIND_ACCEPTED => Frame::Accepted,
             KIND_BUSY => Frame::Busy {
                 reason: r.string("reason").map_err(malformed)?,
@@ -159,6 +208,10 @@ impl Frame {
             },
             KIND_METRICS_REPLY => Frame::MetricsReply {
                 text: r.string("metrics").map_err(malformed)?,
+            },
+            KIND_PROGRESS => Frame::Progress {
+                events: r.varint("events").map_err(malformed)?,
+                bytes: r.varint("bytes").map_err(malformed)?,
             },
             other => return Err(ProtoError::UnknownKind(other)),
         };
@@ -743,6 +796,89 @@ pub fn submit_path(
     submit_stream(addr, tenant, &mut file, timeout)
 }
 
+/// One [`Frame::Progress`] report from a live session, handed to the
+/// [`stream_events`] progress callback.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StreamProgress {
+    /// Events the server has evaluated so far.
+    pub events: u64,
+    /// `.cgt` bytes the server has consumed so far.
+    pub bytes: u64,
+}
+
+/// Opens a *live* session: streams `body` to a `cgtd` at `addr` under
+/// `tenant` while the server evaluates it incrementally, invoking
+/// `on_progress` for every [`Frame::Progress`] the server interleaves,
+/// and returns the final verdict.
+///
+/// The upload runs on a scoped writer thread so progress frames are
+/// consumed while data is still in flight — a long-lived stream never
+/// fills the server's send buffer.  If the server fails the session
+/// mid-stream, the writer's broken pipe is discarded in favour of the
+/// server's structured verdict.
+///
+/// # Errors
+///
+/// [`ClientError::Busy`] when bounced by backpressure,
+/// [`ClientError::Server`] when the evaluation failed, and
+/// [`ClientError::Proto`] for transport/framing trouble.
+pub fn stream_events<R: Read + Send>(
+    addr: &str,
+    tenant: &str,
+    body: &mut R,
+    timeout: Option<std::time::Duration>,
+    mut on_progress: impl FnMut(StreamProgress),
+) -> Result<SubmitOutcome, ClientError> {
+    let stream = connect(addr, timeout)?;
+    let mut reader = io::BufReader::new(stream.try_clone().map_err(ProtoError::Io)?);
+    let mut writer = io::BufWriter::new(stream);
+    write_preamble(&mut writer)?;
+    write_frame(
+        &mut writer,
+        &Frame::Stream {
+            tenant: tenant.to_string(),
+        },
+    )?;
+    writer.flush().map_err(ProtoError::Io)?;
+    match read_frame(&mut reader)? {
+        Some(Frame::Accepted) => {}
+        Some(Frame::Busy { reason }) => return Err(ClientError::Busy { reason }),
+        Some(Frame::Error { class, message }) => {
+            return Err(ClientError::Server { class, message })
+        }
+        Some(_) => return Err(ProtoError::Unexpected("wanted ACCEPTED or BUSY").into()),
+        None => return Err(ProtoError::Truncated("server reply").into()),
+    }
+    std::thread::scope(|scope| {
+        let upload = scope.spawn(move || write_session_body(body, &mut writer));
+        let verdict = loop {
+            match read_frame(&mut reader) {
+                Ok(Some(Frame::Progress { events, bytes })) => {
+                    on_progress(StreamProgress { events, bytes });
+                }
+                Ok(Some(Frame::Stats { cached, text })) => {
+                    break Ok(SubmitOutcome { cached, text })
+                }
+                Ok(Some(Frame::Error { class, message })) => {
+                    break Err(ClientError::Server { class, message })
+                }
+                Ok(Some(_)) => {
+                    break Err(ProtoError::Unexpected("wanted PROGRESS, STATS or ERROR").into())
+                }
+                Ok(None) => break Err(ProtoError::Truncated("server verdict").into()),
+                Err(e) => break Err(e.into()),
+            }
+        };
+        // A server-side abort races the upload: the verdict frame wins and
+        // the writer's broken pipe (if any) is noise.  Only surface the
+        // upload failure when the server never answered at all.
+        match (upload.join().expect("upload thread"), verdict) {
+            (Err(e), Err(ClientError::Proto(_))) => Err(ClientError::Proto(ProtoError::from(e))),
+            (_, verdict) => verdict,
+        }
+    })
+}
+
 /// Scrapes the plaintext metrics snapshot from a `cgtd` at `addr`.
 ///
 /// # Errors
@@ -803,6 +939,36 @@ mod tests {
         round_trip(Frame::MetricsReply {
             text: "cgtd.workers 4\n".to_string(),
         });
+        round_trip(Frame::Stream {
+            tenant: "live-tenant".to_string(),
+        });
+        round_trip(Frame::Progress {
+            events: 1_234_567,
+            bytes: u64::MAX >> 1,
+        });
+    }
+
+    #[test]
+    fn stream_and_submit_share_a_payload_schema_but_not_a_kind() {
+        let mut submit = Vec::new();
+        write_frame(
+            &mut submit,
+            &Frame::Submit {
+                tenant: "t".to_string(),
+            },
+        )
+        .unwrap();
+        let mut stream = Vec::new();
+        write_frame(
+            &mut stream,
+            &Frame::Stream {
+                tenant: "t".to_string(),
+            },
+        )
+        .unwrap();
+        assert_eq!(submit[0], KIND_SUBMIT);
+        assert_eq!(stream[0], KIND_STREAM);
+        assert_eq!(submit[1..], stream[1..], "identical payload encoding");
     }
 
     #[test]
